@@ -1,0 +1,41 @@
+// Ablation: sweep h (important fraction = 1/h) - the storage-cost /
+// reliability / recovery-speed frontier the framework exposes.  The paper
+// evaluates h in {4, 6}; this bench maps the whole knob.
+#include "bench_util.h"
+
+#include "analysis/reliability.h"
+#include "cluster/workload.h"
+#include "core/metrics.h"
+
+using namespace approx;
+using namespace approx::bench;
+
+int main() {
+  const int k = 5;
+  print_header("Ablation: important-data ratio 1/h (APPR.RS(5,1,2,h,Even))");
+  print_row({"h", "imp.ratio", "storage", "write-cost", "P_U", "rec-2 (s)",
+             "unimp lost/2fail"},
+            15);
+  cluster::ClusterConfig cfg;
+  for (int h : {2, 3, 4, 6, 8, 12}) {
+    const core::ApprParams p{codes::Family::RS, k, 1, 2, h, core::Structure::Even};
+    const auto m = core::appr_metrics(p);
+    core::ApproximateCode code(p, block_for(1, 1 << 16));
+    std::vector<int> erased{core::data_node_id(p, 0, 0), core::data_node_id(p, 0, 1)};
+    const auto w = cluster::appr_code_recovery(code, erased, cfg.node_capacity);
+    const double rec2 = cluster::simulate_recovery(w, cfg).seconds;
+    const auto report = code.plan_repair(erased);
+    const double lost_frac =
+        static_cast<double>(report.unimportant_data_bytes_lost) /
+        (2.0 * static_cast<double>(code.node_bytes()));
+    print_row({std::to_string(h), pct(1.0 / h), fmt(m.storage_overhead),
+               fmt(m.avg_single_write_cost, 2), pct(analysis::paper_p_u(p)),
+               fmt(rec2, 2), pct(lost_frac)},
+              15);
+  }
+  std::printf("\nTakeaway: larger h -> cheaper storage, faster multi-failure "
+              "recovery, but more data exposed to loss beyond r failures; the "
+              "classifier's measured important-ratio picks h (video: I-frame "
+              "share is typically ~1/4 to ~1/6 of the stream).\n");
+  return 0;
+}

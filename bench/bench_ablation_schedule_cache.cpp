@@ -1,0 +1,57 @@
+// Ablation: the repair-schedule cache (DESIGN.md decision 1).  Repairing a
+// stripe involves a GF(2)/GF(256) solve to derive the XOR schedule; the
+// cache amortizes it across stripes with the same failure pattern, which is
+// the steady state of node-level recovery.
+#include "bench_util.h"
+
+#include "codes/array_codes.h"
+#include "codes/rs_code.h"
+
+using namespace approx;
+using namespace approx::bench;
+
+namespace {
+
+double repair_time(const std::shared_ptr<const codes::LinearCode>& code,
+                   bool cache_enabled, int reps) {
+  BaseStripe stripe(code, std::size_t{256} << 10);
+  stripe.encode();
+  const std::vector<int> erased = {0, 1, 2};
+  code->set_plan_cache_enabled(cache_enabled);
+  const double t = time_op(
+      [&] {
+        for (int i = 0; i < reps; ++i) {
+          stripe.repair(erased);
+        }
+      },
+      3);
+  code->set_plan_cache_enabled(true);
+  return t / reps;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Ablation: repair-schedule cache (triple-failure repair, ms/stripe)");
+  print_row({"code", "cache ON", "cache OFF", "solve overhead"}, 18);
+  struct Case {
+    std::string label;
+    std::shared_ptr<const codes::LinearCode> code;
+  };
+  const Case cases[] = {
+      {"RS(8,3)", codes::make_rs(8, 3)},
+      {"RS(17,3)", codes::make_rs(17, 3)},
+      {"STAR(11)", codes::make_star(11, 3)},
+      {"STAR(17)", codes::make_star(17, 3)},
+      {"TIP(13)", codes::make_tip(13, 3)},
+  };
+  for (const auto& c : cases) {
+    const double on = repair_time(c.code, true, 8) * 1e3;
+    const double off = repair_time(c.code, false, 8) * 1e3;
+    print_row({c.label, fmt(on, 3), fmt(off, 3), pct((off - on) / off)}, 18);
+  }
+  std::printf("\nTakeaway: the GF(2) bit solver keeps even cold solves cheap, "
+              "but caching still removes the planning term entirely - at the "
+              "cluster level one plan serves thousands of stripes.\n");
+  return 0;
+}

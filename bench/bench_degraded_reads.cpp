@@ -1,0 +1,76 @@
+// Extension experiment: client-visible read latency under failures.
+// Fig. 13 covers the background rebuild; this bench covers what the
+// foreground workload feels while nodes are down - latency percentiles of
+// an open-loop 1 MiB-read Poisson stream against healthy and degraded
+// deployments, plus availability of the two Approximate Code tiers.
+#include "bench_util.h"
+
+#include "cluster/read_service.h"
+#include "codes/lrc_code.h"
+#include "codes/rs_code.h"
+
+using namespace approx;
+using namespace approx::bench;
+using namespace approx::cluster;
+
+int main() {
+  ClusterConfig cfg;
+  ReadRequestModel model;
+  model.arrival_rate = 60.0;
+  model.requests = 3000;
+  model.request_bytes = 1 << 20;
+
+  print_header("Degraded 1 MiB read latency (ms), 60 req/s Poisson");
+  print_row({"deployment", "state", "mean", "p50", "p99", "unavailable"}, 16);
+
+  struct Row {
+    std::string label;
+    std::string state;
+    std::vector<ReadPath> paths;
+    int nodes;
+  };
+  std::vector<Row> rows;
+
+  for (const int k : {5, 9, 13}) {
+    auto rs = codes::make_rs(k, 3);
+    rows.push_back({"RS(" + std::to_string(k) + ",3)", "healthy",
+                    base_code_read_paths(*rs, {}), rs->total_nodes()});
+    rows.push_back({"RS(" + std::to_string(k) + ",3)", "1 down",
+                    base_code_read_paths(*rs, std::vector<int>{0}),
+                    rs->total_nodes()});
+  }
+  {
+    auto lrc = codes::make_lrc(12, 4, 2);
+    rows.push_back({"LRC(12,4,2)", "1 down",
+                    base_code_read_paths(*lrc, std::vector<int>{0}),
+                    lrc->total_nodes()});
+  }
+  {
+    core::ApprParams p{codes::Family::RS, 5, 1, 2, 4, core::Structure::Even};
+    auto appr = std::make_shared<core::ApproximateCode>(p, 4096);
+    rows.push_back({"APPR.RS(5,1,2,4) imp", "1 down",
+                    appr_read_paths(*appr, std::vector<int>{0}),
+                    appr->total_nodes()});
+    rows.push_back({"APPR.RS(5,1,2,4) imp", "2 down",
+                    appr_read_paths(*appr, std::vector<int>{0, 1}),
+                    appr->total_nodes()});
+    rows.push_back({"APPR.RS(5,1,2,4) imp", "3 down",
+                    appr_read_paths(*appr, std::vector<int>{0, 1, 2}),
+                    appr->total_nodes()});
+  }
+
+  for (const auto& row : rows) {
+    const auto stats = simulate_read_service(row.paths, row.nodes, model, cfg);
+    print_row({row.label, row.state, fmt(stats.mean_ms, 1), fmt(stats.p50_ms, 1),
+               fmt(stats.p99_ms, 1), std::to_string(stats.unavailable)},
+              16);
+  }
+
+  std::printf(
+      "\nReading: a failed RS node turns 1-source reads into k-source decode\n"
+      "fan-ins (p99 grows with k); LRC keeps degraded reads inside the local\n"
+      "group; the Approximate Code's important tier answers every read even\n"
+      "with three nodes down, through local parity first and the global tier\n"
+      "when the stripe's local tolerance is exceeded.\n");
+  return 0;
+}

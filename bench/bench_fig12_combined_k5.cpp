@@ -1,0 +1,60 @@
+// Figure 12: all four metrics at k = 5 - encoding time and decoding time
+// under single/double/triple node failure - for every erasure code in the
+// evaluation (the paper's combined bar charts).
+#include "codec_measurements.h"
+
+using namespace approx;
+using namespace approx::bench;
+
+namespace {
+
+struct Entry {
+  std::string label;
+  double encode, dec1, dec2, dec3;
+};
+
+}  // namespace
+
+int main() {
+  const int k = 5;
+  std::vector<Entry> entries;
+
+  // Base codes.
+  entries.push_back({"RS(5,3)", bench_encode_base(codes::Family::RS, k, 0),
+                     bench_decode_base(codes::Family::RS, k, 1),
+                     bench_decode_base(codes::Family::RS, k, 2),
+                     bench_decode_base(codes::Family::RS, k, 3)});
+  entries.push_back({"LRC(5,4,2)", bench_encode_base(codes::Family::LRC, k, 4),
+                     bench_decode_base(codes::Family::LRC, k, 1, 4),
+                     bench_decode_base(codes::Family::LRC, k, 2, 4),
+                     bench_decode_base(codes::Family::LRC, k, 3, 4)});
+  entries.push_back({"STAR(5,3)", bench_encode_base(codes::Family::STAR, k, 0),
+                     bench_decode_base(codes::Family::STAR, k, 1),
+                     bench_decode_base(codes::Family::STAR, k, 2),
+                     bench_decode_base(codes::Family::STAR, k, 3)});
+  entries.push_back({"TIP(5,3)", bench_encode_base(codes::Family::TIP, k, 0),
+                     bench_decode_base(codes::Family::TIP, k, 1),
+                     bench_decode_base(codes::Family::TIP, k, 2),
+                     bench_decode_base(codes::Family::TIP, k, 3)});
+
+  for (const auto f : {codes::Family::RS, codes::Family::LRC, codes::Family::STAR,
+                       codes::Family::TIP}) {
+    for (const int h : {4, 6}) {
+      entries.push_back({"APPR." + codes::family_name(f) + "(5,1,2," +
+                             std::to_string(h) + ")",
+                         bench_encode_appr(f, k, 1, 2, h),
+                         bench_decode_appr(f, k, 1, 2, h, 1),
+                         bench_decode_appr(f, k, 1, 2, h, 2),
+                         bench_decode_appr(f, k, 1, 2, h, 3)});
+    }
+  }
+
+  print_header("Figure 12: combined metrics at k=5 (sec/GiB)");
+  print_row({"code", "encode", "dec-1", "dec-2", "dec-3"}, 20);
+  for (const auto& e : entries) {
+    print_row({e.label, fmt(e.encode), fmt(e.dec1), fmt(e.dec2), fmt(e.dec3)}, 20);
+  }
+  std::printf("\nShape check: the APPR variants post the best encode/dec-2/"
+              "dec-3 numbers; dec-1 is comparable to the base codes.\n");
+  return 0;
+}

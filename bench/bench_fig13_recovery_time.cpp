@@ -1,0 +1,89 @@
+// Figure 13: recovery time under double (panel a) and triple (panel b)
+// node failure for every erasure code, on the event-driven cluster model
+// (1 GB per node, 10 Gbps NICs, HDD disk model - paper Table 4).  The
+// coding bandwidth of the model is calibrated from this machine's measured
+// codec throughput so compute/IO are in realistic proportion.
+#include "codec_measurements.h"
+
+#include "cluster/workload.h"
+
+using namespace approx;
+using namespace approx::bench;
+
+namespace {
+
+cluster::ClusterConfig calibrated_config() {
+  // Measure RS(5,3) double-failure repair throughput as the compute model.
+  const double sec_per_gib = bench_decode_base(codes::Family::RS, 5, 2);
+  cluster::ClusterConfig cfg;
+  if (sec_per_gib > 0) {
+    // repair_sec_per_failed_gib normalizes by failed volume; the decoder
+    // processes ~k source elements per rebuilt element, so scale back to
+    // processed-bytes throughput.
+    cfg.coding_bw = kGiB / sec_per_gib * 5.0 / 2.0;
+  }
+  return cfg;
+}
+
+double base_recovery_seconds(codes::Family f, int k, int failures, int lrc_l,
+                             const cluster::ClusterConfig& cfg) {
+  auto code = baseline_code(f, k, lrc_l);
+  if (code == nullptr) return -1;
+  std::vector<int> erased;
+  for (int i = 0; i < failures; ++i) erased.push_back(i);
+  const auto workload = cluster::base_code_recovery(*code, erased, cfg.node_capacity);
+  return cluster::simulate_recovery(workload, cfg).seconds;
+}
+
+double appr_recovery_seconds(codes::Family f, int k, int h, int failures,
+                             const cluster::ClusterConfig& cfg) {
+  if (!codes::family_supports(f, k)) return -1;
+  core::ApprParams p{f, k, 1, 2, h, core::Structure::Even};
+  core::ApproximateCode code(p, block_for(codes::family_rows(f, k), 1 << 18));
+  std::vector<int> erased;
+  for (int i = 0; i < failures; ++i) erased.push_back(core::data_node_id(p, 0, i));
+  const auto workload = cluster::appr_code_recovery(code, erased, cfg.node_capacity);
+  return cluster::simulate_recovery(workload, cfg).seconds;
+}
+
+void panel(int failures, const cluster::ClusterConfig& cfg) {
+  print_header("Figure 13(" + std::string(failures == 2 ? "a" : "b") + "): " +
+               std::to_string(failures) + "-node recovery time (seconds)");
+  print_row({"k", "RS", "LRC(4,2)", "STAR", "TIP", "APPR.RS", "APPR.STAR",
+             "APPR.TIP", "APPR.LRC"},
+            11);
+  double best_ratio = 0;
+  for (const int k : eval_ks()) {
+    const double rs = base_recovery_seconds(codes::Family::RS, k, failures, 0, cfg);
+    const double lrc = base_recovery_seconds(codes::Family::LRC, k, failures, 4, cfg);
+    const double star = base_recovery_seconds(codes::Family::STAR, k, failures, 0, cfg);
+    const double tip = base_recovery_seconds(codes::Family::TIP, k, failures, 0, cfg);
+    const double a_rs = appr_recovery_seconds(codes::Family::RS, k, 4, failures, cfg);
+    const double a_star =
+        appr_recovery_seconds(codes::Family::STAR, k, 4, failures, cfg);
+    const double a_tip = appr_recovery_seconds(codes::Family::TIP, k, 4, failures, cfg);
+    const double a_lrc = appr_recovery_seconds(codes::Family::LRC, k, 4, failures, cfg);
+    print_row({std::to_string(k), fmt(rs, 2), fmt(lrc, 2), fmt(star, 2),
+               fmt(tip, 2), fmt(a_rs, 2), fmt(a_star, 2), fmt(a_tip, 2),
+               fmt(a_lrc, 2)},
+              11);
+    if (rs > 0 && a_rs > 0) best_ratio = std::max(best_ratio, rs / a_rs);
+  }
+  std::printf("max RS/APPR.RS speedup in this panel: %.1fx\n", best_ratio);
+}
+
+}  // namespace
+
+int main() {
+  const auto cfg = calibrated_config();
+  std::printf("cluster model: disk %.0f/%.0f MB/s, NIC %.1f Gbps, coding %.0f MB/s,"
+              " node %zu MB, task %zu MB\n",
+              cfg.disk_read_bw / 1e6, cfg.disk_write_bw / 1e6, cfg.nic_bw * 8 / 1e9,
+              cfg.coding_bw / 1e6, cfg.node_capacity >> 20, cfg.task_bytes >> 20);
+  panel(2, cfg);
+  panel(3, cfg);
+  std::printf("\nShape check (paper): APPR owns the best recovery time of all "
+              "ECs; optimization up to 95.9%% / speedup up to ~4.7x, because "
+              "only important data is rebuilt beyond the local tolerance.\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// google-benchmark microbenchmarks of the coding kernels: XOR block ops,
+// GF(2^8) region multiply-accumulate, full-code encode throughput and the
+// repair-schedule solver.  These are the primitives every higher-level
+// number in Fig. 9-13 decomposes into.
+#include <benchmark/benchmark.h>
+
+#include "common/buffer.h"
+#include "common/prng.h"
+#include "codes/array_codes.h"
+#include "codes/rs_code.h"
+#include "gf/gf256.h"
+#include "xorblk/xor_kernels.h"
+
+namespace {
+
+using namespace approx;
+
+void BM_XorAcc(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  AlignedBuffer dst(n), src(n);
+  Rng rng(1);
+  fill_random(src.data(), n, rng);
+  for (auto _ : state) {
+    xorblk::xor_acc(dst.data(), src.data(), n);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_XorAcc)->Arg(4096)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_XorGather(benchmark::State& state) {
+  const std::size_t n = 1 << 16;
+  const int sources = static_cast<int>(state.range(0));
+  std::vector<AlignedBuffer> bufs;
+  Rng rng(2);
+  std::vector<const std::uint8_t*> ptrs;
+  for (int i = 0; i < sources; ++i) {
+    bufs.emplace_back(n);
+    fill_random(bufs.back().data(), n, rng);
+    ptrs.push_back(bufs.back().data());
+  }
+  AlignedBuffer dst(n);
+  for (auto _ : state) {
+    xorblk::xor_gather(dst.data(), ptrs, n);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * static_cast<std::size_t>(sources)));
+}
+BENCHMARK(BM_XorGather)->Arg(3)->Arg(8)->Arg(17);
+
+void BM_GfMulAcc(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  AlignedBuffer dst(n), src(n);
+  Rng rng(3);
+  fill_random(src.data(), n, rng);
+  std::uint8_t c = 2;
+  for (auto _ : state) {
+    gf::mul_acc_region(dst.data(), src.data(), n, c);
+    c = static_cast<std::uint8_t>(c * 3 + 1);
+    if (c < 2) c = 2;
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_GfMulAcc)->Arg(4096)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_EncodeRs(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  auto code = codes::make_rs(k, 3);
+  const std::size_t block = 1 << 18;
+  StripeBuffers buf(code->total_nodes(), block);
+  Rng rng(4);
+  for (int d = 0; d < k; ++d) {
+    auto s = buf.node(d);
+    fill_random(s.data(), s.size(), rng);
+  }
+  for (auto _ : state) {
+    auto spans = buf.spans();
+    code->encode_blocks(spans, block);
+    benchmark::DoNotOptimize(buf.node(k).data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(block * static_cast<std::size_t>(k)));
+}
+BENCHMARK(BM_EncodeRs)->Arg(5)->Arg(11)->Arg(17);
+
+void BM_EncodeStar(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  auto code = codes::make_star(p, 3);
+  const std::size_t block = 1 << 14;
+  StripeBuffers buf(code->total_nodes(),
+                    block * static_cast<std::size_t>(code->rows()));
+  Rng rng(5);
+  for (int d = 0; d < p; ++d) {
+    auto s = buf.node(d);
+    fill_random(s.data(), s.size(), rng);
+  }
+  for (auto _ : state) {
+    auto spans = buf.spans();
+    code->encode_blocks(spans, block);
+    benchmark::DoNotOptimize(buf.node(p).data());
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(block * static_cast<std::size_t>(code->rows()) *
+                                static_cast<std::size_t>(p)));
+}
+BENCHMARK(BM_EncodeStar)->Arg(5)->Arg(11)->Arg(17);
+
+void BM_SolveTripleErasure(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  auto code = codes::make_star(p, 3);
+  code->set_plan_cache_enabled(false);
+  const std::vector<int> erased = {0, 1, 2};
+  for (auto _ : state) {
+    auto plan = code->plan_repair(erased);
+    benchmark::DoNotOptimize(plan);
+  }
+  code->set_plan_cache_enabled(true);
+}
+BENCHMARK(BM_SolveTripleErasure)->Arg(5)->Arg(11)->Arg(17);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,44 @@
+// Section 3.4 reliability numbers: P_U (f = r+1) and P_I (f = r+g+1) from
+// the paper's closed forms, cross-checked against exhaustive enumeration
+// and Monte-Carlo sampling of the real codec.
+#include "bench_util.h"
+
+#include "analysis/reliability.h"
+
+using namespace approx;
+using namespace approx::bench;
+
+namespace {
+
+void row(const core::ApprParams& p) {
+  const double pu = analysis::paper_p_u(p);
+  const double pi = analysis::paper_p_i(p);
+  const auto ex_u = analysis::exhaustive_reliability(p, p.r + 1);
+  const auto ex_i = analysis::exhaustive_reliability(p, 4);
+  const auto mc_u = analysis::monte_carlo_reliability(p, p.r + 1, 50000, 1234);
+  print_row({p.name(), pct(pu), pct(ex_u.p_unimportant), pct(mc_u.p_unimportant),
+             pct(pi), pct(ex_i.p_important)},
+            20);
+}
+
+}  // namespace
+
+int main() {
+  print_header("Reliability: P_U / P_I (paper eq.1-4 vs exact vs Monte-Carlo)");
+  print_row({"code", "P_U paper", "P_U exact", "P_U MC", "P_I paper", "P_I exact"},
+            20);
+  for (const auto structure : {core::Structure::Even, core::Structure::Uneven}) {
+    row({codes::Family::RS, 3, 1, 2, 3, structure});
+  }
+  for (const auto structure : {core::Structure::Even, core::Structure::Uneven}) {
+    row({codes::Family::RS, 5, 1, 2, 4, structure});
+    row({codes::Family::STAR, 5, 1, 2, 4, structure});
+  }
+  std::printf(
+      "\nPaper quotes for APPR.RS(3,1,2,3): Even P_U=80.21%% P_I=95.50%%, "
+      "Uneven P_U=86.81%% P_I=98.50%%.\n"
+      "P_I exact <= paper: the closed form counts only single-stripe "
+      "concentrated quad failures; the codec also loses important data on "
+      "some mixed stripe+global patterns.\n");
+  return 0;
+}

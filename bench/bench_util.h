@@ -1,0 +1,181 @@
+// Shared helpers for the table/figure reproduction harnesses.
+//
+// Every bench binary prints the rows/series of one paper artifact.  Codes
+// are compared at equal *data volume*: a base code stripe holds k nodes of
+// `node_bytes` each, an Approximate Code global stripe holds h*k data nodes
+// of `node_bytes` each; timings are normalized to seconds per GiB of data
+// so the two deployments are directly comparable (this mirrors the paper's
+// fixed-size Hadoop volumes).
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/prng.h"
+#include "common/stopwatch.h"
+#include "codes/code_family.h"
+#include "core/approximate_code.h"
+
+namespace approx::bench {
+
+inline constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+// Median-of-N wall-clock timing of fn (seconds).
+inline double time_op(const std::function<void()>& fn, int reps = 3) {
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    Stopwatch sw;
+    fn();
+    times.push_back(sw.seconds());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+// Block size giving each node about `node_bytes` of payload, aligned so
+// that every structure (h in {3,4,6}) divides it.
+inline std::size_t block_for(int rows, std::size_t node_bytes) {
+  std::size_t block = node_bytes / static_cast<std::size_t>(rows);
+  const std::size_t align = 24 * 64;  // divisible by 3, 4, 6 and 64
+  block = std::max<std::size_t>(align, block / align * align);
+  return block;
+}
+
+// A base-code stripe with random data, ready to encode/repair.
+struct BaseStripe {
+  explicit BaseStripe(std::shared_ptr<const codes::LinearCode> code_in,
+                      std::size_t node_bytes, std::uint64_t seed = 1)
+      : code(std::move(code_in)),
+        block(block_for(code->rows(), node_bytes)),
+        buffers(code->total_nodes(),
+                block * static_cast<std::size_t>(code->rows())) {
+    Rng rng(seed);
+    for (int d = 0; d < code->data_nodes(); ++d) {
+      auto s = buffers.node(d);
+      fill_random(s.data(), s.size(), rng);
+    }
+  }
+
+  void encode() {
+    auto spans = buffers.spans();
+    code->encode_blocks(spans, block);
+  }
+  bool repair(const std::vector<int>& erased) {
+    auto spans = buffers.spans();
+    return code->repair_blocks(spans, block, erased);
+  }
+  double data_gib() const {
+    return static_cast<double>(code->data_nodes()) *
+           static_cast<double>(block) * code->rows() / kGiB;
+  }
+  double node_gib() const {
+    return static_cast<double>(block) * code->rows() / kGiB;
+  }
+
+  std::shared_ptr<const codes::LinearCode> code;
+  std::size_t block;
+  StripeBuffers buffers;
+};
+
+// An Approximate Code global stripe with random data.
+struct ApprStripe {
+  ApprStripe(const core::ApprParams& params, std::size_t node_bytes,
+             std::uint64_t seed = 1)
+      : code(params, block_for(codes::family_rows(params.family, params.k),
+                               node_bytes)),
+        buffers(code.total_nodes(), code.node_bytes()) {
+    Rng rng(seed);
+    for (int n = 0; n < code.total_nodes(); ++n) {
+      if (core::node_role(params, n).kind == core::NodeRole::Kind::Data) {
+        auto s = buffers.node(n);
+        fill_random(s.data(), s.size(), rng);
+      }
+    }
+  }
+
+  void encode() {
+    auto spans = buffers.spans();
+    code.encode(spans);
+  }
+  core::RepairReport repair(const std::vector<int>& erased) {
+    auto spans = buffers.spans();
+    return code.repair(spans, erased);
+  }
+  double data_gib() const {
+    return static_cast<double>(code.params().total_data_nodes()) *
+           static_cast<double>(code.node_bytes()) / kGiB;
+  }
+  double node_gib() const { return static_cast<double>(code.node_bytes()) / kGiB; }
+
+  core::ApproximateCode code;
+  StripeBuffers buffers;
+};
+
+// Encode throughput in seconds per GiB of data.
+inline double encode_sec_per_gib(BaseStripe& s, int reps = 3) {
+  s.encode();  // warm-up (tables, caches)
+  return time_op([&] { s.encode(); }, reps) / s.data_gib();
+}
+inline double encode_sec_per_gib(ApprStripe& s, int reps = 3) {
+  s.encode();
+  return time_op([&] { s.encode(); }, reps) / s.data_gib();
+}
+
+// Repair time normalized to seconds per GiB of *failed node* volume
+// (the paper's decoding-time metric: time to recompute lost nodes).
+inline double repair_sec_per_failed_gib(BaseStripe& s,
+                                        const std::vector<int>& erased,
+                                        int reps = 3) {
+  s.encode();
+  if (!s.repair(erased)) return -1;  // caller filters unsupported cells
+  const double t = time_op([&] { s.repair(erased); }, reps);
+  return t / (s.node_gib() * static_cast<double>(erased.size()));
+}
+inline double repair_sec_per_failed_gib(ApprStripe& s,
+                                        const std::vector<int>& erased,
+                                        int reps = 3) {
+  s.encode();
+  s.repair(erased);
+  const double t = time_op([&] { s.repair(erased); }, reps);
+  return t / (s.node_gib() * static_cast<double>(erased.size()));
+}
+
+// ---------------------------------------------------------------------------
+// Table printing
+// ---------------------------------------------------------------------------
+
+inline void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void print_row(const std::vector<std::string>& cells, int width = 14) {
+  for (const auto& c : cells) std::printf("%-*s", width, c.c_str());
+  std::printf("\n");
+}
+
+inline std::string fmt(double v, int prec = 3) {
+  if (v < 0) return "/";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+inline std::string pct(double improvement) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", improvement * 100.0);
+  return buf;
+}
+
+// Evaluation sweep from the paper (§4.1.1).
+inline const std::vector<int>& eval_ks() {
+  static const std::vector<int> ks = {5, 7, 9, 11, 13, 15, 17};
+  return ks;
+}
+
+}  // namespace approx::bench

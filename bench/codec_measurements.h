@@ -1,0 +1,70 @@
+// Shared measurement driver for the encoding/decoding experiments
+// (Fig. 9-12, Table 6): base code vs its Approximate form at equal data
+// volume, normalized seconds-per-GiB.
+//
+// Failure placement follows the paper's evaluation: f failed nodes are
+// concentrated in one local stripe, the regime where unequal protection
+// changes behaviour (f <= r repairs locally; f > r repairs important data
+// through the globals and skips the rest).
+#pragma once
+
+#include "bench_util.h"
+#include "codes/array_codes.h"
+#include "codes/lrc_code.h"
+
+namespace approx::bench {
+
+inline constexpr std::size_t kNodeBytes = std::size_t{1} << 20;  // per node
+
+// Base code of family f at k (paper baselines); lrc_l selects LRC(k,l,2).
+inline std::shared_ptr<const codes::LinearCode> baseline_code(codes::Family f,
+                                                              int k, int lrc_l) {
+  if (!codes::family_supports(f, k)) return nullptr;
+  if (f == codes::Family::LRC && lrc_l > k) return nullptr;
+  return codes::family_baseline(f, k, lrc_l);
+}
+
+// Encoding seconds per GiB of data; -1 when the configuration is
+// unsupported (the paper's "/" cells).
+inline double bench_encode_base(codes::Family f, int k, int lrc_l = 4) {
+  auto code = baseline_code(f, k, lrc_l);
+  if (code == nullptr) return -1;
+  BaseStripe stripe(code, kNodeBytes);
+  return encode_sec_per_gib(stripe);
+}
+
+inline double bench_encode_appr(codes::Family f, int k, int r, int g, int h) {
+  if (!codes::family_supports(f, k)) return -1;
+  core::ApprParams p{f, k, r, g, h, core::Structure::Even};
+  ApprStripe stripe(p, kNodeBytes);
+  return encode_sec_per_gib(stripe);
+}
+
+// Decoding (repair computation) seconds per GiB of failed-node volume,
+// with `failures` nodes lost inside one stripe.
+inline double bench_decode_base(codes::Family f, int k, int failures,
+                                int lrc_l = 4) {
+  auto code = baseline_code(f, k, lrc_l);
+  if (code == nullptr) return -1;
+  BaseStripe stripe(code, kNodeBytes);
+  std::vector<int> erased;
+  for (int i = 0; i < failures; ++i) erased.push_back(i);
+  return repair_sec_per_failed_gib(stripe, erased);
+}
+
+inline double bench_decode_appr(codes::Family f, int k, int r, int g, int h,
+                                int failures) {
+  if (!codes::family_supports(f, k)) return -1;
+  core::ApprParams p{f, k, r, g, h, core::Structure::Even};
+  ApprStripe stripe(p, kNodeBytes);
+  std::vector<int> erased;
+  for (int i = 0; i < failures; ++i) erased.push_back(core::data_node_id(p, 0, i));
+  return repair_sec_per_failed_gib(stripe, erased);
+}
+
+inline std::string improvement_cell(double base, double appr) {
+  if (base < 0 || appr < 0) return "/";
+  return pct((base - appr) / base);
+}
+
+}  // namespace approx::bench

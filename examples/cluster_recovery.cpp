@@ -1,0 +1,67 @@
+// Cluster recovery planning: what happens when DataNodes die?
+//
+// Uses the event-driven cluster model to compare node-rebuild times of a
+// classic RS(k,3) deployment against APPR.RS(k,1,2,4) under one, two and
+// three concurrent failures, then shows how the advantage shifts with the
+// network fabric (1 vs 10 vs 40 Gbps).
+#include <cstdio>
+
+#include "cluster/workload.h"
+#include "codes/rs_code.h"
+
+int main() {
+  using namespace approx;
+
+  const int k = 6;
+  const std::size_t GB = std::size_t{1} << 30;
+
+  core::ApprParams params{codes::Family::RS, k, 1, 2, 4, core::Structure::Even};
+  core::ApproximateCode appr(params, 4096);
+  auto rs = codes::make_rs(k, 3);
+
+  cluster::ClusterConfig cfg;
+  std::printf("cluster: %d-node APPR deployment vs %d-node RS(k,3); 1 GB/node, "
+              "%.0f Gbps NIC, %.0f MB/s disks\n\n",
+              appr.total_nodes(), rs->total_nodes(), cfg.nic_bw * 8 / 1e9,
+              cfg.disk_read_bw / 1e6);
+
+  std::printf("%-10s %-14s %-14s %-10s\n", "failures", "RS(k,3) [s]",
+              "APPR.RS [s]", "speedup");
+  for (int f = 1; f <= 3; ++f) {
+    std::vector<int> erased_rs, erased_appr;
+    for (int i = 0; i < f; ++i) {
+      erased_rs.push_back(i);
+      erased_appr.push_back(core::data_node_id(params, 0, i));
+    }
+    const auto w_rs = cluster::base_code_recovery(*rs, erased_rs, GB);
+    const auto w_ap = cluster::appr_code_recovery(appr, erased_appr, GB);
+    const double t_rs = cluster::simulate_recovery(w_rs, cfg).seconds;
+    const double t_ap = cluster::simulate_recovery(w_ap, cfg).seconds;
+    std::printf("%-10d %-14.2f %-14.2f %.1fx\n", f, t_rs, t_ap, t_rs / t_ap);
+  }
+
+  std::printf("\nsensitivity to fabric bandwidth (double failure):\n");
+  std::printf("%-10s %-14s %-14s %-10s\n", "NIC", "RS(k,3) [s]", "APPR.RS [s]",
+              "speedup");
+  for (const double gbps : {1.0, 10.0, 40.0}) {
+    cluster::ClusterConfig c = cfg;
+    c.nic_bw = gbps * 1e9 / 8.0;
+    const auto w_rs =
+        cluster::base_code_recovery(*rs, std::vector<int>{0, 1}, GB);
+    const auto w_ap = cluster::appr_code_recovery(
+        appr,
+        std::vector<int>{core::data_node_id(params, 0, 0),
+                         core::data_node_id(params, 0, 1)},
+        GB);
+    const double t_rs = cluster::simulate_recovery(w_rs, c).seconds;
+    const double t_ap = cluster::simulate_recovery(w_ap, c).seconds;
+    std::printf("%-10s %-14.2f %-14.2f %.1fx\n",
+                (std::to_string(static_cast<int>(gbps)) + " Gbps").c_str(), t_rs,
+                t_ap, t_rs / t_ap);
+  }
+
+  std::printf("\nwhy: beyond the local tolerance the Approximate Code rebuilds "
+              "only the important 1/h of each lost node, so every pipeline "
+              "stage (read, ship, decode, write) moves ~4x fewer bytes.\n");
+  return 0;
+}

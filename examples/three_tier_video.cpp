@@ -1,0 +1,154 @@
+// Three-tier video storage: I > P > B protection (framework extension).
+//
+// The paper's two-tier split protects I frames fully and treats P and B
+// frames alike.  H.264's own dependency order is three-way: P frames are
+// referenced by later frames (loss propagates), B frames are leaves.  This
+// example stores each class in its own tier - I at triple, P at double,
+// B at single protection - and shows what each failure burst costs.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "common/buffer.h"
+#include "core/multi_tier_code.h"
+#include "video/bitstream.h"
+#include "video/classifier.h"
+#include "video/interpolation.h"
+#include "video/psnr.h"
+#include "video/scene.h"
+#include "video/ssim.h"
+
+using namespace approx;
+using namespace approx::video;
+
+namespace {
+
+// Serialize one frame class into a fixed-capacity tier stream.
+std::vector<std::uint8_t> tier_stream(const EncodedVideo& video, FrameType type,
+                                      std::size_t capacity) {
+  std::vector<EncodedFrame> frames;
+  for (const auto& f : video.frames) {
+    if (f.info.type == type) frames.push_back(f);
+  }
+  auto bytes = serialize_frames(frames);
+  APPROX_REQUIRE(bytes.size() <= capacity,
+                 "tier overflow - increase block size");
+  bytes.resize(capacity, 0);
+  return bytes;
+}
+
+}  // namespace
+
+int main() {
+  // 1. Synthesize and encode two seconds of 60 fps video.
+  const int W = 192, H = 108, FRAMES = 120;
+  SceneGenerator gen(W, H, 11);
+  std::vector<Frame> original;
+  for (int t = 0; t < FRAMES; ++t) original.push_back(gen.frame(t));
+  auto encoded = encode_video(original, GopPattern("IBBPBBPBBPBB"));
+
+  const double total = static_cast<double>(encoded.total_bytes());
+  std::printf("stream: I=%.0f%%, P=%.0f%%, B=%.0f%% of %zu B\n",
+              100.0 * encoded.bytes_of(FrameType::I) / total,
+              100.0 * encoded.bytes_of(FrameType::P) / total,
+              100.0 * encoded.bytes_of(FrameType::B) / total,
+              encoded.total_bytes());
+
+  // 2. A three-tier layout matched to those shares: 2/8 @ 3 levels for I,
+  //    2/8 @ 2 for P, 4/8 @ 1 for B (k=4, h=4 -> covered fractions fit).
+  core::MultiTierParams params;
+  params.family = codes::Family::RS;
+  params.k = 4;
+  params.r = 1;
+  params.h = 2;
+  params.frac_den = 8;
+  params.tiers = {{3, 2}, {2, 2}, {1, 4}};
+  // Size the chunk so one chunk holds the whole clip.
+  std::size_t block = 8;
+  core::MultiTierCode probe(params, 64);
+  while (true) {
+    core::MultiTierCode c(params, block * 64);
+    if (c.tier_capacity(0) >= encoded.bytes_of(FrameType::I) * 5 / 4 + 4096 &&
+        c.tier_capacity(1) >= encoded.bytes_of(FrameType::P) * 5 / 4 + 4096 &&
+        c.tier_capacity(2) >= encoded.bytes_of(FrameType::B) * 5 / 4 + 4096) {
+      break;
+    }
+    block += 8;
+  }
+  core::MultiTierCode code(params, block * 64);
+  std::printf("layout: %s over %d nodes, %.2fx storage\n", params.name().c_str(),
+              code.total_nodes(),
+              static_cast<double>(params.total_nodes()) / (params.h * params.k));
+
+  // 3. Scatter the three frame classes into their tiers and encode.
+  std::vector<std::vector<std::uint8_t>> streams = {
+      tier_stream(encoded, FrameType::I, code.tier_capacity(0)),
+      tier_stream(encoded, FrameType::P, code.tier_capacity(1)),
+      tier_stream(encoded, FrameType::B, code.tier_capacity(2)),
+  };
+  StripeBuffers buffers(code.total_nodes(), code.node_bytes());
+  {
+    std::vector<std::span<const std::uint8_t>> views(streams.begin(), streams.end());
+    auto spans = buffers.spans();
+    code.scatter(views, spans);
+    code.encode(spans);
+  }
+
+  // 4. Fail two nodes of stripe 0 and repair.
+  for (const int n : {0, 1}) buffers.clear_node(n);
+  auto spans = buffers.spans();
+  const auto report = code.repair(spans, std::vector<int>{0, 1});
+  std::printf("\ndouble failure: I %s, P %s, B %s (%zu B of B-frame data lost)\n",
+              report.tier_recovered[0] ? "safe" : "LOST",
+              report.tier_recovered[1] ? "safe" : "LOST",
+              report.tier_recovered[2] ? "safe" : "lost",
+              report.tier_bytes_lost[2]);
+
+  // 5. Read back, reassemble and recover the lost B frames by interpolation.
+  std::vector<std::vector<std::uint8_t>> out_streams;
+  for (int t = 0; t < 3; ++t) out_streams.emplace_back(code.tier_capacity(t));
+  {
+    std::vector<std::span<std::uint8_t>> views(out_streams.begin(), out_streams.end());
+    auto spans2 = buffers.spans();
+    code.gather(spans2, views);
+  }
+  ReassembledVideo re;
+  re.lost.assign(static_cast<std::size_t>(FRAMES), true);
+  for (const auto& stream : out_streams) {
+    for (auto& f : parse_frames(stream).frames) {
+      re.lost[f.info.index] = false;
+      re.frames.push_back(std::move(f));
+    }
+  }
+  std::size_t lost_frames = 0;
+  for (const bool l : re.lost) lost_frames += l ? 1 : 0;
+
+  EncodedVideo shell;
+  shell.width = W;
+  shell.height = H;
+  shell.gop = encoded.gop;
+  shell.frames.resize(static_cast<std::size_t>(FRAMES));
+  for (auto& f : re.frames) shell.frames[f.info.index] = f;
+  for (std::size_t i = 0; i < shell.frames.size(); ++i) {
+    shell.frames[i].info.index = static_cast<std::uint32_t>(i);
+    shell.frames[i].info.type = shell.gop.type_at(static_cast<int>(i));
+  }
+  auto recovered =
+      recover_video(shell, re.lost, RecoveryMethod::MotionCompensated, nullptr);
+
+  double psnr_total = 0, ssim_total = 0;
+  for (int t = 0; t < FRAMES; ++t) {
+    psnr_total += std::min(psnr(recovered[static_cast<std::size_t>(t)],
+                                original[static_cast<std::size_t>(t)]),
+                           99.0);
+    ssim_total += ssim(recovered[static_cast<std::size_t>(t)],
+                       original[static_cast<std::size_t>(t)]);
+  }
+  std::printf("frames lost: %zu/%d (B frames only); after interpolation: "
+              "avg PSNR %.1f dB, avg SSIM %.3f\n",
+              lost_frames, FRAMES, psnr_total / FRAMES, ssim_total / FRAMES);
+  std::printf("\nbecause P frames stayed protected, every lost B frame sits "
+              "between two intact anchors - interpolation never has to bridge "
+              "a propagated error.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// End-to-end tiered video storage (the paper's Fig. 6 pipeline):
+//
+//   synthetic 60 fps scene
+//     -> GOP codec (I/P/B, H.264-like)
+//     -> importance classifier (I frames -> important tier)
+//     -> TieredVideoStore (Approximate Code over 18 nodes)
+//     -> double node failure + erasure repair
+//     -> bitstream reassembly (CRC-validated, resynchronizing parser)
+//     -> frame interpolation for the lost P/B frames
+//     -> PSNR report against the original frames
+#include <algorithm>
+#include <cstdio>
+
+#include "video/interpolation.h"
+#include "video/psnr.h"
+#include "video/scene.h"
+#include "video/tiered_store.h"
+
+int main() {
+  using namespace approx;
+  using namespace approx::video;
+
+  // 1. A two-second 60 fps clip of synthetic motion.
+  const int W = 256, H = 144, FRAMES = 120;
+  SceneGenerator gen(W, H, /*seed=*/42);
+  std::vector<Frame> original;
+  for (int t = 0; t < FRAMES; ++t) original.push_back(gen.frame(t));
+
+  // 2. GOP-encode it (12-frame GOPs, like broadcast H.264).
+  auto encoded = encode_video(original, GopPattern("IBBPBBPBBPBB"));
+  std::printf("encoded %d frames: %zu B total, I=%zu B, P=%zu B, B=%zu B\n",
+              FRAMES, encoded.total_bytes(), encoded.bytes_of(FrameType::I),
+              encoded.bytes_of(FrameType::P), encoded.bytes_of(FrameType::B));
+
+  // 3. Store under APPR.RS(4,1,2,4): I frames get triple protection, P/B
+  //    frames single-parity protection.
+  core::ApprParams params{codes::Family::RS, 4, 1, 2, 4, core::Structure::Even};
+  TieredVideoStore store(params, /*block_size=*/8192);
+  store.put(encoded);
+  std::printf("stored in %zu chunk(s) over %d nodes; important tier = %zu B\n",
+              store.chunk_count(), store.code().total_nodes(),
+              store.important_stream_bytes());
+
+  // 4. Two nodes of stripe 0 die - beyond the local tolerance.
+  store.fail_nodes(std::vector<int>{0, 1});
+  const auto summary = store.repair();
+  std::printf("\nafter double failure: important recovered=%s, unimportant "
+              "lost=%zu B\n",
+              summary.all_important_recovered ? "yes" : "NO",
+              summary.unimportant_data_bytes_lost);
+
+  // 5. Read back: the parser skips destroyed records and flags lost frames.
+  auto re = store.get();
+  std::size_t lost = 0;
+  for (const bool l : re.lost) lost += l ? 1 : 0;
+  std::printf("frames lost at storage level: %zu / %d (%.1f%%)\n", lost, FRAMES,
+              100.0 * static_cast<double>(lost) / FRAMES);
+
+  // 6. Rebuild the stream shell and run the video-recovery module.
+  EncodedVideo shell;
+  shell.width = store.stored_width();
+  shell.height = store.stored_height();
+  shell.gop = store.stored_gop();
+  shell.frames.resize(static_cast<std::size_t>(FRAMES));
+  for (auto& f : re.frames) shell.frames[f.info.index] = f;
+  for (std::size_t i = 0; i < shell.frames.size(); ++i) {
+    shell.frames[i].info.index = static_cast<std::uint32_t>(i);
+    shell.frames[i].info.type = shell.gop.type_at(static_cast<int>(i));
+  }
+
+  RecoveryStats stats;
+  auto recovered =
+      recover_video(shell, re.lost, RecoveryMethod::MotionCompensated, &stats);
+  std::printf("recovery: %zu decoded, %zu interpolated, %zu re-decoded\n",
+              stats.decoded_direct, stats.interpolated, stats.redecoded);
+
+  // 7. Quality accounting.
+  double total = 0, worst = 1e9;
+  int worst_at = 0;
+  for (int t = 0; t < FRAMES; ++t) {
+    const double p = std::min(psnr(recovered[static_cast<std::size_t>(t)],
+                                   original[static_cast<std::size_t>(t)]),
+                              99.0);
+    total += p;
+    if (p < worst) {
+      worst = p;
+      worst_at = t;
+    }
+  }
+  std::printf("\nPSNR: avg %.1f dB, worst %.1f dB (frame %d)\n", total / FRAMES,
+              worst, worst_at);
+  std::printf("paper's operating point: ~1%% unimportant loss recovered to "
+              ">= 35 dB - the video stays watchable while storage cost drops "
+              "by ~21%%.\n");
+  return 0;
+}

@@ -1,0 +1,134 @@
+#include "analysis/durability.h"
+
+#include <cmath>
+#include <set>
+
+#include "common/error.h"
+#include "common/prng.h"
+#include "core/approximate_code.h"
+
+namespace approx::analysis {
+
+namespace {
+
+double exponential(Rng& rng, double mean) {
+  // Inverse CDF; uniform() < 1 so the log argument stays positive.
+  return -mean * std::log(1.0 - rng.uniform());
+}
+
+// Generic failure/repair process over N nodes.  `lost` is called with the
+// sorted failed set after every failure event and returns a pair
+// (important_lost, unimportant_lost); the trial records first-loss times.
+struct TrialOutcome {
+  double important_loss_at = -1;
+  double unimportant_loss_at = -1;
+};
+
+template <typename LossFn>
+TrialOutcome run_trial(int nodes, const DurabilityParams& p, Rng& rng,
+                       const LossFn& lost) {
+  TrialOutcome outcome;
+  // next_failure[i] for healthy nodes, next_repair[i] for failed ones.
+  std::vector<double> next_event(static_cast<std::size_t>(nodes));
+  std::vector<bool> failed(static_cast<std::size_t>(nodes), false);
+  for (auto& t : next_event) t = exponential(rng, p.node_mttf_hours);
+
+  double now = 0;
+  while (now < p.mission_hours) {
+    // Earliest event.
+    int which = 0;
+    for (int i = 1; i < nodes; ++i) {
+      if (next_event[static_cast<std::size_t>(i)] <
+          next_event[static_cast<std::size_t>(which)]) {
+        which = i;
+      }
+    }
+    now = next_event[static_cast<std::size_t>(which)];
+    if (now >= p.mission_hours) break;
+
+    if (failed[static_cast<std::size_t>(which)]) {
+      // Repair completes.
+      failed[static_cast<std::size_t>(which)] = false;
+      next_event[static_cast<std::size_t>(which)] =
+          now + exponential(rng, p.node_mttf_hours);
+      continue;
+    }
+    // New failure.
+    failed[static_cast<std::size_t>(which)] = true;
+    next_event[static_cast<std::size_t>(which)] =
+        now + exponential(rng, p.mttr_hours);
+
+    std::vector<int> failed_set;
+    for (int i = 0; i < nodes; ++i) {
+      if (failed[static_cast<std::size_t>(i)]) failed_set.push_back(i);
+    }
+    const auto [imp_lost, unimp_lost] = lost(failed_set);
+    if (imp_lost && outcome.important_loss_at < 0) {
+      outcome.important_loss_at = now;
+    }
+    if (unimp_lost && outcome.unimportant_loss_at < 0) {
+      outcome.unimportant_loss_at = now;
+    }
+    if (outcome.important_loss_at >= 0 && outcome.unimportant_loss_at >= 0) {
+      break;  // both tiers already lost; nothing more to learn
+    }
+  }
+  return outcome;
+}
+
+template <typename LossFn>
+DurabilityResult run_trials(int nodes, const DurabilityParams& p,
+                            const LossFn& lost) {
+  APPROX_REQUIRE(p.trials > 0, "need at least one trial");
+  APPROX_REQUIRE(p.node_mttf_hours > 0 && p.mttr_hours > 0 && p.mission_hours > 0,
+                 "durability times must be positive");
+  DurabilityResult result;
+  result.trials = p.trials;
+  std::uint64_t imp_losses = 0;
+  std::uint64_t unimp_losses = 0;
+  double imp_time = 0;
+  double unimp_time = 0;
+  for (std::uint64_t t = 0; t < p.trials; ++t) {
+    Rng rng(p.seed + t * 0x9e3779b97f4a7c15ull);
+    const TrialOutcome outcome = run_trial(nodes, p, rng, lost);
+    if (outcome.important_loss_at >= 0) {
+      ++imp_losses;
+      imp_time += outcome.important_loss_at;
+    }
+    if (outcome.unimportant_loss_at >= 0) {
+      ++unimp_losses;
+      unimp_time += outcome.unimportant_loss_at;
+    }
+  }
+  result.p_important_loss =
+      static_cast<double>(imp_losses) / static_cast<double>(p.trials);
+  result.p_unimportant_loss =
+      static_cast<double>(unimp_losses) / static_cast<double>(p.trials);
+  result.mean_time_to_important_loss =
+      imp_losses == 0 ? 0 : imp_time / static_cast<double>(imp_losses);
+  result.mean_time_to_unimportant_loss =
+      unimp_losses == 0 ? 0 : unimp_time / static_cast<double>(unimp_losses);
+  return result;
+}
+
+}  // namespace
+
+DurabilityResult simulate_appr_durability(const core::ApprParams& params,
+                                          const DurabilityParams& p) {
+  core::ApproximateCode code(params, static_cast<std::size_t>(params.h) * 8);
+  return run_trials(code.total_nodes(), p, [&](const std::vector<int>& failed) {
+    const auto report = code.plan_repair(failed);
+    return std::pair<bool, bool>(!report.all_important_recovered,
+                                 report.unimportant_data_bytes_lost > 0);
+  });
+}
+
+DurabilityResult simulate_base_durability(const codes::LinearCode& code,
+                                          const DurabilityParams& p) {
+  return run_trials(code.total_nodes(), p, [&](const std::vector<int>& failed) {
+    const bool lost = !code.can_repair(failed);
+    return std::pair<bool, bool>(lost, lost);
+  });
+}
+
+}  // namespace approx::analysis

@@ -1,0 +1,112 @@
+#include "analysis/reliability.h"
+
+#include <set>
+#include <vector>
+
+#include "codes/verify.h"
+#include "common/error.h"
+#include "common/prng.h"
+#include "core/approximate_code.h"
+
+namespace approx::analysis {
+
+unsigned long long binomial(int n, int k) {
+  APPROX_REQUIRE(n >= 0 && k >= 0, "binomial needs non-negative arguments");
+  if (k > n) return 0;
+  if (k > n - k) k = n - k;
+  unsigned long long result = 1;
+  for (int i = 1; i <= k; ++i) {
+    // Multiply first, divide by i afterwards: the running value is always a
+    // binomial coefficient, so the division is exact.
+    result = result * static_cast<unsigned long long>(n - k + i) /
+             static_cast<unsigned long long>(i);
+  }
+  return result;
+}
+
+double paper_p_u(const core::ApprParams& p) {
+  p.validate();
+  const int N = p.total_nodes();
+  const int f = p.r + 1;
+  const double per_stripe = static_cast<double>(binomial(p.k + p.r, f));
+  const double all = static_cast<double>(binomial(N, f));
+  const int stripes_with_unimportant =
+      p.structure == core::Structure::Even ? p.h : p.h - 1;
+  return 1.0 - static_cast<double>(stripes_with_unimportant) * per_stripe / all;
+}
+
+double paper_p_i(const core::ApprParams& p) {
+  p.validate();
+  APPROX_REQUIRE(p.r + p.g == 3, "paper equations (3)/(4) assume r+g == 3");
+  const int N = p.total_nodes();
+  const double all = static_cast<double>(binomial(N, 4));
+  if (p.structure == core::Structure::Uneven) {
+    return 1.0 - static_cast<double>(binomial(p.k + 3, 4)) / all;
+  }
+  double bad = 0;
+  for (int i = 0; i <= p.g; ++i) {
+    bad += static_cast<double>(binomial(p.k + p.r, 4 - i)) *
+           static_cast<double>(binomial(p.g, i));
+  }
+  return 1.0 - static_cast<double>(p.h) * bad / all;
+}
+
+namespace {
+
+// Smallest block size usable by the codec (plans never touch data, but the
+// constructor validates geometry).
+std::size_t probe_block(const core::ApprParams& p) {
+  return static_cast<std::size_t>(p.h) * 8;
+}
+
+}  // namespace
+
+Reliability exhaustive_reliability(const core::ApprParams& p, int f) {
+  p.validate();
+  core::ApproximateCode code(p, probe_block(p));
+  Reliability out;
+  std::uint64_t ok_u = 0;
+  std::uint64_t ok_i = 0;
+  codes::for_each_subset(code.total_nodes(), f, [&](const std::vector<int>& erased) {
+    const auto report = code.plan_repair(erased);
+    ++out.patterns;
+    if (report.unimportant_data_bytes_lost == 0) ++ok_u;
+    if (report.all_important_recovered) ++ok_i;
+    return true;
+  });
+  out.p_unimportant = static_cast<double>(ok_u) / static_cast<double>(out.patterns);
+  out.p_important = static_cast<double>(ok_i) / static_cast<double>(out.patterns);
+  return out;
+}
+
+Reliability monte_carlo_reliability(const core::ApprParams& p, int f,
+                                    std::uint64_t samples, std::uint64_t seed) {
+  p.validate();
+  APPROX_REQUIRE(samples > 0, "need at least one sample");
+  core::ApproximateCode code(p, probe_block(p));
+  const int N = code.total_nodes();
+  APPROX_REQUIRE(f <= N, "more failures than nodes");
+  Rng rng(seed);
+  Reliability out;
+  std::uint64_t ok_u = 0;
+  std::uint64_t ok_i = 0;
+  std::vector<int> erased;
+  for (std::uint64_t s = 0; s < samples; ++s) {
+    // Floyd's algorithm for a uniform f-subset of [0, N).
+    std::set<int> chosen;
+    for (int j = N - f; j < N; ++j) {
+      const int t = static_cast<int>(rng.below(static_cast<std::uint64_t>(j) + 1));
+      chosen.insert(chosen.count(t) ? j : t);
+    }
+    erased.assign(chosen.begin(), chosen.end());
+    const auto report = code.plan_repair(erased);
+    ++out.patterns;
+    if (report.unimportant_data_bytes_lost == 0) ++ok_u;
+    if (report.all_important_recovered) ++ok_i;
+  }
+  out.p_unimportant = static_cast<double>(ok_u) / static_cast<double>(out.patterns);
+  out.p_important = static_cast<double>(ok_i) / static_cast<double>(out.patterns);
+  return out;
+}
+
+}  // namespace approx::analysis

@@ -1,0 +1,46 @@
+// Reliability analysis (paper §3.4, equations 1-4).
+//
+// P_U: probability that *unimportant* data survives a failure pattern that
+//      just exceeds the local tolerance (f = r+1).
+// P_I: probability that *important* data survives a pattern that just
+//      exceeds the global tolerance (f = r+g+1, i.e. 4 in 3DFT settings).
+//
+// The paper's closed forms count the dominant loss mode (all failures
+// falling inside one local stripe).  Alongside them, this module computes
+// the *exact* probabilities by enumerating (or sampling) failure patterns
+// and asking the real codec for decodability, which both validates the
+// formulas and quantifies their approximation error.
+#pragma once
+
+#include <cstdint>
+
+#include "core/appr_params.h"
+
+namespace approx::analysis {
+
+// C(n, k) in exact integer arithmetic (n <= 200, k <= 8 stays in range).
+unsigned long long binomial(int n, int k);
+
+// Paper equations (1)/(2): expectation that unimportant data is recoverable
+// under f = r+1 failures.
+double paper_p_u(const core::ApprParams& p);
+
+// Paper equations (3)/(4): expectation that important data is recoverable
+// under f = r+g+1 failures.  Requires r+g == 3 (the paper's 3DFT setting).
+double paper_p_i(const core::ApprParams& p);
+
+struct Reliability {
+  double p_unimportant = 0;  // fraction of patterns with zero unimportant loss
+  double p_important = 0;    // fraction of patterns with zero important loss
+  std::uint64_t patterns = 0;
+};
+
+// Exact probabilities by exhaustive enumeration of all C(N, f) patterns,
+// asking the codec for each.  Intended for N small enough to enumerate.
+Reliability exhaustive_reliability(const core::ApprParams& p, int f);
+
+// Sampled estimate for larger N.
+Reliability monte_carlo_reliability(const core::ApprParams& p, int f,
+                                    std::uint64_t samples, std::uint64_t seed);
+
+}  // namespace approx::analysis

@@ -1,0 +1,33 @@
+// Cluster model parameters, mirroring the paper's testbed (Table 4):
+// DELL R730 servers, 10 Gbps NICs, 8 TB HDDs, 1 GB of data per node,
+// Hadoop HDFS 3.0.3 with one NameNode and h DataNodes.
+#pragma once
+
+#include <cstddef>
+
+namespace approx::cluster {
+
+struct ClusterConfig {
+  // HDD sequential bandwidths + average positioning latency.
+  double disk_read_bw = 160.0e6;   // bytes/s
+  double disk_write_bw = 140.0e6;  // bytes/s
+  double disk_latency = 0.008;     // s
+
+  // 10 Gbps NIC, full duplex (separate in/out ports in the model).
+  double nic_bw = 1.25e9;     // bytes/s
+  double nic_latency = 2e-4;  // s
+
+  // Coding throughput of the rebuilder CPU (bytes of source data processed
+  // per second).  Benchmarks calibrate this from the measured codec speed
+  // of the machine they run on.
+  double coding_bw = 1.0e9;
+
+  // Volume stored per node (paper: "the size of each node is 1GB").
+  std::size_t node_capacity = std::size_t{1} << 30;
+
+  // Recovery work is pipelined in units of this many bytes per failed
+  // node (HDFS reconstruction granularity).
+  std::size_t task_bytes = std::size_t{16} << 20;
+};
+
+}  // namespace approx::cluster

@@ -1,0 +1,136 @@
+#include "cluster/deployment.h"
+
+#include <map>
+#include <set>
+
+#include "common/error.h"
+
+namespace approx::cluster {
+
+Deployment::Deployment(StripePlacement placement, std::size_t member_bytes,
+                       StripeRepairFn repair_fn)
+    : placement_(std::move(placement)),
+      member_bytes_(member_bytes),
+      repair_fn_(std::move(repair_fn)) {
+  APPROX_REQUIRE(member_bytes_ > 0, "member volume must be positive");
+  APPROX_REQUIRE(static_cast<bool>(repair_fn_), "deployment needs a repair fn");
+}
+
+Deployment::NodeFailureWorkload Deployment::node_failure_workload(
+    std::span<const int> failed_nodes) const {
+  std::set<int> failed(failed_nodes.begin(), failed_nodes.end());
+  for (const int n : failed) {
+    APPROX_REQUIRE(n >= 0 && n < placement_.physical_nodes(),
+                   "failed node out of range");
+  }
+
+  // Failed members per stripe.
+  std::map<int, std::vector<int>> stripe_failures;
+  for (const int n : failed) {
+    for (const auto& [stripe, member] : placement_.members_on(n)) {
+      stripe_failures[stripe].push_back(member);
+    }
+  }
+
+  NodeFailureWorkload out;
+  out.workload.nodes = placement_.physical_nodes();
+  std::map<int, std::size_t> reads;
+  std::map<int, std::size_t> writes;
+  for (auto& [stripe, members] : stripe_failures) {
+    ++out.stripes_touched;
+    const auto io = repair_fn_(members);
+    if (!io.has_value()) {
+      ++out.stripes_unrecoverable;
+      continue;
+    }
+    for (const auto& [member, bytes] : io->member_reads) {
+      reads[placement_.node_of(stripe, member)] += bytes;
+    }
+    for (const auto& [member, bytes] : io->member_writes) {
+      int target = placement_.node_of(stripe, member);
+      if (std::find(failed.begin(), failed.end(), target) != failed.end() &&
+          placement_.policy() != PlacementPolicy::Clustered) {
+        // Spare-capacity declustering: re-place the rebuilt member on a
+        // healthy pool node instead of waiting for a replacement disk, so
+        // rebuild writes parallelize like rebuild reads.
+        const int pool = placement_.physical_nodes();
+        target = (target + 1 + stripe) % pool;
+        while (failed.count(target) != 0) target = (target + 1) % pool;
+      }
+      writes[target] += bytes;
+    }
+    out.workload.compute_bytes += io->compute_bytes;
+  }
+  for (const auto& [node, bytes] : reads) {
+    out.workload.reads.emplace_back(node, bytes);
+  }
+  for (const auto& [node, bytes] : writes) {
+    out.workload.writes.emplace_back(node, bytes);
+  }
+  return out;
+}
+
+StripeRepairFn base_code_stripe_fn(std::shared_ptr<const codes::LinearCode> code,
+                                   std::size_t member_bytes) {
+  APPROX_REQUIRE(code != nullptr, "null code");
+  return [code, member_bytes](const std::vector<int>& failed)
+             -> std::optional<StripeIo> {
+    auto plan = code->plan_repair(failed);
+    if (plan == nullptr) return std::nullopt;
+    const double rows = static_cast<double>(code->rows());
+
+    std::map<int, std::set<int>> elems;
+    std::size_t source_terms = 0;
+    for (const auto& target : plan->targets) {
+      source_terms += target.sources.size();
+      for (const auto& src : target.sources) {
+        elems[src.elem.node].insert(src.elem.row);
+      }
+    }
+    StripeIo io;
+    for (const auto& [node, rows_read] : elems) {
+      // References to rebuilt elements are rebuilder-local, not reads.
+      if (std::find(failed.begin(), failed.end(), node) != failed.end()) continue;
+      io.member_reads.emplace_back(
+          node, static_cast<std::size_t>(static_cast<double>(rows_read.size()) /
+                                         rows * static_cast<double>(member_bytes)));
+    }
+    for (const int f : plan->erased) io.member_writes.emplace_back(f, member_bytes);
+    io.compute_bytes = static_cast<std::size_t>(
+        static_cast<double>(source_terms) / rows * static_cast<double>(member_bytes));
+    return io;
+  };
+}
+
+StripeRepairFn appr_code_stripe_fn(std::shared_ptr<const core::ApproximateCode> code,
+                                   std::size_t member_bytes) {
+  APPROX_REQUIRE(code != nullptr, "null code");
+  return [code, member_bytes](const std::vector<int>& failed)
+             -> std::optional<StripeIo> {
+    const auto report = code->plan_repair(failed);
+    const double chunk_node_bytes = static_cast<double>(code->node_bytes());
+    const double scale = static_cast<double>(member_bytes) / chunk_node_bytes;
+    StripeIo io;
+    bool any = false;
+    for (int n = 0; n < code->total_nodes(); ++n) {
+      const auto r = report.bytes_read_per_node[static_cast<std::size_t>(n)];
+      if (r > 0) {
+        io.member_reads.emplace_back(
+            n, static_cast<std::size_t>(static_cast<double>(r) * scale));
+        any = true;
+      }
+      const auto w = report.bytes_written_per_node[static_cast<std::size_t>(n)];
+      if (w > 0) {
+        io.member_writes.emplace_back(
+            n, static_cast<std::size_t>(static_cast<double>(w) * scale));
+        any = true;
+      }
+    }
+    io.compute_bytes = static_cast<std::size_t>(
+        static_cast<double>(report.compute_bytes) * scale);
+    if (!any && !report.fully_recovered) return std::nullopt;
+    return io;
+  };
+}
+
+}  // namespace approx::cluster

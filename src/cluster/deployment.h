@@ -1,0 +1,64 @@
+// Deployment: many stripes placed over a physical pool.
+//
+// Aggregates per-stripe repair plans into a cluster-level recovery
+// workload under a placement policy.  This is where declustered placement
+// earns its keep: a failed node's stripes have their surviving members
+// scattered across the whole pool, so rebuild reads parallelize instead of
+// hammering width-1 fixed disks.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "cluster/placement.h"
+#include "cluster/recovery.h"
+#include "codes/linear_code.h"
+#include "core/approximate_code.h"
+
+namespace approx::cluster {
+
+// Per-stripe repair I/O in *member* coordinates, in bytes of that stripe's
+// per-member volume.
+struct StripeIo {
+  std::vector<std::pair<int, std::size_t>> member_reads;
+  std::vector<std::pair<int, std::size_t>> member_writes;
+  std::size_t compute_bytes = 0;
+};
+
+// Computes the repair I/O of one stripe given its failed members, or
+// nullopt when (part of) the stripe is unrecoverable and skipped.
+using StripeRepairFn =
+    std::function<std::optional<StripeIo>(const std::vector<int>& failed_members)>;
+
+class Deployment {
+ public:
+  // `member_bytes`: stored bytes per stripe member (all stripes equal).
+  Deployment(StripePlacement placement, std::size_t member_bytes,
+             StripeRepairFn repair_fn);
+
+  const StripePlacement& placement() const noexcept { return placement_; }
+
+  // Total recovery workload for a set of failed physical nodes.
+  // Unrecoverable stripes contribute nothing (their loss is reported via
+  // lost_stripes).
+  struct NodeFailureWorkload {
+    RecoveryWorkload workload;
+    int stripes_touched = 0;
+    int stripes_unrecoverable = 0;
+  };
+  NodeFailureWorkload node_failure_workload(std::span<const int> failed_nodes) const;
+
+ private:
+  StripePlacement placement_;
+  std::size_t member_bytes_;
+  StripeRepairFn repair_fn_;
+};
+
+// StripeRepairFn adapters for the two codec layers.
+StripeRepairFn base_code_stripe_fn(std::shared_ptr<const codes::LinearCode> code,
+                                   std::size_t member_bytes);
+StripeRepairFn appr_code_stripe_fn(std::shared_ptr<const core::ApproximateCode> code,
+                                   std::size_t member_bytes);
+
+}  // namespace approx::cluster

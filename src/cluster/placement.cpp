@@ -1,0 +1,117 @@
+#include "cluster/placement.h"
+
+#include <cstdint>
+#include <numeric>
+
+#include "codes/primes.h"
+
+namespace approx::cluster {
+
+const char* placement_name(PlacementPolicy p) {
+  switch (p) {
+    case PlacementPolicy::Clustered:
+      return "clustered";
+    case PlacementPolicy::Declustered:
+      return "declustered";
+    case PlacementPolicy::RackAware:
+      return "rack-aware";
+  }
+  return "?";
+}
+
+StripePlacement::StripePlacement(PlacementPolicy policy, int physical_nodes,
+                                 int width, int stripes, int racks)
+    : policy_(policy),
+      physical_nodes_(physical_nodes),
+      width_(width),
+      stripes_(stripes),
+      racks_(racks) {
+  APPROX_REQUIRE(physical_nodes >= 1 && width >= 1 && stripes >= 1 && racks >= 1,
+                 "placement dimensions must be positive");
+  APPROX_REQUIRE(width <= physical_nodes,
+                 "stripe width exceeds the physical pool");
+  if (policy == PlacementPolicy::Clustered) {
+    APPROX_REQUIRE(width == physical_nodes,
+                   "clustered placement needs pool size == stripe width");
+  }
+  if (policy == PlacementPolicy::RackAware) {
+    APPROX_REQUIRE(racks >= width,
+                   "rack-aware placement needs at least `width` racks");
+    APPROX_REQUIRE(racks <= physical_nodes, "more racks than nodes");
+  }
+
+  table_.resize(static_cast<std::size_t>(stripes) * static_cast<std::size_t>(width));
+  // A rotation step coprime with the pool size visits all nodes evenly.
+  const int step = codes::next_prime(std::max(2, physical_nodes / 3 + 1));
+
+  for (int s = 0; s < stripes; ++s) {
+    if (policy == PlacementPolicy::Clustered) {
+      for (int m = 0; m < width; ++m) {
+        table_[static_cast<std::size_t>(s) * static_cast<std::size_t>(width) +
+               static_cast<std::size_t>(m)] = m;
+      }
+      continue;
+    }
+    if (policy == PlacementPolicy::Declustered) {
+      const int base = (s * step) % physical_nodes;
+      for (int m = 0; m < width; ++m) {
+        table_[static_cast<std::size_t>(s) * static_cast<std::size_t>(width) +
+               static_cast<std::size_t>(m)] = (base + m) % physical_nodes;
+      }
+      continue;
+    }
+    // RackAware: walk racks round-robin starting at a rotating rack; within
+    // each rack pick a node by a decorrelating hash (linear forms alias
+    // with the rack index and create rebuild hotspots).
+    const int nodes_per_rack_min = physical_nodes / racks_;
+    const auto mix = [](std::uint64_t x) {
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+      return x ^ (x >> 31);
+    };
+    for (int m = 0; m < width; ++m) {
+      const int rack = (s + m) % racks_;
+      // Nodes in `rack` are {rack, rack + racks, rack + 2*racks, ...}.
+      const int in_rack_count =
+          nodes_per_rack_min + (rack < physical_nodes % racks_ ? 1 : 0);
+      APPROX_REQUIRE(in_rack_count > 0, "empty rack in topology");
+      const int pick = static_cast<int>(
+          mix(static_cast<std::uint64_t>(s) * 131 + static_cast<std::uint64_t>(m)) %
+          static_cast<std::uint64_t>(in_rack_count));
+      table_[static_cast<std::size_t>(s) * static_cast<std::size_t>(width) +
+             static_cast<std::size_t>(m)] = rack + pick * racks_;
+    }
+  }
+}
+
+int StripePlacement::node_of(int stripe, int member) const {
+  APPROX_REQUIRE(stripe >= 0 && stripe < stripes_, "stripe out of range");
+  APPROX_REQUIRE(member >= 0 && member < width_, "member out of range");
+  return table_[static_cast<std::size_t>(stripe) * static_cast<std::size_t>(width_) +
+                static_cast<std::size_t>(member)];
+}
+
+std::vector<std::pair<int, int>> StripePlacement::members_on(int node) const {
+  APPROX_REQUIRE(node >= 0 && node < physical_nodes_, "node out of range");
+  std::vector<std::pair<int, int>> out;
+  for (int s = 0; s < stripes_; ++s) {
+    for (int m = 0; m < width_; ++m) {
+      if (node_of(s, m) == node) out.emplace_back(s, m);
+    }
+  }
+  return out;
+}
+
+bool StripePlacement::rack_disjoint() const {
+  for (int s = 0; s < stripes_; ++s) {
+    std::vector<bool> seen(static_cast<std::size_t>(racks_), false);
+    for (int m = 0; m < width_; ++m) {
+      const int rack = rack_of(node_of(s, m));
+      if (seen[static_cast<std::size_t>(rack)]) return false;
+      seen[static_cast<std::size_t>(rack)] = true;
+    }
+  }
+  return true;
+}
+
+}  // namespace approx::cluster

@@ -1,0 +1,60 @@
+// Stripe-to-node placement policies.
+//
+// The paper's testbed maps one erasure-code stripe onto one set of
+// DataNodes ("clustered" placement).  Real HDFS/Ceph deployments stripe
+// across a larger pool so that rebuilding one failed node reads from many
+// survivors in parallel ("declustered"), and spread each stripe across
+// failure domains ("rack-aware").  This module models all three; the
+// deployment layer (deployment.h) aggregates per-stripe repair plans into
+// cluster-level recovery workloads under a chosen placement.
+#pragma once
+
+#include <vector>
+
+#include "common/error.h"
+
+namespace approx::cluster {
+
+enum class PlacementPolicy {
+  Clustered,    // stripe member m always lives on physical node m
+  Declustered,  // stripes rotate over the whole pool
+  RackAware,    // declustered + members of one stripe on distinct racks
+};
+
+const char* placement_name(PlacementPolicy p);
+
+// Maps (stripe, member) -> physical node for `stripes` stripes of
+// `width` members over `physical_nodes` nodes in `racks` racks
+// (nodes are assigned to racks round-robin: rack = node % racks).
+class StripePlacement {
+ public:
+  StripePlacement(PlacementPolicy policy, int physical_nodes, int width,
+                  int stripes, int racks = 1);
+
+  int physical_nodes() const noexcept { return physical_nodes_; }
+  int width() const noexcept { return width_; }
+  int stripes() const noexcept { return stripes_; }
+  int racks() const noexcept { return racks_; }
+  PlacementPolicy policy() const noexcept { return policy_; }
+
+  int node_of(int stripe, int member) const;
+  int rack_of(int node) const { return node % racks_; }
+
+  // All (stripe, member) pairs stored on a physical node.
+  std::vector<std::pair<int, int>> members_on(int node) const;
+
+  // True when no stripe places two members in the same rack (vacuously
+  // true for racks == 1 only if width == 1).
+  bool rack_disjoint() const;
+
+ private:
+  PlacementPolicy policy_;
+  int physical_nodes_;
+  int width_;
+  int stripes_;
+  int racks_;
+  // table_[stripe * width + member] = physical node
+  std::vector<int> table_;
+};
+
+}  // namespace approx::cluster

@@ -1,0 +1,217 @@
+#include "cluster/read_service.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "cluster/sim.h"
+#include "common/error.h"
+#include "common/prng.h"
+
+namespace approx::cluster {
+
+namespace {
+
+// Dependency-closed source set for rebuilding every element of `node`
+// from a repair plan: unique surviving (node, rows-touched) counts.
+std::vector<std::pair<int, double>> closure_sources(const codes::LinearCode& code,
+                                                    const codes::RepairPlan& plan,
+                                                    int node) {
+  std::vector<bool> erased(static_cast<std::size_t>(code.total_nodes()), false);
+  for (const int e : plan.erased) erased[static_cast<std::size_t>(e)] = true;
+
+  // Mark targets needed for this node, walking dependencies backwards.
+  std::vector<bool> needed(plan.targets.size(), false);
+  for (std::size_t t = 0; t < plan.targets.size(); ++t) {
+    if (plan.targets[t].elem.node == node) needed[t] = true;
+  }
+  for (int t = static_cast<int>(plan.targets.size()) - 1; t >= 0; --t) {
+    if (!needed[static_cast<std::size_t>(t)]) continue;
+    for (const auto& src : plan.targets[static_cast<std::size_t>(t)].sources) {
+      if (!erased[static_cast<std::size_t>(src.elem.node)]) continue;
+      for (int d = 0; d < t; ++d) {
+        if (plan.targets[static_cast<std::size_t>(d)].elem == src.elem) {
+          needed[static_cast<std::size_t>(d)] = true;
+        }
+      }
+    }
+  }
+
+  std::map<int, std::set<int>> rows_per_node;
+  for (std::size_t t = 0; t < plan.targets.size(); ++t) {
+    if (!needed[t]) continue;
+    for (const auto& src : plan.targets[t].sources) {
+      if (erased[static_cast<std::size_t>(src.elem.node)]) continue;
+      rows_per_node[src.elem.node].insert(src.elem.row);
+    }
+  }
+  std::vector<std::pair<int, double>> out;
+  for (const auto& [n, rows] : rows_per_node) {
+    out.emplace_back(n, static_cast<double>(rows.size()) /
+                            static_cast<double>(code.rows()));
+  }
+  return out;
+}
+
+struct NodePorts {
+  explicit NodePorts(const ClusterConfig& c)
+      : disk(c.disk_read_bw, c.disk_latency), nic_out(c.nic_bw, c.nic_latency) {}
+  FifoResource disk;
+  FifoResource nic_out;
+};
+
+}  // namespace
+
+ReadServiceStats simulate_read_service(std::span<const ReadPath> data_node_paths,
+                                       int total_nodes,
+                                       const ReadRequestModel& model,
+                                       const ClusterConfig& config) {
+  APPROX_REQUIRE(!data_node_paths.empty(), "need at least one data node");
+  APPROX_REQUIRE(model.requests > 0 && model.arrival_rate > 0,
+                 "request model must be positive");
+
+  auto sim = std::make_shared<Simulation>();
+  std::vector<std::unique_ptr<NodePorts>> nodes;
+  for (int i = 0; i < total_nodes; ++i) {
+    nodes.push_back(std::make_unique<NodePorts>(config));
+  }
+  FifoResource cpu(config.coding_bw, 0.0);
+
+  Rng rng(model.seed);
+  std::vector<double> latencies;
+  latencies.reserve(static_cast<std::size_t>(model.requests));
+  int unavailable = 0;
+
+  double arrival = 0;
+  for (int r = 0; r < model.requests; ++r) {
+    arrival += -std::log(1.0 - rng.uniform()) / model.arrival_rate;
+    // Pointer into the caller's span: stable across the whole simulation.
+    const ReadPath* path = &data_node_paths[rng.below(data_node_paths.size())];
+    if (!path->available) {
+      ++unavailable;
+      continue;
+    }
+    const double t0 = arrival;
+    auto pending = std::make_shared<int>(static_cast<int>(path->sources.size()));
+    const double compute =
+        path->compute_per_byte * static_cast<double>(model.request_bytes);
+
+    sim->at(arrival, [&, pending, t0, compute, path]() {
+      for (const auto& [src, mult] : path->sources) {
+        const auto bytes = static_cast<std::size_t>(
+            mult * static_cast<double>(model.request_bytes));
+        auto& ports = *nodes[static_cast<std::size_t>(src)];
+        ports.disk.submit(*sim, bytes, [&, pending, t0, compute, bytes, src]() {
+          nodes[static_cast<std::size_t>(src)]->nic_out.submit(
+              *sim, bytes, [&, pending, t0, compute]() {
+                if (--*pending != 0) return;
+                // All shares arrived: decode (if any), then respond.
+                cpu.submit(*sim, static_cast<std::size_t>(compute),
+                           [&, t0]() { latencies.push_back(sim->now() - t0); });
+              });
+        });
+      }
+    });
+  }
+  sim->run();
+
+  ReadServiceStats stats;
+  stats.served = static_cast<int>(latencies.size());
+  stats.unavailable = unavailable;
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    double sum = 0;
+    for (const double l : latencies) sum += l;
+    stats.mean_ms = sum / static_cast<double>(latencies.size()) * 1e3;
+    stats.p50_ms = latencies[latencies.size() / 2] * 1e3;
+    stats.p99_ms = latencies[latencies.size() * 99 / 100] * 1e3;
+  }
+  return stats;
+}
+
+std::vector<ReadPath> base_code_read_paths(const codes::LinearCode& code,
+                                           std::span<const int> erased) {
+  std::vector<bool> is_erased(static_cast<std::size_t>(code.total_nodes()), false);
+  for (const int e : erased) is_erased[static_cast<std::size_t>(e)] = true;
+  auto plan = code.plan_repair(erased);
+
+  std::vector<ReadPath> paths;
+  for (int d = 0; d < code.data_nodes(); ++d) {
+    ReadPath path;
+    if (!is_erased[static_cast<std::size_t>(d)]) {
+      path.sources = {{d, 1.0}};
+    } else if (plan == nullptr) {
+      path.available = false;
+    } else {
+      path.sources = closure_sources(code, *plan, d);
+      for (const auto& [n, mult] : path.sources) {
+        (void)n;
+        path.compute_per_byte += mult;
+      }
+    }
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+std::vector<ReadPath> appr_read_paths(const core::ApproximateCode& code,
+                                      std::span<const int> erased) {
+  const auto& p = code.params();
+  std::vector<bool> is_erased(static_cast<std::size_t>(code.total_nodes()), false);
+  for (const int e : erased) is_erased[static_cast<std::size_t>(e)] = true;
+
+  // Virtual ids of failed globals.
+  std::vector<int> virtual_globals;
+  for (int t = 0; t < p.g; ++t) {
+    if (is_erased[static_cast<std::size_t>(core::global_parity_node_id(p, t))]) {
+      virtual_globals.push_back(p.nodes_per_stripe() + t);
+    }
+  }
+
+  std::vector<ReadPath> paths;
+  for (int node = 0; node < code.total_nodes(); ++node) {
+    const auto role = core::node_role(p, node);
+    if (role.kind != core::NodeRole::Kind::Data) continue;
+    ReadPath path;
+    if (!is_erased[static_cast<std::size_t>(node)]) {
+      path.sources = {{node, 1.0}};
+      paths.push_back(std::move(path));
+      continue;
+    }
+    // Failed members of this stripe in local coordinates.
+    const int base_id = role.stripe * p.nodes_per_stripe();
+    std::vector<int> local_ids;
+    for (int m = 0; m < p.nodes_per_stripe(); ++m) {
+      if (is_erased[static_cast<std::size_t>(base_id + m)]) local_ids.push_back(m);
+    }
+    auto to_real = [&](int virtual_node) {
+      return virtual_node < p.nodes_per_stripe()
+                 ? base_id + virtual_node
+                 : core::global_parity_node_id(p, virtual_node - p.nodes_per_stripe());
+    };
+    auto local_plan = code.local_code().plan_repair(local_ids);
+    std::shared_ptr<const codes::RepairPlan> plan = local_plan;
+    const codes::LinearCode* solver = &code.local_code();
+    if (plan == nullptr) {
+      std::vector<int> verased = local_ids;
+      verased.insert(verased.end(), virtual_globals.begin(), virtual_globals.end());
+      plan = code.base_code().plan_repair(verased);
+      solver = &code.base_code();
+    }
+    if (plan == nullptr) {
+      path.available = false;
+    } else {
+      const auto sources = closure_sources(*solver, *plan, role.index);
+      for (const auto& [virtual_node, mult] : sources) {
+        path.sources.emplace_back(to_real(virtual_node), mult);
+        path.compute_per_byte += mult;
+      }
+    }
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+}  // namespace approx::cluster

@@ -1,0 +1,62 @@
+// Degraded-read service simulation.
+//
+// Recovery time (Fig. 13) measures the background rebuild; clients feel
+// failures through *read latency*: a request landing on a failed node must
+// gather k-wide source reads and decode before responding.  This module
+// plays an open-loop Poisson read workload against the event-driven
+// cluster model and reports the latency distribution, for healthy and
+// degraded states of base codes and Approximate Codes.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cluster/config.h"
+#include "codes/linear_code.h"
+#include "core/approximate_code.h"
+
+namespace approx::cluster {
+
+// How a request addressed to one logical data node is served.
+struct ReadPath {
+  bool available = true;
+  // (source node, bytes read there per requested byte).  A healthy node
+  // serves itself: {(self, 1.0)}.
+  std::vector<std::pair<int, double>> sources;
+  // Decode work per requested byte (0 for direct reads).
+  double compute_per_byte = 0;
+};
+
+struct ReadRequestModel {
+  double arrival_rate = 100.0;           // requests per second (Poisson)
+  std::size_t request_bytes = 1 << 20;   // 1 MiB reads
+  int requests = 1000;
+  std::uint64_t seed = 1;
+};
+
+struct ReadServiceStats {
+  double mean_ms = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  int served = 0;
+  int unavailable = 0;
+};
+
+// Simulate the workload: each request picks a data node uniformly and is
+// served along its ReadPath.  Deterministic per seed.
+ReadServiceStats simulate_read_service(std::span<const ReadPath> data_node_paths,
+                                       int total_nodes,
+                                       const ReadRequestModel& model,
+                                       const ClusterConfig& config);
+
+// Read paths of a flat base-code deployment with `erased` nodes down
+// (decode sources follow the exact repair schedules, dependency closure
+// included).
+std::vector<ReadPath> base_code_read_paths(const codes::LinearCode& code,
+                                           std::span<const int> erased);
+
+// Read paths of the *important tier* of an Approximate Code deployment.
+std::vector<ReadPath> appr_read_paths(const core::ApproximateCode& code,
+                                      std::span<const int> erased);
+
+}  // namespace approx::cluster

@@ -1,0 +1,185 @@
+#include "cluster/recovery.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "cluster/sim.h"
+#include "common/error.h"
+
+namespace approx::cluster {
+
+std::size_t RecoveryWorkload::total_read() const {
+  std::size_t n = 0;
+  for (const auto& [node, bytes] : reads) n += bytes;
+  return n;
+}
+
+std::size_t RecoveryWorkload::total_written() const {
+  std::size_t n = 0;
+  for (const auto& [node, bytes] : writes) n += bytes;
+  return n;
+}
+
+namespace {
+
+// Split `total` into `parts` chunks differing by at most one byte.
+std::size_t chunk_of(std::size_t total, std::size_t parts, std::size_t i) {
+  const std::size_t base = total / parts;
+  const std::size_t extra = total % parts;
+  return base + (i < extra ? 1 : 0);
+}
+
+struct NodeResources {
+  NodeResources(const ClusterConfig& c)
+      : disk_read(c.disk_read_bw, c.disk_latency),
+        disk_write(c.disk_write_bw, c.disk_latency),
+        nic_in(c.nic_bw, c.nic_latency),
+        nic_out(c.nic_bw, c.nic_latency) {}
+  FifoResource disk_read;
+  FifoResource disk_write;
+  FifoResource nic_in;
+  FifoResource nic_out;
+};
+
+}  // namespace
+
+RecoveryResult simulate_recovery(const RecoveryWorkload& workload,
+                                 const ClusterConfig& config) {
+  APPROX_REQUIRE(workload.nodes > 0, "workload must declare a node count");
+  for (const auto& [node, bytes] : workload.reads) {
+    APPROX_REQUIRE(node >= 0 && node < workload.nodes, "read source out of range");
+    (void)bytes;
+  }
+  for (const auto& [node, bytes] : workload.writes) {
+    APPROX_REQUIRE(node >= 0 && node < workload.nodes, "write target out of range");
+    (void)bytes;
+  }
+
+  auto sim = std::make_shared<Simulation>();
+  std::vector<std::unique_ptr<NodeResources>> nodes;
+  nodes.reserve(static_cast<std::size_t>(workload.nodes));
+  for (int i = 0; i < workload.nodes; ++i) {
+    nodes.push_back(std::make_unique<NodeResources>(config));
+  }
+  FifoResource cpu(config.coding_bw, 0.0);
+
+  if (workload.reads.empty() && workload.writes.empty()) {
+    return {};
+  }
+
+  // The aggregator is the first replacement node (or node 0 for pure-read
+  // workloads): it collects source data, decodes, and distributes.
+  const int agg = workload.writes.empty() ? 0 : workload.writes.front().first;
+
+  // Task count: pipeline granularity over the largest per-node volume.
+  std::size_t largest = 0;
+  for (const auto& [node, bytes] : workload.reads) largest = std::max(largest, bytes);
+  for (const auto& [node, bytes] : workload.writes) largest = std::max(largest, bytes);
+  const std::size_t tasks =
+      std::max<std::size_t>(1, (largest + config.task_bytes - 1) / config.task_bytes);
+
+  double completion = 0;
+
+  for (std::size_t t = 0; t < tasks; ++t) {
+    // Shared per-task state: barrier across source arrivals, then fan-out.
+    struct TaskState {
+      std::size_t pending_sources = 0;
+      std::size_t pending_writes = 0;
+    };
+    auto state = std::make_shared<TaskState>();
+
+    const std::size_t compute_chunk = chunk_of(workload.compute_bytes, tasks, t);
+
+    // This task's share of every read and write.
+    std::vector<std::pair<int, std::size_t>> task_reads;
+    for (const auto& [node, bytes] : workload.reads) {
+      const std::size_t chunk = chunk_of(bytes, tasks, t);
+      if (chunk > 0) task_reads.emplace_back(node, chunk);
+    }
+    std::vector<std::pair<int, std::size_t>> task_writes;
+    for (const auto& [node, bytes] : workload.writes) {
+      const std::size_t chunk = chunk_of(bytes, tasks, t);
+      if (chunk > 0) task_writes.emplace_back(node, chunk);
+    }
+
+    state->pending_sources = task_reads.size();
+    state->pending_writes = task_writes.size();
+
+    auto do_writes = [sim, &nodes, &completion, state, task_writes, agg]() {
+      if (task_writes.empty()) {
+        completion = std::max(completion, sim->now());
+        return;
+      }
+      for (const auto& [target, bytes] : task_writes) {
+        auto write_done = [sim, &completion]() {
+          completion = std::max(completion, sim->now());
+        };
+        if (target == agg) {
+          nodes[static_cast<std::size_t>(target)]->disk_write.submit(*sim, bytes,
+                                                                     write_done);
+        } else {
+          const int tgt = target;
+          const std::size_t b = bytes;
+          nodes[static_cast<std::size_t>(agg)]->nic_out.submit(
+              *sim, b, [sim, &nodes, tgt, b, write_done]() {
+                nodes[static_cast<std::size_t>(tgt)]->nic_in.submit(
+                    *sim, b, [sim, &nodes, tgt, b, write_done]() {
+                      nodes[static_cast<std::size_t>(tgt)]->disk_write.submit(
+                          *sim, b, write_done);
+                    });
+              });
+        }
+      }
+    };
+
+    auto after_sources = [sim, &cpu, &completion, state, compute_chunk, do_writes]() {
+      if (--state->pending_sources != 0) return;
+      cpu.submit(*sim, compute_chunk, [&completion, sim, do_writes]() {
+        do_writes();
+        completion = std::max(completion, sim->now());
+      });
+    };
+
+    if (task_reads.empty()) {
+      // Nothing to read (e.g. pure re-encode of cached data): go straight
+      // to compute.
+      cpu.submit(*sim, compute_chunk, [&completion, sim, do_writes]() {
+        do_writes();
+        completion = std::max(completion, sim->now());
+      });
+    } else {
+      for (const auto& [src, bytes] : task_reads) {
+        const int s = src;
+        const std::size_t b = bytes;
+        nodes[static_cast<std::size_t>(s)]->disk_read.submit(
+            *sim, b, [sim, &nodes, s, b, agg, after_sources]() {
+              if (s == agg) {
+                // Local read: no network hop.
+                after_sources();
+                return;
+              }
+              nodes[static_cast<std::size_t>(s)]->nic_out.submit(
+                  *sim, b, [sim, &nodes, b, agg, after_sources]() {
+                    nodes[static_cast<std::size_t>(agg)]->nic_in.submit(
+                        *sim, b, after_sources);
+                  });
+            });
+      }
+    }
+  }
+
+  sim->run();
+
+  RecoveryResult result;
+  result.seconds = completion;
+  for (const auto& n : nodes) {
+    result.read_seconds = std::max(result.read_seconds, n->disk_read.busy_seconds());
+    result.network_seconds = std::max(
+        result.network_seconds,
+        std::max(n->nic_in.busy_seconds(), n->nic_out.busy_seconds()));
+  }
+  result.compute_seconds = cpu.busy_seconds();
+  return result;
+}
+
+}  // namespace approx::cluster

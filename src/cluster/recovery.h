@@ -1,0 +1,45 @@
+// Recovery workloads and their simulation.
+//
+// A RecoveryWorkload is the I/O + compute footprint of rebuilding one
+// failure pattern, expressed in total bytes; builders in workload.h derive
+// it from the exact repair plans of the codecs.  The simulator plays it on
+// the event-driven cluster model: source DataNodes read and ship their
+// share over the network to an aggregating rebuilder, which decodes and
+// distributes the reconstructed node images to the replacement nodes, all
+// pipelined in HDFS-sized tasks.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "cluster/config.h"
+
+namespace approx::cluster {
+
+struct RecoveryWorkload {
+  // Bytes read from each surviving source node (node id, bytes).
+  std::vector<std::pair<int, std::size_t>> reads;
+  // Bytes of reconstructed data written to each replacement node.
+  std::vector<std::pair<int, std::size_t>> writes;
+  // Source bytes the decoder processes.
+  std::size_t compute_bytes = 0;
+  // Total node count (ids in reads/writes must be < nodes).
+  int nodes = 0;
+
+  std::size_t total_read() const;
+  std::size_t total_written() const;
+};
+
+struct RecoveryResult {
+  double seconds = 0;          // completion time of the whole recovery
+  double read_seconds = 0;     // busiest disk's total read service time
+  double network_seconds = 0;  // busiest NIC's total service time
+  double compute_seconds = 0;  // rebuilder CPU service time
+};
+
+// Simulate a recovery on the cluster model.  Deterministic.
+RecoveryResult simulate_recovery(const RecoveryWorkload& workload,
+                                 const ClusterConfig& config);
+
+}  // namespace approx::cluster

@@ -1,0 +1,90 @@
+// Discrete-event simulation kernel.
+//
+// The recovery-time experiments (paper Fig. 13) ran on an 8-node Hadoop
+// cluster; offline they run on this deterministic event-driven simulator.
+// The kernel is a plain time-ordered event queue plus FIFO resources
+// (disks, NICs, CPUs) that serialize requests with a bandwidth + latency
+// service model.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/error.h"
+
+namespace approx::cluster {
+
+class Simulation {
+ public:
+  using Callback = std::function<void()>;
+
+  double now() const noexcept { return now_; }
+
+  // Schedule cb at absolute time `when` (>= now()).
+  void at(double when, Callback cb) {
+    APPROX_REQUIRE(when >= now_, "cannot schedule into the past");
+    queue_.push(Event{when, seq_++, std::move(cb)});
+  }
+
+  // Run until the event queue drains; returns the final clock.
+  double run() {
+    while (!queue_.empty()) {
+      Event ev = queue_.top();
+      queue_.pop();
+      now_ = ev.when;
+      ev.cb();
+    }
+    return now_;
+  }
+
+ private:
+  struct Event {
+    double when;
+    std::uint64_t seq;  // FIFO tie-break for determinism
+    Callback cb;
+    bool operator<(const Event& o) const {
+      // std::priority_queue is a max-heap: invert.
+      if (when != o.when) return when > o.when;
+      return seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Event> queue_;
+  double now_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+// A FIFO server with fixed bandwidth and per-request latency: disk head,
+// NIC port or coding CPU.  Requests are serviced in submission order.
+class FifoResource {
+ public:
+  FifoResource(double bytes_per_sec, double latency_sec)
+      : bw_(bytes_per_sec), latency_(latency_sec) {
+    APPROX_REQUIRE(bytes_per_sec > 0, "resource bandwidth must be positive");
+    APPROX_REQUIRE(latency_sec >= 0, "latency must be non-negative");
+  }
+
+  // Submit `bytes` of work; done runs at the service completion time.
+  void submit(Simulation& sim, std::size_t bytes, Simulation::Callback done) {
+    const double start = std::max(sim.now(), next_free_);
+    const double finish = start + latency_ + static_cast<double>(bytes) / bw_;
+    next_free_ = finish;
+    busy_seconds_ += finish - start;
+    bytes_served_ += bytes;
+    sim.at(finish, std::move(done));
+  }
+
+  double busy_seconds() const noexcept { return busy_seconds_; }
+  std::size_t bytes_served() const noexcept { return bytes_served_; }
+
+ private:
+  double bw_;
+  double latency_;
+  double next_free_ = 0;
+  double busy_seconds_ = 0;
+  std::size_t bytes_served_ = 0;
+};
+
+}  // namespace approx::cluster

@@ -1,0 +1,75 @@
+#include "cluster/workload.h"
+
+#include <map>
+#include <set>
+
+#include "common/error.h"
+
+namespace approx::cluster {
+
+RecoveryWorkload base_code_recovery(const codes::LinearCode& code,
+                                    std::span<const int> erased,
+                                    std::size_t node_capacity) {
+  auto plan = code.plan_repair(erased);
+  APPROX_REQUIRE(plan != nullptr, "erasure pattern exceeds the code's tolerance");
+
+  const double rows = static_cast<double>(code.rows());
+
+  // Distinct source elements per node: reading element (n, r) for several
+  // targets costs one read.
+  std::map<int, std::set<int>> elems_per_node;
+  std::size_t source_terms = 0;
+  for (const auto& target : plan->targets) {
+    source_terms += target.sources.size();
+    for (const auto& src : target.sources) {
+      elems_per_node[src.elem.node].insert(src.elem.row);
+    }
+  }
+
+  RecoveryWorkload w;
+  w.nodes = code.total_nodes();
+  for (const auto& [node, elems] : elems_per_node) {
+    const double fraction = static_cast<double>(elems.size()) / rows;
+    w.reads.emplace_back(node,
+                         static_cast<std::size_t>(fraction *
+                                                  static_cast<double>(node_capacity)));
+  }
+  // Per stripe the decoder processes source_terms elements; per node byte
+  // that is source_terms / rows.
+  w.compute_bytes = static_cast<std::size_t>(
+      static_cast<double>(source_terms) / rows * static_cast<double>(node_capacity));
+  for (const int e : plan->erased) {
+    w.writes.emplace_back(e, node_capacity);
+  }
+  return w;
+}
+
+RecoveryWorkload appr_code_recovery(const core::ApproximateCode& code,
+                                    std::span<const int> erased,
+                                    std::size_t node_capacity) {
+  const auto report = code.plan_repair(erased);
+  const double chunk_node_bytes = static_cast<double>(code.node_bytes());
+  const double scale = static_cast<double>(node_capacity) / chunk_node_bytes;
+
+  RecoveryWorkload w;
+  w.nodes = code.total_nodes();
+  for (int n = 0; n < code.total_nodes(); ++n) {
+    const std::size_t read = report.bytes_read_per_node[static_cast<std::size_t>(n)];
+    if (read > 0) {
+      w.reads.emplace_back(n, static_cast<std::size_t>(static_cast<double>(read) * scale));
+    }
+  }
+  for (int n = 0; n < code.total_nodes(); ++n) {
+    const std::size_t written =
+        report.bytes_written_per_node[static_cast<std::size_t>(n)];
+    if (written > 0) {
+      w.writes.emplace_back(
+          n, static_cast<std::size_t>(static_cast<double>(written) * scale));
+    }
+  }
+  w.compute_bytes = static_cast<std::size_t>(
+      static_cast<double>(report.compute_bytes) * scale);
+  return w;
+}
+
+}  // namespace approx::cluster

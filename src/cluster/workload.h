@@ -1,0 +1,36 @@
+// Builders that turn exact codec repair plans into cluster recovery
+// workloads (total bytes read per source, decoded, written per replacement)
+// for a node storing `node_capacity` bytes.
+//
+// Scaling rule: a repair plan describes one stripe; a node holds
+// node_capacity / (rows * block) stripes, and every per-stripe quantity is
+// linear in the stripe count, so totals scale exactly.  Element-granular
+// reads are honored: if a plan touches only some rows of a source node,
+// only the corresponding fraction of that node is read (this is how LRC's
+// locality and Approximate Code's important-range repairs earn their
+// recovery-time advantage).
+#pragma once
+
+#include <span>
+
+#include "cluster/recovery.h"
+#include "codes/linear_code.h"
+#include "core/approximate_code.h"
+
+namespace approx::cluster {
+
+// Workload for repairing `erased` in a flat base code (RS/LRC/STAR/TIP).
+// Throws InvalidArgument when the pattern is unrecoverable.
+RecoveryWorkload base_code_recovery(const codes::LinearCode& code,
+                                    std::span<const int> erased,
+                                    std::size_t node_capacity);
+
+// Workload for repairing `erased` in an Approximate Code deployment.
+// Unrecoverable unimportant data simply does not appear in the workload
+// (it is not read, decoded, or written) - the source of the paper's
+// multi-failure recovery speedups.
+RecoveryWorkload appr_code_recovery(const core::ApproximateCode& code,
+                                    std::span<const int> erased,
+                                    std::size_t node_capacity);
+
+}  // namespace approx::cluster

@@ -1,0 +1,54 @@
+// XOR-based array codes: EVENODD, STAR and TIP-Code.
+//
+// All three are (p-1)-row array codes over a prime p.  Parities are pure
+// XOR chains; EVENODD/STAR adjuster symbols (S) are expanded into data
+// terms at construction, so the LinearCode representation stays strictly
+// systematic (parities depend only on data).
+//
+// Parity column order is always [horizontal, diagonal, anti-diagonal]:
+// the Approximate Code segmentation takes the first r columns as local
+// parities and the remainder as global parities, and the prefix codes are
+// themselves valid r-fault-tolerant codes (horizontal = single parity,
+// horizontal+diagonal = EVENODD for STAR).
+#pragma once
+
+#include <memory>
+
+#include "codes/linear_code.h"
+
+namespace approx::codes {
+
+// EVENODD(p): p data nodes, 2 parities (horizontal + S-adjusted diagonal),
+// p-1 rows, tolerance 2.  Requires prime p.
+std::shared_ptr<const LinearCode> make_evenodd(int p);
+
+// First `m` parity columns of STAR(p) (m in 1..3):
+//   m == 1: horizontal parity only (tolerance 1)
+//   m == 2: EVENODD (tolerance 2)
+//   m == 3: STAR (tolerance 3)
+// Requires prime p; k = p data nodes.
+std::shared_ptr<const LinearCode> make_star(int p, int m = 3);
+
+// First `m` parity columns of TIP(p) (m in 1..3); k = p-2 data nodes,
+// three *independent* parity chains (no adjuster symbols), tolerance m.
+//
+// The ICPP'19 paper does not restate the DSN'15 TIP construction; this
+// factory reconstructs it from its defining properties: per prime p it
+// selects diagonal/anti-diagonal offsets such that every parity prefix is
+// exhaustively verified to tolerate m erasures (see DESIGN.md).  Known-good
+// offsets are table-driven; unlisted primes trigger an automatic search.
+std::shared_ptr<const LinearCode> make_tip(int p, int m = 3);
+
+// RDP(p): the Row-Diagonal Parity RAID-6 code (Corbett et al., FAST'04),
+// cited in the paper's related work.  k = p-1 data columns, row parity +
+// diagonal parity (whose chains run *through* the row-parity column -
+// expanded to data terms here), p-1 rows, tolerance 2.  Requires prime p.
+std::shared_ptr<const LinearCode> make_rdp(int p);
+
+// Parameter validity for the evaluation sweeps: STAR needs prime k,
+// TIP needs prime k+2 (this reproduces the "/" cells of the paper's
+// Table 6 at k = 9 for STAR and k = 7, 13 for TIP).
+bool star_supports(int k);
+bool tip_supports(int k);
+
+}  // namespace approx::codes

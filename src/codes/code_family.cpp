@@ -1,0 +1,140 @@
+#include "codes/code_family.h"
+
+#include <map>
+#include <mutex>
+#include <tuple>
+
+#include "codes/array_codes.h"
+#include "codes/crs_code.h"
+#include "codes/lrc_code.h"
+#include "codes/primes.h"
+#include "codes/rs_code.h"
+#include "common/error.h"
+
+namespace approx::codes {
+
+std::string family_name(Family f) {
+  switch (f) {
+    case Family::RS:
+      return "RS";
+    case Family::LRC:
+      return "LRC";
+    case Family::STAR:
+      return "STAR";
+    case Family::TIP:
+      return "TIP";
+    case Family::CRS:
+      return "CRS";
+  }
+  throw InvalidArgument("unknown family");
+}
+
+bool family_supports(Family f, int k) {
+  switch (f) {
+    case Family::RS:
+    case Family::LRC:
+      return k >= 1 && k <= 250;
+    case Family::STAR:
+      return star_supports(k);
+    case Family::TIP:
+      return tip_supports(k);
+    case Family::CRS:
+      return k >= 1 && k <= 120;
+  }
+  return false;
+}
+
+int family_rows(Family f, int k) {
+  switch (f) {
+    case Family::RS:
+    case Family::LRC:
+      return 1;
+    case Family::STAR:
+      return k - 1;
+    case Family::TIP:
+      return k + 1;  // p - 1 with p = k + 2
+    case Family::CRS:
+      return kCrsWordBits;
+  }
+  throw InvalidArgument("unknown family");
+}
+
+namespace {
+
+// Prefix slice: a code consisting of the first m parity nodes of `full`.
+// Slicing (rather than re-running per-m factories) guarantees the prefix
+// property the Approximate Code segmentation depends on even for searched
+// constructions whose coefficients could differ between runs.
+std::shared_ptr<const LinearCode> slice_prefix(Family f, int k,
+                                               const LinearCode& full, int m) {
+  if (m == full.parity_nodes()) return nullptr;  // caller uses `full` itself
+  std::vector<std::vector<LinearCode::Term>> parity;
+  parity.reserve(static_cast<std::size_t>(m) * static_cast<std::size_t>(full.rows()));
+  for (int p = full.data_nodes(); p < full.data_nodes() + m; ++p) {
+    for (int row = 0; row < full.rows(); ++row) {
+      parity.push_back(full.parity_terms(p, row));
+    }
+  }
+  return std::make_shared<LinearCode>(
+      family_name(f) + "(" + std::to_string(k) + ",m=" + std::to_string(m) + ")", k,
+      m, full.rows(), std::move(parity), m);
+}
+
+std::shared_ptr<const LinearCode> make_full(Family f, int k) {
+  switch (f) {
+    case Family::RS:
+      return make_rs(k, 3);
+    case Family::LRC:
+      return make_mds_with_xor_row(k, 3);
+    case Family::STAR:
+      return make_star(k, 3);
+    case Family::TIP:
+      return make_tip(k + 2, 3);
+    case Family::CRS:
+      return make_cauchy_rs(k, 3);
+  }
+  throw InvalidArgument("unknown family");
+}
+
+}  // namespace
+
+std::shared_ptr<const LinearCode> family_make(Family f, int k, int m) {
+  APPROX_REQUIRE(family_supports(f, k),
+                 family_name(f) + " does not support k=" + std::to_string(k));
+  APPROX_REQUIRE(m >= 1 && m <= 3, "families provide 1..3 parity nodes");
+
+  static std::mutex mu;
+  static std::map<std::tuple<int, int, int>, std::shared_ptr<const LinearCode>> cache;
+  const auto key = std::make_tuple(static_cast<int>(f), k, m);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cache.find(key);
+    if (it != cache.end()) return it->second;
+  }
+  auto full = make_full(f, k);
+  auto code = (m == 3) ? full : slice_prefix(f, k, *full, m);
+  if (code == nullptr) code = full;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    cache.emplace(key, code);
+  }
+  return code;
+}
+
+std::shared_ptr<const LinearCode> family_baseline(Family f, int k, int lrc_l) {
+  switch (f) {
+    case Family::RS:
+      return make_rs(k, 3);
+    case Family::LRC:
+      return make_lrc(k, lrc_l, 2);
+    case Family::STAR:
+      return make_star(k, 3);
+    case Family::TIP:
+      return make_tip(k + 2, 3);
+    case Family::CRS:
+      return make_cauchy_rs(k, 3);
+  }
+  throw InvalidArgument("unknown family");
+}
+
+}  // namespace approx::codes

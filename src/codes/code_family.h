@@ -1,0 +1,36 @@
+// Code families usable as Approximate Code inputs.
+//
+// A family provides, for a fixed k, a chain of prefix codes make(k, m):
+// the first r parity nodes of make(k, r+g) are exactly the parities of
+// make(k, r), and every prefix tolerates its own parity count.  The
+// Approximate Code segmentation step is precisely "use make(k, r) as the
+// local code and rows r..r+g-1 of make(k, r+g) as the global parities".
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "codes/linear_code.h"
+
+namespace approx::codes {
+
+enum class Family { RS, LRC, STAR, TIP, CRS };
+
+std::string family_name(Family f);
+
+// Whether the family admits k data nodes (STAR needs prime k, TIP needs
+// prime k+2; RS/LRC accept any k the field supports).
+bool family_supports(Family f, int k);
+
+// Elements per node for this family at k (1 for RS/LRC, p-1 for array codes).
+int family_rows(Family f, int k);
+
+// Prefix code with k data nodes and m parity nodes (1 <= m <= 3).
+std::shared_ptr<const LinearCode> family_make(Family f, int k, int m);
+
+// The paper's baseline code for the family at k (what the evaluation
+// compares against): RS(k,3), LRC(k,l,2), STAR(k), TIP(k).
+// lrc_l is only used by the LRC family.
+std::shared_ptr<const LinearCode> family_baseline(Family f, int k, int lrc_l);
+
+}  // namespace approx::codes

@@ -1,0 +1,66 @@
+#include "codes/crs_code.h"
+
+#include <string>
+
+#include "common/error.h"
+#include "gf/gf256.h"
+#include "gf/gf_matrix.h"
+
+namespace approx::codes {
+
+namespace {
+
+// The w x w binary expansion of multiplication by c over GF(2^w):
+// bit (i, j) set iff bit i of c * 2^j is set.  Multiplying the bit-vector
+// of a field element by this matrix equals GF multiplication by c.
+struct BitMatrix8 {
+  std::uint8_t column[kCrsWordBits];  // column j as a bit mask over rows
+};
+
+BitMatrix8 expand(std::uint8_t c) {
+  BitMatrix8 m;
+  for (int j = 0; j < kCrsWordBits; ++j) {
+    m.column[j] = gf::mul(c, static_cast<std::uint8_t>(1u << j));
+  }
+  return m;
+}
+
+}  // namespace
+
+std::shared_ptr<const LinearCode> make_cauchy_rs(int k, int m) {
+  APPROX_REQUIRE(k >= 1 && m >= 1, "CRS needs k >= 1, m >= 1");
+  APPROX_REQUIRE(m + k <= 128, "CRS evaluation points exhausted");
+
+  // Fixed-width Cauchy block so prefixes share rows (use width 3 like the
+  // other families; extend if m > 3).
+  const int width = std::max(m, 3);
+  gf::Matrix cauchy = gf::cauchy_parity(width, k);
+
+  const int rows = kCrsWordBits;
+  std::vector<std::vector<LinearCode::Term>> parity;
+  parity.reserve(static_cast<std::size_t>(m) * static_cast<std::size_t>(rows));
+  for (int p = 0; p < m; ++p) {
+    // Parity element (p, i) = XOR over data columns j and bit-columns jj
+    // where expand(cauchy[p][j])[i][jj] is set.
+    std::vector<BitMatrix8> blocks;
+    blocks.reserve(static_cast<std::size_t>(k));
+    for (int j = 0; j < k; ++j) blocks.push_back(expand(cauchy.at(p, j)));
+    for (int i = 0; i < rows; ++i) {
+      std::vector<LinearCode::Term> terms;
+      for (int j = 0; j < k; ++j) {
+        for (int jj = 0; jj < rows; ++jj) {
+          if ((blocks[static_cast<std::size_t>(j)].column[jj] >> i) & 1u) {
+            terms.push_back({info_index(j, jj, rows), 1});
+          }
+        }
+      }
+      parity.push_back(std::move(terms));
+    }
+  }
+
+  return std::make_shared<LinearCode>(
+      "CRS(" + std::to_string(k) + "," + std::to_string(m) + ")", k, m, rows,
+      std::move(parity), m);
+}
+
+}  // namespace approx::codes

@@ -1,0 +1,24 @@
+// Cauchy Reed-Solomon (CRS) codes.
+//
+// Jerasure-style construction: each GF(2^w) Cauchy coefficient is expanded
+// into a w x w binary matrix (column j holds the bits of c * 2^j), turning
+// RS encoding/decoding into pure XOR over w-row elements.  The result is a
+// binary LinearCode (w = 8 rows per node) that is MDS like RS but runs on
+// the fast bit-solver/XOR paths - the classic trade of more, smaller XOR
+// chains for no GF multiplications.
+#pragma once
+
+#include <memory>
+
+#include "codes/linear_code.h"
+
+namespace approx::codes {
+
+inline constexpr int kCrsWordBits = 8;
+
+// CRS(k, m): k data nodes, m parity nodes, 8 rows per node, tolerance m.
+// Parity rows are prefixes of a fixed Cauchy layout (prefix property holds
+// for the Approximate Code segmentation).
+std::shared_ptr<const LinearCode> make_cauchy_rs(int k, int m);
+
+}  // namespace approx::codes

@@ -1,0 +1,62 @@
+#include "codes/parallel.h"
+
+#include "common/error.h"
+
+namespace approx::codes {
+
+std::vector<NodeView> subrange_views(std::span<const NodeView> nodes,
+                                     std::size_t offset, std::size_t len) {
+  std::vector<NodeView> out;
+  out.reserve(nodes.size());
+  for (const auto& v : nodes) {
+    APPROX_REQUIRE(offset + len <= v.len, "sub-range exceeds element length");
+    out.push_back(NodeView{v.data + offset, len, v.stride});
+  }
+  return out;
+}
+
+namespace {
+
+// Split [0, len) into cache-line-aligned chunks and run fn on each via the
+// pool.  Chunk boundaries stay 64-byte aligned so no two workers share a
+// cache line of any element.
+void for_each_chunk(std::size_t len, ThreadPool& pool,
+                    const std::function<void(std::size_t, std::size_t)>& fn) {
+  constexpr std::size_t kAlign = 64;
+  const std::size_t blocks = (len + kAlign - 1) / kAlign;
+  pool.parallel_for(0, blocks, [&](std::size_t lo, std::size_t hi) {
+    const std::size_t begin = lo * kAlign;
+    const std::size_t end = std::min(len, hi * kAlign);
+    if (begin < end) fn(begin, end - begin);
+  });
+}
+
+}  // namespace
+
+void encode_parallel(const LinearCode& code, std::span<const NodeView> nodes,
+                     ThreadPool& pool) {
+  APPROX_REQUIRE(!nodes.empty(), "empty stripe");
+  for_each_chunk(nodes[0].len, pool, [&](std::size_t offset, std::size_t len) {
+    auto sub = subrange_views(nodes, offset, len);
+    code.encode(sub);
+  });
+}
+
+void apply_parallel(const LinearCode& code, const RepairPlan& plan,
+                    std::span<const NodeView> nodes, ThreadPool& pool) {
+  APPROX_REQUIRE(!nodes.empty(), "empty stripe");
+  for_each_chunk(nodes[0].len, pool, [&](std::size_t offset, std::size_t len) {
+    auto sub = subrange_views(nodes, offset, len);
+    code.apply(plan, sub);
+  });
+}
+
+bool repair_parallel(const LinearCode& code, std::span<const NodeView> nodes,
+                     std::span<const int> erased, ThreadPool& pool) {
+  auto plan = code.plan_repair(erased);
+  if (plan == nullptr) return false;
+  apply_parallel(code, *plan, nodes, pool);
+  return true;
+}
+
+}  // namespace approx::codes

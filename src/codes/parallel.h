@@ -1,0 +1,34 @@
+// Parallel execution of coding operations.
+//
+// Parity equations are byte-wise, so any byte sub-range of a stripe is an
+// independent coding problem: we split the element length across a thread
+// pool and run the same schedule on disjoint sub-views.  This parallelizes
+// both encoding and repair without any synchronization beyond the pool's
+// join barrier, and composes with every code and with the Approximate
+// framework's strided views.
+#pragma once
+
+#include <span>
+
+#include "codes/linear_code.h"
+#include "common/thread_pool.h"
+
+namespace approx::codes {
+
+// Views restricted to bytes [offset, offset+len) of every element.
+std::vector<NodeView> subrange_views(std::span<const NodeView> nodes,
+                                     std::size_t offset, std::size_t len);
+
+// encode() across the pool; identical output to code.encode(nodes).
+void encode_parallel(const LinearCode& code, std::span<const NodeView> nodes,
+                     ThreadPool& pool);
+
+// apply() across the pool; identical output to code.apply(plan, nodes).
+void apply_parallel(const LinearCode& code, const RepairPlan& plan,
+                    std::span<const NodeView> nodes, ThreadPool& pool);
+
+// plan + apply_parallel; returns false when unrecoverable.
+bool repair_parallel(const LinearCode& code, std::span<const NodeView> nodes,
+                     std::span<const int> erased, ThreadPool& pool);
+
+}  // namespace approx::codes

@@ -1,0 +1,21 @@
+// Tiny primality helpers for array-code parameter validation.
+#pragma once
+
+namespace approx::codes {
+
+constexpr bool is_prime(int n) {
+  if (n < 2) return false;
+  for (int d = 2; d * d <= n; ++d) {
+    if (n % d == 0) return false;
+  }
+  return true;
+}
+
+// Smallest prime >= n (n <= 2 yields 2).
+constexpr int next_prime(int n) {
+  int p = n < 2 ? 2 : n;
+  while (!is_prime(p)) ++p;
+  return p;
+}
+
+}  // namespace approx::codes

@@ -1,0 +1,23 @@
+// Reed-Solomon codes over GF(2^8).
+#pragma once
+
+#include <memory>
+
+#include "codes/linear_code.h"
+
+namespace approx::codes {
+
+// Systematic RS(k, m): k data nodes, m parity nodes, MDS, tolerance m.
+// Parity rows are the Vandermonde-derived systematic generator; for a fixed
+// k, make_rs(k, m1) parities are a prefix of make_rs(k, m2) parities for
+// m1 < m2 (the prefix property the Approximate Code segmentation relies on).
+std::shared_ptr<const LinearCode> make_rs(int k, int m);
+
+// MDS(k, m) generator whose FIRST parity row is plain XOR (all-ones).
+// Used as the APPR.LRC generation family: the local parity stays a cheap
+// XOR while the global rows complete an MDS triple.  The construction
+// verifies MDS at every parity prefix by exhaustive enumeration and is
+// memoized per (k, m).
+std::shared_ptr<const LinearCode> make_mds_with_xor_row(int k, int m);
+
+}  // namespace approx::codes

@@ -1,0 +1,200 @@
+#include "codes/solver.h"
+
+#include <cstring>
+
+#include "common/error.h"
+#include "gf/gf256.h"
+
+namespace approx::codes {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// GF(2) bit-packed backend.
+// ---------------------------------------------------------------------------
+
+class BitVec {
+ public:
+  explicit BitVec(int bits) : words_(static_cast<std::size_t>((bits + 63) / 64), 0) {}
+
+  void set(int i) noexcept {
+    words_[static_cast<std::size_t>(i >> 6)] |= 1ull << (i & 63);
+  }
+  bool test(int i) const noexcept {
+    return (words_[static_cast<std::size_t>(i >> 6)] >> (i & 63)) & 1u;
+  }
+  void operator^=(const BitVec& o) noexcept {
+    for (std::size_t w = 0; w < words_.size(); ++w) words_[w] ^= o.words_[w];
+  }
+  // Index of the lowest set bit, or -1 when empty.
+  int lowest() const noexcept {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      if (words_[w] != 0) {
+        return static_cast<int>(w * 64) + __builtin_ctzll(words_[w]);
+      }
+    }
+    return -1;
+  }
+  bool any() const noexcept {
+    for (const auto w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+};
+
+struct BitRow {
+  BitVec lhs;    // coefficients over info
+  BitVec combo;  // which survivors were combined to produce this row
+  BitRow(int info_bits, int survivor_bits) : lhs(info_bits), combo(survivor_bits) {}
+};
+
+std::optional<std::vector<Combination>> solve_bits(
+    int info_count, const std::vector<SparseRow>& survivors,
+    const std::vector<SparseRow>& targets) {
+  const int s_count = static_cast<int>(survivors.size());
+
+  // Online elimination: pivots[c] is the reduced row whose leading info bit
+  // is c, expressed as a combination of survivor rows.
+  std::vector<std::optional<BitRow>> pivots(static_cast<std::size_t>(info_count));
+
+  for (int s = 0; s < s_count; ++s) {
+    BitRow row(info_count, s_count);
+    for (const auto& [idx, coeff] : survivors[static_cast<std::size_t>(s)].terms) {
+      APPROX_CHECK(coeff <= 1, "binary solver got a non-binary coefficient");
+      if (coeff == 1) row.lhs.set(idx);
+    }
+    row.combo.set(s);
+    for (;;) {
+      const int lead = row.lhs.lowest();
+      if (lead < 0) break;  // linearly dependent on earlier survivors
+      auto& slot = pivots[static_cast<std::size_t>(lead)];
+      if (!slot.has_value()) {
+        slot.emplace(std::move(row));
+        break;
+      }
+      row.lhs ^= slot->lhs;
+      row.combo ^= slot->combo;
+    }
+  }
+
+  std::vector<Combination> out;
+  out.reserve(targets.size());
+  for (const auto& target : targets) {
+    BitRow row(info_count, s_count);
+    for (const auto& [idx, coeff] : target.terms) {
+      APPROX_CHECK(coeff <= 1, "binary solver got a non-binary coefficient");
+      if (coeff == 1) row.lhs.set(idx);
+    }
+    for (;;) {
+      const int lead = row.lhs.lowest();
+      if (lead < 0) break;
+      const auto& slot = pivots[static_cast<std::size_t>(lead)];
+      if (!slot.has_value()) return std::nullopt;  // not in survivor span
+      row.lhs ^= slot->lhs;
+      row.combo ^= slot->combo;
+    }
+    Combination combo;
+    for (int s = 0; s < s_count; ++s) {
+      if (row.combo.test(s)) combo.emplace_back(s, std::uint8_t{1});
+    }
+    out.push_back(std::move(combo));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// GF(2^8) dense backend.
+// ---------------------------------------------------------------------------
+
+struct GfRow {
+  std::vector<std::uint8_t> lhs;    // info_count coefficients
+  std::vector<std::uint8_t> combo;  // survivor combination coefficients
+};
+
+int leading(const std::vector<std::uint8_t>& v) noexcept {
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (v[i] != 0) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void scale(GfRow& row, std::uint8_t c) {
+  gf::mul_region(row.lhs.data(), row.lhs.data(), row.lhs.size(), c);
+  gf::mul_region(row.combo.data(), row.combo.data(), row.combo.size(), c);
+}
+
+void add_scaled(GfRow& dst, const GfRow& src, std::uint8_t c) {
+  gf::mul_acc_region(dst.lhs.data(), src.lhs.data(), dst.lhs.size(), c);
+  gf::mul_acc_region(dst.combo.data(), src.combo.data(), dst.combo.size(), c);
+}
+
+std::optional<std::vector<Combination>> solve_gf(
+    int info_count, const std::vector<SparseRow>& survivors,
+    const std::vector<SparseRow>& targets) {
+  const int s_count = static_cast<int>(survivors.size());
+  std::vector<std::optional<GfRow>> pivots(static_cast<std::size_t>(info_count));
+
+  for (int s = 0; s < s_count; ++s) {
+    GfRow row{std::vector<std::uint8_t>(static_cast<std::size_t>(info_count), 0),
+              std::vector<std::uint8_t>(static_cast<std::size_t>(s_count), 0)};
+    for (const auto& [idx, coeff] : survivors[static_cast<std::size_t>(s)].terms) {
+      row.lhs[static_cast<std::size_t>(idx)] =
+          static_cast<std::uint8_t>(row.lhs[static_cast<std::size_t>(idx)] ^ coeff);
+    }
+    row.combo[static_cast<std::size_t>(s)] = 1;
+    for (;;) {
+      const int lead = leading(row.lhs);
+      if (lead < 0) break;
+      auto& slot = pivots[static_cast<std::size_t>(lead)];
+      if (!slot.has_value()) {
+        // Normalize so the pivot coefficient is 1.
+        scale(row, gf::inv(row.lhs[static_cast<std::size_t>(lead)]));
+        slot.emplace(std::move(row));
+        break;
+      }
+      add_scaled(row, *slot, row.lhs[static_cast<std::size_t>(lead)]);
+    }
+  }
+
+  std::vector<Combination> out;
+  out.reserve(targets.size());
+  for (const auto& target : targets) {
+    GfRow row{std::vector<std::uint8_t>(static_cast<std::size_t>(info_count), 0),
+              std::vector<std::uint8_t>(static_cast<std::size_t>(s_count), 0)};
+    for (const auto& [idx, coeff] : target.terms) {
+      row.lhs[static_cast<std::size_t>(idx)] =
+          static_cast<std::uint8_t>(row.lhs[static_cast<std::size_t>(idx)] ^ coeff);
+    }
+    for (;;) {
+      const int lead = leading(row.lhs);
+      if (lead < 0) break;
+      const auto& slot = pivots[static_cast<std::size_t>(lead)];
+      if (!slot.has_value()) return std::nullopt;
+      add_scaled(row, *slot, row.lhs[static_cast<std::size_t>(lead)]);
+    }
+    Combination combo;
+    for (int s = 0; s < s_count; ++s) {
+      if (row.combo[static_cast<std::size_t>(s)] != 0) {
+        combo.emplace_back(s, row.combo[static_cast<std::size_t>(s)]);
+      }
+    }
+    out.push_back(std::move(combo));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<std::vector<Combination>> solve_combinations(
+    int info_count, const std::vector<SparseRow>& survivors,
+    const std::vector<SparseRow>& targets, bool binary) {
+  APPROX_REQUIRE(info_count >= 0, "info_count must be non-negative");
+  if (binary) return solve_bits(info_count, survivors, targets);
+  return solve_gf(info_count, survivors, targets);
+}
+
+}  // namespace approx::codes

@@ -1,0 +1,37 @@
+// Erasure-repair solver: expresses lost elements as linear combinations of
+// surviving elements.
+//
+// Every code in approxcode is a linear map from `info` (data elements) to
+// stored elements.  Repair of an erasure pattern is therefore the linear-
+// algebra question "is each lost element's row in the span of the surviving
+// rows, and with which combination?".  Two elimination backends implement
+// the same contract:
+//   - a GF(2) bit-packed path (used when every coefficient is 0/1 —
+//     EVENODD/STAR/TIP; ~64x faster than the byte path), and
+//   - a general GF(2^8) path (RS, LRC).
+// Both return, per target row, the list of (survivor index, coefficient)
+// pairs whose combination reconstructs the target, or nullopt when some
+// target is unrecoverable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace approx::codes {
+
+// One linear equation: element value = sum(coeff * info[idx]).
+struct SparseRow {
+  std::vector<std::pair<int, std::uint8_t>> terms;  // (info index, coefficient)
+};
+
+using Combination = std::vector<std::pair<int, std::uint8_t>>;  // (survivor, coeff)
+
+// binary == true requires every coefficient in survivors/targets to be 0/1
+// and selects the bit-packed backend.
+std::optional<std::vector<Combination>> solve_combinations(
+    int info_count, const std::vector<SparseRow>& survivors,
+    const std::vector<SparseRow>& targets, bool binary);
+
+}  // namespace approx::codes

@@ -1,0 +1,48 @@
+#include "codes/verify.h"
+
+#include "codes/linear_code.h"
+#include "common/error.h"
+
+namespace approx::codes {
+
+bool for_each_subset(int n, int r,
+                     const std::function<bool(const std::vector<int>&)>& fn) {
+  APPROX_REQUIRE(r >= 0 && n >= 0, "bad subset parameters");
+  if (r > n) return true;
+  std::vector<int> subset(static_cast<std::size_t>(r));
+  for (int i = 0; i < r; ++i) subset[static_cast<std::size_t>(i)] = i;
+  for (;;) {
+    if (!fn(subset)) return false;
+    // Advance to the next combination in lexicographic order.
+    int i = r - 1;
+    while (i >= 0 && subset[static_cast<std::size_t>(i)] == n - r + i) --i;
+    if (i < 0) return true;
+    ++subset[static_cast<std::size_t>(i)];
+    for (int j = i + 1; j < r; ++j) {
+      subset[static_cast<std::size_t>(j)] = subset[static_cast<std::size_t>(j - 1)] + 1;
+    }
+  }
+}
+
+bool tolerates_all(const LinearCode& code, int failures) {
+  return for_each_subset(code.total_nodes(), failures,
+                         [&](const std::vector<int>& erased) {
+                           return code.can_repair(erased);
+                         });
+}
+
+std::optional<std::vector<int>> first_unrepairable(const LinearCode& code,
+                                                   int failures) {
+  std::optional<std::vector<int>> found;
+  for_each_subset(code.total_nodes(), failures,
+                  [&](const std::vector<int>& erased) {
+                    if (!code.can_repair(erased)) {
+                      found = erased;
+                      return false;
+                    }
+                    return true;
+                  });
+  return found;
+}
+
+}  // namespace approx::codes

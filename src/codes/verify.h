@@ -1,0 +1,30 @@
+// Exhaustive decodability verification.
+//
+// Used both by tests (to prove MDS/tolerance properties of every
+// construction instead of trusting case analysis) and by the TIP-Code
+// factory, whose offsets are validated against the code's defining
+// property at construction time.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace approx::codes {
+
+class LinearCode;
+
+// True iff every erasure pattern of exactly `failures` nodes is repairable.
+bool tolerates_all(const LinearCode& code, int failures);
+
+// First non-repairable pattern of exactly `failures` nodes, if any
+// (for diagnostics).
+std::optional<std::vector<int>> first_unrepairable(const LinearCode& code,
+                                                   int failures);
+
+// Enumerate all size-`r` subsets of [0, n) and call fn(subset);
+// fn returns false to abort enumeration (and the function returns false).
+bool for_each_subset(int n, int r,
+                     const std::function<bool(const std::vector<int>&)>& fn);
+
+}  // namespace approx::codes

@@ -1,0 +1,86 @@
+#include "common/buffer.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include "common/error.h"
+
+namespace approx {
+
+namespace {
+
+std::size_t padded_size(std::size_t size) {
+  const std::size_t a = AlignedBuffer::kAlignment;
+  return (size + a - 1) / a * a;
+}
+
+std::uint8_t* allocate_aligned(std::size_t size) {
+  if (size == 0) return nullptr;
+  void* p = std::aligned_alloc(AlignedBuffer::kAlignment, padded_size(size));
+  if (p == nullptr) throw std::bad_alloc();
+  std::memset(p, 0, padded_size(size));
+  return static_cast<std::uint8_t*>(p);
+}
+
+}  // namespace
+
+AlignedBuffer::AlignedBuffer(std::size_t size)
+    : data_(allocate_aligned(size)), size_(size) {}
+
+AlignedBuffer::AlignedBuffer(const AlignedBuffer& other)
+    : data_(allocate_aligned(other.size_)), size_(other.size_) {
+  if (size_ != 0) std::memcpy(data_, other.data_, size_);
+}
+
+AlignedBuffer& AlignedBuffer::operator=(const AlignedBuffer& other) {
+  if (this == &other) return *this;
+  AlignedBuffer copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
+AlignedBuffer::AlignedBuffer(AlignedBuffer&& other) noexcept
+    : data_(other.data_), size_(other.size_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+AlignedBuffer& AlignedBuffer::operator=(AlignedBuffer&& other) noexcept {
+  if (this == &other) return *this;
+  std::free(data_);
+  data_ = other.data_;
+  size_ = other.size_;
+  other.data_ = nullptr;
+  other.size_ = 0;
+  return *this;
+}
+
+AlignedBuffer::~AlignedBuffer() { std::free(data_); }
+
+void AlignedBuffer::clear() noexcept {
+  if (size_ != 0) std::memset(data_, 0, padded_size(size_));
+}
+
+StripeBuffers::StripeBuffers(int nodes, std::size_t bytes_per_node)
+    : bytes_per_node_(bytes_per_node) {
+  APPROX_REQUIRE(nodes >= 0, "node count must be non-negative");
+  nodes_.reserve(static_cast<std::size_t>(nodes));
+  for (int i = 0; i < nodes; ++i) nodes_.emplace_back(bytes_per_node);
+}
+
+std::vector<std::span<std::uint8_t>> StripeBuffers::spans() {
+  std::vector<std::span<std::uint8_t>> out;
+  out.reserve(nodes_.size());
+  for (auto& n : nodes_) out.push_back(n.span());
+  return out;
+}
+
+std::vector<std::span<const std::uint8_t>> StripeBuffers::const_spans() const {
+  std::vector<std::span<const std::uint8_t>> out;
+  out.reserve(nodes_.size());
+  for (const auto& n : nodes_) out.push_back(n.span());
+  return out;
+}
+
+}  // namespace approx

@@ -1,0 +1,75 @@
+// Cache-line aligned byte buffers used for coding stripes.
+//
+// All coding kernels in approxcode operate on whole 64-bit words; buffers
+// are therefore allocated with 64-byte alignment and a size rounded up
+// internally so kernels never need a scalar tail loop across buffers that
+// came from AlignedBuffer.  Logical size is preserved exactly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace approx {
+
+// Owning, 64-byte-aligned, zero-initialized byte buffer.
+class AlignedBuffer {
+ public:
+  static constexpr std::size_t kAlignment = 64;
+
+  AlignedBuffer() = default;
+  explicit AlignedBuffer(std::size_t size);
+  AlignedBuffer(const AlignedBuffer& other);
+  AlignedBuffer& operator=(const AlignedBuffer& other);
+  AlignedBuffer(AlignedBuffer&& other) noexcept;
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept;
+  ~AlignedBuffer();
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  std::uint8_t* data() noexcept { return data_; }
+  const std::uint8_t* data() const noexcept { return data_; }
+
+  std::span<std::uint8_t> span() noexcept { return {data_, size_}; }
+  std::span<const std::uint8_t> span() const noexcept { return {data_, size_}; }
+
+  std::uint8_t& operator[](std::size_t i) noexcept { return data_[i]; }
+  const std::uint8_t& operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  // Set every byte to zero.
+  void clear() noexcept;
+
+ private:
+  std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+// A set of equally sized node buffers forming one coding stripe.
+// Owns its memory; hands out spans for the codec interfaces.
+class StripeBuffers {
+ public:
+  StripeBuffers() = default;
+  StripeBuffers(int nodes, std::size_t bytes_per_node);
+
+  int nodes() const noexcept { return static_cast<int>(nodes_.size()); }
+  std::size_t bytes_per_node() const noexcept { return bytes_per_node_; }
+
+  std::span<std::uint8_t> node(int i) { return nodes_[static_cast<std::size_t>(i)].span(); }
+  std::span<const std::uint8_t> node(int i) const {
+    return nodes_[static_cast<std::size_t>(i)].span();
+  }
+
+  // Spans over all nodes, in node order (what the codec APIs consume).
+  std::vector<std::span<std::uint8_t>> spans();
+  std::vector<std::span<const std::uint8_t>> const_spans() const;
+
+  void clear_node(int i) { nodes_[static_cast<std::size_t>(i)].clear(); }
+
+ private:
+  std::vector<AlignedBuffer> nodes_;
+  std::size_t bytes_per_node_ = 0;
+};
+
+}  // namespace approx

@@ -1,0 +1,40 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) for bitstream integrity checks.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace approx {
+
+namespace detail {
+
+inline const std::array<std::uint32_t, 256>& crc32_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int b = 0; b < 8; ++b) {
+        c = (c & 1u) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace detail
+
+inline std::uint32_t crc32(std::span<const std::uint8_t> data,
+                           std::uint32_t seed = 0) {
+  const auto& table = detail::crc32_table();
+  std::uint32_t c = seed ^ 0xffffffffu;
+  for (const std::uint8_t byte : data) {
+    c = table[(c ^ byte) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace approx

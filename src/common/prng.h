@@ -1,0 +1,91 @@
+// Deterministic pseudo-random number generation.
+//
+// Every randomized component in approxcode (workload generators, failure
+// injectors, Monte-Carlo samplers) takes an explicit seed so that tests,
+// benchmarks and the cluster simulator are bit-for-bit reproducible.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace approx {
+
+// xoshiro256** by Blackman & Vigna; seeded through SplitMix64 so that any
+// 64-bit seed (including 0) yields a well-mixed state.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    std::uint64_t x = seed;
+    for (auto& s : state_) s = splitmix64(x);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound).  bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    // Lemire's multiply-shift rejection method.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    std::uint64_t l = static_cast<std::uint64_t>(m);
+    if (l < bound) {
+      const std::uint64_t t = (0 - bound) % bound;
+      while (l < t) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        l = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  std::uint8_t byte() noexcept { return static_cast<std::uint8_t>((*this)() >> 56); }
+
+ private:
+  static std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  static std::uint64_t rotl(std::uint64_t v, int k) noexcept {
+    return (v << k) | (v >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+// Fill a byte range with deterministic pseudo-random content.
+inline void fill_random(std::uint8_t* dst, std::size_t n, Rng& rng) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const std::uint64_t v = rng();
+    for (int b = 0; b < 8; ++b) dst[i + static_cast<std::size_t>(b)] =
+        static_cast<std::uint8_t>(v >> (8 * b));
+  }
+  for (; i < n; ++i) dst[i] = rng.byte();
+}
+
+}  // namespace approx

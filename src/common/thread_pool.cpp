@@ -1,0 +1,101 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+#include "common/error.h"
+
+namespace approx {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  unsigned n = threads;
+  if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task.fn();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  APPROX_REQUIRE(begin <= end, "parallel_for range is inverted");
+  const std::size_t total = end - begin;
+  if (total == 0) return;
+
+  const std::size_t chunks = std::min<std::size_t>(size(), total);
+  if (chunks <= 1) {
+    fn(begin, end);
+    return;
+  }
+
+  struct Barrier {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t remaining;
+    std::exception_ptr error;
+  } barrier;
+  barrier.remaining = chunks;
+
+  const std::size_t base = total / chunks;
+  const std::size_t extra = total % chunks;
+  std::size_t cursor = begin;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t len = base + (c < extra ? 1 : 0);
+      const std::size_t lo = cursor;
+      const std::size_t hi = cursor + len;
+      cursor = hi;
+      queue_.push(Task{[&, lo, hi] {
+        try {
+          fn(lo, hi);
+        } catch (...) {
+          std::lock_guard<std::mutex> block(barrier.mu);
+          if (!barrier.error) barrier.error = std::current_exception();
+        }
+        {
+          std::lock_guard<std::mutex> block(barrier.mu);
+          --barrier.remaining;
+        }
+        barrier.cv.notify_one();
+      }});
+    }
+  }
+  cv_.notify_all();
+
+  std::unique_lock<std::mutex> lock(barrier.mu);
+  barrier.cv.wait(lock, [&] { return barrier.remaining == 0; });
+  if (barrier.error) std::rethrow_exception(barrier.error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace approx

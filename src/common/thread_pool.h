@@ -1,0 +1,54 @@
+// Fixed-size thread pool with a blocking parallel-for.
+//
+// Coding kernels partition a stripe's block range across workers; each
+// worker touches a disjoint byte range, so no synchronization beyond the
+// join barrier is needed.  The pool is deliberately simple (no work
+// stealing): coding work is regular and statically balanced.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace approx {
+
+class ThreadPool {
+ public:
+  // threads == 0 selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+  // Run fn(chunk_begin, chunk_end) over [begin, end) split into roughly
+  // equal contiguous chunks, one per worker.  Blocks until all chunks are
+  // done.  Exceptions thrown by fn are rethrown on the calling thread
+  // (first one wins).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+  // Process-wide pool, sized to hardware concurrency, created on first use.
+  static ThreadPool& global();
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+  };
+
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<Task> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace approx

@@ -1,0 +1,62 @@
+#include "core/metrics.h"
+
+namespace approx::core {
+
+ApprMetrics appr_metrics(const ApprParams& p) {
+  p.validate();
+  ApprMetrics m;
+  m.data_nodes = p.total_data_nodes();
+  m.parity_nodes = p.total_parity_nodes();
+  m.storage_overhead =
+      static_cast<double>(p.total_nodes()) / static_cast<double>(m.data_nodes);
+  m.fault_tolerance_unimportant = p.r;
+  m.fault_tolerance_important = p.r + p.g;
+
+  // Updating one data element writes: the element itself, the local parity
+  // elements containing it, and - when the element is important, i.e. with
+  // probability 1/h - the global parity elements containing it.
+  auto local = codes::family_make(p.family, p.k, p.r);
+  auto base = codes::family_make(p.family, p.k, p.r + p.g);
+  const double info = static_cast<double>(local->info_count());
+  const double local_touch = static_cast<double>(local->total_parity_terms()) / info;
+  const double global_touch =
+      static_cast<double>(base->total_parity_terms() - local->total_parity_terms()) /
+      info;
+  m.avg_single_write_cost = 1.0 + local_touch + global_touch / static_cast<double>(p.h);
+  return m;
+}
+
+BaseMetrics base_metrics(const codes::LinearCode& code) {
+  BaseMetrics m;
+  m.data_nodes = code.data_nodes();
+  m.parity_nodes = code.parity_nodes();
+  m.storage_overhead = code.storage_overhead();
+  m.avg_single_write_cost = code.avg_single_write_cost();
+  m.fault_tolerance = code.fault_tolerance();
+  return m;
+}
+
+double paper_single_write_rs(int k, int r) {
+  (void)k;
+  return static_cast<double>(r) + 1.0;
+}
+
+double paper_single_write_lrc(int r) { return static_cast<double>(r) + 2.0; }
+
+double paper_single_write_star(int p) { return 6.0 - 4.0 / static_cast<double>(p); }
+
+double paper_single_write_tip() { return 4.0; }
+
+double paper_single_write_appr_rs(int r, int g, int h) {
+  return 1.0 + static_cast<double>(r) + static_cast<double>(g) / static_cast<double>(h);
+}
+
+double paper_single_write_appr_lrc(int g, int h) {
+  return 2.0 + static_cast<double>(g) / static_cast<double>(h);
+}
+
+double paper_single_write_appr_tip(int h) {
+  return 2.0 + 2.0 / static_cast<double>(h);
+}
+
+}  // namespace approx::core

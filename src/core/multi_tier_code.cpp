@@ -1,0 +1,275 @@
+#include "core/multi_tier_code.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace approx::core {
+
+void MultiTierParams::validate() const {
+  APPROX_REQUIRE(k >= 1 && r >= 1 && h >= 1 && frac_den >= 1, "bad dimensions");
+  APPROX_REQUIRE(!tiers.empty(), "at least one tier required");
+  APPROX_REQUIRE(codes::family_supports(family, k),
+                 codes::family_name(family) + " does not support k=" + std::to_string(k));
+  APPROX_REQUIRE(tiers.front().levels <= 3, "families provide at most 3 parity rows");
+  APPROX_REQUIRE(tiers.back().levels == r,
+                 "the least-protected tier must use exactly the local parities");
+  int sum = 0;
+  int prev_levels = tiers.front().levels;
+  for (const auto& t : tiers) {
+    APPROX_REQUIRE(t.frac_num >= 1, "tier fractions must be positive");
+    APPROX_REQUIRE(t.levels >= r && t.levels <= prev_levels,
+                   "tiers must be ordered by non-increasing protection");
+    prev_levels = t.levels;
+    sum += t.frac_num;
+  }
+  APPROX_REQUIRE(sum == frac_den, "tier fractions must sum to frac_den");
+  // Each global level's per-stripe segment must fit its node: h * covered
+  // fraction <= 1.
+  for (int l = r; l < tiers.front().levels; ++l) {
+    APPROX_REQUIRE(h * covered_num(l) <= frac_den,
+                   "covered fraction at level " + std::to_string(l) +
+                       " exceeds one global node (reduce fractions or h)");
+  }
+}
+
+int MultiTierParams::covered_num(int level) const {
+  int num = 0;
+  for (const auto& t : tiers) {
+    if (t.levels > level) num += t.frac_num;
+  }
+  return num;
+}
+
+std::string MultiTierParams::name() const {
+  std::string out = "TIERED." + codes::family_name(family) + "(" +
+                    std::to_string(k) + "," + std::to_string(r) + "," +
+                    std::to_string(h) + ";";
+  for (std::size_t i = 0; i < tiers.size(); ++i) {
+    if (i != 0) out += "+";
+    out += std::to_string(tiers[i].frac_num) + "/" + std::to_string(frac_den) +
+           "@" + std::to_string(tiers[i].levels);
+  }
+  return out + ")";
+}
+
+MultiTierCode::MultiTierCode(MultiTierParams params, std::size_t block_size)
+    : params_(std::move(params)), block_size_(block_size) {
+  params_.validate();
+  APPROX_REQUIRE(block_size_ > 0, "block_size must be positive");
+  APPROX_REQUIRE(block_size_ % static_cast<std::size_t>(params_.frac_den) == 0,
+                 "block_size must be divisible by frac_den");
+  rows_ = codes::family_rows(params_.family, params_.k);
+  const int depth = params_.tiers.front().levels;
+  codes_.reserve(static_cast<std::size_t>(depth));
+  for (int m = 1; m <= depth; ++m) {
+    codes_.push_back(codes::family_make(params_.family, params_.k, m));
+  }
+}
+
+std::size_t MultiTierCode::tier_offset_bytes(int tier) const {
+  int num = 0;
+  for (int t = 0; t < tier; ++t) num += params_.tiers[static_cast<std::size_t>(t)].frac_num;
+  return block_size_ / static_cast<std::size_t>(params_.frac_den) *
+         static_cast<std::size_t>(num);
+}
+
+std::size_t MultiTierCode::tier_len_bytes(int tier) const {
+  return block_size_ / static_cast<std::size_t>(params_.frac_den) *
+         static_cast<std::size_t>(params_.tiers[static_cast<std::size_t>(tier)].frac_num);
+}
+
+std::size_t MultiTierCode::covered_bytes(int level) const {
+  return block_size_ / static_cast<std::size_t>(params_.frac_den) *
+         static_cast<std::size_t>(params_.covered_num(level));
+}
+
+std::size_t MultiTierCode::tier_capacity(int tier) const {
+  APPROX_REQUIRE(tier >= 0 && tier < tier_count(), "tier out of range");
+  return tier_len_bytes(tier) * static_cast<std::size_t>(rows_) *
+         static_cast<std::size_t>(params_.k) * static_cast<std::size_t>(params_.h);
+}
+
+void MultiTierCode::scatter(
+    std::span<const std::span<const std::uint8_t>> tier_streams,
+    std::span<std::span<std::uint8_t>> nodes) const {
+  APPROX_REQUIRE(tier_streams.size() == static_cast<std::size_t>(tier_count()),
+                 "one stream per tier required");
+  APPROX_REQUIRE(nodes.size() == static_cast<std::size_t>(total_nodes()),
+                 "node span count mismatch");
+  for (int t = 0; t < tier_count(); ++t) {
+    APPROX_REQUIRE(tier_streams[static_cast<std::size_t>(t)].size() ==
+                       tier_capacity(t),
+                   "tier stream size mismatch");
+    const std::size_t off = tier_offset_bytes(t);
+    const std::size_t len = tier_len_bytes(t);
+    std::size_t cursor = 0;
+    for (int s = 0; s < params_.h; ++s) {
+      for (int j = 0; j < params_.k; ++j) {
+        auto dst = nodes[static_cast<std::size_t>(s * (params_.k + params_.r) + j)];
+        for (int row = 0; row < rows_; ++row) {
+          std::memcpy(dst.data() + static_cast<std::size_t>(row) * block_size_ + off,
+                      tier_streams[static_cast<std::size_t>(t)].data() + cursor, len);
+          cursor += len;
+        }
+      }
+    }
+  }
+}
+
+void MultiTierCode::gather(
+    std::span<std::span<std::uint8_t>> nodes,
+    std::span<const std::span<std::uint8_t>> tier_streams) const {
+  APPROX_REQUIRE(tier_streams.size() == static_cast<std::size_t>(tier_count()),
+                 "one stream per tier required");
+  for (int t = 0; t < tier_count(); ++t) {
+    APPROX_REQUIRE(tier_streams[static_cast<std::size_t>(t)].size() ==
+                       tier_capacity(t),
+                   "tier stream size mismatch");
+    const std::size_t off = tier_offset_bytes(t);
+    const std::size_t len = tier_len_bytes(t);
+    std::size_t cursor = 0;
+    for (int s = 0; s < params_.h; ++s) {
+      for (int j = 0; j < params_.k; ++j) {
+        auto src = nodes[static_cast<std::size_t>(s * (params_.k + params_.r) + j)];
+        for (int row = 0; row < rows_; ++row) {
+          std::memcpy(tier_streams[static_cast<std::size_t>(t)].data() + cursor,
+                      src.data() + static_cast<std::size_t>(row) * block_size_ + off,
+                      len);
+          cursor += len;
+        }
+      }
+    }
+  }
+}
+
+std::vector<codes::NodeView> MultiTierCode::level_views(
+    std::span<std::span<std::uint8_t>> nodes, int stripe, int levels,
+    std::size_t offset, std::size_t len) const {
+  std::vector<codes::NodeView> views;
+  const int per = params_.k + params_.r;
+  views.reserve(static_cast<std::size_t>(params_.k + levels));
+  for (int m = 0; m < per; ++m) {
+    auto node = nodes[static_cast<std::size_t>(stripe * per + m)];
+    views.push_back(codes::NodeView{node.data() + offset, len, block_size_});
+  }
+  for (int l = params_.r; l < levels; ++l) {
+    auto g = nodes[static_cast<std::size_t>(params_.h * per + (l - params_.r))];
+    const std::size_t seg = covered_bytes(l);
+    APPROX_CHECK(offset + len <= seg, "range exceeds the level's coverage");
+    views.push_back(codes::NodeView{
+        g.data() + static_cast<std::size_t>(stripe) * seg + offset, len,
+        block_size_});
+  }
+  return views;
+}
+
+void MultiTierCode::encode(std::span<std::span<std::uint8_t>> nodes) const {
+  APPROX_REQUIRE(nodes.size() == static_cast<std::size_t>(total_nodes()),
+                 "node span count mismatch");
+  const auto& local = codes_[static_cast<std::size_t>(params_.r - 1)];
+  std::vector<int> local_parities;
+  for (int i = 0; i < params_.r; ++i) local_parities.push_back(params_.k + i);
+  for (int s = 0; s < params_.h; ++s) {
+    auto views = level_views(nodes, s, params_.r, 0, block_size_);
+    local->encode_parity_nodes(views, local_parities);
+  }
+  const int depth = params_.tiers.front().levels;
+  for (int l = params_.r; l < depth; ++l) {
+    const std::vector<int> target = {params_.k + l};
+    for (int s = 0; s < params_.h; ++s) {
+      auto views = level_views(nodes, s, l + 1, 0, covered_bytes(l));
+      codes_[static_cast<std::size_t>(l)]->encode_parity_nodes(views, target);
+    }
+  }
+}
+
+MultiTierCode::RepairReport MultiTierCode::repair(
+    std::span<std::span<std::uint8_t>> nodes, std::span<const int> erased) const {
+  APPROX_REQUIRE(nodes.size() == static_cast<std::size_t>(total_nodes()),
+                 "node span count mismatch");
+  RepairReport report;
+  report.tier_recovered.assign(static_cast<std::size_t>(tier_count()), true);
+  report.tier_bytes_lost.assign(static_cast<std::size_t>(tier_count()), 0);
+
+  const int per = params_.k + params_.r;
+  std::vector<std::vector<int>> stripe_failed(static_cast<std::size_t>(params_.h));
+  std::vector<int> failed_levels;
+  for (const int e : erased) {
+    APPROX_REQUIRE(e >= 0 && e < total_nodes(), "erased node out of range");
+    if (e >= params_.h * per) {
+      failed_levels.push_back(params_.r + (e - params_.h * per));
+    } else {
+      stripe_failed[static_cast<std::size_t>(e / per)].push_back(e % per);
+    }
+  }
+
+  const auto& local = codes_[static_cast<std::size_t>(params_.r - 1)];
+
+  for (int s = 0; s < params_.h; ++s) {
+    auto& members = stripe_failed[static_cast<std::size_t>(s)];
+    if (members.empty()) continue;
+    std::sort(members.begin(), members.end());
+
+    auto local_plan = local->plan_repair(members);
+    if (local_plan != nullptr) {
+      auto views = level_views(nodes, s, params_.r, 0, block_size_);
+      local->apply(*local_plan, views);
+      continue;
+    }
+
+    int failed_data = 0;
+    for (const int m : members) failed_data += m < params_.k ? 1 : 0;
+
+    // Tier by tier: deeper-protected tiers engage more parity levels.
+    for (int t = 0; t < tier_count(); ++t) {
+      const int depth = params_.tiers[static_cast<std::size_t>(t)].levels;
+      bool ok = false;
+      if (depth > params_.r) {
+        std::vector<int> verased = members;
+        for (const int l : failed_levels) {
+          if (l < depth) verased.push_back(params_.k + l);
+        }
+        auto plan = codes_[static_cast<std::size_t>(depth - 1)]->plan_repair(verased);
+        if (plan != nullptr) {
+          auto views =
+              level_views(nodes, s, depth, tier_offset_bytes(t), tier_len_bytes(t));
+          codes_[static_cast<std::size_t>(depth - 1)]->apply(*plan, views);
+          ok = true;
+        }
+      }
+      if (!ok) {
+        report.tier_recovered[static_cast<std::size_t>(t)] = false;
+        report.fully_recovered = false;
+        report.tier_bytes_lost[static_cast<std::size_t>(t)] +=
+            static_cast<std::size_t>(failed_data) * tier_len_bytes(t) *
+            static_cast<std::size_t>(rows_);
+      }
+    }
+  }
+
+  // Restore failed global levels: re-encode each stripe segment from data.
+  // A segment is recomputable iff every tier it covers was recovered (or
+  // the stripe is clean).
+  for (const int l : failed_levels) {
+    bool covered_ok = true;
+    for (int t = 0; t < tier_count(); ++t) {
+      if (params_.tiers[static_cast<std::size_t>(t)].levels > l) {
+        covered_ok &= report.tier_recovered[static_cast<std::size_t>(t)];
+      }
+    }
+    if (!covered_ok) {
+      report.fully_recovered = false;
+      continue;
+    }
+    const std::vector<int> target = {params_.k + l};
+    for (int s = 0; s < params_.h; ++s) {
+      auto views = level_views(nodes, s, l + 1, 0, covered_bytes(l));
+      codes_[static_cast<std::size_t>(l)]->encode_parity_nodes(views, target);
+    }
+  }
+  return report;
+}
+
+}  // namespace approx::core

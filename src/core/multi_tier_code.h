@@ -1,0 +1,114 @@
+// MultiTierCode: N-level unequal protection (extension beyond the paper).
+//
+// The paper splits video into two tiers (important I frames, unimportant
+// P/B).  Its own §2.1 importance ordering is three-way - I > P > B - and
+// the framework's segmentation generalizes naturally: order tiers by
+// protection level, give tier t the byte range [prefix_{t}, prefix_{t+1})
+// of every element, and let global parity row level l protect the prefix
+// covered by all tiers with more than l parity rows.  Every prefix of the
+// family's parity chain is a valid code (the same property APPR.* uses),
+// so tier t enjoys exactly `levels[t]`-fault tolerance.
+//
+// Geometry mirrors ApproximateCode's Even structure: h local stripes of
+// k data + r local parities, plus one global parity node per level
+// l in [r, levels[0]); global node l stores h per-stripe segments of
+// covered_fraction(l) * block bytes each (the paper's 1/h case makes these
+// exactly full; smaller protected fractions leave them partially used).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "codes/linear_code.h"
+#include "core/appr_params.h"
+
+namespace approx::core {
+
+struct TierSpec {
+  int levels = 1;    // parity rows protecting this tier (tolerance)
+  int frac_num = 1;  // fraction of data in this tier = frac_num / frac_den
+};
+
+struct MultiTierParams {
+  codes::Family family = codes::Family::RS;
+  int k = 4;  // data nodes per local stripe
+  int r = 1;  // local parity nodes per stripe (= least-protected level)
+  int h = 4;  // local stripes
+  int frac_den = 4;
+  // Ordered most-protected first; levels non-increasing; the last tier has
+  // exactly `r` levels (local protection only); fractions sum to frac_den.
+  std::vector<TierSpec> tiers;
+
+  int global_levels() const {
+    return tiers.empty() ? 0 : tiers.front().levels - r;
+  }
+  int total_nodes() const { return h * (k + r) + global_levels(); }
+
+  void validate() const;
+  std::string name() const;
+
+  // Covered fraction (numerator over frac_den) at parity level l: the sum
+  // of fractions of tiers whose protection exceeds l.
+  int covered_num(int level) const;
+};
+
+class MultiTierCode {
+ public:
+  MultiTierCode(MultiTierParams params, std::size_t block_size);
+
+  const MultiTierParams& params() const noexcept { return params_; }
+  int total_nodes() const noexcept { return params_.total_nodes(); }
+  int rows() const noexcept { return rows_; }
+  std::size_t block_size() const noexcept { return block_size_; }
+  std::size_t node_bytes() const noexcept {
+    return block_size_ * static_cast<std::size_t>(rows_);
+  }
+  int tier_count() const noexcept { return static_cast<int>(params_.tiers.size()); }
+
+  // Logical capacity of tier t across the whole deployment.
+  std::size_t tier_capacity(int tier) const;
+
+  // Place / collect per-tier logical streams (stream sizes must equal the
+  // tier capacities).
+  void scatter(std::span<const std::span<const std::uint8_t>> tier_streams,
+               std::span<std::span<std::uint8_t>> nodes) const;
+  void gather(std::span<std::span<std::uint8_t>> nodes,
+              std::span<const std::span<std::uint8_t>> tier_streams) const;
+
+  // Compute all local parities and every global parity level.
+  void encode(std::span<std::span<std::uint8_t>> nodes) const;
+
+  struct RepairReport {
+    bool fully_recovered = true;
+    std::vector<bool> tier_recovered;          // per tier
+    std::vector<std::size_t> tier_bytes_lost;  // per tier, data nodes only
+  };
+
+  // Repair a failure pattern: each tier is recovered iff the failures stay
+  // within its protection level (pattern-exact, via the solver).
+  RepairReport repair(std::span<std::span<std::uint8_t>> nodes,
+                      std::span<const int> erased) const;
+
+ private:
+  std::size_t tier_offset_bytes(int tier) const;  // within an element
+  std::size_t tier_len_bytes(int tier) const;
+  std::size_t covered_bytes(int level) const;
+
+  // Views of the virtual stripe at parity depth `levels` restricted to
+  // element bytes [offset, offset+len): k data + r locals + (levels - r)
+  // globals.
+  std::vector<codes::NodeView> level_views(std::span<std::span<std::uint8_t>> nodes,
+                                           int stripe, int levels,
+                                           std::size_t offset,
+                                           std::size_t len) const;
+
+  MultiTierParams params_;
+  std::size_t block_size_;
+  int rows_;
+  // codes_[l] = family_make(k, l+1); index by parity depth - 1.
+  std::vector<std::shared_ptr<const codes::LinearCode>> codes_;
+};
+
+}  // namespace approx::core

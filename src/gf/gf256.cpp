@@ -1,0 +1,114 @@
+#include "gf/gf256.h"
+
+#include <cstring>
+
+#include "common/error.h"
+
+namespace approx::gf {
+
+namespace detail {
+
+Tables::Tables() noexcept {
+  // Generate exp/log tables from the generator element 2.
+  unsigned x = 1;
+  for (unsigned i = 0; i < 255; ++i) {
+    exp_[i] = static_cast<std::uint8_t>(x);
+    exp_[i + 255] = static_cast<std::uint8_t>(x);
+    log_[x] = static_cast<std::uint8_t>(i);
+    x <<= 1;
+    if (x & 0x100u) x ^= kPrimitivePoly;
+  }
+  log_[0] = 0;  // sentinel; mul() never reads it.
+
+  for (unsigned a = 0; a < 256; ++a) {
+    for (unsigned b = 0; b < 256; ++b) {
+      if (a == 0 || b == 0) {
+        mul_[a][b] = 0;
+      } else {
+        mul_[a][b] = exp_[log_[a] + log_[b]];
+      }
+    }
+  }
+
+  inv_[0] = 0;  // sentinel
+  for (unsigned a = 1; a < 256; ++a) {
+    inv_[a] = exp_[255 - log_[a]];
+  }
+}
+
+const Tables& tables() noexcept {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace detail
+
+std::uint8_t inv(std::uint8_t a) {
+  APPROX_REQUIRE(a != 0, "GF(256) inverse of zero");
+  return detail::tables().inv_[a];
+}
+
+std::uint8_t div(std::uint8_t a, std::uint8_t b) {
+  APPROX_REQUIRE(b != 0, "GF(256) division by zero");
+  if (a == 0) return 0;
+  const auto& t = detail::tables();
+  return t.exp_[t.log_[a] + 255 - t.log_[b]];
+}
+
+std::uint8_t pow(std::uint8_t a, unsigned e) noexcept {
+  if (e == 0) return 1;
+  if (a == 0) return 0;
+  const auto& t = detail::tables();
+  const unsigned le = (static_cast<unsigned>(t.log_[a]) * e) % 255;
+  return t.exp_[le];
+}
+
+void mul_acc_region(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                    std::uint8_t c) noexcept {
+  if (c == 0) return;
+  if (c == 1) {
+    // Pure XOR: let the compiler vectorize word-wide.
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      std::uint64_t a, b;
+      std::memcpy(&a, dst + i, 8);
+      std::memcpy(&b, src + i, 8);
+      a ^= b;
+      std::memcpy(dst + i, &a, 8);
+    }
+    for (; i < n; ++i) dst[i] ^= src[i];
+    return;
+  }
+  const std::uint8_t* row = detail::tables().mul_[c];
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    dst[i] ^= row[src[i]];
+    dst[i + 1] ^= row[src[i + 1]];
+    dst[i + 2] ^= row[src[i + 2]];
+    dst[i + 3] ^= row[src[i + 3]];
+  }
+  for (; i < n; ++i) dst[i] ^= row[src[i]];
+}
+
+void mul_region(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                std::uint8_t c) noexcept {
+  if (c == 0) {
+    std::memset(dst, 0, n);
+    return;
+  }
+  if (c == 1) {
+    if (dst != src) std::memmove(dst, src, n);
+    return;
+  }
+  const std::uint8_t* row = detail::tables().mul_[c];
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    dst[i] = row[src[i]];
+    dst[i + 1] = row[src[i + 1]];
+    dst[i + 2] = row[src[i + 2]];
+    dst[i + 3] = row[src[i + 3]];
+  }
+  for (; i < n; ++i) dst[i] = row[src[i]];
+}
+
+}  // namespace approx::gf

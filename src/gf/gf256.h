@@ -1,0 +1,60 @@
+// Arithmetic over GF(2^8) with the AES-friendly primitive polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11d), the field used by Jerasure, ISA-L and
+// most production erasure coders.
+//
+// Scalar operations are table driven (log/antilog); bulk region operations
+// use a per-coefficient 256-entry product row so the inner loop is a single
+// lookup + XOR per byte, written so the compiler can unroll it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace approx::gf {
+
+inline constexpr unsigned kFieldSize = 256;
+inline constexpr unsigned kPrimitivePoly = 0x11d;
+
+namespace detail {
+
+struct Tables {
+  // exp_[i] = g^i for generator g = 2, doubled to avoid mod-255 in mul.
+  std::uint8_t exp_[510];
+  std::uint8_t log_[256];  // log_[0] is unused.
+  std::uint8_t inv_[256];  // inv_[0] is unused.
+  // mul_[c][x] = c * x.  64 KiB; row c is the hot 256-byte table for
+  // region multiply-accumulate with coefficient c.
+  std::uint8_t mul_[256][256];
+
+  Tables() noexcept;
+};
+
+const Tables& tables() noexcept;
+
+}  // namespace detail
+
+// c * x in GF(2^8).
+inline std::uint8_t mul(std::uint8_t a, std::uint8_t b) noexcept {
+  return detail::tables().mul_[a][b];
+}
+
+// Multiplicative inverse; a must be non-zero.
+std::uint8_t inv(std::uint8_t a);
+
+// a / b; b must be non-zero.
+std::uint8_t div(std::uint8_t a, std::uint8_t b);
+
+// a^e (e >= 0).
+std::uint8_t pow(std::uint8_t a, unsigned e) noexcept;
+
+// dst ^= c * src, element-wise over n bytes.  c == 0 is a no-op,
+// c == 1 degrades to pure XOR.
+void mul_acc_region(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                    std::uint8_t c) noexcept;
+
+// dst = c * src, element-wise over n bytes.
+void mul_region(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                std::uint8_t c) noexcept;
+
+}  // namespace approx::gf

@@ -1,0 +1,161 @@
+#include "gf/gf_matrix.h"
+
+#include "common/error.h"
+#include "gf/gf256.h"
+
+namespace approx::gf {
+
+Matrix::Matrix(int rows, int cols)
+    : rows_(rows),
+      cols_(cols),
+      data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols), 0) {
+  APPROX_REQUIRE(rows >= 0 && cols >= 0, "matrix dimensions must be non-negative");
+}
+
+Matrix Matrix::identity(int n) {
+  Matrix m(n, n);
+  for (int i = 0; i < n; ++i) m.at(i, i) = 1;
+  return m;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  APPROX_REQUIRE(cols_ == rhs.rows_, "matrix product dimension mismatch");
+  Matrix out(rows_, rhs.cols_);
+  for (int i = 0; i < rows_; ++i) {
+    for (int l = 0; l < cols_; ++l) {
+      const std::uint8_t a = at(i, l);
+      if (a == 0) continue;
+      for (int j = 0; j < rhs.cols_; ++j) {
+        out.at(i, j) = static_cast<std::uint8_t>(out.at(i, j) ^ mul(a, rhs.at(l, j)));
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<Matrix> Matrix::inverted() const {
+  APPROX_REQUIRE(rows_ == cols_, "only square matrices can be inverted");
+  const int n = rows_;
+  Matrix a = *this;
+  Matrix out = identity(n);
+
+  for (int col = 0; col < n; ++col) {
+    // Find pivot.
+    int pivot = -1;
+    for (int r = col; r < n; ++r) {
+      if (a.at(r, col) != 0) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot < 0) return std::nullopt;
+    if (pivot != col) {
+      for (int j = 0; j < n; ++j) {
+        std::swap(a.at(pivot, j), a.at(col, j));
+        std::swap(out.at(pivot, j), out.at(col, j));
+      }
+    }
+    // Normalize pivot row.
+    const std::uint8_t piv = a.at(col, col);
+    if (piv != 1) {
+      const std::uint8_t pinv = inv(piv);
+      for (int j = 0; j < n; ++j) {
+        a.at(col, j) = mul(a.at(col, j), pinv);
+        out.at(col, j) = mul(out.at(col, j), pinv);
+      }
+    }
+    // Eliminate the column everywhere else.
+    for (int r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const std::uint8_t f = a.at(r, col);
+      if (f == 0) continue;
+      for (int j = 0; j < n; ++j) {
+        a.at(r, j) = static_cast<std::uint8_t>(a.at(r, j) ^ mul(f, a.at(col, j)));
+        out.at(r, j) = static_cast<std::uint8_t>(out.at(r, j) ^ mul(f, out.at(col, j)));
+      }
+    }
+  }
+  return out;
+}
+
+int Matrix::rank() const {
+  Matrix a = *this;
+  int rank = 0;
+  for (int col = 0; col < cols_ && rank < rows_; ++col) {
+    int pivot = -1;
+    for (int r = rank; r < rows_; ++r) {
+      if (a.at(r, col) != 0) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot < 0) continue;
+    if (pivot != rank) {
+      for (int j = 0; j < cols_; ++j) std::swap(a.at(pivot, j), a.at(rank, j));
+    }
+    const std::uint8_t pinv = inv(a.at(rank, col));
+    for (int j = 0; j < cols_; ++j) a.at(rank, j) = mul(a.at(rank, j), pinv);
+    for (int r = 0; r < rows_; ++r) {
+      if (r == rank) continue;
+      const std::uint8_t f = a.at(r, col);
+      if (f == 0) continue;
+      for (int j = 0; j < cols_; ++j) {
+        a.at(r, j) = static_cast<std::uint8_t>(a.at(r, j) ^ mul(f, a.at(rank, j)));
+      }
+    }
+    ++rank;
+  }
+  return rank;
+}
+
+Matrix Matrix::select_rows(const std::vector<int>& row_ids) const {
+  Matrix out(static_cast<int>(row_ids.size()), cols_);
+  for (int i = 0; i < out.rows(); ++i) {
+    const int src = row_ids[static_cast<std::size_t>(i)];
+    APPROX_REQUIRE(src >= 0 && src < rows_, "row selection out of range");
+    for (int j = 0; j < cols_; ++j) out.at(i, j) = at(src, j);
+  }
+  return out;
+}
+
+Matrix systematic_vandermonde(int n, int k) {
+  APPROX_REQUIRE(k >= 1, "k must be positive");
+  APPROX_REQUIRE(n >= k, "need at least k rows");
+  APPROX_REQUIRE(n <= 255, "GF(256) Vandermonde supports at most 255 rows");
+
+  // V[i][j] = alpha_i^j with alpha_i distinct.  Using 0..n-1 keeps the top
+  // block invertible after the standard elimination (Plank's construction:
+  // column eliminations only, preserving the Vandermonde row structure).
+  Matrix v(n, k);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < k; ++j) {
+      v.at(i, j) = pow(static_cast<std::uint8_t>(i), static_cast<unsigned>(j));
+    }
+  }
+
+  // Reduce the top k x k block to identity with column operations applied
+  // to the whole matrix; any k rows of the result stay independent because
+  // column operations are rank-preserving on every row subset.
+  Matrix top(k, k);
+  for (int i = 0; i < k; ++i)
+    for (int j = 0; j < k; ++j) top.at(i, j) = v.at(i, j);
+  auto top_inv = top.inverted();
+  APPROX_CHECK(top_inv.has_value(), "Vandermonde top block must be invertible");
+  return v * *top_inv;
+}
+
+Matrix cauchy_parity(int m, int k) {
+  APPROX_REQUIRE(m >= 1 && k >= 1, "dimensions must be positive");
+  APPROX_REQUIRE(m + k <= 256, "Cauchy construction needs m + k <= 256");
+  Matrix c(m, k);
+  for (int i = 0; i < m; ++i) {
+    const std::uint8_t x = static_cast<std::uint8_t>(i);
+    for (int j = 0; j < k; ++j) {
+      const std::uint8_t y = static_cast<std::uint8_t>(m + j);
+      c.at(i, j) = inv(static_cast<std::uint8_t>(x ^ y));
+    }
+  }
+  return c;
+}
+
+}  // namespace approx::gf

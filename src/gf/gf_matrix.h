@@ -1,0 +1,70 @@
+// Dense matrices over GF(2^8) and the standard generator constructions
+// used by Reed-Solomon style codes.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <optional>
+#include <vector>
+
+namespace approx::gf {
+
+// Row-major dense matrix over GF(2^8).
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols);
+
+  int rows() const noexcept { return rows_; }
+  int cols() const noexcept { return cols_; }
+
+  std::uint8_t& at(int r, int c) noexcept {
+    return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+                 static_cast<std::size_t>(c)];
+  }
+  std::uint8_t at(int r, int c) const noexcept {
+    return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+                 static_cast<std::size_t>(c)];
+  }
+
+  const std::uint8_t* row(int r) const noexcept {
+    return data_.data() + static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_);
+  }
+
+  static Matrix identity(int n);
+
+  Matrix operator*(const Matrix& rhs) const;
+  bool operator==(const Matrix& rhs) const = default;
+
+  // Gauss-Jordan inverse; nullopt when singular.  Requires a square matrix.
+  std::optional<Matrix> inverted() const;
+
+  // Rank via Gaussian elimination.
+  int rank() const;
+
+  // Keep only the listed rows, in the given order.
+  Matrix select_rows(const std::vector<int>& row_ids) const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<std::uint8_t> data_;
+};
+
+// n x k Vandermonde matrix V[i][j] = i^j evaluated over GF(2^8) field
+// elements 0..n-1 is NOT guaranteed invertible in every submatrix; the
+// standard fix (used by Jerasure and ISA-L) is to post-multiply by the
+// inverse of the top k x k block, producing a *systematic* generator
+//   G = [ I_k ; P ]  (n rows, k cols)
+// in which every k x k submatrix formed by any k rows is invertible,
+// i.e. the induced code is MDS.
+//
+// Returns the full n x k systematic generator (first k rows identity).
+Matrix systematic_vandermonde(int n, int k);
+
+// Cauchy matrix C[i][j] = 1 / (x_i + y_j) with distinct x_i, y_j drawn from
+// disjoint element sets: every square submatrix is invertible, so
+// [ I_k ; C ] is an MDS generator as well.  rows = m (parity rows only).
+Matrix cauchy_parity(int m, int k);
+
+}  // namespace approx::gf

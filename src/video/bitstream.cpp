@@ -1,0 +1,98 @@
+#include "video/bitstream.h"
+
+#include <cstring>
+
+#include "common/crc32.h"
+#include "common/error.h"
+
+namespace approx::video {
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+std::uint32_t read_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_frames(std::span<const EncodedFrame> frames) {
+  std::vector<std::uint8_t> out;
+  std::size_t total = 0;
+  for (const auto& f : frames) total += kFrameHeaderBytes + f.payload.size();
+  out.reserve(total);
+  for (const auto& f : frames) {
+    put_u32(out, kFrameMagic);
+    put_u32(out, f.info.index);
+    out.push_back(static_cast<std::uint8_t>(f.info.type));
+    put_u32(out, f.info.gop);
+    put_u32(out, static_cast<std::uint32_t>(f.payload.size()));
+    put_u32(out, crc32(f.payload));
+    out.insert(out.end(), f.payload.begin(), f.payload.end());
+  }
+  return out;
+}
+
+std::vector<StreamIndexEntry> build_stream_index(
+    std::span<const EncodedFrame> frames) {
+  std::vector<StreamIndexEntry> index;
+  index.reserve(frames.size());
+  std::size_t pos = 0;
+  for (const auto& f : frames) {
+    const std::size_t end = pos + kFrameHeaderBytes + f.payload.size();
+    index.push_back({f.info.index, pos, end});
+    pos = end;
+  }
+  return index;
+}
+
+ParsedStream parse_frames(std::span<const std::uint8_t> stream) {
+  ParsedStream out;
+  std::size_t pos = 0;
+  while (pos + kFrameHeaderBytes <= stream.size()) {
+    if (read_u32(stream.data() + pos) != kFrameMagic) {
+      ++pos;
+      ++out.bytes_skipped;
+      continue;
+    }
+    const std::uint32_t index = read_u32(stream.data() + pos + 4);
+    const std::uint8_t type_byte = stream[pos + 8];
+    const std::uint32_t gop = read_u32(stream.data() + pos + 9);
+    const std::uint32_t size = read_u32(stream.data() + pos + 13);
+    const std::uint32_t crc = read_u32(stream.data() + pos + 17);
+    const std::size_t body = pos + kFrameHeaderBytes;
+    if (type_byte > 2 || body + size > stream.size()) {
+      ++out.records_corrupted;
+      ++pos;
+      ++out.bytes_skipped;
+      continue;
+    }
+    const std::span<const std::uint8_t> payload(stream.data() + body, size);
+    if (crc32(payload) != crc) {
+      ++out.records_corrupted;
+      ++pos;
+      ++out.bytes_skipped;
+      continue;
+    }
+    EncodedFrame f;
+    f.info.index = index;
+    f.info.type = static_cast<FrameType>(type_byte);
+    f.info.gop = gop;
+    f.info.payload_size = size;
+    f.payload.assign(payload.begin(), payload.end());
+    out.frames.push_back(std::move(f));
+    pos = body + size;
+  }
+  // Trailing bytes too short to hold a header are ignored.
+  return out;
+}
+
+}  // namespace approx::video

@@ -1,0 +1,48 @@
+// Bitstream container: frames serialized with self-describing headers.
+//
+// This is the on-"disk" format the tiered store protects.  Each frame
+// record carries a magic, metadata and a CRC-32 so the parser can detect
+// corrupted/lost regions and resynchronize on the next intact record -
+// exactly what a real ingestion pipeline must do when approximate storage
+// hands back a stream with holes.
+//
+// Record layout (little-endian):
+//   u32 magic 'AFRM' | u32 index | u8 type | u32 gop | u32 payload_size |
+//   u32 payload_crc | payload bytes
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "video/codec.h"
+
+namespace approx::video {
+
+inline constexpr std::uint32_t kFrameMagic = 0x4d524641u;  // "AFRM"
+inline constexpr std::size_t kFrameHeaderBytes = 4 + 4 + 1 + 4 + 4 + 4;
+
+// Serialize frames (in order) into a contiguous byte stream.
+std::vector<std::uint8_t> serialize_frames(std::span<const EncodedFrame> frames);
+
+struct ParsedStream {
+  std::vector<EncodedFrame> frames;    // records that passed CRC
+  std::size_t bytes_skipped = 0;       // resync distance over corrupt regions
+  std::size_t records_corrupted = 0;   // headers found with bad CRC/bounds
+};
+
+// Parse a (possibly damaged) stream: validates every record, skips damage,
+// resynchronizes on the next magic.
+ParsedStream parse_frames(std::span<const std::uint8_t> stream);
+
+// Byte range [begin, end) of frame `i`'s record within the serialized
+// stream produced by serialize_frames (header included).
+struct StreamIndexEntry {
+  std::uint32_t frame_index = 0;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+std::vector<StreamIndexEntry> build_stream_index(std::span<const EncodedFrame> frames);
+
+}  // namespace approx::video

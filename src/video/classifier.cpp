@@ -1,0 +1,56 @@
+#include "video/classifier.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace approx::video {
+
+bool is_important(FrameType type, ImportancePolicy policy) {
+  switch (policy) {
+    case ImportancePolicy::IFramesOnly:
+      return type == FrameType::I;
+    case ImportancePolicy::IAndPFrames:
+      return type != FrameType::B;
+  }
+  return false;
+}
+
+ClassifiedStream classify(const EncodedVideo& video, ImportancePolicy policy) {
+  std::vector<EncodedFrame> imp;
+  std::vector<EncodedFrame> unimp;
+  for (const auto& f : video.frames) {
+    (is_important(f.info.type, policy) ? imp : unimp).push_back(f);
+  }
+  ClassifiedStream out;
+  out.frame_count = video.frames.size();
+  out.important = serialize_frames(imp);
+  out.unimportant = serialize_frames(unimp);
+  out.important_index = build_stream_index(imp);
+  out.unimportant_index = build_stream_index(unimp);
+  return out;
+}
+
+ReassembledVideo reassemble(std::span<const std::uint8_t> important,
+                            std::span<const std::uint8_t> unimportant,
+                            std::size_t frame_count) {
+  ReassembledVideo out;
+  out.lost.assign(frame_count, true);
+
+  auto merge = [&](const ParsedStream& parsed) {
+    for (const auto& f : parsed.frames) {
+      APPROX_REQUIRE(f.info.index < frame_count, "frame index beyond stream bounds");
+      out.lost[f.info.index] = false;
+      out.frames.push_back(f);
+    }
+  };
+  merge(parse_frames(important));
+  merge(parse_frames(unimportant));
+  std::sort(out.frames.begin(), out.frames.end(),
+            [](const EncodedFrame& a, const EncodedFrame& b) {
+              return a.info.index < b.info.index;
+            });
+  return out;
+}
+
+}  // namespace approx::video

@@ -1,0 +1,57 @@
+// Data identification & distribution module (paper §3.6.1).
+//
+// Splits an encoded video into the important and unimportant substreams
+// that the Approximate Code protects unequally.  The default policy follows
+// the paper: I frames are important (every other frame in the GOP depends
+// on them), P/B frames are unimportant.  An alternative policy also
+// promotes P frames, for the ablation on importance ratio.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "video/bitstream.h"
+#include "video/codec.h"
+
+namespace approx::video {
+
+enum class ImportancePolicy {
+  IFramesOnly,  // paper default
+  IAndPFrames,  // ablation: stronger protection, higher important ratio
+};
+
+bool is_important(FrameType type, ImportancePolicy policy);
+
+// The two serialized substreams plus the bookkeeping needed to reassemble
+// and to map storage-level byte losses back to frame losses.
+struct ClassifiedStream {
+  std::vector<std::uint8_t> important;    // serialized important records
+  std::vector<std::uint8_t> unimportant;  // serialized unimportant records
+  std::vector<StreamIndexEntry> important_index;
+  std::vector<StreamIndexEntry> unimportant_index;
+  std::size_t frame_count = 0;
+
+  // Fraction of bytes classified important (drives the choice of h).
+  double important_ratio() const {
+    const double total =
+        static_cast<double>(important.size() + unimportant.size());
+    return total == 0 ? 0 : static_cast<double>(important.size()) / total;
+  }
+};
+
+ClassifiedStream classify(const EncodedVideo& video,
+                          ImportancePolicy policy = ImportancePolicy::IFramesOnly);
+
+// Reassemble an EncodedVideo from possibly damaged substreams.  Frames
+// whose records were destroyed are absent; `lost` (sized frame_count)
+// marks them.  Frame metadata comes from the surviving records.
+struct ReassembledVideo {
+  std::vector<EncodedFrame> frames;  // sparse: only surviving frames
+  std::vector<bool> lost;            // by display index
+};
+
+ReassembledVideo reassemble(std::span<const std::uint8_t> important,
+                            std::span<const std::uint8_t> unimportant,
+                            std::size_t frame_count);
+
+}  // namespace approx::video

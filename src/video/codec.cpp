@@ -1,0 +1,138 @@
+#include "video/codec.h"
+
+#include "common/error.h"
+#include "video/rle.h"
+
+namespace approx::video {
+
+GopPattern::GopPattern(std::string pattern) : pattern_(std::move(pattern)) {
+  APPROX_REQUIRE(!pattern_.empty(), "GOP pattern must be non-empty");
+  APPROX_REQUIRE(pattern_[0] == 'I', "GOP pattern must start with an I frame");
+  for (const char c : pattern_) {
+    APPROX_REQUIRE(c == 'I' || c == 'P' || c == 'B', "GOP pattern uses I/P/B only");
+  }
+  for (std::size_t i = 1; i < pattern_.size(); ++i) {
+    APPROX_REQUIRE(pattern_[i] != 'I', "GOP pattern has a single leading I frame");
+  }
+}
+
+FrameType GopPattern::type_at(int frame_index) const {
+  const char c = pattern_[static_cast<std::size_t>(frame_index % size())];
+  if (c == 'I') return FrameType::I;
+  if (c == 'P') return FrameType::P;
+  return FrameType::B;
+}
+
+std::size_t EncodedVideo::total_bytes() const {
+  std::size_t n = 0;
+  for (const auto& f : frames) n += f.payload.size();
+  return n;
+}
+
+std::size_t EncodedVideo::bytes_of(FrameType t) const {
+  std::size_t n = 0;
+  for (const auto& f : frames) {
+    if (f.info.type == t) n += f.payload.size();
+  }
+  return n;
+}
+
+namespace {
+
+// residual = cur - ref (mod 256), with B-frame low-bit quantization.
+std::vector<std::uint8_t> residual(const Frame& cur, const Frame& ref, bool quantize) {
+  std::vector<std::uint8_t> out(cur.pixels());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    std::uint8_t d = static_cast<std::uint8_t>(cur.luma[i] - ref.luma[i]);
+    if (quantize) {
+      // Round the residual to even values; +-1 residuals collapse to 0,
+      // shrinking B payloads at a bounded quality cost.
+      d = static_cast<std::uint8_t>(d + (d & 1 ? (d < 128 ? -1 : 1) : 0));
+    }
+    out[i] = d;
+  }
+  return out;
+}
+
+Frame apply_residual(const Frame& ref, std::span<const std::uint8_t> res) {
+  Frame out(ref.width, ref.height);
+  for (std::size_t i = 0; i < out.pixels(); ++i) {
+    out.luma[i] = static_cast<std::uint8_t>(ref.luma[i] + res[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+EncodedVideo encode_video(const std::vector<Frame>& frames, const GopPattern& gop) {
+  APPROX_REQUIRE(!frames.empty(), "cannot encode an empty sequence");
+  EncodedVideo video;
+  video.width = frames[0].width;
+  video.height = frames[0].height;
+  video.gop = gop;
+  video.frames.reserve(frames.size());
+
+  Frame decoded_ref;  // the decoder-visible previous frame
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    const Frame& cur = frames[i];
+    APPROX_REQUIRE(cur.width == video.width && cur.height == video.height,
+                   "all frames must share dimensions");
+    EncodedFrame ef;
+    ef.info.index = static_cast<std::uint32_t>(i);
+    ef.info.type = gop.type_at(static_cast<int>(i));
+    ef.info.gop = gop.gop_of(static_cast<int>(i));
+    if (ef.info.type == FrameType::I) {
+      ef.payload = rle_encode(cur.luma);
+      decoded_ref = cur;
+    } else {
+      const bool quantize = ef.info.type == FrameType::B;
+      const auto res = residual(cur, decoded_ref, quantize);
+      ef.payload = rle_encode(res);
+      // Track what the decoder will actually see (B quantization is lossy).
+      decoded_ref = apply_residual(decoded_ref, res);
+    }
+    ef.info.payload_size = static_cast<std::uint32_t>(ef.payload.size());
+    video.frames.push_back(std::move(ef));
+  }
+  return video;
+}
+
+std::optional<Frame> decode_frame(const EncodedVideo& video, std::size_t index,
+                                  const Frame* ref) {
+  APPROX_REQUIRE(index < video.frames.size(), "frame index out of range");
+  const EncodedFrame& ef = video.frames[index];
+  const std::size_t plane =
+      static_cast<std::size_t>(video.width) * static_cast<std::size_t>(video.height);
+  auto raw = rle_decode(ef.payload, plane);
+  if (!raw.has_value()) return std::nullopt;
+  if (ef.info.type == FrameType::I) {
+    Frame f(video.width, video.height);
+    f.luma = std::move(*raw);
+    return f;
+  }
+  if (ref == nullptr) return std::nullopt;
+  return apply_residual(*ref, *raw);
+}
+
+std::vector<std::optional<Frame>> decode_video(const EncodedVideo& video,
+                                               const std::vector<bool>& lost) {
+  APPROX_REQUIRE(lost.size() == video.frames.size(),
+                 "loss mask must match frame count");
+  std::vector<std::optional<Frame>> out(video.frames.size());
+  const Frame* ref = nullptr;
+  for (std::size_t i = 0; i < video.frames.size(); ++i) {
+    if (lost[i]) {
+      ref = nullptr;  // reference chain broken until the next I frame
+      continue;
+    }
+    if (video.frames[i].info.type == FrameType::I) {
+      out[i] = decode_frame(video, i, nullptr);
+    } else {
+      out[i] = ref ? decode_frame(video, i, ref) : std::nullopt;
+    }
+    ref = out[i].has_value() ? &*out[i] : nullptr;
+  }
+  return out;
+}
+
+}  // namespace approx::video

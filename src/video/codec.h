@@ -1,0 +1,70 @@
+// A small, exactly-invertible GOP video codec.
+//
+// Stands in for H.264 (paper §2.1): frames are organized in GOPs following
+// a pattern such as "IBBPBBPBBPBB"; I frames are self-contained (zero-run
+// coded plane), P and B frames carry the zero-run coded residual against
+// the previously *decoded* frame, so loss of a frame degrades its GOP
+// successors exactly like real inter-coded video (error propagation until
+// the next I frame).  B frames additionally quantize the residual's low bit
+// (lossy), reproducing the I > P > B size/importance ordering.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "video/frame.h"
+
+namespace approx::video {
+
+// A GOP pattern: 'I' followed by P/B letters, e.g. "IBBPBBPBBPBB".
+class GopPattern {
+ public:
+  explicit GopPattern(std::string pattern = "IBBPBBPBBPBB");
+
+  int size() const noexcept { return static_cast<int>(pattern_.size()); }
+  FrameType type_at(int frame_index) const;  // by display index
+  std::uint32_t gop_of(int frame_index) const {
+    return static_cast<std::uint32_t>(frame_index / size());
+  }
+  const std::string& str() const noexcept { return pattern_; }
+
+ private:
+  std::string pattern_;
+};
+
+struct EncodedFrame {
+  FrameInfo info;
+  std::vector<std::uint8_t> payload;
+};
+
+struct EncodedVideo {
+  int width = 0;
+  int height = 0;
+  GopPattern gop{std::string("IBBPBBPBBPBB")};
+  std::vector<EncodedFrame> frames;
+
+  std::size_t total_bytes() const;
+  std::size_t bytes_of(FrameType t) const;
+};
+
+// Encode raw frames under the given GOP pattern.
+EncodedVideo encode_video(const std::vector<Frame>& frames, const GopPattern& gop);
+
+// Decode.  lost[i] == true marks frames whose payload was destroyed by the
+// storage layer; their slots come back as nullopt, and any successor whose
+// reference chain passes through a lost frame (before the next I frame)
+// decodes against whatever reference the caller later substitutes - see
+// recover_missing() in interpolation.h for the full recovery pipeline.
+// Frames that cannot be decoded because their reference is missing are
+// also returned as nullopt.
+std::vector<std::optional<Frame>> decode_video(const EncodedVideo& video,
+                                               const std::vector<bool>& lost);
+
+// Decode a single frame given its (possibly recovered) reference.
+// ref is ignored for I frames and required for P/B frames.
+std::optional<Frame> decode_frame(const EncodedVideo& video, std::size_t index,
+                                  const Frame* ref);
+
+}  // namespace approx::video

@@ -1,0 +1,61 @@
+// Frame types and raw frames for the video substrate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace approx::video {
+
+// H.264 frame classes (paper §2.1.1).
+enum class FrameType : std::uint8_t { I = 0, P = 1, B = 2 };
+
+inline char frame_type_letter(FrameType t) {
+  switch (t) {
+    case FrameType::I:
+      return 'I';
+    case FrameType::P:
+      return 'P';
+    case FrameType::B:
+      return 'B';
+  }
+  return '?';
+}
+
+// A raw luma-plane frame (the PSNR experiments operate on luminance, which
+// is what perceptual quality metrics weigh; see DESIGN.md V1).
+struct Frame {
+  int width = 0;
+  int height = 0;
+  std::vector<std::uint8_t> luma;
+
+  Frame() = default;
+  Frame(int w, int h)
+      : width(w),
+        height(h),
+        luma(static_cast<std::size_t>(w) * static_cast<std::size_t>(h), 0) {
+    APPROX_REQUIRE(w > 0 && h > 0, "frame dimensions must be positive");
+  }
+
+  std::uint8_t& at(int x, int y) {
+    return luma[static_cast<std::size_t>(y) * static_cast<std::size_t>(width) +
+                static_cast<std::size_t>(x)];
+  }
+  std::uint8_t at(int x, int y) const {
+    return luma[static_cast<std::size_t>(y) * static_cast<std::size_t>(width) +
+                static_cast<std::size_t>(x)];
+  }
+  std::size_t pixels() const { return luma.size(); }
+};
+
+// Metadata of one encoded frame.
+struct FrameInfo {
+  std::uint32_t index = 0;  // display order
+  FrameType type = FrameType::I;
+  std::uint32_t gop = 0;          // GOP ordinal
+  std::uint32_t payload_size = 0; // encoded bytes
+};
+
+}  // namespace approx::video

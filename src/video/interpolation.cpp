@@ -1,0 +1,182 @@
+#include "video/interpolation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/error.h"
+
+namespace approx::video {
+
+namespace {
+
+std::uint8_t sample_clamped(const Frame& f, int x, int y) {
+  x = std::clamp(x, 0, f.width - 1);
+  y = std::clamp(y, 0, f.height - 1);
+  return f.at(x, y);
+}
+
+Frame blend(const Frame& a, const Frame& b, double alpha) {
+  Frame out(a.width, a.height);
+  const double wa = 1.0 - alpha;
+  for (std::size_t i = 0; i < out.pixels(); ++i) {
+    const double v = wa * a.luma[i] + alpha * b.luma[i];
+    out.luma[i] = static_cast<std::uint8_t>(std::lround(std::clamp(v, 0.0, 255.0)));
+  }
+  return out;
+}
+
+long block_sad(const Frame& a, int ax, int ay, const Frame& b, int bx, int by,
+               int block) {
+  long sad = 0;
+  for (int y = 0; y < block; ++y) {
+    for (int x = 0; x < block; ++x) {
+      const int va = sample_clamped(a, ax + x, ay + y);
+      const int vb = sample_clamped(b, bx + x, by + y);
+      sad += std::abs(va - vb);
+    }
+  }
+  return sad;
+}
+
+Frame motion_compensated(const Frame& a, const Frame& b, double alpha, int block,
+                         int search) {
+  const auto field = estimate_motion(a, b, block, search);
+  const int blocks_x = (a.width + block - 1) / block;
+  Frame out(a.width, a.height);
+  for (int y = 0; y < a.height; ++y) {
+    for (int x = 0; x < a.width; ++x) {
+      const int bi = (y / block) * blocks_x + (x / block);
+      const MotionVector mv = field[static_cast<std::size_t>(bi)];
+      // The block travels from its position in `a` to +mv in `b`; at time
+      // alpha it has covered alpha of the way.
+      const int ax = x - static_cast<int>(std::lround(alpha * mv.dx));
+      const int ay = y - static_cast<int>(std::lround(alpha * mv.dy));
+      const int bx = x + static_cast<int>(std::lround((1.0 - alpha) * mv.dx));
+      const int by = y + static_cast<int>(std::lround((1.0 - alpha) * mv.dy));
+      const double va = sample_clamped(a, ax, ay);
+      const double vb = sample_clamped(b, bx, by);
+      const double v = (1.0 - alpha) * va + alpha * vb;
+      out.at(x, y) =
+          static_cast<std::uint8_t>(std::lround(std::clamp(v, 0.0, 255.0)));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<MotionVector> estimate_motion(const Frame& a, const Frame& b, int block,
+                                          int search_range) {
+  APPROX_REQUIRE(a.width == b.width && a.height == b.height,
+                 "motion estimation needs equal dimensions");
+  APPROX_REQUIRE(block > 0 && search_range >= 0, "bad motion parameters");
+  const int blocks_x = (a.width + block - 1) / block;
+  const int blocks_y = (a.height + block - 1) / block;
+  std::vector<MotionVector> field(
+      static_cast<std::size_t>(blocks_x) * static_cast<std::size_t>(blocks_y));
+  for (int by = 0; by < blocks_y; ++by) {
+    for (int bx = 0; bx < blocks_x; ++bx) {
+      const int ax = bx * block;
+      const int ay = by * block;
+      long best = block_sad(a, ax, ay, b, ax, ay, block);
+      MotionVector best_mv{0, 0};
+      for (int dy = -search_range; dy <= search_range; ++dy) {
+        for (int dx = -search_range; dx <= search_range; ++dx) {
+          if (dx == 0 && dy == 0) continue;
+          const long sad = block_sad(a, ax, ay, b, ax + dx, ay + dy, block);
+          if (sad < best) {
+            best = sad;
+            best_mv = {dx, dy};
+          }
+        }
+      }
+      field[static_cast<std::size_t>(by) * static_cast<std::size_t>(blocks_x) +
+            static_cast<std::size_t>(bx)] = best_mv;
+    }
+  }
+  return field;
+}
+
+Frame interpolate(const Frame& a, const Frame& b, double alpha,
+                  RecoveryMethod method) {
+  APPROX_REQUIRE(a.width == b.width && a.height == b.height,
+                 "interpolation needs equal dimensions");
+  APPROX_REQUIRE(alpha >= 0.0 && alpha <= 1.0, "alpha must lie in [0, 1]");
+  switch (method) {
+    case RecoveryMethod::LinearBlend:
+      return blend(a, b, alpha);
+    case RecoveryMethod::MotionCompensated:
+      return motion_compensated(a, b, alpha, 16, 7);
+  }
+  throw InvalidArgument("unknown recovery method");
+}
+
+std::vector<Frame> recover_video(const EncodedVideo& video,
+                                 const std::vector<bool>& lost,
+                                 RecoveryMethod method, RecoveryStats* stats) {
+  const std::size_t n = video.frames.size();
+  APPROX_REQUIRE(lost.size() == n, "loss mask must match frame count");
+  RecoveryStats local;
+  local.frames_total = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (lost[i]) ++local.payload_lost;
+  }
+
+  // Pass 1: decode every frame reachable through intact reference chains.
+  auto decoded = decode_video(video, lost);
+
+  // Anchor positions for interpolation: frames decoded in pass 1.
+  std::vector<Frame> out(n);
+  std::vector<bool> have(n, false);
+
+  const Frame* prev = nullptr;
+  std::size_t prev_idx = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (decoded[i].has_value()) {
+      out[i] = std::move(*decoded[i]);
+      have[i] = true;
+      ++local.decoded_direct;
+    } else if (!lost[i] && prev != nullptr) {
+      // Payload survived but the reference chain broke upstream: decode
+      // against the recovered reference.
+      auto f = decode_frame(video, i, prev);
+      if (f.has_value()) {
+        out[i] = std::move(*f);
+        have[i] = true;
+        ++local.redecoded;
+      }
+    }
+    if (!have[i]) {
+      // Interpolate between the previous recovered frame and the next
+      // pass-1 anchor.
+      std::size_t next = i + 1;
+      while (next < n && !decoded[next].has_value()) ++next;
+      if (prev != nullptr && next < n) {
+        const double span = static_cast<double>(next - prev_idx);
+        const double alpha = static_cast<double>(i - prev_idx) / span;
+        out[i] = interpolate(*prev, *decoded[next], alpha, method);
+        have[i] = true;
+        ++local.interpolated;
+      } else if (prev != nullptr) {
+        out[i] = *prev;  // freeze last frame
+        have[i] = true;
+        ++local.interpolated;
+      } else if (next < n) {
+        out[i] = *decoded[next];
+        have[i] = true;
+        ++local.interpolated;
+      } else {
+        out[i] = Frame(video.width, video.height);
+        std::fill(out[i].luma.begin(), out[i].luma.end(), std::uint8_t{128});
+        ++local.unrecoverable;
+      }
+    }
+    prev = &out[i];
+    prev_idx = i;
+  }
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace approx::video

@@ -1,0 +1,54 @@
+// Video recovery module (paper §3.6.3).
+//
+// Frames the storage layer lost are re-synthesized from their surviving
+// neighbours.  Two interpolators are provided:
+//   - LinearBlend: temporal cross-fade between the nearest surviving
+//     frames (cheap baseline);
+//   - MotionCompensated: block motion search between the anchors and
+//     motion-guided warping (the classical stand-in for the paper's
+//     deep-learning interpolators; see DESIGN.md V2).
+// recover_video() runs the whole §3.6 pipeline: decode what survived,
+// interpolate what did not, and re-decode inter frames whose reference
+// chain passes through a recovered frame.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "video/codec.h"
+
+namespace approx::video {
+
+enum class RecoveryMethod { LinearBlend, MotionCompensated };
+
+// Interpolate the frame at fraction alpha in (0,1) between a and b
+// (alpha -> 0 means "close to a").
+Frame interpolate(const Frame& a, const Frame& b, double alpha,
+                  RecoveryMethod method);
+
+// Block motion field from a to b (one vector per 16x16 block, full search
+// within +-search_range pixels, SAD criterion).
+struct MotionVector {
+  int dx = 0;
+  int dy = 0;
+};
+std::vector<MotionVector> estimate_motion(const Frame& a, const Frame& b,
+                                          int block = 16, int search_range = 7);
+
+struct RecoveryStats {
+  std::size_t frames_total = 0;
+  std::size_t payload_lost = 0;        // records destroyed by storage
+  std::size_t decoded_direct = 0;      // decoded from intact chains
+  std::size_t interpolated = 0;        // synthesized from neighbours
+  std::size_t redecoded = 0;           // decoded against a recovered reference
+  std::size_t unrecoverable = 0;       // no anchor on either side
+};
+
+// Full §3.6 pipeline.  Returns one frame per input frame (always sized
+// frames.size(); unrecoverable slots are mid-gray).
+std::vector<Frame> recover_video(const EncodedVideo& video,
+                                 const std::vector<bool>& lost,
+                                 RecoveryMethod method,
+                                 RecoveryStats* stats = nullptr);
+
+}  // namespace approx::video

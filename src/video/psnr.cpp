@@ -1,0 +1,27 @@
+#include "video/psnr.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace approx::video {
+
+double mse(const Frame& a, const Frame& b) {
+  APPROX_REQUIRE(a.width == b.width && a.height == b.height,
+                 "PSNR needs frames of identical dimensions");
+  APPROX_REQUIRE(a.pixels() > 0, "empty frames");
+  double acc = 0;
+  for (std::size_t i = 0; i < a.pixels(); ++i) {
+    const double d = static_cast<double>(a.luma[i]) - static_cast<double>(b.luma[i]);
+    acc += d * d;
+  }
+  return acc / static_cast<double>(a.pixels());
+}
+
+double psnr(const Frame& a, const Frame& b) {
+  const double m = mse(a, b);
+  if (m == 0) return kPsnrIdentical;
+  return 10.0 * std::log10(255.0 * 255.0 / m);
+}
+
+}  // namespace approx::video

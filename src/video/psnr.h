@@ -1,0 +1,18 @@
+// Quality metrics for the frame-recovery experiments.
+#pragma once
+
+#include <limits>
+
+#include "video/frame.h"
+
+namespace approx::video {
+
+// Mean squared error over luma.  Frames must share dimensions.
+double mse(const Frame& a, const Frame& b);
+
+// Peak signal-to-noise ratio in dB; +inf for identical frames.
+double psnr(const Frame& a, const Frame& b);
+
+inline constexpr double kPsnrIdentical = std::numeric_limits<double>::infinity();
+
+}  // namespace approx::video

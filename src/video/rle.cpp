@@ -1,0 +1,53 @@
+#include "video/rle.h"
+
+namespace approx::video {
+
+std::vector<std::uint8_t> rle_encode(std::span<const std::uint8_t> raw) {
+  std::vector<std::uint8_t> out;
+  out.reserve(raw.size() / 4 + 16);
+  std::size_t i = 0;
+  while (i < raw.size()) {
+    if (raw[i] == 0) {
+      std::size_t run = 1;
+      while (i + run < raw.size() && raw[i + run] == 0 && run < 0xffff) ++run;
+      out.push_back(0x00);
+      out.push_back(static_cast<std::uint8_t>(run & 0xff));
+      out.push_back(static_cast<std::uint8_t>(run >> 8));
+      i += run;
+    } else {
+      out.push_back(0x01);
+      out.push_back(raw[i]);
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::optional<std::vector<std::uint8_t>> rle_decode(
+    std::span<const std::uint8_t> encoded, std::size_t expected_size) {
+  std::vector<std::uint8_t> out;
+  out.reserve(expected_size);
+  std::size_t i = 0;
+  while (i < encoded.size()) {
+    const std::uint8_t tag = encoded[i];
+    if (tag == 0x00) {
+      if (i + 3 > encoded.size()) return std::nullopt;
+      const std::size_t run = static_cast<std::size_t>(encoded[i + 1]) |
+                              (static_cast<std::size_t>(encoded[i + 2]) << 8);
+      if (run == 0) return std::nullopt;
+      out.insert(out.end(), run, 0);
+      i += 3;
+    } else if (tag == 0x01) {
+      if (i + 2 > encoded.size()) return std::nullopt;
+      out.push_back(encoded[i + 1]);
+      i += 2;
+    } else {
+      return std::nullopt;
+    }
+    if (out.size() > expected_size) return std::nullopt;
+  }
+  if (out.size() != expected_size) return std::nullopt;
+  return out;
+}
+
+}  // namespace approx::video

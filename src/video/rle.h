@@ -1,0 +1,26 @@
+// Zero-run-length coding of residual planes.
+//
+// Stands in for H.264 entropy coding: smooth-scene inter-frame residuals
+// are dominated by zero bytes, so zero-run coding reproduces the size
+// structure the storage experiments depend on (I frames ~10x larger than
+// P/B frames) while remaining exactly invertible.
+//
+// Format: a sequence of tokens.
+//   0x00 <u16 runlen>  : runlen zero bytes (runlen >= 1, little-endian)
+//   0x01 <u8 literal>  : one literal byte
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace approx::video {
+
+std::vector<std::uint8_t> rle_encode(std::span<const std::uint8_t> raw);
+
+// Returns nullopt on malformed input (truncated token, zero run length).
+std::optional<std::vector<std::uint8_t>> rle_decode(
+    std::span<const std::uint8_t> encoded, std::size_t expected_size);
+
+}  // namespace approx::video

@@ -1,0 +1,61 @@
+#include "video/scene.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/prng.h"
+
+namespace approx::video {
+
+SceneGenerator::SceneGenerator(int width, int height, std::uint64_t seed)
+    : width_(width), height_(height) {
+  APPROX_REQUIRE(width > 0 && height > 0, "scene dimensions must be positive");
+  Rng rng(seed);
+  drift_x_ = 0.2 + rng.uniform() * 0.4;  // gradient drift, pixels/frame
+  drift_y_ = 0.1 + rng.uniform() * 0.3;
+  const int blob_count = 3 + static_cast<int>(rng.below(4));
+  blobs_.reserve(static_cast<std::size_t>(blob_count));
+  for (int i = 0; i < blob_count; ++i) {
+    Blob b;
+    b.cx = rng.uniform() * width;
+    b.cy = rng.uniform() * height;
+    b.rx = (0.1 + rng.uniform() * 0.25) * width;
+    b.ry = (0.1 + rng.uniform() * 0.25) * height;
+    b.phase = rng.uniform() * 6.2831853;
+    b.speed = 0.01 + rng.uniform() * 0.03;  // radians/frame: slow, smooth
+    b.radius = (0.05 + rng.uniform() * 0.1) * std::min(width, height);
+    b.brightness = 40.0 + rng.uniform() * 80.0;
+    blobs_.push_back(b);
+  }
+}
+
+Frame SceneGenerator::frame(int t) const {
+  Frame f(width_, height_);
+  const double gx = drift_x_ * t;
+  const double gy = drift_y_ * t;
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      // Smooth drifting background gradient in [64, 160).
+      const double bg =
+          112.0 + 48.0 * std::sin((x + gx) * 0.015) * std::cos((y + gy) * 0.019);
+      double v = bg;
+      for (const Blob& b : blobs_) {
+        const double a = b.phase + b.speed * t;
+        const double bx = b.cx + b.rx * std::cos(a);
+        const double by = b.cy + b.ry * std::sin(a);
+        const double dx = x - bx;
+        const double dy = y - by;
+        const double d2 = dx * dx + dy * dy;
+        const double r2 = b.radius * b.radius;
+        if (d2 < 4.0 * r2) {
+          // Soft-edged (Gaussian-ish) blob.
+          v += b.brightness * std::exp(-d2 / r2);
+        }
+      }
+      f.at(x, y) = static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0));
+    }
+  }
+  return f;
+}
+
+}  // namespace approx::video

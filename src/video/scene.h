@@ -1,0 +1,44 @@
+// Synthetic scene generator.
+//
+// The paper's PSNR experiment uses YouTube-8m clips; offline we synthesize
+// scenes with the properties the experiment depends on: temporal smoothness
+// (so inter-frame deltas are small and interpolation is meaningful) plus
+// moving structure (so the experiment is not trivially passed by a static
+// image).  Scenes are a drifting illumination gradient with several
+// sinusoidally moving soft-edged blobs; every frame is a deterministic
+// function of (seed, t).
+#pragma once
+
+#include <cstdint>
+
+#include "video/frame.h"
+
+namespace approx::video {
+
+class SceneGenerator {
+ public:
+  SceneGenerator(int width, int height, std::uint64_t seed);
+
+  int width() const noexcept { return width_; }
+  int height() const noexcept { return height_; }
+
+  // Render frame t (t >= 0).  Deterministic and random access.
+  Frame frame(int t) const;
+
+ private:
+  struct Blob {
+    double cx, cy;        // orbit centre (pixels)
+    double rx, ry;        // orbit radii
+    double phase, speed;  // angular phase/velocity
+    double radius;        // blob radius
+    double brightness;    // peak delta
+  };
+
+  int width_;
+  int height_;
+  double drift_x_;
+  double drift_y_;
+  std::vector<Blob> blobs_;
+};
+
+}  // namespace approx::video

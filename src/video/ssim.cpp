@@ -1,0 +1,66 @@
+#include "video/ssim.h"
+
+#include "common/error.h"
+
+namespace approx::video {
+
+namespace {
+
+constexpr int kWindow = 8;
+constexpr int kStride = 4;
+constexpr double kC1 = (0.01 * 255.0) * (0.01 * 255.0);
+constexpr double kC2 = (0.03 * 255.0) * (0.03 * 255.0);
+
+struct WindowStats {
+  double mean_a = 0, mean_b = 0, var_a = 0, var_b = 0, cov = 0;
+};
+
+WindowStats window_stats(const Frame& a, const Frame& b, int x0, int y0) {
+  WindowStats s;
+  constexpr double n = kWindow * kWindow;
+  for (int y = 0; y < kWindow; ++y) {
+    for (int x = 0; x < kWindow; ++x) {
+      s.mean_a += a.at(x0 + x, y0 + y);
+      s.mean_b += b.at(x0 + x, y0 + y);
+    }
+  }
+  s.mean_a /= n;
+  s.mean_b /= n;
+  for (int y = 0; y < kWindow; ++y) {
+    for (int x = 0; x < kWindow; ++x) {
+      const double da = a.at(x0 + x, y0 + y) - s.mean_a;
+      const double db = b.at(x0 + x, y0 + y) - s.mean_b;
+      s.var_a += da * da;
+      s.var_b += db * db;
+      s.cov += da * db;
+    }
+  }
+  s.var_a /= n - 1;
+  s.var_b /= n - 1;
+  s.cov /= n - 1;
+  return s;
+}
+
+}  // namespace
+
+double ssim(const Frame& a, const Frame& b) {
+  APPROX_REQUIRE(a.width == b.width && a.height == b.height,
+                 "SSIM needs frames of identical dimensions");
+  APPROX_REQUIRE(a.width >= kWindow && a.height >= kWindow,
+                 "SSIM needs frames of at least 8x8");
+  double total = 0;
+  long windows = 0;
+  for (int y = 0; y + kWindow <= a.height; y += kStride) {
+    for (int x = 0; x + kWindow <= a.width; x += kStride) {
+      const WindowStats s = window_stats(a, b, x, y);
+      const double num = (2.0 * s.mean_a * s.mean_b + kC1) * (2.0 * s.cov + kC2);
+      const double den = (s.mean_a * s.mean_a + s.mean_b * s.mean_b + kC1) *
+                         (s.var_a + s.var_b + kC2);
+      total += num / den;
+      ++windows;
+    }
+  }
+  return total / static_cast<double>(windows);
+}
+
+}  // namespace approx::video

@@ -1,0 +1,19 @@
+// Structural Similarity (SSIM) index.
+//
+// PSNR weighs every pixel error equally; SSIM (Wang et al. 2004) compares
+// local luminance, contrast and structure, which is what makes interpolated
+// frames "look right" even when their PSNR is modest.  The recovery
+// benches report both.  This is the standard single-scale SSIM over
+// sliding 8x8 windows with the conventional constants
+// C1 = (0.01*255)^2, C2 = (0.03*255)^2.
+#pragma once
+
+#include "video/frame.h"
+
+namespace approx::video {
+
+// Mean SSIM over all (stride-4) 8x8 windows; 1.0 for identical frames,
+// values near 0 for unrelated content.
+double ssim(const Frame& a, const Frame& b);
+
+}  // namespace approx::video

@@ -1,0 +1,63 @@
+#include "video/stats.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace approx::video {
+
+StreamStats analyze(const EncodedVideo& video) {
+  StreamStats s;
+  s.frames = video.frames.size();
+  std::size_t gop_count = 0;
+  for (const auto& f : video.frames) {
+    const std::size_t bytes = f.payload.size();
+    s.bytes_total += bytes;
+    s.max_frame_bytes = std::max(s.max_frame_bytes, static_cast<double>(bytes));
+    switch (f.info.type) {
+      case FrameType::I:
+        s.bytes_i += bytes;
+        ++s.frames_i;
+        break;
+      case FrameType::P:
+        s.bytes_p += bytes;
+        ++s.frames_p;
+        break;
+      case FrameType::B:
+        s.bytes_b += bytes;
+        ++s.frames_b;
+        break;
+    }
+    gop_count = std::max<std::size_t>(gop_count, f.info.gop + 1);
+  }
+  s.gops = s.frames == 0 ? 0 : gop_count;
+  s.mean_gop_bytes =
+      s.gops == 0 ? 0 : static_cast<double>(s.bytes_total) / static_cast<double>(s.gops);
+  return s;
+}
+
+core::ApprParams suggest_params(const StreamStats& stats, ImportancePolicy policy,
+                                codes::Family family, int k, int h_max) {
+  APPROX_REQUIRE(h_max >= 2, "h_max must be at least 2");
+  double important_share =
+      policy == ImportancePolicy::IFramesOnly
+          ? stats.i_byte_ratio()
+          : (stats.bytes_total == 0
+                 ? 0
+                 : static_cast<double>(stats.bytes_i + stats.bytes_p) /
+                       static_cast<double>(stats.bytes_total));
+  // Framing overhead headroom: records carry headers, streams carry
+  // padding; reserve 10%.
+  important_share = std::min(1.0, important_share * 1.1);
+
+  int h = 2;
+  for (int candidate = h_max; candidate >= 2; --candidate) {
+    if (1.0 / static_cast<double>(candidate) >= important_share) {
+      h = candidate;
+      break;
+    }
+  }
+  return core::ApprParams{family, k, 1, 2, h, core::Structure::Even};
+}
+
+}  // namespace approx::video

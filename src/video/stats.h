@@ -1,0 +1,46 @@
+// Stream statistics and storage-parameter suggestion.
+//
+// The framework's h is the inverse important-data ratio; the paper fixes
+// h in {4, 6} for its evaluation, but a deployment should derive it from
+// the stream: measure the byte share of I frames (plus P under the
+// promoting policy) and pick the layout whose important capacity fits.
+#pragma once
+
+#include "core/appr_params.h"
+#include "video/classifier.h"
+#include "video/codec.h"
+
+namespace approx::video {
+
+struct StreamStats {
+  std::size_t frames = 0;
+  std::size_t gops = 0;
+  std::size_t bytes_total = 0;
+  std::size_t bytes_i = 0;
+  std::size_t bytes_p = 0;
+  std::size_t bytes_b = 0;
+  std::size_t frames_i = 0;
+  std::size_t frames_p = 0;
+  std::size_t frames_b = 0;
+  double mean_gop_bytes = 0;
+  double max_frame_bytes = 0;
+
+  double i_byte_ratio() const {
+    return bytes_total == 0 ? 0
+                            : static_cast<double>(bytes_i) /
+                                  static_cast<double>(bytes_total);
+  }
+};
+
+StreamStats analyze(const EncodedVideo& video);
+
+// Suggest APPR parameters for a measured stream: h is the largest value
+// (within [2, h_max]) whose important fraction 1/h still covers the
+// stream's important byte share under `policy` - larger h means cheaper
+// storage, but the important tier must not overflow.
+core::ApprParams suggest_params(const StreamStats& stats,
+                                ImportancePolicy policy,
+                                codes::Family family = codes::Family::RS,
+                                int k = 4, int h_max = 8);
+
+}  // namespace approx::video

@@ -1,0 +1,111 @@
+#include "video/tiered_store.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace approx::video {
+
+TieredVideoStore::TieredVideoStore(core::ApprParams params, std::size_t block_size)
+    : code_(std::make_unique<core::ApproximateCode>(params, block_size)) {}
+
+void TieredVideoStore::put(const EncodedVideo& video, ImportancePolicy policy) {
+  const ClassifiedStream classified = classify(video, policy);
+  important_len_ = classified.important.size();
+  unimportant_len_ = classified.unimportant.size();
+  frame_count_ = classified.frame_count;
+  width_ = video.width;
+  height_ = video.height;
+  gop_ = video.gop;
+  failed_.clear();
+  chunks_.clear();
+
+  const std::size_t imp_cap = code_->important_capacity();
+  const std::size_t unimp_cap = code_->unimportant_capacity();
+  const std::size_t chunks = std::max<std::size_t>(
+      1, std::max((important_len_ + imp_cap - 1) / imp_cap,
+                  (unimportant_len_ + unimp_cap - 1) / unimp_cap));
+
+  for (std::size_t c = 0; c < chunks; ++c) {
+    std::vector<std::uint8_t> imp(imp_cap, 0);
+    std::vector<std::uint8_t> unimp(unimp_cap, 0);
+    const std::size_t imp_off = c * imp_cap;
+    if (imp_off < important_len_) {
+      const std::size_t len = std::min(imp_cap, important_len_ - imp_off);
+      std::memcpy(imp.data(), classified.important.data() + imp_off, len);
+    }
+    const std::size_t unimp_off = c * unimp_cap;
+    if (unimp_off < unimportant_len_) {
+      const std::size_t len = std::min(unimp_cap, unimportant_len_ - unimp_off);
+      std::memcpy(unimp.data(), classified.unimportant.data() + unimp_off, len);
+    }
+    StripeBuffers buffers(code_->total_nodes(), code_->node_bytes());
+    auto spans = buffers.spans();
+    code_->scatter(imp, unimp, spans);
+    code_->encode(spans);
+    chunks_.push_back(std::move(buffers));
+  }
+}
+
+void TieredVideoStore::fail_nodes(std::span<const int> nodes) {
+  for (const int n : nodes) {
+    APPROX_REQUIRE(n >= 0 && n < code_->total_nodes(), "failed node out of range");
+    if (std::find(failed_.begin(), failed_.end(), n) == failed_.end()) {
+      failed_.push_back(n);
+    }
+    for (auto& chunk : chunks_) chunk.clear_node(n);
+  }
+}
+
+TieredVideoStore::RepairSummary TieredVideoStore::repair() {
+  RepairSummary summary;
+  summary.chunks = chunks_.size();
+  for (auto& chunk : chunks_) {
+    auto spans = chunk.spans();
+    const auto report = code_->repair(spans, failed_);
+    summary.fully_recovered &= report.fully_recovered;
+    summary.all_important_recovered &= report.all_important_recovered;
+    summary.unimportant_data_bytes_lost += report.unimportant_data_bytes_lost;
+    summary.important_data_bytes_lost += report.important_data_bytes_lost;
+    summary.bytes_read += report.bytes_read;
+    summary.bytes_written += report.bytes_written;
+  }
+  if (summary.fully_recovered) failed_.clear();
+  return summary;
+}
+
+ReassembledVideo TieredVideoStore::get_degraded() {
+  std::vector<std::uint8_t> imp(chunks_.size() * code_->important_capacity(), 0);
+  std::vector<std::uint8_t> unimp(chunks_.size() * code_->unimportant_capacity(), 0);
+  for (std::size_t c = 0; c < chunks_.size(); ++c) {
+    std::vector<std::uint8_t> ci(code_->important_capacity());
+    std::vector<std::uint8_t> cu(code_->unimportant_capacity());
+    auto spans = chunks_[c].spans();
+    code_->degraded_read_important(spans, failed_, 0, ci);
+    code_->degraded_read_unimportant(spans, failed_, 0, cu);  // holes stay zero
+    std::memcpy(imp.data() + c * ci.size(), ci.data(), ci.size());
+    std::memcpy(unimp.data() + c * cu.size(), cu.data(), cu.size());
+  }
+  imp.resize(std::min(imp.size(), important_len_));
+  unimp.resize(std::min(unimp.size(), unimportant_len_));
+  return reassemble(imp, unimp, frame_count_);
+}
+
+ReassembledVideo TieredVideoStore::get() {
+  std::vector<std::uint8_t> imp(chunks_.size() * code_->important_capacity(), 0);
+  std::vector<std::uint8_t> unimp(chunks_.size() * code_->unimportant_capacity(), 0);
+  for (std::size_t c = 0; c < chunks_.size(); ++c) {
+    std::vector<std::uint8_t> ci(code_->important_capacity());
+    std::vector<std::uint8_t> cu(code_->unimportant_capacity());
+    auto spans = chunks_[c].spans();
+    code_->gather(spans, ci, cu);
+    std::memcpy(imp.data() + c * ci.size(), ci.data(), ci.size());
+    std::memcpy(unimp.data() + c * cu.size(), cu.data(), cu.size());
+  }
+  imp.resize(std::min(imp.size(), important_len_));
+  unimp.resize(std::min(unimp.size(), unimportant_len_));
+  return reassemble(imp, unimp, frame_count_);
+}
+
+}  // namespace approx::video

@@ -1,0 +1,78 @@
+// Tiered video store: the paper's Approximate Storage Layer (Fig. 6).
+//
+// Wires the three modules together: the classifier (data identification &
+// distribution) splits an encoded video into important/unimportant
+// substreams; the Approximate Code module protects them unequally across
+// one or more global stripes ("chunks"); the video recovery module
+// (interpolation.h) handles whatever the codec reports as unrecoverable.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/buffer.h"
+#include "core/approximate_code.h"
+#include "video/classifier.h"
+
+namespace approx::video {
+
+class TieredVideoStore {
+ public:
+  TieredVideoStore(core::ApprParams params, std::size_t block_size);
+
+  // Classify, chunk, scatter and encode a video.  Replaces prior contents.
+  void put(const EncodedVideo& video,
+           ImportancePolicy policy = ImportancePolicy::IFramesOnly);
+
+  // Wipe the given nodes in every chunk (simulated device loss).
+  void fail_nodes(std::span<const int> nodes);
+
+  struct RepairSummary {
+    std::size_t chunks = 0;
+    bool fully_recovered = true;
+    bool all_important_recovered = true;
+    std::size_t unimportant_data_bytes_lost = 0;
+    std::size_t important_data_bytes_lost = 0;
+    std::size_t bytes_read = 0;
+    std::size_t bytes_written = 0;
+  };
+
+  // Erasure-repair every chunk for the currently failed nodes.
+  RepairSummary repair();
+
+  // Read back and reassemble; frames whose records were destroyed are
+  // flagged lost (their GOP successors may still decode via recovery).
+  ReassembledVideo get();
+
+  // Read back while nodes are still down, without repairing: important
+  // records are decoded on the fly through the codec's degraded-read path;
+  // unimportant records on failed nodes beyond the local tolerance come
+  // back as holes (flagged lost).  The stored chunks are not modified.
+  ReassembledVideo get_degraded();
+
+  const core::ApproximateCode& code() const { return *code_; }
+  std::size_t chunk_count() const { return chunks_.size(); }
+  std::size_t stored_frame_count() const { return frame_count_; }
+  int stored_width() const { return width_; }
+  int stored_height() const { return height_; }
+  const GopPattern& stored_gop() const { return gop_; }
+
+  // Raw stored sizes (for storage-overhead accounting in examples).
+  std::size_t important_stream_bytes() const { return important_len_; }
+  std::size_t unimportant_stream_bytes() const { return unimportant_len_; }
+
+ private:
+  std::unique_ptr<core::ApproximateCode> code_;
+  std::vector<StripeBuffers> chunks_;
+  std::vector<int> failed_;
+  std::size_t important_len_ = 0;
+  std::size_t unimportant_len_ = 0;
+  std::size_t frame_count_ = 0;
+  int width_ = 0;
+  int height_ = 0;
+  GopPattern gop_{std::string("IBBPBBPBBPBB")};
+};
+
+}  // namespace approx::video

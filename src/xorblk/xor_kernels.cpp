@@ -1,0 +1,72 @@
+#include "xorblk/xor_kernels.h"
+
+#include <cstring>
+
+#include "common/error.h"
+
+namespace approx::xorblk {
+
+void xor_acc(std::uint8_t* dst, const std::uint8_t* src, std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    std::uint64_t d[4], s[4];
+    std::memcpy(d, dst + i, 32);
+    std::memcpy(s, src + i, 32);
+    d[0] ^= s[0];
+    d[1] ^= s[1];
+    d[2] ^= s[2];
+    d[3] ^= s[3];
+    std::memcpy(dst + i, d, 32);
+  }
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t d, s;
+    std::memcpy(&d, dst + i, 8);
+    std::memcpy(&s, src + i, 8);
+    d ^= s;
+    std::memcpy(dst + i, &d, 8);
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+void xor_acc2(std::uint8_t* dst, const std::uint8_t* a, const std::uint8_t* b,
+              std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    std::uint64_t d[4], x[4], y[4];
+    std::memcpy(d, dst + i, 32);
+    std::memcpy(x, a + i, 32);
+    std::memcpy(y, b + i, 32);
+    d[0] ^= x[0] ^ y[0];
+    d[1] ^= x[1] ^ y[1];
+    d[2] ^= x[2] ^ y[2];
+    d[3] ^= x[3] ^ y[3];
+    std::memcpy(dst + i, d, 32);
+  }
+  for (; i < n; ++i) dst[i] ^= static_cast<std::uint8_t>(a[i] ^ b[i]);
+}
+
+void xor_gather(std::uint8_t* dst, std::span<const std::uint8_t* const> sources,
+                std::size_t n) noexcept {
+  if (sources.empty()) {
+    std::memset(dst, 0, n);
+    return;
+  }
+  std::memcpy(dst, sources[0], n);
+  std::size_t s = 1;
+  for (; s + 2 <= sources.size(); s += 2) xor_acc2(dst, sources[s], sources[s + 1], n);
+  for (; s < sources.size(); ++s) xor_acc(dst, sources[s], n);
+}
+
+bool is_zero(const std::uint8_t* p, std::size_t n) noexcept {
+  std::size_t i = 0;
+  std::uint64_t acc = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t v;
+    std::memcpy(&v, p + i, 8);
+    acc |= v;
+  }
+  for (; i < n; ++i) acc |= p[i];
+  return acc == 0;
+}
+
+}  // namespace approx::xorblk

@@ -1,0 +1,29 @@
+// Word-wide XOR kernels.
+//
+// These are the hot loops of every XOR-based code (EVENODD, STAR, TIP) and
+// of the coefficient-1 fast path in the GF engine.  All loops operate on
+// 64-bit words via memcpy (alignment-agnostic, strict-aliasing safe) and
+// are written so GCC/Clang auto-vectorize them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace approx::xorblk {
+
+// dst ^= src over n bytes.
+void xor_acc(std::uint8_t* dst, const std::uint8_t* src, std::size_t n) noexcept;
+
+// dst ^= a ^ b over n bytes (two sources per pass halves the dst traffic).
+void xor_acc2(std::uint8_t* dst, const std::uint8_t* a, const std::uint8_t* b,
+              std::size_t n) noexcept;
+
+// dst = XOR of all sources (sources non-empty).
+void xor_gather(std::uint8_t* dst, std::span<const std::uint8_t* const> sources,
+                std::size_t n) noexcept;
+
+// True when the range is all zero bytes.
+bool is_zero(const std::uint8_t* p, std::size_t n) noexcept;
+
+}  // namespace approx::xorblk

@@ -1,0 +1,100 @@
+// Durability Monte-Carlo: determinism, limiting behaviour, and the
+// qualitative orderings the storage model implies.
+#include <gtest/gtest.h>
+
+#include "analysis/durability.h"
+#include "codes/rs_code.h"
+
+namespace approx::analysis {
+namespace {
+
+using codes::Family;
+using core::ApprParams;
+using core::Structure;
+
+DurabilityParams fast_params() {
+  DurabilityParams p;
+  p.trials = 300;
+  p.mission_hours = 2.0 * 8760;
+  return p;
+}
+
+TEST(Durability, Deterministic) {
+  const ApprParams appr{Family::RS, 4, 1, 2, 4, Structure::Even};
+  const auto a = simulate_appr_durability(appr, fast_params());
+  const auto b = simulate_appr_durability(appr, fast_params());
+  EXPECT_DOUBLE_EQ(a.p_important_loss, b.p_important_loss);
+  EXPECT_DOUBLE_EQ(a.p_unimportant_loss, b.p_unimportant_loss);
+}
+
+TEST(Durability, ImportantTierBeatsUnimportantTier) {
+  const ApprParams appr{Family::RS, 4, 1, 2, 4, Structure::Even};
+  DurabilityParams p = fast_params();
+  p.node_mttf_hours = 0.5 * 8760;  // stress failure rate to get signal
+  const auto r = simulate_appr_durability(appr, p);
+  EXPECT_GT(r.p_unimportant_loss, 0.0);
+  EXPECT_LT(r.p_important_loss, r.p_unimportant_loss);
+}
+
+TEST(Durability, FasterRepairImprovesDurability) {
+  auto rs = codes::make_rs(5, 3);
+  DurabilityParams slow = fast_params();
+  slow.node_mttf_hours = 0.25 * 8760;
+  slow.mttr_hours = 24 * 14;  // two-week rebuild
+  DurabilityParams fast = slow;
+  fast.mttr_hours = 12;
+  const auto r_slow = simulate_base_durability(*rs, slow);
+  const auto r_fast = simulate_base_durability(*rs, fast);
+  EXPECT_GT(r_slow.p_important_loss, r_fast.p_important_loss);
+}
+
+TEST(Durability, HigherFailureRateLosesMore) {
+  auto rs = codes::make_rs(5, 3);
+  DurabilityParams gentle = fast_params();
+  gentle.mttr_hours = 24 * 7;
+  DurabilityParams harsh = gentle;
+  gentle.node_mttf_hours = 2.0 * 8760;
+  harsh.node_mttf_hours = 0.1 * 8760;
+  const auto r_gentle = simulate_base_durability(*rs, gentle);
+  const auto r_harsh = simulate_base_durability(*rs, harsh);
+  EXPECT_GE(r_harsh.p_important_loss, r_gentle.p_important_loss);
+  EXPECT_GT(r_harsh.p_important_loss, 0.0);
+}
+
+TEST(Durability, ReliableRegimeLosesNothing) {
+  // Long MTTF + quick repair + short mission: no loss in a 3DFT system.
+  auto rs = codes::make_rs(4, 3);
+  DurabilityParams p;
+  p.trials = 200;
+  p.node_mttf_hours = 50.0 * 8760;
+  p.mttr_hours = 4;
+  p.mission_hours = 8760;
+  const auto r = simulate_base_durability(*rs, p);
+  EXPECT_DOUBLE_EQ(r.p_important_loss, 0.0);
+}
+
+TEST(Durability, UnevenProtectsImportantAtLeastAsWellAsEven) {
+  DurabilityParams p = fast_params();
+  p.node_mttf_hours = 0.3 * 8760;
+  p.trials = 500;
+  const ApprParams even{Family::RS, 4, 1, 2, 4, Structure::Even};
+  const ApprParams uneven{Family::RS, 4, 1, 2, 4, Structure::Uneven};
+  const auto r_even = simulate_appr_durability(even, p);
+  const auto r_uneven = simulate_appr_durability(uneven, p);
+  // P_I(Uneven) > P_I(Even) per incident; over a mission this shows up as
+  // fewer important-loss trials (allow a small sampling slack).
+  EXPECT_LE(r_uneven.p_important_loss, r_even.p_important_loss + 0.03);
+}
+
+TEST(Durability, InvalidParametersThrow) {
+  auto rs = codes::make_rs(4, 2);
+  DurabilityParams p;
+  p.trials = 0;
+  EXPECT_THROW(simulate_base_durability(*rs, p), InvalidArgument);
+  p.trials = 1;
+  p.mttr_hours = -1;
+  EXPECT_THROW(simulate_base_durability(*rs, p), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace approx::analysis

@@ -1,0 +1,109 @@
+// Validates the paper's reliability equations (1)-(4) against the exact
+// numbers quoted in §3.4 and against brute-force decodability of the real
+// codec.
+#include <gtest/gtest.h>
+
+#include "analysis/reliability.h"
+
+namespace approx::analysis {
+namespace {
+
+using codes::Family;
+using core::ApprParams;
+using core::Structure;
+
+TEST(Binomial, KnownValues) {
+  EXPECT_EQ(binomial(0, 0), 1ull);
+  EXPECT_EQ(binomial(5, 0), 1ull);
+  EXPECT_EQ(binomial(5, 5), 1ull);
+  EXPECT_EQ(binomial(5, 2), 10ull);
+  EXPECT_EQ(binomial(14, 2), 91ull);
+  EXPECT_EQ(binomial(14, 4), 1001ull);
+  EXPECT_EQ(binomial(52, 5), 2598960ull);
+  EXPECT_EQ(binomial(7, 9), 0ull);
+}
+
+// §3.4: "for APPR.RS(3,1,2,3,Even), 80.21% double failures cases are
+// recoverable for unimportant data, and 95.50% quad failures is
+// recoverable for important data nodes. For APPR.RS(3,1,2,3,Uneven),
+// P_U = 86.81%, P_I = 98.50%."
+TEST(PaperEquations, QuotedNumbersEven) {
+  const ApprParams p{Family::RS, 3, 1, 2, 3, Structure::Even};
+  EXPECT_NEAR(paper_p_u(p), 0.8021978, 1e-6);
+  EXPECT_NEAR(paper_p_i(p), 0.9550450, 1e-6);
+}
+
+TEST(PaperEquations, QuotedNumbersUneven) {
+  const ApprParams p{Family::RS, 3, 1, 2, 3, Structure::Uneven};
+  EXPECT_NEAR(paper_p_u(p), 0.8681319, 1e-6);
+  EXPECT_NEAR(paper_p_i(p), 0.9850150, 1e-6);
+}
+
+// The closed forms count only single-stripe concentrated losses; the exact
+// enumeration can only be at least as pessimistic for P_U (every pattern
+// the formula counts as fatal really is) and must agree on which side the
+// approximation errs.
+TEST(ExhaustiveVsFormula, UnimportantDoubleFailure) {
+  for (const auto structure : {Structure::Even, Structure::Uneven}) {
+    const ApprParams p{Family::RS, 3, 1, 2, 3, structure};
+    const auto exact = exhaustive_reliability(p, p.r + 1);
+    // The formula is exact for P_U in this geometry: a double failure loses
+    // unimportant data iff both nodes land in the same stripe.
+    EXPECT_NEAR(exact.p_unimportant, paper_p_u(p), 1e-9)
+        << structure_name(structure);
+  }
+}
+
+TEST(ExhaustiveVsFormula, ImportantQuadFailure) {
+  for (const auto structure : {Structure::Even, Structure::Uneven}) {
+    const ApprParams p{Family::RS, 3, 1, 2, 3, structure};
+    const auto exact = exhaustive_reliability(p, 4);
+    // Formula counts the dominant loss mode; the codec may additionally
+    // lose important data in mixed patterns (e.g. 3 stripe nodes + 1
+    // global), so the exact value is bounded above by the formula.
+    EXPECT_LE(exact.p_important, paper_p_i(p) + 1e-9) << structure_name(structure);
+    EXPECT_GT(exact.p_important, 0.85) << structure_name(structure);
+  }
+}
+
+// Up to the guaranteed tolerance nothing is ever lost.
+TEST(Exhaustive, WithinToleranceNothingLost) {
+  const ApprParams p{Family::RS, 3, 1, 2, 3, Structure::Even};
+  const auto r1 = exhaustive_reliability(p, 1);
+  EXPECT_DOUBLE_EQ(r1.p_unimportant, 1.0);
+  EXPECT_DOUBLE_EQ(r1.p_important, 1.0);
+  const auto r3 = exhaustive_reliability(p, 3);
+  EXPECT_DOUBLE_EQ(r3.p_important, 1.0);
+}
+
+TEST(MonteCarlo, ConvergesToExhaustive) {
+  const ApprParams p{Family::RS, 3, 1, 2, 3, Structure::Even};
+  const auto exact = exhaustive_reliability(p, 2);
+  const auto mc = monte_carlo_reliability(p, 2, 20000, 42);
+  EXPECT_NEAR(mc.p_unimportant, exact.p_unimportant, 0.02);
+  EXPECT_NEAR(mc.p_important, exact.p_important, 0.02);
+}
+
+TEST(MonteCarlo, Deterministic) {
+  const ApprParams p{Family::STAR, 5, 1, 2, 4, Structure::Even};
+  const auto a = monte_carlo_reliability(p, 2, 2000, 7);
+  const auto b = monte_carlo_reliability(p, 2, 2000, 7);
+  EXPECT_DOUBLE_EQ(a.p_unimportant, b.p_unimportant);
+  EXPECT_DOUBLE_EQ(a.p_important, b.p_important);
+}
+
+// Uneven beats Even on both P_U and P_I (the paper's argument for Uneven
+// providing better reliability), across several geometries.
+TEST(StructureComparison, UnevenIsMoreReliable) {
+  for (int k : {3, 4, 6}) {
+    for (int h : {3, 4, 6}) {
+      ApprParams even{Family::RS, k, 1, 2, h, Structure::Even};
+      ApprParams uneven{Family::RS, k, 1, 2, h, Structure::Uneven};
+      EXPECT_GT(paper_p_u(uneven), paper_p_u(even)) << k << " " << h;
+      EXPECT_GT(paper_p_i(uneven), paper_p_i(even)) << k << " " << h;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace approx::analysis

@@ -1,0 +1,51 @@
+#!/bin/sh
+# End-to-end lifecycle test of the approxcli tool.
+#   $1 = path to the approxcli binary
+set -e
+
+CLI="$1"
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+cd "$WORK"
+
+# Deterministic test payload (600 KB).
+awk 'BEGIN { srand(7); for (i = 0; i < 600000; ++i) printf "%c", int(rand()*256) }' \
+    > input.bin 2>/dev/null || head -c 600000 /dev/zero | tr '\0' 'x' > input.bin
+
+fail() { echo "FAIL: $1"; exit 1; }
+
+# --- encode / info / scrub on a healthy volume -----------------------------
+"$CLI" encode --family rs --k 4 --r 1 --g 2 --h 4 --block 4096 input.bin vol \
+    || fail "encode"
+"$CLI" info vol | grep -q 'APPR.RS(4,1,2,4,Even)' || fail "info reports code"
+"$CLI" scrub vol || fail "healthy scrub"
+
+# --- lossless roundtrip ------------------------------------------------------
+"$CLI" decode vol roundtrip.bin || fail "decode healthy"
+cmp -s input.bin roundtrip.bin || fail "healthy roundtrip differs"
+
+# --- single failure: full recovery ------------------------------------------
+rm vol/node_002.bin
+"$CLI" repair vol || fail "single-failure repair"
+"$CLI" scrub vol || fail "scrub after single repair"
+"$CLI" decode vol single.bin || fail "decode after single repair"
+cmp -s input.bin single.bin || fail "single-failure roundtrip differs"
+
+# --- double failure: important prefix survives -------------------------------
+rm vol/node_000.bin vol/node_001.bin
+rc=0; "$CLI" repair vol || rc=$?
+[ "$rc" -eq 0 ] || fail "double-failure repair lost important data"
+"$CLI" scrub vol || fail "scrub after double repair"
+rc=0; "$CLI" decode vol double.bin || rc=$?
+[ "$rc" -eq 1 ] || fail "decode should report checksum mismatch"
+# Important prefix (= size/h = 150000 bytes) must be intact.
+head -c 150000 input.bin > want.head
+head -c 150000 double.bin > got.head
+cmp -s want.head got.head || fail "important prefix damaged"
+
+# --- corruption detection -----------------------------------------------------
+"$CLI" encode --family crs --k 6 input.bin vol2 >/dev/null || fail "crs encode"
+dd if=/dev/zero of=vol2/node_004.bin bs=1 count=3 seek=100 conv=notrunc 2>/dev/null
+if "$CLI" scrub vol2; then fail "scrub missed corruption"; fi
+
+echo "PASS"

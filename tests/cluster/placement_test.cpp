@@ -1,0 +1,170 @@
+// Placement policies and deployment-level recovery aggregation.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/deployment.h"
+#include "codes/rs_code.h"
+
+namespace approx::cluster {
+namespace {
+
+TEST(Placement, ClusteredIsIdentity) {
+  StripePlacement p(PlacementPolicy::Clustered, 8, 8, 100);
+  for (int s = 0; s < 100; s += 17) {
+    for (int m = 0; m < 8; ++m) EXPECT_EQ(p.node_of(s, m), m);
+  }
+}
+
+TEST(Placement, ClusteredRequiresExactPool) {
+  EXPECT_THROW(StripePlacement(PlacementPolicy::Clustered, 10, 8, 4),
+               InvalidArgument);
+}
+
+TEST(Placement, DeclusteredUsesTheWholePool) {
+  StripePlacement p(PlacementPolicy::Declustered, 20, 8, 200);
+  std::set<int> used;
+  for (int s = 0; s < 200; ++s) {
+    for (int m = 0; m < 8; ++m) used.insert(p.node_of(s, m));
+  }
+  EXPECT_EQ(used.size(), 20u);
+}
+
+TEST(Placement, MembersWithinAStripeAreDistinctNodes) {
+  for (const auto policy :
+       {PlacementPolicy::Declustered, PlacementPolicy::RackAware}) {
+    StripePlacement p(policy, 24, 8, 150, policy == PlacementPolicy::RackAware ? 8 : 1);
+    for (int s = 0; s < 150; ++s) {
+      std::set<int> nodes;
+      for (int m = 0; m < 8; ++m) nodes.insert(p.node_of(s, m));
+      EXPECT_EQ(nodes.size(), 8u) << placement_name(policy) << " stripe " << s;
+    }
+  }
+}
+
+TEST(Placement, RackAwareSpreadsAcrossRacks) {
+  StripePlacement p(PlacementPolicy::RackAware, 24, 6, 120, 8);
+  EXPECT_TRUE(p.rack_disjoint());
+}
+
+TEST(Placement, RackAwareNeedsEnoughRacks) {
+  EXPECT_THROW(StripePlacement(PlacementPolicy::RackAware, 24, 8, 10, 4),
+               InvalidArgument);
+}
+
+TEST(Placement, MembersOnIsConsistentWithNodeOf) {
+  StripePlacement p(PlacementPolicy::Declustered, 12, 5, 60);
+  int total = 0;
+  for (int n = 0; n < 12; ++n) {
+    for (const auto& [s, m] : p.members_on(n)) {
+      EXPECT_EQ(p.node_of(s, m), n);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, 60 * 5);
+}
+
+TEST(Placement, DeclusteredBalancesLoad) {
+  StripePlacement p(PlacementPolicy::Declustered, 16, 8, 400);
+  std::vector<int> load(16, 0);
+  for (int n = 0; n < 16; ++n) {
+    load[static_cast<std::size_t>(n)] = static_cast<int>(p.members_on(n).size());
+  }
+  const auto [mn, mx] = std::minmax_element(load.begin(), load.end());
+  EXPECT_LT(*mx - *mn, *mx / 2) << "declustered load should be roughly even";
+}
+
+// ---------------------------------------------------------------------------
+// Deployment aggregation
+// ---------------------------------------------------------------------------
+
+TEST(Deployment, ClusteredMatchesFlatWorkloadShape) {
+  auto rs = codes::make_rs(5, 3);
+  const std::size_t member = std::size_t{64} << 20;
+  StripePlacement place(PlacementPolicy::Clustered, 8, 8, 16);
+  Deployment dep(place, member, base_code_stripe_fn(rs, member));
+  const auto w = dep.node_failure_workload(std::vector<int>{0});
+  EXPECT_EQ(w.stripes_touched, 16);
+  EXPECT_EQ(w.stripes_unrecoverable, 0);
+  // Every stripe reads the same 5 surviving nodes: 5 read entries total.
+  EXPECT_EQ(w.workload.reads.size(), 5u);
+  // Failed node is rebuilt with its full volume (16 stripes x member).
+  ASSERT_EQ(w.workload.writes.size(), 1u);
+  EXPECT_EQ(w.workload.writes[0].second, 16 * member);
+}
+
+TEST(Deployment, DeclusteredSpreadsRebuildReads) {
+  auto rs = codes::make_rs(5, 3);
+  const std::size_t member = std::size_t{64} << 20;
+  // Equal per-node volume: the 8-node clustered pool stores 32 members per
+  // node; the 32-node declustered pool needs 4x the stripes for the same.
+  StripePlacement clustered(PlacementPolicy::Clustered, 8, 8, 32);
+  StripePlacement declustered(PlacementPolicy::Declustered, 32, 8, 128);
+  Deployment dc(clustered, member, base_code_stripe_fn(rs, member));
+  Deployment dd(declustered, member, base_code_stripe_fn(rs, member));
+  const auto wc = dc.node_failure_workload(std::vector<int>{0});
+  const auto wd = dd.node_failure_workload(std::vector<int>{0});
+  // Same data volume rebuilt...
+  EXPECT_EQ(wc.workload.total_written(), wd.workload.total_written());
+  // ...but read from many more disks.
+  EXPECT_GT(wd.workload.reads.size(), wc.workload.reads.size() * 2);
+  // And the recovery completes faster on the event model.
+  ClusterConfig cfg;
+  const double tc = simulate_recovery(wc.workload, cfg).seconds;
+  const double td = simulate_recovery(wd.workload, cfg).seconds;
+  EXPECT_LT(td, tc);
+}
+
+TEST(Deployment, UnrecoverableStripesAreCountedNotRead) {
+  auto rs = codes::make_rs(4, 1);  // single-fault tolerant
+  const std::size_t member = 1 << 20;
+  StripePlacement place(PlacementPolicy::Clustered, 5, 5, 10);
+  Deployment dep(place, member, base_code_stripe_fn(rs, member));
+  const auto w = dep.node_failure_workload(std::vector<int>{0, 1});
+  EXPECT_EQ(w.stripes_touched, 10);
+  EXPECT_EQ(w.stripes_unrecoverable, 10);
+  EXPECT_TRUE(w.workload.reads.empty());
+}
+
+TEST(Deployment, ApprAdapterSkipsUnimportantVolume) {
+  const core::ApprParams params{codes::Family::RS, 4, 1, 2, 4,
+                                core::Structure::Even};
+  auto appr = std::make_shared<core::ApproximateCode>(params, 4096);
+  const std::size_t member = std::size_t{64} << 20;
+  const auto fn = appr_code_stripe_fn(appr, member);
+  // Double failure in one local stripe: only the important fraction moves.
+  const auto io = fn(std::vector<int>{0, 1});
+  ASSERT_TRUE(io.has_value());
+  std::size_t written = 0;
+  for (const auto& [m, b] : io->member_writes) written += b;
+  EXPECT_EQ(written, 2 * member / 4);  // 1/h of each failed node
+}
+
+TEST(Deployment, DeclusteredSpreadsRebuildWrites) {
+  // Spare-capacity declustering: rebuilt data lands on many healthy nodes
+  // instead of one replacement disk.
+  auto rs = codes::make_rs(5, 3);
+  const std::size_t member = 1 << 20;
+  StripePlacement place(PlacementPolicy::Declustered, 32, 8, 128);
+  Deployment dep(place, member, base_code_stripe_fn(rs, member));
+  const auto w = dep.node_failure_workload(std::vector<int>{0});
+  EXPECT_GT(w.workload.writes.size(), 4u);
+  for (const auto& [node, bytes] : w.workload.writes) {
+    EXPECT_NE(node, 0) << "rebuilt data must avoid the failed node";
+    (void)bytes;
+  }
+}
+
+TEST(Deployment, MultiNodeFailureAggregates) {
+  auto rs = codes::make_rs(5, 3);
+  const std::size_t member = 1 << 20;
+  StripePlacement place(PlacementPolicy::Declustered, 24, 8, 48);
+  Deployment dep(place, member, base_code_stripe_fn(rs, member));
+  const auto w1 = dep.node_failure_workload(std::vector<int>{3});
+  const auto w2 = dep.node_failure_workload(std::vector<int>{3, 11});
+  EXPECT_GE(w2.stripes_touched, w1.stripes_touched);
+  EXPECT_GT(w2.workload.total_written(), w1.workload.total_written());
+}
+
+}  // namespace
+}  // namespace approx::cluster

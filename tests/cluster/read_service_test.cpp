@@ -1,0 +1,126 @@
+// Degraded-read service: latency model sanity, path builders, availability
+// semantics of the two tiers.
+#include <gtest/gtest.h>
+
+#include "cluster/read_service.h"
+#include "codes/lrc_code.h"
+#include "codes/rs_code.h"
+
+namespace approx::cluster {
+namespace {
+
+ClusterConfig quiet_config() {
+  ClusterConfig c;
+  c.disk_latency = 0.001;
+  c.nic_latency = 1e-4;
+  return c;
+}
+
+ReadRequestModel light_load() {
+  ReadRequestModel m;
+  m.arrival_rate = 20.0;  // well below saturation
+  m.requests = 400;
+  m.request_bytes = 1 << 20;
+  return m;
+}
+
+TEST(ReadPaths, HealthyBaseCodeIsDirect) {
+  auto rs = codes::make_rs(6, 3);
+  const auto paths = base_code_read_paths(*rs, {});
+  ASSERT_EQ(paths.size(), 6u);
+  for (int d = 0; d < 6; ++d) {
+    const auto& p = paths[static_cast<std::size_t>(d)];
+    EXPECT_TRUE(p.available);
+    ASSERT_EQ(p.sources.size(), 1u);
+    EXPECT_EQ(p.sources[0].first, d);
+    EXPECT_DOUBLE_EQ(p.sources[0].second, 1.0);
+    EXPECT_DOUBLE_EQ(p.compute_per_byte, 0.0);
+  }
+}
+
+TEST(ReadPaths, FailedNodeDecodesFromKSources) {
+  auto rs = codes::make_rs(6, 3);
+  const auto paths = base_code_read_paths(*rs, std::vector<int>{2});
+  const auto& p = paths[2];
+  EXPECT_TRUE(p.available);
+  EXPECT_EQ(p.sources.size(), 6u);  // k survivors
+  EXPECT_GT(p.compute_per_byte, 5.0);
+  // Other nodes stay direct.
+  EXPECT_EQ(paths[0].sources.size(), 1u);
+}
+
+TEST(ReadPaths, LrcDegradedReadStaysLocal) {
+  auto lrc = codes::make_lrc(8, 4, 2);  // groups of 2
+  const auto paths = base_code_read_paths(*lrc, std::vector<int>{0});
+  EXPECT_LE(paths[0].sources.size(), 2u);  // group partner + local parity
+}
+
+TEST(ReadPaths, BeyondToleranceIsUnavailable) {
+  auto rs = codes::make_rs(4, 1);
+  const auto paths = base_code_read_paths(*rs, std::vector<int>{0, 1});
+  EXPECT_FALSE(paths[0].available);
+  EXPECT_FALSE(paths[1].available);
+  EXPECT_TRUE(paths[2].available);
+}
+
+TEST(ReadPaths, ApprImportantTierSurvivesTripleFailure) {
+  core::ApprParams params{codes::Family::RS, 4, 1, 2, 4, core::Structure::Even};
+  core::ApproximateCode code(params, 4096);
+  const std::vector<int> erased = {0, 1, 2};  // one whole stripe's data... 3 of 4
+  const auto paths = appr_read_paths(code, erased);
+  ASSERT_EQ(paths.size(), 16u);  // h*k data nodes
+  for (const auto& p : paths) EXPECT_TRUE(p.available);
+  // Failed nodes decode through the virtual stripe (locals + globals).
+  EXPECT_GT(paths[0].sources.size(), 1u);
+}
+
+TEST(ReadService, DegradedLatencyExceedsHealthy) {
+  auto rs = codes::make_rs(6, 3);
+  const auto cfg = quiet_config();
+  const auto model = light_load();
+  const auto healthy =
+      simulate_read_service(base_code_read_paths(*rs, {}), rs->total_nodes(),
+                            model, cfg);
+  const auto degraded =
+      simulate_read_service(base_code_read_paths(*rs, std::vector<int>{0}),
+                            rs->total_nodes(), model, cfg);
+  EXPECT_EQ(healthy.served, model.requests);
+  EXPECT_GT(degraded.mean_ms, healthy.mean_ms);
+  EXPECT_GT(degraded.p99_ms, healthy.p99_ms);
+  EXPECT_GE(degraded.p99_ms, degraded.p50_ms);
+}
+
+TEST(ReadService, SaturationRaisesLatency) {
+  auto rs = codes::make_rs(6, 3);
+  const auto cfg = quiet_config();
+  auto light = light_load();
+  auto heavy = light;
+  heavy.arrival_rate = 2000.0;
+  const auto paths = base_code_read_paths(*rs, std::vector<int>{0});
+  const auto l = simulate_read_service(paths, rs->total_nodes(), light, cfg);
+  const auto h = simulate_read_service(paths, rs->total_nodes(), heavy, cfg);
+  EXPECT_GT(h.mean_ms, l.mean_ms);
+}
+
+TEST(ReadService, Deterministic) {
+  auto rs = codes::make_rs(5, 2);
+  const auto paths = base_code_read_paths(*rs, std::vector<int>{1});
+  const auto a = simulate_read_service(paths, rs->total_nodes(), light_load(),
+                                       quiet_config());
+  const auto b = simulate_read_service(paths, rs->total_nodes(), light_load(),
+                                       quiet_config());
+  EXPECT_DOUBLE_EQ(a.mean_ms, b.mean_ms);
+  EXPECT_DOUBLE_EQ(a.p99_ms, b.p99_ms);
+}
+
+TEST(ReadService, UnavailablePathsAreCounted) {
+  auto rs = codes::make_rs(4, 1);
+  const auto paths = base_code_read_paths(*rs, std::vector<int>{0, 1});
+  const auto stats = simulate_read_service(paths, rs->total_nodes(), light_load(),
+                                           quiet_config());
+  EXPECT_GT(stats.unavailable, 0);
+  EXPECT_EQ(stats.served + stats.unavailable, light_load().requests);
+}
+
+}  // namespace
+}  // namespace approx::cluster

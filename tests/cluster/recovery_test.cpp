@@ -1,0 +1,234 @@
+// Event-driven cluster simulator: kernel behaviour, resource accounting,
+// workload builders and the qualitative properties Fig. 13 depends on.
+#include <gtest/gtest.h>
+
+#include "cluster/recovery.h"
+#include "cluster/sim.h"
+#include "cluster/workload.h"
+#include "codes/array_codes.h"
+#include "codes/lrc_code.h"
+#include "codes/rs_code.h"
+
+namespace approx::cluster {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Simulation kernel
+// ---------------------------------------------------------------------------
+
+TEST(Sim, EventsRunInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.at(2.0, [&] { order.push_back(2); });
+  sim.at(1.0, [&] { order.push_back(1); });
+  sim.at(3.0, [&] { order.push_back(3); });
+  EXPECT_DOUBLE_EQ(sim.run(), 3.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Sim, TiesBreakFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.at(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Sim, SchedulingIntoThePastThrows) {
+  Simulation sim;
+  sim.at(1.0, [&] { EXPECT_THROW(sim.at(0.5, [] {}), InvalidArgument); });
+  sim.run();
+}
+
+TEST(FifoResource, SerializesRequests) {
+  Simulation sim;
+  FifoResource disk(100.0, 0.0);  // 100 B/s
+  std::vector<double> done;
+  disk.submit(sim, 100, [&] { done.push_back(sim.now()); });
+  disk.submit(sim, 100, [&] { done.push_back(sim.now()); });
+  sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_DOUBLE_EQ(done[0], 1.0);
+  EXPECT_DOUBLE_EQ(done[1], 2.0);
+  EXPECT_DOUBLE_EQ(disk.busy_seconds(), 2.0);
+  EXPECT_EQ(disk.bytes_served(), 200u);
+}
+
+TEST(FifoResource, LatencyAddsPerRequest) {
+  Simulation sim;
+  FifoResource disk(1000.0, 0.5);
+  double done = 0;
+  disk.submit(sim, 1000, [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(done, 1.5);
+}
+
+// ---------------------------------------------------------------------------
+// simulate_recovery
+// ---------------------------------------------------------------------------
+
+ClusterConfig fast_config() {
+  ClusterConfig c;
+  c.disk_latency = 0;
+  c.nic_latency = 0;
+  c.task_bytes = std::size_t{16} << 20;
+  return c;
+}
+
+TEST(Recovery, EmptyWorkloadTakesZeroTime) {
+  RecoveryWorkload w;
+  w.nodes = 4;
+  const auto r = simulate_recovery(w, fast_config());
+  EXPECT_DOUBLE_EQ(r.seconds, 0.0);
+}
+
+TEST(Recovery, SingleReadWriteBoundsAreSane) {
+  ClusterConfig c = fast_config();
+  RecoveryWorkload w;
+  w.nodes = 3;
+  const std::size_t GB = std::size_t{1} << 30;
+  w.reads = {{1, GB}, {2, GB}};
+  w.writes = {{0, GB}};
+  w.compute_bytes = 2 * GB;
+  const auto r = simulate_recovery(w, c);
+  // Lower bound: the slowest single stage on the critical path.
+  const double disk_read_time = static_cast<double>(GB) / c.disk_read_bw;
+  EXPECT_GT(r.seconds, disk_read_time);
+  // Upper bound: fully serialized pipeline.
+  const double serial = 2.0 * static_cast<double>(GB) / c.disk_read_bw +
+                        2.0 * static_cast<double>(GB) / c.nic_bw +
+                        2.0 * static_cast<double>(GB) / c.coding_bw +
+                        static_cast<double>(GB) / c.disk_write_bw;
+  EXPECT_LT(r.seconds, serial * 1.05);
+}
+
+TEST(Recovery, PipeliningBeatsSerialExecution) {
+  ClusterConfig c = fast_config();
+  RecoveryWorkload w;
+  w.nodes = 4;
+  const std::size_t GB = std::size_t{1} << 30;
+  w.reads = {{1, GB}, {2, GB}, {3, GB}};
+  w.writes = {{0, GB}};
+  w.compute_bytes = 3 * GB;
+  const auto pipelined = simulate_recovery(w, c);
+  ClusterConfig serial_cfg = c;
+  serial_cfg.task_bytes = 4 * GB;  // single task: no overlap
+  const auto serial = simulate_recovery(w, serial_cfg);
+  EXPECT_LT(pipelined.seconds, serial.seconds);
+}
+
+TEST(Recovery, HalvingReadVolumeSpeedsUpRecovery) {
+  ClusterConfig c = fast_config();
+  const std::size_t GB = std::size_t{1} << 30;
+  RecoveryWorkload full;
+  full.nodes = 6;
+  for (int i = 1; i < 6; ++i) full.reads.emplace_back(i, GB);
+  full.writes = {{0, GB}};
+  full.compute_bytes = 5 * GB;
+
+  RecoveryWorkload half = full;
+  half.reads.clear();
+  for (int i = 1; i < 6; ++i) half.reads.emplace_back(i, GB / 4);
+  half.compute_bytes = 5 * GB / 4;
+  half.writes = {{0, GB / 4}};
+
+  const auto t_full = simulate_recovery(full, c);
+  const auto t_half = simulate_recovery(half, c);
+  EXPECT_LT(t_half.seconds * 2.0, t_full.seconds);
+}
+
+TEST(Recovery, Deterministic) {
+  ClusterConfig c;
+  RecoveryWorkload w;
+  w.nodes = 5;
+  w.reads = {{1, 123456789}, {2, 987654321}, {4, 55555}};
+  w.writes = {{0, 111111111}, {3, 222222222}};
+  w.compute_bytes = 999999999;
+  const auto a = simulate_recovery(w, c);
+  const auto b = simulate_recovery(w, c);
+  EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+  EXPECT_GT(a.seconds, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Workload builders
+// ---------------------------------------------------------------------------
+
+TEST(Workload, RsSingleFailureReadsKNodes) {
+  auto rs = codes::make_rs(6, 3);
+  const std::size_t cap = std::size_t{1} << 30;
+  auto w = base_code_recovery(*rs, std::vector<int>{2}, cap);
+  EXPECT_EQ(w.reads.size(), 6u);  // k sources
+  for (const auto& [node, bytes] : w.reads) EXPECT_EQ(bytes, cap);
+  ASSERT_EQ(w.writes.size(), 1u);
+  EXPECT_EQ(w.writes[0], std::make_pair(2, cap));
+}
+
+TEST(Workload, LrcSingleFailureReadsOnlyTheLocalGroup) {
+  auto lrc = codes::make_lrc(8, 4, 2);  // groups of 2
+  const std::size_t cap = std::size_t{1} << 30;
+  auto w = base_code_recovery(*lrc, std::vector<int>{0}, cap);
+  EXPECT_LE(w.reads.size(), 2u);  // group partner + local parity
+  auto rs = codes::make_rs(8, 3);
+  auto w_rs = base_code_recovery(*rs, std::vector<int>{0}, cap);
+  EXPECT_LT(w.total_read(), w_rs.total_read());
+}
+
+TEST(Workload, UnrepairablePatternThrows) {
+  auto rs = codes::make_rs(4, 2);
+  EXPECT_THROW(
+      base_code_recovery(*rs, std::vector<int>{0, 1, 2}, std::size_t{1} << 20),
+      InvalidArgument);
+}
+
+TEST(Workload, ApprDoubleFailureMovesFarFewerBytesThanBase) {
+  // The core of Fig. 13: double failure in one stripe, r=1.  The base
+  // RS(k,3) deployment rebuilds both nodes completely; APPR.RS rebuilds
+  // only the important 1/h fraction.
+  const int k = 5, h = 4;
+  const std::size_t cap = std::size_t{1} << 30;
+  core::ApprParams params{codes::Family::RS, k, 1, 2, h, core::Structure::Even};
+  core::ApproximateCode appr(params, 4096);
+  auto w_appr = appr_code_recovery(appr, std::vector<int>{0, 1}, cap);
+
+  auto rs = codes::make_rs(k, 3);
+  auto w_rs = base_code_recovery(*rs, std::vector<int>{0, 1}, cap);
+
+  EXPECT_LT(w_appr.total_read() * 2, w_rs.total_read());
+  EXPECT_LT(w_appr.total_written() * 2, w_rs.total_written());
+  EXPECT_LT(w_appr.compute_bytes * 2, w_rs.compute_bytes);
+}
+
+TEST(Workload, ApprSingleFailureIsLocalOnly) {
+  core::ApprParams params{codes::Family::STAR, 5, 2, 1, 4, core::Structure::Even};
+  core::ApproximateCode appr(params, 4096);
+  const std::size_t cap = std::size_t{1} << 28;
+  auto w = appr_code_recovery(appr, std::vector<int>{0}, cap);
+  // All reads come from stripe 0 members only.
+  for (const auto& [node, bytes] : w.reads) {
+    EXPECT_LT(node, params.nodes_per_stripe());
+    (void)bytes;
+  }
+}
+
+TEST(EndToEnd, ApprRecoversFasterUnderDoubleFailure) {
+  // Fig. 13 headline: ~4x+ faster recovery under double node failure.
+  const int k = 5, h = 4;
+  const std::size_t cap = std::size_t{256} << 20;
+  ClusterConfig config;
+  core::ApprParams params{codes::Family::RS, k, 1, 2, h, core::Structure::Even};
+  core::ApproximateCode appr(params, 4096);
+  auto rs = codes::make_rs(k, 3);
+
+  const auto t_appr = simulate_recovery(
+      appr_code_recovery(appr, std::vector<int>{0, 1}, cap), config);
+  const auto t_rs = simulate_recovery(
+      base_code_recovery(*rs, std::vector<int>{0, 1}, cap), config);
+  EXPECT_GT(t_rs.seconds, 2.5 * t_appr.seconds)
+      << "rs=" << t_rs.seconds << " appr=" << t_appr.seconds;
+}
+
+}  // namespace
+}  // namespace approx::cluster

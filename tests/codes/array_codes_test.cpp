@@ -1,0 +1,210 @@
+// EVENODD / STAR / TIP array codes: geometry, exhaustive tolerance over the
+// full evaluation sweep, update-cost closed forms, parameter gating.
+#include <gtest/gtest.h>
+
+#include "codes/array_codes.h"
+#include "codes/primes.h"
+#include "codes/code_family.h"
+#include "common/error.h"
+#include "codes/verify.h"
+
+namespace approx::codes {
+namespace {
+
+class StarSweep : public testing::TestWithParam<int> {};
+
+TEST_P(StarSweep, AllPrefixesTolerateTheirParityCount) {
+  const int p = GetParam();
+  for (int m = 1; m <= 3; ++m) {
+    auto code = make_star(p, m);
+    EXPECT_EQ(code->data_nodes(), p);
+    EXPECT_EQ(code->rows(), p - 1);
+    EXPECT_TRUE(code->is_binary());
+    EXPECT_TRUE(tolerates_all(*code, m)) << "p=" << p << " m=" << m;
+    EXPECT_TRUE(first_unrepairable(*code, m + 1).has_value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Primes, StarSweep, testing::Values(3, 5, 7, 11, 13, 17),
+                         [](const auto& in) {
+                           return "p" + std::to_string(in.param);
+                         });
+
+class TipSweep : public testing::TestWithParam<int> {};
+
+TEST_P(TipSweep, AllPrefixesTolerateTheirParityCount) {
+  const int p = GetParam();
+  for (int m = 1; m <= 3; ++m) {
+    auto code = make_tip(p, m);
+    EXPECT_EQ(code->data_nodes(), p - 2);
+    EXPECT_EQ(code->rows(), p - 1);
+    EXPECT_TRUE(tolerates_all(*code, m)) << "p=" << p << " m=" << m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Primes, TipSweep, testing::Values(5, 7, 11, 13, 17, 19),
+                         [](const auto& in) {
+                           return "p" + std::to_string(in.param);
+                         });
+
+TEST(Evenodd, MatchesStarPrefix) {
+  auto eo = make_evenodd(7);
+  auto star2 = make_star(7, 2);
+  EXPECT_EQ(eo->parity_nodes(), 2);
+  for (int row = 0; row < eo->rows(); ++row) {
+    for (int pn = 7; pn < 9; ++pn) {
+      const auto& a = eo->parity_terms(pn, row);
+      const auto& b = star2->parity_terms(pn, row);
+      ASSERT_EQ(a.size(), b.size());
+    }
+  }
+}
+
+TEST(Evenodd, HorizontalParityIsPlainRowXor) {
+  auto eo = make_evenodd(5);
+  for (int row = 0; row < 4; ++row) {
+    const auto& terms = eo->parity_terms(5, row);
+    EXPECT_EQ(terms.size(), 5u);  // one cell per data column
+    for (const auto& t : terms) {
+      EXPECT_EQ(t.info % 4, row);  // all in the same row
+      EXPECT_EQ(t.coeff, 1);
+    }
+  }
+}
+
+TEST(Evenodd, AdjusterCellsAppearInEveryDiagonalElement) {
+  // Cells on the line i + j = p-1 (mod p) belong to every diagonal parity
+  // element; all other cells to exactly one.
+  const int p = 5;
+  auto eo = make_evenodd(p);
+  const int rows = p - 1;
+  std::vector<int> appearance(static_cast<std::size_t>(p * rows), 0);
+  for (int l = 0; l < rows; ++l) {
+    for (const auto& t : eo->parity_terms(p + 1, l)) {
+      ++appearance[static_cast<std::size_t>(t.info)];
+    }
+  }
+  for (int j = 0; j < p; ++j) {
+    for (int i = 0; i < rows; ++i) {
+      const int info = j * rows + i;
+      const bool adjuster = (i + j) % p == p - 1;
+      if (adjuster) {
+        // Appears in all elements except its own cancelled one -> p-2 times
+        // after XOR cancellation with the direct entry, or p-1 times when
+        // no direct entry exists.  Either way: more than once.
+        EXPECT_GT(appearance[static_cast<std::size_t>(info)], 1) << i << "," << j;
+      } else {
+        EXPECT_EQ(appearance[static_cast<std::size_t>(info)], 1) << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(Star, UpdateCostMatchesPaperFormula) {
+  // Table 3: STAR single-write cost = 6 - 4/p.
+  for (const int p : {5, 7, 11, 13, 17}) {
+    auto star = make_star(p, 3);
+    EXPECT_NEAR(star->avg_single_write_cost(), 6.0 - 4.0 / p, 1e-12) << p;
+  }
+}
+
+TEST(Evenodd, UpdateCostMatchesKnownFormula) {
+  for (const int p : {5, 7, 13}) {
+    auto eo = make_evenodd(p);
+    EXPECT_NEAR(eo->avg_single_write_cost(), 4.0 - 2.0 / p, 1e-12) << p;
+  }
+}
+
+TEST(Tip, StorageGeometryMatchesPaper) {
+  // Overhead (p+1)/(p-2).
+  for (const int p : {5, 7, 11, 13, 17, 19}) {
+    auto tip = make_tip(p, 3);
+    EXPECT_EQ(tip->total_nodes(), p + 1);
+    EXPECT_NEAR(tip->storage_overhead(),
+                static_cast<double>(p + 1) / static_cast<double>(p - 2), 1e-12);
+  }
+}
+
+TEST(ParameterGates, MatchPaperSlashCells) {
+  // Table 6 "/" cells: STAR at k=9,15; TIP at k=7,13.
+  EXPECT_TRUE(star_supports(5));
+  EXPECT_TRUE(star_supports(7));
+  EXPECT_FALSE(star_supports(9));
+  EXPECT_TRUE(star_supports(11));
+  EXPECT_TRUE(star_supports(13));
+  EXPECT_FALSE(star_supports(15));
+  EXPECT_TRUE(star_supports(17));
+
+  EXPECT_TRUE(tip_supports(5));
+  EXPECT_FALSE(tip_supports(7));
+  EXPECT_TRUE(tip_supports(9));
+  EXPECT_TRUE(tip_supports(11));
+  EXPECT_FALSE(tip_supports(13));
+  EXPECT_TRUE(tip_supports(15));
+  EXPECT_TRUE(tip_supports(17));
+}
+
+TEST(ParameterGates, ConstructorsRejectInvalidPrimes) {
+  EXPECT_THROW(make_star(4, 3), InvalidArgument);
+  EXPECT_THROW(make_star(9, 3), InvalidArgument);
+  EXPECT_THROW(make_evenodd(6), InvalidArgument);
+  EXPECT_THROW(make_tip(4, 3), InvalidArgument);
+  EXPECT_THROW(make_tip(3, 3), InvalidArgument);  // p >= 5 for TIP
+  EXPECT_THROW(make_star(5, 4), InvalidArgument);
+  EXPECT_THROW(make_star(5, 0), InvalidArgument);
+}
+
+TEST(FamilyRegistry, RowsAndSupport) {
+  EXPECT_EQ(family_rows(Family::RS, 9), 1);
+  EXPECT_EQ(family_rows(Family::LRC, 9), 1);
+  EXPECT_EQ(family_rows(Family::STAR, 7), 6);
+  EXPECT_EQ(family_rows(Family::TIP, 5), 6);  // p = 7 -> 6 rows
+  EXPECT_EQ(family_name(Family::STAR), "STAR");
+  EXPECT_THROW(family_make(Family::STAR, 9, 3), InvalidArgument);
+  auto same = family_make(Family::TIP, 5, 2);
+  EXPECT_EQ(same.get(), family_make(Family::TIP, 5, 2).get());  // memoized
+}
+
+class RdpSweep : public testing::TestWithParam<int> {};
+
+TEST_P(RdpSweep, ToleratesDoubleFailures) {
+  const int p = GetParam();
+  auto code = make_rdp(p);
+  EXPECT_EQ(code->data_nodes(), p - 1);
+  EXPECT_EQ(code->parity_nodes(), 2);
+  EXPECT_EQ(code->rows(), p - 1);
+  EXPECT_TRUE(code->is_binary());
+  EXPECT_TRUE(tolerates_all(*code, 2)) << "p=" << p;
+  EXPECT_TRUE(first_unrepairable(*code, 3).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Primes, RdpSweep, testing::Values(3, 5, 7, 11, 13),
+                         [](const auto& in) {
+                           return "p" + std::to_string(in.param);
+                         });
+
+TEST(Rdp, DiagonalChainsRunThroughRowParity) {
+  // RDP's defining property: diagonal parity covers the row-parity column,
+  // which our expansion turns into data terms - so diagonal term lists are
+  // longer than EVENODD's plain diagonals on non-degenerate rows.
+  auto rdp = make_rdp(5);
+  std::size_t rdp_terms = 0;
+  for (int row = 0; row < rdp->rows(); ++row) {
+    rdp_terms += rdp->parity_terms(5, row).size();  // node 5 = diagonal parity
+  }
+  EXPECT_GT(rdp_terms, static_cast<std::size_t>(rdp->rows() * (rdp->data_nodes() - 1)));
+  EXPECT_THROW(make_rdp(4), InvalidArgument);
+}
+
+TEST(Primes, Helpers) {
+  EXPECT_TRUE(is_prime(2));
+  EXPECT_TRUE(is_prime(17));
+  EXPECT_FALSE(is_prime(1));
+  EXPECT_FALSE(is_prime(15));
+  EXPECT_EQ(next_prime(14), 17);
+  EXPECT_EQ(next_prime(17), 17);
+  EXPECT_EQ(next_prime(0), 2);
+}
+
+}  // namespace
+}  // namespace approx::codes

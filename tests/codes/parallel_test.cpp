@@ -1,0 +1,126 @@
+// Parallel coding paths: identical results to serial across pool sizes,
+// odd lengths and strided views.
+#include <gtest/gtest.h>
+
+#include "codes/array_codes.h"
+#include "codes/parallel.h"
+#include "common/error.h"
+#include "codes/rs_code.h"
+#include "common/buffer.h"
+#include "common/prng.h"
+
+namespace approx::codes {
+namespace {
+
+class ParallelCodingTest : public testing::TestWithParam<unsigned> {};
+
+TEST_P(ParallelCodingTest, EncodeMatchesSerial) {
+  ThreadPool pool(GetParam());
+  for (auto code : {make_rs(7, 3), make_star(5, 3)}) {
+    const std::size_t block = 777;  // deliberately not cache-line aligned
+    StripeBuffers serial(code->total_nodes(),
+                         block * static_cast<std::size_t>(code->rows()));
+    Rng rng(5);
+    for (int d = 0; d < code->data_nodes(); ++d) {
+      auto s = serial.node(d);
+      fill_random(s.data(), s.size(), rng);
+    }
+    StripeBuffers parallel(code->total_nodes(),
+                           block * static_cast<std::size_t>(code->rows()));
+    for (int n = 0; n < code->total_nodes(); ++n) {
+      std::copy(serial.node(n).begin(), serial.node(n).end(),
+                parallel.node(n).begin());
+    }
+
+    auto sspans = serial.spans();
+    code->encode_blocks(sspans, block);
+
+    std::vector<NodeView> views;
+    for (int n = 0; n < code->total_nodes(); ++n) {
+      views.push_back(full_view(parallel.node(n), block));
+    }
+    encode_parallel(*code, views, pool);
+
+    for (int n = 0; n < code->total_nodes(); ++n) {
+      ASSERT_TRUE(std::equal(serial.node(n).begin(), serial.node(n).end(),
+                             parallel.node(n).begin()))
+          << code->name() << " node " << n << " pool " << GetParam();
+    }
+  }
+}
+
+TEST_P(ParallelCodingTest, RepairMatchesSerial) {
+  ThreadPool pool(GetParam());
+  auto code = make_star(7, 3);
+  const std::size_t block = 321;
+  StripeBuffers buf(code->total_nodes(),
+                    block * static_cast<std::size_t>(code->rows()));
+  Rng rng(6);
+  for (int d = 0; d < code->data_nodes(); ++d) {
+    auto s = buf.node(d);
+    fill_random(s.data(), s.size(), rng);
+  }
+  auto spans = buf.spans();
+  code->encode_blocks(spans, block);
+  std::vector<std::vector<std::uint8_t>> want;
+  for (int n = 0; n < code->total_nodes(); ++n) {
+    want.emplace_back(buf.node(n).begin(), buf.node(n).end());
+  }
+
+  const std::vector<int> erased = {0, 3, 8};
+  for (const int e : erased) buf.clear_node(e);
+  std::vector<NodeView> views;
+  for (int n = 0; n < code->total_nodes(); ++n) {
+    views.push_back(full_view(buf.node(n), block));
+  }
+  ASSERT_TRUE(repair_parallel(*code, views, erased, pool));
+  for (int n = 0; n < code->total_nodes(); ++n) {
+    ASSERT_TRUE(std::equal(buf.node(n).begin(), buf.node(n).end(),
+                           want[static_cast<std::size_t>(n)].begin()))
+        << "node " << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PoolSizes, ParallelCodingTest, testing::Values(1u, 2u, 4u, 7u),
+                         [](const auto& in) {
+                           return "threads" + std::to_string(in.param);
+                         });
+
+TEST(SubrangeViews, RejectOutOfRange) {
+  StripeBuffers buf(2, 64);
+  std::vector<NodeView> views = {full_view(buf.node(0), 64),
+                                 full_view(buf.node(1), 64)};
+  EXPECT_THROW(subrange_views(views, 32, 40), InvalidArgument);
+  auto sub = subrange_views(views, 16, 16);
+  EXPECT_EQ(sub[0].len, 16u);
+  EXPECT_EQ(sub[0].data, buf.node(0).data() + 16);
+  EXPECT_EQ(sub[0].stride, 64u);
+}
+
+TEST(ParallelCoding, TinyLengthSingleChunk) {
+  ThreadPool pool(8);
+  auto code = make_rs(3, 2);
+  StripeBuffers buf(5, 16);
+  Rng rng(7);
+  for (int d = 0; d < 3; ++d) {
+    auto s = buf.node(d);
+    fill_random(s.data(), s.size(), rng);
+  }
+  std::vector<NodeView> views;
+  for (int n = 0; n < 5; ++n) views.push_back(full_view(buf.node(n), 16));
+  encode_parallel(*code, views, pool);
+  StripeBuffers ref(5, 16);
+  for (int n = 0; n < 5; ++n) {
+    std::copy(buf.node(n).begin(), buf.node(n).end(), ref.node(n).begin());
+  }
+  for (int n = 3; n < 5; ++n) ref.clear_node(n);
+  auto rspans = ref.spans();
+  code->encode_blocks(rspans, 16);
+  for (int n = 0; n < 5; ++n) {
+    EXPECT_TRUE(std::equal(buf.node(n).begin(), buf.node(n).end(),
+                           ref.node(n).begin()));
+  }
+}
+
+}  // namespace
+}  // namespace approx::codes

@@ -1,0 +1,197 @@
+// RS and LRC constructions: parameterized MDS/tolerance sweeps over the
+// full evaluation space, prefix property, locality, update-cost formulas.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "codes/code_family.h"
+#include "common/error.h"
+#include "codes/lrc_code.h"
+#include "codes/rs_code.h"
+#include "codes/verify.h"
+
+namespace approx::codes {
+namespace {
+
+// ---------------------------------------------------------------------------
+// RS
+// ---------------------------------------------------------------------------
+
+class RsMdsTest : public testing::TestWithParam<int> {};
+
+TEST_P(RsMdsTest, IsMds) {
+  const int k = GetParam();
+  for (int m = 1; m <= 3; ++m) {
+    auto code = make_rs(k, m);
+    EXPECT_TRUE(tolerates_all(*code, m)) << "k=" << k << " m=" << m;
+    const auto counterexample = first_unrepairable(*code, m + 1);
+    EXPECT_TRUE(counterexample.has_value()) << "k=" << k << " m=" << m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(EvalSweep, RsMdsTest,
+                         testing::Values(2, 3, 4, 5, 7, 9, 11, 13, 15, 17),
+                         [](const auto& in) {
+                           return "k" + std::to_string(in.param);
+                         });
+
+TEST(Rs, PrefixProperty) {
+  for (const int k : {4, 9, 17}) {
+    auto full = make_rs(k, 3);
+    for (int m = 1; m < 3; ++m) {
+      auto prefix = make_rs(k, m);
+      for (int p = 0; p < m; ++p) {
+        const auto& a = prefix->parity_terms(k + p, 0);
+        const auto& b = full->parity_terms(k + p, 0);
+        ASSERT_EQ(a.size(), b.size());
+        for (std::size_t i = 0; i < a.size(); ++i) {
+          EXPECT_EQ(a[i].info, b[i].info);
+          EXPECT_EQ(a[i].coeff, b[i].coeff);
+        }
+      }
+    }
+  }
+}
+
+TEST(Rs, FamilySlicesShareTheSameGenerator) {
+  auto full = family_make(Family::RS, 8, 3);
+  auto local = family_make(Family::RS, 8, 1);
+  const auto& a = local->parity_terms(8, 0);
+  const auto& b = full->parity_terms(8, 0);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].coeff, b[i].coeff);
+  }
+}
+
+TEST(Rs, ParameterValidation) {
+  EXPECT_THROW(make_rs(0, 2), InvalidArgument);
+  EXPECT_THROW(make_rs(-1, 2), InvalidArgument);
+  EXPECT_THROW(make_rs(254, 3), InvalidArgument);
+  EXPECT_NO_THROW(make_rs(250, 3));
+}
+
+TEST(Rs, UpdateCostIsRPlusOne) {
+  for (const int k : {4, 9, 15}) {
+    for (int m = 1; m <= 3; ++m) {
+      auto code = make_rs(k, m);
+      EXPECT_DOUBLE_EQ(code->avg_single_write_cost(), m + 1.0);
+    }
+  }
+}
+
+TEST(XmdsFamily, FirstRowIsXorEverywhere) {
+  for (const int k : {3, 8, 17}) {
+    auto code = make_mds_with_xor_row(k, 3);
+    const auto& row = code->parity_terms(k, 0);
+    EXPECT_EQ(static_cast<int>(row.size()), k);
+    for (const auto& t : row) EXPECT_EQ(t.coeff, 1);
+  }
+}
+
+class XmdsTest : public testing::TestWithParam<int> {};
+
+TEST_P(XmdsTest, EveryPrefixIsMds) {
+  const int k = GetParam();
+  for (int m = 1; m <= 3; ++m) {
+    auto code = family_make(Family::LRC, k, m);
+    EXPECT_TRUE(tolerates_all(*code, m)) << "k=" << k << " m=" << m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(EvalSweep, XmdsTest, testing::Values(5, 7, 9, 11, 13, 15, 17),
+                         [](const auto& in) {
+                           return "k" + std::to_string(in.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// LRC
+// ---------------------------------------------------------------------------
+
+TEST(LrcGroups, BalancedContiguousSplit) {
+  // k=7, l=3 -> groups of sizes 3,2,2 covering 0..6 without overlap.
+  std::vector<int> all;
+  for (int g = 0; g < 3; ++g) {
+    const auto members = lrc_group_members(7, 3, g);
+    EXPECT_GE(members.size(), 2u);
+    EXPECT_LE(members.size(), 3u);
+    all.insert(all.end(), members.begin(), members.end());
+  }
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(all, (std::vector<int>{0, 1, 2, 3, 4, 5, 6}));
+  EXPECT_THROW(lrc_group_members(4, 2, 2), InvalidArgument);
+  EXPECT_THROW(lrc_group_members(2, 4, 0), InvalidArgument);
+}
+
+struct LrcConfig {
+  int k, l, r;
+};
+
+class LrcToleranceTest : public testing::TestWithParam<LrcConfig> {};
+
+TEST_P(LrcToleranceTest, ToleratesRPlusOne) {
+  const auto [k, l, r] = GetParam();
+  auto code = make_lrc(k, l, r);
+  EXPECT_TRUE(tolerates_all(*code, r + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EvalSweep, LrcToleranceTest,
+    testing::Values(LrcConfig{5, 4, 2}, LrcConfig{7, 4, 2}, LrcConfig{7, 6, 2},
+                    LrcConfig{9, 4, 2}, LrcConfig{9, 6, 2}, LrcConfig{11, 4, 2},
+                    LrcConfig{11, 6, 2}, LrcConfig{13, 4, 2}, LrcConfig{13, 6, 2},
+                    LrcConfig{15, 4, 2}, LrcConfig{15, 6, 2}, LrcConfig{17, 4, 2},
+                    LrcConfig{17, 6, 2}, LrcConfig{6, 2, 1}, LrcConfig{8, 2, 3}),
+    [](const auto& in) {
+      return "k" + std::to_string(in.param.k) + "l" + std::to_string(in.param.l) +
+             "r" + std::to_string(in.param.r);
+    });
+
+TEST(Lrc, SingleDataFailureIsLocal) {
+  auto code = make_lrc(12, 4, 2);  // groups of 3
+  for (int d = 0; d < 12; ++d) {
+    auto plan = code->plan_repair(std::vector<int>{d});
+    ASSERT_NE(plan, nullptr);
+    // Reads: 2 group partners + 1 local parity.
+    EXPECT_EQ(plan->source_nodes.size(), 3u) << "data node " << d;
+    const int group = d / 3;
+    for (const int src : plan->source_nodes) {
+      const bool partner = src >= group * 3 && src < (group + 1) * 3;
+      const bool local_parity = src == 12 + group;
+      EXPECT_TRUE(partner || local_parity) << "node " << d << " read " << src;
+    }
+  }
+}
+
+TEST(Lrc, LocalParityFailureRebuildsFromGroup) {
+  auto code = make_lrc(8, 4, 2);  // groups of 2
+  auto plan = code->plan_repair(std::vector<int>{8});  // first local parity
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->source_nodes.size(), 2u);
+}
+
+TEST(Lrc, SomePatternsBeyondToleranceStillRepair) {
+  // Failures spread across groups are often repairable beyond r+1.
+  auto code = make_lrc(8, 4, 2);
+  // One data node per group for every group: 4 failures, one per group.
+  EXPECT_TRUE(code->can_repair(std::vector<int>{0, 2, 4, 6}));
+  // But 4 failures in one group (2 data + local + a global) exceed it.
+  EXPECT_FALSE(code->can_repair(std::vector<int>{0, 1, 8, 12}));
+}
+
+TEST(Lrc, StorageOverheadAndWriteCost) {
+  auto code = make_lrc(8, 4, 2);
+  EXPECT_DOUBLE_EQ(code->storage_overhead(), 14.0 / 8.0);
+  // Each data element touches 1 local + 2 globals: cost 4 = r + 2.
+  EXPECT_DOUBLE_EQ(code->avg_single_write_cost(), 4.0);
+}
+
+TEST(Lrc, ParameterValidation) {
+  EXPECT_THROW(make_lrc(4, 6, 2), InvalidArgument);
+  EXPECT_THROW(make_lrc(0, 1, 1), InvalidArgument);
+  EXPECT_THROW(make_lrc(4, 0, 2), InvalidArgument);
+  EXPECT_THROW(make_lrc(4, 2, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace approx::codes

@@ -1,0 +1,94 @@
+// Early smoke coverage: round-trips and tolerance for every base code at
+// small parameters.  The deep parameterized suites live in the per-code
+// test files.
+#include <gtest/gtest.h>
+
+#include "codes/array_codes.h"
+#include "codes/lrc_code.h"
+#include "codes/rs_code.h"
+#include "codes/verify.h"
+#include "common/buffer.h"
+#include "common/prng.h"
+
+namespace approx::codes {
+namespace {
+
+// Fill data nodes, encode, wipe `erased`, repair, compare.
+void roundtrip(const LinearCode& code, std::span<const int> erased,
+               bool expect_ok, std::uint64_t seed) {
+  const std::size_t block = 128;
+  StripeBuffers buf(code.total_nodes(),
+                    block * static_cast<std::size_t>(code.rows()));
+  Rng rng(seed);
+  for (int d = 0; d < code.data_nodes(); ++d) {
+    auto s = buf.node(d);
+    fill_random(s.data(), s.size(), rng);
+  }
+  auto spans = buf.spans();
+  code.encode_blocks(spans, block);
+
+  std::vector<std::vector<std::uint8_t>> original;
+  for (int n = 0; n < code.total_nodes(); ++n) {
+    original.emplace_back(buf.node(n).begin(), buf.node(n).end());
+  }
+  for (const int e : erased) buf.clear_node(e);
+
+  auto spans2 = buf.spans();
+  const bool ok = code.repair_blocks(spans2, block, erased);
+  EXPECT_EQ(ok, expect_ok) << code.name();
+  if (ok) {
+    for (int n = 0; n < code.total_nodes(); ++n) {
+      ASSERT_TRUE(std::equal(buf.node(n).begin(), buf.node(n).end(),
+                             original[static_cast<std::size_t>(n)].begin()))
+          << code.name() << " node " << n;
+    }
+  }
+}
+
+TEST(SmokeTest, RsRoundtripTriple) {
+  auto rs = make_rs(6, 3);
+  roundtrip(*rs, std::vector<int>{0, 4, 7}, true, 1);
+  EXPECT_TRUE(tolerates_all(*rs, 3));
+  EXPECT_FALSE(tolerates_all(*rs, 4));
+}
+
+TEST(SmokeTest, EvenoddTolerance) {
+  auto eo = make_evenodd(5);
+  EXPECT_TRUE(tolerates_all(*eo, 2));
+  roundtrip(*eo, std::vector<int>{1, 5}, true, 2);
+}
+
+TEST(SmokeTest, StarTolerance) {
+  auto star = make_star(5, 3);
+  EXPECT_TRUE(tolerates_all(*star, 3));
+  roundtrip(*star, std::vector<int>{0, 2, 6}, true, 3);
+}
+
+TEST(SmokeTest, TipSearchFindsMdsLayout) {
+  auto tip = make_tip(5, 3);
+  EXPECT_EQ(tip->data_nodes(), 3);
+  EXPECT_TRUE(tolerates_all(*tip, 3));
+  roundtrip(*tip, std::vector<int>{0, 1, 2}, true, 4);
+
+  auto tip7 = make_tip(7, 3);
+  EXPECT_TRUE(tolerates_all(*tip7, 3));
+}
+
+TEST(SmokeTest, LrcToleranceAndLocality) {
+  auto lrc = make_lrc(6, 2, 2);
+  EXPECT_TRUE(tolerates_all(*lrc, 3));
+  // Single data-node repair reads only the local group.
+  auto plan = lrc->plan_repair(std::vector<int>{1});
+  ASSERT_NE(plan, nullptr);
+  EXPECT_LE(plan->source_nodes.size(), 3u);
+}
+
+TEST(SmokeTest, XorFirstRowMds) {
+  auto code = make_mds_with_xor_row(8, 3);
+  // First parity row must be pure XOR.
+  for (const auto& t : code->parity_terms(8, 0)) EXPECT_EQ(t.coeff, 1);
+  EXPECT_TRUE(tolerates_all(*code, 3));
+}
+
+}  // namespace
+}  // namespace approx::codes

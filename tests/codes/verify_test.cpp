@@ -1,0 +1,76 @@
+// The verification helpers themselves (the tests' own measuring stick).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "codes/rs_code.h"
+#include "codes/verify.h"
+#include "common/error.h"
+
+namespace approx::codes {
+namespace {
+
+TEST(ForEachSubset, EnumeratesExactlyOnce) {
+  std::set<std::vector<int>> seen;
+  for_each_subset(6, 3, [&](const std::vector<int>& s) {
+    EXPECT_TRUE(seen.insert(s).second) << "duplicate subset";
+    EXPECT_EQ(s.size(), 3u);
+    for (std::size_t i = 1; i < s.size(); ++i) EXPECT_LT(s[i - 1], s[i]);
+    for (const int v : s) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 6);
+    }
+    return true;
+  });
+  EXPECT_EQ(seen.size(), 20u);  // C(6,3)
+}
+
+TEST(ForEachSubset, EdgeCases) {
+  int count = 0;
+  for_each_subset(5, 0, [&](const std::vector<int>& s) {
+    EXPECT_TRUE(s.empty());
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 1);  // the empty subset
+
+  count = 0;
+  for_each_subset(3, 5, [&](const std::vector<int>&) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 0);  // r > n: nothing to enumerate
+
+  count = 0;
+  for_each_subset(4, 4, [&](const std::vector<int>& s) {
+    EXPECT_EQ(s, (std::vector<int>{0, 1, 2, 3}));
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ForEachSubset, AbortsOnFalse) {
+  int count = 0;
+  const bool completed = for_each_subset(8, 2, [&](const std::vector<int>&) {
+    return ++count < 5;
+  });
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(count, 5);
+}
+
+TEST(ToleratesAll, MatchesKnownCodes) {
+  auto rs = make_rs(4, 2);
+  EXPECT_TRUE(tolerates_all(*rs, 0));
+  EXPECT_TRUE(tolerates_all(*rs, 1));
+  EXPECT_TRUE(tolerates_all(*rs, 2));
+  EXPECT_FALSE(tolerates_all(*rs, 3));
+  const auto bad = first_unrepairable(*rs, 3);
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_EQ(bad->size(), 3u);
+  EXPECT_FALSE(rs->can_repair(*bad));
+  EXPECT_FALSE(first_unrepairable(*rs, 2).has_value());
+}
+
+}  // namespace
+}  // namespace approx::codes

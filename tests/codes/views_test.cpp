@@ -1,0 +1,101 @@
+// NodeView geometry, partial parity encoding and targeted schedule
+// execution (apply_for_element).
+#include <gtest/gtest.h>
+
+#include "codes/array_codes.h"
+#include "common/error.h"
+#include "codes/rs_code.h"
+#include "common/buffer.h"
+#include "common/prng.h"
+
+namespace approx::codes {
+namespace {
+
+TEST(NodeView, FullAndRangeViews) {
+  StripeBuffers buf(1, 64);
+  auto node = buf.node(0);
+  const auto full = full_view(node, 16);  // 4 elements of 16 bytes
+  EXPECT_EQ(full.data, node.data());
+  EXPECT_EQ(full.len, 16u);
+  EXPECT_EQ(full.stride, 16u);
+  EXPECT_EQ(full.elem(3), node.data() + 48);
+
+  const auto range = range_view(node, 16, 4, 8);  // bytes [4,12) of each elem
+  EXPECT_EQ(range.data, node.data() + 4);
+  EXPECT_EQ(range.len, 8u);
+  EXPECT_EQ(range.stride, 16u);
+  EXPECT_EQ(range.elem(2), node.data() + 36);
+}
+
+TEST(EncodeParityNodes, SubsetLeavesOthersUntouched) {
+  auto star = make_star(5, 3);
+  const std::size_t block = 32;
+  StripeBuffers buf(star->total_nodes(),
+                    block * static_cast<std::size_t>(star->rows()));
+  Rng rng(1);
+  for (int d = 0; d < 5; ++d) {
+    auto s = buf.node(d);
+    fill_random(s.data(), s.size(), rng);
+  }
+  // Poison all parity nodes, then encode only node 6 (diagonal).
+  for (int p = 5; p < 8; ++p) {
+    auto s = buf.node(p);
+    std::fill(s.begin(), s.end(), std::uint8_t{0xEE});
+  }
+  std::vector<NodeView> views;
+  for (int n = 0; n < 8; ++n) views.push_back(full_view(buf.node(n), block));
+  star->encode_parity_nodes(views, std::vector<int>{6});
+  // Node 6 recomputed, nodes 5 and 7 still poisoned.
+  bool node6_changed = false;
+  for (const auto b : buf.node(6)) node6_changed |= b != 0xEE;
+  EXPECT_TRUE(node6_changed);
+  for (const int p : {5, 7}) {
+    for (const auto b : buf.node(p)) ASSERT_EQ(b, 0xEE) << "node " << p;
+  }
+  EXPECT_THROW(star->encode_parity_nodes(views, std::vector<int>{2}),
+               InvalidArgument);  // not a parity node
+}
+
+TEST(ApplyForElement, RebuildsOneElementOnly) {
+  auto star = make_star(7, 3);
+  const std::size_t block = 24;
+  StripeBuffers buf(star->total_nodes(),
+                    block * static_cast<std::size_t>(star->rows()));
+  Rng rng(2);
+  for (int d = 0; d < 7; ++d) {
+    auto s = buf.node(d);
+    fill_random(s.data(), s.size(), rng);
+  }
+  auto spans = buf.spans();
+  star->encode_blocks(spans, block);
+  std::vector<std::uint8_t> want(buf.node(2).begin(), buf.node(2).end());
+
+  const std::vector<int> erased = {2, 4};
+  auto plan = star->plan_repair(erased);
+  ASSERT_NE(plan, nullptr);
+  for (const int e : erased) buf.clear_node(e);
+
+  std::vector<NodeView> views;
+  for (int n = 0; n < star->total_nodes(); ++n) {
+    views.push_back(full_view(buf.node(n), block));
+  }
+  const int executed = star->apply_for_element(*plan, views, {2, 3});
+  EXPECT_GE(executed, 1);
+  EXPECT_LT(executed, static_cast<int>(plan->targets.size()));
+  // Element (2,3) is correct even though node 4 is still mostly zero.
+  EXPECT_TRUE(std::equal(buf.node(2).begin() + 3 * 24, buf.node(2).begin() + 4 * 24,
+                         want.begin() + 3 * 24));
+}
+
+TEST(ApplyForElement, UnknownElementIsNoop) {
+  auto rs = make_rs(4, 2);
+  auto plan = rs->plan_repair(std::vector<int>{1});
+  ASSERT_NE(plan, nullptr);
+  StripeBuffers buf(6, 16);
+  std::vector<NodeView> views;
+  for (int n = 0; n < 6; ++n) views.push_back(full_view(buf.node(n), 16));
+  EXPECT_EQ(rs->apply_for_element(*plan, views, {3, 0}), 0);  // not a target
+}
+
+}  // namespace
+}  // namespace approx::codes

@@ -1,0 +1,210 @@
+// Foundations: aligned buffers, PRNG, CRC-32, stopwatch, error types.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "common/buffer.h"
+#include "common/crc32.h"
+#include "common/error.h"
+#include "common/prng.h"
+#include "common/stopwatch.h"
+
+namespace approx {
+namespace {
+
+// ---------------------------------------------------------------------------
+// AlignedBuffer / StripeBuffers
+// ---------------------------------------------------------------------------
+
+TEST(AlignedBuffer, IsAlignedAndZeroed) {
+  for (const std::size_t size : {1u, 63u, 64u, 65u, 4096u, 100000u}) {
+    AlignedBuffer buf(size);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % 64, 0u) << size;
+    EXPECT_EQ(buf.size(), size);
+    for (std::size_t i = 0; i < size; ++i) ASSERT_EQ(buf[i], 0) << i;
+  }
+}
+
+TEST(AlignedBuffer, EmptyBuffer) {
+  AlignedBuffer buf;
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.size(), 0u);
+  AlignedBuffer sized(0);
+  EXPECT_TRUE(sized.empty());
+}
+
+TEST(AlignedBuffer, CopySemantics) {
+  AlignedBuffer a(128);
+  for (std::size_t i = 0; i < 128; ++i) a[i] = static_cast<std::uint8_t>(i);
+  AlignedBuffer b(a);
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), 128), 0);
+  b[0] = 0xff;
+  EXPECT_EQ(a[0], 0);  // deep copy
+  AlignedBuffer c(64);
+  c = a;
+  EXPECT_EQ(c.size(), 128u);
+  EXPECT_EQ(std::memcmp(a.data(), c.data(), 128), 0);
+}
+
+TEST(AlignedBuffer, MoveSemantics) {
+  AlignedBuffer a(64);
+  a[5] = 42;
+  const std::uint8_t* p = a.data();
+  AlignedBuffer b(std::move(a));
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(b[5], 42);
+  EXPECT_EQ(a.size(), 0u);  // NOLINT(bugprone-use-after-move): specified
+}
+
+TEST(AlignedBuffer, SelfAssignment) {
+  AlignedBuffer a(32);
+  a[0] = 7;
+  a = a;
+  EXPECT_EQ(a[0], 7);
+  EXPECT_EQ(a.size(), 32u);
+}
+
+TEST(AlignedBuffer, ClearZeroes) {
+  AlignedBuffer a(100);
+  Rng rng(1);
+  fill_random(a.data(), a.size(), rng);
+  a.clear();
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], 0);
+}
+
+TEST(StripeBuffers, Geometry) {
+  StripeBuffers s(5, 1024);
+  EXPECT_EQ(s.nodes(), 5);
+  EXPECT_EQ(s.bytes_per_node(), 1024u);
+  EXPECT_EQ(s.spans().size(), 5u);
+  EXPECT_EQ(s.const_spans().size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(s.node(i).size(), 1024u);
+}
+
+TEST(StripeBuffers, NodesAreIndependent) {
+  StripeBuffers s(3, 64);
+  s.node(1)[0] = 0xaa;
+  EXPECT_EQ(s.node(0)[0], 0);
+  EXPECT_EQ(s.node(2)[0], 0);
+  s.clear_node(1);
+  EXPECT_EQ(s.node(1)[0], 0);
+}
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(123), b(123), c(124);
+  bool diverged = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a();
+    EXPECT_EQ(va, b());
+    if (va != c()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Rng, BelowIsInRangeAndCoversValues) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.below(10);
+    ASSERT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, UniformIsInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, FillRandomCoversOddLengths) {
+  Rng rng(13);
+  std::vector<std::uint8_t> buf(37, 0);
+  fill_random(buf.data(), buf.size(), rng);
+  int nonzero = 0;
+  for (const auto b : buf) nonzero += b != 0;
+  EXPECT_GT(nonzero, 20);  // all-zero tail would indicate a fill bug
+}
+
+TEST(Rng, ZeroSeedIsWellMixed) {
+  Rng rng(0);
+  std::uint64_t acc = 0;
+  for (int i = 0; i < 10; ++i) acc |= rng();
+  EXPECT_NE(acc, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32
+// ---------------------------------------------------------------------------
+
+TEST(Crc32, KnownVectors) {
+  // IEEE CRC-32 of "123456789" is 0xCBF43926.
+  const std::uint8_t digits[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(digits), 0xcbf43926u);
+  EXPECT_EQ(crc32({}), 0u);
+  const std::uint8_t a[] = {'a'};
+  EXPECT_EQ(crc32(a), 0xe8b7be43u);
+}
+
+TEST(Crc32, DetectsSingleBitFlips) {
+  Rng rng(17);
+  std::vector<std::uint8_t> data(256);
+  fill_random(data.data(), data.size(), rng);
+  const std::uint32_t base = crc32(data);
+  for (int bit = 0; bit < 32; ++bit) {
+    data[static_cast<std::size_t>(bit * 7 % 256)] ^=
+        static_cast<std::uint8_t>(1u << (bit % 8));
+    EXPECT_NE(crc32(data), base);
+    data[static_cast<std::size_t>(bit * 7 % 256)] ^=
+        static_cast<std::uint8_t>(1u << (bit % 8));
+  }
+  EXPECT_EQ(crc32(data), base);
+}
+
+// ---------------------------------------------------------------------------
+// Error machinery
+// ---------------------------------------------------------------------------
+
+TEST(Errors, RequireThrowsWithLocation) {
+  try {
+    APPROX_REQUIRE(1 == 2, "math is broken");
+    FAIL() << "should have thrown";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("math is broken"), std::string::npos);
+    EXPECT_NE(what.find("common_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Errors, HierarchyIsSane) {
+  EXPECT_THROW(throw InvalidArgument("x"), Error);
+  EXPECT_THROW(throw InternalError("x"), Error);
+}
+
+TEST(Stopwatch, MeasuresForwardTime) {
+  Stopwatch sw;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GE(sw.seconds(), 0.0);
+  EXPECT_GE(sw.millis(), sw.seconds());
+}
+
+}  // namespace
+}  // namespace approx

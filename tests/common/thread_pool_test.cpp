@@ -1,0 +1,119 @@
+// ThreadPool: chunking, exception propagation, reuse and edge cases.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <set>
+
+#include "common/error.h"
+#include "common/thread_pool.h"
+
+namespace approx {
+namespace {
+
+TEST(ThreadPool, SizeDefaultsToHardware) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, CoversWholeRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, 1000, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, NonZeroBase) {
+  ThreadPool pool(3);
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(100, 200, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) sum.fetch_add(i);
+  });
+  std::size_t expect = 0;
+  for (std::size_t i = 100; i < 200; ++i) expect += i;
+  EXPECT_EQ(sum.load(), expect);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(5, 5, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, InvertedRangeThrows) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(5, 4, [](std::size_t, std::size_t) {}),
+               InvalidArgument);
+}
+
+TEST(ThreadPool, SmallRangeFewerChunksThanWorkers) {
+  ThreadPool pool(8);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, 3, [&](std::size_t lo, std::size_t hi) {
+    EXPECT_LE(hi - lo, 1u);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(ThreadPool, ChunksAreBalanced) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::vector<std::size_t> sizes;
+  pool.parallel_for(0, 10, [&](std::size_t lo, std::size_t hi) {
+    std::lock_guard<std::mutex> lock(mu);
+    sizes.push_back(hi - lo);
+  });
+  ASSERT_EQ(sizes.size(), 4u);
+  EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), std::size_t{0}), 10u);
+  const auto [mn, mx] = std::minmax_element(sizes.begin(), sizes.end());
+  EXPECT_LE(*mx - *mn, 1u);
+}
+
+TEST(ThreadPool, ExceptionsPropagateToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(0, 100,
+                                 [](std::size_t lo, std::size_t) {
+                                   if (lo >= 25) throw InvalidArgument("boom");
+                                 }),
+               InvalidArgument);
+  // The pool must remain usable after an exception.
+  std::atomic<int> ok{0};
+  pool.parallel_for(0, 10, [&](std::size_t lo, std::size_t hi) {
+    ok.fetch_add(static_cast<int>(hi - lo));
+  });
+  EXPECT_EQ(ok.load(), 10);
+}
+
+TEST(ThreadPool, ReusableAcrossManyInvocations) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(0, 37, [&](std::size_t lo, std::size_t hi) {
+      total.fetch_add(hi - lo);
+    });
+  }
+  EXPECT_EQ(total.load(), 50u * 37u);
+}
+
+TEST(ThreadPool, SingleWorkerRunsInline) {
+  ThreadPool pool(1);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, 1000, [&](std::size_t lo, std::size_t hi) {
+    EXPECT_EQ(lo, 0u);
+    EXPECT_EQ(hi, 1000u);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+}
+
+}  // namespace
+}  // namespace approx

@@ -1,0 +1,195 @@
+// Multi-tier unequal protection (the N-level generalization of the
+// framework): geometry, per-tier tolerance semantics, and the 3-tier
+// I/P/B video mapping.
+#include <gtest/gtest.h>
+
+#include "common/buffer.h"
+#include "common/prng.h"
+#include "core/multi_tier_code.h"
+
+namespace approx::core {
+namespace {
+
+using codes::Family;
+
+MultiTierParams three_tier(Family family = Family::RS, int k = 4, int h = 4) {
+  MultiTierParams p;
+  p.family = family;
+  p.k = k;
+  p.r = 1;
+  p.h = h;
+  p.frac_den = 8;
+  // I frames: 1/8 at triple protection; P: 1/8 at double; B: 6/8 local only.
+  p.tiers = {{3, 1}, {2, 1}, {1, 6}};
+  return p;
+}
+
+struct Fixture {
+  explicit Fixture(const MultiTierParams& p, std::size_t block = 64)
+      : code(p, block), buffers(code.total_nodes(), code.node_bytes()) {
+    Rng rng(4);
+    for (int t = 0; t < code.tier_count(); ++t) {
+      streams.emplace_back(code.tier_capacity(t));
+      fill_random(streams.back().data(), streams.back().size(), rng);
+    }
+    std::vector<std::span<const std::uint8_t>> views(streams.begin(), streams.end());
+    auto spans = buffers.spans();
+    code.scatter(views, spans);
+    code.encode(spans);
+    for (int n = 0; n < code.total_nodes(); ++n) {
+      snapshot.emplace_back(buffers.node(n).begin(), buffers.node(n).end());
+    }
+  }
+
+  MultiTierCode::RepairReport wipe_and_repair(const std::vector<int>& erased) {
+    for (const int e : erased) buffers.clear_node(e);
+    auto spans = buffers.spans();
+    return code.repair(spans, erased);
+  }
+
+  bool tier_matches(int t) {
+    std::vector<std::vector<std::uint8_t>> out;
+    for (int i = 0; i < code.tier_count(); ++i) {
+      out.emplace_back(code.tier_capacity(i));
+    }
+    std::vector<std::span<std::uint8_t>> views(out.begin(), out.end());
+    auto spans = buffers.spans();
+    code.gather(spans, views);
+    return out[static_cast<std::size_t>(t)] == streams[static_cast<std::size_t>(t)];
+  }
+
+  bool node_matches(int n) {
+    return std::equal(buffers.node(n).begin(), buffers.node(n).end(),
+                      snapshot[static_cast<std::size_t>(n)].begin());
+  }
+
+  MultiTierCode code;
+  StripeBuffers buffers;
+  std::vector<std::vector<std::uint8_t>> streams;
+  std::vector<std::vector<std::uint8_t>> snapshot;
+};
+
+TEST(MultiTierParams, Validation) {
+  auto p = three_tier();
+  EXPECT_NO_THROW(p.validate());
+  EXPECT_EQ(p.global_levels(), 2);
+  EXPECT_EQ(p.total_nodes(), 4 * 5 + 2);
+  EXPECT_EQ(p.covered_num(1), 2);  // tiers 0+1 have > 1 level
+  EXPECT_EQ(p.covered_num(2), 1);  // only tier 0 has > 2 levels
+
+  auto bad = p;
+  bad.tiers[2].levels = 2;  // last tier must equal r
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+  bad = p;
+  bad.tiers = {{2, 4}, {3, 4}};  // increasing protection order
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+  bad = p;
+  bad.tiers[0].frac_num = 2;  // fractions no longer sum to den
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+  bad = p;
+  bad.tiers = {{3, 4}, {1, 4}};
+  bad.frac_den = 8;
+  bad.h = 4;  // covered fraction 1/2 at level 1 needs h <= 2
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+}
+
+TEST(MultiTier, ScatterGatherRoundtrip) {
+  Fixture fx(three_tier());
+  for (int t = 0; t < 3; ++t) EXPECT_TRUE(fx.tier_matches(t));
+}
+
+TEST(MultiTier, CapacitiesPartitionTheDataVolume) {
+  Fixture fx(three_tier());
+  std::size_t total = 0;
+  for (int t = 0; t < 3; ++t) total += fx.code.tier_capacity(t);
+  EXPECT_EQ(total, static_cast<std::size_t>(4 * 4) * fx.code.node_bytes());
+}
+
+TEST(MultiTier, SingleFailureRepairsEverything) {
+  Fixture fx(three_tier());
+  auto report = fx.wipe_and_repair({0});
+  EXPECT_TRUE(report.fully_recovered);
+  for (int n = 0; n < fx.code.total_nodes(); ++n) EXPECT_TRUE(fx.node_matches(n));
+}
+
+TEST(MultiTier, DoubleFailureKeepsTiers0And1) {
+  Fixture fx(three_tier());
+  auto report = fx.wipe_and_repair({0, 1});  // same stripe, beyond r=1
+  EXPECT_FALSE(report.fully_recovered);
+  EXPECT_TRUE(report.tier_recovered[0]);
+  EXPECT_TRUE(report.tier_recovered[1]);
+  EXPECT_FALSE(report.tier_recovered[2]);
+  EXPECT_GT(report.tier_bytes_lost[2], 0u);
+  EXPECT_EQ(report.tier_bytes_lost[0], 0u);
+  EXPECT_TRUE(fx.tier_matches(0));
+  EXPECT_TRUE(fx.tier_matches(1));
+}
+
+TEST(MultiTier, TripleFailureKeepsOnlyTier0) {
+  Fixture fx(three_tier());
+  auto report = fx.wipe_and_repair({0, 1, 2});
+  EXPECT_TRUE(report.tier_recovered[0]);
+  EXPECT_FALSE(report.tier_recovered[1]);
+  EXPECT_FALSE(report.tier_recovered[2]);
+  EXPECT_TRUE(fx.tier_matches(0));
+}
+
+TEST(MultiTier, FailuresAcrossStripesRepairLocally) {
+  Fixture fx(three_tier());
+  auto report = fx.wipe_and_repair({0, 5, 10, 15});  // one per stripe
+  EXPECT_TRUE(report.fully_recovered);
+  for (int n = 0; n < fx.code.total_nodes(); ++n) EXPECT_TRUE(fx.node_matches(n));
+}
+
+TEST(MultiTier, GlobalNodeFailureIsReencoded) {
+  Fixture fx(three_tier());
+  const int g0 = fx.code.total_nodes() - 2;
+  const int g1 = fx.code.total_nodes() - 1;
+  auto report = fx.wipe_and_repair({g0, g1});
+  EXPECT_TRUE(report.fully_recovered);
+  EXPECT_TRUE(fx.node_matches(g0));
+  EXPECT_TRUE(fx.node_matches(g1));
+}
+
+TEST(MultiTier, MixedDataAndGlobalFailure) {
+  Fixture fx(three_tier());
+  const int g1 = fx.code.total_nodes() - 1;  // deepest-level global
+  auto report = fx.wipe_and_repair({0, 1, g1});
+  // Tier 0 needs level-2 parity, which just failed alongside 2 data nodes:
+  // the virtual stripe sees 3 failures against 3 parity rows.
+  EXPECT_TRUE(report.tier_recovered[0]);
+  EXPECT_TRUE(report.tier_recovered[1]);
+  EXPECT_FALSE(report.tier_recovered[2]);
+  EXPECT_TRUE(fx.tier_matches(0));
+  EXPECT_TRUE(fx.tier_matches(1));
+}
+
+TEST(MultiTier, WorksWithArrayCodeFamilies) {
+  auto p = three_tier(Family::STAR, 5, 4);
+  Fixture fx(p, 64);
+  auto report = fx.wipe_and_repair({0, 1});
+  EXPECT_TRUE(report.tier_recovered[0]);
+  EXPECT_TRUE(report.tier_recovered[1]);
+  EXPECT_TRUE(fx.tier_matches(0));
+  EXPECT_TRUE(fx.tier_matches(1));
+}
+
+TEST(MultiTier, TwoTierConfigMatchesApprSemantics) {
+  // A two-tier MultiTierCode with fractions {1/h, (h-1)/h} is exactly the
+  // paper's APPR(k,1,2,h,Even).
+  MultiTierParams p;
+  p.family = Family::RS;
+  p.k = 4;
+  p.r = 1;
+  p.h = 4;
+  p.frac_den = 4;
+  p.tiers = {{3, 1}, {1, 3}};
+  Fixture fx(p, 64);
+  auto report = fx.wipe_and_repair({0, 1, 2});
+  EXPECT_TRUE(report.tier_recovered[0]);
+  EXPECT_FALSE(report.tier_recovered[1]);
+  EXPECT_TRUE(fx.tier_matches(0));
+}
+
+}  // namespace
+}  // namespace approx::core

@@ -1,0 +1,187 @@
+// Scrubbing: silent-corruption detection and localization.
+#include <gtest/gtest.h>
+
+#include "codes/array_codes.h"
+#include "codes/crs_code.h"
+#include "codes/rs_code.h"
+#include "common/buffer.h"
+#include "common/prng.h"
+#include "core/approximate_code.h"
+
+namespace approx::core {
+namespace {
+
+using codes::Family;
+
+// ---------------------------------------------------------------------------
+// LinearCode-level scrubbing
+// ---------------------------------------------------------------------------
+
+struct CodeFixture {
+  explicit CodeFixture(std::shared_ptr<const codes::LinearCode> c)
+      : code(std::move(c)),
+        block(48),
+        buffers(code->total_nodes(), block * static_cast<std::size_t>(code->rows())) {
+    Rng rng(3);
+    for (int d = 0; d < code->data_nodes(); ++d) {
+      auto s = buffers.node(d);
+      fill_random(s.data(), s.size(), rng);
+    }
+    auto spans = buffers.spans();
+    code->encode_blocks(spans, block);
+  }
+
+  std::vector<codes::NodeView> views() {
+    std::vector<codes::NodeView> v;
+    for (int n = 0; n < code->total_nodes(); ++n) {
+      v.push_back(codes::full_view(buffers.node(n), block));
+    }
+    return v;
+  }
+
+  std::shared_ptr<const codes::LinearCode> code;
+  std::size_t block;
+  StripeBuffers buffers;
+};
+
+TEST(Scrub, CleanStripePasses) {
+  for (auto code : {codes::make_rs(6, 3), codes::make_star(5, 3),
+                    codes::make_cauchy_rs(4, 2)}) {
+    CodeFixture fx(code);
+    auto v = fx.views();
+    EXPECT_TRUE(fx.code->scrub(v).clean()) << code->name();
+    EXPECT_FALSE(fx.code->locate_single_corruption(v).has_value());
+  }
+}
+
+TEST(Scrub, DetectsDataCorruption) {
+  CodeFixture fx(codes::make_rs(6, 3));
+  fx.buffers.node(2)[10] ^= 0x01;
+  auto v = fx.views();
+  const auto result = fx.code->scrub(v);
+  // RS: every parity contains every data element.
+  EXPECT_EQ(result.mismatched.size(), 3u);
+}
+
+TEST(Scrub, DetectsParityCorruption) {
+  CodeFixture fx(codes::make_rs(6, 3));
+  fx.buffers.node(7)[0] ^= 0x80;  // second parity node
+  auto v = fx.views();
+  const auto result = fx.code->scrub(v);
+  ASSERT_EQ(result.mismatched.size(), 1u);
+  EXPECT_EQ(result.mismatched[0].node, 7);
+}
+
+TEST(Scrub, LocalizesCorruptionInArrayCodes) {
+  // STAR signatures are distinctive per element: position-based
+  // localization identifies the corrupt element exactly.
+  CodeFixture fx(codes::make_star(7, 3));
+  const int victim_node = 3;
+  const int victim_row = 2;
+  fx.buffers.node(victim_node)[static_cast<std::size_t>(victim_row) * fx.block + 5] ^=
+      0x10;
+  auto v = fx.views();
+  const auto located = fx.code->locate_single_corruption(v);
+  ASSERT_TRUE(located.has_value());
+  EXPECT_EQ(located->node, victim_node);
+  EXPECT_EQ(located->row, victim_row);
+}
+
+TEST(Scrub, RsLocalizationIsAmbiguous) {
+  // Every RS data element touches every parity: signatures collide, so
+  // position-based localization must refuse rather than guess.
+  CodeFixture fx(codes::make_rs(6, 3));
+  fx.buffers.node(1)[3] ^= 0x04;
+  auto v = fx.views();
+  EXPECT_FALSE(fx.code->locate_single_corruption(v).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// ApproximateCode-level scrubbing
+// ---------------------------------------------------------------------------
+
+struct ApprFixture {
+  explicit ApprFixture(const ApprParams& p)
+      : code(p, 96), buffers(code.total_nodes(), code.node_bytes()) {
+    std::vector<std::uint8_t> imp(code.important_capacity());
+    std::vector<std::uint8_t> unimp(code.unimportant_capacity());
+    Rng rng(9);
+    fill_random(imp.data(), imp.size(), rng);
+    fill_random(unimp.data(), unimp.size(), rng);
+    auto spans = buffers.spans();
+    code.scatter(imp, unimp, spans);
+    code.encode(spans);
+  }
+  ApproximateCode code;
+  StripeBuffers buffers;
+};
+
+TEST(ApprScrub, CleanDeploymentPasses) {
+  for (const auto structure : {Structure::Even, Structure::Uneven}) {
+    ApprFixture fx({Family::RS, 4, 1, 2, 4, structure});
+    auto spans = fx.buffers.spans();
+    EXPECT_TRUE(fx.code.scrub(spans).clean());
+  }
+}
+
+TEST(ApprScrub, FlagsCorruptLocalParity) {
+  ApprFixture fx({Family::RS, 4, 1, 2, 4, Structure::Even});
+  const ApprParams p = fx.code.params();
+  const int lp = local_parity_node_id(p, 2, 0);
+  fx.buffers.node(lp)[7] ^= 0x20;
+  auto spans = fx.buffers.spans();
+  const auto report = fx.code.scrub(spans);
+  ASSERT_FALSE(report.clean());
+  bool found = false;
+  for (const auto& e : report.mismatched) found |= e.node == lp;
+  EXPECT_TRUE(found);
+}
+
+TEST(ApprScrub, FlagsCorruptGlobalSegment) {
+  for (const auto structure : {Structure::Even, Structure::Uneven}) {
+    ApprFixture fx({Family::RS, 4, 1, 2, 4, structure});
+    const ApprParams p = fx.code.params();
+    const int gp = global_parity_node_id(p, 1);
+    fx.buffers.node(gp)[13] ^= 0x40;
+    auto spans = fx.buffers.spans();
+    const auto report = fx.code.scrub(spans);
+    ASSERT_FALSE(report.clean()) << structure_name(structure);
+    bool found = false;
+    for (const auto& e : report.mismatched) found |= e.node == gp;
+    EXPECT_TRUE(found) << structure_name(structure);
+  }
+}
+
+TEST(ApprScrub, CorruptImportantDataTripsLocalAndGlobal) {
+  ApprFixture fx({Family::RS, 4, 1, 2, 4, Structure::Even});
+  const ApprParams p = fx.code.params();
+  // First byte of a data node is inside the important range (Even prefix).
+  fx.buffers.node(data_node_id(p, 1, 2))[0] ^= 0x11;
+  auto spans = fx.buffers.spans();
+  const auto report = fx.code.scrub(spans);
+  bool local_hit = false;
+  bool global_hit = false;
+  for (const auto& e : report.mismatched) {
+    const auto role = node_role(p, e.node);
+    local_hit |= role.kind == NodeRole::Kind::LocalParity;
+    global_hit |= role.kind == NodeRole::Kind::GlobalParity;
+  }
+  EXPECT_TRUE(local_hit);
+  EXPECT_TRUE(global_hit);
+}
+
+TEST(ApprScrub, CorruptUnimportantDataTripsOnlyLocal) {
+  ApprFixture fx({Family::RS, 4, 1, 2, 4, Structure::Even});
+  const ApprParams p = fx.code.params();
+  // Last byte of a data node element is in the unimportant range.
+  fx.buffers.node(data_node_id(p, 1, 2))[fx.code.block_size() - 1] ^= 0x11;
+  auto spans = fx.buffers.spans();
+  const auto report = fx.code.scrub(spans);
+  ASSERT_FALSE(report.clean());
+  for (const auto& e : report.mismatched) {
+    EXPECT_EQ(node_role(p, e.node).kind, NodeRole::Kind::LocalParity);
+  }
+}
+
+}  // namespace
+}  // namespace approx::core

@@ -1,0 +1,192 @@
+// Randomized soak test: a long interleaved sequence of updates, failures,
+// repairs, degraded reads and scrubs against a shadow model of the logical
+// streams.  Catches state-machine interactions no single-operation test
+// exercises.
+#include <gtest/gtest.h>
+
+#include "common/buffer.h"
+#include "common/prng.h"
+#include "core/approximate_code.h"
+
+namespace approx::core {
+namespace {
+
+using codes::Family;
+
+struct Soak {
+  explicit Soak(const ApprParams& p, std::uint64_t seed)
+      : code(p, 96),
+        buffers(code.total_nodes(), code.node_bytes()),
+        important(code.important_capacity()),
+        unimportant(code.unimportant_capacity()),
+        unimportant_valid(code.unimportant_capacity(), true),
+        rng(seed) {
+    fill_random(important.data(), important.size(), rng);
+    fill_random(unimportant.data(), unimportant.size(), rng);
+    auto spans = buffers.spans();
+    code.scatter(important, unimportant, spans);
+    code.encode(spans);
+  }
+
+  // Shadow model: `important` always reflects truth; bytes of `unimportant`
+  // may be invalidated (zeroed) by beyond-tolerance failures.
+  ApproximateCode code;
+  StripeBuffers buffers;
+  std::vector<std::uint8_t> important;
+  std::vector<std::uint8_t> unimportant;
+  std::vector<bool> unimportant_valid;
+  Rng rng;
+  std::vector<int> down;  // currently failed nodes
+
+  void op_update_important() {
+    if (!down.empty()) return;  // updates only on a healthy array
+    const std::size_t cap = code.important_capacity();
+    const std::size_t off = rng.below(cap);
+    const std::size_t len = 1 + rng.below(std::min<std::uint64_t>(cap - off, 150));
+    std::vector<std::uint8_t> fresh(len);
+    fill_random(fresh.data(), len, rng);
+    std::copy(fresh.begin(), fresh.end(), important.begin() + static_cast<long>(off));
+    auto spans = buffers.spans();
+    code.update_important(spans, off, fresh);
+  }
+
+  void op_update_unimportant() {
+    if (!down.empty()) return;
+    const std::size_t cap = code.unimportant_capacity();
+    const std::size_t off = rng.below(cap);
+    const std::size_t len = 1 + rng.below(std::min<std::uint64_t>(cap - off, 150));
+    std::vector<std::uint8_t> fresh(len);
+    fill_random(fresh.data(), len, rng);
+    for (std::size_t i = 0; i < len; ++i) {
+      unimportant[off + i] = fresh[i];
+      unimportant_valid[off + i] = true;
+    }
+    auto spans = buffers.spans();
+    code.update_unimportant(spans, off, fresh);
+  }
+
+  void op_fail() {
+    if (down.size() >= 3) return;
+    const int n = static_cast<int>(rng.below(static_cast<std::uint64_t>(code.total_nodes())));
+    if (std::find(down.begin(), down.end(), n) != down.end()) return;
+    down.push_back(n);
+    buffers.clear_node(n);
+  }
+
+  void op_repair() {
+    if (down.empty()) return;
+    auto spans = buffers.spans();
+    // A long-lived mutable volume must repair in the self-consistent mode:
+    // stale parity over zero-filled holes would corrupt later updates.
+    ApproximateCode::RepairOptions options;
+    options.normalize_parity = true;
+    const auto report = code.repair(spans, down, options);
+    ASSERT_TRUE(report.all_important_recovered)
+        << "3DFT violated with " << down.size() << " failures";
+    // Invalidate the shadow bytes the repair could not restore.
+    for (const auto& so : report.stripes) {
+      const bool lost_unimportant =
+          so.kind == StripeOutcome::Kind::ImportantOnlyRepair ||
+          so.kind == StripeOutcome::Kind::Unrecoverable;
+      if (!lost_unimportant) continue;
+      for (const int node : so.failed_members) {
+        const auto range = code.node_unimportant_range(node);
+        for (std::size_t i = 0; i < range.len; ++i) {
+          unimportant[range.offset + i] = 0;  // holes come back zeroed
+          unimportant_valid[range.offset + i] = false;
+        }
+      }
+    }
+    down.clear();
+  }
+
+  void op_degraded_read() {
+    const std::size_t cap = code.important_capacity();
+    const std::size_t off = rng.below(cap);
+    const std::size_t len = 1 + rng.below(std::min<std::uint64_t>(cap - off, 200));
+    std::vector<std::uint8_t> out(len);
+    auto spans = buffers.spans();
+    const auto r = code.degraded_read_important(spans, down, off, out);
+    ASSERT_TRUE(r.ok);
+    ASSERT_TRUE(std::equal(out.begin(), out.end(),
+                           important.begin() + static_cast<long>(off)))
+        << "degraded important read diverged at offset " << off;
+  }
+
+  void verify_final() {
+    op_repair();
+    std::vector<std::uint8_t> imp(code.important_capacity());
+    std::vector<std::uint8_t> unimp(code.unimportant_capacity());
+    auto spans = buffers.spans();
+    code.gather(spans, imp, unimp);
+    ASSERT_EQ(imp, important);
+    for (std::size_t i = 0; i < unimp.size(); ++i) {
+      if (unimportant_valid[i]) {
+        ASSERT_EQ(unimp[i], unimportant[i]) << "unimportant byte " << i;
+      }
+    }
+  }
+
+  void run(int ops) {
+    for (int i = 0; i < ops; ++i) {
+      switch (rng.below(6)) {
+        case 0:
+          op_update_important();
+          break;
+        case 1:
+          op_update_unimportant();
+          break;
+        case 2:
+        case 3:
+          op_fail();
+          break;
+        case 4:
+          op_repair();
+          break;
+        case 5:
+          op_degraded_read();
+          break;
+      }
+      if (testing::Test::HasFatalFailure()) return;
+    }
+    verify_final();
+  }
+};
+
+struct Config {
+  Family family;
+  int k, r, g, h;
+  Structure structure;
+  std::uint64_t seed;
+};
+
+class SoakTest : public testing::TestWithParam<Config> {};
+
+TEST_P(SoakTest, LongRandomOperationSequence) {
+  const Config& c = GetParam();
+  Soak soak(ApprParams{c.family, c.k, c.r, c.g, c.h, c.structure}, c.seed);
+  soak.run(300);
+}
+
+const Config kConfigs[] = {
+    {Family::RS, 4, 1, 2, 4, Structure::Even, 1},
+    {Family::RS, 4, 1, 2, 4, Structure::Even, 2},
+    {Family::RS, 5, 2, 1, 3, Structure::Even, 3},
+    {Family::STAR, 5, 1, 2, 4, Structure::Even, 4},
+    {Family::TIP, 5, 1, 2, 6, Structure::Even, 5},
+    {Family::CRS, 4, 1, 2, 4, Structure::Even, 6},
+    {Family::LRC, 6, 1, 2, 4, Structure::Even, 7},
+    {Family::RS, 4, 1, 2, 4, Structure::Uneven, 8},
+    {Family::STAR, 5, 1, 2, 4, Structure::Uneven, 9},
+};
+
+std::string soak_name(const testing::TestParamInfo<Config>& info) {
+  const Config& c = info.param;
+  return codes::family_name(c.family) + "_k" + std::to_string(c.k) + "_r" +
+         std::to_string(c.r) + "_seed" + std::to_string(c.seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, SoakTest, testing::ValuesIn(kConfigs), soak_name);
+
+}  // namespace
+}  // namespace approx::core

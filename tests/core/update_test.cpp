@@ -1,0 +1,193 @@
+// Incremental update path: patched parities must equal a full re-encode,
+// unimportant updates must never touch the globals, and update costs must
+// match the analytic single-write model.
+#include <gtest/gtest.h>
+
+#include "common/buffer.h"
+#include "common/prng.h"
+#include "core/approximate_code.h"
+#include "core/metrics.h"
+
+namespace approx::core {
+namespace {
+
+using codes::Family;
+
+struct UpdateFixture {
+  explicit UpdateFixture(const ApprParams& p, std::size_t block = 96)
+      : code(p, block),
+        buffers(code.total_nodes(), code.node_bytes()),
+        important(code.important_capacity()),
+        unimportant(code.unimportant_capacity()) {
+    Rng rng(77);
+    fill_random(important.data(), important.size(), rng);
+    fill_random(unimportant.data(), unimportant.size(), rng);
+    auto spans = buffers.spans();
+    code.scatter(important, unimportant, spans);
+    code.encode(spans);
+  }
+
+  // Re-encode a fresh copy from the logical streams and compare all nodes.
+  bool matches_full_reencode() {
+    StripeBuffers fresh(code.total_nodes(), code.node_bytes());
+    auto spans = fresh.spans();
+    code.scatter(important, unimportant, spans);
+    code.encode(spans);
+    for (int n = 0; n < code.total_nodes(); ++n) {
+      if (!std::equal(buffers.node(n).begin(), buffers.node(n).end(),
+                      fresh.node(n).begin())) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  ApproximateCode code;
+  StripeBuffers buffers;
+  std::vector<std::uint8_t> important;
+  std::vector<std::uint8_t> unimportant;
+};
+
+struct Config {
+  Family family;
+  int k, r, g, h;
+  Structure structure;
+};
+
+std::string config_name(const testing::TestParamInfo<Config>& info) {
+  const Config& c = info.param;
+  return codes::family_name(c.family) + "_k" + std::to_string(c.k) + "_r" +
+         std::to_string(c.r) + "_g" + std::to_string(c.g) + "_h" +
+         std::to_string(c.h) + "_" + structure_name(c.structure);
+}
+
+class UpdatePathTest : public testing::TestWithParam<Config> {
+ protected:
+  ApprParams params() const {
+    const Config& c = GetParam();
+    return ApprParams{c.family, c.k, c.r, c.g, c.h, c.structure};
+  }
+};
+
+TEST_P(UpdatePathTest, ImportantUpdateMatchesReencode) {
+  UpdateFixture fx(params());
+  Rng rng(5);
+  // Several updates at awkward offsets and lengths, including piece-
+  // boundary crossings.
+  const std::size_t cap = fx.code.important_capacity();
+  for (const double frac : {0.0, 0.37, 0.61, 0.93}) {
+    const std::size_t offset = static_cast<std::size_t>(frac * (cap - 1));
+    const std::size_t len = std::min<std::size_t>(cap - offset, 23 + offset % 61);
+    std::vector<std::uint8_t> fresh(len);
+    fill_random(fresh.data(), len, rng);
+    std::copy(fresh.begin(), fresh.end(), fx.important.begin() + static_cast<long>(offset));
+    auto spans = fx.buffers.spans();
+    auto report = fx.code.update_important(spans, offset, fresh);
+    EXPECT_EQ(report.data_bytes_written, len);
+    EXPECT_TRUE(report.touched_globals);
+  }
+  EXPECT_TRUE(fx.matches_full_reencode()) << fx.code.name();
+}
+
+TEST_P(UpdatePathTest, UnimportantUpdateMatchesReencode) {
+  UpdateFixture fx(params());
+  Rng rng(6);
+  const std::size_t cap = fx.code.unimportant_capacity();
+  for (const double frac : {0.0, 0.5, 0.88}) {
+    const std::size_t offset = static_cast<std::size_t>(frac * (cap - 1));
+    const std::size_t len = std::min<std::size_t>(cap - offset, 57);
+    std::vector<std::uint8_t> fresh(len);
+    fill_random(fresh.data(), len, rng);
+    std::copy(fresh.begin(), fresh.end(),
+              fx.unimportant.begin() + static_cast<long>(offset));
+    auto spans = fx.buffers.spans();
+    auto report = fx.code.update_unimportant(spans, offset, fresh);
+    EXPECT_EQ(report.data_bytes_written, len);
+    EXPECT_FALSE(report.touched_globals);
+  }
+  EXPECT_TRUE(fx.matches_full_reencode()) << fx.code.name();
+}
+
+TEST_P(UpdatePathTest, UnimportantUpdateNeverWritesGlobalNodes) {
+  UpdateFixture fx(params());
+  const ApprParams p = fx.code.params();
+  std::vector<std::vector<std::uint8_t>> globals_before;
+  for (int t = 0; t < p.g; ++t) {
+    const int n = global_parity_node_id(p, t);
+    globals_before.emplace_back(fx.buffers.node(n).begin(), fx.buffers.node(n).end());
+  }
+  std::vector<std::uint8_t> fresh(64, 0xAB);
+  auto spans = fx.buffers.spans();
+  fx.code.update_unimportant(spans, 0, fresh);
+  for (int t = 0; t < p.g; ++t) {
+    const int n = global_parity_node_id(p, t);
+    EXPECT_TRUE(std::equal(fx.buffers.node(n).begin(), fx.buffers.node(n).end(),
+                           globals_before[static_cast<std::size_t>(t)].begin()))
+        << "global " << t;
+  }
+}
+
+const Config kConfigs[] = {
+    {Family::RS, 4, 1, 2, 4, Structure::Even},
+    {Family::RS, 4, 1, 2, 4, Structure::Uneven},
+    {Family::RS, 5, 2, 1, 3, Structure::Even},
+    {Family::LRC, 6, 1, 2, 4, Structure::Uneven},
+    {Family::STAR, 5, 1, 2, 4, Structure::Even},
+    {Family::STAR, 5, 2, 1, 4, Structure::Uneven},
+    {Family::TIP, 5, 1, 2, 6, Structure::Even},
+};
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, UpdatePathTest, testing::ValuesIn(kConfigs),
+                         config_name);
+
+TEST(UpdateCost, MeasuredCostTracksAnalyticModel) {
+  // Average measured parity-element touches per single-element update must
+  // reproduce the Table 3 value (1 + r + g/h for RS) within rounding.
+  const ApprParams p{Family::RS, 5, 1, 2, 4, Structure::Even};
+  UpdateFixture fx(p, 96);
+  const std::size_t piece = fx.code.block_size() / static_cast<std::size_t>(p.h);
+  Rng rng(8);
+  // The analytic model weighs updates by data volume (a uniformly random
+  // byte write): accumulate element-writes x bytes and divide by bytes.
+  double write_volume = 0;
+  double data_volume = 0;
+  for (std::size_t off = 0; off + piece <= fx.code.important_capacity();
+       off += piece) {
+    std::vector<std::uint8_t> fresh(piece);
+    fill_random(fresh.data(), piece, rng);
+    auto spans = fx.buffers.spans();
+    const auto r = fx.code.update_important(spans, off, fresh);
+    write_volume += static_cast<double>(r.data_bytes_written) +
+                    static_cast<double>(r.parity_bytes_written);
+    data_volume += static_cast<double>(piece);
+  }
+  const std::size_t upiece = fx.code.block_size() - piece;
+  for (std::size_t off = 0; off + upiece <= fx.code.unimportant_capacity();
+       off += upiece) {
+    std::vector<std::uint8_t> fresh(upiece);
+    fill_random(fresh.data(), upiece, rng);
+    auto spans = fx.buffers.spans();
+    const auto r = fx.code.update_unimportant(spans, off, fresh);
+    write_volume += static_cast<double>(r.data_bytes_written) +
+                    static_cast<double>(r.parity_bytes_written);
+    data_volume += static_cast<double>(upiece);
+  }
+  const double measured = write_volume / data_volume;
+  const double analytic = appr_metrics(p).avg_single_write_cost;  // 2.5
+  EXPECT_NEAR(measured, analytic, 1e-9);
+}
+
+TEST(UpdateErrors, OutOfRangeThrows) {
+  const ApprParams p{Family::RS, 4, 1, 2, 4, Structure::Even};
+  UpdateFixture fx(p);
+  std::vector<std::uint8_t> data(10);
+  auto spans = fx.buffers.spans();
+  EXPECT_THROW(fx.code.update_important(spans, fx.code.important_capacity() - 5, data),
+               InvalidArgument);
+  EXPECT_THROW(
+      fx.code.update_unimportant(spans, fx.code.unimportant_capacity(), data),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace approx::core

@@ -1,0 +1,160 @@
+// GF(2^8) arithmetic: field axioms (full and sampled sweeps), table
+// consistency, region kernels vs scalar reference.
+#include <gtest/gtest.h>
+
+#include "common/buffer.h"
+#include "common/error.h"
+#include "common/prng.h"
+#include "gf/gf256.h"
+
+namespace approx::gf {
+namespace {
+
+TEST(Gf256, MultiplicationBasics) {
+  EXPECT_EQ(mul(0, 0), 0);
+  EXPECT_EQ(mul(0, 123), 0);
+  EXPECT_EQ(mul(123, 0), 0);
+  EXPECT_EQ(mul(1, 57), 57);
+  EXPECT_EQ(mul(57, 1), 57);
+  // 2 * x is the shift-and-reduce primitive: 2 * 0x80 = 0x100 ^ 0x11d = 0x1d.
+  EXPECT_EQ(mul(2, 0x80), 0x1d);
+}
+
+TEST(Gf256, MultiplicationIsCommutative) {
+  for (unsigned a = 0; a < 256; ++a) {
+    for (unsigned b = a; b < 256; ++b) {
+      ASSERT_EQ(mul(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b)),
+                mul(static_cast<std::uint8_t>(b), static_cast<std::uint8_t>(a)));
+    }
+  }
+}
+
+TEST(Gf256, MultiplicationIsAssociative) {
+  // Sampled triples (full cube is 16M cases).
+  Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint8_t a = rng.byte(), b = rng.byte(), c = rng.byte();
+    ASSERT_EQ(mul(mul(a, b), c), mul(a, mul(b, c)));
+  }
+}
+
+TEST(Gf256, DistributesOverXor) {
+  Rng rng(4);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint8_t a = rng.byte(), b = rng.byte(), c = rng.byte();
+    ASSERT_EQ(mul(a, static_cast<std::uint8_t>(b ^ c)),
+              static_cast<std::uint8_t>(mul(a, b) ^ mul(a, c)));
+  }
+}
+
+TEST(Gf256, InverseIsExactForAllNonZero) {
+  for (unsigned a = 1; a < 256; ++a) {
+    const std::uint8_t ia = inv(static_cast<std::uint8_t>(a));
+    ASSERT_EQ(mul(static_cast<std::uint8_t>(a), ia), 1) << a;
+  }
+  EXPECT_THROW(inv(0), InvalidArgument);
+}
+
+TEST(Gf256, DivisionMatchesInverse) {
+  for (unsigned a = 0; a < 256; ++a) {
+    for (unsigned b = 1; b < 256; ++b) {
+      ASSERT_EQ(div(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b)),
+                mul(static_cast<std::uint8_t>(a), inv(static_cast<std::uint8_t>(b))));
+    }
+  }
+  EXPECT_THROW(div(5, 0), InvalidArgument);
+}
+
+TEST(Gf256, PowMatchesRepeatedMultiplication) {
+  for (unsigned a = 0; a < 256; ++a) {
+    std::uint8_t acc = 1;
+    for (unsigned e = 0; e < 12; ++e) {
+      ASSERT_EQ(pow(static_cast<std::uint8_t>(a), e), acc) << a << "^" << e;
+      acc = mul(acc, static_cast<std::uint8_t>(a));
+    }
+  }
+  // Fermat: a^255 == 1 for non-zero a.
+  for (unsigned a = 1; a < 256; ++a) {
+    ASSERT_EQ(pow(static_cast<std::uint8_t>(a), 255), 1);
+  }
+}
+
+TEST(Gf256, GeneratorHasFullOrder) {
+  // 2 generates the multiplicative group: 2^i distinct for i in [0,255).
+  std::vector<bool> seen(256, false);
+  std::uint8_t x = 1;
+  for (int i = 0; i < 255; ++i) {
+    ASSERT_FALSE(seen[x]);
+    seen[x] = true;
+    x = mul(x, 2);
+  }
+  EXPECT_EQ(x, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Region kernels
+// ---------------------------------------------------------------------------
+
+TEST(GfRegion, MulAccMatchesScalar) {
+  Rng rng(5);
+  for (const std::size_t n : {0u, 1u, 7u, 8u, 63u, 64u, 1000u}) {
+    for (const std::uint8_t c : {0, 1, 2, 87, 255}) {
+      std::vector<std::uint8_t> dst(n), src(n), expect(n);
+      fill_random(dst.data(), n, rng);
+      fill_random(src.data(), n, rng);
+      expect = dst;
+      for (std::size_t i = 0; i < n; ++i) {
+        expect[i] = static_cast<std::uint8_t>(expect[i] ^ mul(c, src[i]));
+      }
+      mul_acc_region(dst.data(), src.data(), n, c);
+      ASSERT_EQ(dst, expect) << "n=" << n << " c=" << static_cast<int>(c);
+    }
+  }
+}
+
+TEST(GfRegion, MulRegionMatchesScalar) {
+  Rng rng(6);
+  for (const std::size_t n : {1u, 13u, 64u, 257u}) {
+    for (const std::uint8_t c : {0, 1, 3, 200}) {
+      std::vector<std::uint8_t> dst(n), src(n), expect(n);
+      fill_random(src.data(), n, rng);
+      for (std::size_t i = 0; i < n; ++i) expect[i] = mul(c, src[i]);
+      mul_region(dst.data(), src.data(), n, c);
+      ASSERT_EQ(dst, expect);
+    }
+  }
+}
+
+TEST(GfRegion, MulRegionInPlace) {
+  Rng rng(7);
+  std::vector<std::uint8_t> buf(100), expect(100);
+  fill_random(buf.data(), buf.size(), rng);
+  for (std::size_t i = 0; i < buf.size(); ++i) expect[i] = mul(9, buf[i]);
+  mul_region(buf.data(), buf.data(), buf.size(), 9);
+  EXPECT_EQ(buf, expect);
+}
+
+TEST(GfRegion, CoefficientOneIsXor) {
+  Rng rng(8);
+  std::vector<std::uint8_t> dst(129), src(129), expect(129);
+  fill_random(dst.data(), dst.size(), rng);
+  fill_random(src.data(), src.size(), rng);
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    expect[i] = static_cast<std::uint8_t>(dst[i] ^ src[i]);
+  }
+  mul_acc_region(dst.data(), src.data(), dst.size(), 1);
+  EXPECT_EQ(dst, expect);
+}
+
+TEST(GfRegion, CoefficientZeroIsNoop) {
+  Rng rng(9);
+  std::vector<std::uint8_t> dst(77), src(77);
+  fill_random(dst.data(), dst.size(), rng);
+  fill_random(src.data(), src.size(), rng);
+  const auto before = dst;
+  mul_acc_region(dst.data(), src.data(), dst.size(), 0);
+  EXPECT_EQ(dst, before);
+}
+
+}  // namespace
+}  // namespace approx::gf

@@ -1,0 +1,141 @@
+// GF(2^8) matrices: algebra, inversion, rank, and the MDS property of the
+// generator constructions (exhaustively verified on small sizes).
+#include <gtest/gtest.h>
+
+#include "codes/verify.h"
+#include "common/error.h"
+#include "common/prng.h"
+#include "gf/gf256.h"
+#include "gf/gf_matrix.h"
+
+namespace approx::gf {
+namespace {
+
+Matrix random_matrix(int rows, int cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) m.at(i, j) = rng.byte();
+  }
+  return m;
+}
+
+TEST(Matrix, IdentityIsMultiplicativeUnit) {
+  Rng rng(1);
+  const Matrix a = random_matrix(5, 5, rng);
+  EXPECT_EQ(a * Matrix::identity(5), a);
+  EXPECT_EQ(Matrix::identity(5) * a, a);
+}
+
+TEST(Matrix, MultiplicationIsAssociative) {
+  Rng rng(2);
+  const Matrix a = random_matrix(3, 4, rng);
+  const Matrix b = random_matrix(4, 5, rng);
+  const Matrix c = random_matrix(5, 2, rng);
+  EXPECT_EQ((a * b) * c, a * (b * c));
+}
+
+TEST(Matrix, DimensionMismatchThrows) {
+  Matrix a(2, 3), b(2, 3);
+  EXPECT_THROW(a * b, InvalidArgument);
+  EXPECT_THROW(a.inverted(), InvalidArgument);
+}
+
+TEST(Matrix, InverseRoundtrip) {
+  Rng rng(3);
+  int inverted_count = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    const Matrix a = random_matrix(6, 6, rng);
+    const auto inv = a.inverted();
+    if (!inv.has_value()) continue;  // singular random draw
+    ++inverted_count;
+    EXPECT_EQ(a * *inv, Matrix::identity(6));
+    EXPECT_EQ(*inv * a, Matrix::identity(6));
+  }
+  EXPECT_GT(inverted_count, 20);  // most random matrices are invertible
+}
+
+TEST(Matrix, SingularMatrixHasNoInverse) {
+  Matrix a(3, 3);
+  a.at(0, 0) = 1;
+  a.at(1, 0) = 1;  // duplicate column pattern, rank 1
+  a.at(2, 0) = 1;
+  EXPECT_FALSE(a.inverted().has_value());
+  EXPECT_EQ(a.rank(), 1);
+}
+
+TEST(Matrix, RankProperties) {
+  EXPECT_EQ(Matrix::identity(7).rank(), 7);
+  Matrix zero(4, 6);
+  EXPECT_EQ(zero.rank(), 0);
+  Rng rng(4);
+  const Matrix a = random_matrix(3, 8, rng);
+  EXPECT_LE(a.rank(), 3);
+}
+
+TEST(Matrix, SelectRows) {
+  Rng rng(5);
+  const Matrix a = random_matrix(5, 3, rng);
+  const Matrix sel = a.select_rows({4, 0});
+  EXPECT_EQ(sel.rows(), 2);
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_EQ(sel.at(0, j), a.at(4, j));
+    EXPECT_EQ(sel.at(1, j), a.at(0, j));
+  }
+  EXPECT_THROW(a.select_rows({5}), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Generator constructions
+// ---------------------------------------------------------------------------
+
+TEST(Vandermonde, TopBlockIsIdentity) {
+  const Matrix g = systematic_vandermonde(9, 5);
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      EXPECT_EQ(g.at(i, j), i == j ? 1 : 0);
+    }
+  }
+}
+
+TEST(Vandermonde, EveryKRowSubsetIsInvertible) {
+  // The MDS property, exhaustively for n=8, k=4: C(8,4)=70 subsets.
+  const int n = 8, k = 4;
+  const Matrix g = systematic_vandermonde(n, k);
+  codes::for_each_subset(n, k, [&](const std::vector<int>& rows) {
+    const Matrix sub = g.select_rows(rows);
+    EXPECT_TRUE(sub.inverted().has_value());
+    return true;
+  });
+}
+
+TEST(Vandermonde, LargeConfigurationsConstruct) {
+  EXPECT_NO_THROW(systematic_vandermonde(255, 200));
+  EXPECT_THROW(systematic_vandermonde(256, 10), InvalidArgument);
+  EXPECT_THROW(systematic_vandermonde(3, 5), InvalidArgument);
+}
+
+TEST(Cauchy, EverySquareSubmatrixIsInvertible) {
+  const int m = 3, k = 6;
+  const Matrix c = cauchy_parity(m, k);
+  // 1x1: all entries non-zero.
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < k; ++j) EXPECT_NE(c.at(i, j), 0);
+  }
+  // 2x2 and 3x3 minors.
+  codes::for_each_subset(m, 2, [&](const std::vector<int>& rows) {
+    return codes::for_each_subset(k, 2, [&](const std::vector<int>& cols) {
+      Matrix minor(2, 2);
+      for (int i = 0; i < 2; ++i) {
+        for (int j = 0; j < 2; ++j) {
+          minor.at(i, j) = c.at(rows[static_cast<std::size_t>(i)],
+                                cols[static_cast<std::size_t>(j)]);
+        }
+      }
+      EXPECT_TRUE(minor.inverted().has_value());
+      return true;
+    });
+  });
+}
+
+}  // namespace
+}  // namespace approx::gf

@@ -1,0 +1,269 @@
+// Video substrate: RLE, GOP codec, bitstream container and classifier.
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+#include "video/bitstream.h"
+#include "video/classifier.h"
+#include "video/codec.h"
+#include "video/rle.h"
+#include "video/scene.h"
+
+namespace approx::video {
+namespace {
+
+std::vector<Frame> make_scene(int frames, int w = 96, int h = 64,
+                              std::uint64_t seed = 11) {
+  SceneGenerator gen(w, h, seed);
+  std::vector<Frame> out;
+  out.reserve(static_cast<std::size_t>(frames));
+  for (int t = 0; t < frames; ++t) out.push_back(gen.frame(t));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// RLE
+// ---------------------------------------------------------------------------
+
+TEST(Rle, RoundtripRandom) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::uint8_t> raw(rng.below(4096));
+    fill_random(raw.data(), raw.size(), rng);
+    auto enc = rle_encode(raw);
+    auto dec = rle_decode(enc, raw.size());
+    ASSERT_TRUE(dec.has_value());
+    EXPECT_EQ(*dec, raw);
+  }
+}
+
+TEST(Rle, RoundtripSparse) {
+  std::vector<std::uint8_t> raw(100000, 0);
+  raw[17] = 9;
+  raw[70000] = 250;
+  auto enc = rle_encode(raw);
+  EXPECT_LT(enc.size(), raw.size() / 100);  // sparse input compresses hard
+  auto dec = rle_decode(enc, raw.size());
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(*dec, raw);
+}
+
+TEST(Rle, LongZeroRunsSplitCorrectly) {
+  std::vector<std::uint8_t> raw(0x10000 + 123, 0);  // > one u16 run
+  auto enc = rle_encode(raw);
+  auto dec = rle_decode(enc, raw.size());
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(*dec, raw);
+}
+
+TEST(Rle, RejectsMalformedInput) {
+  EXPECT_FALSE(rle_decode(std::vector<std::uint8_t>{0x00}, 4).has_value());
+  EXPECT_FALSE(rle_decode(std::vector<std::uint8_t>{0x00, 0x00, 0x00}, 4).has_value());
+  EXPECT_FALSE(rle_decode(std::vector<std::uint8_t>{0x02, 0x01}, 1).has_value());
+  EXPECT_FALSE(rle_decode(std::vector<std::uint8_t>{0x01}, 1).has_value());
+  // Size mismatch.
+  auto enc = rle_encode(std::vector<std::uint8_t>{1, 2, 3});
+  EXPECT_FALSE(rle_decode(enc, 4).has_value());
+  EXPECT_FALSE(rle_decode(enc, 2).has_value());
+}
+
+TEST(Rle, EmptyInput) {
+  auto enc = rle_encode({});
+  EXPECT_TRUE(enc.empty());
+  auto dec = rle_decode(enc, 0);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_TRUE(dec->empty());
+}
+
+// ---------------------------------------------------------------------------
+// GOP pattern
+// ---------------------------------------------------------------------------
+
+TEST(Gop, PatternValidation) {
+  EXPECT_NO_THROW(GopPattern("IPPP"));
+  EXPECT_NO_THROW(GopPattern("I"));
+  EXPECT_THROW(GopPattern(""), InvalidArgument);
+  EXPECT_THROW(GopPattern("PI"), InvalidArgument);
+  EXPECT_THROW(GopPattern("IPX"), InvalidArgument);
+  EXPECT_THROW(GopPattern("IPI"), InvalidArgument);
+}
+
+TEST(Gop, TypeAssignment) {
+  GopPattern gop("IBBP");
+  EXPECT_EQ(gop.type_at(0), FrameType::I);
+  EXPECT_EQ(gop.type_at(1), FrameType::B);
+  EXPECT_EQ(gop.type_at(3), FrameType::P);
+  EXPECT_EQ(gop.type_at(4), FrameType::I);  // next GOP
+  EXPECT_EQ(gop.gop_of(4), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Codec
+// ---------------------------------------------------------------------------
+
+TEST(Codec, LosslessForIAndPOnlyStreams) {
+  auto frames = make_scene(13);
+  auto video = encode_video(frames, GopPattern("IPPP"));
+  std::vector<bool> lost(frames.size(), false);
+  auto decoded = decode_video(video, lost);
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    ASSERT_TRUE(decoded[i].has_value());
+    EXPECT_EQ(decoded[i]->luma, frames[i].luma) << "frame " << i;
+  }
+}
+
+TEST(Codec, BFramesAreNearLossless) {
+  auto frames = make_scene(13);
+  auto video = encode_video(frames, GopPattern("IBBPBB"));
+  std::vector<bool> lost(frames.size(), false);
+  auto decoded = decode_video(video, lost);
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    ASSERT_TRUE(decoded[i].has_value());
+    // B quantization rounds residuals to even values: max error 1/pixel.
+    for (std::size_t p = 0; p < frames[i].pixels(); ++p) {
+      EXPECT_LE(std::abs(static_cast<int>(decoded[i]->luma[p]) -
+                         static_cast<int>(frames[i].luma[p])),
+                1);
+    }
+  }
+}
+
+TEST(Codec, IFramesDominatePayload) {
+  auto frames = make_scene(24);
+  auto video = encode_video(frames, GopPattern("IBBPBBPBBPBB"));
+  // 2 I frames vs 22 inter frames, yet I bytes dominate per-frame size.
+  const double i_per_frame = static_cast<double>(video.bytes_of(FrameType::I)) / 2.0;
+  const double pb_per_frame =
+      static_cast<double>(video.bytes_of(FrameType::P) +
+                          video.bytes_of(FrameType::B)) /
+      22.0;
+  EXPECT_GT(i_per_frame, 4.0 * pb_per_frame);
+}
+
+TEST(Codec, LostFrameBreaksChainUntilNextI) {
+  auto frames = make_scene(9);
+  auto video = encode_video(frames, GopPattern("IPPP"));
+  std::vector<bool> lost(frames.size(), false);
+  lost[1] = true;  // P frame in GOP 0
+  auto decoded = decode_video(video, lost);
+  EXPECT_TRUE(decoded[0].has_value());
+  EXPECT_FALSE(decoded[1].has_value());
+  EXPECT_FALSE(decoded[2].has_value());  // chain broken
+  EXPECT_FALSE(decoded[3].has_value());
+  EXPECT_TRUE(decoded[4].has_value());  // next I resynchronizes
+  EXPECT_TRUE(decoded[8].has_value());
+}
+
+TEST(Codec, LostIFrameKillsWholeGop) {
+  auto frames = make_scene(8);
+  auto video = encode_video(frames, GopPattern("IPPP"));
+  std::vector<bool> lost(frames.size(), false);
+  lost[0] = true;
+  auto decoded = decode_video(video, lost);
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(decoded[static_cast<std::size_t>(i)].has_value());
+  for (int i = 4; i < 8; ++i) EXPECT_TRUE(decoded[static_cast<std::size_t>(i)].has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Bitstream container
+// ---------------------------------------------------------------------------
+
+TEST(Bitstream, SerializeParseRoundtrip) {
+  auto frames = make_scene(12);
+  auto video = encode_video(frames, GopPattern("IBBP"));
+  auto bytes = serialize_frames(video.frames);
+  auto parsed = parse_frames(bytes);
+  ASSERT_EQ(parsed.frames.size(), video.frames.size());
+  EXPECT_EQ(parsed.bytes_skipped, 0u);
+  EXPECT_EQ(parsed.records_corrupted, 0u);
+  for (std::size_t i = 0; i < parsed.frames.size(); ++i) {
+    EXPECT_EQ(parsed.frames[i].payload, video.frames[i].payload);
+    EXPECT_EQ(parsed.frames[i].info.index, video.frames[i].info.index);
+    EXPECT_EQ(parsed.frames[i].info.type, video.frames[i].info.type);
+  }
+}
+
+TEST(Bitstream, ParserResynchronizesAfterCorruption) {
+  auto frames = make_scene(8);
+  auto video = encode_video(frames, GopPattern("IPPP"));
+  auto bytes = serialize_frames(video.frames);
+  auto index = build_stream_index(video.frames);
+  // Destroy record 2 entirely.
+  for (std::size_t i = index[2].begin; i < index[2].end; ++i) bytes[i] = 0xAB;
+  auto parsed = parse_frames(bytes);
+  EXPECT_EQ(parsed.frames.size(), video.frames.size() - 1);
+  for (const auto& f : parsed.frames) EXPECT_NE(f.info.index, 2u);
+  EXPECT_GT(parsed.bytes_skipped, 0u);
+}
+
+TEST(Bitstream, CrcCatchesPayloadBitflip) {
+  auto frames = make_scene(4);
+  auto video = encode_video(frames, GopPattern("IPPP"));
+  auto bytes = serialize_frames(video.frames);
+  auto index = build_stream_index(video.frames);
+  bytes[index[1].begin + kFrameHeaderBytes + 5] ^= 0x40;  // payload bit flip
+  auto parsed = parse_frames(bytes);
+  EXPECT_EQ(parsed.frames.size(), video.frames.size() - 1);
+  EXPECT_GE(parsed.records_corrupted, 1u);
+}
+
+TEST(Bitstream, IndexMatchesSerialization) {
+  auto frames = make_scene(6);
+  auto video = encode_video(frames, GopPattern("IBP"));
+  auto bytes = serialize_frames(video.frames);
+  auto index = build_stream_index(video.frames);
+  ASSERT_EQ(index.size(), video.frames.size());
+  EXPECT_EQ(index.front().begin, 0u);
+  EXPECT_EQ(index.back().end, bytes.size());
+  for (std::size_t i = 1; i < index.size(); ++i) {
+    EXPECT_EQ(index[i].begin, index[i - 1].end);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Classifier
+// ---------------------------------------------------------------------------
+
+TEST(Classifier, SplitsByFrameType) {
+  auto frames = make_scene(24);
+  auto video = encode_video(frames, GopPattern("IBBPBBPBBPBB"));
+  auto classified = classify(video);
+  auto imp = parse_frames(classified.important);
+  auto unimp = parse_frames(classified.unimportant);
+  EXPECT_EQ(imp.frames.size(), 2u);  // 2 GOPs -> 2 I frames
+  EXPECT_EQ(unimp.frames.size(), 22u);
+  for (const auto& f : imp.frames) EXPECT_EQ(f.info.type, FrameType::I);
+  for (const auto& f : unimp.frames) EXPECT_NE(f.info.type, FrameType::I);
+}
+
+TEST(Classifier, IAndPPolicyPromotesPFrames) {
+  auto frames = make_scene(12);
+  auto video = encode_video(frames, GopPattern("IBBPBB"));
+  auto classified = classify(video, ImportancePolicy::IAndPFrames);
+  auto imp = parse_frames(classified.important);
+  for (const auto& f : imp.frames) EXPECT_NE(f.info.type, FrameType::B);
+  EXPECT_EQ(imp.frames.size(), 4u);  // 2 I + 2 P
+}
+
+TEST(Classifier, ReassembleMarksMissingFrames) {
+  auto frames = make_scene(8);
+  auto video = encode_video(frames, GopPattern("IPPP"));
+  auto classified = classify(video);
+  // Drop the whole unimportant stream.
+  auto re = reassemble(classified.important, {}, classified.frame_count);
+  ASSERT_EQ(re.lost.size(), 8u);
+  EXPECT_FALSE(re.lost[0]);
+  EXPECT_FALSE(re.lost[4]);
+  for (std::size_t i : {1u, 2u, 3u, 5u, 6u, 7u}) EXPECT_TRUE(re.lost[i]);
+}
+
+TEST(Classifier, ImportantRatioReflectsGopStructure) {
+  auto frames = make_scene(48);
+  auto video = encode_video(frames, GopPattern("IBBPBBPBBPBB"));
+  auto classified = classify(video);
+  // I frames are few but heavy: ratio lands well inside (0, 1).
+  EXPECT_GT(classified.important_ratio(), 0.10);
+  EXPECT_LT(classified.important_ratio(), 0.90);
+}
+
+}  // namespace
+}  // namespace approx::video

@@ -1,0 +1,284 @@
+// Frame interpolation, PSNR and the full tiered-store pipeline
+// (the paper's §4.1 experiment in miniature).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/prng.h"
+#include "video/interpolation.h"
+#include "video/psnr.h"
+#include "video/scene.h"
+#include "video/tiered_store.h"
+
+namespace approx::video {
+namespace {
+
+std::vector<Frame> make_scene(int frames, int w = 96, int h = 64,
+                              std::uint64_t seed = 21) {
+  SceneGenerator gen(w, h, seed);
+  std::vector<Frame> out;
+  for (int t = 0; t < frames; ++t) out.push_back(gen.frame(t));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// PSNR
+// ---------------------------------------------------------------------------
+
+TEST(Psnr, IdenticalFramesAreInfinite) {
+  Frame f(8, 8);
+  EXPECT_TRUE(std::isinf(psnr(f, f)));
+}
+
+TEST(Psnr, KnownValue) {
+  Frame a(10, 10);
+  Frame b(10, 10);
+  for (auto& v : b.luma) v = 5;  // uniform error of 5 -> MSE 25
+  EXPECT_DOUBLE_EQ(mse(a, b), 25.0);
+  EXPECT_NEAR(psnr(a, b), 10.0 * std::log10(255.0 * 255.0 / 25.0), 1e-9);
+}
+
+TEST(Psnr, DimensionMismatchThrows) {
+  Frame a(4, 4);
+  Frame b(5, 4);
+  EXPECT_THROW(psnr(a, b), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Motion estimation / interpolation
+// ---------------------------------------------------------------------------
+
+TEST(Motion, RecoversPureTranslation) {
+  // Frame b is frame a shifted by (3, 2): interior motion vectors must
+  // find it.
+  SceneGenerator gen(128, 96, 5);
+  Frame a = gen.frame(0);
+  Frame b(a.width, a.height);
+  const int sx = 3, sy = 2;
+  for (int y = 0; y < b.height; ++y) {
+    for (int x = 0; x < b.width; ++x) {
+      const int px = std::clamp(x - sx, 0, a.width - 1);
+      const int py = std::clamp(y - sy, 0, a.height - 1);
+      b.at(x, y) = a.at(px, py);
+    }
+  }
+  auto field = estimate_motion(a, b, 16, 7);
+  int correct = 0;
+  int interior = 0;
+  const int blocks_x = (a.width + 15) / 16;
+  const int blocks_y = (a.height + 15) / 16;
+  for (int by = 1; by + 1 < blocks_y; ++by) {
+    for (int bx = 1; bx + 1 < blocks_x; ++bx) {
+      ++interior;
+      const auto mv = field[static_cast<std::size_t>(by * blocks_x + bx)];
+      if (mv.dx == sx && mv.dy == sy) ++correct;
+    }
+  }
+  EXPECT_GT(correct, interior * 3 / 4);
+}
+
+TEST(Interpolation, MidpointOfSmoothSceneIsAccurate) {
+  auto frames = make_scene(3);
+  for (const auto method :
+       {RecoveryMethod::LinearBlend, RecoveryMethod::MotionCompensated}) {
+    Frame mid = interpolate(frames[0], frames[2], 0.5, method);
+    EXPECT_GT(psnr(mid, frames[1]), 30.0) << "method " << static_cast<int>(method);
+  }
+}
+
+TEST(Interpolation, MotionCompensationBeatsBlendOnTranslation) {
+  // A fast-translating scene: blending ghosts, motion compensation tracks.
+  const int w = 128, h = 96;
+  SceneGenerator gen(w, h, 9);
+  Frame base = gen.frame(0);
+  auto shifted = [&](int shift) {
+    Frame f(w, h);
+    for (int y = 0; y < h; ++y)
+      for (int x = 0; x < w; ++x)
+        f.at(x, y) = base.at(std::clamp(x - shift, 0, w - 1), y);
+    return f;
+  };
+  Frame f0 = shifted(0), f1 = shifted(4), f2 = shifted(8);
+  const double blend_psnr =
+      psnr(interpolate(f0, f2, 0.5, RecoveryMethod::LinearBlend), f1);
+  const double mc_psnr =
+      psnr(interpolate(f0, f2, 0.5, RecoveryMethod::MotionCompensated), f1);
+  EXPECT_GT(mc_psnr, blend_psnr + 3.0);
+}
+
+TEST(Interpolation, AlphaEndpointsReproduceAnchors) {
+  auto frames = make_scene(2);
+  Frame at0 = interpolate(frames[0], frames[1], 0.0, RecoveryMethod::LinearBlend);
+  Frame at1 = interpolate(frames[0], frames[1], 1.0, RecoveryMethod::LinearBlend);
+  EXPECT_EQ(at0.luma, frames[0].luma);
+  EXPECT_EQ(at1.luma, frames[1].luma);
+}
+
+// ---------------------------------------------------------------------------
+// recover_video pipeline
+// ---------------------------------------------------------------------------
+
+TEST(RecoverVideo, NoLossIsPassthrough) {
+  auto frames = make_scene(12);
+  auto video = encode_video(frames, GopPattern("IPPP"));
+  RecoveryStats stats;
+  auto out = recover_video(video, std::vector<bool>(12, false),
+                           RecoveryMethod::LinearBlend, &stats);
+  EXPECT_EQ(stats.decoded_direct, 12u);
+  EXPECT_EQ(stats.interpolated, 0u);
+  for (std::size_t i = 0; i < 12; ++i) EXPECT_EQ(out[i].luma, frames[i].luma);
+}
+
+TEST(RecoverVideo, SingleLostPFrameStaysHighQuality) {
+  auto frames = make_scene(16);
+  auto video = encode_video(frames, GopPattern("IPPPPPPP"));
+  std::vector<bool> lost(16, false);
+  lost[3] = true;
+  RecoveryStats stats;
+  auto out = recover_video(video, lost, RecoveryMethod::MotionCompensated, &stats);
+  EXPECT_EQ(stats.interpolated, 1u);
+  EXPECT_GT(stats.redecoded, 0u);  // successors re-decoded on recovered ref
+  double min_psnr = 1e9;
+  for (std::size_t i = 0; i < 16; ++i) {
+    min_psnr = std::min(min_psnr, psnr(out[i], frames[i]));
+  }
+  EXPECT_GT(min_psnr, 30.0);
+}
+
+TEST(RecoverVideo, OnePercentLossAveragesAbove35dB) {
+  // The paper's quoted operating point: ~1% unimportant-frame loss,
+  // recovered quality >= 35 dB on average.
+  auto frames = make_scene(100);
+  auto video = encode_video(frames, GopPattern("IPPPPPPPPP"));
+  std::vector<bool> lost(100, false);
+  lost[27] = true;  // one P frame = 1% of frames
+  auto out = recover_video(video, lost, RecoveryMethod::MotionCompensated, nullptr);
+  double total = 0;
+  for (std::size_t i = 0; i < 100; ++i) {
+    total += std::min(psnr(out[i], frames[i]), 99.0);
+  }
+  EXPECT_GT(total / 100.0, 35.0);
+}
+
+TEST(RecoverVideo, LostIFrameIsInterpolatedFromNeighbours) {
+  auto frames = make_scene(12);
+  auto video = encode_video(frames, GopPattern("IPP"));
+  std::vector<bool> lost(12, false);
+  lost[3] = true;  // second I frame
+  RecoveryStats stats;
+  auto out = recover_video(video, lost, RecoveryMethod::LinearBlend, &stats);
+  EXPECT_GE(stats.interpolated, 1u);
+  EXPECT_EQ(out.size(), 12u);
+  EXPECT_GT(psnr(out[3], frames[3]), 25.0);
+}
+
+TEST(RecoverVideo, AllFramesLostYieldsGray) {
+  auto frames = make_scene(4);
+  auto video = encode_video(frames, GopPattern("IPPP"));
+  RecoveryStats stats;
+  auto out = recover_video(video, std::vector<bool>(4, true),
+                           RecoveryMethod::LinearBlend, &stats);
+  EXPECT_EQ(stats.unrecoverable + stats.interpolated, 4u);
+  EXPECT_EQ(out[0].luma[0], 128);
+}
+
+// ---------------------------------------------------------------------------
+// TieredVideoStore end-to-end
+// ---------------------------------------------------------------------------
+
+core::ApprParams small_params(core::Structure structure) {
+  return core::ApprParams{codes::Family::RS, 4, 1, 2, 4, structure};
+}
+
+TEST(TieredStore, CleanRoundtrip) {
+  auto frames = make_scene(24);
+  auto video = encode_video(frames, GopPattern("IBBPBBPBBPBB"));
+  TieredVideoStore store(small_params(core::Structure::Even), 4096);
+  store.put(video);
+  auto re = store.get();
+  EXPECT_EQ(re.frames.size(), 24u);
+  for (const bool l : re.lost) EXPECT_FALSE(l);
+}
+
+TEST(TieredStore, WithinLocalToleranceNothingLost) {
+  auto frames = make_scene(24);
+  auto video = encode_video(frames, GopPattern("IBBPBBPBBPBB"));
+  for (const auto structure : {core::Structure::Even, core::Structure::Uneven}) {
+    TieredVideoStore store(small_params(structure), 4096);
+    store.put(video);
+    store.fail_nodes(std::vector<int>{0});
+    auto summary = store.repair();
+    EXPECT_TRUE(summary.fully_recovered);
+    auto re = store.get();
+    for (const bool l : re.lost) EXPECT_FALSE(l);
+  }
+}
+
+TEST(TieredStore, DoubleFailureLosesOnlyUnimportantFrames) {
+  auto frames = make_scene(48);
+  auto video = encode_video(frames, GopPattern("IBBPBBPBBPBB"));
+  for (const auto structure : {core::Structure::Even, core::Structure::Uneven}) {
+    TieredVideoStore store(small_params(structure), 4096);
+    store.put(video);
+    // Two failures inside stripe 0: beyond r=1.
+    store.fail_nodes(std::vector<int>{0, 1});
+    auto summary = store.repair();
+    EXPECT_TRUE(summary.all_important_recovered);
+    auto re = store.get();
+    // Every I frame survives; the video remains reconstructible.
+    GopPattern gop = store.stored_gop();
+    for (std::size_t i = 0; i < re.lost.size(); ++i) {
+      if (gop.type_at(static_cast<int>(i)) == FrameType::I) {
+        EXPECT_FALSE(re.lost[i]) << "I frame " << i << " lost ("
+                                 << structure_name(structure) << ")";
+      }
+    }
+    // End-to-end: recover and measure quality.
+    std::vector<bool> lost = re.lost;
+    EncodedVideo reconstructed;
+    reconstructed.width = store.stored_width();
+    reconstructed.height = store.stored_height();
+    reconstructed.gop = gop;
+    reconstructed.frames.resize(frames.size());
+    for (auto& f : re.frames) {
+      reconstructed.frames[f.info.index] = f;
+    }
+    // Fill metadata for lost slots so indices stay aligned.
+    for (std::size_t i = 0; i < reconstructed.frames.size(); ++i) {
+      reconstructed.frames[i].info.index = static_cast<std::uint32_t>(i);
+      reconstructed.frames[i].info.type = gop.type_at(static_cast<int>(i));
+    }
+    auto out = recover_video(reconstructed, lost, RecoveryMethod::LinearBlend);
+    double total = 0;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      total += std::min(psnr(out[i], frames[i]), 99.0);
+    }
+    EXPECT_GT(total / static_cast<double>(out.size()), 28.0)
+        << structure_name(structure);
+  }
+}
+
+TEST(TieredStore, TripleFailureStillProtectsImportantData) {
+  auto frames = make_scene(24);
+  auto video = encode_video(frames, GopPattern("IBBPBB"));
+  TieredVideoStore store(small_params(core::Structure::Uneven), 4096);
+  store.put(video);
+  store.fail_nodes(std::vector<int>{0, 1, 2});
+  auto summary = store.repair();
+  EXPECT_TRUE(summary.all_important_recovered);
+}
+
+TEST(TieredStore, ChunkingHandlesLargeStreams) {
+  auto frames = make_scene(60, 128, 96);
+  auto video = encode_video(frames, GopPattern("IBBPBB"));
+  // Tiny block size forces multiple chunks.
+  TieredVideoStore store(small_params(core::Structure::Even), 512);
+  store.put(video);
+  EXPECT_GT(store.chunk_count(), 1u);
+  auto re = store.get();
+  EXPECT_EQ(re.frames.size(), 60u);
+  for (const bool l : re.lost) EXPECT_FALSE(l);
+}
+
+}  // namespace
+}  // namespace approx::video

@@ -1,0 +1,74 @@
+// SSIM: bounds, known behaviours, and its role in the recovery pipeline.
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+#include "video/interpolation.h"
+#include "video/scene.h"
+#include "video/ssim.h"
+
+namespace approx::video {
+namespace {
+
+TEST(Ssim, IdenticalFramesScoreOne) {
+  SceneGenerator gen(64, 48, 2);
+  const Frame f = gen.frame(5);
+  EXPECT_DOUBLE_EQ(ssim(f, f), 1.0);
+}
+
+TEST(Ssim, UnrelatedNoiseScoresLow) {
+  Frame a(64, 48), b(64, 48);
+  Rng rng(3);
+  fill_random(a.luma.data(), a.luma.size(), rng);
+  fill_random(b.luma.data(), b.luma.size(), rng);
+  EXPECT_LT(ssim(a, b), 0.2);
+}
+
+TEST(Ssim, ConstantLuminanceShiftScoresHigh) {
+  // A uniform +10 brightness shift barely changes structure: SSIM should
+  // stay high while PSNR would drop hard.
+  SceneGenerator gen(64, 48, 4);
+  Frame a = gen.frame(0);
+  Frame b = a;
+  for (auto& v : b.luma) v = static_cast<std::uint8_t>(std::min(255, v + 10));
+  EXPECT_GT(ssim(a, b), 0.85);
+}
+
+TEST(Ssim, OrderedByDegradationSeverity) {
+  SceneGenerator gen(96, 64, 5);
+  const Frame original = gen.frame(10);
+  Frame mild = original;
+  Frame severe = original;
+  Rng rng(6);
+  for (std::size_t i = 0; i < mild.luma.size(); i += 37) {
+    mild.luma[i] = static_cast<std::uint8_t>(mild.luma[i] ^ 0x08);
+  }
+  for (std::size_t i = 0; i < severe.luma.size(); ++i) {
+    severe.luma[i] = static_cast<std::uint8_t>(severe.luma[i] + (rng.byte() & 0x3f));
+  }
+  EXPECT_GT(ssim(original, mild), ssim(original, severe));
+}
+
+TEST(Ssim, SymmetricInArguments) {
+  SceneGenerator gen(64, 48, 7);
+  const Frame a = gen.frame(0);
+  const Frame b = gen.frame(8);
+  EXPECT_NEAR(ssim(a, b), ssim(b, a), 1e-12);
+}
+
+TEST(Ssim, DimensionValidation) {
+  Frame a(32, 32), b(16, 32), tiny(4, 4);
+  EXPECT_THROW(ssim(a, b), InvalidArgument);
+  EXPECT_THROW(ssim(tiny, tiny), InvalidArgument);
+}
+
+TEST(Ssim, InterpolatedFramesScoreWell) {
+  SceneGenerator gen(96, 64, 8);
+  const Frame f0 = gen.frame(0);
+  const Frame f1 = gen.frame(1);
+  const Frame f2 = gen.frame(2);
+  const Frame recovered = interpolate(f0, f2, 0.5, RecoveryMethod::MotionCompensated);
+  EXPECT_GT(ssim(recovered, f1), 0.9);
+}
+
+}  // namespace
+}  // namespace approx::video

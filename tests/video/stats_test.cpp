@@ -1,0 +1,83 @@
+// Stream statistics and parameter suggestion.
+#include <gtest/gtest.h>
+
+#include "video/scene.h"
+#include "video/stats.h"
+#include "video/tiered_store.h"
+
+namespace approx::video {
+namespace {
+
+EncodedVideo sample_video(int frames = 48, const char* gop = "IBBPBBPBBPBB") {
+  SceneGenerator gen(96, 64, 17);
+  std::vector<Frame> raw;
+  for (int t = 0; t < frames; ++t) raw.push_back(gen.frame(t));
+  return encode_video(raw, GopPattern(gop));
+}
+
+TEST(Stats, CountsAndBytesAreConsistent) {
+  auto video = sample_video();
+  const auto s = analyze(video);
+  EXPECT_EQ(s.frames, 48u);
+  EXPECT_EQ(s.gops, 4u);
+  EXPECT_EQ(s.frames_i, 4u);
+  EXPECT_EQ(s.frames_p, 12u);
+  EXPECT_EQ(s.frames_b, 32u);
+  EXPECT_EQ(s.bytes_total, s.bytes_i + s.bytes_p + s.bytes_b);
+  EXPECT_EQ(s.bytes_total, video.total_bytes());
+  EXPECT_GT(s.mean_gop_bytes, 0);
+  EXPECT_GE(s.max_frame_bytes, static_cast<double>(s.bytes_i) / s.frames_i);
+}
+
+TEST(Stats, IByteRatioMatchesStreamComposition) {
+  auto video = sample_video();
+  const auto s = analyze(video);
+  EXPECT_NEAR(s.i_byte_ratio(),
+              static_cast<double>(video.bytes_of(FrameType::I)) /
+                  static_cast<double>(video.total_bytes()),
+              1e-12);
+}
+
+TEST(Stats, SuggestionCoversTheImportantShare) {
+  auto video = sample_video();
+  const auto s = analyze(video);
+  const auto params = suggest_params(s, ImportancePolicy::IFramesOnly);
+  EXPECT_NO_THROW(params.validate());
+  // The chosen 1/h must cover the important share (with headroom).
+  EXPECT_GE(1.0 / params.h, s.i_byte_ratio());
+  // And the suggested layout must actually hold the stream.
+  TieredVideoStore store(params, 6720);  // divisible by any h <= 8
+  EXPECT_NO_THROW(store.put(video));
+  auto re = store.get();
+  for (const bool l : re.lost) EXPECT_FALSE(l);
+}
+
+TEST(Stats, PromotingPolicyLowersH) {
+  auto video = sample_video();
+  const auto s = analyze(video);
+  const auto i_only = suggest_params(s, ImportancePolicy::IFramesOnly);
+  const auto i_and_p = suggest_params(s, ImportancePolicy::IAndPFrames);
+  EXPECT_GE(i_only.h, i_and_p.h);
+}
+
+TEST(Stats, AllIntraStreamForcesSmallestH) {
+  auto video = sample_video(12, "I");  // every frame is an I frame
+  const auto s = analyze(video);
+  EXPECT_EQ(s.frames_i, 12u);
+  const auto params = suggest_params(s, ImportancePolicy::IFramesOnly);
+  EXPECT_EQ(params.h, 2);  // nothing smaller exists; caller must split tiers
+}
+
+TEST(Stats, EmptyVideoIsHandled) {
+  EncodedVideo video;
+  const auto s = analyze(video);
+  EXPECT_EQ(s.frames, 0u);
+  EXPECT_EQ(s.gops, 0u);
+  EXPECT_DOUBLE_EQ(s.i_byte_ratio(), 0.0);
+  const auto params = suggest_params(s, ImportancePolicy::IFramesOnly);
+  EXPECT_NO_THROW(params.validate());
+  EXPECT_EQ(params.h, 8);  // no important data: cheapest layout allowed
+}
+
+}  // namespace
+}  // namespace approx::video

@@ -1,0 +1,114 @@
+// XOR kernels vs scalar references, across sizes and alignments.
+#include <gtest/gtest.h>
+
+#include "common/buffer.h"
+#include "common/prng.h"
+#include "xorblk/xor_kernels.h"
+
+namespace approx::xorblk {
+namespace {
+
+class XorKernelTest : public testing::TestWithParam<std::size_t> {};
+
+TEST_P(XorKernelTest, XorAccMatchesScalar) {
+  const std::size_t n = GetParam();
+  Rng rng(n + 1);
+  std::vector<std::uint8_t> dst(n), src(n), expect(n);
+  fill_random(dst.data(), n, rng);
+  fill_random(src.data(), n, rng);
+  for (std::size_t i = 0; i < n; ++i) {
+    expect[i] = static_cast<std::uint8_t>(dst[i] ^ src[i]);
+  }
+  xor_acc(dst.data(), src.data(), n);
+  EXPECT_EQ(dst, expect);
+}
+
+TEST_P(XorKernelTest, XorAcc2MatchesTwoSingleCalls) {
+  const std::size_t n = GetParam();
+  Rng rng(n + 2);
+  std::vector<std::uint8_t> dst(n), a(n), b(n);
+  fill_random(dst.data(), n, rng);
+  fill_random(a.data(), n, rng);
+  fill_random(b.data(), n, rng);
+  auto expect = dst;
+  xor_acc(expect.data(), a.data(), n);
+  xor_acc(expect.data(), b.data(), n);
+  xor_acc2(dst.data(), a.data(), b.data(), n);
+  EXPECT_EQ(dst, expect);
+}
+
+TEST_P(XorKernelTest, GatherMatchesSequentialAcc) {
+  const std::size_t n = GetParam();
+  Rng rng(n + 3);
+  std::vector<std::vector<std::uint8_t>> srcs(5, std::vector<std::uint8_t>(n));
+  std::vector<const std::uint8_t*> ptrs;
+  for (auto& s : srcs) {
+    fill_random(s.data(), n, rng);
+    ptrs.push_back(s.data());
+  }
+  std::vector<std::uint8_t> expect(n, 0);
+  for (const auto& s : srcs) xor_acc(expect.data(), s.data(), n);
+  std::vector<std::uint8_t> dst(n, 0xFF);  // gather overwrites
+  xor_gather(dst.data(), ptrs, n);
+  EXPECT_EQ(dst, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, XorKernelTest,
+                         testing::Values(0, 1, 7, 8, 9, 31, 32, 33, 63, 64, 65,
+                                         255, 256, 1 << 12),
+                         [](const auto& in) {
+                           return "n" + std::to_string(in.param);
+                         });
+
+TEST(XorKernels, UnalignedOffsetsAreCorrect) {
+  Rng rng(42);
+  AlignedBuffer dst(256), src(256);
+  fill_random(dst.data(), 256, rng);
+  fill_random(src.data(), 256, rng);
+  for (const std::size_t off : {1u, 3u, 5u, 7u}) {
+    std::vector<std::uint8_t> expect(dst.data() + off, dst.data() + 256);
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+      expect[i] = static_cast<std::uint8_t>(expect[i] ^ src[off + i]);
+    }
+    xor_acc(dst.data() + off, src.data() + off, 256 - off);
+    EXPECT_TRUE(std::equal(expect.begin(), expect.end(), dst.data() + off)) << off;
+  }
+}
+
+TEST(XorKernels, SelfXorZeroes) {
+  Rng rng(43);
+  std::vector<std::uint8_t> buf(100);
+  fill_random(buf.data(), buf.size(), rng);
+  xor_acc(buf.data(), buf.data(), buf.size());
+  EXPECT_TRUE(is_zero(buf.data(), buf.size()));
+}
+
+TEST(XorKernels, GatherSingleSourceIsCopy) {
+  Rng rng(44);
+  std::vector<std::uint8_t> src(64);
+  fill_random(src.data(), src.size(), rng);
+  std::vector<std::uint8_t> dst(64, 0);
+  const std::uint8_t* p = src.data();
+  xor_gather(dst.data(), std::span<const std::uint8_t* const>(&p, 1), 64);
+  EXPECT_EQ(dst, src);
+}
+
+TEST(XorKernels, GatherNoSourcesZeroes) {
+  std::vector<std::uint8_t> dst(32, 0xAB);
+  xor_gather(dst.data(), {}, 32);
+  EXPECT_TRUE(is_zero(dst.data(), 32));
+}
+
+TEST(XorKernels, IsZeroEdgeCases) {
+  EXPECT_TRUE(is_zero(nullptr, 0));
+  std::vector<std::uint8_t> buf(65, 0);
+  EXPECT_TRUE(is_zero(buf.data(), buf.size()));
+  buf[64] = 1;  // tail byte
+  EXPECT_FALSE(is_zero(buf.data(), buf.size()));
+  buf[64] = 0;
+  buf[0] = 1;
+  EXPECT_FALSE(is_zero(buf.data(), buf.size()));
+}
+
+}  // namespace
+}  // namespace approx::xorblk

@@ -1,0 +1,414 @@
+// approxcli - file-backed Approximate Code volumes.
+//
+//   approxcli encode [options] <input-file> <volume-dir>
+//   approxcli info   <volume-dir>
+//   approxcli scrub  <volume-dir>
+//   approxcli repair <volume-dir>
+//   approxcli decode <volume-dir> <output-file>
+//
+// encode splits the input into an important prefix (--split bytes, default
+// size/h) and an unimportant remainder, stripes both across node files
+// (node_000.bin ...) under the chosen APPR.<family>(k,r,g,h) layout, and
+// writes a manifest.  Deleting node files simulates device loss: repair
+// rebuilds whatever the code allows and reports what the approximation
+// gave up.  decode reassembles the original file (zero-filled holes where
+// unimportant data was lost beyond tolerance).
+//
+// Options: --family rs|lrc|star|tip|crs  --k N --r N --g N --h N
+//          --structure even|uneven  --block BYTES  --split BYTES
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/crc32.h"
+#include "core/approximate_code.h"
+
+namespace fs = std::filesystem;
+using namespace approx;
+
+namespace {
+
+struct Options {
+  codes::Family family = codes::Family::RS;
+  int k = 4, r = 1, g = 2, h = 4;
+  core::Structure structure = core::Structure::Even;
+  std::size_t block = 4096;
+  std::optional<std::size_t> split;
+};
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg != nullptr) std::fprintf(stderr, "error: %s\n", msg);
+  std::fprintf(stderr,
+               "usage: approxcli encode [--family rs|lrc|star|tip|crs] [--k N] "
+               "[--r N] [--g N] [--h N] [--structure even|uneven] "
+               "[--block BYTES] [--split BYTES] <input> <volume-dir>\n"
+               "       approxcli info|scrub|repair <volume-dir>\n"
+               "       approxcli decode <volume-dir> <output>\n");
+  std::exit(2);
+}
+
+codes::Family parse_family(const std::string& s) {
+  if (s == "rs") return codes::Family::RS;
+  if (s == "lrc") return codes::Family::LRC;
+  if (s == "star") return codes::Family::STAR;
+  if (s == "tip") return codes::Family::TIP;
+  if (s == "crs") return codes::Family::CRS;
+  usage("unknown family");
+}
+
+std::string family_flag(codes::Family f) {
+  std::string name = codes::family_name(f);
+  for (auto& c : name) c = static_cast<char>(std::tolower(c));
+  return name;
+}
+
+std::vector<std::uint8_t> read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open " + path.string());
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+void write_file(const fs::path& path, std::span<const std::uint8_t> data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw Error("cannot write " + path.string());
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+}
+
+// ---------------------------------------------------------------------------
+// Manifest
+// ---------------------------------------------------------------------------
+
+struct Manifest {
+  Options opts;
+  std::size_t file_size = 0;
+  std::size_t important_len = 0;
+  std::size_t chunks = 0;
+  std::uint32_t file_crc = 0;
+
+  void save(const fs::path& dir) const {
+    std::ofstream out(dir / "manifest.txt", std::ios::trunc);
+    out << "format=approxcode-volume-v1\n"
+        << "family=" << family_flag(opts.family) << "\n"
+        << "k=" << opts.k << "\nr=" << opts.r << "\ng=" << opts.g
+        << "\nh=" << opts.h << "\n"
+        << "structure=" << (opts.structure == core::Structure::Even ? "even" : "uneven")
+        << "\n"
+        << "block=" << opts.block << "\n"
+        << "file_size=" << file_size << "\n"
+        << "important_len=" << important_len << "\n"
+        << "chunks=" << chunks << "\n"
+        << "file_crc32=" << file_crc << "\n";
+  }
+
+  static Manifest load(const fs::path& dir) {
+    std::ifstream in(dir / "manifest.txt");
+    if (!in) throw Error("no manifest in " + dir.string());
+    std::map<std::string, std::string> kv;
+    std::string line;
+    while (std::getline(in, line)) {
+      const auto eq = line.find('=');
+      if (eq != std::string::npos) kv[line.substr(0, eq)] = line.substr(eq + 1);
+    }
+    if (kv["format"] != "approxcode-volume-v1") throw Error("bad volume format");
+    Manifest m;
+    m.opts.family = parse_family(kv["family"]);
+    m.opts.k = std::stoi(kv["k"]);
+    m.opts.r = std::stoi(kv["r"]);
+    m.opts.g = std::stoi(kv["g"]);
+    m.opts.h = std::stoi(kv["h"]);
+    m.opts.structure =
+        kv["structure"] == "even" ? core::Structure::Even : core::Structure::Uneven;
+    m.opts.block = std::stoull(kv["block"]);
+    m.file_size = std::stoull(kv["file_size"]);
+    m.important_len = std::stoull(kv["important_len"]);
+    m.chunks = std::stoull(kv["chunks"]);
+    m.file_crc = static_cast<std::uint32_t>(std::stoul(kv["file_crc32"]));
+    return m;
+  }
+};
+
+core::ApproximateCode make_code(const Manifest& m) {
+  core::ApprParams p{m.opts.family, m.opts.k, m.opts.r, m.opts.g, m.opts.h,
+                     m.opts.structure};
+  return core::ApproximateCode(p, m.opts.block);
+}
+
+fs::path node_path(const fs::path& dir, int node) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "node_%03d.bin", node);
+  return dir / name;
+}
+
+// Load the volume's node files; missing or size-mismatched files become
+// zero-filled and are reported in `erased`.
+std::vector<std::vector<std::uint8_t>> load_nodes(const fs::path& dir,
+                                                  const Manifest& m,
+                                                  const core::ApproximateCode& code,
+                                                  std::vector<int>& erased) {
+  const std::size_t expect = m.chunks * code.node_bytes();
+  std::vector<std::vector<std::uint8_t>> nodes(
+      static_cast<std::size_t>(code.total_nodes()));
+  for (int n = 0; n < code.total_nodes(); ++n) {
+    const fs::path path = node_path(dir, n);
+    auto& buf = nodes[static_cast<std::size_t>(n)];
+    if (fs::exists(path)) {
+      buf = read_file(path);
+      if (buf.size() == expect) continue;
+    }
+    buf.assign(expect, 0);
+    erased.push_back(n);
+  }
+  return nodes;
+}
+
+// ---------------------------------------------------------------------------
+// Commands
+// ---------------------------------------------------------------------------
+
+int cmd_encode(const Options& opts, const fs::path& input, const fs::path& dir) {
+  const auto file = read_file(input);
+  Manifest m;
+  m.opts = opts;
+  m.file_size = file.size();
+  m.file_crc = crc32(file);
+  m.important_len =
+      std::min(file.size(), opts.split.value_or(file.size() /
+                                                static_cast<std::size_t>(opts.h)));
+
+  core::ApproximateCode code = make_code(m);
+  const std::size_t unimportant_len = file.size() - m.important_len;
+  m.chunks = std::max<std::size_t>(
+      1, std::max((m.important_len + code.important_capacity() - 1) /
+                      code.important_capacity(),
+                  (unimportant_len + code.unimportant_capacity() - 1) /
+                      code.unimportant_capacity()));
+
+  fs::create_directories(dir);
+  std::vector<std::vector<std::uint8_t>> node_files(
+      static_cast<std::size_t>(code.total_nodes()));
+
+  for (std::size_t c = 0; c < m.chunks; ++c) {
+    std::vector<std::uint8_t> imp(code.important_capacity(), 0);
+    std::vector<std::uint8_t> unimp(code.unimportant_capacity(), 0);
+    const std::size_t ioff = c * code.important_capacity();
+    if (ioff < m.important_len) {
+      const std::size_t len = std::min(imp.size(), m.important_len - ioff);
+      std::memcpy(imp.data(), file.data() + ioff, len);
+    }
+    const std::size_t uoff = c * code.unimportant_capacity();
+    if (uoff < unimportant_len) {
+      const std::size_t len = std::min(unimp.size(), unimportant_len - uoff);
+      std::memcpy(unimp.data(), file.data() + m.important_len + uoff, len);
+    }
+    StripeBuffers buffers(code.total_nodes(), code.node_bytes());
+    auto spans = buffers.spans();
+    code.scatter(imp, unimp, spans);
+    code.encode(spans);
+    for (int n = 0; n < code.total_nodes(); ++n) {
+      auto& out = node_files[static_cast<std::size_t>(n)];
+      out.insert(out.end(), buffers.node(n).begin(), buffers.node(n).end());
+    }
+  }
+  for (int n = 0; n < code.total_nodes(); ++n) {
+    write_file(node_path(dir, n), node_files[static_cast<std::size_t>(n)]);
+  }
+  m.save(dir);
+  std::printf("encoded %zu B as %s across %d node files (%zu chunk(s), "
+              "%.2fx storage)\n",
+              file.size(), code.name().c_str(), code.total_nodes(), m.chunks,
+              static_cast<double>(code.total_nodes()) /
+                  code.params().total_data_nodes());
+  return 0;
+}
+
+int cmd_info(const fs::path& dir) {
+  const Manifest m = Manifest::load(dir);
+  core::ApproximateCode code = make_code(m);
+  std::printf("volume       : %s\n", code.name().c_str());
+  std::printf("nodes        : %d (%zu B each)\n", code.total_nodes(),
+              m.chunks * code.node_bytes());
+  std::printf("file size    : %zu B (crc32 %08x)\n", m.file_size, m.file_crc);
+  std::printf("important    : %zu B (%.1f%%)\n", m.important_len,
+              m.file_size ? 100.0 * static_cast<double>(m.important_len) /
+                                static_cast<double>(m.file_size)
+                          : 0.0);
+  int present = 0;
+  for (int n = 0; n < code.total_nodes(); ++n) {
+    present += fs::exists(node_path(dir, n)) ? 1 : 0;
+  }
+  std::printf("node files   : %d/%d present\n", present, code.total_nodes());
+  return 0;
+}
+
+int cmd_scrub(const fs::path& dir) {
+  const Manifest m = Manifest::load(dir);
+  core::ApproximateCode code = make_code(m);
+  std::vector<int> erased;
+  auto nodes = load_nodes(dir, m, code, erased);
+  if (!erased.empty()) {
+    std::printf("scrub: %zu node file(s) missing - run `approxcli repair`\n",
+                erased.size());
+    return 1;
+  }
+  std::size_t mismatches = 0;
+  for (std::size_t c = 0; c < m.chunks; ++c) {
+    std::vector<std::span<std::uint8_t>> spans;
+    for (auto& n : nodes) {
+      spans.emplace_back(n.data() + c * code.node_bytes(), code.node_bytes());
+    }
+    mismatches += code.scrub(spans).mismatched.size();
+  }
+  if (mismatches == 0) {
+    std::printf("scrub: clean (%zu chunk(s))\n", m.chunks);
+    return 0;
+  }
+  std::printf("scrub: %zu inconsistent parity element(s) - data corruption!\n",
+              mismatches);
+  return 1;
+}
+
+int cmd_repair(const fs::path& dir) {
+  const Manifest m = Manifest::load(dir);
+  core::ApproximateCode code = make_code(m);
+  std::vector<int> erased;
+  auto nodes = load_nodes(dir, m, code, erased);
+  if (erased.empty()) {
+    std::printf("repair: nothing to do\n");
+    return 0;
+  }
+  std::printf("repair: %zu node(s) missing:", erased.size());
+  for (const int e : erased) std::printf(" %d", e);
+  std::printf("\n");
+
+  bool all_important = true;
+  bool fully = true;
+  std::size_t unimportant_lost = 0;
+  for (std::size_t c = 0; c < m.chunks; ++c) {
+    std::vector<std::span<std::uint8_t>> spans;
+    for (auto& n : nodes) {
+      spans.emplace_back(n.data() + c * code.node_bytes(), code.node_bytes());
+    }
+    core::ApproximateCode::RepairOptions options;
+    options.normalize_parity = true;  // volumes must scrub clean after repair
+    const auto report = code.repair(spans, erased, options);
+    all_important &= report.all_important_recovered;
+    fully &= report.fully_recovered;
+    unimportant_lost += report.unimportant_data_bytes_lost;
+  }
+  // Repair (with normalization) can touch surviving parity nodes too:
+  // write every node file back.
+  for (int n = 0; n < code.total_nodes(); ++n) {
+    write_file(node_path(dir, n), nodes[static_cast<std::size_t>(n)]);
+  }
+  std::printf("repair: important data %s; %s",
+              all_important ? "recovered" : "LOST",
+              fully ? "volume fully restored\n" : "");
+  if (!fully) {
+    std::printf("%zu B of unimportant data unrecoverable (zero-filled)\n",
+                unimportant_lost);
+  }
+  return all_important ? 0 : 1;
+}
+
+int cmd_decode(const fs::path& dir, const fs::path& output) {
+  const Manifest m = Manifest::load(dir);
+  core::ApproximateCode code = make_code(m);
+  std::vector<int> erased;
+  auto nodes = load_nodes(dir, m, code, erased);
+  if (!erased.empty()) {
+    std::printf("decode: %zu node file(s) missing - run `approxcli repair` "
+                "first\n",
+                erased.size());
+    return 1;
+  }
+  std::vector<std::uint8_t> file(m.file_size, 0);
+  const std::size_t unimportant_len = m.file_size - m.important_len;
+  for (std::size_t c = 0; c < m.chunks; ++c) {
+    std::vector<std::span<std::uint8_t>> spans;
+    for (auto& n : nodes) {
+      spans.emplace_back(n.data() + c * code.node_bytes(), code.node_bytes());
+    }
+    std::vector<std::uint8_t> imp(code.important_capacity());
+    std::vector<std::uint8_t> unimp(code.unimportant_capacity());
+    code.gather(spans, imp, unimp);
+    const std::size_t ioff = c * code.important_capacity();
+    if (ioff < m.important_len) {
+      const std::size_t len = std::min(imp.size(), m.important_len - ioff);
+      std::memcpy(file.data() + ioff, imp.data(), len);
+    }
+    const std::size_t uoff = c * code.unimportant_capacity();
+    if (uoff < unimportant_len) {
+      const std::size_t len = std::min(unimp.size(), unimportant_len - uoff);
+      std::memcpy(file.data() + m.important_len + uoff, unimp.data(), len);
+    }
+  }
+  write_file(output, file);
+  const bool intact = crc32(file) == m.file_crc;
+  std::printf("decoded %zu B -> %s (%s)\n", file.size(), output.string().c_str(),
+              intact ? "checksum OK" : "CHECKSUM MISMATCH: some data was lost");
+  return intact ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 2) usage();
+    const std::string cmd = argv[1];
+    std::vector<std::string> args(argv + 2, argv + argc);
+
+    if (cmd == "encode") {
+      Options opts;
+      std::vector<std::string> positional;
+      for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string& a = args[i];
+        auto next = [&]() -> std::string {
+          if (++i >= args.size()) usage("missing option value");
+          return args[i];
+        };
+        if (a == "--family") {
+          opts.family = parse_family(next());
+        } else if (a == "--k") {
+          opts.k = std::stoi(next());
+        } else if (a == "--r") {
+          opts.r = std::stoi(next());
+        } else if (a == "--g") {
+          opts.g = std::stoi(next());
+        } else if (a == "--h") {
+          opts.h = std::stoi(next());
+        } else if (a == "--structure") {
+          const std::string s = next();
+          if (s != "even" && s != "uneven") usage("structure must be even|uneven");
+          opts.structure = s == "even" ? core::Structure::Even
+                                       : core::Structure::Uneven;
+        } else if (a == "--block") {
+          opts.block = std::stoull(next());
+        } else if (a == "--split") {
+          opts.split = std::stoull(next());
+        } else if (a.rfind("--", 0) == 0) {
+          usage(("unknown option " + a).c_str());
+        } else {
+          positional.push_back(a);
+        }
+      }
+      if (positional.size() != 2) usage("encode needs <input> <volume-dir>");
+      return cmd_encode(opts, positional[0], positional[1]);
+    }
+    if (cmd == "info" && args.size() == 1) return cmd_info(args[0]);
+    if (cmd == "scrub" && args.size() == 1) return cmd_scrub(args[0]);
+    if (cmd == "repair" && args.size() == 1) return cmd_repair(args[0]);
+    if (cmd == "decode" && args.size() == 2) return cmd_decode(args[0], args[1]);
+    usage("unknown command or wrong argument count");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "approxcli: %s\n", e.what());
+    return 1;
+  }
+}
