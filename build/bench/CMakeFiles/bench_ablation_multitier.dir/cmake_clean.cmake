@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multitier.dir/bench_ablation_multitier.cpp.o"
+  "CMakeFiles/bench_ablation_multitier.dir/bench_ablation_multitier.cpp.o.d"
+  "bench_ablation_multitier"
+  "bench_ablation_multitier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multitier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

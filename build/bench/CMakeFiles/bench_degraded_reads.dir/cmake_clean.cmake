@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_degraded_reads.dir/bench_degraded_reads.cpp.o"
+  "CMakeFiles/bench_degraded_reads.dir/bench_degraded_reads.cpp.o.d"
+  "bench_degraded_reads"
+  "bench_degraded_reads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_degraded_reads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

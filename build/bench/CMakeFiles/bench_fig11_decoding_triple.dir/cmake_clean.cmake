@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_decoding_triple.dir/bench_fig11_decoding_triple.cpp.o"
+  "CMakeFiles/bench_fig11_decoding_triple.dir/bench_fig11_decoding_triple.cpp.o.d"
+  "bench_fig11_decoding_triple"
+  "bench_fig11_decoding_triple.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_decoding_triple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

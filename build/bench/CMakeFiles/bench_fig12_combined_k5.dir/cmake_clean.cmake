@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_combined_k5.dir/bench_fig12_combined_k5.cpp.o"
+  "CMakeFiles/bench_fig12_combined_k5.dir/bench_fig12_combined_k5.cpp.o.d"
+  "bench_fig12_combined_k5"
+  "bench_fig12_combined_k5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_combined_k5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

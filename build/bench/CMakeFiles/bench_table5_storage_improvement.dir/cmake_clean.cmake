@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_storage_improvement.dir/bench_table5_storage_improvement.cpp.o"
+  "CMakeFiles/bench_table5_storage_improvement.dir/bench_table5_storage_improvement.cpp.o.d"
+  "bench_table5_storage_improvement"
+  "bench_table5_storage_improvement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_storage_improvement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_video_psnr.cpp" "bench/CMakeFiles/bench_video_psnr.dir/bench_video_psnr.cpp.o" "gcc" "bench/CMakeFiles/bench_video_psnr.dir/bench_video_psnr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/approx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/approx_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/xorblk/CMakeFiles/approx_xorblk.dir/DependInfo.cmake"
+  "/root/repo/build/src/codes/CMakeFiles/approx_codes.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/approx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/approx_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/approx_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/approx_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

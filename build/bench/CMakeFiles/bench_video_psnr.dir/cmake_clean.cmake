@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_video_psnr.dir/bench_video_psnr.cpp.o"
+  "CMakeFiles/bench_video_psnr.dir/bench_video_psnr.cpp.o.d"
+  "bench_video_psnr"
+  "bench_video_psnr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_video_psnr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_recovery.dir/cluster_recovery.cpp.o"
+  "CMakeFiles/cluster_recovery.dir/cluster_recovery.cpp.o.d"
+  "cluster_recovery"
+  "cluster_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

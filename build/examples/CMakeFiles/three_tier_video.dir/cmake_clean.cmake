@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/three_tier_video.dir/three_tier_video.cpp.o"
+  "CMakeFiles/three_tier_video.dir/three_tier_video.cpp.o.d"
+  "three_tier_video"
+  "three_tier_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/three_tier_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

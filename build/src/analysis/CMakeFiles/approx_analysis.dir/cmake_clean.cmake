@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approx_analysis.dir/durability.cpp.o"
+  "CMakeFiles/approx_analysis.dir/durability.cpp.o.d"
+  "CMakeFiles/approx_analysis.dir/reliability.cpp.o"
+  "CMakeFiles/approx_analysis.dir/reliability.cpp.o.d"
+  "libapprox_analysis.a"
+  "libapprox_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approx_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/deployment.cpp" "src/cluster/CMakeFiles/approx_cluster.dir/deployment.cpp.o" "gcc" "src/cluster/CMakeFiles/approx_cluster.dir/deployment.cpp.o.d"
+  "/root/repo/src/cluster/placement.cpp" "src/cluster/CMakeFiles/approx_cluster.dir/placement.cpp.o" "gcc" "src/cluster/CMakeFiles/approx_cluster.dir/placement.cpp.o.d"
+  "/root/repo/src/cluster/read_service.cpp" "src/cluster/CMakeFiles/approx_cluster.dir/read_service.cpp.o" "gcc" "src/cluster/CMakeFiles/approx_cluster.dir/read_service.cpp.o.d"
+  "/root/repo/src/cluster/recovery.cpp" "src/cluster/CMakeFiles/approx_cluster.dir/recovery.cpp.o" "gcc" "src/cluster/CMakeFiles/approx_cluster.dir/recovery.cpp.o.d"
+  "/root/repo/src/cluster/workload.cpp" "src/cluster/CMakeFiles/approx_cluster.dir/workload.cpp.o" "gcc" "src/cluster/CMakeFiles/approx_cluster.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/approx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/codes/CMakeFiles/approx_codes.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/approx_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/xorblk/CMakeFiles/approx_xorblk.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/approx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

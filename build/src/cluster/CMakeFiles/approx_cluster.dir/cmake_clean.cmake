@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approx_cluster.dir/deployment.cpp.o"
+  "CMakeFiles/approx_cluster.dir/deployment.cpp.o.d"
+  "CMakeFiles/approx_cluster.dir/placement.cpp.o"
+  "CMakeFiles/approx_cluster.dir/placement.cpp.o.d"
+  "CMakeFiles/approx_cluster.dir/read_service.cpp.o"
+  "CMakeFiles/approx_cluster.dir/read_service.cpp.o.d"
+  "CMakeFiles/approx_cluster.dir/recovery.cpp.o"
+  "CMakeFiles/approx_cluster.dir/recovery.cpp.o.d"
+  "CMakeFiles/approx_cluster.dir/workload.cpp.o"
+  "CMakeFiles/approx_cluster.dir/workload.cpp.o.d"
+  "libapprox_cluster.a"
+  "libapprox_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approx_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codes/array_codes.cpp" "src/codes/CMakeFiles/approx_codes.dir/array_codes.cpp.o" "gcc" "src/codes/CMakeFiles/approx_codes.dir/array_codes.cpp.o.d"
+  "/root/repo/src/codes/code_family.cpp" "src/codes/CMakeFiles/approx_codes.dir/code_family.cpp.o" "gcc" "src/codes/CMakeFiles/approx_codes.dir/code_family.cpp.o.d"
+  "/root/repo/src/codes/crs_code.cpp" "src/codes/CMakeFiles/approx_codes.dir/crs_code.cpp.o" "gcc" "src/codes/CMakeFiles/approx_codes.dir/crs_code.cpp.o.d"
+  "/root/repo/src/codes/linear_code.cpp" "src/codes/CMakeFiles/approx_codes.dir/linear_code.cpp.o" "gcc" "src/codes/CMakeFiles/approx_codes.dir/linear_code.cpp.o.d"
+  "/root/repo/src/codes/lrc_code.cpp" "src/codes/CMakeFiles/approx_codes.dir/lrc_code.cpp.o" "gcc" "src/codes/CMakeFiles/approx_codes.dir/lrc_code.cpp.o.d"
+  "/root/repo/src/codes/mixed_code.cpp" "src/codes/CMakeFiles/approx_codes.dir/mixed_code.cpp.o" "gcc" "src/codes/CMakeFiles/approx_codes.dir/mixed_code.cpp.o.d"
+  "/root/repo/src/codes/parallel.cpp" "src/codes/CMakeFiles/approx_codes.dir/parallel.cpp.o" "gcc" "src/codes/CMakeFiles/approx_codes.dir/parallel.cpp.o.d"
+  "/root/repo/src/codes/rs_code.cpp" "src/codes/CMakeFiles/approx_codes.dir/rs_code.cpp.o" "gcc" "src/codes/CMakeFiles/approx_codes.dir/rs_code.cpp.o.d"
+  "/root/repo/src/codes/solver.cpp" "src/codes/CMakeFiles/approx_codes.dir/solver.cpp.o" "gcc" "src/codes/CMakeFiles/approx_codes.dir/solver.cpp.o.d"
+  "/root/repo/src/codes/verify.cpp" "src/codes/CMakeFiles/approx_codes.dir/verify.cpp.o" "gcc" "src/codes/CMakeFiles/approx_codes.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/approx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/approx_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/xorblk/CMakeFiles/approx_xorblk.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

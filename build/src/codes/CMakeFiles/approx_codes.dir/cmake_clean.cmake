@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approx_codes.dir/array_codes.cpp.o"
+  "CMakeFiles/approx_codes.dir/array_codes.cpp.o.d"
+  "CMakeFiles/approx_codes.dir/code_family.cpp.o"
+  "CMakeFiles/approx_codes.dir/code_family.cpp.o.d"
+  "CMakeFiles/approx_codes.dir/crs_code.cpp.o"
+  "CMakeFiles/approx_codes.dir/crs_code.cpp.o.d"
+  "CMakeFiles/approx_codes.dir/linear_code.cpp.o"
+  "CMakeFiles/approx_codes.dir/linear_code.cpp.o.d"
+  "CMakeFiles/approx_codes.dir/lrc_code.cpp.o"
+  "CMakeFiles/approx_codes.dir/lrc_code.cpp.o.d"
+  "CMakeFiles/approx_codes.dir/mixed_code.cpp.o"
+  "CMakeFiles/approx_codes.dir/mixed_code.cpp.o.d"
+  "CMakeFiles/approx_codes.dir/parallel.cpp.o"
+  "CMakeFiles/approx_codes.dir/parallel.cpp.o.d"
+  "CMakeFiles/approx_codes.dir/rs_code.cpp.o"
+  "CMakeFiles/approx_codes.dir/rs_code.cpp.o.d"
+  "CMakeFiles/approx_codes.dir/solver.cpp.o"
+  "CMakeFiles/approx_codes.dir/solver.cpp.o.d"
+  "CMakeFiles/approx_codes.dir/verify.cpp.o"
+  "CMakeFiles/approx_codes.dir/verify.cpp.o.d"
+  "libapprox_codes.a"
+  "libapprox_codes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approx_codes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approx_common.dir/buffer.cpp.o"
+  "CMakeFiles/approx_common.dir/buffer.cpp.o.d"
+  "CMakeFiles/approx_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/approx_common.dir/thread_pool.cpp.o.d"
+  "libapprox_common.a"
+  "libapprox_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approx_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approx_core.dir/approximate_code.cpp.o"
+  "CMakeFiles/approx_core.dir/approximate_code.cpp.o.d"
+  "CMakeFiles/approx_core.dir/metrics.cpp.o"
+  "CMakeFiles/approx_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/approx_core.dir/multi_tier_code.cpp.o"
+  "CMakeFiles/approx_core.dir/multi_tier_code.cpp.o.d"
+  "libapprox_core.a"
+  "libapprox_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approx_gf.dir/gf256.cpp.o"
+  "CMakeFiles/approx_gf.dir/gf256.cpp.o.d"
+  "CMakeFiles/approx_gf.dir/gf_matrix.cpp.o"
+  "CMakeFiles/approx_gf.dir/gf_matrix.cpp.o.d"
+  "libapprox_gf.a"
+  "libapprox_gf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approx_gf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/video/bitstream.cpp" "src/video/CMakeFiles/approx_video.dir/bitstream.cpp.o" "gcc" "src/video/CMakeFiles/approx_video.dir/bitstream.cpp.o.d"
+  "/root/repo/src/video/classifier.cpp" "src/video/CMakeFiles/approx_video.dir/classifier.cpp.o" "gcc" "src/video/CMakeFiles/approx_video.dir/classifier.cpp.o.d"
+  "/root/repo/src/video/codec.cpp" "src/video/CMakeFiles/approx_video.dir/codec.cpp.o" "gcc" "src/video/CMakeFiles/approx_video.dir/codec.cpp.o.d"
+  "/root/repo/src/video/interpolation.cpp" "src/video/CMakeFiles/approx_video.dir/interpolation.cpp.o" "gcc" "src/video/CMakeFiles/approx_video.dir/interpolation.cpp.o.d"
+  "/root/repo/src/video/psnr.cpp" "src/video/CMakeFiles/approx_video.dir/psnr.cpp.o" "gcc" "src/video/CMakeFiles/approx_video.dir/psnr.cpp.o.d"
+  "/root/repo/src/video/rle.cpp" "src/video/CMakeFiles/approx_video.dir/rle.cpp.o" "gcc" "src/video/CMakeFiles/approx_video.dir/rle.cpp.o.d"
+  "/root/repo/src/video/scene.cpp" "src/video/CMakeFiles/approx_video.dir/scene.cpp.o" "gcc" "src/video/CMakeFiles/approx_video.dir/scene.cpp.o.d"
+  "/root/repo/src/video/ssim.cpp" "src/video/CMakeFiles/approx_video.dir/ssim.cpp.o" "gcc" "src/video/CMakeFiles/approx_video.dir/ssim.cpp.o.d"
+  "/root/repo/src/video/stats.cpp" "src/video/CMakeFiles/approx_video.dir/stats.cpp.o" "gcc" "src/video/CMakeFiles/approx_video.dir/stats.cpp.o.d"
+  "/root/repo/src/video/tiered_store.cpp" "src/video/CMakeFiles/approx_video.dir/tiered_store.cpp.o" "gcc" "src/video/CMakeFiles/approx_video.dir/tiered_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/approx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/codes/CMakeFiles/approx_codes.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/approx_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/xorblk/CMakeFiles/approx_xorblk.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/approx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approx_video.dir/bitstream.cpp.o"
+  "CMakeFiles/approx_video.dir/bitstream.cpp.o.d"
+  "CMakeFiles/approx_video.dir/classifier.cpp.o"
+  "CMakeFiles/approx_video.dir/classifier.cpp.o.d"
+  "CMakeFiles/approx_video.dir/codec.cpp.o"
+  "CMakeFiles/approx_video.dir/codec.cpp.o.d"
+  "CMakeFiles/approx_video.dir/interpolation.cpp.o"
+  "CMakeFiles/approx_video.dir/interpolation.cpp.o.d"
+  "CMakeFiles/approx_video.dir/psnr.cpp.o"
+  "CMakeFiles/approx_video.dir/psnr.cpp.o.d"
+  "CMakeFiles/approx_video.dir/rle.cpp.o"
+  "CMakeFiles/approx_video.dir/rle.cpp.o.d"
+  "CMakeFiles/approx_video.dir/scene.cpp.o"
+  "CMakeFiles/approx_video.dir/scene.cpp.o.d"
+  "CMakeFiles/approx_video.dir/ssim.cpp.o"
+  "CMakeFiles/approx_video.dir/ssim.cpp.o.d"
+  "CMakeFiles/approx_video.dir/stats.cpp.o"
+  "CMakeFiles/approx_video.dir/stats.cpp.o.d"
+  "CMakeFiles/approx_video.dir/tiered_store.cpp.o"
+  "CMakeFiles/approx_video.dir/tiered_store.cpp.o.d"
+  "libapprox_video.a"
+  "libapprox_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approx_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approx_xorblk.dir/xor_kernels.cpp.o"
+  "CMakeFiles/approx_xorblk.dir/xor_kernels.cpp.o.d"
+  "libapprox_xorblk.a"
+  "libapprox_xorblk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approx_xorblk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libapprox_xorblk.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_durability_test.dir/analysis/durability_test.cpp.o"
+  "CMakeFiles/analysis_durability_test.dir/analysis/durability_test.cpp.o.d"
+  "analysis_durability_test"
+  "analysis_durability_test.pdb"
+  "analysis_durability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_durability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_reliability_test.dir/analysis/reliability_test.cpp.o"
+  "CMakeFiles/analysis_reliability_test.dir/analysis/reliability_test.cpp.o.d"
+  "analysis_reliability_test"
+  "analysis_reliability_test.pdb"
+  "analysis_reliability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_reliability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

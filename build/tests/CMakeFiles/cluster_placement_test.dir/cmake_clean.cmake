@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_placement_test.dir/cluster/placement_test.cpp.o"
+  "CMakeFiles/cluster_placement_test.dir/cluster/placement_test.cpp.o.d"
+  "cluster_placement_test"
+  "cluster_placement_test.pdb"
+  "cluster_placement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_placement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_read_service_test.dir/cluster/read_service_test.cpp.o"
+  "CMakeFiles/cluster_read_service_test.dir/cluster/read_service_test.cpp.o.d"
+  "cluster_read_service_test"
+  "cluster_read_service_test.pdb"
+  "cluster_read_service_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_read_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_recovery_test.dir/cluster/recovery_test.cpp.o"
+  "CMakeFiles/cluster_recovery_test.dir/cluster/recovery_test.cpp.o.d"
+  "cluster_recovery_test"
+  "cluster_recovery_test.pdb"
+  "cluster_recovery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

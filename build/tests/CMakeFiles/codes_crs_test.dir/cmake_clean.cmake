@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codes_crs_test.dir/codes/crs_test.cpp.o"
+  "CMakeFiles/codes_crs_test.dir/codes/crs_test.cpp.o.d"
+  "codes_crs_test"
+  "codes_crs_test.pdb"
+  "codes_crs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codes_crs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

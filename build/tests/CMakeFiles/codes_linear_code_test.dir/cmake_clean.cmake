@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codes_linear_code_test.dir/codes/linear_code_test.cpp.o"
+  "CMakeFiles/codes_linear_code_test.dir/codes/linear_code_test.cpp.o.d"
+  "codes_linear_code_test"
+  "codes_linear_code_test.pdb"
+  "codes_linear_code_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codes_linear_code_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codes_mixed_code_test.dir/codes/mixed_code_test.cpp.o"
+  "CMakeFiles/codes_mixed_code_test.dir/codes/mixed_code_test.cpp.o.d"
+  "codes_mixed_code_test"
+  "codes_mixed_code_test.pdb"
+  "codes_mixed_code_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codes_mixed_code_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

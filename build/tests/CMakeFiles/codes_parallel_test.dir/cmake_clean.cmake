@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codes_parallel_test.dir/codes/parallel_test.cpp.o"
+  "CMakeFiles/codes_parallel_test.dir/codes/parallel_test.cpp.o.d"
+  "codes_parallel_test"
+  "codes_parallel_test.pdb"
+  "codes_parallel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codes_parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

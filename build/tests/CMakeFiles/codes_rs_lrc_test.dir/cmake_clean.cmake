@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codes_rs_lrc_test.dir/codes/rs_lrc_test.cpp.o"
+  "CMakeFiles/codes_rs_lrc_test.dir/codes/rs_lrc_test.cpp.o.d"
+  "codes_rs_lrc_test"
+  "codes_rs_lrc_test.pdb"
+  "codes_rs_lrc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codes_rs_lrc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codes_smoke_test.dir/codes/smoke_test.cpp.o"
+  "CMakeFiles/codes_smoke_test.dir/codes/smoke_test.cpp.o.d"
+  "codes_smoke_test"
+  "codes_smoke_test.pdb"
+  "codes_smoke_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codes_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

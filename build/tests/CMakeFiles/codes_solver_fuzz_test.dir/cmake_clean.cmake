@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codes_solver_fuzz_test.dir/codes/solver_fuzz_test.cpp.o"
+  "CMakeFiles/codes_solver_fuzz_test.dir/codes/solver_fuzz_test.cpp.o.d"
+  "codes_solver_fuzz_test"
+  "codes_solver_fuzz_test.pdb"
+  "codes_solver_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codes_solver_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

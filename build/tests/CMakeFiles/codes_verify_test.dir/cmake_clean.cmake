@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codes_verify_test.dir/codes/verify_test.cpp.o"
+  "CMakeFiles/codes_verify_test.dir/codes/verify_test.cpp.o.d"
+  "codes_verify_test"
+  "codes_verify_test.pdb"
+  "codes_verify_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codes_verify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codes_views_test.dir/codes/views_test.cpp.o"
+  "CMakeFiles/codes_views_test.dir/codes/views_test.cpp.o.d"
+  "codes_views_test"
+  "codes_views_test.pdb"
+  "codes_views_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codes_views_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

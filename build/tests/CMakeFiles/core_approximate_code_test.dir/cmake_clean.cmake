@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_approximate_code_test.dir/core/approximate_code_test.cpp.o"
+  "CMakeFiles/core_approximate_code_test.dir/core/approximate_code_test.cpp.o.d"
+  "core_approximate_code_test"
+  "core_approximate_code_test.pdb"
+  "core_approximate_code_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_approximate_code_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_degraded_read_test.dir/core/degraded_read_test.cpp.o"
+  "CMakeFiles/core_degraded_read_test.dir/core/degraded_read_test.cpp.o.d"
+  "core_degraded_read_test"
+  "core_degraded_read_test.pdb"
+  "core_degraded_read_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_degraded_read_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

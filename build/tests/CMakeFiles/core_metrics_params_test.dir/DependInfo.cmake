@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/metrics_params_test.cpp" "tests/CMakeFiles/core_metrics_params_test.dir/core/metrics_params_test.cpp.o" "gcc" "tests/CMakeFiles/core_metrics_params_test.dir/core/metrics_params_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/approx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/approx_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/xorblk/CMakeFiles/approx_xorblk.dir/DependInfo.cmake"
+  "/root/repo/build/src/codes/CMakeFiles/approx_codes.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/approx_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_soak_test.dir/core/soak_test.cpp.o"
+  "CMakeFiles/core_soak_test.dir/core/soak_test.cpp.o.d"
+  "core_soak_test"
+  "core_soak_test.pdb"
+  "core_soak_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_soak_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf_gf256_test.dir/gf/gf256_test.cpp.o"
+  "CMakeFiles/gf_gf256_test.dir/gf/gf256_test.cpp.o.d"
+  "gf_gf256_test"
+  "gf_gf256_test.pdb"
+  "gf_gf256_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf_gf256_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

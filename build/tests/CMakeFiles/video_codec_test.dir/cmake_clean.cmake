@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_codec_test.dir/video/codec_test.cpp.o"
+  "CMakeFiles/video_codec_test.dir/video/codec_test.cpp.o.d"
+  "video_codec_test"
+  "video_codec_test.pdb"
+  "video_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

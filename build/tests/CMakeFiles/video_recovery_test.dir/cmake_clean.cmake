@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_recovery_test.dir/video/recovery_test.cpp.o"
+  "CMakeFiles/video_recovery_test.dir/video/recovery_test.cpp.o.d"
+  "video_recovery_test"
+  "video_recovery_test.pdb"
+  "video_recovery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

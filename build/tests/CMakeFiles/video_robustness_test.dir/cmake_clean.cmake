@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_robustness_test.dir/video/robustness_test.cpp.o"
+  "CMakeFiles/video_robustness_test.dir/video/robustness_test.cpp.o.d"
+  "video_robustness_test"
+  "video_robustness_test.pdb"
+  "video_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_ssim_test.dir/video/ssim_test.cpp.o"
+  "CMakeFiles/video_ssim_test.dir/video/ssim_test.cpp.o.d"
+  "video_ssim_test"
+  "video_ssim_test.pdb"
+  "video_ssim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_ssim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

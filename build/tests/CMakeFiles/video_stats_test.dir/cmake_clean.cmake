@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_stats_test.dir/video/stats_test.cpp.o"
+  "CMakeFiles/video_stats_test.dir/video/stats_test.cpp.o.d"
+  "video_stats_test"
+  "video_stats_test.pdb"
+  "video_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xorblk_test.dir/xorblk/xor_test.cpp.o"
+  "CMakeFiles/xorblk_test.dir/xorblk/xor_test.cpp.o.d"
+  "xorblk_test"
+  "xorblk_test.pdb"
+  "xorblk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xorblk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approxcli.dir/approxcli.cpp.o"
+  "CMakeFiles/approxcli.dir/approxcli.cpp.o.d"
+  "approxcli"
+  "approxcli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approxcli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tip_search.dir/tip_search.cpp.o"
+  "CMakeFiles/tip_search.dir/tip_search.cpp.o.d"
+  "tip_search"
+  "tip_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tip_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
