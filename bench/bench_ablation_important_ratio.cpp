@@ -10,7 +10,8 @@
 using namespace approx;
 using namespace approx::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  approx::bench::bench_init(argc, argv, "ablation_important_ratio");
   const int k = 5;
   print_header("Ablation: important-data ratio 1/h (APPR.RS(5,1,2,h,Even))");
   print_row({"h", "imp.ratio", "storage", "write-cost", "P_U", "rec-2 (s)",
@@ -37,5 +38,6 @@ int main() {
               "recovery, but more data exposed to loss beyond r failures; the "
               "classifier's measured important-ratio picks h (video: I-frame "
               "share is typically ~1/4 to ~1/6 of the stream).\n");
+  approx::bench::bench_finish();
   return 0;
 }

@@ -54,7 +54,8 @@ UpdateCostRow measure_update_cost(const core::ApprParams& p) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  approx::bench::bench_init(argc, argv, "ablation_io_paths");
   print_header("Measured single-write cost (bytes written / byte updated)");
   print_row({"code", "measured", "Table 3 model"}, 24);
   for (const int h : {4, 6}) {
@@ -109,5 +110,6 @@ int main() {
   }
   std::printf("\nTakeaway: reads stay available through every important-tier\n"
               "failure; only the affected 1/N fraction pays decode cost.\n");
+  approx::bench::bench_finish();
   return 0;
 }

@@ -52,7 +52,8 @@ LossProfile profile(const core::MultiTierParams& p) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  approx::bench::bench_init(argc, argv, "ablation_multitier");
   const int k = 5;
 
   // Two-tier (the paper): I at 3 levels, P+B local-only.
@@ -92,5 +93,6 @@ int main() {
       "failures (stopping intra-GOP error propagation at B frames only) for\n"
       "one extra global node - the framework's segmentation generalizes\n"
       "beyond the paper's two tiers at no algorithmic cost.\n");
+  approx::bench::bench_finish();
   return 0;
 }

@@ -20,7 +20,8 @@ double recovery_seconds(const Deployment& dep, const std::vector<int>& failed,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  approx::bench::bench_init(argc, argv, "ablation_placement");
   const int k = 5;
   const std::size_t member = std::size_t{64} << 20;  // 64 MiB stripe members
   ClusterConfig cfg;
@@ -83,5 +84,6 @@ int main() {
   std::printf("\nTakeaway: declustering parallelizes rebuild reads across the\n"
               "pool (HDFS/Ceph practice); Approximate Code's benefit is\n"
               "orthogonal and multiplies with it.\n");
+  approx::bench::bench_finish();
   return 0;
 }

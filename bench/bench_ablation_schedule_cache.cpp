@@ -31,7 +31,8 @@ double repair_time(const std::shared_ptr<const codes::LinearCode>& code,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  approx::bench::bench_init(argc, argv, "ablation_schedule_cache");
   print_header("Ablation: repair-schedule cache (triple-failure repair, ms/stripe)");
   print_row({"code", "cache ON", "cache OFF", "solve overhead"}, 18);
   struct Case {
@@ -53,5 +54,6 @@ int main() {
   std::printf("\nTakeaway: the GF(2) bit solver keeps even cold solves cheap, "
               "but caching still removes the planning term entirely - at the "
               "cluster level one plan serves thousands of stripes.\n");
+  approx::bench::bench_finish();
   return 0;
 }

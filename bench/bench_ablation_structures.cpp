@@ -53,7 +53,8 @@ double recovery_seconds(const core::ApprParams& p, int failures) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  approx::bench::bench_init(argc, argv, "ablation_structures");
   print_header("Ablation: Even vs Uneven structure");
   print_row({"config", "P_U", "P_I", "read-imbalance", "rec-2 (s)", "rec-3 (s)"},
             18);
@@ -70,5 +71,6 @@ int main() {
   }
   std::printf("\nTakeaway: Uneven buys ~5-7pp of P_U and ~3pp of P_I; Even "
               "spreads repair reads more evenly across the cluster.\n");
+  approx::bench::bench_finish();
   return 0;
 }

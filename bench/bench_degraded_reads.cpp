@@ -13,7 +13,8 @@ using namespace approx;
 using namespace approx::bench;
 using namespace approx::cluster;
 
-int main() {
+int main(int argc, char** argv) {
+  approx::bench::bench_init(argc, argv, "degraded_reads");
   ClusterConfig cfg;
   ReadRequestModel model;
   model.arrival_rate = 60.0;
@@ -72,5 +73,6 @@ int main() {
       "group; the Approximate Code's important tier answers every read even\n"
       "with three nodes down, through local parity first and the global tier\n"
       "when the stripe's local tolerance is exceeded.\n");
+  approx::bench::bench_finish();
   return 0;
 }

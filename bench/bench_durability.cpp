@@ -25,7 +25,8 @@ double mttr_hours(double recovery_seconds) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  approx::bench::bench_init(argc, argv, "durability");
   const int k = 5;
   cluster::ClusterConfig cfg;
   // Durability is a production question: model full 8 TB drives (the
@@ -92,5 +93,6 @@ int main() {
       "~21%% lower storage cost - every unimportant-tier incident is the\n"
       "bounded, interpolation-recoverable loss of P/B frames, not data-set\n"
       "loss.  This is the operating point the paper argues for.\n");
+  approx::bench::bench_finish();
   return 0;
 }

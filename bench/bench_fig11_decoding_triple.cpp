@@ -23,12 +23,14 @@ void panel(codes::Family f, const std::string& base_label, int lrc_l) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  approx::bench::bench_init(argc, argv, "fig11_decoding_triple");
   panel(codes::Family::STAR, "STAR(k,3)", 0);
   panel(codes::Family::TIP, "TIP(k,3)", 0);
   panel(codes::Family::RS, "RS(k,3)", 0);
   panel(codes::Family::LRC, "LRC(k,6,2)", 6);
   std::printf("\nShape check (paper): ~75%% faster for RS/STAR/TIP, ~87%% for "
               "LRC under triple failure.\n");
+  approx::bench::bench_finish();
   return 0;
 }

@@ -15,7 +15,8 @@ struct Entry {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  approx::bench::bench_init(argc, argv, "fig12_combined_k5");
   const int k = 5;
   std::vector<Entry> entries;
 
@@ -56,5 +57,6 @@ int main() {
   }
   std::printf("\nShape check: the APPR variants post the best encode/dec-2/"
               "dec-3 numbers; dec-1 is comparable to the base codes.\n");
+  approx::bench::bench_finish();
   return 0;
 }

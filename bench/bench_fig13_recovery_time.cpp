@@ -6,6 +6,7 @@
 #include "codec_measurements.h"
 
 #include "cluster/workload.h"
+#include "obs/timeline.h"
 
 using namespace approx;
 using namespace approx::bench;
@@ -72,9 +73,36 @@ void panel(int failures, const cluster::ClusterConfig& cfg) {
   std::printf("max RS/APPR.RS speedup in this panel: %.1fx\n", best_ratio);
 }
 
+// Traced rerun of one representative cell: attach a TimelineSink so the
+// simulator records per-resource busy intervals, then report utilization
+// and the critical-path resource.  The per-resource utilizations also land
+// in the obs registry, so they appear in the --json dump.
+void resource_panel(const cluster::ClusterConfig& cfg) {
+  auto code = baseline_code(codes::Family::RS, 5, 0);
+  const std::vector<int> erased = {0, 1};
+  const auto workload =
+      cluster::base_code_recovery(*code, erased, cfg.node_capacity);
+  obs::TimelineSink sink;
+  const auto result = cluster::simulate_recovery(workload, cfg, &sink);
+  print_header("Fig 13 trace: RS(5) double-failure per-resource usage");
+  print_row({"resource", "busy_s", "MB", "max_queue", "utilization"}, 16);
+  for (const auto& u : result.resources) {
+    print_row({u.name, fmt(u.busy_seconds, 3), fmt(static_cast<double>(u.bytes) / 1e6, 1),
+               std::to_string(u.max_queue_depth), pct(u.utilization)},
+              16);
+    obs::registry()
+        .gauge("sim.resource." + u.name + ".utilization")
+        .set(u.utilization);
+  }
+  std::printf("critical resource: %s (%zu busy intervals, horizon %.2f s)\n",
+              result.critical_resource.c_str(), sink.intervals().size(),
+              sink.horizon());
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  approx::bench::bench_init(argc, argv, "fig13_recovery_time");
   const auto cfg = calibrated_config();
   std::printf("cluster model: disk %.0f/%.0f MB/s, NIC %.1f Gbps, coding %.0f MB/s,"
               " node %zu MB, task %zu MB\n",
@@ -82,8 +110,10 @@ int main() {
               cfg.coding_bw / 1e6, cfg.node_capacity >> 20, cfg.task_bytes >> 20);
   panel(2, cfg);
   panel(3, cfg);
+  resource_panel(cfg);
   std::printf("\nShape check (paper): APPR owns the best recovery time of all "
               "ECs; optimization up to 95.9%% / speedup up to ~4.7x, because "
               "only important data is rebuilt beyond the local tolerance.\n");
+  approx::bench::bench_finish();
   return 0;
 }

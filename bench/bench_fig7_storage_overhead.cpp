@@ -7,7 +7,8 @@
 using namespace approx;
 using namespace approx::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  approx::bench::bench_init(argc, argv, "fig7_storage_overhead");
   for (int h : {4, 6}) {
     print_header("Figure 7(" + std::string(h == 4 ? "a" : "b") +
                  "): storage overhead, h=" + std::to_string(h));
@@ -25,5 +26,6 @@ int main() {
   }
   std::printf("\nShape check: APPR.RS(k,1,2,h) < APPR.RS(k,2,1,h) < RS(k,3) "
               "for every k; gap shrinks as k grows.\n");
+  approx::bench::bench_finish();
   return 0;
 }

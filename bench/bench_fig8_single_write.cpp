@@ -9,7 +9,8 @@
 using namespace approx;
 using namespace approx::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  approx::bench::bench_init(argc, argv, "fig8_single_write");
   for (int h : {4, 6}) {
     print_header("Figure 8(" + std::string(h == 4 ? "a" : "b") +
                  "): single-write cost (I/Os per element update), h=" +
@@ -38,5 +39,6 @@ int main() {
   const double rs = core::base_metrics(*codes::make_rs(5, 3)).avg_single_write_cost;
   const double ap = core::appr_metrics(p6).avg_single_write_cost;
   std::printf("Measured reduction at k=5, h=6: %.1f%%\n", (rs - ap) / rs * 100.0);
+  approx::bench::bench_finish();
   return 0;
 }

@@ -24,12 +24,14 @@ void panel(codes::Family f, const std::string& base_label, int lrc_l) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  approx::bench::bench_init(argc, argv, "fig9_encoding");
   panel(codes::Family::STAR, "STAR(k,3)", 0);
   panel(codes::Family::TIP, "TIP(k,3)", 0);
   panel(codes::Family::RS, "RS(k,3)", 0);
   panel(codes::Family::LRC, "LRC(k,4,2)", 4);
   std::printf("\nShape check (paper): APPR encodes ~48-62%% faster than every "
               "base code.\n");
+  approx::bench::bench_finish();
   return 0;
 }

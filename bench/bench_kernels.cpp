@@ -4,6 +4,8 @@
 // number in Fig. 9-13 decomposes into.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include "common/buffer.h"
 #include "common/prng.h"
 #include "codes/array_codes.h"
@@ -125,4 +127,13 @@ BENCHMARK(BM_SolveTripleErasure)->Arg(5)->Arg(11)->Arg(17);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so --json can dump the obs registry (xorblk
+// byte counters, solver spans, ...) accumulated across the benchmarks.
+int main(int argc, char** argv) {
+  approx::bench::bench_init(argc, argv, "kernels");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  approx::bench::bench_finish();
+  return 0;
+}

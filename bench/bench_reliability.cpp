@@ -23,7 +23,8 @@ void row(const core::ApprParams& p) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  approx::bench::bench_init(argc, argv, "reliability");
   print_header("Reliability: P_U / P_I (paper eq.1-4 vs exact vs Monte-Carlo)");
   print_row({"code", "P_U paper", "P_U exact", "P_U MC", "P_I paper", "P_I exact"},
             20);
@@ -40,5 +41,6 @@ int main() {
       "P_I exact <= paper: the closed form counts only single-stripe "
       "concentrated quad failures; the codec also loses important data on "
       "some mixed stripe+global patterns.\n");
+  approx::bench::bench_finish();
   return 0;
 }

@@ -32,7 +32,8 @@ void appr_row(const core::ApprParams& p, double paper_write) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  approx::bench::bench_init(argc, argv, "table3_properties");
   print_header("Table 3: storage / fault tolerance / single-write overhead");
   print_row({"code", "storage", "tolerance", "write(ours)", "write(paper)"}, 16);
 
@@ -68,5 +69,6 @@ int main() {
       "STAR/TIP assume the DSN'15 distributed-parity TIP layout; our TIP\n"
       "realization is the shortened generalized-EVENODD code (DESIGN.md S8),\n"
       "whose update cost follows the STAR-style formula instead.\n");
+  approx::bench::bench_finish();
   return 0;
 }

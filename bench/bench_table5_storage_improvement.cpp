@@ -8,7 +8,8 @@
 using namespace approx;
 using namespace approx::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  approx::bench::bench_init(argc, argv, "table5_storage_improvement");
   print_header("Table 5: storage-overhead improvement of APPR.RS over RS(k,3)");
   std::vector<std::string> header = {"coding"};
   for (int k = 4; k <= 9; ++k) header.push_back("k=" + std::to_string(k));
@@ -54,5 +55,6 @@ int main() {
   std::printf("\nParity nodes per k data nodes: RS(k,3)=3, APPR.RS(4,1,2,6)=%.2f "
               "(reduction %.0f%%)\n",
               appr_par, (rs_par - appr_par) / rs_par * 100.0);
+  approx::bench::bench_finish();
   return 0;
 }

@@ -35,7 +35,8 @@ void block(const std::string& scenario,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  approx::bench::bench_init(argc, argv, "table6_summary");
   print_header("Table 6: improvement of APPR.*(k,1,2,4) over base codes");
 
   block("Encoding",
@@ -57,5 +58,6 @@ int main() {
       "Paper reference bands: encoding ~47-62%%; single-failure decoding\n"
       "within +-11%% of the base code; double failure ~73-79%%; triple\n"
       "failure ~73-76%% (87%% vs LRC).\n");
+  approx::bench::bench_finish();
   return 0;
 }

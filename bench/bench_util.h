@@ -13,6 +13,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/buffer.h"
@@ -20,6 +21,8 @@
 #include "common/stopwatch.h"
 #include "codes/code_family.h"
 #include "core/approximate_code.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
 
 namespace approx::bench {
 
@@ -147,16 +150,97 @@ inline double repair_sec_per_failed_gib(ApprStripe& s,
 }
 
 // ---------------------------------------------------------------------------
-// Table printing
+// Table printing + machine-readable dumps
 // ---------------------------------------------------------------------------
 
+// Per-binary state for the `--json[=path]` mode: print_header/print_row
+// record every table they print, and bench_finish() dumps the tables plus
+// the full obs registry (counters, gauges, span histograms) to a JSON file,
+// BENCH_<name>.json by default.
+struct BenchState {
+  struct Table {
+    std::string title;
+    std::vector<std::vector<std::string>> rows;
+  };
+  std::string name;
+  std::string path;
+  bool json = false;
+  std::vector<Table> tables;
+};
+
+inline BenchState& bench_state() {
+  static BenchState s;
+  return s;
+}
+
+// Call at the top of main(); recognizes --json and --json=<path>.
+inline void bench_init(int argc, char** argv, std::string name) {
+  auto& st = bench_state();
+  st.name = std::move(name);
+  st.path = "BENCH_" + st.name + ".json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a == "--json") {
+      st.json = true;
+    } else if (a.rfind("--json=", 0) == 0) {
+      st.json = true;
+      st.path = std::string(a.substr(7));
+    }
+  }
+}
+
 inline void print_header(const std::string& title) {
+  bench_state().tables.push_back({title, {}});
   std::printf("\n=== %s ===\n", title.c_str());
 }
 
 inline void print_row(const std::vector<std::string>& cells, int width = 14) {
+  auto& st = bench_state();
+  if (st.tables.empty()) st.tables.push_back({"", {}});
+  st.tables.back().rows.push_back(cells);
   for (const auto& c : cells) std::printf("%-*s", width, c.c_str());
   std::printf("\n");
+}
+
+// Call at the end of main(): in --json mode, writes
+// {"bench":name,"tables":[{"title":..,"rows":[[..],..]},..],
+//  "metrics":<registry dump>} to the chosen path.
+inline void bench_finish() {
+  const auto& st = bench_state();
+  if (!st.json) return;
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("bench");
+  w.value(st.name);
+  w.key("tables");
+  w.begin_array();
+  for (const auto& table : st.tables) {
+    w.begin_object();
+    w.key("title");
+    w.value(table.title);
+    w.key("rows");
+    w.begin_array();
+    for (const auto& row : table.rows) {
+      w.begin_array();
+      for (const auto& cell : row) w.value(cell);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("metrics");
+  w.raw(obs::registry().to_json());
+  w.end_object();
+  std::FILE* f = std::fopen(st.path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", st.path.c_str());
+    return;
+  }
+  std::fwrite(w.str().data(), 1, w.str().size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("\nwrote %s\n", st.path.c_str());
 }
 
 inline std::string fmt(double v, int prec = 3) {

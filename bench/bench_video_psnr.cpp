@@ -77,7 +77,8 @@ Result run_pipeline(std::uint64_t seed, core::Structure structure,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  approx::bench::bench_init(argc, argv, "video_psnr");
   print_header("Video recovery quality under double node failure");
   print_row({"scene", "structure", "method", "frames lost", "avg PSNR", "min PSNR",
              "I-frames safe"},
@@ -101,5 +102,6 @@ int main() {
   }
   std::printf("\nmean over all runs: %.1f dB (paper: commonly above 35 dB)\n",
               grand_total / runs);
+  approx::bench::bench_finish();
   return 0;
 }

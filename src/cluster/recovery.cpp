@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <memory>
+#include <string>
 
 #include "cluster/sim.h"
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/timeline.h"
 
 namespace approx::cluster {
 
@@ -30,21 +33,29 @@ std::size_t chunk_of(std::size_t total, std::size_t parts, std::size_t i) {
 }
 
 struct NodeResources {
-  NodeResources(const ClusterConfig& c)
-      : disk_read(c.disk_read_bw, c.disk_latency),
-        disk_write(c.disk_write_bw, c.disk_latency),
-        nic_in(c.nic_bw, c.nic_latency),
-        nic_out(c.nic_bw, c.nic_latency) {}
+  NodeResources(const ClusterConfig& c, const std::string& prefix)
+      : disk_read(c.disk_read_bw, c.disk_latency, prefix + ".disk_read"),
+        disk_write(c.disk_write_bw, c.disk_latency, prefix + ".disk_write"),
+        nic_in(c.nic_bw, c.nic_latency, prefix + ".nic_in"),
+        nic_out(c.nic_bw, c.nic_latency, prefix + ".nic_out") {}
   FifoResource disk_read;
   FifoResource disk_write;
   FifoResource nic_in;
   FifoResource nic_out;
 };
 
+// The metric category of a resource label: the part after the node prefix
+// ("node3.nic_in" -> "nic_in", "cpu" -> "cpu").
+std::string resource_category(const std::string& label) {
+  const auto dot = label.find('.');
+  return dot == std::string::npos ? label : label.substr(dot + 1);
+}
+
 }  // namespace
 
 RecoveryResult simulate_recovery(const RecoveryWorkload& workload,
-                                 const ClusterConfig& config) {
+                                 const ClusterConfig& config,
+                                 obs::TimelineSink* trace) {
   APPROX_REQUIRE(workload.nodes > 0, "workload must declare a node count");
   for (const auto& [node, bytes] : workload.reads) {
     APPROX_REQUIRE(node >= 0 && node < workload.nodes, "read source out of range");
@@ -56,12 +67,14 @@ RecoveryResult simulate_recovery(const RecoveryWorkload& workload,
   }
 
   auto sim = std::make_shared<Simulation>();
+  sim->set_trace(trace);
   std::vector<std::unique_ptr<NodeResources>> nodes;
   nodes.reserve(static_cast<std::size_t>(workload.nodes));
   for (int i = 0; i < workload.nodes; ++i) {
-    nodes.push_back(std::make_unique<NodeResources>(config));
+    nodes.push_back(
+        std::make_unique<NodeResources>(config, "node" + std::to_string(i)));
   }
-  FifoResource cpu(config.coding_bw, 0.0);
+  FifoResource cpu(config.coding_bw, 0.0, "cpu");
 
   if (workload.reads.empty() && workload.writes.empty()) {
     return {};
@@ -179,6 +192,61 @@ RecoveryResult simulate_recovery(const RecoveryWorkload& workload,
         std::max(n->nic_in.busy_seconds(), n->nic_out.busy_seconds()));
   }
   result.compute_seconds = cpu.busy_seconds();
+
+  // Per-resource breakdown: every resource that did work, busiest first.
+  auto add_usage = [&](const FifoResource& r) {
+    if (r.busy_seconds() <= 0) return;
+    ResourceUsage u;
+    u.name = r.label();
+    u.busy_seconds = r.busy_seconds();
+    u.bytes = r.bytes_served();
+    u.utilization = result.seconds > 0 ? r.busy_seconds() / result.seconds : 0;
+    result.resources.push_back(std::move(u));
+  };
+  for (const auto& n : nodes) {
+    add_usage(n->disk_read);
+    add_usage(n->disk_write);
+    add_usage(n->nic_in);
+    add_usage(n->nic_out);
+  }
+  add_usage(cpu);
+  if (trace != nullptr) {
+    for (auto& u : result.resources) {
+      for (int id = 0; id < trace->resource_count(); ++id) {
+        if (trace->resource_name(id) == u.name) {
+          u.max_queue_depth = trace->max_queue_depth(id);
+          break;
+        }
+      }
+    }
+  }
+  std::sort(result.resources.begin(), result.resources.end(),
+            [](const ResourceUsage& a, const ResourceUsage& b) {
+              return a.busy_seconds > b.busy_seconds;
+            });
+  if (!result.resources.empty()) {
+    result.critical_resource = result.resources.front().name;
+  }
+
+  static obs::Counter& runs = obs::registry().counter("sim.recovery.runs");
+  runs.add();
+  if (result.seconds > 0) {
+    obs::registry()
+        .gauge("sim.recovery.disk.utilization")
+        .set(result.read_seconds / result.seconds);
+    obs::registry()
+        .gauge("sim.recovery.nic.utilization")
+        .set(result.network_seconds / result.seconds);
+    obs::registry()
+        .gauge("sim.recovery.cpu.utilization")
+        .set(result.compute_seconds / result.seconds);
+  }
+  if (!result.critical_resource.empty()) {
+    obs::registry()
+        .counter("sim.recovery.critical." +
+                 resource_category(result.critical_resource))
+        .add();
+  }
   return result;
 }
 

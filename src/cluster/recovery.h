@@ -10,10 +10,15 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "cluster/config.h"
+
+namespace approx::obs {
+class TimelineSink;
+}
 
 namespace approx::cluster {
 
@@ -31,15 +36,32 @@ struct RecoveryWorkload {
   std::size_t total_written() const;
 };
 
+// Service-time footprint of one simulated resource (a disk head, NIC port,
+// or the rebuilder CPU).
+struct ResourceUsage {
+  std::string name;             // "node<i>.disk_read", "node<i>.nic_in", "cpu", ...
+  double busy_seconds = 0;      // total service time
+  std::size_t bytes = 0;        // bytes moved through the resource
+  std::size_t max_queue_depth = 0;  // peak outstanding requests (traced runs only)
+  double utilization = 0;       // busy_seconds / completion time
+};
+
 struct RecoveryResult {
   double seconds = 0;          // completion time of the whole recovery
   double read_seconds = 0;     // busiest disk's total read service time
   double network_seconds = 0;  // busiest NIC's total service time
   double compute_seconds = 0;  // rebuilder CPU service time
+  // Per-resource breakdown (resources that did work), sorted by descending
+  // busy time; resources.front() is the critical-path resource.
+  std::vector<ResourceUsage> resources;
+  std::string critical_resource;  // name of the busiest resource ("" if idle run)
 };
 
-// Simulate a recovery on the cluster model.  Deterministic.
+// Simulate a recovery on the cluster model.  Deterministic.  When `trace`
+// is non-null, every serviced request additionally records a busy interval
+// (with queue depth) into the sink, and max_queue_depth is populated.
 RecoveryResult simulate_recovery(const RecoveryWorkload& workload,
-                                 const ClusterConfig& config);
+                                 const ClusterConfig& config,
+                                 obs::TimelineSink* trace = nullptr);
 
 }  // namespace approx::cluster

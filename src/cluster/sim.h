@@ -8,11 +8,15 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <queue>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/error.h"
+#include "obs/timeline.h"
 
 namespace approx::cluster {
 
@@ -21,6 +25,12 @@ class Simulation {
   using Callback = std::function<void()>;
 
   double now() const noexcept { return now_; }
+
+  // Optional event-trace sink: while attached, every FifoResource request
+  // records a busy interval (with queue depth) into it.  The sink must
+  // outlive the simulation; pass nullptr to detach.
+  void set_trace(obs::TimelineSink* sink) noexcept { trace_ = sink; }
+  obs::TimelineSink* trace() const noexcept { return trace_; }
 
   // Schedule cb at absolute time `when` (>= now()).
   void at(double when, Callback cb) {
@@ -54,14 +64,15 @@ class Simulation {
   std::priority_queue<Event> queue_;
   double now_ = 0;
   std::uint64_t seq_ = 0;
+  obs::TimelineSink* trace_ = nullptr;
 };
 
 // A FIFO server with fixed bandwidth and per-request latency: disk head,
 // NIC port or coding CPU.  Requests are serviced in submission order.
 class FifoResource {
  public:
-  FifoResource(double bytes_per_sec, double latency_sec)
-      : bw_(bytes_per_sec), latency_(latency_sec) {
+  FifoResource(double bytes_per_sec, double latency_sec, std::string label = {})
+      : bw_(bytes_per_sec), latency_(latency_sec), label_(std::move(label)) {
     APPROX_REQUIRE(bytes_per_sec > 0, "resource bandwidth must be positive");
     APPROX_REQUIRE(latency_sec >= 0, "latency must be non-negative");
   }
@@ -73,18 +84,37 @@ class FifoResource {
     next_free_ = finish;
     busy_seconds_ += finish - start;
     bytes_served_ += bytes;
+    if (obs::TimelineSink* sink = sim.trace()) {
+      if (sink != sink_) {
+        sink_ = sink;
+        trace_id_ =
+            sink->register_resource(label_.empty() ? "resource" : label_);
+        inflight_.clear();
+      }
+      // Queue depth at submission: requests still being serviced, plus ours.
+      while (!inflight_.empty() && inflight_.front() <= sim.now()) {
+        inflight_.pop_front();
+      }
+      inflight_.push_back(finish);
+      sink->record(trace_id_, start, finish, bytes, inflight_.size());
+    }
     sim.at(finish, std::move(done));
   }
 
+  const std::string& label() const noexcept { return label_; }
   double busy_seconds() const noexcept { return busy_seconds_; }
   std::size_t bytes_served() const noexcept { return bytes_served_; }
 
  private:
   double bw_;
   double latency_;
+  std::string label_;
   double next_free_ = 0;
   double busy_seconds_ = 0;
   std::size_t bytes_served_ = 0;
+  obs::TimelineSink* sink_ = nullptr;  // lazily registered on first traced submit
+  int trace_id_ = -1;
+  std::deque<double> inflight_;  // finish times of traced outstanding requests
 };
 
 }  // namespace approx::cluster

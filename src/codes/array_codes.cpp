@@ -4,6 +4,8 @@
 
 #include "codes/primes.h"
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace approx::codes {
 
@@ -67,6 +69,10 @@ std::vector<Terms> concat(std::vector<Terms> a, const std::vector<Terms>& b) {
 
 std::shared_ptr<const LinearCode> make_hda(const std::string& name, int p, int k,
                                            int m) {
+  APPROX_OBS_SPAN(span, "codes.construct");
+  static obs::Counter& constructed =
+      obs::registry().counter("codes.construct.array");
+  constructed.add();
   const int rows = p - 1;
   std::vector<Terms> parity = horizontal_column(k, rows);
   if (m >= 2) parity = concat(std::move(parity), adjusted_slope_column(p, k, +1));

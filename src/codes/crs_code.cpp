@@ -5,6 +5,8 @@
 #include "common/error.h"
 #include "gf/gf256.h"
 #include "gf/gf_matrix.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace approx::codes {
 
@@ -28,6 +30,10 @@ BitMatrix8 expand(std::uint8_t c) {
 }  // namespace
 
 std::shared_ptr<const LinearCode> make_cauchy_rs(int k, int m) {
+  APPROX_OBS_SPAN(span, "codes.construct");
+  static obs::Counter& constructed =
+      obs::registry().counter("codes.construct.crs");
+  constructed.add();
   APPROX_REQUIRE(k >= 1 && m >= 1, "CRS needs k >= 1, m >= 1");
   APPROX_REQUIRE(m + k <= 128, "CRS evaluation points exhausted");
 

@@ -7,6 +7,8 @@
 
 #include "common/error.h"
 #include "gf/gf256.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "xorblk/xor_kernels.h"
 
 namespace approx::codes {
@@ -61,6 +63,10 @@ void LinearCode::encode_parity_nodes(std::span<const NodeView> nodes,
   for (const auto& v : nodes) {
     APPROX_REQUIRE(v.len == len, "all node views must agree on element length");
   }
+  APPROX_OBS_SPAN(span, "codes.encode");
+  static obs::Counter& xor_elems =
+      obs::registry().counter("codes.encode.path.xor");
+  static obs::Counter& gf_elems = obs::registry().counter("codes.encode.path.gf");
   std::vector<const std::uint8_t*> gather_srcs;
   for (const int p : parity_nodes) {
     APPROX_REQUIRE(p >= k_ && p < total_nodes(), "not a parity node");
@@ -69,6 +75,7 @@ void LinearCode::encode_parity_nodes(std::span<const NodeView> nodes,
       const auto& terms = parity_terms(p, row);
       if (binary_) {
         // XOR fast path: multi-source gather halves destination traffic.
+        xor_elems.add();
         gather_srcs.clear();
         gather_srcs.reserve(terms.size());
         for (const auto& term : terms) {
@@ -78,6 +85,7 @@ void LinearCode::encode_parity_nodes(std::span<const NodeView> nodes,
         xorblk::xor_gather(dst, gather_srcs, len);
         continue;
       }
+      gf_elems.add();
       std::memset(dst, 0, len);
       for (const auto& term : terms) {
         const int src_node = term.info / rows_;
@@ -103,6 +111,11 @@ SparseRow LinearCode::element_row(ElemRef e) const {
 
 std::shared_ptr<const RepairPlan> LinearCode::compute_plan(
     const std::vector<int>& erased) const {
+  APPROX_OBS_SPAN(span, "codes.plan.compute");
+  static obs::Counter& peeled_targets =
+      obs::registry().counter("codes.plan.peeled_targets");
+  static obs::Counter& gauss_targets =
+      obs::registry().counter("codes.plan.gauss_targets");
   std::vector<bool> is_erased(static_cast<std::size_t>(total_nodes()), false);
   for (const int e : erased) is_erased[static_cast<std::size_t>(e)] = true;
 
@@ -193,6 +206,7 @@ std::shared_ptr<const RepairPlan> LinearCode::compute_plan(
         target.sources.push_back({info_ref(term.info), gf::mul(term.coeff, ic)});
       }
       plan->targets.push_back(std::move(target));
+      peeled_targets.add();
       info_resolved[static_cast<std::size_t>(lone)] = true;
       --unresolved;
       pe.open = 0;
@@ -247,6 +261,7 @@ std::shared_ptr<const RepairPlan> LinearCode::compute_plan(
             {survivor_refs[static_cast<std::size_t>(survivor)], coeff});
       }
       plan->targets.push_back(std::move(target));
+      gauss_targets.add();
       info_resolved[static_cast<std::size_t>(target_infos[t])] = true;
     }
   }
@@ -293,13 +308,21 @@ std::shared_ptr<const RepairPlan> LinearCode::plan_repair(
     APPROX_REQUIRE(e >= 0 && e < total_nodes(), "erased node out of range");
   }
 
+  static obs::Counter& cache_hits =
+      obs::registry().counter("codes.plan_cache.hit");
+  static obs::Counter& cache_misses =
+      obs::registry().counter("codes.plan_cache.miss");
   {
     std::lock_guard<std::mutex> lock(cache_mu_);
     if (cache_enabled_) {
       auto it = plan_cache_.find(erased);
-      if (it != plan_cache_.end()) return it->second;
+      if (it != plan_cache_.end()) {
+        cache_hits.add();
+        return it->second;
+      }
     }
   }
+  cache_misses.add();
   auto plan = compute_plan(erased);
   {
     std::lock_guard<std::mutex> lock(cache_mu_);
@@ -316,6 +339,10 @@ void LinearCode::apply(const RepairPlan& plan,
                        std::span<const NodeView> nodes) const {
   APPROX_REQUIRE(nodes.size() == static_cast<std::size_t>(total_nodes()),
                  "apply needs one view per node");
+  APPROX_OBS_SPAN(span, "codes.repair.apply");
+  static obs::Counter& targets_rebuilt =
+      obs::registry().counter("codes.repair.targets");
+  targets_rebuilt.add(plan.targets.size());
   const std::size_t len = nodes[0].len;
   for (const auto& v : nodes) {
     APPROX_REQUIRE(v.len == len, "all node views must agree on element length");
@@ -421,6 +448,11 @@ LinearCode::ScrubResult LinearCode::scrub(std::span<const NodeView> nodes,
                                           std::span<const int> parity_nodes) const {
   APPROX_REQUIRE(nodes.size() == static_cast<std::size_t>(total_nodes()),
                  "scrub needs one view per node");
+  APPROX_OBS_SPAN(span, "codes.scrub");
+  static obs::Counter& scrub_elems =
+      obs::registry().counter("codes.scrub.elements");
+  static obs::Counter& scrub_mismatches =
+      obs::registry().counter("codes.scrub.mismatches");
   const std::size_t len = nodes[0].len;
   ScrubResult result;
   std::vector<std::uint8_t> expected(len);
@@ -435,8 +467,10 @@ LinearCode::ScrubResult LinearCode::scrub(std::span<const NodeView> nodes,
                            nodes[static_cast<std::size_t>(src_node)].elem(src_row),
                            len, term.coeff);
       }
+      scrub_elems.add();
       if (std::memcmp(expected.data(), nodes[static_cast<std::size_t>(p)].elem(row),
                       len) != 0) {
+        scrub_mismatches.add();
         result.mismatched.push_back({p, row});
       }
     }

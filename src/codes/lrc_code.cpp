@@ -7,6 +7,8 @@
 #include "codes/verify.h"
 #include "common/error.h"
 #include "gf/gf256.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace approx::codes {
 
@@ -53,6 +55,10 @@ std::vector<std::vector<LinearCode::Term>> lrc_parities(int k, int l, int r,
 }  // namespace
 
 std::shared_ptr<const LinearCode> make_lrc(int k, int l, int r) {
+  APPROX_OBS_SPAN(span, "codes.construct");
+  static obs::Counter& constructed =
+      obs::registry().counter("codes.construct.lrc");
+  constructed.add();
   APPROX_REQUIRE(k >= 1 && l >= 1 && r >= 1, "LRC needs positive k, l, r");
   APPROX_REQUIRE(l <= k, "more local groups than data nodes");
   APPROX_REQUIRE(k + l + r <= 200, "LRC over GF(256) node limit");

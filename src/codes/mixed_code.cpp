@@ -9,6 +9,8 @@
 #include "codes/solver.h"
 #include "common/error.h"
 #include "gf/gf256.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace approx::codes {
 
@@ -273,11 +275,21 @@ std::shared_ptr<const RepairPlan> MixedCode::plan_repair(
   for (const int e : erased) {
     APPROX_REQUIRE(e >= 0 && e < nodes_, "erased node out of range");
   }
+  // Shared schedule-cache counters: MixedCode's cache plays the same role
+  // as LinearCode's, so the registry aggregates them under one name.
+  static obs::Counter& cache_hits =
+      obs::registry().counter("codes.plan_cache.hit");
+  static obs::Counter& cache_misses =
+      obs::registry().counter("codes.plan_cache.miss");
   {
     std::lock_guard<std::mutex> lock(cache_mu_);
     auto it = plan_cache_.find(erased);
-    if (it != plan_cache_.end()) return it->second;
+    if (it != plan_cache_.end()) {
+      cache_hits.add();
+      return it->second;
+    }
   }
+  cache_misses.add();
   auto plan = compute_plan(erased);
   {
     std::lock_guard<std::mutex> lock(cache_mu_);
@@ -332,6 +344,10 @@ bool MixedCode::repair_blocks(std::span<std::span<std::uint8_t>> nodes,
 }
 
 std::shared_ptr<const MixedCode> make_xcode(int p) {
+  APPROX_OBS_SPAN(span, "codes.construct");
+  static obs::Counter& constructed =
+      obs::registry().counter("codes.construct.xcode");
+  constructed.add();
   APPROX_REQUIRE(is_prime(p) && p >= 5, "X-code requires prime p >= 5");
   const int rows = p;
   const int data_rows = p - 2;

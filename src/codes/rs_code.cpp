@@ -8,6 +8,8 @@
 #include "common/error.h"
 #include "gf/gf256.h"
 #include "gf/gf_matrix.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace approx::codes {
 
@@ -33,6 +35,9 @@ std::vector<std::vector<LinearCode::Term>> dense_rows_to_terms(
 std::shared_ptr<const LinearCode> make_rs(int k, int m) {
   APPROX_REQUIRE(k >= 1 && m >= 0, "RS needs k >= 1, m >= 0");
   APPROX_REQUIRE(k + m <= 255, "RS over GF(256) supports at most 255 nodes");
+  APPROX_OBS_SPAN(span, "codes.construct");
+  static obs::Counter& constructed = obs::registry().counter("codes.construct.rs");
+  constructed.add();
 
   // Build from a fixed wide generator so parity rows are independent of m
   // (prefix property).  Width 3 covers every 3DFT use; extend when m > 3.

@@ -4,6 +4,8 @@
 
 #include "common/error.h"
 #include "gf/gf256.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace approx::codes {
 
@@ -193,7 +195,16 @@ std::optional<std::vector<Combination>> solve_combinations(
     int info_count, const std::vector<SparseRow>& survivors,
     const std::vector<SparseRow>& targets, bool binary) {
   APPROX_REQUIRE(info_count >= 0, "info_count must be non-negative");
-  if (binary) return solve_bits(info_count, survivors, targets);
+  APPROX_OBS_SPAN(span, "codes.solver.eliminate");
+  static obs::Counter& bitmatrix_calls =
+      obs::registry().counter("codes.solver.bitmatrix.calls");
+  static obs::Counter& gf8_calls =
+      obs::registry().counter("codes.solver.gf8.calls");
+  if (binary) {
+    bitmatrix_calls.add();
+    return solve_bits(info_count, survivors, targets);
+  }
+  gf8_calls.add();
   return solve_gf(info_count, survivors, targets);
 }
 

@@ -7,6 +7,8 @@
 
 #include "common/buffer.h"
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace approx::core {
 
@@ -203,6 +205,11 @@ std::vector<codes::NodeView> ApproximateCode::virtual_views(
 void ApproximateCode::encode(std::span<std::span<std::uint8_t>> nodes) const {
   APPROX_REQUIRE(nodes.size() == static_cast<std::size_t>(total_nodes()),
                  "node span count mismatch");
+  APPROX_OBS_SPAN(span, "core.encode");
+  static obs::Counter& local_stripes =
+      obs::registry().counter("core.encode.local_stripes");
+  static obs::Counter& global_segments =
+      obs::registry().counter("core.encode.global_segments");
   for (auto& n : nodes) {
     APPROX_REQUIRE(n.size() >= node_bytes(), "node buffer too small");
   }
@@ -210,6 +217,7 @@ void ApproximateCode::encode(std::span<std::span<std::uint8_t>> nodes) const {
   for (int stripe = 0; stripe < params_.h; ++stripe) {
     auto views = local_views(nodes, stripe);
     local_->encode(views);
+    local_stripes.add();
   }
   // Global parities over important data.
   std::vector<int> global_ids;
@@ -219,11 +227,13 @@ void ApproximateCode::encode(std::span<std::span<std::uint8_t>> nodes) const {
   if (params_.structure == Structure::Uneven) {
     auto views = virtual_views(nodes, 0);
     base_->encode_parity_nodes(views, global_ids);
+    global_segments.add();
     return;
   }
   for (int stripe = 0; stripe < params_.h; ++stripe) {
     auto views = virtual_views(nodes, stripe);
     base_->encode_parity_nodes(views, global_ids);
+    global_segments.add();
   }
 }
 
@@ -259,6 +269,7 @@ RepairReport ApproximateCode::plan_repair(std::span<const int> erased) const {
 
 RepairReport ApproximateCode::plan_repair(std::span<const int> erased,
                                           RepairOptions options) const {
+  APPROX_OBS_SPAN(span, "core.repair.plan");
   RepairReport report;
   report.erased.assign(erased.begin(), erased.end());
   std::sort(report.erased.begin(), report.erased.end());
@@ -427,6 +438,35 @@ RepairReport ApproximateCode::plan_repair(std::span<const int> erased,
       }
     }
   }
+
+  // Registry accounting: the important/unimportant split per stripe and the
+  // I/O the plan will move (drives the paper's recovery-cost bookkeeping).
+  static obs::Counter& stripes_intact =
+      obs::registry().counter("core.repair.stripes.intact");
+  static obs::Counter& stripes_local =
+      obs::registry().counter("core.repair.stripes.local");
+  static obs::Counter& stripes_important_only =
+      obs::registry().counter("core.repair.stripes.important_only");
+  static obs::Counter& stripes_unrecoverable =
+      obs::registry().counter("core.repair.stripes.unrecoverable");
+  static obs::Counter& bytes_read = obs::registry().counter("core.repair.bytes_read");
+  static obs::Counter& bytes_written =
+      obs::registry().counter("core.repair.bytes_written");
+  static obs::Counter& unimportant_lost =
+      obs::registry().counter("core.repair.unimportant_bytes_lost");
+  for (const StripeOutcome& out : report.stripes) {
+    switch (out.kind) {
+      case StripeOutcome::Kind::Intact: stripes_intact.add(); break;
+      case StripeOutcome::Kind::LocalRepair: stripes_local.add(); break;
+      case StripeOutcome::Kind::ImportantOnlyRepair:
+        stripes_important_only.add();
+        break;
+      case StripeOutcome::Kind::Unrecoverable: stripes_unrecoverable.add(); break;
+    }
+  }
+  bytes_read.add(report.bytes_read);
+  bytes_written.add(report.bytes_written);
+  unimportant_lost.add(report.unimportant_data_bytes_lost);
   return report;
 }
 
@@ -434,6 +474,7 @@ void ApproximateCode::execute(const RepairReport& report,
                               std::span<std::span<std::uint8_t>> nodes) const {
   APPROX_REQUIRE(nodes.size() == static_cast<std::size_t>(total_nodes()),
                  "node span count mismatch");
+  APPROX_OBS_SPAN(span, "core.repair.execute");
   for (const StripeOutcome& out : report.stripes) {
     if (out.plan == nullptr) continue;
     if (out.kind == StripeOutcome::Kind::LocalRepair) {
@@ -495,6 +536,10 @@ struct Scratch {
 ApproximateCode::DegradedReadReport ApproximateCode::degraded_read_important(
     std::span<std::span<std::uint8_t>> nodes, std::span<const int> erased,
     std::size_t offset, std::span<std::uint8_t> out) const {
+  APPROX_OBS_SPAN(span, "core.degraded_read.important");
+  static obs::Counter& reads =
+      obs::registry().counter("core.degraded_read.important.calls");
+  reads.add();
   APPROX_REQUIRE(offset + out.size() <= important_capacity(),
                  "important read out of range");
   APPROX_REQUIRE(nodes.size() == static_cast<std::size_t>(total_nodes()),
@@ -623,6 +668,10 @@ ApproximateCode::DegradedReadReport ApproximateCode::degraded_read_important(
 ApproximateCode::DegradedReadReport ApproximateCode::degraded_read_unimportant(
     std::span<std::span<std::uint8_t>> nodes, std::span<const int> erased,
     std::size_t offset, std::span<std::uint8_t> out) const {
+  APPROX_OBS_SPAN(span, "core.degraded_read.unimportant");
+  static obs::Counter& reads =
+      obs::registry().counter("core.degraded_read.unimportant.calls");
+  reads.add();
   APPROX_REQUIRE(offset + out.size() <= unimportant_capacity(),
                  "unimportant read out of range");
   APPROX_REQUIRE(nodes.size() == static_cast<std::size_t>(total_nodes()),
@@ -706,6 +755,7 @@ ApproximateCode::ScrubReport ApproximateCode::scrub(
     std::span<std::span<std::uint8_t>> nodes) const {
   APPROX_REQUIRE(nodes.size() == static_cast<std::size_t>(total_nodes()),
                  "node span count mismatch");
+  APPROX_OBS_SPAN(span, "core.scrub");
   ScrubReport report;
 
   std::vector<int> local_parities;

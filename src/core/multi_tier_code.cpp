@@ -4,6 +4,8 @@
 #include <cstring>
 
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace approx::core {
 
@@ -168,6 +170,7 @@ std::vector<codes::NodeView> MultiTierCode::level_views(
 void MultiTierCode::encode(std::span<std::span<std::uint8_t>> nodes) const {
   APPROX_REQUIRE(nodes.size() == static_cast<std::size_t>(total_nodes()),
                  "node span count mismatch");
+  APPROX_OBS_SPAN(span, "core.mtc.encode");
   const auto& local = codes_[static_cast<std::size_t>(params_.r - 1)];
   std::vector<int> local_parities;
   for (int i = 0; i < params_.r; ++i) local_parities.push_back(params_.k + i);
@@ -189,6 +192,7 @@ MultiTierCode::RepairReport MultiTierCode::repair(
     std::span<std::span<std::uint8_t>> nodes, std::span<const int> erased) const {
   APPROX_REQUIRE(nodes.size() == static_cast<std::size_t>(total_nodes()),
                  "node span count mismatch");
+  APPROX_OBS_SPAN(span, "core.mtc.repair");
   RepairReport report;
   report.tier_recovered.assign(static_cast<std::size_t>(tier_count()), true);
   report.tier_bytes_lost.assign(static_cast<std::size_t>(tier_count()), 0);

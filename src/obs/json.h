@@ -1,0 +1,92 @@
+// Minimal JSON document writer for the observability exporters.
+//
+// The obs subsystem emits machine-readable dumps (registry snapshots,
+// bench trajectories, simulator timelines) without an external JSON
+// dependency.  JsonWriter is a forward-only builder: callers nest
+// begin_object/begin_array scopes and the writer tracks comma placement.
+// Numbers are emitted with enough precision to round-trip doubles;
+// non-finite values become null (JSON has no inf/nan).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace approx::obs {
+
+class JsonWriter {
+ public:
+  void begin_object() { comma(); out_ += '{'; fresh_ = true; }
+  void end_object() { out_ += '}'; fresh_ = false; }
+  void begin_array() { comma(); out_ += '['; fresh_ = true; }
+  void end_array() { out_ += ']'; fresh_ = false; }
+
+  void key(std::string_view k) {
+    comma();
+    append_string(k);
+    out_ += ':';
+    fresh_ = true;  // the value that follows needs no comma
+  }
+
+  void value(std::string_view s) { comma(); append_string(s); }
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(bool b) { comma(); out_ += b ? "true" : "false"; }
+  void value(double d) {
+    comma();
+    if (!std::isfinite(d)) {
+      out_ += "null";
+      return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    out_ += buf;
+  }
+  void value(std::uint64_t u) {
+    comma();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(u));
+    out_ += buf;
+  }
+  void value(int i) { value(static_cast<double>(i)); }
+
+  // Splice a pre-rendered JSON fragment (e.g. a nested registry dump).
+  void raw(std::string_view json) { comma(); out_ += json; }
+
+  const std::string& str() const noexcept { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void comma() {
+    if (!fresh_ && !out_.empty()) out_ += ',';
+    fresh_ = false;
+  }
+
+  void append_string(std::string_view s) {
+    out_ += '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\r': out_ += "\\r"; break;
+        case '\t': out_ += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  bool fresh_ = true;
+};
+
+}  // namespace approx::obs

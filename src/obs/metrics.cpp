@@ -1,0 +1,180 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace approx::obs {
+
+unsigned ShardedCounter::shard_index() noexcept {
+  static std::atomic<unsigned> next{0};
+  static thread_local unsigned idx =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return idx;
+}
+
+double Histogram::percentile(double p) const noexcept {
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  if (p < 0) p = 0;
+  if (p > 1) p = 1;
+  const double target = p * static_cast<double>(total);
+  std::uint64_t cum = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    cum += bucket_count(i);
+    if (static_cast<double>(cum) >= target && cum > 0) {
+      const double lo = lower_bound(i);
+      const double hi = upper_bound(i);
+      // Geometric midpoint; bucket 0 has lower bound 0, use half the bound.
+      return lo > 0 ? std::sqrt(lo * hi) : hi / 2;
+    }
+  }
+  return max();
+}
+
+Registry& Registry::instance() {
+  static Registry* r = new Registry();  // leaked: outlives static destructors
+  return *r;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+ShardedCounter& Registry::sharded_counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sharded_.find(name);
+  if (it == sharded_.end()) {
+    it = sharded_.emplace(std::string(name), std::make_unique<ShardedCounter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, c] : sharded_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+std::string Registry::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w;
+  w.begin_object();
+
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, c] : counters_) {
+    w.key(name);
+    w.value(c->value());
+  }
+  for (const auto& [name, c] : sharded_) {
+    w.key(name);
+    w.value(c->value());
+  }
+  w.end_object();
+
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, g] : gauges_) {
+    w.key(name);
+    w.value(g->value());
+  }
+  w.end_object();
+
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name);
+    w.begin_object();
+    w.key("count");
+    w.value(h->count());
+    w.key("sum");
+    w.value(h->sum());
+    w.key("mean");
+    w.value(h->mean());
+    w.key("p50");
+    w.value(h->percentile(0.50));
+    w.key("p90");
+    w.value(h->percentile(0.90));
+    w.key("p99");
+    w.value(h->percentile(0.99));
+    w.key("max");
+    w.value(h->max());
+    w.key("buckets");
+    w.begin_array();
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      const std::uint64_t n = h->bucket_count(i);
+      if (n == 0) continue;
+      w.begin_array();
+      w.value(Histogram::upper_bound(i));
+      w.value(n);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+
+  w.end_object();
+  return w.take();
+}
+
+std::string Registry::to_text() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  char buf[256];
+  for (const auto& [name, c] : counters_) {
+    std::snprintf(buf, sizeof(buf), "%-48s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(c->value()));
+    out += buf;
+  }
+  for (const auto& [name, c] : sharded_) {
+    std::snprintf(buf, sizeof(buf), "%-48s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(c->value()));
+    out += buf;
+  }
+  for (const auto& [name, g] : gauges_) {
+    std::snprintf(buf, sizeof(buf), "%-48s %.6g\n", name.c_str(), g->value());
+    out += buf;
+  }
+  for (const auto& [name, h] : histograms_) {
+    std::snprintf(buf, sizeof(buf),
+                  "%-48s count=%llu mean=%.3g p50=%.3g p90=%.3g p99=%.3g "
+                  "max=%.3g\n",
+                  name.c_str(), static_cast<unsigned long long>(h->count()),
+                  h->mean(), h->percentile(0.5), h->percentile(0.9),
+                  h->percentile(0.99), h->max());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace approx::obs

@@ -1,0 +1,199 @@
+#include "obs/span.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+#include "common/stopwatch.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#define APPROX_OBS_HAVE_TSC 1
+#endif
+
+namespace approx::obs {
+
+namespace {
+
+// Span timing uses the cheapest monotone tick source available: the TSC on
+// x86 (~8 ns a read, constant-rate on every CPU this project targets),
+// falling back to the steady clock in nanoseconds elsewhere.  Ticks are
+// converted to microseconds once per span, at destruction.
+inline std::uint64_t ticks_now() noexcept {
+#ifdef APPROX_OBS_HAVE_TSC
+  return __rdtsc();
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+#endif
+}
+
+#ifdef APPROX_OBS_HAVE_TSC
+// TSC frequency is calibrated once against the steady clock.  The anchor is
+// captured at static-init; the scale is fixed the first time a span needs it,
+// spinning (once, process-wide) until the window is long enough for ~0.1%
+// accuracy.
+struct TscCalibration {
+  const std::uint64_t tsc0 = __rdtsc();
+  const std::chrono::steady_clock::time_point t0 =
+      std::chrono::steady_clock::now();
+  std::atomic<double> us_per_tick{0.0};
+
+  double scale() noexcept {
+    double s = us_per_tick.load(std::memory_order_relaxed);
+    if (s > 0.0) return s;
+    for (;;) {
+      const auto t1 = std::chrono::steady_clock::now();
+      const double us =
+          std::chrono::duration<double, std::micro>(t1 - t0).count();
+      const std::uint64_t dt = __rdtsc() - tsc0;
+      if (us >= 200.0 && dt > 0) {
+        s = us / static_cast<double>(dt);
+        us_per_tick.store(s, std::memory_order_relaxed);
+        return s;
+      }
+    }
+  }
+};
+
+TscCalibration g_tsc_calibration;  // namespace-scope: no init guard per call
+#endif  // APPROX_OBS_HAVE_TSC
+
+inline double ticks_to_us(std::uint64_t dt) noexcept {
+#ifdef APPROX_OBS_HAVE_TSC
+  return static_cast<double>(dt) * g_tsc_calibration.scale();
+#else
+  return static_cast<double>(dt) * 1e-3;
+#endif
+}
+
+struct ThreadBuf {
+  std::mutex mu;  // owner thread appends; snapshot() reads concurrently
+  std::vector<SpanEvent> events;
+  std::uint64_t thread_id = 0;
+};
+
+struct GlobalLog {
+  std::mutex mu;
+  // Buffers of live and exited threads (shared_ptr keeps retired buffers).
+  std::vector<std::shared_ptr<ThreadBuf>> bufs;
+  std::atomic<bool> enabled{false};
+  std::atomic<std::uint64_t> next_thread{0};
+  std::atomic<std::uint64_t> dropped{0};
+};
+
+GlobalLog& global_log() {
+  static GlobalLog* g = new GlobalLog();  // leaked: usable during exit
+  return *g;
+}
+
+struct Tls {
+  std::shared_ptr<ThreadBuf> buf;
+  int depth = 0;
+
+  ThreadBuf& buffer() {
+    if (buf == nullptr) {
+      buf = std::make_shared<ThreadBuf>();
+      auto& g = global_log();
+      buf->thread_id = g.next_thread.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(g.mu);
+      g.bufs.push_back(buf);
+    }
+    return *buf;
+  }
+};
+
+Tls& tls() {
+  static thread_local Tls t;
+  return t;
+}
+
+}  // namespace
+
+// Namespace-scope so the epoch is pinned at library load, before any span
+// can start; a lazily-captured epoch would make spans that began earlier
+// report negative start times.
+const Stopwatch g_process_clock;
+
+double now_us() noexcept { return g_process_clock.micros(); }
+
+void SpanLog::set_enabled(bool on) noexcept {
+  global_log().enabled.store(on, std::memory_order_relaxed);
+}
+
+bool SpanLog::enabled() noexcept {
+  return global_log().enabled.load(std::memory_order_relaxed);
+}
+
+std::uint64_t SpanLog::dropped() noexcept {
+  return global_log().dropped.load(std::memory_order_relaxed);
+}
+
+std::vector<SpanEvent> SpanLog::snapshot() {
+  auto& g = global_log();
+  std::vector<std::shared_ptr<ThreadBuf>> bufs;
+  {
+    std::lock_guard<std::mutex> lock(g.mu);
+    bufs = g.bufs;
+  }
+  std::vector<SpanEvent> out;
+  for (const auto& b : bufs) {
+    std::lock_guard<std::mutex> lock(b->mu);
+    out.insert(out.end(), b->events.begin(), b->events.end());
+  }
+  std::sort(out.begin(), out.end(), [](const SpanEvent& a, const SpanEvent& b) {
+    return a.start_us < b.start_us;
+  });
+  return out;
+}
+
+void SpanLog::clear() {
+  auto& g = global_log();
+  std::vector<std::shared_ptr<ThreadBuf>> bufs;
+  {
+    std::lock_guard<std::mutex> lock(g.mu);
+    bufs = g.bufs;
+  }
+  for (const auto& b : bufs) {
+    std::lock_guard<std::mutex> lock(b->mu);
+    b->events.clear();
+  }
+  g.dropped.store(0, std::memory_order_relaxed);
+}
+
+#ifndef APPROX_OBS_OFF
+
+ObsSpan::ObsSpan(std::string_view name, Histogram& hist)
+    : name_(name),
+      hist_(&hist),
+      start_ticks_(ticks_now()),
+      collecting_(SpanLog::enabled()) {
+  if (collecting_) ++tls().depth;
+}
+
+ObsSpan::~ObsSpan() {
+  const double dur = ticks_to_us(ticks_now() - start_ticks_);
+  hist_->record(dur);
+  if (!collecting_) return;
+  auto& t = tls();
+  const int depth = --t.depth;
+  const double start_us = now_us() - dur;
+  ThreadBuf& buf = t.buffer();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  if (buf.events.size() >= SpanLog::kMaxEventsPerThread) {
+    global_log().dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buf.events.push_back(
+      SpanEvent{std::string(name_), start_us, dur, depth, buf.thread_id});
+}
+
+int ObsSpan::current_depth() noexcept { return tls().depth; }
+
+#endif  // APPROX_OBS_OFF
+
+}  // namespace approx::obs

@@ -1,0 +1,109 @@
+// RAII trace spans.
+//
+// An ObsSpan times a scope (TSC ticks on x86, steady clock elsewhere) and,
+// on destruction,
+//   - records the elapsed microseconds into a per-stage latency Histogram
+//     (name "span.<stage>.us" in the registry), and
+//   - when span collection is enabled (SpanLog::set_enabled), appends a
+//     SpanEvent to the calling thread's buffer for timeline inspection
+//     (approxcli --trace).
+//
+// With collection disabled (the default) a span costs two clock reads and
+// a histogram record (~100 ns); the thread-local depth bookkeeping and the
+// start-timestamp computation are deferred to the enabled path.  Building
+// with -DAPPROX_OBS_OFF compiles ObsSpan and APPROX_OBS_SPAN to complete
+// no-ops.
+//
+// Per-thread buffers: each thread owns a bounded event vector registered
+// with a global list; SpanLog::snapshot() stitches the buffers of live and
+// exited threads into one start-ordered timeline.  Nesting depth is tracked
+// thread-locally so the timeline can be rendered as an indented tree.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace approx::obs {
+
+struct SpanEvent {
+  std::string name;
+  double start_us = 0;  // since process start (steady clock)
+  double dur_us = 0;
+  int depth = 0;           // nesting depth at entry (0 = outermost)
+  std::uint64_t thread = 0;  // small sequential thread id
+};
+
+class SpanLog {
+ public:
+  // Events are only collected while enabled; histogram recording is
+  // unaffected by this switch.
+  static void set_enabled(bool on) noexcept;
+  static bool enabled() noexcept;
+
+  // All buffered events across threads, ordered by start time.
+  static std::vector<SpanEvent> snapshot();
+  static void clear();
+
+  // Events silently dropped because a thread buffer was full.
+  static std::uint64_t dropped() noexcept;
+
+  static constexpr std::size_t kMaxEventsPerThread = 8192;
+};
+
+// Microseconds since process start on the steady clock.
+double now_us() noexcept;
+
+#ifndef APPROX_OBS_OFF
+
+class ObsSpan {
+ public:
+  // `name` must outlive the span (call sites pass string literals).  The
+  // two-argument form takes a pre-resolved histogram so hot paths skip the
+  // registry lock; the one-argument form resolves "span.<name>.us" itself.
+  explicit ObsSpan(std::string_view name)
+      : ObsSpan(name,
+                registry().histogram("span." + std::string(name) + ".us")) {}
+  ObsSpan(std::string_view name, Histogram& hist);
+  ~ObsSpan();
+
+  ObsSpan(const ObsSpan&) = delete;
+  ObsSpan& operator=(const ObsSpan&) = delete;
+
+  // Nesting depth of the innermost live span on this thread (0 = none).
+  static int current_depth() noexcept;
+
+ private:
+  std::string_view name_;
+  Histogram* hist_;
+  std::uint64_t start_ticks_;  // cheap tick source (TSC on x86), converted
+                               // to microseconds once at destruction
+  bool collecting_;  // latched at entry so an enable/disable flip mid-span
+                     // cannot unbalance the depth counter
+};
+
+// Declares a scoped span; the histogram lookup happens once per call site.
+#define APPROX_OBS_SPAN(var, stage)                          \
+  static ::approx::obs::Histogram& var##_hist =              \
+      ::approx::obs::registry().histogram("span." stage ".us"); \
+  ::approx::obs::ObsSpan var(stage, var##_hist)
+
+#else  // APPROX_OBS_OFF: spans compile away entirely.
+
+class ObsSpan {
+ public:
+  explicit ObsSpan(std::string_view) {}
+  ObsSpan(std::string_view, Histogram&) {}
+  static int current_depth() noexcept { return 0; }
+};
+
+#define APPROX_OBS_SPAN(var, stage) \
+  do {                              \
+  } while (0)
+
+#endif  // APPROX_OBS_OFF
+
+}  // namespace approx::obs

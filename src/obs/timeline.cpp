@@ -1,0 +1,75 @@
+#include "obs/timeline.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "obs/json.h"
+
+namespace approx::obs {
+
+int TimelineSink::register_resource(std::string name) {
+  names_.push_back(std::move(name));
+  busy_.push_back(0);
+  bytes_.push_back(0);
+  maxq_.push_back(0);
+  return static_cast<int>(names_.size()) - 1;
+}
+
+void TimelineSink::record(int resource, double start, double finish,
+                          std::size_t bytes, std::size_t queue_depth) {
+  APPROX_REQUIRE(resource >= 0 && resource < resource_count(),
+                 "timeline resource id out of range");
+  APPROX_REQUIRE(finish >= start, "busy interval must not end before it starts");
+  const auto id = static_cast<std::size_t>(resource);
+  intervals_.push_back(BusyInterval{resource, start, finish, bytes, queue_depth});
+  busy_[id] += finish - start;
+  bytes_[id] += bytes;
+  maxq_[id] = std::max(maxq_[id], queue_depth);
+  horizon_ = std::max(horizon_, finish);
+}
+
+void TimelineSink::clear() {
+  intervals_.clear();
+  std::fill(busy_.begin(), busy_.end(), 0.0);
+  std::fill(bytes_.begin(), bytes_.end(), std::size_t{0});
+  std::fill(maxq_.begin(), maxq_.end(), std::size_t{0});
+  horizon_ = 0;
+}
+
+std::string TimelineSink::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("horizon");
+  w.value(horizon_);
+  w.key("resources");
+  w.begin_array();
+  for (int id = 0; id < resource_count(); ++id) {
+    w.begin_object();
+    w.key("name");
+    w.value(resource_name(id));
+    w.key("busy_seconds");
+    w.value(busy_seconds(id));
+    w.key("bytes");
+    w.value(bytes(id));
+    w.key("max_queue_depth");
+    w.value(max_queue_depth(id));
+    w.key("intervals");
+    w.begin_array();
+    for (const auto& iv : intervals_) {
+      if (iv.resource != id) continue;
+      w.begin_array();
+      w.value(iv.start);
+      w.value(iv.finish);
+      w.value(iv.bytes);
+      w.value(iv.queue_depth);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace approx::obs

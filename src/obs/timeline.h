@@ -1,0 +1,63 @@
+// Simulator event timelines.
+//
+// A TimelineSink collects per-resource busy intervals from the
+// discrete-event cluster simulator (cluster/sim.h): every serviced request
+// contributes one [start, finish] interval tagged with the bytes moved and
+// the resource's queue depth at submission.  From the raw intervals the
+// sink derives per-resource busy time, bytes, and peak queue depth, which
+// is how simulate_recovery reports per-disk/NIC/CPU utilization and the
+// critical-path resource instead of four summary seconds.
+//
+// The simulator is single-threaded, and so is this sink: attach one sink
+// per Simulation and read it after run() returns.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace approx::obs {
+
+struct BusyInterval {
+  int resource = 0;  // id from register_resource
+  double start = 0;
+  double finish = 0;
+  std::size_t bytes = 0;
+  std::size_t queue_depth = 0;  // outstanding requests at submit, incl. this
+};
+
+class TimelineSink {
+ public:
+  int register_resource(std::string name);
+
+  void record(int resource, double start, double finish, std::size_t bytes,
+              std::size_t queue_depth);
+
+  int resource_count() const noexcept { return static_cast<int>(names_.size()); }
+  const std::string& resource_name(int id) const { return names_.at(static_cast<std::size_t>(id)); }
+  const std::vector<BusyInterval>& intervals() const noexcept { return intervals_; }
+
+  // Sum of interval durations / bytes for one resource.
+  double busy_seconds(int id) const { return busy_.at(static_cast<std::size_t>(id)); }
+  std::size_t bytes(int id) const { return bytes_.at(static_cast<std::size_t>(id)); }
+  std::size_t max_queue_depth(int id) const { return maxq_.at(static_cast<std::size_t>(id)); }
+
+  // Latest finish time across all intervals (the timeline's horizon).
+  double horizon() const noexcept { return horizon_; }
+
+  void clear();
+
+  // {"resources":[{"name":..,"busy_seconds":..,"bytes":..,
+  //   "max_queue_depth":..,"intervals":[[start,finish,bytes,queue],...]}]}
+  std::string to_json() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<BusyInterval> intervals_;
+  std::vector<double> busy_;
+  std::vector<std::size_t> bytes_;
+  std::vector<std::size_t> maxq_;
+  double horizon_ = 0;
+};
+
+}  // namespace approx::obs

@@ -3,10 +3,30 @@
 #include <cstring>
 
 #include "common/error.h"
+#include "obs/metrics.h"
 
 namespace approx::xorblk {
 
-void xor_acc(std::uint8_t* dst, const std::uint8_t* src, std::size_t n) noexcept {
+namespace {
+
+// Source bytes processed by the XOR kernels (the throughput a perf PR must
+// move).  Sharded: ThreadPool workers hit this concurrently from
+// parallel-for partitions, and a single shared cache line would serialize
+// them.  Counted once per public entry point so gather's internal reuse of
+// the accumulate kernels is not double-counted.
+#ifndef APPROX_OBS_OFF
+obs::ShardedCounter& bytes_counter() {
+  static obs::ShardedCounter& c =
+      obs::registry().sharded_counter("xorblk.bytes");
+  return c;
+}
+inline void count_bytes(std::size_t n) noexcept { bytes_counter().add(n); }
+#else
+inline void count_bytes(std::size_t) noexcept {}
+#endif
+
+void xor_acc_impl(std::uint8_t* dst, const std::uint8_t* src,
+                  std::size_t n) noexcept {
   std::size_t i = 0;
   for (; i + 32 <= n; i += 32) {
     std::uint64_t d[4], s[4];
@@ -28,8 +48,8 @@ void xor_acc(std::uint8_t* dst, const std::uint8_t* src, std::size_t n) noexcept
   for (; i < n; ++i) dst[i] ^= src[i];
 }
 
-void xor_acc2(std::uint8_t* dst, const std::uint8_t* a, const std::uint8_t* b,
-              std::size_t n) noexcept {
+void xor_acc2_impl(std::uint8_t* dst, const std::uint8_t* a,
+                   const std::uint8_t* b, std::size_t n) noexcept {
   std::size_t i = 0;
   for (; i + 32 <= n; i += 32) {
     std::uint64_t d[4], x[4], y[4];
@@ -45,16 +65,32 @@ void xor_acc2(std::uint8_t* dst, const std::uint8_t* a, const std::uint8_t* b,
   for (; i < n; ++i) dst[i] ^= static_cast<std::uint8_t>(a[i] ^ b[i]);
 }
 
+}  // namespace
+
+void xor_acc(std::uint8_t* dst, const std::uint8_t* src, std::size_t n) noexcept {
+  count_bytes(n);
+  xor_acc_impl(dst, src, n);
+}
+
+void xor_acc2(std::uint8_t* dst, const std::uint8_t* a, const std::uint8_t* b,
+              std::size_t n) noexcept {
+  count_bytes(2 * n);
+  xor_acc2_impl(dst, a, b, n);
+}
+
 void xor_gather(std::uint8_t* dst, std::span<const std::uint8_t* const> sources,
                 std::size_t n) noexcept {
+  count_bytes(sources.size() * n);
   if (sources.empty()) {
     std::memset(dst, 0, n);
     return;
   }
   std::memcpy(dst, sources[0], n);
   std::size_t s = 1;
-  for (; s + 2 <= sources.size(); s += 2) xor_acc2(dst, sources[s], sources[s + 1], n);
-  for (; s < sources.size(); ++s) xor_acc(dst, sources[s], n);
+  for (; s + 2 <= sources.size(); s += 2) {
+    xor_acc2_impl(dst, sources[s], sources[s + 1], n);
+  }
+  for (; s < sources.size(); ++s) xor_acc_impl(dst, sources[s], n);
 }
 
 bool is_zero(const std::uint8_t* p, std::size_t n) noexcept {

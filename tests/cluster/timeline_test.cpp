@@ -1,0 +1,178 @@
+// Simulator event-timeline tests: a TimelineSink attached to
+// simulate_recovery must account for exactly the service time the
+// FifoResources report, on a workload small enough to trace by hand.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "cluster/recovery.h"
+#include "cluster/sim.h"
+#include "obs/timeline.h"
+
+namespace approx::cluster {
+namespace {
+
+constexpr std::size_t kMB = 1'000'000;  // 1 MB = 1e6 bytes
+
+// A 3-node workload with round service times:
+//   - node1 reads 100 MB, node2 reads 200 MB (disks at 100 MB/s),
+//   - both ship to the aggregator node0 over 200 MB/s NICs,
+//   - the CPU decodes 400 MB at 400 MB/s,
+//   - node0 writes 100 MB locally (disk at 100 MB/s).
+// One pipeline task (task_bytes is huge), zero latencies.  The hand-traced
+// timeline:
+//   node1.disk_read  [0, 1]   node2.disk_read  [0, 2]
+//   node1.nic_out    [1, 1.5] node2.nic_out    [2, 3]
+//   node0.nic_in     [1.5, 2] and [3, 4]
+//   cpu              [4, 5]
+//   node0.disk_write [5, 6]   -> completion 6 s
+ClusterConfig hand_config() {
+  ClusterConfig cfg;
+  cfg.disk_read_bw = 100.0 * static_cast<double>(kMB);
+  cfg.disk_write_bw = 100.0 * static_cast<double>(kMB);
+  cfg.disk_latency = 0;
+  cfg.nic_bw = 200.0 * static_cast<double>(kMB);
+  cfg.nic_latency = 0;
+  cfg.coding_bw = 400.0 * static_cast<double>(kMB);
+  cfg.task_bytes = std::size_t{1} << 40;  // single pipeline task
+  return cfg;
+}
+
+RecoveryWorkload hand_workload() {
+  RecoveryWorkload w;
+  w.nodes = 3;
+  w.reads = {{1, 100 * kMB}, {2, 200 * kMB}};
+  w.writes = {{0, 100 * kMB}};
+  w.compute_bytes = 400 * kMB;
+  return w;
+}
+
+TEST(Timeline, SinkBusyIntervalsMatchServiceTimes) {
+  obs::TimelineSink sink;
+  const RecoveryResult result =
+      simulate_recovery(hand_workload(), hand_config(), &sink);
+
+  EXPECT_DOUBLE_EQ(result.seconds, 6.0);
+  EXPECT_DOUBLE_EQ(result.read_seconds, 2.0);     // node2.disk_read
+  EXPECT_DOUBLE_EQ(result.network_seconds, 1.5);  // node0.nic_in, both arrivals
+  EXPECT_DOUBLE_EQ(result.compute_seconds, 1.0);
+
+  // The timeline horizon is the completion time.
+  EXPECT_DOUBLE_EQ(sink.horizon(), 6.0);
+
+  // Sum the sink's busy intervals per resource and compare against the
+  // resources' own accounting.
+  std::map<std::string, double> busy;
+  std::map<std::string, std::size_t> bytes;
+  for (const auto& iv : sink.intervals()) {
+    EXPECT_LE(iv.start, iv.finish);
+    busy[sink.resource_name(iv.resource)] += iv.finish - iv.start;
+    bytes[sink.resource_name(iv.resource)] += iv.bytes;
+  }
+  EXPECT_DOUBLE_EQ(busy.at("node1.disk_read"), 1.0);
+  EXPECT_DOUBLE_EQ(busy.at("node2.disk_read"), 2.0);
+  EXPECT_DOUBLE_EQ(busy.at("node1.nic_out"), 0.5);
+  EXPECT_DOUBLE_EQ(busy.at("node2.nic_out"), 1.0);
+  EXPECT_DOUBLE_EQ(busy.at("node0.nic_in"), 1.5);
+  EXPECT_DOUBLE_EQ(busy.at("cpu"), 1.0);
+  EXPECT_DOUBLE_EQ(busy.at("node0.disk_write"), 1.0);
+  EXPECT_EQ(busy.size(), 7u);  // no other resource did work
+
+  EXPECT_EQ(bytes.at("node0.nic_in"), 300 * kMB);
+  EXPECT_EQ(bytes.at("cpu"), 400 * kMB);
+
+  // The per-resource breakdown in the result agrees with the sink, entry
+  // for entry, and is sorted busiest-first.
+  ASSERT_EQ(result.resources.size(), 7u);
+  for (const auto& u : result.resources) {
+    EXPECT_DOUBLE_EQ(u.busy_seconds, busy.at(u.name));
+    EXPECT_EQ(u.bytes, bytes.at(u.name));
+    EXPECT_DOUBLE_EQ(u.utilization, u.busy_seconds / 6.0);
+  }
+  for (std::size_t i = 1; i < result.resources.size(); ++i) {
+    EXPECT_GE(result.resources[i - 1].busy_seconds,
+              result.resources[i].busy_seconds);
+  }
+  EXPECT_EQ(result.critical_resource, "node2.disk_read");
+  EXPECT_EQ(result.resources.front().name, "node2.disk_read");
+
+  // node0.nic_in serviced two arrivals back to back, never concurrently.
+  int nic_in_id = -1;
+  for (int id = 0; id < sink.resource_count(); ++id) {
+    if (sink.resource_name(id) == "node0.nic_in") nic_in_id = id;
+  }
+  ASSERT_GE(nic_in_id, 0);
+  EXPECT_EQ(sink.max_queue_depth(nic_in_id), 1u);
+  EXPECT_DOUBLE_EQ(sink.busy_seconds(nic_in_id), 1.5);
+  EXPECT_EQ(sink.bytes(nic_in_id), 300 * kMB);
+}
+
+TEST(Timeline, UntracedRunMatchesTracedRun) {
+  obs::TimelineSink sink;
+  const RecoveryResult traced =
+      simulate_recovery(hand_workload(), hand_config(), &sink);
+  const RecoveryResult plain = simulate_recovery(hand_workload(), hand_config());
+
+  EXPECT_DOUBLE_EQ(plain.seconds, traced.seconds);
+  EXPECT_DOUBLE_EQ(plain.read_seconds, traced.read_seconds);
+  EXPECT_DOUBLE_EQ(plain.network_seconds, traced.network_seconds);
+  EXPECT_DOUBLE_EQ(plain.compute_seconds, traced.compute_seconds);
+  ASSERT_EQ(plain.resources.size(), traced.resources.size());
+  for (std::size_t i = 0; i < plain.resources.size(); ++i) {
+    EXPECT_EQ(plain.resources[i].name, traced.resources[i].name);
+    EXPECT_DOUBLE_EQ(plain.resources[i].busy_seconds,
+                     traced.resources[i].busy_seconds);
+    // Queue depths are only known on traced runs.
+    EXPECT_EQ(plain.resources[i].max_queue_depth, 0u);
+  }
+  EXPECT_EQ(plain.critical_resource, "node2.disk_read");
+}
+
+TEST(Timeline, QueueDepthCountsOverlappingSubmissions) {
+  // Pipelined tasks make several read requests queue on one disk: with
+  // 4 tasks of 25 MB each submitted at t=0, the disk serves them FIFO and
+  // the last submission sees 4 outstanding requests.
+  ClusterConfig cfg = hand_config();
+  cfg.task_bytes = 25 * kMB;
+  RecoveryWorkload w;
+  w.nodes = 2;
+  w.reads = {{1, 100 * kMB}};
+  w.writes = {{0, 100 * kMB}};
+  w.compute_bytes = 100 * kMB;
+
+  obs::TimelineSink sink;
+  const RecoveryResult result = simulate_recovery(w, cfg, &sink);
+  int disk_id = -1;
+  for (int id = 0; id < sink.resource_count(); ++id) {
+    if (sink.resource_name(id) == "node1.disk_read") disk_id = id;
+  }
+  ASSERT_GE(disk_id, 0);
+  EXPECT_EQ(sink.max_queue_depth(disk_id), 4u);
+  EXPECT_DOUBLE_EQ(sink.busy_seconds(disk_id), 1.0);
+  for (const auto& u : result.resources) {
+    if (u.name == "node1.disk_read") {
+      EXPECT_EQ(u.max_queue_depth, 4u);
+    }
+  }
+}
+
+TEST(Timeline, SinkClearResets) {
+  obs::TimelineSink sink;
+  simulate_recovery(hand_workload(), hand_config(), &sink);
+  ASSERT_GT(sink.intervals().size(), 0u);
+  const int resources_before = sink.resource_count();
+  sink.clear();
+  EXPECT_TRUE(sink.intervals().empty());
+  EXPECT_DOUBLE_EQ(sink.horizon(), 0.0);
+  // Registrations survive a clear; aggregates are zeroed.
+  EXPECT_EQ(sink.resource_count(), resources_before);
+  for (int id = 0; id < sink.resource_count(); ++id) {
+    EXPECT_DOUBLE_EQ(sink.busy_seconds(id), 0.0);
+    EXPECT_EQ(sink.bytes(id), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace approx::cluster

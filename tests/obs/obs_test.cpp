@@ -1,0 +1,395 @@
+// Tests for the approx::obs instrumentation layer: registry instruments
+// under concurrent recording, histogram percentile extraction, trace-span
+// nesting, and the JSON exporter (validated with a minimal in-test parser).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace approx::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser (objects/arrays/strings/numbers/bools/null), enough
+// to round-trip the exporter output.
+// ---------------------------------------------------------------------------
+
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray, JsonObject>
+      v;
+
+  bool is_object() const { return std::holds_alternative<JsonObject>(v); }
+  const JsonObject& object() const { return std::get<JsonObject>(v); }
+  const JsonArray& array() const { return std::get<JsonArray>(v); }
+  double number() const { return std::get<double>(v); }
+  const std::string& string() const { return std::get<std::string>(v); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    EXPECT_EQ(pos_, s_.size()) << "trailing bytes after JSON document";
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    skip_ws();
+    EXPECT_LT(pos_, s_.size()) << "unexpected end of JSON";
+    return pos_ < s_.size() ? s_[pos_] : '\0';
+  }
+  void expect(char c) {
+    EXPECT_EQ(peek(), c);
+    ++pos_;
+  }
+
+  JsonValue value() {
+    switch (peek()) {
+      case '{': return JsonValue{object()};
+      case '[': return JsonValue{array()};
+      case '"': return JsonValue{string()};
+      case 't': literal("true"); return JsonValue{true};
+      case 'f': literal("false"); return JsonValue{false};
+      case 'n': literal("null"); return JsonValue{nullptr};
+      default: return JsonValue{number()};
+    }
+  }
+
+  void literal(const char* lit) {
+    skip_ws();
+    for (const char* p = lit; *p != '\0'; ++p) expect_raw(*p);
+  }
+  void expect_raw(char c) {
+    ASSERT_LT(pos_, s_.size());
+    EXPECT_EQ(s_[pos_], c);
+    ++pos_;
+  }
+
+  JsonObject object() {
+    JsonObject out;
+    expect('{');
+    if (peek() == '}') {
+      ++pos_;
+      return out;
+    }
+    while (true) {
+      std::string key = string();
+      expect(':');
+      out.emplace(std::move(key), value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return out;
+    }
+  }
+
+  JsonArray array() {
+    JsonArray out;
+    expect('[');
+    if (peek() == ']') {
+      ++pos_;
+      return out;
+    }
+    while (true) {
+      out.push_back(value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return out;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        EXPECT_LT(pos_, s_.size()) << "dangling escape";
+        if (pos_ >= s_.size()) break;
+        const char e = s_[pos_++];
+        switch (e) {
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            EXPECT_LE(pos_ + 4, s_.size());
+            if (pos_ + 4 > s_.size()) break;
+            out += static_cast<char>(
+                std::stoi(s_.substr(pos_, 4), nullptr, 16));
+            pos_ += 4;
+            break;
+          }
+          default: out += e;
+        }
+      } else {
+        out += c;
+      }
+    }
+    expect_raw('"');
+    return out;
+  }
+
+  double number() {
+    skip_ws();
+    std::size_t used = 0;
+    const double d = std::stod(s_.substr(pos_), &used);
+    EXPECT_GT(used, 0u);
+    pos_ += used;
+    return d;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Instruments
+// ---------------------------------------------------------------------------
+
+TEST(ObsCounter, ConcurrentIncrementsFromThreadPool) {
+  Counter plain;
+  ShardedCounter sharded;
+  constexpr std::size_t kIters = 200000;
+  ThreadPool::global().parallel_for(0, kIters, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      plain.add();
+      sharded.add(2);
+    }
+  });
+  EXPECT_EQ(plain.value(), kIters);
+  EXPECT_EQ(sharded.value(), 2 * kIters);
+  plain.reset();
+  sharded.reset();
+  EXPECT_EQ(plain.value(), 0u);
+  EXPECT_EQ(sharded.value(), 0u);
+}
+
+TEST(ObsRegistry, SameNameSameInstrument) {
+  Counter& a = registry().counter("test.same_name");
+  Counter& b = registry().counter("test.same_name");
+  EXPECT_EQ(&a, &b);
+  a.add(7);
+  EXPECT_EQ(b.value(), 7u);
+  a.reset();
+}
+
+TEST(ObsHistogram, ConcurrentRecordKeepsCountAndSum) {
+  Histogram h;
+  constexpr std::size_t kIters = 100000;
+  ThreadPool::global().parallel_for(0, kIters, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) h.record(1.0);
+  });
+  EXPECT_EQ(h.count(), kIters);
+  EXPECT_DOUBLE_EQ(h.sum(), static_cast<double>(kIters));
+  EXPECT_DOUBLE_EQ(h.max(), 1.0);
+}
+
+TEST(ObsHistogram, BucketBoundsAreConsistent) {
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    EXPECT_LT(Histogram::lower_bound(i), Histogram::upper_bound(i));
+    // The upper bound of a bucket lands in that bucket (intervals are
+    // half-open on the left).
+    EXPECT_EQ(Histogram::bucket_of(Histogram::upper_bound(i)), i);
+  }
+  EXPECT_EQ(Histogram::bucket_of(0.0), 0);
+  EXPECT_EQ(Histogram::bucket_of(-3.0), 0);
+  EXPECT_EQ(Histogram::bucket_of(1e300), Histogram::kBuckets - 1);
+}
+
+TEST(ObsHistogram, PercentilesApproximateUniformData) {
+  Histogram h;
+  for (int v = 1; v <= 1000; ++v) h.record(static_cast<double>(v));
+  // One bucket spans a factor of 2^(1/4) ~ 1.19; the geometric-midpoint
+  // estimate is within ~19% of the exact order statistic.
+  EXPECT_NEAR(h.percentile(0.5), 500.0, 500.0 * 0.2);
+  EXPECT_NEAR(h.percentile(0.9), 900.0, 900.0 * 0.2);
+  EXPECT_NEAR(h.percentile(0.99), 990.0, 990.0 * 0.2);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 500.5);
+}
+
+TEST(ObsHistogram, PercentileOfPointMassIsInItsBucket) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(42.0);
+  const int b = Histogram::bucket_of(42.0);
+  for (const double p : {0.0, 0.5, 0.99, 1.0}) {
+    const double q = h.percentile(p);
+    EXPECT_GE(q, Histogram::lower_bound(b));
+    EXPECT_LE(q, Histogram::upper_bound(b));
+  }
+}
+
+TEST(ObsGauge, StoresLastValue) {
+  Gauge g;
+  g.set(0.25);
+  g.set(0.75);
+  EXPECT_DOUBLE_EQ(g.value(), 0.75);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+TEST(ObsSpanLog, RecordsNestedSpansWithDepth) {
+  SpanLog::clear();
+  SpanLog::set_enabled(true);
+  {
+    APPROX_OBS_SPAN(outer, "test.outer");
+    {
+      APPROX_OBS_SPAN(inner, "test.inner");
+      (void)0;
+    }
+    {
+      APPROX_OBS_SPAN(inner2, "test.inner");
+      (void)0;
+    }
+  }
+  SpanLog::set_enabled(false);
+  const auto events = SpanLog::snapshot();
+  SpanLog::clear();
+
+#ifdef APPROX_OBS_OFF
+  EXPECT_TRUE(events.empty());
+#else
+  ASSERT_EQ(events.size(), 3u);
+  // snapshot() orders by start time: outer first, then the two inners.
+  EXPECT_EQ(events[0].name, "test.outer");
+  EXPECT_EQ(events[0].depth, 0);
+  EXPECT_EQ(events[1].name, "test.inner");
+  EXPECT_EQ(events[1].depth, 1);
+  EXPECT_EQ(events[2].name, "test.inner");
+  EXPECT_EQ(events[2].depth, 1);
+  // Containment: the outer span covers both inner spans.  start_us and
+  // dur_us come from separate clock reads, so end times carry sub-µs
+  // jitter; allow a small epsilon.
+  EXPECT_LE(events[0].start_us, events[1].start_us);
+  EXPECT_GE(events[0].start_us + events[0].dur_us + 5.0,
+            events[2].start_us + events[2].dur_us);
+  EXPECT_GE(events[0].dur_us + 5.0, events[1].dur_us + events[2].dur_us);
+  // The per-stage histograms saw the same spans.
+  EXPECT_GE(registry().histogram("span.test.outer.us").count(), 1u);
+  EXPECT_GE(registry().histogram("span.test.inner.us").count(), 2u);
+#endif
+}
+
+TEST(ObsSpanLog, DisabledCollectionStillFeedsHistograms) {
+  SpanLog::clear();
+  ASSERT_FALSE(SpanLog::enabled());
+  const std::uint64_t before =
+      registry().histogram("span.test.quiet.us").count();
+  {
+    APPROX_OBS_SPAN(sp, "test.quiet");
+    (void)0;
+  }
+  EXPECT_TRUE(SpanLog::snapshot().empty());
+#ifndef APPROX_OBS_OFF
+  EXPECT_EQ(registry().histogram("span.test.quiet.us").count(), before + 1);
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// JSON export
+// ---------------------------------------------------------------------------
+
+TEST(ObsJson, WriterEscapesAndNests) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("text");
+  w.value("a\"b\\c\nd");
+  w.key("list");
+  w.begin_array();
+  w.value(1.5);
+  w.value(true);
+  w.value(std::uint64_t{18446744073709551615ull});
+  w.end_array();
+  w.end_object();
+  JsonValue doc = JsonParser(w.str()).parse();
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.object().at("text").string(), "a\"b\\c\nd");
+  EXPECT_EQ(doc.object().at("list").array().size(), 3u);
+  EXPECT_DOUBLE_EQ(doc.object().at("list").array()[0].number(), 1.5);
+}
+
+TEST(ObsJson, RegistryDumpRoundTrips) {
+  registry().counter("test.json.counter").add(41);
+  registry().counter("test.json.counter").add(1);
+  registry().sharded_counter("test.json.sharded").add(5);
+  registry().gauge("test.json.gauge").set(0.125);
+  Histogram& h = registry().histogram("test.json.hist");
+  h.reset();
+  for (int i = 0; i < 10; ++i) h.record(8.0);
+
+  const std::string dump = registry().to_json();
+  JsonValue doc = JsonParser(dump).parse();
+  ASSERT_TRUE(doc.is_object());
+  const JsonObject& top = doc.object();
+
+  const JsonObject& counters = top.at("counters").object();
+  EXPECT_DOUBLE_EQ(counters.at("test.json.counter").number(), 42.0);
+  // Sharded counters fold into the counters section.
+  EXPECT_DOUBLE_EQ(counters.at("test.json.sharded").number(), 5.0);
+
+  EXPECT_DOUBLE_EQ(top.at("gauges").object().at("test.json.gauge").number(),
+                   0.125);
+
+  const JsonObject& hist = top.at("histograms").object().at("test.json.hist").object();
+  EXPECT_DOUBLE_EQ(hist.at("count").number(), 10.0);
+  EXPECT_DOUBLE_EQ(hist.at("sum").number(), 80.0);
+  EXPECT_DOUBLE_EQ(hist.at("mean").number(), 8.0);
+  EXPECT_DOUBLE_EQ(hist.at("max").number(), 8.0);
+  // Bucket entries are [upper_bound, count] pairs summing to the count.
+  double bucket_total = 0;
+  for (const auto& pair : hist.at("buckets").array()) {
+    ASSERT_EQ(pair.array().size(), 2u);
+    bucket_total += pair.array()[1].number();
+  }
+  EXPECT_DOUBLE_EQ(bucket_total, 10.0);
+
+  // The human exporter mentions every instrument too.
+  const std::string text = registry().to_text();
+  EXPECT_NE(text.find("test.json.counter"), std::string::npos);
+  EXPECT_NE(text.find("test.json.hist"), std::string::npos);
+}
+
+TEST(ObsRegistry, ResetZeroesEveryInstrument) {
+  Counter& c = registry().counter("test.reset.counter");
+  Histogram& h = registry().histogram("test.reset.hist");
+  c.add(3);
+  h.record(1.0);
+  registry().reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+}  // namespace
+}  // namespace approx::obs

@@ -5,6 +5,13 @@
 //   approxcli scrub  <volume-dir>
 //   approxcli repair <volume-dir>
 //   approxcli decode <volume-dir> <output-file>
+//   approxcli stats  [--json] <volume-dir>
+//
+// stats exercises the volume's codec in memory (scrub every chunk, plan
+// the repair of any missing nodes) and dumps the observability registry -
+// counters, gauges and span latency histograms - as text or JSON.  The
+// global --trace flag (any command) additionally records trace spans and
+// prints the span timeline plus the registry to stderr on exit.
 //
 // encode splits the input into an important prefix (--split bytes, default
 // size/h) and an unimportant remainder, stripes both across node files
@@ -28,6 +35,8 @@
 #include "common/buffer.h"
 #include "common/crc32.h"
 #include "core/approximate_code.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace fs = std::filesystem;
 using namespace approx;
@@ -49,7 +58,9 @@ struct Options {
                "[--r N] [--g N] [--h N] [--structure even|uneven] "
                "[--block BYTES] [--split BYTES] <input> <volume-dir>\n"
                "       approxcli info|scrub|repair <volume-dir>\n"
-               "       approxcli decode <volume-dir> <output>\n");
+               "       approxcli decode <volume-dir> <output>\n"
+               "       approxcli stats [--json] <volume-dir>\n"
+               "global: --trace  print trace spans + metrics to stderr on exit\n");
   std::exit(2);
 }
 
@@ -357,14 +368,51 @@ int cmd_decode(const fs::path& dir, const fs::path& output) {
   return intact ? 0 : 1;
 }
 
-}  // namespace
+int cmd_stats(const fs::path& dir, bool json) {
+  const Manifest m = Manifest::load(dir);
+  core::ApproximateCode code = make_code(m);
+  std::vector<int> erased;
+  auto nodes = load_nodes(dir, m, code, erased);
 
-int main(int argc, char** argv) {
-  try {
-    if (argc < 2) usage();
-    const std::string cmd = argv[1];
-    std::vector<std::string> args(argv + 2, argv + argc);
+  // Exercise the codec on this volume so the registry reflects it: scrub
+  // every chunk, and when nodes are missing, repair them in memory (the
+  // node files are not touched) so the repair-path instruments fill in.
+  for (std::size_t c = 0; c < m.chunks; ++c) {
+    std::vector<std::span<std::uint8_t>> spans;
+    for (auto& n : nodes) {
+      spans.emplace_back(n.data() + c * code.node_bytes(), code.node_bytes());
+    }
+    code.scrub(spans);
+    if (!erased.empty()) code.repair(spans, erased);
+  }
 
+  if (json) {
+    std::printf("%s\n", obs::registry().to_json().c_str());
+  } else {
+    std::printf("%s (%zu chunk(s), %zu missing node(s))\n%s",
+                code.name().c_str(), m.chunks, erased.size(),
+                obs::registry().to_text().c_str());
+  }
+  return 0;
+}
+
+// --trace epilogue: indented span timeline plus the metric registry.
+void dump_trace() {
+  const auto events = obs::SpanLog::snapshot();
+  std::fprintf(stderr, "--- trace: %zu span(s) ---\n", events.size());
+  for (const auto& ev : events) {
+    std::fprintf(stderr, "[t%llu] %*s%s  start=%.1fus dur=%.1fus\n",
+                 static_cast<unsigned long long>(ev.thread), 2 * ev.depth, "",
+                 ev.name.c_str(), ev.start_us, ev.dur_us);
+  }
+  if (obs::SpanLog::dropped() > 0) {
+    std::fprintf(stderr, "(%llu span(s) dropped)\n",
+                 static_cast<unsigned long long>(obs::SpanLog::dropped()));
+  }
+  std::fprintf(stderr, "--- metrics ---\n%s", obs::registry().to_text().c_str());
+}
+
+int dispatch(const std::string& cmd, std::vector<std::string>& args) {
     if (cmd == "encode") {
       Options opts;
       std::vector<std::string> positional;
@@ -406,7 +454,42 @@ int main(int argc, char** argv) {
     if (cmd == "scrub" && args.size() == 1) return cmd_scrub(args[0]);
     if (cmd == "repair" && args.size() == 1) return cmd_repair(args[0]);
     if (cmd == "decode" && args.size() == 2) return cmd_decode(args[0], args[1]);
+    if (cmd == "stats") {
+      bool json = false;
+      std::vector<std::string> rest;
+      for (const auto& a : args) {
+        if (a == "--json") {
+          json = true;
+        } else {
+          rest.push_back(a);
+        }
+      }
+      if (rest.size() == 1) return cmd_stats(rest[0], json);
+    }
     usage("unknown command or wrong argument count");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    std::vector<std::string> all(argv + 1, argv + argc);
+    bool trace = false;
+    for (auto it = all.begin(); it != all.end();) {
+      if (*it == "--trace") {
+        trace = true;
+        it = all.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (all.empty()) usage();
+    const std::string cmd = all.front();
+    std::vector<std::string> args(all.begin() + 1, all.end());
+    if (trace) obs::SpanLog::set_enabled(true);
+    const int rc = dispatch(cmd, args);
+    if (trace) dump_trace();
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "approxcli: %s\n", e.what());
     return 1;
