@@ -37,4 +37,56 @@ inline std::uint32_t crc32(std::span<const std::uint8_t> data,
   return c ^ 0xffffffffu;
 }
 
+namespace detail {
+
+// Multiply the GF(2) operator matrix `mat` (32 column vectors) by `vec`.
+inline std::uint32_t gf2_matrix_times(const std::array<std::uint32_t, 32>& mat,
+                                      std::uint32_t vec) {
+  std::uint32_t sum = 0;
+  for (int i = 0; vec != 0; ++i, vec >>= 1) {
+    if (vec & 1u) sum ^= mat[static_cast<std::size_t>(i)];
+  }
+  return sum;
+}
+
+inline void gf2_matrix_square(std::array<std::uint32_t, 32>& square,
+                              const std::array<std::uint32_t, 32>& mat) {
+  for (std::size_t n = 0; n < 32; ++n) {
+    square[n] = gf2_matrix_times(mat, mat[n]);
+  }
+}
+
+}  // namespace detail
+
+// CRC of the concatenation A||B given crc32(A), crc32(B) and len(B),
+// without re-reading any bytes: appending len_b zero bytes to A is a
+// linear operator over GF(2), applied to crc_a by square-and-multiply
+// (zlib's crc32_combine construction).  Lets streaming pipelines keep
+// independent running CRCs per region and stitch them afterwards.
+inline std::uint32_t crc32_combine(std::uint32_t crc_a, std::uint32_t crc_b,
+                                   std::uint64_t len_b) {
+  if (len_b == 0) return crc_a;
+  std::array<std::uint32_t, 32> even{};  // operator for 2^k zero bytes
+  std::array<std::uint32_t, 32> odd{};
+  odd[0] = 0xedb88320u;  // CRC-32 polynomial, reflected
+  std::uint32_t row = 1;
+  for (std::size_t n = 1; n < 32; ++n) {
+    odd[n] = row;
+    row <<= 1;
+  }
+  detail::gf2_matrix_square(even, odd);  // two zero bits
+  detail::gf2_matrix_square(odd, even);  // four zero bits
+  // Apply len_b zero bytes to crc_a, one squaring per bit of len_b.
+  do {
+    detail::gf2_matrix_square(even, odd);
+    if (len_b & 1u) crc_a = detail::gf2_matrix_times(even, crc_a);
+    len_b >>= 1;
+    if (len_b == 0) break;
+    detail::gf2_matrix_square(odd, even);
+    if (len_b & 1u) crc_a = detail::gf2_matrix_times(odd, crc_a);
+    len_b >>= 1;
+  } while (len_b != 0);
+  return crc_a ^ crc_b;
+}
+
 }  // namespace approx

@@ -78,10 +78,10 @@ void ThreadPool::parallel_for(
           std::lock_guard<std::mutex> block(barrier.mu);
           if (!barrier.error) barrier.error = std::current_exception();
         }
-        {
-          std::lock_guard<std::mutex> block(barrier.mu);
-          --barrier.remaining;
-        }
+        // Notify while holding the mutex: the waiter may destroy the
+        // stack-allocated barrier the instant it observes remaining == 0.
+        std::lock_guard<std::mutex> block(barrier.mu);
+        --barrier.remaining;
         barrier.cv.notify_one();
       }});
     }

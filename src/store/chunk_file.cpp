@@ -1,0 +1,191 @@
+#include "store/chunk_file.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/crc32.h"
+
+namespace approx::store {
+
+namespace {
+
+std::size_t physical_block_size(std::size_t payload, bool footers) {
+  return payload + (footers ? kBlockFooterBytes : 0);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+ChunkFileWriter::ChunkFileWriter(IoBackend& io, std::filesystem::path path,
+                                 std::size_t payload, bool footers,
+                                 RetryPolicy retry)
+    : io_(io),
+      path_(std::move(path)),
+      tmp_(path_.string() + kTmpSuffix),
+      payload_(payload),
+      footers_(footers),
+      retry_(std::move(retry)),
+      block_(physical_block_size(payload, footers)) {}
+
+ChunkFileWriter::~ChunkFileWriter() {
+  if (file_ != nullptr && !finished_) abort();
+}
+
+IoStatus ChunkFileWriter::open() {
+  return with_retry(retry_, [&] {
+    return io_.open(tmp_, IoBackend::OpenMode::kTruncate, file_);
+  });
+}
+
+IoStatus ChunkFileWriter::flush_block() {
+  // Blocked (v2) files are always a whole number of physical blocks; raw
+  // (v1) streams end exactly at the last logical byte, so a partial tail
+  // is written unpadded.
+  std::span<const std::uint8_t> out(block_.data(),
+                                    footers_ ? block_.size() : fill_);
+  if (footers_) {
+    detail::put_u32(block_.data() + payload_, crc32({block_.data(), payload_}));
+    detail::put_u32(block_.data() + payload_ + 4, block_seal(blocks_));
+  }
+  const std::uint64_t off = blocks_ * block_.size();
+  const IoStatus st =
+      with_retry(retry_, [&] { return file_->pwrite(off, out); });
+  if (!st.ok()) return st;
+  ++blocks_;
+  fill_ = 0;
+  return IoStatus::success();
+}
+
+IoStatus ChunkFileWriter::append(std::span<const std::uint8_t> data) {
+  while (!data.empty()) {
+    const std::size_t take = std::min(payload_ - fill_, data.size());
+    std::memcpy(block_.data() + fill_, data.data(), take);
+    fill_ += take;
+    logical_ += take;
+    data = data.subspan(take);
+    if (fill_ == payload_) {
+      const IoStatus st = flush_block();
+      if (!st.ok()) return st;
+    }
+  }
+  return IoStatus::success();
+}
+
+IoStatus ChunkFileWriter::finish() {
+  if (fill_ > 0) {
+    std::memset(block_.data() + fill_, 0, payload_ - fill_);
+    const IoStatus st = flush_block();
+    if (!st.ok()) return st;
+  }
+  IoStatus st = with_retry(retry_, [&] { return file_->sync(); });
+  if (!st.ok()) return st;
+  file_.reset();
+  st = with_retry(retry_, [&] { return io_.rename(tmp_, path_); });
+  if (!st.ok()) return st;
+  finished_ = true;
+  return io_.sync_dir(path_.parent_path());
+}
+
+void ChunkFileWriter::abort() {
+  file_.reset();
+  (void)io_.remove(tmp_);
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+ChunkFileReader::ChunkFileReader(IoBackend& io, std::filesystem::path path,
+                                 std::size_t payload, bool footers,
+                                 std::uint64_t logical_size, RetryPolicy retry)
+    : io_(io),
+      path_(std::move(path)),
+      payload_(payload),
+      footers_(footers),
+      logical_size_(logical_size),
+      retry_(std::move(retry)),
+      scratch_(physical_block_size(payload, footers)) {}
+
+std::uint64_t ChunkFileReader::block_count() const noexcept {
+  return (logical_size_ + payload_ - 1) / payload_;
+}
+
+IoStatus ChunkFileReader::open() {
+  if (!io_.exists(path_)) {
+    return IoStatus::failure(IoCode::kNotFound, path_.string() + " is missing");
+  }
+  std::uint64_t size = 0;
+  IoStatus st = with_retry(retry_, [&] { return io_.file_size(path_, size); });
+  if (!st.ok()) return st;
+  const std::uint64_t expect =
+      footers_ ? block_count() * scratch_.size() : logical_size_;
+  if (size != expect) {
+    return IoStatus::failure(
+        IoCode::kIoError, path_.string() + " has " + std::to_string(size) +
+                              " bytes, expected " + std::to_string(expect));
+  }
+  return with_retry(retry_,
+                    [&] { return io_.open(path_, IoBackend::OpenMode::kRead, file_); });
+}
+
+IoStatus ChunkFileReader::read(std::uint64_t offset,
+                               std::span<std::uint8_t> out,
+                               std::vector<std::uint64_t>* bad_blocks) {
+  if (!footers_) {
+    return with_retry(retry_, [&] { return file_->pread(offset, out); });
+  }
+  std::uint64_t pos = offset;
+  while (pos < offset + out.size()) {
+    const std::uint64_t b = pos / payload_;
+    const std::size_t in_block = static_cast<std::size_t>(pos % payload_);
+    const std::size_t take = static_cast<std::size_t>(
+        std::min<std::uint64_t>(payload_ - in_block, offset + out.size() - pos));
+    if (b != cached_block_) {
+      const IoStatus st = with_retry(
+          retry_, [&] { return file_->pread(b * scratch_.size(), scratch_); });
+      if (!st.ok()) return st;
+      cached_block_ = b;
+      cached_ok_ =
+          detail::get_u32(scratch_.data() + payload_) ==
+              crc32({scratch_.data(), payload_}) &&
+          detail::get_u32(scratch_.data() + payload_ + 4) == block_seal(b);
+    }
+    auto dst = out.subspan(static_cast<std::size_t>(pos - offset), take);
+    if (!cached_ok_) {
+      std::memset(dst.data(), 0, dst.size());
+      if (bad_blocks != nullptr) bad_blocks->push_back(b);
+    } else {
+      std::memcpy(dst.data(), scratch_.data() + in_block, take);
+    }
+    pos += take;
+  }
+  return IoStatus::success();
+}
+
+IoStatus ChunkFileReader::verify(std::vector<std::uint64_t>& bad_blocks,
+                                 std::uint64_t& bytes_scanned) {
+  bytes_scanned = 0;
+  cached_block_ = UINT64_MAX;  // verify clobbers the scratch buffer
+  if (!footers_) {
+    // v1 files carry no integrity data; only existence/size (checked by
+    // open()) can be verified.
+    return IoStatus::success();
+  }
+  for (std::uint64_t b = 0; b < block_count(); ++b) {
+    const IoStatus st = with_retry(
+        retry_, [&] { return file_->pread(b * scratch_.size(), scratch_); });
+    if (!st.ok()) return st;
+    if (detail::get_u32(scratch_.data() + payload_) !=
+            crc32({scratch_.data(), payload_}) ||
+        detail::get_u32(scratch_.data() + payload_ + 4) != block_seal(b)) {
+      bad_blocks.push_back(b);
+    }
+    bytes_scanned += payload_;
+  }
+  return IoStatus::success();
+}
+
+}  // namespace approx::store

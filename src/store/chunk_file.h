@@ -1,0 +1,114 @@
+// Blocked chunk files: the per-node byte stream on disk.
+//
+// A v2 chunk file is a sequence of fixed-size blocks; each block is
+// `payload` data bytes followed by an 8-byte footer {crc32(payload),
+// block_seal(index)}.  The logical node stream is the concatenation of the
+// payloads (the final block is zero-padded to full size).  Readers verify
+// every footer they cross: a failed check zero-fills that block's bytes in
+// the output and reports the block index, so the caller can treat the node
+// as erased for the stripes the block covers instead of consuming rotten
+// bytes.
+//
+// v1 compatibility: constructed with footers=false both classes degrade to
+// a raw byte stream (no integrity data), which is exactly the v1 node file
+// format.
+//
+// Writers never touch the final path until finish(): bytes accumulate in
+// "<path>.tmp", which is fsynced and renamed into place, so a crashed or
+// failed write can never leave a half-written chunk file under its real
+// name.  All I/O goes through an IoBackend with a RetryPolicy applied to
+// transient failures.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "store/format.h"
+#include "store/io_backend.h"
+
+namespace approx::store {
+
+class ChunkFileWriter {
+ public:
+  // `payload` bytes per block; footers=false writes the raw stream.
+  ChunkFileWriter(IoBackend& io, std::filesystem::path path,
+                  std::size_t payload, bool footers, RetryPolicy retry);
+  ~ChunkFileWriter();
+
+  ChunkFileWriter(const ChunkFileWriter&) = delete;
+  ChunkFileWriter& operator=(const ChunkFileWriter&) = delete;
+
+  IoStatus open();
+  IoStatus append(std::span<const std::uint8_t> data);
+  // Flush the partial tail block (zero padded), fsync, rename tmp -> final.
+  IoStatus finish();
+  // Drop the tmp file (after a failure); final path is left untouched.
+  void abort();
+
+  std::uint64_t logical_written() const noexcept { return logical_; }
+  const std::filesystem::path& path() const noexcept { return path_; }
+
+ private:
+  IoStatus flush_block();
+
+  IoBackend& io_;
+  std::filesystem::path path_;
+  std::filesystem::path tmp_;
+  std::size_t payload_;
+  bool footers_;
+  RetryPolicy retry_;
+
+  std::unique_ptr<IoFile> file_;
+  std::vector<std::uint8_t> block_;  // payload_ (+ footer) staging buffer
+  std::size_t fill_ = 0;             // payload bytes staged in block_
+  std::uint64_t blocks_ = 0;         // full blocks flushed so far
+  std::uint64_t logical_ = 0;
+  bool finished_ = false;
+};
+
+class ChunkFileReader {
+ public:
+  // `logical_size` is the node stream length (from the manifest); the
+  // physical file must be exactly the blocked (or raw) encoding of it.
+  ChunkFileReader(IoBackend& io, std::filesystem::path path,
+                  std::size_t payload, bool footers, std::uint64_t logical_size,
+                  RetryPolicy retry);
+
+  // kNotFound when the file is missing; kIoError when its physical size
+  // does not match the expected encoding (truncated / grown file).
+  IoStatus open();
+
+  // Read logical range [offset, offset+out.size()).  Blocks whose footer
+  // fails verification are zero-filled in `out` and appended to
+  // `bad_blocks` (logical block indices); the call still returns kOk, since
+  // detected corruption is a per-block property the caller handles.
+  IoStatus read(std::uint64_t offset, std::span<std::uint8_t> out,
+                std::vector<std::uint64_t>* bad_blocks);
+
+  // Scan the whole file verifying every footer.
+  IoStatus verify(std::vector<std::uint64_t>& bad_blocks,
+                  std::uint64_t& bytes_scanned);
+
+  std::uint64_t logical_size() const noexcept { return logical_size_; }
+  std::uint64_t block_count() const noexcept;
+  const std::filesystem::path& path() const noexcept { return path_; }
+
+ private:
+  IoBackend& io_;
+  std::filesystem::path path_;
+  std::size_t payload_;
+  bool footers_;
+  std::uint64_t logical_size_;
+  RetryPolicy retry_;
+
+  std::unique_ptr<IoFile> file_;
+  std::vector<std::uint8_t> scratch_;  // one physical block
+  // Single-block cache: stripe reads are much smaller than a physical
+  // block and arrive sequentially, so caching the last verified block
+  // removes the read amplification (block_size / stripe_size re-reads).
+  std::uint64_t cached_block_ = UINT64_MAX;
+  bool cached_ok_ = false;
+};
+
+}  // namespace approx::store

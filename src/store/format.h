@@ -1,0 +1,105 @@
+// ApproxStore on-disk format (volume v2).
+//
+// A v2 volume directory holds
+//   superblock.bin   64-byte binary header: code geometry + I/O block size,
+//                    CRC-protected (the authoritative copy of the layout);
+//   node_NNN.acb     one blocked chunk file per node: the node's byte
+//                    stream cut into fixed-size payload blocks, each
+//                    followed by an 8-byte footer {crc32(payload), seal};
+//   manifest.txt     text key=value pairs describing the stored file
+//                    (sizes, chunk count, whole-file CRC).  Written
+//                    atomically (tmp + fsync + rename + dir fsync): its
+//                    presence is the volume's commit point.
+//
+// The footer seal mixes the block index so a block that is torn, stale or
+// copied from another offset fails verification even when its payload CRC
+// is internally consistent.  v1 volumes (approxcode-volume-v1: raw
+// node_NNN.bin streams, no superblock, no footers) remain readable; see
+// docs/storage.md for the full specification and compatibility policy.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+
+#include "codes/code_family.h"
+#include "common/crc32.h"
+#include "common/error.h"
+#include "core/appr_params.h"
+
+namespace approx::store {
+
+inline constexpr std::uint32_t kVolumeV1 = 1;
+inline constexpr std::uint32_t kVolumeV2 = 2;
+
+inline constexpr char kSuperblockFile[] = "superblock.bin";
+inline constexpr char kManifestFile[] = "manifest.txt";
+inline constexpr char kTmpSuffix[] = ".tmp";
+
+inline constexpr std::size_t kSuperblockBytes = 64;
+inline constexpr std::array<std::uint8_t, 8> kSuperMagic = {'A', 'P', 'X', 'S',
+                                                            'T', 'O', 'R', '2'};
+
+// Payload bytes per chunk-file block (before the 8-byte footer).
+inline constexpr std::size_t kDefaultIoPayload = 64 * 1024;
+inline constexpr std::size_t kBlockFooterBytes = 8;
+
+// Footer word 2: constant xored with a Fibonacci hash of the block index,
+// so blocks cannot silently migrate between offsets or files of different
+// lengths.
+inline std::uint32_t block_seal(std::uint64_t index) noexcept {
+  return 0xACB10C0Du ^ static_cast<std::uint32_t>(index * 2654435761u);
+}
+
+// Chunk-file name for a node under the given volume version.
+std::string node_file_name(std::uint32_t version, int node);
+
+namespace detail {
+
+inline void put_u16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+}
+inline void put_u32(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+inline void put_u64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+inline std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+inline std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+inline std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace detail
+
+// Stable on-disk codes for the family / structure enums (independent of the
+// in-memory enumerator order).
+std::uint8_t family_wire_code(codes::Family f);
+codes::Family family_from_wire(std::uint8_t code);
+codes::Family family_from_flag(const std::string& flag);  // "rs", "lrc", ...
+
+// The binary volume header.  serialize() always produces exactly
+// kSuperblockBytes; deserialize() throws approx::Error on a bad magic,
+// version, CRC or out-of-range field.
+struct Superblock {
+  core::ApprParams params;
+  std::uint64_t block_size = 4096;  // codec element size
+  std::uint32_t io_payload = kDefaultIoPayload;
+
+  std::array<std::uint8_t, kSuperblockBytes> serialize() const;
+  static Superblock deserialize(std::span<const std::uint8_t> bytes);
+};
+
+}  // namespace approx::store

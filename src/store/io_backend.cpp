@@ -1,0 +1,330 @@
+#include "store/io_backend.h"
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "obs/metrics.h"
+
+namespace approx::store {
+
+namespace {
+
+IoCode code_from_errno(int err) {
+  switch (err) {
+    case ENOENT:
+      return IoCode::kNotFound;
+    case ENOSPC:
+    case EDQUOT:
+      return IoCode::kNoSpace;
+    default:
+      return IoCode::kIoError;
+  }
+}
+
+IoStatus errno_status(const std::string& what, const std::filesystem::path& p) {
+  const int err = errno;
+  return IoStatus::failure(code_from_errno(err),
+                           what + " " + p.string() + ": " + std::strerror(err));
+}
+
+class PosixFile final : public IoFile {
+ public:
+  PosixFile(int fd, std::filesystem::path path)
+      : fd_(fd), path_(std::move(path)) {}
+  ~PosixFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  IoStatus pread(std::uint64_t offset, std::span<std::uint8_t> out) override {
+    std::size_t done = 0;
+    while (done < out.size()) {
+      const ssize_t n = ::pread(fd_, out.data() + done, out.size() - done,
+                                static_cast<off_t>(offset + done));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return errno_status("pread", path_);
+      }
+      if (n == 0) {
+        return IoStatus::failure(
+            IoCode::kShortRead, "short read at offset " +
+                                    std::to_string(offset + done) + " of " +
+                                    path_.string());
+      }
+      done += static_cast<std::size_t>(n);
+    }
+    return IoStatus::success();
+  }
+
+  IoStatus pwrite(std::uint64_t offset,
+                  std::span<const std::uint8_t> data) override {
+    std::size_t done = 0;
+    while (done < data.size()) {
+      const ssize_t n = ::pwrite(fd_, data.data() + done, data.size() - done,
+                                 static_cast<off_t>(offset + done));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return errno_status("pwrite", path_);
+      }
+      done += static_cast<std::size_t>(n);
+    }
+    return IoStatus::success();
+  }
+
+  IoStatus sync() override {
+    if (::fsync(fd_) != 0) return errno_status("fsync", path_);
+    return IoStatus::success();
+  }
+
+ private:
+  int fd_;
+  std::filesystem::path path_;
+};
+
+}  // namespace
+
+const char* io_code_name(IoCode code) noexcept {
+  switch (code) {
+    case IoCode::kOk:
+      return "ok";
+    case IoCode::kNotFound:
+      return "not-found";
+    case IoCode::kShortRead:
+      return "short-read";
+    case IoCode::kNoSpace:
+      return "no-space";
+    case IoCode::kIoError:
+      return "io-error";
+  }
+  return "unknown";
+}
+
+IoStatus PosixIoBackend::open(const std::filesystem::path& path, OpenMode mode,
+                              std::unique_ptr<IoFile>& out) {
+  const int flags =
+      mode == OpenMode::kRead ? O_RDONLY : (O_RDWR | O_CREAT | O_TRUNC);
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) return errno_status("open", path);
+  out = std::make_unique<PosixFile>(fd, path);
+  return IoStatus::success();
+}
+
+IoStatus PosixIoBackend::rename(const std::filesystem::path& from,
+                                const std::filesystem::path& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return errno_status("rename", from);
+  }
+  return IoStatus::success();
+}
+
+IoStatus PosixIoBackend::remove(const std::filesystem::path& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return errno_status("unlink", path);
+  }
+  return IoStatus::success();
+}
+
+IoStatus PosixIoBackend::create_directories(
+    const std::filesystem::path& path) {
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  if (ec) {
+    return IoStatus::failure(IoCode::kIoError,
+                             "mkdir " + path.string() + ": " + ec.message());
+  }
+  return IoStatus::success();
+}
+
+IoStatus PosixIoBackend::sync_dir(const std::filesystem::path& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return errno_status("open dir", dir);
+  IoStatus st = IoStatus::success();
+  if (::fsync(fd) != 0) st = errno_status("fsync dir", dir);
+  ::close(fd);
+  return st;
+}
+
+bool PosixIoBackend::exists(const std::filesystem::path& path) {
+  std::error_code ec;
+  return std::filesystem::exists(path, ec);
+}
+
+IoStatus PosixIoBackend::file_size(const std::filesystem::path& path,
+                                   std::uint64_t& out) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return errno_status("stat", path);
+  out = static_cast<std::uint64_t>(st.st_size);
+  return IoStatus::success();
+}
+
+// ---------------------------------------------------------------------------
+// Retry loop
+// ---------------------------------------------------------------------------
+
+IoStatus with_retry(const RetryPolicy& policy,
+                    const std::function<IoStatus()>& op) {
+  static obs::Counter& retries = obs::registry().counter("store.io.retries");
+  auto delay = policy.base_delay;
+  IoStatus st = op();
+  for (int attempt = 1;
+       attempt < policy.max_attempts && !st.ok() && io_retryable(st.code);
+       ++attempt) {
+    if (policy.sleeper) {
+      policy.sleeper(delay);
+    } else {
+      std::this_thread::sleep_for(delay);
+    }
+    delay = std::chrono::microseconds(static_cast<std::int64_t>(
+        static_cast<double>(delay.count()) * policy.multiplier));
+    retries.add(1);
+    st = op();
+  }
+  return st;
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Forwards to an inner file, consulting the owning backend's fault table on
+// every read/write/sync.
+class FaultInjectedFile final : public IoFile {
+ public:
+  FaultInjectedFile(FaultInjectingBackend& owner, std::filesystem::path path,
+                    std::unique_ptr<IoFile> inner)
+      : owner_(owner), path_(std::move(path)), inner_(std::move(inner)) {}
+
+  IoStatus pread(std::uint64_t offset, std::span<std::uint8_t> out) override;
+  IoStatus pwrite(std::uint64_t offset,
+                  std::span<const std::uint8_t> data) override;
+  IoStatus sync() override;
+
+ private:
+  FaultInjectingBackend& owner_;
+  std::filesystem::path path_;
+  std::unique_ptr<IoFile> inner_;
+};
+
+IoStatus injected_status(const FaultInjectingBackend::Fault& f,
+                         const std::filesystem::path& path) {
+  return IoStatus::failure(f.code, std::string("injected ") +
+                                       io_code_name(f.code) + " on " +
+                                       path.string());
+}
+
+IoStatus FaultInjectedFile::pread(std::uint64_t offset,
+                                  std::span<std::uint8_t> out) {
+  FaultInjectingBackend::Fault f;
+  if (owner_.fire(FaultInjectingBackend::Op::kRead, path_, f)) {
+    if (f.code == IoCode::kShortRead && f.short_bytes > 0 &&
+        f.short_bytes < out.size()) {
+      (void)inner_->pread(offset, out.subspan(0, f.short_bytes));
+    }
+    return injected_status(f, path_);
+  }
+  return inner_->pread(offset, out);
+}
+
+IoStatus FaultInjectedFile::pwrite(std::uint64_t offset,
+                                   std::span<const std::uint8_t> data) {
+  FaultInjectingBackend::Fault f;
+  if (owner_.fire(FaultInjectingBackend::Op::kWrite, path_, f)) {
+    return injected_status(f, path_);
+  }
+  return inner_->pwrite(offset, data);
+}
+
+IoStatus FaultInjectedFile::sync() {
+  FaultInjectingBackend::Fault f;
+  if (owner_.fire(FaultInjectingBackend::Op::kSync, path_, f)) {
+    return injected_status(f, path_);
+  }
+  return inner_->sync();
+}
+
+}  // namespace
+
+void FaultInjectingBackend::inject(Fault fault) {
+  std::lock_guard<std::mutex> lock(mu_);
+  faults_.push_back(std::move(fault));
+}
+
+void FaultInjectingBackend::clear_faults() {
+  std::lock_guard<std::mutex> lock(mu_);
+  faults_.clear();
+}
+
+std::uint64_t FaultInjectingBackend::faults_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_;
+}
+
+bool FaultInjectingBackend::fire(Op op, const std::filesystem::path& path,
+                                 Fault& out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string p = path.string();
+  for (auto& f : faults_) {
+    if (f.op != op || f.times == 0) continue;
+    if (!f.path_substr.empty() && p.find(f.path_substr) == std::string::npos) {
+      continue;
+    }
+    if (f.times > 0) --f.times;
+    ++fired_;
+    out = f;
+    return true;
+  }
+  return false;
+}
+
+IoStatus FaultInjectingBackend::open(const std::filesystem::path& path,
+                                     OpenMode mode,
+                                     std::unique_ptr<IoFile>& out) {
+  Fault f;
+  if (fire(Op::kOpen, path, f)) return injected_status(f, path);
+  std::unique_ptr<IoFile> inner;
+  IoStatus st = inner_.open(path, mode, inner);
+  if (!st.ok()) return st;
+  out = std::make_unique<FaultInjectedFile>(*this, path, std::move(inner));
+  return IoStatus::success();
+}
+
+IoStatus FaultInjectingBackend::rename(const std::filesystem::path& from,
+                                       const std::filesystem::path& to) {
+  Fault f;
+  if (fire(Op::kRename, from, f)) return injected_status(f, from);
+  return inner_.rename(from, to);
+}
+
+IoStatus FaultInjectingBackend::remove(const std::filesystem::path& path) {
+  Fault f;
+  if (fire(Op::kRemove, path, f)) return injected_status(f, path);
+  return inner_.remove(path);
+}
+
+IoStatus FaultInjectingBackend::create_directories(
+    const std::filesystem::path& path) {
+  return inner_.create_directories(path);
+}
+
+IoStatus FaultInjectingBackend::sync_dir(const std::filesystem::path& dir) {
+  Fault f;
+  if (fire(Op::kSync, dir, f)) return injected_status(f, dir);
+  return inner_.sync_dir(dir);
+}
+
+bool FaultInjectingBackend::exists(const std::filesystem::path& path) {
+  return inner_.exists(path);
+}
+
+IoStatus FaultInjectingBackend::file_size(const std::filesystem::path& path,
+                                          std::uint64_t& out) {
+  return inner_.file_size(path, out);
+}
+
+}  // namespace approx::store

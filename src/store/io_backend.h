@@ -1,0 +1,166 @@
+// Pluggable I/O backends for ApproxStore.
+//
+// Every filesystem touch the store makes goes through an IoBackend, so
+// tests can interpose faults (transient read errors, short reads, ENOSPC,
+// permanent device loss) without patching the kernel.  Failures are
+// reported as IoStatus values, never exceptions: the scrub/repair service
+// decides per call site whether a code is retryable (kIoError, kShortRead)
+// or final (kNotFound, kNoSpace), and with_retry() implements the
+// exponential-backoff loop shared by all of them.
+//
+// PosixIoBackend is the real implementation: open/pread/pwrite/fsync and
+// atomic rename, with directory fsync for durable metadata replacement.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace approx::store {
+
+enum class IoCode {
+  kOk = 0,
+  kNotFound,   // file does not exist
+  kShortRead,  // fewer bytes than requested (EOF or injected)
+  kNoSpace,    // ENOSPC-style capacity failure
+  kIoError,    // everything else (EIO, injected transient faults, ...)
+};
+
+const char* io_code_name(IoCode code) noexcept;
+
+// Transient codes worth retrying; kNotFound and kNoSpace are final.
+inline bool io_retryable(IoCode code) noexcept {
+  return code == IoCode::kIoError || code == IoCode::kShortRead;
+}
+
+struct IoStatus {
+  IoCode code = IoCode::kOk;
+  std::string message;
+
+  bool ok() const noexcept { return code == IoCode::kOk; }
+  static IoStatus success() { return {}; }
+  static IoStatus failure(IoCode c, std::string msg) {
+    return {c, std::move(msg)};
+  }
+};
+
+// An open file handle.  pread/pwrite are positional and idempotent, so a
+// retried call after a transient failure cannot corrupt state.
+class IoFile {
+ public:
+  virtual ~IoFile() = default;
+
+  // Fill `out` completely from `offset`; EOF inside the range is
+  // kShortRead.
+  virtual IoStatus pread(std::uint64_t offset, std::span<std::uint8_t> out) = 0;
+  virtual IoStatus pwrite(std::uint64_t offset,
+                          std::span<const std::uint8_t> data) = 0;
+  virtual IoStatus sync() = 0;
+};
+
+class IoBackend {
+ public:
+  virtual ~IoBackend() = default;
+
+  enum class OpenMode { kRead, kTruncate };
+
+  virtual IoStatus open(const std::filesystem::path& path, OpenMode mode,
+                        std::unique_ptr<IoFile>& out) = 0;
+  // Atomic replace (POSIX rename semantics).
+  virtual IoStatus rename(const std::filesystem::path& from,
+                          const std::filesystem::path& to) = 0;
+  virtual IoStatus remove(const std::filesystem::path& path) = 0;
+  virtual IoStatus create_directories(const std::filesystem::path& path) = 0;
+  // Flush directory metadata so a completed rename survives power loss.
+  virtual IoStatus sync_dir(const std::filesystem::path& dir) = 0;
+  virtual bool exists(const std::filesystem::path& path) = 0;
+  virtual IoStatus file_size(const std::filesystem::path& path,
+                             std::uint64_t& out) = 0;
+};
+
+// Real POSIX-backed implementation.
+class PosixIoBackend final : public IoBackend {
+ public:
+  IoStatus open(const std::filesystem::path& path, OpenMode mode,
+                std::unique_ptr<IoFile>& out) override;
+  IoStatus rename(const std::filesystem::path& from,
+                  const std::filesystem::path& to) override;
+  IoStatus remove(const std::filesystem::path& path) override;
+  IoStatus create_directories(const std::filesystem::path& path) override;
+  IoStatus sync_dir(const std::filesystem::path& dir) override;
+  bool exists(const std::filesystem::path& path) override;
+  IoStatus file_size(const std::filesystem::path& path,
+                     std::uint64_t& out) override;
+};
+
+// Exponential-backoff retry loop.  Retries `op` while it returns a
+// retryable code, sleeping base_delay * multiplier^attempt between tries.
+// Each retry bumps the "store.io.retries" counter.  The final status (ok,
+// non-retryable, or retryable after max_attempts) is returned.
+struct RetryPolicy {
+  int max_attempts = 4;  // total tries, including the first
+  std::chrono::microseconds base_delay{200};
+  double multiplier = 2.0;
+  // Test seam: defaults to std::this_thread::sleep_for.
+  std::function<void(std::chrono::microseconds)> sleeper;
+};
+
+IoStatus with_retry(const RetryPolicy& policy,
+                    const std::function<IoStatus()>& op);
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+// Wraps another backend and fails selected operations.  A fault matches
+// when the operation kind equals `op` and the path contains `path_substr`;
+// it fires `times` times (-1 = forever).  kShortRead faults on reads
+// deliver `short_bytes` of real data before failing, exercising partial-
+// read handling.  Thread-safe: scrub runs reads concurrently.
+class FaultInjectingBackend final : public IoBackend {
+ public:
+  enum class Op { kOpen, kRead, kWrite, kSync, kRename, kRemove };
+
+  struct Fault {
+    Op op = Op::kRead;
+    std::string path_substr;
+    IoCode code = IoCode::kIoError;
+    int times = 1;  // -1: permanent
+    std::size_t short_bytes = 0;
+  };
+
+  explicit FaultInjectingBackend(IoBackend& inner) : inner_(inner) {}
+
+  void inject(Fault fault);
+  void clear_faults();
+  std::uint64_t faults_fired() const;
+
+  IoStatus open(const std::filesystem::path& path, OpenMode mode,
+                std::unique_ptr<IoFile>& out) override;
+  IoStatus rename(const std::filesystem::path& from,
+                  const std::filesystem::path& to) override;
+  IoStatus remove(const std::filesystem::path& path) override;
+  IoStatus create_directories(const std::filesystem::path& path) override;
+  IoStatus sync_dir(const std::filesystem::path& dir) override;
+  bool exists(const std::filesystem::path& path) override;
+  IoStatus file_size(const std::filesystem::path& path,
+                     std::uint64_t& out) override;
+
+  // Internal: returns the armed fault for (op, path) and consumes one shot
+  // of it.  Public so the wrapped file handles can consult the table.
+  bool fire(Op op, const std::filesystem::path& path, Fault& out);
+
+ private:
+  IoBackend& inner_;
+  mutable std::mutex mu_;
+  std::vector<Fault> faults_;
+  std::uint64_t fired_ = 0;
+};
+
+}  // namespace approx::store

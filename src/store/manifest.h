@@ -1,0 +1,49 @@
+// Volume manifest: the commit record of an ApproxStore volume.
+//
+// A text key=value file describing what the volume stores (code geometry,
+// sizes, chunk count, whole-file CRC).  save() is atomic and durable:
+// the new content goes to manifest.txt.tmp, is fsynced, renamed over
+// manifest.txt and the directory is fsynced — a volume directory therefore
+// either has the old complete manifest or the new complete manifest,
+// never a torn one.  load() accepts both the v2 format and the legacy
+// approxcode-volume-v1 format; malformed input (missing keys, non-numeric
+// fields, trailing garbage) is reported as approx::Error("corrupt
+// manifest: ...") naming the offending key.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "store/format.h"
+#include "store/io_backend.h"
+
+namespace approx::store {
+
+struct Manifest {
+  std::uint32_t version = kVolumeV2;
+  core::ApprParams params;
+  std::size_t block = 4096;                  // codec element size
+  std::size_t io_payload = kDefaultIoPayload;  // v2 only
+  std::uint64_t file_size = 0;
+  std::uint64_t important_len = 0;
+  std::uint64_t chunks = 0;
+  std::uint32_t file_crc = 0;
+
+  // Unrecognized keys survive a load/save roundtrip; higher layers (the
+  // tiered video store's spill backend) stash their metadata here.
+  std::map<std::string, std::string> extra;
+
+  // Atomic, durable replacement of dir/manifest.txt.  Always writes the
+  // v2 format.  Failures (ENOSPC, injected faults) leave any previous
+  // manifest untouched.
+  IoStatus save(IoBackend& io, const std::filesystem::path& dir,
+                const RetryPolicy& retry = {}) const;
+
+  // Throws approx::Error on a missing or corrupt manifest.
+  static Manifest load(IoBackend& io, const std::filesystem::path& dir);
+};
+
+}  // namespace approx::store

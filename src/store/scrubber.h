@@ -1,0 +1,77 @@
+// Scrub + repair service for ApproxStore volumes.
+//
+// scrub() walks every chunk file verifying block CRCs and seals (in
+// parallel across the thread pool, one node file per task) and returns a
+// damage report: missing/truncated node files and the exact corrupt block
+// indices inside the present ones.  Nodes whose reads keep failing after
+// the retry policy's backoff loop are queued as damaged rather than
+// aborting the scan — a scrub must survive a dying disk.
+//
+// repair() consumes the damage queue: it streams every stripe, treating a
+// node as erased exactly in the stripes its damage touches (per-stripe
+// granularity: a single rotten block does not disqualify the node's other
+// stripes from serving as repair sources), runs the codec's schedule-based
+// repair, and atomically replaces the chunk files the repair modified —
+// the damaged ones plus any surviving parity the normalization pass
+// touched.  Writes go to tmp files renamed into place at the end;
+// a failed repair (ENOSPC, device loss) leaves the volume's current files
+// and manifest untouched and surfaces as StoreError.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "store/store.h"
+
+namespace approx::store {
+
+struct DamageRecord {
+  int node = -1;
+  bool missing = false;  // file absent, truncated, or unreadable
+  std::vector<std::uint64_t> bad_blocks;  // corrupt block indices (v2)
+};
+
+struct ScrubReport {
+  std::vector<DamageRecord> damaged;  // sorted by node
+  std::uint64_t bytes_scanned = 0;
+  std::uint64_t corrupt_blocks = 0;
+  std::uint64_t missing_nodes = 0;
+  // False on v1 volumes: no per-block integrity data exists, so only
+  // presence/size was checked (use VolumeStore::parity_scrub there).
+  bool integrity_checked = true;
+
+  bool clean() const { return damaged.empty(); }
+  std::vector<int> damaged_nodes() const;
+};
+
+struct RepairOutcome {
+  bool attempted = false;  // false: nothing was damaged
+  bool fully_recovered = true;
+  bool all_important_recovered = true;
+  std::uint64_t unimportant_bytes_lost = 0;
+  std::uint64_t stripes_repaired = 0;
+  std::vector<int> rebuilt_nodes;  // chunk files replaced on disk
+};
+
+struct RepairOptions {
+  // Recompute parity over zero-filled holes so the repaired volume
+  // scrubs clean (mutable-volume semantics; see ApproximateCode).
+  bool normalize_parity = true;
+};
+
+class ScrubService {
+ public:
+  explicit ScrubService(VolumeStore& volume) : vol_(volume) {}
+
+  ScrubReport scrub();
+
+  // scrub() + repair_damage() in one call.
+  RepairOutcome repair(const RepairOptions& opts = {});
+  RepairOutcome repair_damage(const ScrubReport& report,
+                              const RepairOptions& opts = {});
+
+ private:
+  VolumeStore& vol_;
+};
+
+}  // namespace approx::store

@@ -1,0 +1,386 @@
+#include "store/store.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/buffer.h"
+#include "common/crc32.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace approx::store {
+
+namespace {
+
+[[noreturn]] void throw_io(const IoStatus& st, const std::string& context) {
+  throw StoreError(st.code, context + ": " + st.message);
+}
+
+std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace
+
+IoStatus run_pipeline(ThreadPool& pool, std::uint64_t chunks,
+                      const std::function<IoStatus(std::uint64_t, int)>& read,
+                      const std::function<IoStatus(std::uint64_t, int)>& process) {
+  if (chunks == 0) return IoStatus::success();
+  IoStatus st = read(0, 0);
+  if (!st.ok()) return st;
+  for (std::uint64_t c = 0; c < chunks; ++c) {
+    const int cur = static_cast<int>(c % 2);
+    const int nxt = 1 - cur;
+    IoStatus st_process = IoStatus::success();
+    IoStatus st_read = IoStatus::success();
+    pool.parallel_for(0, 2, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        if (i == 0) {
+          st_process = process(c, cur);
+        } else if (c + 1 < chunks) {
+          st_read = read(c + 1, nxt);
+        }
+      }
+    });
+    if (!st_process.ok()) return st_process;
+    if (!st_read.ok()) return st_read;
+  }
+  return IoStatus::success();
+}
+
+// ---------------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------------
+
+VolumeStore::VolumeStore(IoBackend& io, std::filesystem::path dir,
+                         StoreOptions opts)
+    : VolumeStore(io, dir, opts, Manifest::load(io, dir)) {}
+
+VolumeStore::VolumeStore(IoBackend& io, std::filesystem::path dir,
+                         StoreOptions opts, Manifest manifest)
+    : io_(io),
+      dir_(std::move(dir)),
+      opts_(std::move(opts)),
+      manifest_(std::move(manifest)),
+      code_(std::make_unique<core::ApproximateCode>(manifest_.params,
+                                                    manifest_.block)) {
+  if (manifest_.version == kVolumeV2) {
+    opts_.io_payload = manifest_.io_payload;
+    // The superblock is the binary authority on the layout; a manifest
+    // that disagrees with it means the volume was hand-edited or mixed
+    // from two volumes.
+    const std::filesystem::path sb_path = dir_ / kSuperblockFile;
+    if (io_.exists(sb_path)) {
+      std::array<std::uint8_t, kSuperblockBytes> raw{};
+      std::unique_ptr<IoFile> f;
+      IoStatus st = io_.open(sb_path, IoBackend::OpenMode::kRead, f);
+      if (st.ok()) st = f->pread(0, raw);
+      if (!st.ok()) throw_io(st, "reading superblock");
+      const Superblock sb = Superblock::deserialize(raw);
+      if (sb.params.family != manifest_.params.family ||
+          sb.params.k != manifest_.params.k ||
+          sb.params.r != manifest_.params.r ||
+          sb.params.g != manifest_.params.g ||
+          sb.params.h != manifest_.params.h ||
+          sb.params.structure != manifest_.params.structure ||
+          sb.block_size != manifest_.block ||
+          sb.io_payload != manifest_.io_payload) {
+        throw Error("superblock and manifest disagree in " + dir_.string());
+      }
+    } else {
+      throw Error("v2 volume without superblock in " + dir_.string());
+    }
+  }
+}
+
+ThreadPool& VolumeStore::pool() const noexcept {
+  return opts_.pool != nullptr ? *opts_.pool : ThreadPool::global();
+}
+
+std::uint64_t VolumeStore::node_stream_bytes() const noexcept {
+  return manifest_.chunks * code_->node_bytes();
+}
+
+std::filesystem::path VolumeStore::node_path(int node) const {
+  return dir_ / node_file_name(manifest_.version, node);
+}
+
+bool VolumeStore::node_present(int node) const {
+  return io_.exists(node_path(node));
+}
+
+ChunkFileReader VolumeStore::make_reader(int node) const {
+  return ChunkFileReader(io_, node_path(node), opts_.io_payload,
+                         manifest_.version == kVolumeV2, node_stream_bytes(),
+                         opts_.retry);
+}
+
+ChunkFileWriter VolumeStore::make_writer(int node) const {
+  return ChunkFileWriter(io_, node_path(node), opts_.io_payload,
+                         manifest_.version == kVolumeV2, opts_.retry);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming encode
+// ---------------------------------------------------------------------------
+
+VolumeStore VolumeStore::encode_file(IoBackend& io,
+                                     const std::filesystem::path& input,
+                                     const std::filesystem::path& dir,
+                                     const core::ApprParams& params,
+                                     std::size_t block,
+                                     std::optional<std::uint64_t> split,
+                                     StoreOptions opts) {
+  APPROX_OBS_SPAN(span_total, "store.encode");
+  static obs::ShardedCounter& c_in =
+      obs::registry().sharded_counter("store.encode.bytes_in");
+
+  core::ApproximateCode code(params, block);
+  Manifest m;
+  m.params = params;
+  m.block = block;
+  m.io_payload = opts.io_payload;
+
+  IoStatus st = io.file_size(input, m.file_size);
+  if (!st.ok()) throw_io(st, "opening input");
+  m.important_len = std::min<std::uint64_t>(
+      m.file_size,
+      split.value_or(m.file_size / static_cast<std::uint64_t>(params.h)));
+  const std::uint64_t unimp_len = m.file_size - m.important_len;
+  const std::uint64_t icap = code.important_capacity();
+  const std::uint64_t ucap = code.unimportant_capacity();
+  m.chunks = std::max<std::uint64_t>(
+      1, std::max(ceil_div(m.important_len, icap), ceil_div(unimp_len, ucap)));
+
+  st = io.create_directories(dir);
+  if (!st.ok()) throw_io(st, "creating volume directory");
+
+  std::unique_ptr<IoFile> in;
+  st = io.open(input, IoBackend::OpenMode::kRead, in);
+  if (!st.ok()) throw_io(st, "opening input");
+
+  // One atomically-replaced writer per node; nothing lands under a final
+  // name until every chunk encoded cleanly.
+  std::vector<std::unique_ptr<ChunkFileWriter>> writers;
+  for (int n = 0; n < code.total_nodes(); ++n) {
+    writers.push_back(std::make_unique<ChunkFileWriter>(
+        io, dir / node_file_name(kVolumeV2, n), opts.io_payload,
+        /*footers=*/true, opts.retry));
+    st = writers.back()->open();
+    if (!st.ok()) throw_io(st, "opening chunk file for write");
+  }
+
+  // Double-buffered staging: the read stage fills slot (c+1)%2 and chains
+  // the two running stream CRCs while the codec works on slot c%2.
+  struct Staged {
+    std::vector<std::uint8_t> imp, unimp;
+  };
+  Staged staged[2];
+  for (auto& s : staged) {
+    s.imp.resize(icap);
+    s.unimp.resize(ucap);
+  }
+  std::uint32_t crc_imp = 0, crc_unimp = 0;
+  StripeBuffers stripe(code.total_nodes(), code.node_bytes());
+
+  const auto read_stage = [&](std::uint64_t c, int slot) -> IoStatus {
+    auto& s = staged[slot];
+    std::fill(s.imp.begin(), s.imp.end(), std::uint8_t{0});
+    std::fill(s.unimp.begin(), s.unimp.end(), std::uint8_t{0});
+    const std::uint64_t ioff = c * icap;
+    if (ioff < m.important_len) {
+      const std::size_t len = static_cast<std::size_t>(
+          std::min<std::uint64_t>(icap, m.important_len - ioff));
+      IoStatus rst = in->pread(ioff, {s.imp.data(), len});
+      if (!rst.ok()) return rst;
+      crc_imp = crc32({s.imp.data(), len}, crc_imp);
+      c_in.add(len);
+    }
+    const std::uint64_t uoff = c * ucap;
+    if (uoff < unimp_len) {
+      const std::size_t len = static_cast<std::size_t>(
+          std::min<std::uint64_t>(ucap, unimp_len - uoff));
+      IoStatus rst = in->pread(m.important_len + uoff, {s.unimp.data(), len});
+      if (!rst.ok()) return rst;
+      crc_unimp = crc32({s.unimp.data(), len}, crc_unimp);
+      c_in.add(len);
+    }
+    return IoStatus::success();
+  };
+
+  const auto process_stage = [&](std::uint64_t, int slot) -> IoStatus {
+    APPROX_OBS_SPAN(span_chunk, "store.stripe_encode");
+    auto& s = staged[slot];
+    auto spans = stripe.spans();
+    code.scatter(s.imp, s.unimp, spans);
+    code.encode(spans);
+    for (int n = 0; n < code.total_nodes(); ++n) {
+      IoStatus wst = writers[static_cast<std::size_t>(n)]->append(stripe.node(n));
+      if (!wst.ok()) return wst;
+    }
+    return IoStatus::success();
+  };
+
+  ThreadPool& pool = opts.pool != nullptr ? *opts.pool : ThreadPool::global();
+  st = run_pipeline(pool, m.chunks, read_stage, process_stage);
+  if (!st.ok()) {
+    for (auto& w : writers) w->abort();
+    throw_io(st, "encoding volume");
+  }
+  m.file_crc = crc32_combine(crc_imp, crc_unimp, unimp_len);
+
+  // Commit order: superblock, chunk files, manifest (the commit point).
+  const Superblock sb{params, block, static_cast<std::uint32_t>(opts.io_payload)};
+  const auto sb_bytes = sb.serialize();
+  std::unique_ptr<IoFile> sbf;
+  st = io.open(dir / kSuperblockFile, IoBackend::OpenMode::kTruncate, sbf);
+  if (st.ok()) st = sbf->pwrite(0, sb_bytes);
+  if (st.ok()) st = sbf->sync();
+  sbf.reset();
+  if (!st.ok()) {
+    for (auto& w : writers) w->abort();
+    throw_io(st, "writing superblock");
+  }
+  for (auto& w : writers) {
+    st = w->finish();
+    if (!st.ok()) {
+      for (auto& other : writers) other->abort();
+      throw_io(st, "finishing chunk file");
+    }
+  }
+  st = m.save(io, dir, opts.retry);
+  if (!st.ok()) throw_io(st, "writing manifest");
+
+  return VolumeStore(io, dir, std::move(opts), std::move(m));
+}
+
+// ---------------------------------------------------------------------------
+// Streaming decode
+// ---------------------------------------------------------------------------
+
+VolumeStore::DecodeResult VolumeStore::decode_file(
+    const std::filesystem::path& output) {
+  APPROX_OBS_SPAN(span_total, "store.decode");
+  static obs::ShardedCounter& c_read =
+      obs::registry().sharded_counter("store.read.bytes");
+
+  DecodeResult result;
+  const std::uint64_t nb = code_->node_bytes();
+  const std::uint64_t icap = code_->important_capacity();
+  const std::uint64_t ucap = code_->unimportant_capacity();
+  const std::uint64_t unimp_len = manifest_.file_size - manifest_.important_len;
+
+  std::vector<std::unique_ptr<ChunkFileReader>> readers;
+  std::string open_errors;
+  for (int n = 0; n < code_->total_nodes(); ++n) {
+    readers.push_back(std::make_unique<ChunkFileReader>(make_reader(n)));
+    const IoStatus st = readers.back()->open();
+    if (!st.ok()) {
+      result.missing_nodes.push_back(n);
+      open_errors += " [node " + std::to_string(n) + ": " + st.message + "]";
+    }
+  }
+  if (!result.missing_nodes.empty()) {
+    throw StoreError(IoCode::kNotFound,
+                     std::to_string(result.missing_nodes.size()) +
+                         " node file(s) missing or unreadable - repair first:" +
+                         open_errors);
+  }
+
+  std::unique_ptr<IoFile> out;
+  IoStatus st = io_.open(output, IoBackend::OpenMode::kTruncate, out);
+  if (!st.ok()) throw_io(st, "opening output");
+
+  struct Slot {
+    StripeBuffers stripe;
+    std::vector<std::uint64_t> bad;
+  };
+  Slot slots[2] = {{StripeBuffers(code_->total_nodes(), nb), {}},
+                   {StripeBuffers(code_->total_nodes(), nb), {}}};
+  std::vector<std::uint8_t> imp(icap), unimp(ucap);
+  std::uint32_t crc_imp = 0, crc_unimp = 0;
+
+  const auto read_stage = [&](std::uint64_t c, int si) -> IoStatus {
+    Slot& slot = slots[si];
+    slot.bad.clear();
+    for (int n = 0; n < code_->total_nodes(); ++n) {
+      const IoStatus rst = readers[static_cast<std::size_t>(n)]->read(
+          c * nb, slot.stripe.node(n), &slot.bad);
+      if (!rst.ok()) return rst;
+      c_read.add(nb);
+    }
+    return IoStatus::success();
+  };
+
+  const auto process_stage = [&](std::uint64_t c, int si) -> IoStatus {
+    APPROX_OBS_SPAN(span_chunk, "store.stripe_decode");
+    Slot& slot = slots[si];
+    result.corrupt_blocks += slot.bad.size();
+    auto spans = slot.stripe.spans();
+    code_->gather(spans, imp, unimp);
+    const std::uint64_t ioff = c * icap;
+    if (ioff < manifest_.important_len) {
+      const std::size_t len = static_cast<std::size_t>(
+          std::min<std::uint64_t>(icap, manifest_.important_len - ioff));
+      const IoStatus wst = out->pwrite(ioff, {imp.data(), len});
+      if (!wst.ok()) return wst;
+      crc_imp = crc32({imp.data(), len}, crc_imp);
+      result.bytes += len;
+    }
+    const std::uint64_t uoff = c * ucap;
+    if (uoff < unimp_len) {
+      const std::size_t len = static_cast<std::size_t>(
+          std::min<std::uint64_t>(ucap, unimp_len - uoff));
+      const IoStatus wst =
+          out->pwrite(manifest_.important_len + uoff, {unimp.data(), len});
+      if (!wst.ok()) return wst;
+      crc_unimp = crc32({unimp.data(), len}, crc_unimp);
+      result.bytes += len;
+    }
+    return IoStatus::success();
+  };
+
+  st = run_pipeline(pool(), manifest_.chunks, read_stage, process_stage);
+  if (!st.ok()) throw_io(st, "decoding volume");
+  st = out->sync();
+  if (!st.ok()) throw_io(st, "syncing output");
+
+  result.crc_ok =
+      crc32_combine(crc_imp, crc_unimp, unimp_len) == manifest_.file_crc;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Parity scrub
+// ---------------------------------------------------------------------------
+
+VolumeStore::ParityScrubResult VolumeStore::parity_scrub() {
+  APPROX_OBS_SPAN(span_total, "store.parity_scrub");
+  ParityScrubResult result;
+  const std::uint64_t nb = code_->node_bytes();
+
+  std::vector<std::unique_ptr<ChunkFileReader>> readers;
+  for (int n = 0; n < code_->total_nodes(); ++n) {
+    readers.push_back(std::make_unique<ChunkFileReader>(make_reader(n)));
+    const IoStatus st = readers.back()->open();
+    if (!st.ok()) {
+      throw StoreError(st.code, "parity scrub needs every node file: " +
+                                    st.message);
+    }
+  }
+  StripeBuffers stripe(code_->total_nodes(), nb);
+  for (std::uint64_t c = 0; c < manifest_.chunks; ++c) {
+    for (int n = 0; n < code_->total_nodes(); ++n) {
+      const IoStatus st =
+          readers[static_cast<std::size_t>(n)]->read(c * nb, stripe.node(n),
+                                                     nullptr);
+      if (!st.ok()) throw_io(st, "parity scrub read");
+    }
+    auto spans = stripe.spans();
+    result.mismatched_elements += code_->scrub(spans).mismatched.size();
+    ++result.stripes;
+  }
+  return result;
+}
+
+}  // namespace approx::store

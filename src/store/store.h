@@ -1,0 +1,127 @@
+// ApproxStore: a durable on-disk volume store for Approximate Code data.
+//
+// A VolumeStore binds a volume directory (see format.h / docs/storage.md)
+// to its codec and streams data between files and stripes in bounded
+// memory: encode, decode and repair all work stripe-at-a-time with
+// double-buffered I/O over common/thread_pool.h, so a multi-gigabyte input
+// never lives in RAM at once (peak usage is two input staging buffers plus
+// two stripes regardless of file size).
+//
+// Unrecoverable I/O failures surface as StoreError carrying the final
+// IoCode (transient failures are retried with exponential backoff first);
+// detected-and-handled conditions (corrupt blocks zero-filled during a
+// read) are reported in result structs.  The scrub + repair service lives
+// in scrubber.h.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/approximate_code.h"
+#include "store/chunk_file.h"
+#include "store/manifest.h"
+
+namespace approx::store {
+
+// An I/O failure the store could not retry away.  code() distinguishes
+// capacity exhaustion (kNoSpace) and missing files (kNotFound) from
+// generic device errors.
+class StoreError : public Error {
+ public:
+  StoreError(IoCode code, const std::string& what)
+      : Error(std::string(io_code_name(code)) + ": " + what), code_(code) {}
+  IoCode code() const noexcept { return code_; }
+
+ private:
+  IoCode code_;
+};
+
+struct StoreOptions {
+  std::size_t io_payload = kDefaultIoPayload;
+  RetryPolicy retry;
+  ThreadPool* pool = nullptr;  // nullptr selects ThreadPool::global()
+};
+
+// Two-slot streaming pipeline shared by encode, decode and repair:
+// process(c, slot) runs concurrently with read(c+1, other_slot) on the
+// pool, so the codec is never idle waiting for the disk and vice versa.
+// read(0, 0) is issued before the loop; with a single-worker pool the
+// stages serialize.  Returns the first failing status.
+IoStatus run_pipeline(ThreadPool& pool, std::uint64_t chunks,
+                      const std::function<IoStatus(std::uint64_t, int)>& read,
+                      const std::function<IoStatus(std::uint64_t, int)>& process);
+
+class VolumeStore {
+ public:
+  // Open an existing volume (v1 or v2); throws on a missing or corrupt
+  // manifest, or a v2 superblock disagreeing with the manifest.
+  VolumeStore(IoBackend& io, std::filesystem::path dir, StoreOptions opts = {});
+
+  // Stream-encode `input` into a fresh v2 volume at `dir`.  The manifest
+  // is written last (atomically): a failed encode never leaves a volume
+  // that claims to be complete.
+  static VolumeStore encode_file(IoBackend& io,
+                                 const std::filesystem::path& input,
+                                 const std::filesystem::path& dir,
+                                 const core::ApprParams& params,
+                                 std::size_t block,
+                                 std::optional<std::uint64_t> split,
+                                 StoreOptions opts = {});
+
+  const Manifest& manifest() const noexcept { return manifest_; }
+  const core::ApproximateCode& code() const noexcept { return *code_; }
+  std::uint32_t version() const noexcept { return manifest_.version; }
+  const std::filesystem::path& dir() const noexcept { return dir_; }
+  IoBackend& io() const noexcept { return io_; }
+  const StoreOptions& options() const noexcept { return opts_; }
+  ThreadPool& pool() const noexcept;
+
+  // Length of one node's logical byte stream (chunks * node_bytes).
+  std::uint64_t node_stream_bytes() const noexcept;
+  std::filesystem::path node_path(int node) const;
+  bool node_present(int node) const;
+
+  // Chunk-file accessors in the volume's format (v1: raw, v2: blocked).
+  ChunkFileReader make_reader(int node) const;
+  ChunkFileWriter make_writer(int node) const;
+
+  struct DecodeResult {
+    std::uint64_t bytes = 0;
+    bool crc_ok = false;
+    std::uint64_t corrupt_blocks = 0;  // zero-filled while reading
+    std::vector<int> missing_nodes;    // filled before throwing kNotFound
+  };
+  // Stream the stored file into `output`.  Every node file must be
+  // readable (missing nodes -> StoreError kNotFound; repair first); blocks
+  // failing integrity checks are zero-filled and counted, surfacing as a
+  // CRC mismatch on the final result.
+  DecodeResult decode_file(const std::filesystem::path& output);
+
+  struct ParityScrubResult {
+    std::uint64_t stripes = 0;
+    std::uint64_t mismatched_elements = 0;
+    bool clean() const { return mismatched_elements == 0; }
+  };
+  // Codec-level consistency check: stream every stripe and recompute all
+  // parity equations.  Complements the CRC scrub (scrubber.h) and is the
+  // only corruption detector available on v1 volumes.
+  ParityScrubResult parity_scrub();
+
+ private:
+  friend class ScrubService;
+
+  VolumeStore(IoBackend& io, std::filesystem::path dir, StoreOptions opts,
+              Manifest manifest);
+
+  IoBackend& io_;
+  std::filesystem::path dir_;
+  StoreOptions opts_;
+  Manifest manifest_;
+  std::unique_ptr<core::ApproximateCode> code_;
+};
+
+}  // namespace approx::store

@@ -3,9 +3,28 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/crc32.h"
 #include "common/error.h"
+#include "store/scrubber.h"
 
 namespace approx::video {
+
+namespace {
+
+// Strict digit-only parse of a manifest extra value.
+std::size_t parse_meta(const std::map<std::string, std::string>& extra,
+                       const std::string& key) {
+  const auto it = extra.find(key);
+  if (it == extra.end()) throw Error("spilled volume is missing " + key);
+  std::size_t v = 0;
+  for (const char c : it->second) {
+    if (c < '0' || c > '9') throw Error("spilled volume has bad " + key);
+    v = v * 10 + static_cast<std::size_t>(c - '0');
+  }
+  return v;
+}
+
+}  // namespace
 
 TieredVideoStore::TieredVideoStore(core::ApprParams params, std::size_t block_size)
     : code_(std::make_unique<core::ApproximateCode>(params, block_size)) {}
@@ -90,6 +109,137 @@ ReassembledVideo TieredVideoStore::get_degraded() {
   imp.resize(std::min(imp.size(), important_len_));
   unimp.resize(std::min(unimp.size(), unimportant_len_));
   return reassemble(imp, unimp, frame_count_);
+}
+
+void TieredVideoStore::spill(store::IoBackend& io,
+                             const std::filesystem::path& dir) {
+  APPROX_REQUIRE(!chunks_.empty(), "nothing to spill: call put() first");
+  APPROX_REQUIRE(failed_.empty(), "repair before spilling a degraded store");
+
+  const store::StoreOptions opts;
+  store::Manifest m;
+  m.params = code_->params();
+  m.block = code_->block_size();
+  m.io_payload = opts.io_payload;
+  m.file_size = important_len_ + unimportant_len_;
+  m.important_len = important_len_;
+  m.chunks = chunks_.size();
+  m.extra["video.frame_count"] = std::to_string(frame_count_);
+  m.extra["video.width"] = std::to_string(width_);
+  m.extra["video.height"] = std::to_string(height_);
+  m.extra["video.gop"] = gop_.str();
+
+  // Whole-file CRC over the logical byte stream (important || unimportant),
+  // so the generic decode path can validate a spilled video end to end.
+  std::uint32_t crc_imp = 0, crc_unimp = 0;
+  std::vector<std::uint8_t> imp(code_->important_capacity());
+  std::vector<std::uint8_t> unimp(code_->unimportant_capacity());
+  for (std::size_t c = 0; c < chunks_.size(); ++c) {
+    auto spans = chunks_[c].spans();
+    code_->gather(spans, imp, unimp);
+    const std::size_t ioff = c * imp.size();
+    if (ioff < important_len_) {
+      crc_imp = crc32({imp.data(), std::min(imp.size(), important_len_ - ioff)},
+                      crc_imp);
+    }
+    const std::size_t uoff = c * unimp.size();
+    if (uoff < unimportant_len_) {
+      crc_unimp = crc32(
+          {unimp.data(), std::min(unimp.size(), unimportant_len_ - uoff)},
+          crc_unimp);
+    }
+  }
+  m.file_crc = crc32_combine(crc_imp, crc_unimp, unimportant_len_);
+
+  store::IoStatus st = io.create_directories(dir);
+  if (!st.ok()) throw store::StoreError(st.code, "creating spill directory");
+
+  const store::Superblock sb{m.params, m.block,
+                             static_cast<std::uint32_t>(m.io_payload)};
+  const auto sb_bytes = sb.serialize();
+  std::unique_ptr<store::IoFile> sbf;
+  st = io.open(dir / store::kSuperblockFile, store::IoBackend::OpenMode::kTruncate,
+               sbf);
+  if (st.ok()) st = sbf->pwrite(0, sb_bytes);
+  if (st.ok()) st = sbf->sync();
+  if (!st.ok()) throw store::StoreError(st.code, "writing spill superblock");
+  sbf.reset();
+
+  std::vector<std::unique_ptr<store::ChunkFileWriter>> writers;
+  const auto abort_all = [&] {
+    for (auto& w : writers) w->abort();
+  };
+  for (int n = 0; n < code_->total_nodes(); ++n) {
+    writers.push_back(std::make_unique<store::ChunkFileWriter>(
+        io, dir / store::node_file_name(store::kVolumeV2, n), opts.io_payload,
+        /*footers=*/true, opts.retry));
+    st = writers.back()->open();
+    if (!st.ok()) {
+      abort_all();
+      throw store::StoreError(st.code, "opening spill chunk file");
+    }
+  }
+  for (auto& chunk : chunks_) {
+    for (int n = 0; n < code_->total_nodes(); ++n) {
+      st = writers[static_cast<std::size_t>(n)]->append(chunk.node(n));
+      if (!st.ok()) {
+        abort_all();
+        throw store::StoreError(st.code, "spilling chunk data");
+      }
+    }
+  }
+  for (auto& w : writers) {
+    st = w->finish();
+    if (!st.ok()) {
+      abort_all();
+      throw store::StoreError(st.code, "committing spill chunk file");
+    }
+  }
+  st = m.save(io, dir, opts.retry);
+  if (!st.ok()) throw store::StoreError(st.code, "writing spill manifest");
+}
+
+TieredVideoStore TieredVideoStore::load_spill(store::IoBackend& io,
+                                              const std::filesystem::path& dir) {
+  store::VolumeStore vol(io, dir);
+  const store::Manifest& m = vol.manifest();
+  const auto gop_it = m.extra.find("video.gop");
+  if (gop_it == m.extra.end()) {
+    throw Error("not a spilled video volume: no video.gop in manifest");
+  }
+
+  TieredVideoStore out(m.params, m.block);
+  out.important_len_ = m.important_len;
+  out.unimportant_len_ = m.file_size - m.important_len;
+  out.frame_count_ = parse_meta(m.extra, "video.frame_count");
+  out.width_ = static_cast<int>(parse_meta(m.extra, "video.width"));
+  out.height_ = static_cast<int>(parse_meta(m.extra, "video.height"));
+  out.gop_ = GopPattern(gop_it->second);
+
+  const std::uint64_t nb = out.code_->node_bytes();
+  for (std::uint64_t c = 0; c < m.chunks; ++c) {
+    out.chunks_.emplace_back(out.code_->total_nodes(), nb);
+  }
+  for (int n = 0; n < out.code_->total_nodes(); ++n) {
+    store::ChunkFileReader reader = vol.make_reader(n);
+    const store::IoStatus st = reader.open();
+    if (!st.ok()) {
+      throw store::StoreError(st.code,
+                              "spilled volume needs repair: " + st.message);
+    }
+    for (std::uint64_t c = 0; c < m.chunks; ++c) {
+      std::vector<std::uint64_t> bad;
+      const store::IoStatus rst =
+          reader.read(c * nb, out.chunks_[c].node(n), &bad);
+      if (!rst.ok()) throw store::StoreError(rst.code, "reading spilled chunk");
+      if (!bad.empty()) {
+        throw store::StoreError(store::IoCode::kIoError,
+                                "spilled volume has corrupt blocks in node " +
+                                    std::to_string(n) + " - scrub and repair");
+      }
+    }
+  }
+  return out;
 }
 
 ReassembledVideo TieredVideoStore::get() {

@@ -8,12 +8,14 @@
 #pragma once
 
 #include <cstdint>
+#include <filesystem>
 #include <memory>
 #include <span>
 #include <vector>
 
 #include "common/buffer.h"
 #include "core/approximate_code.h"
+#include "store/store.h"
 #include "video/classifier.h"
 
 namespace approx::video {
@@ -62,6 +64,16 @@ class TieredVideoStore {
   // Raw stored sizes (for storage-overhead accounting in examples).
   std::size_t important_stream_bytes() const { return important_len_; }
   std::size_t unimportant_stream_bytes() const { return unimportant_len_; }
+
+  // Cold-tier handoff: persist the encoded chunks as a durable ApproxStore
+  // volume at `dir` (blocked chunk files with integrity footers, committed
+  // atomically).  The video metadata get() needs rides in the manifest's
+  // extra keys, so the volume is self-describing: load_spill() restores an
+  // equivalent in-memory store, and the generic tooling (approxcli scrub /
+  // repair) services the volume while it is cold.
+  void spill(store::IoBackend& io, const std::filesystem::path& dir);
+  static TieredVideoStore load_spill(store::IoBackend& io,
+                                     const std::filesystem::path& dir);
 
  private:
   std::unique_ptr<core::ApproximateCode> code_;

@@ -1,5 +1,5 @@
 #!/bin/sh
-# End-to-end lifecycle test of the approxcli tool.
+# End-to-end lifecycle test of the approxcli tool (ApproxStore v2 volumes).
 #   $1 = path to the approxcli binary
 set -e
 
@@ -18,6 +18,7 @@ fail() { echo "FAIL: $1"; exit 1; }
 "$CLI" encode --family rs --k 4 --r 1 --g 2 --h 4 --block 4096 input.bin vol \
     || fail "encode"
 "$CLI" info vol | grep -q 'APPR.RS(4,1,2,4,Even)' || fail "info reports code"
+[ -f vol/superblock.bin ] || fail "v2 volume missing superblock"
 "$CLI" scrub vol || fail "healthy scrub"
 
 # --- lossless roundtrip ------------------------------------------------------
@@ -25,14 +26,14 @@ fail() { echo "FAIL: $1"; exit 1; }
 cmp -s input.bin roundtrip.bin || fail "healthy roundtrip differs"
 
 # --- single failure: full recovery ------------------------------------------
-rm vol/node_002.bin
+rm vol/node_002.acb
 "$CLI" repair vol || fail "single-failure repair"
 "$CLI" scrub vol || fail "scrub after single repair"
 "$CLI" decode vol single.bin || fail "decode after single repair"
 cmp -s input.bin single.bin || fail "single-failure roundtrip differs"
 
 # --- double failure: important prefix survives -------------------------------
-rm vol/node_000.bin vol/node_001.bin
+rm vol/node_000.acb vol/node_001.acb
 rc=0; "$CLI" repair vol || rc=$?
 [ "$rc" -eq 0 ] || fail "double-failure repair lost important data"
 "$CLI" scrub vol || fail "scrub after double repair"
@@ -43,9 +44,21 @@ head -c 150000 input.bin > want.head
 head -c 150000 double.bin > got.head
 cmp -s want.head got.head || fail "important prefix damaged"
 
-# --- corruption detection -----------------------------------------------------
+# --- corruption detection + repair -------------------------------------------
 "$CLI" encode --family crs --k 6 input.bin vol2 >/dev/null || fail "crs encode"
-dd if=/dev/zero of=vol2/node_004.bin bs=1 count=3 seek=100 conv=notrunc 2>/dev/null
+dd if=/dev/zero of=vol2/node_004.acb bs=1 count=3 seek=100 conv=notrunc 2>/dev/null
 if "$CLI" scrub vol2; then fail "scrub missed corruption"; fi
+"$CLI" repair vol2 || fail "corruption repair"
+"$CLI" scrub vol2 || fail "scrub after corruption repair"
+"$CLI" decode vol2 fixed.bin || fail "decode after corruption repair"
+cmp -s input.bin fixed.bin || fail "corruption roundtrip differs"
+
+# --- corrupt manifest is a typed error, not a crash --------------------------
+"$CLI" encode input.bin vol3 >/dev/null || fail "default encode"
+sed 's/^k=.*/k=banana/' vol3/manifest.txt > vol3/manifest.txt.new
+mv vol3/manifest.txt.new vol3/manifest.txt
+rc=0; msg=$("$CLI" info vol3 2>&1) || rc=$?
+[ "$rc" -eq 1 ] || fail "corrupt manifest should exit 1"
+echo "$msg" | grep -q 'corrupt manifest' || fail "corrupt manifest not reported"
 
 echo "PASS"

@@ -1,0 +1,226 @@
+// Fault injection: retry/backoff behaviour and failure atomicity of the
+// store under transient and permanent I/O errors.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <vector>
+
+#include "store/scrubber.h"
+#include "store/store.h"
+
+namespace fs = std::filesystem;
+
+namespace approx::store {
+namespace {
+
+using Op = FaultInjectingBackend::Op;
+using Fault = FaultInjectingBackend::Fault;
+
+core::ApprParams rs_params() {
+  return {codes::Family::RS, 4, 1, 2, 4, core::Structure::Even};
+}
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint32_t seed) {
+  std::vector<std::uint8_t> data(n);
+  std::mt19937 rng(seed);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+  return data;
+}
+
+// Retry policy with a recording no-op sleeper so tests never really sleep.
+RetryPolicy fast_retry(std::vector<std::chrono::microseconds>* delays = nullptr) {
+  RetryPolicy p;
+  p.base_delay = std::chrono::microseconds(200);
+  p.sleeper = [delays](std::chrono::microseconds d) {
+    if (delays != nullptr) delays->push_back(d);
+  };
+  return p;
+}
+
+TEST(WithRetry, TransientFailureRetriedWithExponentialBackoff) {
+  std::vector<std::chrono::microseconds> delays;
+  const RetryPolicy policy = fast_retry(&delays);
+  int calls = 0;
+  const IoStatus st = with_retry(policy, [&]() -> IoStatus {
+    if (++calls <= 2) return IoStatus::failure(IoCode::kIoError, "transient");
+    return IoStatus::success();
+  });
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls, 3);
+  ASSERT_EQ(delays.size(), 2u);
+  EXPECT_EQ(delays[0], std::chrono::microseconds(200));
+  EXPECT_EQ(delays[1], std::chrono::microseconds(400));
+}
+
+TEST(WithRetry, PermanentFailureExhaustsAttempts) {
+  const RetryPolicy policy = fast_retry();
+  int calls = 0;
+  const IoStatus st = with_retry(policy, [&]() -> IoStatus {
+    ++calls;
+    return IoStatus::failure(IoCode::kIoError, "dead device");
+  });
+  EXPECT_EQ(st.code, IoCode::kIoError);
+  EXPECT_EQ(calls, policy.max_attempts);
+}
+
+TEST(WithRetry, NonRetryableCodesFailImmediately) {
+  for (const IoCode code : {IoCode::kNotFound, IoCode::kNoSpace}) {
+    int calls = 0;
+    const IoStatus st = with_retry(fast_retry(), [&]() -> IoStatus {
+      ++calls;
+      return IoStatus::failure(code, "final");
+    });
+    EXPECT_EQ(st.code, code);
+    EXPECT_EQ(calls, 1);
+  }
+}
+
+class FaultVolumeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("approxfault_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    const auto data = random_bytes(120000, 11);
+    input_ = dir_ / "input.bin";
+    std::ofstream out(input_, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  StoreOptions fast_opts() {
+    StoreOptions opts;
+    opts.io_payload = 4096;
+    opts.retry = fast_retry();
+    return opts;
+  }
+
+  PosixIoBackend posix_;
+  fs::path dir_;
+  fs::path input_;
+};
+
+TEST_F(FaultVolumeTest, TransientWriteFaultsAreRetriedAway) {
+  FaultInjectingBackend io(posix_);
+  io.inject({Op::kWrite, "node_002", IoCode::kIoError, /*times=*/3, 0});
+  VolumeStore vol = VolumeStore::encode_file(io, input_, dir_ / "vol",
+                                             rs_params(), 1024, std::nullopt,
+                                             fast_opts());
+  EXPECT_GE(io.faults_fired(), 3u);
+  const auto result = vol.decode_file(dir_ / "out.bin");
+  EXPECT_TRUE(result.crc_ok);
+}
+
+TEST_F(FaultVolumeTest, TransientReadFaultsDuringDecodeAreRetriedAway) {
+  FaultInjectingBackend io(posix_);
+  VolumeStore vol = VolumeStore::encode_file(io, input_, dir_ / "vol",
+                                             rs_params(), 1024, std::nullopt,
+                                             fast_opts());
+  io.inject({Op::kRead, "node_001", IoCode::kIoError, /*times=*/2, 0});
+  const auto result = vol.decode_file(dir_ / "out.bin");
+  EXPECT_TRUE(result.crc_ok);
+  EXPECT_GE(io.faults_fired(), 2u);
+}
+
+TEST_F(FaultVolumeTest, ShortReadsAreRetriedAway) {
+  FaultInjectingBackend io(posix_);
+  VolumeStore vol = VolumeStore::encode_file(io, input_, dir_ / "vol",
+                                             rs_params(), 1024, std::nullopt,
+                                             fast_opts());
+  io.inject({Op::kRead, "node_000", IoCode::kShortRead, /*times=*/1,
+             /*short_bytes=*/17});
+  const auto result = vol.decode_file(dir_ / "out.bin");
+  EXPECT_TRUE(result.crc_ok);
+  EXPECT_EQ(io.faults_fired(), 1u);
+}
+
+TEST_F(FaultVolumeTest, EnospcDuringEncodeLeavesNoManifest) {
+  FaultInjectingBackend io(posix_);
+  io.inject({Op::kWrite, "node_003", IoCode::kNoSpace, /*times=*/-1, 0});
+  try {
+    VolumeStore::encode_file(io, input_, dir_ / "vol", rs_params(), 1024,
+                             std::nullopt, fast_opts());
+    FAIL() << "expected StoreError";
+  } catch (const StoreError& e) {
+    EXPECT_EQ(e.code(), IoCode::kNoSpace);
+  }
+  // The manifest is the commit point: a failed encode must not have one,
+  // and the aborted chunk files must not linger under their final names.
+  EXPECT_FALSE(fs::exists(dir_ / "vol" / kManifestFile));
+  EXPECT_FALSE(fs::exists(dir_ / "vol" / node_file_name(kVolumeV2, 3)));
+  EXPECT_THROW(VolumeStore(io, dir_ / "vol"), Error);
+}
+
+TEST_F(FaultVolumeTest, PermanentManifestWriteFailureIsAtomic) {
+  FaultInjectingBackend io(posix_);
+  VolumeStore vol = VolumeStore::encode_file(io, input_, dir_ / "vol",
+                                             rs_params(), 1024, std::nullopt,
+                                             fast_opts());
+  Manifest m = vol.manifest();
+  m.extra["attempt"] = "2";
+  io.inject({Op::kWrite, "manifest", IoCode::kNoSpace, /*times=*/-1, 0});
+  const IoStatus st = m.save(io, dir_ / "vol", fast_retry());
+  EXPECT_EQ(st.code, IoCode::kNoSpace);
+  io.clear_faults();
+  // The original manifest must be intact and carry no trace of attempt 2.
+  const Manifest back = Manifest::load(io, dir_ / "vol");
+  EXPECT_EQ(back.extra.count("attempt"), 0u);
+  EXPECT_EQ(back.file_crc, vol.manifest().file_crc);
+  EXPECT_FALSE(fs::exists(dir_ / "vol" / (std::string(kManifestFile) + kTmpSuffix)));
+}
+
+TEST_F(FaultVolumeTest, PermanentRepairWriteFailureLeavesVolumeUsable) {
+  FaultInjectingBackend io(posix_);
+  VolumeStore vol = VolumeStore::encode_file(io, input_, dir_ / "vol",
+                                             rs_params(), 1024, std::nullopt,
+                                             fast_opts());
+  ASSERT_TRUE(fs::remove(vol.node_path(2)));
+
+  ScrubService service(vol);
+  const ScrubReport report = service.scrub();
+  ASSERT_FALSE(report.clean());
+
+  io.inject({Op::kWrite, "node_002", IoCode::kIoError, /*times=*/-1, 0});
+  EXPECT_THROW(service.repair_damage(report), StoreError);
+  io.clear_faults();
+
+  // The failed repair wrote nothing under final names; a second attempt on
+  // a healthy device succeeds end to end.
+  EXPECT_FALSE(fs::exists(vol.node_path(2)));
+  const RepairOutcome outcome = service.repair();
+  EXPECT_TRUE(outcome.fully_recovered);
+  const auto result = vol.decode_file(dir_ / "out.bin");
+  EXPECT_TRUE(result.crc_ok);
+}
+
+TEST_F(FaultVolumeTest, ScrubSurvivesUnreadableNode) {
+  FaultInjectingBackend io(posix_);
+  VolumeStore vol = VolumeStore::encode_file(io, input_, dir_ / "vol",
+                                             rs_params(), 1024, std::nullopt,
+                                             fast_opts());
+  // Node 1 permanently unreadable (dying disk): scrub must queue it for
+  // repair instead of aborting, and repair must rebuild it from the rest.
+  io.inject({Op::kOpen, "node_001", IoCode::kIoError, /*times=*/-1, 0});
+  ScrubService service(vol);
+  const ScrubReport report = service.scrub();
+  ASSERT_EQ(report.damaged.size(), 1u);
+  EXPECT_EQ(report.damaged[0].node, 1);
+  EXPECT_TRUE(report.damaged[0].missing);
+
+  io.clear_faults();
+  const RepairOutcome outcome = service.repair_damage(report);
+  EXPECT_TRUE(outcome.fully_recovered);
+  const auto result = vol.decode_file(dir_ / "out.bin");
+  EXPECT_TRUE(result.crc_ok);
+}
+
+}  // namespace
+}  // namespace approx::store

@@ -1,0 +1,125 @@
+// On-disk format primitives: superblock serialization, block seals, family
+// wire codes and the streaming CRC combiner.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "common/crc32.h"
+#include "store/format.h"
+
+namespace approx::store {
+namespace {
+
+core::ApprParams test_params() {
+  return {codes::Family::LRC, 6, 1, 2, 4, core::Structure::Uneven};
+}
+
+TEST(Superblock, SerializeDeserializeRoundtrip) {
+  Superblock sb;
+  sb.params = test_params();
+  sb.block_size = 8192;
+  sb.io_payload = 32 * 1024;
+
+  const auto bytes = sb.serialize();
+  ASSERT_EQ(bytes.size(), kSuperblockBytes);
+  const Superblock back = Superblock::deserialize(bytes);
+
+  EXPECT_EQ(back.params.family, sb.params.family);
+  EXPECT_EQ(back.params.k, sb.params.k);
+  EXPECT_EQ(back.params.r, sb.params.r);
+  EXPECT_EQ(back.params.g, sb.params.g);
+  EXPECT_EQ(back.params.h, sb.params.h);
+  EXPECT_EQ(back.params.structure, sb.params.structure);
+  EXPECT_EQ(back.block_size, sb.block_size);
+  EXPECT_EQ(back.io_payload, sb.io_payload);
+}
+
+TEST(Superblock, RejectsBadMagic) {
+  Superblock sb;
+  sb.params = test_params();
+  auto bytes = sb.serialize();
+  bytes[0] ^= 0xff;
+  EXPECT_THROW(Superblock::deserialize(bytes), Error);
+}
+
+TEST(Superblock, RejectsFlippedBitViaCrc) {
+  Superblock sb;
+  sb.params = test_params();
+  auto bytes = sb.serialize();
+  bytes[17] ^= 0x01;  // inside the k field
+  EXPECT_THROW(Superblock::deserialize(bytes), Error);
+}
+
+TEST(Superblock, RejectsTruncatedBuffer) {
+  Superblock sb;
+  sb.params = test_params();
+  const auto bytes = sb.serialize();
+  EXPECT_THROW(Superblock::deserialize(
+                   std::span<const std::uint8_t>(bytes.data(), 32)),
+               Error);
+}
+
+TEST(Format, BlockSealDependsOnIndex) {
+  // A stale block copied to a different offset must fail its seal check.
+  EXPECT_NE(block_seal(0), block_seal(1));
+  EXPECT_NE(block_seal(1), block_seal(2));
+  EXPECT_NE(block_seal(0), block_seal(1ull << 20));
+  EXPECT_EQ(block_seal(7), block_seal(7));
+}
+
+TEST(Format, FamilyWireCodesRoundtrip) {
+  for (const auto f : {codes::Family::RS, codes::Family::LRC,
+                       codes::Family::STAR, codes::Family::TIP,
+                       codes::Family::CRS}) {
+    EXPECT_EQ(family_from_wire(family_wire_code(f)), f);
+  }
+  EXPECT_THROW(family_from_wire(0), Error);
+  EXPECT_THROW(family_from_wire(99), Error);
+}
+
+TEST(Format, FamilyFlagsParse) {
+  EXPECT_EQ(family_from_flag("rs"), codes::Family::RS);
+  EXPECT_EQ(family_from_flag("crs"), codes::Family::CRS);
+  EXPECT_THROW(family_from_flag("raid6"), Error);
+}
+
+TEST(Format, NodeFileNamesPerVersion) {
+  EXPECT_EQ(node_file_name(kVolumeV1, 3), "node_003.bin");
+  EXPECT_EQ(node_file_name(kVolumeV2, 3), "node_003.acb");
+  EXPECT_EQ(node_file_name(kVolumeV2, 120), "node_120.acb");
+}
+
+TEST(Crc32Combine, MatchesSequentialCrc) {
+  std::mt19937 rng(42);
+  for (const std::size_t len_a : {std::size_t{0}, std::size_t{1},
+                                  std::size_t{63}, std::size_t{4096}}) {
+    for (const std::size_t len_b : {std::size_t{0}, std::size_t{1},
+                                    std::size_t{511}, std::size_t{70000}}) {
+      std::vector<std::uint8_t> all(len_a + len_b);
+      for (auto& b : all) b = static_cast<std::uint8_t>(rng());
+      const std::span<const std::uint8_t> a(all.data(), len_a);
+      const std::span<const std::uint8_t> b(all.data() + len_a, len_b);
+      EXPECT_EQ(crc32_combine(crc32(a), crc32(b), len_b), crc32(all))
+          << "len_a=" << len_a << " len_b=" << len_b;
+    }
+  }
+}
+
+TEST(Crc32Combine, ChainsAcrossManyPieces) {
+  // The streaming encoder stitches per-region CRCs; emulate three pieces.
+  std::vector<std::uint8_t> data(10000);
+  std::mt19937 rng(7);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+  const std::span<const std::uint8_t> s(data);
+  const auto p1 = s.subspan(0, 1234);
+  const auto p2 = s.subspan(1234, 4321);
+  const auto p3 = s.subspan(1234 + 4321);
+  std::uint32_t c = crc32(p1);
+  c = crc32_combine(c, crc32(p2), p2.size());
+  c = crc32_combine(c, crc32(p3), p3.size());
+  EXPECT_EQ(c, crc32(s));
+}
+
+}  // namespace
+}  // namespace approx::store

@@ -1,4 +1,4 @@
-// approxcli - file-backed Approximate Code volumes.
+// approxcli - file-backed Approximate Code volumes on ApproxStore.
 //
 //   approxcli encode [options] <input-file> <volume-dir>
 //   approxcli info   <volume-dir>
@@ -7,36 +7,37 @@
 //   approxcli decode <volume-dir> <output-file>
 //   approxcli stats  [--json] <volume-dir>
 //
-// stats exercises the volume's codec in memory (scrub every chunk, plan
-// the repair of any missing nodes) and dumps the observability registry -
-// counters, gauges and span latency histograms - as text or JSON.  The
+// encode streams the input through the codec into a v2 volume directory
+// (superblock.bin, blocked node_NNN.acb chunk files with per-block CRC
+// footers, atomically committed manifest.txt) in bounded memory; the input
+// never lives in RAM at once.  scrub verifies every block's integrity
+// footer (plus the codec's parity equations when the volume is fully
+// present), repair rebuilds missing or corrupt chunk files stripe by
+// stripe, and decode reassembles the original file, checking its whole-file
+// CRC.  Legacy v1 volumes (raw node_NNN.bin, no footers) stay readable:
+// decode/repair/stats work unchanged, and scrub falls back to the parity
+// check since no per-block integrity data exists.
+//
+// stats dumps the observability registry - counters, gauges and span
+// latency histograms - as text or JSON after exercising the volume.  The
 // global --trace flag (any command) additionally records trace spans and
 // prints the span timeline plus the registry to stderr on exit.
 //
-// encode splits the input into an important prefix (--split bytes, default
-// size/h) and an unimportant remainder, stripes both across node files
-// (node_000.bin ...) under the chosen APPR.<family>(k,r,g,h) layout, and
-// writes a manifest.  Deleting node files simulates device loss: repair
-// rebuilds whatever the code allows and reports what the approximation
-// gave up.  decode reassembles the original file (zero-filled holes where
-// unimportant data was lost beyond tolerance).
-//
 // Options: --family rs|lrc|star|tip|crs  --k N --r N --g N --h N
 //          --structure even|uneven  --block BYTES  --split BYTES
+#include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
-#include <fstream>
-#include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
-#include "common/buffer.h"
-#include "common/crc32.h"
 #include "core/approximate_code.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "store/scrubber.h"
+#include "store/store.h"
 
 namespace fs = std::filesystem;
 using namespace approx;
@@ -44,11 +45,9 @@ using namespace approx;
 namespace {
 
 struct Options {
-  codes::Family family = codes::Family::RS;
-  int k = 4, r = 1, g = 2, h = 4;
-  core::Structure structure = core::Structure::Even;
+  core::ApprParams params{codes::Family::RS, 4, 1, 2, 4, core::Structure::Even};
   std::size_t block = 4096;
-  std::optional<std::size_t> split;
+  std::optional<std::uint64_t> split;
 };
 
 [[noreturn]] void usage(const char* msg = nullptr) {
@@ -65,119 +64,41 @@ struct Options {
 }
 
 codes::Family parse_family(const std::string& s) {
-  if (s == "rs") return codes::Family::RS;
-  if (s == "lrc") return codes::Family::LRC;
-  if (s == "star") return codes::Family::STAR;
-  if (s == "tip") return codes::Family::TIP;
-  if (s == "crs") return codes::Family::CRS;
-  usage("unknown family");
-}
-
-std::string family_flag(codes::Family f) {
-  std::string name = codes::family_name(f);
-  for (auto& c : name) c = static_cast<char>(std::tolower(c));
-  return name;
-}
-
-std::vector<std::uint8_t> read_file(const fs::path& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw Error("cannot open " + path.string());
-  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
-                                   std::istreambuf_iterator<char>());
-}
-
-void write_file(const fs::path& path, std::span<const std::uint8_t> data) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw Error("cannot write " + path.string());
-  out.write(reinterpret_cast<const char*>(data.data()),
-            static_cast<std::streamsize>(data.size()));
-}
-
-// ---------------------------------------------------------------------------
-// Manifest
-// ---------------------------------------------------------------------------
-
-struct Manifest {
-  Options opts;
-  std::size_t file_size = 0;
-  std::size_t important_len = 0;
-  std::size_t chunks = 0;
-  std::uint32_t file_crc = 0;
-
-  void save(const fs::path& dir) const {
-    std::ofstream out(dir / "manifest.txt", std::ios::trunc);
-    out << "format=approxcode-volume-v1\n"
-        << "family=" << family_flag(opts.family) << "\n"
-        << "k=" << opts.k << "\nr=" << opts.r << "\ng=" << opts.g
-        << "\nh=" << opts.h << "\n"
-        << "structure=" << (opts.structure == core::Structure::Even ? "even" : "uneven")
-        << "\n"
-        << "block=" << opts.block << "\n"
-        << "file_size=" << file_size << "\n"
-        << "important_len=" << important_len << "\n"
-        << "chunks=" << chunks << "\n"
-        << "file_crc32=" << file_crc << "\n";
+  try {
+    return store::family_from_flag(s);
+  } catch (const Error&) {
+    usage("unknown family");
   }
+}
 
-  static Manifest load(const fs::path& dir) {
-    std::ifstream in(dir / "manifest.txt");
-    if (!in) throw Error("no manifest in " + dir.string());
-    std::map<std::string, std::string> kv;
-    std::string line;
-    while (std::getline(in, line)) {
-      const auto eq = line.find('=');
-      if (eq != std::string::npos) kv[line.substr(0, eq)] = line.substr(eq + 1);
+// Strict digit-only parse for option values; anything else is a usage
+// error naming the flag, never an uncaught std::stoi exception.
+std::uint64_t parse_u64_opt(const std::string& flag, const std::string& s) {
+  if (s.empty()) usage((flag + " needs a number").c_str());
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) ||
+        v > (UINT64_MAX - static_cast<std::uint64_t>(c - '0')) / 10) {
+      usage((flag + " is not a valid number: " + s).c_str());
     }
-    if (kv["format"] != "approxcode-volume-v1") throw Error("bad volume format");
-    Manifest m;
-    m.opts.family = parse_family(kv["family"]);
-    m.opts.k = std::stoi(kv["k"]);
-    m.opts.r = std::stoi(kv["r"]);
-    m.opts.g = std::stoi(kv["g"]);
-    m.opts.h = std::stoi(kv["h"]);
-    m.opts.structure =
-        kv["structure"] == "even" ? core::Structure::Even : core::Structure::Uneven;
-    m.opts.block = std::stoull(kv["block"]);
-    m.file_size = std::stoull(kv["file_size"]);
-    m.important_len = std::stoull(kv["important_len"]);
-    m.chunks = std::stoull(kv["chunks"]);
-    m.file_crc = static_cast<std::uint32_t>(std::stoul(kv["file_crc32"]));
-    return m;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
   }
-};
-
-core::ApproximateCode make_code(const Manifest& m) {
-  core::ApprParams p{m.opts.family, m.opts.k, m.opts.r, m.opts.g, m.opts.h,
-                     m.opts.structure};
-  return core::ApproximateCode(p, m.opts.block);
+  return v;
 }
 
-fs::path node_path(const fs::path& dir, int node) {
-  char name[32];
-  std::snprintf(name, sizeof(name), "node_%03d.bin", node);
-  return dir / name;
+int parse_int_opt(const std::string& flag, const std::string& s) {
+  const std::uint64_t v = parse_u64_opt(flag, s);
+  if (v > 1 << 20) usage((flag + " out of range: " + s).c_str());
+  return static_cast<int>(v);
 }
 
-// Load the volume's node files; missing or size-mismatched files become
-// zero-filled and are reported in `erased`.
-std::vector<std::vector<std::uint8_t>> load_nodes(const fs::path& dir,
-                                                  const Manifest& m,
-                                                  const core::ApproximateCode& code,
-                                                  std::vector<int>& erased) {
-  const std::size_t expect = m.chunks * code.node_bytes();
-  std::vector<std::vector<std::uint8_t>> nodes(
-      static_cast<std::size_t>(code.total_nodes()));
-  for (int n = 0; n < code.total_nodes(); ++n) {
-    const fs::path path = node_path(dir, n);
-    auto& buf = nodes[static_cast<std::size_t>(n)];
-    if (fs::exists(path)) {
-      buf = read_file(path);
-      if (buf.size() == expect) continue;
-    }
-    buf.assign(expect, 0);
-    erased.push_back(n);
-  }
-  return nodes;
+store::PosixIoBackend& posix_io() {
+  static store::PosixIoBackend io;
+  return io;
+}
+
+store::VolumeStore open_volume(const fs::path& dir) {
+  return store::VolumeStore(posix_io(), dir);
 }
 
 // ---------------------------------------------------------------------------
@@ -185,213 +106,138 @@ std::vector<std::vector<std::uint8_t>> load_nodes(const fs::path& dir,
 // ---------------------------------------------------------------------------
 
 int cmd_encode(const Options& opts, const fs::path& input, const fs::path& dir) {
-  const auto file = read_file(input);
-  Manifest m;
-  m.opts = opts;
-  m.file_size = file.size();
-  m.file_crc = crc32(file);
-  m.important_len =
-      std::min(file.size(), opts.split.value_or(file.size() /
-                                                static_cast<std::size_t>(opts.h)));
-
-  core::ApproximateCode code = make_code(m);
-  const std::size_t unimportant_len = file.size() - m.important_len;
-  m.chunks = std::max<std::size_t>(
-      1, std::max((m.important_len + code.important_capacity() - 1) /
-                      code.important_capacity(),
-                  (unimportant_len + code.unimportant_capacity() - 1) /
-                      code.unimportant_capacity()));
-
-  fs::create_directories(dir);
-  std::vector<std::vector<std::uint8_t>> node_files(
-      static_cast<std::size_t>(code.total_nodes()));
-
-  for (std::size_t c = 0; c < m.chunks; ++c) {
-    std::vector<std::uint8_t> imp(code.important_capacity(), 0);
-    std::vector<std::uint8_t> unimp(code.unimportant_capacity(), 0);
-    const std::size_t ioff = c * code.important_capacity();
-    if (ioff < m.important_len) {
-      const std::size_t len = std::min(imp.size(), m.important_len - ioff);
-      std::memcpy(imp.data(), file.data() + ioff, len);
-    }
-    const std::size_t uoff = c * code.unimportant_capacity();
-    if (uoff < unimportant_len) {
-      const std::size_t len = std::min(unimp.size(), unimportant_len - uoff);
-      std::memcpy(unimp.data(), file.data() + m.important_len + uoff, len);
-    }
-    StripeBuffers buffers(code.total_nodes(), code.node_bytes());
-    auto spans = buffers.spans();
-    code.scatter(imp, unimp, spans);
-    code.encode(spans);
-    for (int n = 0; n < code.total_nodes(); ++n) {
-      auto& out = node_files[static_cast<std::size_t>(n)];
-      out.insert(out.end(), buffers.node(n).begin(), buffers.node(n).end());
-    }
-  }
-  for (int n = 0; n < code.total_nodes(); ++n) {
-    write_file(node_path(dir, n), node_files[static_cast<std::size_t>(n)]);
-  }
-  m.save(dir);
-  std::printf("encoded %zu B as %s across %d node files (%zu chunk(s), "
+  store::VolumeStore vol = store::VolumeStore::encode_file(
+      posix_io(), input, dir, opts.params, opts.block, opts.split);
+  const store::Manifest& m = vol.manifest();
+  const core::ApproximateCode& code = vol.code();
+  std::printf("encoded %llu B as %s across %d node files (%llu chunk(s), "
               "%.2fx storage)\n",
-              file.size(), code.name().c_str(), code.total_nodes(), m.chunks,
+              static_cast<unsigned long long>(m.file_size), code.name().c_str(),
+              code.total_nodes(), static_cast<unsigned long long>(m.chunks),
               static_cast<double>(code.total_nodes()) /
                   code.params().total_data_nodes());
   return 0;
 }
 
 int cmd_info(const fs::path& dir) {
-  const Manifest m = Manifest::load(dir);
-  core::ApproximateCode code = make_code(m);
-  std::printf("volume       : %s\n", code.name().c_str());
-  std::printf("nodes        : %d (%zu B each)\n", code.total_nodes(),
-              m.chunks * code.node_bytes());
-  std::printf("file size    : %zu B (crc32 %08x)\n", m.file_size, m.file_crc);
-  std::printf("important    : %zu B (%.1f%%)\n", m.important_len,
+  store::VolumeStore vol = open_volume(dir);
+  const store::Manifest& m = vol.manifest();
+  const core::ApproximateCode& code = vol.code();
+  std::printf("volume       : %s (format v%u)\n", code.name().c_str(),
+              m.version);
+  std::printf("nodes        : %d (%llu B each)\n", code.total_nodes(),
+              static_cast<unsigned long long>(vol.node_stream_bytes()));
+  std::printf("file size    : %llu B (crc32 %08x)\n",
+              static_cast<unsigned long long>(m.file_size), m.file_crc);
+  std::printf("important    : %llu B (%.1f%%)\n",
+              static_cast<unsigned long long>(m.important_len),
               m.file_size ? 100.0 * static_cast<double>(m.important_len) /
                                 static_cast<double>(m.file_size)
                           : 0.0);
   int present = 0;
   for (int n = 0; n < code.total_nodes(); ++n) {
-    present += fs::exists(node_path(dir, n)) ? 1 : 0;
+    present += vol.node_present(n) ? 1 : 0;
   }
   std::printf("node files   : %d/%d present\n", present, code.total_nodes());
   return 0;
 }
 
 int cmd_scrub(const fs::path& dir) {
-  const Manifest m = Manifest::load(dir);
-  core::ApproximateCode code = make_code(m);
-  std::vector<int> erased;
-  auto nodes = load_nodes(dir, m, code, erased);
-  if (!erased.empty()) {
-    std::printf("scrub: %zu node file(s) missing - run `approxcli repair`\n",
-                erased.size());
+  store::VolumeStore vol = open_volume(dir);
+  store::ScrubService service(vol);
+  const store::ScrubReport report = service.scrub();
+  if (!report.clean()) {
+    std::printf("scrub: %zu damaged node file(s) (%llu missing, %llu corrupt "
+                "block(s)) - run `approxcli repair`\n",
+                report.damaged.size(),
+                static_cast<unsigned long long>(report.missing_nodes),
+                static_cast<unsigned long long>(report.corrupt_blocks));
     return 1;
   }
-  std::size_t mismatches = 0;
-  for (std::size_t c = 0; c < m.chunks; ++c) {
-    std::vector<std::span<std::uint8_t>> spans;
-    for (auto& n : nodes) {
-      spans.emplace_back(n.data() + c * code.node_bytes(), code.node_bytes());
-    }
-    mismatches += code.scrub(spans).mismatched.size();
+  // All chunk files pass their integrity checks (v2) or are present at the
+  // right size (v1); finish with the codec-level parity consistency check,
+  // which is the only corruption detector v1 volumes have.
+  const auto parity = vol.parity_scrub();
+  if (!parity.clean()) {
+    std::printf("scrub: %llu inconsistent parity element(s) - data "
+                "corruption!\n",
+                static_cast<unsigned long long>(parity.mismatched_elements));
+    return 1;
   }
-  if (mismatches == 0) {
-    std::printf("scrub: clean (%zu chunk(s))\n", m.chunks);
-    return 0;
-  }
-  std::printf("scrub: %zu inconsistent parity element(s) - data corruption!\n",
-              mismatches);
-  return 1;
+  std::printf("scrub: clean (%llu chunk(s)%s)\n",
+              static_cast<unsigned long long>(parity.stripes),
+              report.integrity_checked ? "" : ", v1: parity check only");
+  return 0;
 }
 
 int cmd_repair(const fs::path& dir) {
-  const Manifest m = Manifest::load(dir);
-  core::ApproximateCode code = make_code(m);
-  std::vector<int> erased;
-  auto nodes = load_nodes(dir, m, code, erased);
-  if (erased.empty()) {
+  store::VolumeStore vol = open_volume(dir);
+  store::ScrubService service(vol);
+  const store::ScrubReport report = service.scrub();
+  if (report.clean()) {
     std::printf("repair: nothing to do\n");
     return 0;
   }
-  std::printf("repair: %zu node(s) missing:", erased.size());
-  for (const int e : erased) std::printf(" %d", e);
+  std::printf("repair: %zu damaged node(s):", report.damaged.size());
+  for (const auto& d : report.damaged) {
+    std::printf(" %d%s", d.node, d.missing ? "(missing)" : "");
+  }
   std::printf("\n");
 
-  bool all_important = true;
-  bool fully = true;
-  std::size_t unimportant_lost = 0;
-  for (std::size_t c = 0; c < m.chunks; ++c) {
-    std::vector<std::span<std::uint8_t>> spans;
-    for (auto& n : nodes) {
-      spans.emplace_back(n.data() + c * code.node_bytes(), code.node_bytes());
-    }
-    core::ApproximateCode::RepairOptions options;
-    options.normalize_parity = true;  // volumes must scrub clean after repair
-    const auto report = code.repair(spans, erased, options);
-    all_important &= report.all_important_recovered;
-    fully &= report.fully_recovered;
-    unimportant_lost += report.unimportant_data_bytes_lost;
-  }
-  // Repair (with normalization) can touch surviving parity nodes too:
-  // write every node file back.
-  for (int n = 0; n < code.total_nodes(); ++n) {
-    write_file(node_path(dir, n), nodes[static_cast<std::size_t>(n)]);
-  }
+  const store::RepairOutcome outcome = service.repair_damage(report);
   std::printf("repair: important data %s; %s",
-              all_important ? "recovered" : "LOST",
-              fully ? "volume fully restored\n" : "");
-  if (!fully) {
-    std::printf("%zu B of unimportant data unrecoverable (zero-filled)\n",
-                unimportant_lost);
+              outcome.all_important_recovered ? "recovered" : "LOST",
+              outcome.fully_recovered ? "volume fully restored\n" : "");
+  if (!outcome.fully_recovered) {
+    std::printf("%llu B of unimportant data unrecoverable (zero-filled)\n",
+                static_cast<unsigned long long>(outcome.unimportant_bytes_lost));
   }
-  return all_important ? 0 : 1;
+  return outcome.all_important_recovered ? 0 : 1;
 }
 
 int cmd_decode(const fs::path& dir, const fs::path& output) {
-  const Manifest m = Manifest::load(dir);
-  core::ApproximateCode code = make_code(m);
-  std::vector<int> erased;
-  auto nodes = load_nodes(dir, m, code, erased);
-  if (!erased.empty()) {
-    std::printf("decode: %zu node file(s) missing - run `approxcli repair` "
-                "first\n",
-                erased.size());
-    return 1;
+  store::VolumeStore vol = open_volume(dir);
+  store::VolumeStore::DecodeResult result;
+  try {
+    result = vol.decode_file(output);
+  } catch (const store::StoreError& e) {
+    if (e.code() == store::IoCode::kNotFound) {
+      std::printf("decode: node file(s) missing - run `approxcli repair` "
+                  "first\n");
+      return 1;
+    }
+    throw;
   }
-  std::vector<std::uint8_t> file(m.file_size, 0);
-  const std::size_t unimportant_len = m.file_size - m.important_len;
-  for (std::size_t c = 0; c < m.chunks; ++c) {
-    std::vector<std::span<std::uint8_t>> spans;
-    for (auto& n : nodes) {
-      spans.emplace_back(n.data() + c * code.node_bytes(), code.node_bytes());
-    }
-    std::vector<std::uint8_t> imp(code.important_capacity());
-    std::vector<std::uint8_t> unimp(code.unimportant_capacity());
-    code.gather(spans, imp, unimp);
-    const std::size_t ioff = c * code.important_capacity();
-    if (ioff < m.important_len) {
-      const std::size_t len = std::min(imp.size(), m.important_len - ioff);
-      std::memcpy(file.data() + ioff, imp.data(), len);
-    }
-    const std::size_t uoff = c * code.unimportant_capacity();
-    if (uoff < unimportant_len) {
-      const std::size_t len = std::min(unimp.size(), unimportant_len - uoff);
-      std::memcpy(file.data() + m.important_len + uoff, unimp.data(), len);
-    }
-  }
-  write_file(output, file);
-  const bool intact = crc32(file) == m.file_crc;
-  std::printf("decoded %zu B -> %s (%s)\n", file.size(), output.string().c_str(),
-              intact ? "checksum OK" : "CHECKSUM MISMATCH: some data was lost");
-  return intact ? 0 : 1;
+  std::printf("decoded %llu B -> %s (%s)\n",
+              static_cast<unsigned long long>(result.bytes),
+              output.string().c_str(),
+              result.crc_ok ? "checksum OK"
+                            : "CHECKSUM MISMATCH: some data was lost");
+  return result.crc_ok ? 0 : 1;
 }
 
 int cmd_stats(const fs::path& dir, bool json) {
-  const Manifest m = Manifest::load(dir);
-  core::ApproximateCode code = make_code(m);
-  std::vector<int> erased;
-  auto nodes = load_nodes(dir, m, code, erased);
+  store::VolumeStore vol = open_volume(dir);
+  store::ScrubService service(vol);
 
-  // Exercise the codec on this volume so the registry reflects it: scrub
-  // every chunk, and when nodes are missing, repair them in memory (the
-  // node files are not touched) so the repair-path instruments fill in.
-  for (std::size_t c = 0; c < m.chunks; ++c) {
-    std::vector<std::span<std::uint8_t>> spans;
-    for (auto& n : nodes) {
-      spans.emplace_back(n.data() + c * code.node_bytes(), code.node_bytes());
-    }
-    code.scrub(spans);
-    if (!erased.empty()) code.repair(spans, erased);
+  // Exercise the volume so the registry reflects it: integrity-scrub every
+  // chunk file, then run the codec's parity scrub when all nodes are
+  // present, or plan (in memory - no file is touched) the repair of the
+  // damaged ones so the repair-path instruments fill in.
+  const store::ScrubReport report = service.scrub();
+  if (report.clean()) {
+    vol.parity_scrub();
+  } else {
+    vol.code().plan_repair(report.damaged_nodes());
   }
 
   if (json) {
     std::printf("%s\n", obs::registry().to_json().c_str());
   } else {
-    std::printf("%s (%zu chunk(s), %zu missing node(s))\n%s",
-                code.name().c_str(), m.chunks, erased.size(),
-                obs::registry().to_text().c_str());
+    std::printf("%s (%llu chunk(s), %zu damaged node(s))\n%s",
+                vol.code().name().c_str(),
+                static_cast<unsigned long long>(vol.manifest().chunks),
+                report.damaged.size(), obs::registry().to_text().c_str());
   }
   return 0;
 }
@@ -423,24 +269,24 @@ int dispatch(const std::string& cmd, std::vector<std::string>& args) {
           return args[i];
         };
         if (a == "--family") {
-          opts.family = parse_family(next());
+          opts.params.family = parse_family(next());
         } else if (a == "--k") {
-          opts.k = std::stoi(next());
+          opts.params.k = parse_int_opt(a, next());
         } else if (a == "--r") {
-          opts.r = std::stoi(next());
+          opts.params.r = parse_int_opt(a, next());
         } else if (a == "--g") {
-          opts.g = std::stoi(next());
+          opts.params.g = parse_int_opt(a, next());
         } else if (a == "--h") {
-          opts.h = std::stoi(next());
+          opts.params.h = parse_int_opt(a, next());
         } else if (a == "--structure") {
           const std::string s = next();
           if (s != "even" && s != "uneven") usage("structure must be even|uneven");
-          opts.structure = s == "even" ? core::Structure::Even
-                                       : core::Structure::Uneven;
+          opts.params.structure = s == "even" ? core::Structure::Even
+                                              : core::Structure::Uneven;
         } else if (a == "--block") {
-          opts.block = std::stoull(next());
+          opts.block = parse_u64_opt(a, next());
         } else if (a == "--split") {
-          opts.split = std::stoull(next());
+          opts.split = parse_u64_opt(a, next());
         } else if (a.rfind("--", 0) == 0) {
           usage(("unknown option " + a).c_str());
         } else {
