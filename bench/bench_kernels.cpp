@@ -1,23 +1,41 @@
 // google-benchmark microbenchmarks of the coding kernels: XOR block ops,
-// GF(2^8) region multiply-accumulate, full-code encode throughput and the
-// repair-schedule solver.  These are the primitives every higher-level
-// number in Fig. 9-13 decomposes into.
+// GF(2^8) region multiply/multiply-accumulate, full-code encode throughput
+// and the repair-schedule solver.  These are the primitives every
+// higher-level number in Fig. 9-13 decomposes into.
+//
+// The kernel primitives are registered once per backend the host exposes
+// (scalar / ssse3 / avx2), so one run compares every ISA path.  A
+// Stopwatch-based summary table reports per-backend GiB/s and the speedup
+// over scalar; with --json the table (plus the obs registry, including the
+// kernels.bytes.<backend> counters) lands in BENCH_kernels.json.
+// --summary-only skips the google-benchmark pass and prints just the table.
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/buffer.h"
 #include "common/prng.h"
 #include "codes/array_codes.h"
 #include "codes/rs_code.h"
 #include "gf/gf256.h"
+#include "kernels/dispatch.h"
 #include "xorblk/xor_kernels.h"
 
 namespace {
 
 using namespace approx;
 
-void BM_XorAcc(benchmark::State& state) {
+// ---------------------------------------------------------------------------
+// Per-backend kernel primitives (registered per backend in main()).
+// ---------------------------------------------------------------------------
+
+void BM_XorAcc(benchmark::State& state, kernels::Backend backend) {
+  kernels::BackendGuard guard(backend);
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   AlignedBuffer dst(n), src(n);
   Rng rng(1);
@@ -29,9 +47,9 @@ void BM_XorAcc(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n));
 }
-BENCHMARK(BM_XorAcc)->Arg(4096)->Arg(1 << 16)->Arg(1 << 20);
 
-void BM_XorGather(benchmark::State& state) {
+void BM_XorGather(benchmark::State& state, kernels::Backend backend) {
+  kernels::BackendGuard guard(backend);
   const std::size_t n = 1 << 16;
   const int sources = static_cast<int>(state.range(0));
   std::vector<AlignedBuffer> bufs;
@@ -50,9 +68,26 @@ void BM_XorGather(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n * static_cast<std::size_t>(sources)));
 }
-BENCHMARK(BM_XorGather)->Arg(3)->Arg(8)->Arg(17);
 
-void BM_GfMulAcc(benchmark::State& state) {
+void BM_GfMulRegion(benchmark::State& state, kernels::Backend backend) {
+  kernels::BackendGuard guard(backend);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  AlignedBuffer dst(n), src(n);
+  Rng rng(3);
+  fill_random(src.data(), n, rng);
+  std::uint8_t c = 2;
+  for (auto _ : state) {
+    gf::mul_region(dst.data(), src.data(), n, c);
+    c = static_cast<std::uint8_t>(c * 3 + 1);
+    if (c < 2) c = 2;
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void BM_GfMulAcc(benchmark::State& state, kernels::Backend backend) {
+  kernels::BackendGuard guard(backend);
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   AlignedBuffer dst(n), src(n);
   Rng rng(3);
@@ -67,7 +102,34 @@ void BM_GfMulAcc(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n));
 }
-BENCHMARK(BM_GfMulAcc)->Arg(4096)->Arg(1 << 16)->Arg(1 << 20);
+
+void register_kernel_benchmarks() {
+  using Fn = void (*)(benchmark::State&, kernels::Backend);
+  struct Entry {
+    const char* name;
+    Fn fn;
+    std::vector<std::int64_t> args;
+  };
+  const Entry entries[] = {
+      {"BM_XorAcc", BM_XorAcc, {4096, 1 << 16, 1 << 20}},
+      {"BM_XorGather", BM_XorGather, {3, 8, 17}},
+      {"BM_GfMulRegion", BM_GfMulRegion, {4096, 1 << 16, 1 << 20}},
+      {"BM_GfMulAcc", BM_GfMulAcc, {4096, 1 << 16, 1 << 20}},
+  };
+  for (const kernels::Backend b : kernels::available_backends()) {
+    for (const Entry& e : entries) {
+      const std::string name = std::string(e.name) + "<" +
+                               std::string(kernels::backend_name(b)) + ">";
+      auto* bench = benchmark::RegisterBenchmark(
+          name.c_str(), [fn = e.fn, b](benchmark::State& st) { fn(st, b); });
+      for (const std::int64_t a : e.args) bench->Arg(a);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Whole-code benchmarks (run under the default backend, as production does).
+// ---------------------------------------------------------------------------
 
 void BM_EncodeRs(benchmark::State& state) {
   const int k = static_cast<int>(state.range(0));
@@ -125,15 +187,94 @@ void BM_SolveTripleErasure(benchmark::State& state) {
 }
 BENCHMARK(BM_SolveTripleErasure)->Arg(5)->Arg(11)->Arg(17);
 
+// ---------------------------------------------------------------------------
+// Per-backend throughput summary (lands in the --json tables).
+// ---------------------------------------------------------------------------
+
+// Median GiB/s of `op`, which moves `bytes_per_op` bytes per call.
+double gib_per_sec(const std::function<void()>& op, std::size_t bytes_per_op) {
+  op();  // warm-up: tables, page faults, dispatch resolution
+  constexpr int kInner = 16;
+  const double t = bench::time_op(
+      [&] {
+        for (int i = 0; i < kInner; ++i) op();
+      },
+      5);
+  if (t <= 0.0) return -1;
+  return static_cast<double>(bytes_per_op) * kInner / t / bench::kGiB;
+}
+
+// One row per backend: GiB/s for each primitive plus the gf_mul_region
+// speedup over scalar — the dispatch layer's headline number.
+void print_backend_summary() {
+  constexpr std::size_t kN = 1 << 20;
+  constexpr int kGatherSources = 8;
+
+  AlignedBuffer dst(kN), src(kN);
+  std::vector<AlignedBuffer> gather;
+  std::vector<const std::uint8_t*> ptrs;
+  Rng rng(7);
+  fill_random(src.data(), kN, rng);
+  for (int i = 0; i < kGatherSources; ++i) {
+    gather.emplace_back(kN);
+    fill_random(gather.back().data(), kN, rng);
+    ptrs.push_back(gather.back().data());
+  }
+
+  bench::print_header("kernel throughput by backend (GiB/s, 1 MiB regions)");
+  bench::print_row({"backend", "gf_mul", "gf_mul_acc", "xor_acc",
+                    "xor_gather8", "gf_mul_vs_scalar"});
+  double scalar_mul = -1;
+  for (const kernels::Backend b : kernels::available_backends()) {
+    kernels::BackendGuard guard(b);
+    const double mul = gib_per_sec(
+        [&] { gf::mul_region(dst.data(), src.data(), kN, 0x53); }, kN);
+    const double mul_acc = gib_per_sec(
+        [&] { gf::mul_acc_region(dst.data(), src.data(), kN, 0x53); }, kN);
+    const double xacc = gib_per_sec(
+        [&] { xorblk::xor_acc(dst.data(), src.data(), kN); }, kN);
+    const double gath = gib_per_sec(
+        [&] { xorblk::xor_gather(dst.data(), ptrs, kN); },
+        kN * kGatherSources);
+    if (b == kernels::Backend::kScalar) scalar_mul = mul;
+    const std::string speedup =
+        scalar_mul > 0 ? bench::fmt(mul / scalar_mul, 2) + "x" : "/";
+    bench::print_row({std::string(kernels::backend_name(b)), bench::fmt(mul, 2),
+                      bench::fmt(mul_acc, 2), bench::fmt(xacc, 2),
+                      bench::fmt(gath, 2), speedup});
+  }
+}
+
 }  // namespace
 
-// Expanded BENCHMARK_MAIN() so --json can dump the obs registry (xorblk
-// byte counters, solver spans, ...) accumulated across the benchmarks.
+// Expanded BENCHMARK_MAIN(): strips the harness's own flags (--json[=path],
+// --summary-only) before benchmark::Initialize (which rejects unknown
+// flags), prints the per-backend summary table, and in --json mode dumps
+// tables + the obs registry (kernels.bytes.<backend>, xorblk byte counters,
+// solver spans, ...) accumulated across the run.
 int main(int argc, char** argv) {
   approx::bench::bench_init(argc, argv, "kernels");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
+  bool summary_only = false;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a == "--json" || a.rfind("--json=", 0) == 0) continue;
+    if (a == "--summary-only") {
+      summary_only = true;
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  argc = kept;
+  argv[argc] = nullptr;
+
+  print_backend_summary();
+  if (!summary_only) {
+    register_kernel_benchmarks();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
   approx::bench::bench_finish();
   return 0;
 }

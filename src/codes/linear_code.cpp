@@ -55,6 +55,21 @@ void LinearCode::encode(std::span<const NodeView> nodes) const {
   encode_parity_nodes(nodes, all);
 }
 
+const std::vector<LinearCode::EncodeElem>& LinearCode::encode_plan() const {
+  std::call_once(encode_plan_once_, [this] {
+    encode_plan_.resize(parity_elems_.size());
+    for (std::size_t pe = 0; pe < parity_elems_.size(); ++pe) {
+      auto& elem = encode_plan_[pe];
+      elem.terms.reserve(parity_elems_[pe].size());
+      for (const auto& term : parity_elems_[pe]) {
+        elem.terms.push_back({term.info / rows_, term.info % rows_, term.coeff});
+        if (term.coeff != 1) elem.all_xor = false;
+      }
+    }
+  });
+  return encode_plan_;
+}
+
 void LinearCode::encode_parity_nodes(std::span<const NodeView> nodes,
                                      std::span<const int> parity_nodes) const {
   APPROX_REQUIRE(nodes.size() == static_cast<std::size_t>(total_nodes()),
@@ -67,30 +82,32 @@ void LinearCode::encode_parity_nodes(std::span<const NodeView> nodes,
   static obs::Counter& xor_elems =
       obs::registry().counter("codes.encode.path.xor");
   static obs::Counter& gf_elems = obs::registry().counter("codes.encode.path.gf");
+  const auto& plan = encode_plan();
   std::vector<const std::uint8_t*> gather_srcs;
   for (const int p : parity_nodes) {
     APPROX_REQUIRE(p >= k_ && p < total_nodes(), "not a parity node");
     for (int row = 0; row < rows_; ++row) {
       std::uint8_t* dst = nodes[static_cast<std::size_t>(p)].elem(row);
-      const auto& terms = parity_terms(p, row);
-      if (binary_) {
-        // XOR fast path: multi-source gather halves destination traffic.
+      const auto& elem = plan[static_cast<std::size_t>(p - k_) *
+                                  static_cast<std::size_t>(rows_) +
+                              static_cast<std::size_t>(row)];
+      if (elem.all_xor) {
+        // XOR fast path: multi-source gather writes dst once per chunk.
         xor_elems.add();
         gather_srcs.clear();
-        gather_srcs.reserve(terms.size());
-        for (const auto& term : terms) {
+        gather_srcs.reserve(elem.terms.size());
+        for (const auto& term : elem.terms) {
           gather_srcs.push_back(
-              nodes[static_cast<std::size_t>(term.info / rows_)].elem(term.info % rows_));
+              nodes[static_cast<std::size_t>(term.node)].elem(term.row));
         }
         xorblk::xor_gather(dst, gather_srcs, len);
         continue;
       }
       gf_elems.add();
       std::memset(dst, 0, len);
-      for (const auto& term : terms) {
-        const int src_node = term.info / rows_;
-        const int src_row = term.info % rows_;
-        gf::mul_acc_region(dst, nodes[static_cast<std::size_t>(src_node)].elem(src_row),
+      for (const auto& term : elem.terms) {
+        gf::mul_acc_region(dst,
+                           nodes[static_cast<std::size_t>(term.node)].elem(term.row),
                            len, term.coeff);
       }
     }
@@ -335,6 +352,46 @@ bool LinearCode::can_repair(std::span<const int> erased_nodes) const {
   return plan_repair(erased_nodes) != nullptr;
 }
 
+namespace {
+
+// Rebuild one schedule target.  When every coefficient is 1 (all targets of
+// binary codes, and coincidentally-XOR rows of GF codes) the whole
+// combination runs as one multi-source XOR gather, which writes dst once
+// per chunk instead of once per source; otherwise memset + GF
+// multiply-accumulate per source.  `gather_srcs` is caller-owned scratch so
+// plan replay over thousands of stripes does not reallocate per target.
+void rebuild_target(const RepairPlan::Target& target,
+                    std::span<const NodeView> nodes, std::size_t len,
+                    std::vector<const std::uint8_t*>& gather_srcs) {
+  std::uint8_t* dst =
+      nodes[static_cast<std::size_t>(target.elem.node)].elem(target.elem.row);
+  bool all_xor = true;
+  for (const auto& src : target.sources) {
+    if (src.coeff != 1) {
+      all_xor = false;
+      break;
+    }
+  }
+  if (all_xor) {
+    gather_srcs.clear();
+    gather_srcs.reserve(target.sources.size());
+    for (const auto& src : target.sources) {
+      gather_srcs.push_back(
+          nodes[static_cast<std::size_t>(src.elem.node)].elem(src.elem.row));
+    }
+    xorblk::xor_gather(dst, gather_srcs, len);
+    return;
+  }
+  std::memset(dst, 0, len);
+  for (const auto& src : target.sources) {
+    gf::mul_acc_region(dst,
+                       nodes[static_cast<std::size_t>(src.elem.node)].elem(src.elem.row),
+                       len, src.coeff);
+  }
+}
+
+}  // namespace
+
 void LinearCode::apply(const RepairPlan& plan,
                        std::span<const NodeView> nodes) const {
   APPROX_REQUIRE(nodes.size() == static_cast<std::size_t>(total_nodes()),
@@ -347,13 +404,9 @@ void LinearCode::apply(const RepairPlan& plan,
   for (const auto& v : nodes) {
     APPROX_REQUIRE(v.len == len, "all node views must agree on element length");
   }
+  std::vector<const std::uint8_t*> gather_srcs;
   for (const auto& target : plan.targets) {
-    std::uint8_t* dst = nodes[static_cast<std::size_t>(target.elem.node)].elem(target.elem.row);
-    std::memset(dst, 0, len);
-    for (const auto& src : target.sources) {
-      gf::mul_acc_region(dst, nodes[static_cast<std::size_t>(src.elem.node)].elem(src.elem.row),
-                         len, src.coeff);
-    }
+    rebuild_target(target, nodes, len, gather_srcs);
   }
 }
 
@@ -395,17 +448,10 @@ int LinearCode::apply_for_element(const RepairPlan& plan,
 
   const std::size_t len = nodes[0].len;
   int executed = 0;
+  std::vector<const std::uint8_t*> gather_srcs;
   for (std::size_t t = 0; t < plan.targets.size(); ++t) {
     if (!needed[t]) continue;
-    const auto& target = plan.targets[t];
-    std::uint8_t* dst =
-        nodes[static_cast<std::size_t>(target.elem.node)].elem(target.elem.row);
-    std::memset(dst, 0, len);
-    for (const auto& src : target.sources) {
-      gf::mul_acc_region(
-          dst, nodes[static_cast<std::size_t>(src.elem.node)].elem(src.elem.row),
-          len, src.coeff);
-    }
+    rebuild_target(plan.targets[t], nodes, len, gather_srcs);
     ++executed;
   }
   return executed;
@@ -455,17 +501,30 @@ LinearCode::ScrubResult LinearCode::scrub(std::span<const NodeView> nodes,
       obs::registry().counter("codes.scrub.mismatches");
   const std::size_t len = nodes[0].len;
   ScrubResult result;
+  const auto& plan = encode_plan();
   std::vector<std::uint8_t> expected(len);
+  std::vector<const std::uint8_t*> gather_srcs;
   for (const int p : parity_nodes) {
     APPROX_REQUIRE(p >= k_ && p < total_nodes(), "not a parity node");
     for (int row = 0; row < rows_; ++row) {
-      std::memset(expected.data(), 0, len);
-      for (const auto& term : parity_terms(p, row)) {
-        const int src_node = term.info / rows_;
-        const int src_row = term.info % rows_;
-        gf::mul_acc_region(expected.data(),
-                           nodes[static_cast<std::size_t>(src_node)].elem(src_row),
-                           len, term.coeff);
+      const auto& elem = plan[static_cast<std::size_t>(p - k_) *
+                                  static_cast<std::size_t>(rows_) +
+                              static_cast<std::size_t>(row)];
+      if (elem.all_xor && !elem.terms.empty()) {
+        gather_srcs.clear();
+        gather_srcs.reserve(elem.terms.size());
+        for (const auto& term : elem.terms) {
+          gather_srcs.push_back(
+              nodes[static_cast<std::size_t>(term.node)].elem(term.row));
+        }
+        xorblk::xor_gather(expected.data(), gather_srcs, len);
+      } else {
+        std::memset(expected.data(), 0, len);
+        for (const auto& term : elem.terms) {
+          gf::mul_acc_region(expected.data(),
+                             nodes[static_cast<std::size_t>(term.node)].elem(term.row),
+                             len, term.coeff);
+        }
       }
       scrub_elems.add();
       if (std::memcmp(expected.data(), nodes[static_cast<std::size_t>(p)].elem(row),

@@ -174,6 +174,23 @@ class LinearCode {
   const std::vector<Term>& parity_terms(int parity_node, int row) const;
 
  private:
+  // Cached encode plan: the per-parity-element term lists resolved to
+  // (node, row) coordinates, with the all-XOR property precomputed.  Built
+  // once, lazily; every encode/scrub replay then runs straight into the
+  // kernel engine (multi-source XOR gather or GF multiply-accumulate)
+  // without re-deriving coordinates from info indices.
+  struct EncodeTerm {
+    int node;
+    int row;
+    std::uint8_t coeff;
+  };
+  struct EncodeElem {
+    std::vector<EncodeTerm> terms;
+    bool all_xor = true;  // every coefficient is 1
+  };
+  // Element (parity_node, row) lives at [(parity_node - k)*rows + row].
+  const std::vector<EncodeElem>& encode_plan() const;
+
   SparseRow element_row(ElemRef e) const;
   std::shared_ptr<const RepairPlan> compute_plan(const std::vector<int>& erased) const;
 
@@ -195,6 +212,9 @@ class LinearCode {
   const std::vector<std::vector<std::pair<int, std::uint8_t>>>& update_index() const;
   mutable std::once_flag update_index_once_;
   mutable std::vector<std::vector<std::pair<int, std::uint8_t>>> update_index_;
+
+  mutable std::once_flag encode_plan_once_;
+  mutable std::vector<EncodeElem> encode_plan_;
 
  public:
   // Benchmark hook (ablation): disable the schedule cache.

@@ -125,6 +125,8 @@ int leading(const std::vector<std::uint8_t>& v) noexcept {
 }
 
 void scale(GfRow& row, std::uint8_t c) {
+  // In-place (dst == src) is explicitly allowed by the mul_region aliasing
+  // contract; only *partial* overlap is undefined.
   gf::mul_region(row.lhs.data(), row.lhs.data(), row.lhs.size(), c);
   gf::mul_region(row.combo.data(), row.combo.data(), row.combo.size(), c);
 }

@@ -1,8 +1,10 @@
 #include "gf/gf256.h"
 
+#include <cassert>
 #include <cstring>
 
 #include "common/error.h"
+#include "kernels/dispatch.h"
 
 namespace approx::gf {
 
@@ -34,6 +36,13 @@ Tables::Tables() noexcept {
   for (unsigned a = 1; a < 256; ++a) {
     inv_[a] = exp_[255 - log_[a]];
   }
+
+  for (unsigned c = 0; c < 256; ++c) {
+    for (unsigned i = 0; i < 16; ++i) {
+      nib_lo_[c][i] = mul_[c][i];
+      nib_hi_[c][i] = mul_[c][i << 4];
+    }
+  }
 }
 
 const Tables& tables() noexcept {
@@ -63,35 +72,36 @@ std::uint8_t pow(std::uint8_t a, unsigned e) noexcept {
   return t.exp_[le];
 }
 
+namespace {
+
+// Aliasing precondition shared by both region ops: identical or disjoint
+// ranges (debug builds only; these are noexcept hot loops).
+inline bool alias_ok(const std::uint8_t* dst, const std::uint8_t* src,
+                     std::size_t n) noexcept {
+  return dst == src || dst + n <= src || src + n <= dst;
+}
+
+inline kernels::GfTables coeff_tables(std::uint8_t c) noexcept {
+  const auto& t = detail::tables();
+  return kernels::GfTables{t.mul_[c], t.nib_lo_[c], t.nib_hi_[c]};
+}
+
+}  // namespace
+
 void mul_acc_region(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
                     std::uint8_t c) noexcept {
+  assert(alias_ok(dst, src, n));
   if (c == 0) return;
   if (c == 1) {
-    // Pure XOR: let the compiler vectorize word-wide.
-    std::size_t i = 0;
-    for (; i + 8 <= n; i += 8) {
-      std::uint64_t a, b;
-      std::memcpy(&a, dst + i, 8);
-      std::memcpy(&b, src + i, 8);
-      a ^= b;
-      std::memcpy(dst + i, &a, 8);
-    }
-    for (; i < n; ++i) dst[i] ^= src[i];
+    kernels::xor_acc(dst, src, n);
     return;
   }
-  const std::uint8_t* row = detail::tables().mul_[c];
-  std::size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    dst[i] ^= row[src[i]];
-    dst[i + 1] ^= row[src[i + 1]];
-    dst[i + 2] ^= row[src[i + 2]];
-    dst[i + 3] ^= row[src[i + 3]];
-  }
-  for (; i < n; ++i) dst[i] ^= row[src[i]];
+  kernels::gf_mul_acc_region(dst, src, n, coeff_tables(c));
 }
 
 void mul_region(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
                 std::uint8_t c) noexcept {
+  assert(alias_ok(dst, src, n));
   if (c == 0) {
     std::memset(dst, 0, n);
     return;
@@ -100,15 +110,7 @@ void mul_region(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
     if (dst != src) std::memmove(dst, src, n);
     return;
   }
-  const std::uint8_t* row = detail::tables().mul_[c];
-  std::size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    dst[i] = row[src[i]];
-    dst[i + 1] = row[src[i + 1]];
-    dst[i + 2] = row[src[i + 2]];
-    dst[i + 3] = row[src[i + 3]];
-  }
-  for (; i < n; ++i) dst[i] = row[src[i]];
+  kernels::gf_mul_region(dst, src, n, coeff_tables(c));
 }
 
 }  // namespace approx::gf

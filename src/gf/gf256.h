@@ -2,9 +2,10 @@
 // x^8 + x^4 + x^3 + x^2 + 1 (0x11d), the field used by Jerasure, ISA-L and
 // most production erasure coders.
 //
-// Scalar operations are table driven (log/antilog); bulk region operations
-// use a per-coefficient 256-entry product row so the inner loop is a single
-// lookup + XOR per byte, written so the compiler can unroll it.
+// Scalar operations are table driven (log/antilog).  Bulk region operations
+// route through the runtime-dispatched kernel engine (kernels/dispatch.h):
+// a per-coefficient 256-entry product row drives the scalar backend, and
+// per-coefficient split-nibble tables drive the SSSE3/AVX2 pshufb backends.
 #pragma once
 
 #include <cstddef>
@@ -26,6 +27,10 @@ struct Tables {
   // mul_[c][x] = c * x.  64 KiB; row c is the hot 256-byte table for
   // region multiply-accumulate with coefficient c.
   std::uint8_t mul_[256][256];
+  // Split-nibble tables for the pshufb kernels:
+  //   c * x == nib_lo_[c][x & 0xf] ^ nib_hi_[c][x >> 4]
+  std::uint8_t nib_lo_[256][16];
+  std::uint8_t nib_hi_[256][16];
 
   Tables() noexcept;
 };
@@ -47,6 +52,13 @@ std::uint8_t div(std::uint8_t a, std::uint8_t b);
 
 // a^e (e >= 0).
 std::uint8_t pow(std::uint8_t a, unsigned e) noexcept;
+
+// Aliasing contract for both region ops: dst must be either *identical to*
+// src or disjoint from it.  Bytes are processed independently and every
+// kernel backend loads a full chunk before storing it, so dst == src is
+// well defined (the repair solver normalizes rows in place); partially
+// overlapping ranges are not supported (the vector backends would read
+// bytes the previous chunk already overwrote).
 
 // dst ^= c * src, element-wise over n bytes.  c == 0 is a no-op,
 // c == 1 degrades to pure XOR.

@@ -1,0 +1,31 @@
+// Internal backend vtable shared by dispatch.cpp and the per-ISA
+// translation units.  Each backend TU exposes one ops table (or nullptr
+// when the ISA was not compiled in); dispatch.cpp pairs that with the
+// runtime CPUID check.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "kernels/dispatch.h"
+
+namespace approx::kernels::detail {
+
+struct Ops {
+  void (*gf_mul)(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                 const GfTables& t);
+  void (*gf_mul_acc)(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                     const GfTables& t);
+  void (*xacc)(std::uint8_t* dst, const std::uint8_t* src, std::size_t n);
+  void (*xacc2)(std::uint8_t* dst, const std::uint8_t* a,
+                const std::uint8_t* b, std::size_t n);
+  // dst = XOR of sources[0..count); count >= 1.
+  void (*xgather)(std::uint8_t* dst, const std::uint8_t* const* sources,
+                  std::size_t count, std::size_t n);
+};
+
+const Ops& scalar_ops() noexcept;        // always present
+const Ops* ssse3_ops() noexcept;         // nullptr when not compiled in
+const Ops* avx2_ops() noexcept;          // nullptr when not compiled in
+
+}  // namespace approx::kernels::detail

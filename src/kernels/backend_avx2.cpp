@@ -1,0 +1,165 @@
+// AVX2 backend: the split-nibble pshufb technique widened to 32-byte lanes
+// (vpshufb shuffles within each 128-bit half, so the 16-byte nibble tables
+// are broadcast to both halves), 2x unrolled on the multiply paths.  This
+// TU is compiled with -mavx2 and only ever *called* after dispatch.cpp has
+// confirmed the CPU supports AVX2.
+#include "kernels/backend.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace approx::kernels::detail {
+
+namespace {
+
+inline __m256i gf_lane(__m256i s, __m256i lo, __m256i hi, __m256i mask) {
+  const __m256i l = _mm256_shuffle_epi8(lo, _mm256_and_si256(s, mask));
+  const __m256i h =
+      _mm256_shuffle_epi8(hi, _mm256_and_si256(_mm256_srli_epi64(s, 4), mask));
+  return _mm256_xor_si256(l, h);
+}
+
+inline __m256i load_tab(const std::uint8_t* p) {
+  return _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+}
+
+void gf_mul_avx2(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                 const GfTables& t) {
+  const __m256i lo = load_tab(t.lo);
+  const __m256i hi = load_tab(t.hi);
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m256i s0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i s1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 32));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        gf_lane(s0, lo, hi, mask));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 32),
+                        gf_lane(s1, lo, hi, mask));
+  }
+  for (; i + 32 <= n; i += 32) {
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        gf_lane(s, lo, hi, mask));
+  }
+  for (; i < n; ++i) dst[i] = t.row[src[i]];
+}
+
+void gf_mul_acc_avx2(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                     const GfTables& t) {
+  const __m256i lo = load_tab(t.lo);
+  const __m256i hi = load_tab(t.hi);
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m256i s0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i s1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 32));
+    const __m256i d0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i d1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i + 32));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d0, gf_lane(s0, lo, hi, mask)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 32),
+                        _mm256_xor_si256(d1, gf_lane(s1, lo, hi, mask)));
+  }
+  for (; i + 32 <= n; i += 32) {
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d, gf_lane(s, lo, hi, mask)));
+  }
+  for (; i < n; ++i) dst[i] ^= t.row[src[i]];
+}
+
+void xor_acc_avx2(std::uint8_t* dst, const std::uint8_t* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 128 <= n; i += 128) {
+    for (int lane = 0; lane < 4; ++lane) {
+      const std::size_t o = i + static_cast<std::size_t>(lane) * 32;
+      const __m256i d =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + o));
+      const __m256i s =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + o));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + o),
+                          _mm256_xor_si256(d, s));
+    }
+  }
+  for (; i + 32 <= n; i += 32) {
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d, s));
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+void xor_acc2_avx2(std::uint8_t* dst, const std::uint8_t* a,
+                   const std::uint8_t* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i y =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d, _mm256_xor_si256(x, y)));
+  }
+  for (; i < n; ++i) dst[i] ^= static_cast<std::uint8_t>(a[i] ^ b[i]);
+}
+
+void xor_gather_avx2(std::uint8_t* dst, const std::uint8_t* const* sources,
+                     std::size_t count, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    __m256i a0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sources[0] + i));
+    __m256i a1 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(sources[0] + i + 32));
+    for (std::size_t s = 1; s < count; ++s) {
+      a0 = _mm256_xor_si256(
+          a0, _mm256_loadu_si256(
+                  reinterpret_cast<const __m256i*>(sources[s] + i)));
+      a1 = _mm256_xor_si256(
+          a1, _mm256_loadu_si256(
+                  reinterpret_cast<const __m256i*>(sources[s] + i + 32)));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), a0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 32), a1);
+  }
+  for (; i < n; ++i) {
+    std::uint8_t acc = sources[0][i];
+    for (std::size_t s = 1; s < count; ++s) acc ^= sources[s][i];
+    dst[i] = acc;
+  }
+}
+
+constexpr Ops kAvx2Ops{gf_mul_avx2, gf_mul_acc_avx2, xor_acc_avx2,
+                       xor_acc2_avx2, xor_gather_avx2};
+
+}  // namespace
+
+const Ops* avx2_ops() noexcept { return &kAvx2Ops; }
+
+}  // namespace approx::kernels::detail
+
+#else  // !__AVX2__
+
+namespace approx::kernels::detail {
+const Ops* avx2_ops() noexcept { return nullptr; }
+}  // namespace approx::kernels::detail
+
+#endif

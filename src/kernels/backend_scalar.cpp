@@ -1,0 +1,95 @@
+// Portable reference backend.  These are the loops the repo shipped with
+// before the dispatch layer existed (word-wide XOR through memcpy so they
+// stay alignment-agnostic and strict-aliasing safe, byte-table GF); every
+// SIMD backend is differentially tested against this one.
+#include <cstring>
+
+#include "kernels/backend.h"
+
+namespace approx::kernels::detail {
+
+namespace {
+
+void gf_mul_scalar(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                   const GfTables& t) {
+  const std::uint8_t* row = t.row;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    dst[i] = row[src[i]];
+    dst[i + 1] = row[src[i + 1]];
+    dst[i + 2] = row[src[i + 2]];
+    dst[i + 3] = row[src[i + 3]];
+  }
+  for (; i < n; ++i) dst[i] = row[src[i]];
+}
+
+void gf_mul_acc_scalar(std::uint8_t* dst, const std::uint8_t* src,
+                       std::size_t n, const GfTables& t) {
+  const std::uint8_t* row = t.row;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    dst[i] ^= row[src[i]];
+    dst[i + 1] ^= row[src[i + 1]];
+    dst[i + 2] ^= row[src[i + 2]];
+    dst[i + 3] ^= row[src[i + 3]];
+  }
+  for (; i < n; ++i) dst[i] ^= row[src[i]];
+}
+
+void xor_acc_scalar(std::uint8_t* dst, const std::uint8_t* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    std::uint64_t d[4], s[4];
+    std::memcpy(d, dst + i, 32);
+    std::memcpy(s, src + i, 32);
+    d[0] ^= s[0];
+    d[1] ^= s[1];
+    d[2] ^= s[2];
+    d[3] ^= s[3];
+    std::memcpy(dst + i, d, 32);
+  }
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t d, s;
+    std::memcpy(&d, dst + i, 8);
+    std::memcpy(&s, src + i, 8);
+    d ^= s;
+    std::memcpy(dst + i, &d, 8);
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+void xor_acc2_scalar(std::uint8_t* dst, const std::uint8_t* a,
+                     const std::uint8_t* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    std::uint64_t d[4], x[4], y[4];
+    std::memcpy(d, dst + i, 32);
+    std::memcpy(x, a + i, 32);
+    std::memcpy(y, b + i, 32);
+    d[0] ^= x[0] ^ y[0];
+    d[1] ^= x[1] ^ y[1];
+    d[2] ^= x[2] ^ y[2];
+    d[3] ^= x[3] ^ y[3];
+    std::memcpy(dst + i, d, 32);
+  }
+  for (; i < n; ++i) dst[i] ^= static_cast<std::uint8_t>(a[i] ^ b[i]);
+}
+
+void xor_gather_scalar(std::uint8_t* dst, const std::uint8_t* const* sources,
+                       std::size_t count, std::size_t n) {
+  std::memcpy(dst, sources[0], n);
+  std::size_t s = 1;
+  for (; s + 2 <= count; s += 2) {
+    xor_acc2_scalar(dst, sources[s], sources[s + 1], n);
+  }
+  for (; s < count; ++s) xor_acc_scalar(dst, sources[s], n);
+}
+
+constexpr Ops kScalarOps{gf_mul_scalar, gf_mul_acc_scalar, xor_acc_scalar,
+                         xor_acc2_scalar, xor_gather_scalar};
+
+}  // namespace
+
+const Ops& scalar_ops() noexcept { return kScalarOps; }
+
+}  // namespace approx::kernels::detail

@@ -1,0 +1,137 @@
+// SSSE3 backend: split-nibble pshufb GF(2^8) region multiply (the ISA-L /
+// Plank "screaming fast Galois field arithmetic" technique) and 16-byte
+// XOR lanes.  This TU is compiled with -mssse3 and only ever *called* after
+// dispatch.cpp has confirmed the CPU supports SSSE3.
+#include "kernels/backend.h"
+
+#if defined(__SSSE3__)
+
+#include <tmmintrin.h>
+
+namespace approx::kernels::detail {
+
+namespace {
+
+// Product of one 16-byte lane: (lo pshufb low-nibbles) ^ (hi pshufb
+// high-nibbles).
+inline __m128i gf_lane(__m128i s, __m128i lo, __m128i hi, __m128i mask) {
+  const __m128i l = _mm_shuffle_epi8(lo, _mm_and_si128(s, mask));
+  const __m128i h =
+      _mm_shuffle_epi8(hi, _mm_and_si128(_mm_srli_epi64(s, 4), mask));
+  return _mm_xor_si128(l, h);
+}
+
+void gf_mul_ssse3(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                  const GfTables& t) {
+  const __m128i lo = _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.lo));
+  const __m128i hi = _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.hi));
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m128i s0 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i s1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i + 16));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     gf_lane(s0, lo, hi, mask));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i + 16),
+                     gf_lane(s1, lo, hi, mask));
+  }
+  for (; i + 16 <= n; i += 16) {
+    const __m128i s =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     gf_lane(s, lo, hi, mask));
+  }
+  for (; i < n; ++i) dst[i] = t.row[src[i]];
+}
+
+void gf_mul_acc_ssse3(std::uint8_t* dst, const std::uint8_t* src,
+                      std::size_t n, const GfTables& t) {
+  const __m128i lo = _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.lo));
+  const __m128i hi = _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.hi));
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i s =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(d, gf_lane(s, lo, hi, mask)));
+  }
+  for (; i < n; ++i) dst[i] ^= t.row[src[i]];
+}
+
+void xor_acc_ssse3(std::uint8_t* dst, const std::uint8_t* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    for (int lane = 0; lane < 4; ++lane) {
+      const std::size_t o = i + static_cast<std::size_t>(lane) * 16;
+      const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + o));
+      const __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + o));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + o), _mm_xor_si128(d, s));
+    }
+  }
+  for (; i + 16 <= n; i += 16) {
+    const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), _mm_xor_si128(d, s));
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+void xor_acc2_ssse3(std::uint8_t* dst, const std::uint8_t* a,
+                    const std::uint8_t* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i y = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(d, _mm_xor_si128(x, y)));
+  }
+  for (; i < n; ++i) dst[i] ^= static_cast<std::uint8_t>(a[i] ^ b[i]);
+}
+
+void xor_gather_ssse3(std::uint8_t* dst, const std::uint8_t* const* sources,
+                      std::size_t count, std::size_t n) {
+  // Chunk-major: accumulate every source into registers so dst is written
+  // exactly once per chunk regardless of the source count.
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m128i a0 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(sources[0] + i));
+    __m128i a1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(sources[0] + i + 16));
+    for (std::size_t s = 1; s < count; ++s) {
+      a0 = _mm_xor_si128(a0, _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+                                 sources[s] + i)));
+      a1 = _mm_xor_si128(a1, _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+                                 sources[s] + i + 16)));
+    }
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), a0);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i + 16), a1);
+  }
+  for (; i < n; ++i) {
+    std::uint8_t acc = sources[0][i];
+    for (std::size_t s = 1; s < count; ++s) acc ^= sources[s][i];
+    dst[i] = acc;
+  }
+}
+
+constexpr Ops kSsse3Ops{gf_mul_ssse3, gf_mul_acc_ssse3, xor_acc_ssse3,
+                        xor_acc2_ssse3, xor_gather_ssse3};
+
+}  // namespace
+
+const Ops* ssse3_ops() noexcept { return &kSsse3Ops; }
+
+}  // namespace approx::kernels::detail
+
+#else  // !__SSSE3__
+
+namespace approx::kernels::detail {
+const Ops* ssse3_ops() noexcept { return nullptr; }
+}  // namespace approx::kernels::detail
+
+#endif

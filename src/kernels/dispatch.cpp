@@ -1,0 +1,201 @@
+#include "kernels/dispatch.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/error.h"
+#include "kernels/backend.h"
+#include "obs/metrics.h"
+
+namespace approx::kernels {
+
+namespace {
+
+using detail::Ops;
+
+const Ops* compiled_ops(Backend b) noexcept {
+  switch (b) {
+    case Backend::kScalar:
+      return &detail::scalar_ops();
+    case Backend::kSsse3:
+      return detail::ssse3_ops();
+    case Backend::kAvx2:
+      return detail::avx2_ops();
+  }
+  return nullptr;
+}
+
+bool cpu_supports(Backend b) noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  switch (b) {
+    case Backend::kScalar:
+      return true;
+    case Backend::kSsse3:
+      return __builtin_cpu_supports("ssse3");
+    case Backend::kAvx2:
+      return __builtin_cpu_supports("avx2");
+  }
+  return false;
+#else
+  return b == Backend::kScalar;
+#endif
+}
+
+Backend best_available() noexcept {
+  if (backend_available(Backend::kAvx2)) return Backend::kAvx2;
+  if (backend_available(Backend::kSsse3)) return Backend::kSsse3;
+  return Backend::kScalar;
+}
+
+// Resolve the APPROX_KERNEL override once.  Unknown names and backends the
+// host cannot run degrade to the best available backend with a warning, so
+// an unconditional CI matrix skips gracefully on older machines.
+Backend resolve_default() noexcept {
+  const char* env = std::getenv("APPROX_KERNEL");
+  if (env == nullptr || *env == '\0') return best_available();
+  const std::string want(env);
+  Backend b = Backend::kScalar;
+  if (want == "scalar") {
+    b = Backend::kScalar;
+  } else if (want == "ssse3") {
+    b = Backend::kSsse3;
+  } else if (want == "avx2") {
+    b = Backend::kAvx2;
+  } else {
+    std::fprintf(stderr,
+                 "approx: APPROX_KERNEL=%s is not a known backend "
+                 "(scalar|ssse3|avx2); using %s\n",
+                 env, std::string(backend_name(best_available())).c_str());
+    return best_available();
+  }
+  if (!backend_available(b)) {
+    std::fprintf(stderr,
+                 "approx: APPROX_KERNEL=%s is not available on this host; "
+                 "using %s\n",
+                 env, std::string(backend_name(best_available())).c_str());
+    return best_available();
+  }
+  return b;
+}
+
+struct Dispatch {
+  std::atomic<const Ops*> ops;
+  std::atomic<int> backend;
+
+  Dispatch() {
+    const Backend b = resolve_default();
+    ops.store(compiled_ops(b), std::memory_order_relaxed);
+    backend.store(static_cast<int>(b), std::memory_order_relaxed);
+  }
+};
+
+Dispatch& dispatch() noexcept {
+  static Dispatch d;
+  return d;
+}
+
+inline const Ops& ops() noexcept {
+  return *dispatch().ops.load(std::memory_order_relaxed);
+}
+
+#ifndef APPROX_OBS_OFF
+// Bytes processed per backend.  Sharded: ThreadPool workers drive the
+// kernels concurrently from parallel-for partitions.
+obs::ShardedCounter& byte_counter(Backend b) noexcept {
+  static obs::ShardedCounter* counters[kBackendCount] = {
+      &obs::registry().sharded_counter("kernels.bytes.scalar"),
+      &obs::registry().sharded_counter("kernels.bytes.ssse3"),
+      &obs::registry().sharded_counter("kernels.bytes.avx2"),
+  };
+  return *counters[static_cast<int>(b)];
+}
+inline void count_bytes(std::size_t n) noexcept {
+  byte_counter(active_backend()).add(n);
+}
+#else
+inline void count_bytes(std::size_t) noexcept {}
+#endif
+
+}  // namespace
+
+std::string_view backend_name(Backend b) noexcept {
+  switch (b) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kSsse3:
+      return "ssse3";
+    case Backend::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool backend_available(Backend b) noexcept {
+  return compiled_ops(b) != nullptr && cpu_supports(b);
+}
+
+std::vector<Backend> available_backends() {
+  std::vector<Backend> out;
+  for (const Backend b : {Backend::kScalar, Backend::kSsse3, Backend::kAvx2}) {
+    if (backend_available(b)) out.push_back(b);
+  }
+  return out;
+}
+
+Backend active_backend() noexcept {
+  return static_cast<Backend>(dispatch().backend.load(std::memory_order_relaxed));
+}
+
+void set_backend(Backend b) {
+  APPROX_REQUIRE(backend_available(b),
+                 "kernel backend " + std::string(backend_name(b)) +
+                     " is not available on this host");
+  dispatch().ops.store(compiled_ops(b), std::memory_order_relaxed);
+  dispatch().backend.store(static_cast<int>(b), std::memory_order_relaxed);
+}
+
+std::uint64_t bytes_processed(Backend b) noexcept {
+#ifndef APPROX_OBS_OFF
+  return byte_counter(b).value();
+#else
+  (void)b;
+  return 0;
+#endif
+}
+
+void gf_mul_region(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                   const GfTables& t) noexcept {
+  count_bytes(n);
+  ops().gf_mul(dst, src, n, t);
+}
+
+void gf_mul_acc_region(std::uint8_t* dst, const std::uint8_t* src,
+                       std::size_t n, const GfTables& t) noexcept {
+  count_bytes(n);
+  ops().gf_mul_acc(dst, src, n, t);
+}
+
+void xor_acc(std::uint8_t* dst, const std::uint8_t* src, std::size_t n) noexcept {
+  count_bytes(n);
+  ops().xacc(dst, src, n);
+}
+
+void xor_acc2(std::uint8_t* dst, const std::uint8_t* a, const std::uint8_t* b,
+              std::size_t n) noexcept {
+  count_bytes(2 * n);
+  ops().xacc2(dst, a, b, n);
+}
+
+void xor_gather(std::uint8_t* dst, std::span<const std::uint8_t* const> sources,
+                std::size_t n) noexcept {
+  count_bytes(sources.size() * n);
+  if (sources.empty()) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] = 0;
+    return;
+  }
+  ops().xgather(dst, sources.data(), sources.size(), n);
+}
+
+}  // namespace approx::kernels

@@ -1,0 +1,102 @@
+// Runtime-dispatched SIMD kernels for the two loops every erasure-coding
+// path bottoms out in: GF(2^8) region multiply(-accumulate) and wide XOR.
+//
+// Three backends implement one contract:
+//   - scalar : the portable reference (word-wide XOR, byte-table GF).  Always
+//              available; every other backend is differentially tested
+//              against it.
+//   - ssse3  : split-nibble pshufb GF multiply + 16-byte XOR lanes.
+//   - avx2   : the same technique over 32-byte lanes, 2x unrolled.
+//
+// The active backend is chosen once, at first use: the best ISA the CPU
+// reports (via __builtin_cpu_supports), unless the APPROX_KERNEL environment
+// variable names a specific backend ("scalar", "ssse3" or "avx2").  Naming a
+// backend the host cannot run falls back to the best available one with a
+// warning on stderr, so a CI matrix can set APPROX_KERNEL unconditionally
+// and degrade gracefully on older machines.  Tests iterate backends
+// explicitly through set_backend()/available_backends().
+//
+// Aliasing contract (all region ops): dst must be either *identical to* a
+// source or *disjoint from* every source.  All kernels load a full chunk
+// before storing it and bytes are processed independently, so dst == src is
+// well defined (the solver normalizes rows in place); partial overlap is not.
+//
+// Every public entry point accounts the bytes it processed to a per-backend
+// sharded counter (`kernels.bytes.<backend>` in the obs registry), so a
+// bench or a production dump shows which ISA actually served the traffic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace approx::kernels {
+
+enum class Backend : int { kScalar = 0, kSsse3 = 1, kAvx2 = 2 };
+inline constexpr int kBackendCount = 3;
+
+// "scalar", "ssse3", "avx2".
+std::string_view backend_name(Backend b) noexcept;
+
+// Backend compiled into this binary AND runnable on this CPU.
+bool backend_available(Backend b) noexcept;
+
+// Every runnable backend, scalar first.
+std::vector<Backend> available_backends();
+
+// The backend serving calls right now.  First call resolves the default
+// (APPROX_KERNEL override, else best available).
+Backend active_backend() noexcept;
+
+// Force a backend (test/bench hook).  Throws InvalidArgument when the
+// backend is not available on this host.
+void set_backend(Backend b);
+
+// RAII helper for tests: force a backend, restore the previous one on exit.
+class BackendGuard {
+ public:
+  explicit BackendGuard(Backend b) : prev_(active_backend()) { set_backend(b); }
+  ~BackendGuard() { set_backend(prev_); }
+  BackendGuard(const BackendGuard&) = delete;
+  BackendGuard& operator=(const BackendGuard&) = delete;
+
+ private:
+  Backend prev_;
+};
+
+// Bytes processed by a backend since process start (from the obs registry;
+// 0 when observability is compiled out).
+std::uint64_t bytes_processed(Backend b) noexcept;
+
+// Per-coefficient GF(2^8) lookup tables, prepared by the caller (gf256
+// owns the master tables).  `row` drives the scalar path; `lo`/`hi` are the
+// split-nibble tables driving the pshufb paths:
+//   c*x == lo[x & 0xf] ^ hi[x >> 4]
+struct GfTables {
+  const std::uint8_t* row;  // 256 entries: row[x] = c * x
+  const std::uint8_t* lo;   // 16 entries: lo[i] = c * i
+  const std::uint8_t* hi;   // 16 entries: hi[i] = c * (i << 4)
+};
+
+// dst = c * src over n bytes.  Caller handles c == 0 / c == 1 fast paths.
+void gf_mul_region(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                   const GfTables& t) noexcept;
+
+// dst ^= c * src over n bytes.  Caller handles c == 0 / c == 1 fast paths.
+void gf_mul_acc_region(std::uint8_t* dst, const std::uint8_t* src,
+                       std::size_t n, const GfTables& t) noexcept;
+
+// dst ^= src over n bytes.
+void xor_acc(std::uint8_t* dst, const std::uint8_t* src, std::size_t n) noexcept;
+
+// dst ^= a ^ b over n bytes.
+void xor_acc2(std::uint8_t* dst, const std::uint8_t* a, const std::uint8_t* b,
+              std::size_t n) noexcept;
+
+// dst = XOR of all sources over n bytes (dst zeroed when sources is empty).
+void xor_gather(std::uint8_t* dst, std::span<const std::uint8_t* const> sources,
+                std::size_t n) noexcept;
+
+}  // namespace approx::kernels

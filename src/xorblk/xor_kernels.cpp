@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/error.h"
+#include "kernels/dispatch.h"
 #include "obs/metrics.h"
 
 namespace approx::xorblk {
@@ -12,8 +13,8 @@ namespace {
 // Source bytes processed by the XOR kernels (the throughput a perf PR must
 // move).  Sharded: ThreadPool workers hit this concurrently from
 // parallel-for partitions, and a single shared cache line would serialize
-// them.  Counted once per public entry point so gather's internal reuse of
-// the accumulate kernels is not double-counted.
+// them.  The kernel engine additionally accounts the same traffic to its
+// per-backend counters (kernels.bytes.<backend>).
 #ifndef APPROX_OBS_OFF
 obs::ShardedCounter& bytes_counter() {
   static obs::ShardedCounter& c =
@@ -25,72 +26,23 @@ inline void count_bytes(std::size_t n) noexcept { bytes_counter().add(n); }
 inline void count_bytes(std::size_t) noexcept {}
 #endif
 
-void xor_acc_impl(std::uint8_t* dst, const std::uint8_t* src,
-                  std::size_t n) noexcept {
-  std::size_t i = 0;
-  for (; i + 32 <= n; i += 32) {
-    std::uint64_t d[4], s[4];
-    std::memcpy(d, dst + i, 32);
-    std::memcpy(s, src + i, 32);
-    d[0] ^= s[0];
-    d[1] ^= s[1];
-    d[2] ^= s[2];
-    d[3] ^= s[3];
-    std::memcpy(dst + i, d, 32);
-  }
-  for (; i + 8 <= n; i += 8) {
-    std::uint64_t d, s;
-    std::memcpy(&d, dst + i, 8);
-    std::memcpy(&s, src + i, 8);
-    d ^= s;
-    std::memcpy(dst + i, &d, 8);
-  }
-  for (; i < n; ++i) dst[i] ^= src[i];
-}
-
-void xor_acc2_impl(std::uint8_t* dst, const std::uint8_t* a,
-                   const std::uint8_t* b, std::size_t n) noexcept {
-  std::size_t i = 0;
-  for (; i + 32 <= n; i += 32) {
-    std::uint64_t d[4], x[4], y[4];
-    std::memcpy(d, dst + i, 32);
-    std::memcpy(x, a + i, 32);
-    std::memcpy(y, b + i, 32);
-    d[0] ^= x[0] ^ y[0];
-    d[1] ^= x[1] ^ y[1];
-    d[2] ^= x[2] ^ y[2];
-    d[3] ^= x[3] ^ y[3];
-    std::memcpy(dst + i, d, 32);
-  }
-  for (; i < n; ++i) dst[i] ^= static_cast<std::uint8_t>(a[i] ^ b[i]);
-}
-
 }  // namespace
 
 void xor_acc(std::uint8_t* dst, const std::uint8_t* src, std::size_t n) noexcept {
   count_bytes(n);
-  xor_acc_impl(dst, src, n);
+  kernels::xor_acc(dst, src, n);
 }
 
 void xor_acc2(std::uint8_t* dst, const std::uint8_t* a, const std::uint8_t* b,
               std::size_t n) noexcept {
   count_bytes(2 * n);
-  xor_acc2_impl(dst, a, b, n);
+  kernels::xor_acc2(dst, a, b, n);
 }
 
 void xor_gather(std::uint8_t* dst, std::span<const std::uint8_t* const> sources,
                 std::size_t n) noexcept {
   count_bytes(sources.size() * n);
-  if (sources.empty()) {
-    std::memset(dst, 0, n);
-    return;
-  }
-  std::memcpy(dst, sources[0], n);
-  std::size_t s = 1;
-  for (; s + 2 <= sources.size(); s += 2) {
-    xor_acc2_impl(dst, sources[s], sources[s + 1], n);
-  }
-  for (; s < sources.size(); ++s) xor_acc_impl(dst, sources[s], n);
+  kernels::xor_gather(dst, sources, n);
 }
 
 bool is_zero(const std::uint8_t* p, std::size_t n) noexcept {

@@ -1,9 +1,11 @@
-// Word-wide XOR kernels.
+// XOR block kernels.
 //
 // These are the hot loops of every XOR-based code (EVENODD, STAR, TIP) and
-// of the coefficient-1 fast path in the GF engine.  All loops operate on
-// 64-bit words via memcpy (alignment-agnostic, strict-aliasing safe) and
-// are written so GCC/Clang auto-vectorize them.
+// of the coefficient-1 fast path in the GF engine.  The module keeps the
+// stable API and the xorblk.bytes traffic counter; the actual loops live in
+// the runtime-dispatched kernel engine (kernels/dispatch.h), which picks a
+// scalar, SSSE3 or AVX2 implementation per host (override: APPROX_KERNEL).
+// Aliasing: dst must be identical to or disjoint from every source.
 #pragma once
 
 #include <cstddef>
