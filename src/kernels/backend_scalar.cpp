@@ -77,12 +77,29 @@ void xor_acc2_scalar(std::uint8_t* dst, const std::uint8_t* a,
 
 void xor_gather_scalar(std::uint8_t* dst, const std::uint8_t* const* sources,
                        std::size_t count, std::size_t n) {
-  std::memcpy(dst, sources[0], n);
-  std::size_t s = 1;
-  for (; s + 2 <= count; s += 2) {
-    xor_acc2_scalar(dst, sources[s], sources[s + 1], n);
+  // Chunk-major like the SIMD gathers: every source's chunk is accumulated
+  // into a local word buffer before dst is stored, so dst may alias any
+  // source (an initial memcpy of sources[0] would be UB when dst aliases it
+  // and would clobber any later source dst aliases before it is XORed in).
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    std::uint64_t acc[4];
+    std::memcpy(acc, sources[0] + i, 32);
+    for (std::size_t s = 1; s < count; ++s) {
+      std::uint64_t w[4];
+      std::memcpy(w, sources[s] + i, 32);
+      acc[0] ^= w[0];
+      acc[1] ^= w[1];
+      acc[2] ^= w[2];
+      acc[3] ^= w[3];
+    }
+    std::memcpy(dst + i, acc, 32);
   }
-  for (; s < count; ++s) xor_acc_scalar(dst, sources[s], n);
+  for (; i < n; ++i) {
+    std::uint8_t acc = sources[0][i];
+    for (std::size_t s = 1; s < count; ++s) acc ^= sources[s][i];
+    dst[i] = acc;
+  }
 }
 
 constexpr Ops kScalarOps{gf_mul_scalar, gf_mul_acc_scalar, xor_acc_scalar,

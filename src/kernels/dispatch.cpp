@@ -51,11 +51,14 @@ Backend best_available() noexcept {
 
 // Resolve the APPROX_KERNEL override once.  Unknown names and backends the
 // host cannot run degrade to the best available backend with a warning, so
-// an unconditional CI matrix skips gracefully on older machines.
+// an unconditional CI matrix skips gracefully on older machines.  This runs
+// inside a noexcept static initializer, so it must not allocate (a bad_alloc
+// here would terminate); backend_name() returns views of string literals,
+// printed via %.*s.
 Backend resolve_default() noexcept {
   const char* env = std::getenv("APPROX_KERNEL");
   if (env == nullptr || *env == '\0') return best_available();
-  const std::string want(env);
+  const std::string_view want(env);
   Backend b = Backend::kScalar;
   if (want == "scalar") {
     b = Backend::kScalar;
@@ -64,17 +67,19 @@ Backend resolve_default() noexcept {
   } else if (want == "avx2") {
     b = Backend::kAvx2;
   } else {
+    const std::string_view fb = backend_name(best_available());
     std::fprintf(stderr,
                  "approx: APPROX_KERNEL=%s is not a known backend "
-                 "(scalar|ssse3|avx2); using %s\n",
-                 env, std::string(backend_name(best_available())).c_str());
+                 "(scalar|ssse3|avx2); using %.*s\n",
+                 env, static_cast<int>(fb.size()), fb.data());
     return best_available();
   }
   if (!backend_available(b)) {
+    const std::string_view fb = backend_name(best_available());
     std::fprintf(stderr,
                  "approx: APPROX_KERNEL=%s is not available on this host; "
-                 "using %s\n",
-                 env, std::string(backend_name(best_available())).c_str());
+                 "using %.*s\n",
+                 env, static_cast<int>(fb.size()), fb.data());
     return best_available();
   }
   return b;

@@ -79,9 +79,9 @@ TEST_P(OverlapTest, XorAccInPlaceZeroes) {
   }
 }
 
-// xor_gather with dst repeated among the sources is NOT part of the
-// contract, but dst appearing as the *sole* source must still be exact:
-// the kernels copy/accumulate chunk-at-a-time from sources[0] first.
+// dst appearing as the *sole* source must be exact: every backend's gather
+// accumulates all sources for a chunk before storing it, so the read of
+// sources[0] happens before the aliased dst chunk is overwritten.
 TEST_P(OverlapTest, XorGatherDstAsOnlySourceIsIdentity) {
   kernels::BackendGuard guard(GetParam());
   Rng rng(kSeed + 3);
@@ -95,6 +95,33 @@ TEST_P(OverlapTest, XorGatherDstAsOnlySourceIsIdentity) {
     xorblk::xor_gather(buf.data(), srcs, n);
 
     EXPECT_EQ(0, std::memcmp(buf.data(), before.data(), n));
+  }
+}
+
+// The full gather aliasing contract: dst identical to *any one* source —
+// first, middle, or last — must match the fully disjoint gather on every
+// backend, since no dst chunk is stored until every source's chunk was read.
+TEST_P(OverlapTest, XorGatherDstAliasingEachSourceMatchesOutOfPlace) {
+  kernels::BackendGuard guard(GetParam());
+  Rng rng(kSeed + 4);
+  constexpr std::size_t kCount = 3;
+  for (const std::size_t n : kLens) {
+    for (std::size_t alias = 0; alias < kCount; ++alias) {
+      SCOPED_TRACE("n=" + std::to_string(n) +
+                   " alias=" + std::to_string(alias) +
+                   " seed=" + std::to_string(kSeed + 4));
+      AlignedBuffer a(n + 64), b(n + 64), c(n + 64), out(n + 64);
+      fill_random(a.data(), n, rng);
+      fill_random(b.data(), n, rng);
+      fill_random(c.data(), n, rng);
+      AlignedBuffer* bufs[kCount] = {&a, &b, &c};
+      const std::uint8_t* srcs[kCount] = {a.data(), b.data(), c.data()};
+
+      xorblk::xor_gather(out.data(), srcs, n);           // disjoint reference
+      xorblk::xor_gather(bufs[alias]->data(), srcs, n);  // dst == sources[alias]
+
+      EXPECT_EQ(0, std::memcmp(bufs[alias]->data(), out.data(), n));
+    }
   }
 }
 
