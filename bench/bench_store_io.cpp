@@ -69,8 +69,9 @@ int main(int argc, char** argv) {
 
   print_header("ApproxStore streaming I/O (RS(4,1,2,4), " +
                std::to_string(file_bytes / (1024 * 1024)) + " MiB file)");
-  print_row({"payload_KiB", "encode_MiB/s", "scrub_MiB/s", "repair_MiB/s",
-             "decode_MiB/s"});
+  print_row({"payload_KiB", "encode_MiB/s", "scrub_MiB/s", "degraded_MiB/s",
+             "repair_MiB/s", "decode_MiB/s"},
+            /*width=*/15);
 
   for (const std::size_t payload : {16u * 1024, 64u * 1024, 256u * 1024}) {
     const fs::path vol_dir = work / ("vol_" + std::to_string(payload));
@@ -91,8 +92,20 @@ int main(int argc, char** argv) {
       return 1;
     }
 
-    // Repair: lose one node file, rebuild it.
+    // Degraded read: lose one node file and decode through the on-the-fly
+    // reconstruction path (feeds the store.degraded_reads instruments).
     fs::remove(vol.node_path(2));
+    Stopwatch sw_deg;
+    store::VolumeStore::DecodeOptions deg_opts;
+    deg_opts.quarantine = false;  // keep the volume as-is for repair timing
+    const auto degraded = vol.decode_file(work / "deg.bin", deg_opts);
+    const double t_deg = sw_deg.seconds();
+    if (!degraded.crc_ok) {
+      std::fprintf(stderr, "bench: degraded decode CRC mismatch!\n");
+      return 1;
+    }
+
+    // Repair: rebuild the lost node file.
     Stopwatch sw_rep;
     const store::RepairOutcome outcome = service.repair();
     const double t_rep = sw_rep.seconds();
@@ -110,8 +123,9 @@ int main(int argc, char** argv) {
     }
 
     print_row({std::to_string(payload / 1024), fmt(mib / t_enc, 1),
-               fmt(mib / t_scrub, 1), fmt(mib / t_rep, 1),
-               fmt(mib / t_dec, 1)});
+               fmt(mib / t_scrub, 1), fmt(mib / t_deg, 1), fmt(mib / t_rep, 1),
+               fmt(mib / t_dec, 1)},
+              /*width=*/15);
   }
 
   fs::remove_all(work);

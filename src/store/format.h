@@ -37,6 +37,10 @@ inline constexpr std::uint32_t kVolumeV2 = 2;
 inline constexpr char kSuperblockFile[] = "superblock.bin";
 inline constexpr char kManifestFile[] = "manifest.txt";
 inline constexpr char kTmpSuffix[] = ".tmp";
+// A chunk file that failed its integrity checks during a read is renamed
+// aside under this suffix (evidence for forensics, invisible to scrub's
+// presence check) until repair rebuilds the node and deletes it.
+inline constexpr char kQuarantineSuffix[] = ".quarantine";
 
 inline constexpr std::size_t kSuperblockBytes = 64;
 inline constexpr std::array<std::uint8_t, 8> kSuperMagic = {'A', 'P', 'X', 'S',

@@ -1,5 +1,6 @@
 #include "store/io_backend.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <thread>
@@ -168,18 +169,29 @@ IoStatus PosixIoBackend::file_size(const std::filesystem::path& path,
 IoStatus with_retry(const RetryPolicy& policy,
                     const std::function<IoStatus()>& op) {
   static obs::Counter& retries = obs::registry().counter("store.io.retries");
-  auto delay = policy.base_delay;
+  // The uncapped schedule grows in floating point and is clamped against
+  // the cap before every integer conversion, so even thousands of attempts
+  // with an aggressive multiplier cannot overflow the microsecond count.
+  const double cap = static_cast<double>(policy.max_delay.count());
+  double ideal = static_cast<double>(policy.base_delay.count());
+  Rng jitter_rng(policy.jitter_seed);
   IoStatus st = op();
   for (int attempt = 1;
        attempt < policy.max_attempts && !st.ok() && io_retryable(st.code);
        ++attempt) {
+    double us = std::min(ideal, cap);
+    if (policy.jitter > 0) {
+      us *= 1.0 + policy.jitter * (2.0 * jitter_rng.uniform() - 1.0);
+      us = std::min(us, cap);
+    }
+    const auto delay =
+        std::chrono::microseconds(static_cast<std::int64_t>(us));
     if (policy.sleeper) {
       policy.sleeper(delay);
     } else {
       std::this_thread::sleep_for(delay);
     }
-    delay = std::chrono::microseconds(static_cast<std::int64_t>(
-        static_cast<double>(delay.count()) * policy.multiplier));
+    ideal = std::min(ideal * policy.multiplier, cap);
     retries.add(1);
     st = op();
   }
@@ -218,6 +230,18 @@ IoStatus injected_status(const FaultInjectingBackend::Fault& f,
                                        path.string());
 }
 
+IoStatus crash_status(const std::filesystem::path& path) {
+  return IoStatus::failure(IoCode::kIoError,
+                           "simulated crash: machine is off, lost " +
+                               path.string());
+}
+
+IoStatus chaos_status(const std::filesystem::path& path) {
+  return IoStatus::failure(IoCode::kIoError,
+                           "chaos: injected transient io-error on " +
+                               path.string());
+}
+
 IoStatus FaultInjectedFile::pread(std::uint64_t offset,
                                   std::span<std::uint8_t> out) {
   FaultInjectingBackend::Fault f;
@@ -228,6 +252,7 @@ IoStatus FaultInjectedFile::pread(std::uint64_t offset,
     }
     return injected_status(f, path_);
   }
+  if (owner_.chaos_fault(/*is_write=*/false)) return chaos_status(path_);
   return inner_->pread(offset, out);
 }
 
@@ -237,6 +262,18 @@ IoStatus FaultInjectedFile::pwrite(std::uint64_t offset,
   if (owner_.fire(FaultInjectingBackend::Op::kWrite, path_, f)) {
     return injected_status(f, path_);
   }
+  switch (owner_.crash_gate(/*is_write=*/true)) {
+    case FaultInjectingBackend::CrashGate::kDead:
+      return crash_status(path_);
+    case FaultInjectingBackend::CrashGate::kTear:
+      // The power cut lands mid-write: the first half of the sectors
+      // reach the platter, the rest never do.
+      (void)inner_->pwrite(offset, data.subspan(0, data.size() / 2));
+      return crash_status(path_);
+    case FaultInjectingBackend::CrashGate::kProceed:
+      break;
+  }
+  if (owner_.chaos_fault(/*is_write=*/true)) return chaos_status(path_);
   return inner_->pwrite(offset, data);
 }
 
@@ -244,6 +281,10 @@ IoStatus FaultInjectedFile::sync() {
   FaultInjectingBackend::Fault f;
   if (owner_.fire(FaultInjectingBackend::Op::kSync, path_, f)) {
     return injected_status(f, path_);
+  }
+  if (owner_.crash_gate(/*is_write=*/false) !=
+      FaultInjectingBackend::CrashGate::kProceed) {
+    return crash_status(path_);
   }
   return inner_->sync();
 }
@@ -263,6 +304,73 @@ void FaultInjectingBackend::clear_faults() {
 std::uint64_t FaultInjectingBackend::faults_fired() const {
   std::lock_guard<std::mutex> lock(mu_);
   return fired_;
+}
+
+void FaultInjectingBackend::set_crash_point(std::uint64_t after_mutations,
+                                            CrashMode mode) {
+  std::lock_guard<std::mutex> lock(mu_);
+  crash_armed_ = true;
+  crashed_ = false;
+  crash_mode_ = mode;
+  crash_at_ = mutations_ + after_mutations;
+}
+
+void FaultInjectingBackend::clear_crash() {
+  std::lock_guard<std::mutex> lock(mu_);
+  crash_armed_ = false;
+  crashed_ = false;
+}
+
+bool FaultInjectingBackend::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+std::uint64_t FaultInjectingBackend::mutations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return mutations_;
+}
+
+FaultInjectingBackend::CrashGate FaultInjectingBackend::crash_gate(
+    bool is_write) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return CrashGate::kDead;
+  if (crash_armed_ && mutations_ >= crash_at_) {
+    crashed_ = true;
+    return is_write && crash_mode_ == CrashMode::kTornWrite ? CrashGate::kTear
+                                                            : CrashGate::kDead;
+  }
+  ++mutations_;
+  return CrashGate::kProceed;
+}
+
+void FaultInjectingBackend::enable_chaos(std::uint64_t seed,
+                                         ChaosOptions opts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  chaos_on_ = true;
+  chaos_seed_ = seed;
+  chaos_ = opts;
+  chaos_rng_ = Rng(seed);
+}
+
+void FaultInjectingBackend::disable_chaos() {
+  std::lock_guard<std::mutex> lock(mu_);
+  chaos_on_ = false;
+}
+
+std::uint64_t FaultInjectingBackend::chaos_seed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return chaos_seed_;
+}
+
+bool FaultInjectingBackend::chaos_fault(bool is_write) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!chaos_on_) return false;
+  const double rate = is_write ? chaos_.write_fault_rate : chaos_.read_fault_rate;
+  if (rate <= 0) return false;
+  if (chaos_rng_.uniform() >= rate) return false;
+  ++fired_;
+  return true;
 }
 
 bool FaultInjectingBackend::fire(Op op, const std::filesystem::path& path,
@@ -287,6 +395,12 @@ IoStatus FaultInjectingBackend::open(const std::filesystem::path& path,
                                      std::unique_ptr<IoFile>& out) {
   Fault f;
   if (fire(Op::kOpen, path, f)) return injected_status(f, path);
+  // A truncating open mutates the directory (creates or empties a file);
+  // a read-only open does not.
+  if (mode == OpenMode::kTruncate &&
+      crash_gate(/*is_write=*/false) != CrashGate::kProceed) {
+    return crash_status(path);
+  }
   std::unique_ptr<IoFile> inner;
   IoStatus st = inner_.open(path, mode, inner);
   if (!st.ok()) return st;
@@ -298,23 +412,35 @@ IoStatus FaultInjectingBackend::rename(const std::filesystem::path& from,
                                        const std::filesystem::path& to) {
   Fault f;
   if (fire(Op::kRename, from, f)) return injected_status(f, from);
+  if (crash_gate(/*is_write=*/false) != CrashGate::kProceed) {
+    return crash_status(from);
+  }
   return inner_.rename(from, to);
 }
 
 IoStatus FaultInjectingBackend::remove(const std::filesystem::path& path) {
   Fault f;
   if (fire(Op::kRemove, path, f)) return injected_status(f, path);
+  if (crash_gate(/*is_write=*/false) != CrashGate::kProceed) {
+    return crash_status(path);
+  }
   return inner_.remove(path);
 }
 
 IoStatus FaultInjectingBackend::create_directories(
     const std::filesystem::path& path) {
+  if (crash_gate(/*is_write=*/false) != CrashGate::kProceed) {
+    return crash_status(path);
+  }
   return inner_.create_directories(path);
 }
 
 IoStatus FaultInjectingBackend::sync_dir(const std::filesystem::path& dir) {
   Fault f;
   if (fire(Op::kSync, dir, f)) return injected_status(f, dir);
+  if (crash_gate(/*is_write=*/false) != CrashGate::kProceed) {
+    return crash_status(dir);
+  }
   return inner_.sync_dir(dir);
 }
 

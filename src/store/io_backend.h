@@ -22,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "common/prng.h"
+
 namespace approx::store {
 
 enum class IoCode {
@@ -100,13 +102,24 @@ class PosixIoBackend final : public IoBackend {
 };
 
 // Exponential-backoff retry loop.  Retries `op` while it returns a
-// retryable code, sleeping base_delay * multiplier^attempt between tries.
-// Each retry bumps the "store.io.retries" counter.  The final status (ok,
-// non-retryable, or retryable after max_attempts) is returned.
+// retryable code, sleeping base_delay * multiplier^attempt (clamped to
+// max_delay) between tries.  Each retry bumps the "store.io.retries"
+// counter.  The final status (ok, non-retryable, or retryable after
+// max_attempts) is returned.
+//
+// The delay schedule is computed in floating point and clamped before the
+// integer conversion, so a pathological max_attempts cannot overflow the
+// microsecond count no matter the multiplier.  When jitter > 0 each delay
+// is scaled by a factor drawn uniformly from [1 - jitter, 1 + jitter];
+// the draw sequence is fully determined by jitter_seed, so a chaos run
+// replays bit-identically from its logged seed.
 struct RetryPolicy {
   int max_attempts = 4;  // total tries, including the first
   std::chrono::microseconds base_delay{200};
+  std::chrono::microseconds max_delay{1'000'000};  // backoff cap
   double multiplier = 2.0;
+  double jitter = 0.0;  // fraction of the delay, in [0, 1]
+  std::uint64_t jitter_seed = 0;
   // Test seam: defaults to std::this_thread::sleep_for.
   std::function<void(std::chrono::microseconds)> sleeper;
 };
@@ -123,6 +136,26 @@ IoStatus with_retry(const RetryPolicy& policy,
 // it fires `times` times (-1 = forever).  kShortRead faults on reads
 // deliver `short_bytes` of real data before failing, exercising partial-
 // read handling.  Thread-safe: scrub runs reads concurrently.
+//
+// Beyond the explicit fault table the backend offers two deterministic
+// chaos facilities (all knobs documented in docs/storage.md):
+//
+//   - Crash-stop mode (set_crash_point): the backend counts every mutating
+//     operation (truncating open, pwrite, fsync, rename, remove, dir
+//     fsync); once the count exceeds the armed crash point the "machine"
+//     is off - every further mutation fails with kIoError and touches
+//     nothing, freezing the on-disk state exactly as a power cut would.
+//     kTornWrite additionally lets the crashing operation, when it is a
+//     pwrite, persist only the first half of its bytes first - the torn
+//     sector of a real power loss.  Reads keep working (they cannot change
+//     disk state); the harness "reboots" by reopening the directory
+//     through a fresh backend.
+//
+//   - Chaos mode (enable_chaos): every read/write draws from a single
+//     xoshiro PRNG and fails with a transient kIoError at the configured
+//     rates.  The whole schedule is a pure function of the seed and the
+//     op sequence, so any chaos run replays bit-identically from the seed
+//     it logged.
 class FaultInjectingBackend final : public IoBackend {
  public:
   enum class Op { kOpen, kRead, kWrite, kSync, kRename, kRemove };
@@ -135,11 +168,37 @@ class FaultInjectingBackend final : public IoBackend {
     std::size_t short_bytes = 0;
   };
 
+  enum class CrashMode {
+    kFailStop,   // the crashing op fails cleanly, persisting nothing
+    kTornWrite,  // a crashing pwrite persists the first half of its bytes
+  };
+
+  struct ChaosOptions {
+    double read_fault_rate = 0.0;   // probability a pread fails transiently
+    double write_fault_rate = 0.0;  // probability a pwrite fails transiently
+  };
+
   explicit FaultInjectingBackend(IoBackend& inner) : inner_(inner) {}
 
   void inject(Fault fault);
   void clear_faults();
   std::uint64_t faults_fired() const;
+
+  // Arm a simulated power cut after `after_mutations` further mutating
+  // operations succeed.  Counting starts from the current mutation count.
+  void set_crash_point(std::uint64_t after_mutations,
+                       CrashMode mode = CrashMode::kFailStop);
+  void clear_crash();
+  bool crashed() const;
+  // Mutating operations that fully completed (crash-point enumeration runs
+  // a counting pass first, then replays with every crash point in
+  // [0, mutations())).
+  std::uint64_t mutations() const;
+
+  // Seeded random transient faults; pass rate 0 / disable_chaos() to stop.
+  void enable_chaos(std::uint64_t seed, ChaosOptions opts);
+  void disable_chaos();
+  std::uint64_t chaos_seed() const;
 
   IoStatus open(const std::filesystem::path& path, OpenMode mode,
                 std::unique_ptr<IoFile>& out) override;
@@ -156,11 +215,34 @@ class FaultInjectingBackend final : public IoBackend {
   // of it.  Public so the wrapped file handles can consult the table.
   bool fire(Op op, const std::filesystem::path& path, Fault& out);
 
+  // Internal, for the wrapped file handles.  Outcome of consulting the
+  // crash state for one mutating operation.
+  enum class CrashGate {
+    kProceed,  // machine on: run the op and count it
+    kTear,     // this pwrite is the crashing op: persist half, then fail
+    kDead,     // machine off: fail without touching anything
+  };
+  CrashGate crash_gate(bool is_write);
+  bool chaos_fault(bool is_write);
+
  private:
   IoBackend& inner_;
   mutable std::mutex mu_;
   std::vector<Fault> faults_;
   std::uint64_t fired_ = 0;
+
+  // Crash-stop state.
+  bool crash_armed_ = false;
+  bool crashed_ = false;
+  CrashMode crash_mode_ = CrashMode::kFailStop;
+  std::uint64_t crash_at_ = 0;    // mutation count that triggers the crash
+  std::uint64_t mutations_ = 0;   // completed mutating operations
+
+  // Chaos state.
+  bool chaos_on_ = false;
+  std::uint64_t chaos_seed_ = 0;
+  ChaosOptions chaos_;
+  Rng chaos_rng_;
 };
 
 }  // namespace approx::store

@@ -1,5 +1,7 @@
 #include "store/manifest.h"
 
+#include "store/store.h"
+
 #include <cctype>
 #include <cstdlib>
 #include <limits>
@@ -118,14 +120,18 @@ Manifest Manifest::load(IoBackend& io, const std::filesystem::path& dir) {
   const std::filesystem::path path = dir / kManifestFile;
   std::uint64_t size = 0;
   IoStatus st = io.file_size(path, size);
-  if (!st.ok()) throw Error("no manifest in " + dir.string());
+  if (!st.ok()) {
+    // Distinguish "the volume is not there" (an I/O condition callers can
+    // branch on) from a manifest that parses badly (corruption).
+    throw StoreError(IoCode::kNotFound, "no manifest in " + dir.string());
+  }
   std::string text(size, '\0');
   std::unique_ptr<IoFile> file;
   st = io.open(path, IoBackend::OpenMode::kRead, file);
   if (st.ok() && size > 0) {
     st = file->pread(0, {reinterpret_cast<std::uint8_t*>(text.data()), size});
   }
-  if (!st.ok()) throw Error("cannot read manifest: " + st.message);
+  if (!st.ok()) throw StoreError(st.code, "cannot read manifest: " + st.message);
 
   std::map<std::string, std::string> kv;
   std::istringstream in(text);

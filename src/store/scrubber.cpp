@@ -215,7 +215,50 @@ RepairOutcome ScrubService::repair_damage(const ScrubReport& report,
     }
   }
   outcome.rebuilt_nodes = rewrite;
+  // Rebuilt nodes leave the self-healing damage queue and shed any
+  // quarantine debris a degraded read left behind.
+  vol_.note_repaired(rewrite);
   return outcome;
+}
+
+// ---------------------------------------------------------------------------
+// Background drain of the self-healing damage queue
+// ---------------------------------------------------------------------------
+
+RepairOutcome ScrubService::drain_pending(const RepairOptions& opts) {
+  const std::vector<int> pending = vol_.take_pending_repairs();
+  if (pending.empty()) return {};
+
+  // Re-scrub only the queued nodes: a node may have been repaired (or
+  // falsely accused by a transient read error) since it was enqueued.
+  ScrubReport report;
+  report.integrity_checked = vol_.version() == kVolumeV2;
+  std::vector<int> healthy;
+  for (const int n : pending) {
+    DamageRecord rec;
+    rec.node = n;
+    ChunkFileReader reader = vol_.make_reader(n);
+    IoStatus st = reader.open();
+    if (!st.ok()) {
+      rec.missing = true;
+    } else {
+      std::uint64_t bytes = 0;
+      st = reader.verify(rec.bad_blocks, bytes);
+      report.bytes_scanned += bytes;
+      if (!st.ok()) rec.missing = true;
+    }
+    if (rec.missing || !rec.bad_blocks.empty()) {
+      report.corrupt_blocks += rec.bad_blocks.size();
+      if (rec.missing) ++report.missing_nodes;
+      report.damaged.push_back(std::move(rec));
+    } else {
+      healthy.push_back(n);
+    }
+  }
+  // Healthy nodes just leave the queue (and lose any stale quarantine
+  // debris); the rest go through the normal streaming repair.
+  if (!healthy.empty()) vol_.note_repaired(healthy);
+  return repair_damage(report, opts);
 }
 
 }  // namespace approx::store

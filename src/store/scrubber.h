@@ -70,6 +70,13 @@ class ScrubService {
   RepairOutcome repair_damage(const ScrubReport& report,
                               const RepairOptions& opts = {});
 
+  // Background-repair hook for self-healing reads: consume the volume's
+  // pending-repair queue (nodes a degraded read reconstructed and/or
+  // quarantined) and rebuild exactly those chunk files.  Returns a
+  // non-attempted outcome when the queue is empty.  Nodes that turn out
+  // healthy on re-scrub are dropped from the queue without a rewrite.
+  RepairOutcome drain_pending(const RepairOptions& opts = {});
+
  private:
   VolumeStore& vol_;
 };

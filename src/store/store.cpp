@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <set>
 
 #include "common/buffer.h"
 #include "common/crc32.h"
@@ -19,6 +20,24 @@ namespace {
 std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
   return (a + b - 1) / b;
 }
+
+// Robustness instruments, registered eagerly (first VolumeStore touch) so
+// `approxcli stats` and the bench --json dumps always carry them, even for
+// a run that never hit a fault.
+struct RobustnessMetrics {
+  obs::Counter& degraded_reads =
+      obs::registry().counter("store.degraded_reads");
+  obs::Counter& quarantined =
+      obs::registry().counter("store.quarantined_chunks");
+  obs::Counter& crash_recoveries =
+      obs::registry().counter("store.crash_recoveries");
+  obs::Gauge& queue_depth = obs::registry().gauge("store.repair.queue_depth");
+
+  static RobustnessMetrics& get() {
+    static RobustnessMetrics m;
+    return m;
+  }
+};
 
 }  // namespace
 
@@ -54,7 +73,11 @@ IoStatus run_pipeline(ThreadPool& pool, std::uint64_t chunks,
 
 VolumeStore::VolumeStore(IoBackend& io, std::filesystem::path dir,
                          StoreOptions opts)
-    : VolumeStore(io, dir, opts, Manifest::load(io, dir)) {}
+    : VolumeStore(io, dir, opts, Manifest::load(io, dir)) {
+  // Opening a committed volume is the "reboot" moment: clear whatever a
+  // crashed writer left behind before serving reads.
+  sweep_crash_debris();
+}
 
 VolumeStore::VolumeStore(IoBackend& io, std::filesystem::path dir,
                          StoreOptions opts, Manifest manifest)
@@ -64,6 +87,9 @@ VolumeStore::VolumeStore(IoBackend& io, std::filesystem::path dir,
       manifest_(std::move(manifest)),
       code_(std::make_unique<core::ApproximateCode>(manifest_.params,
                                                     manifest_.block)) {
+  // Touching any volume registers the robustness instruments, so stats and
+  // bench dumps always carry them (at zero) even for fault-free runs.
+  (void)RobustnessMetrics::get();
   if (manifest_.version == kVolumeV2) {
     opts_.io_payload = manifest_.io_payload;
     // The superblock is the binary authority on the layout; a manifest
@@ -95,6 +121,101 @@ VolumeStore::VolumeStore(IoBackend& io, std::filesystem::path dir,
 
 ThreadPool& VolumeStore::pool() const noexcept {
   return opts_.pool != nullptr ? *opts_.pool : ThreadPool::global();
+}
+
+// ---------------------------------------------------------------------------
+// Self-healing bookkeeping
+// ---------------------------------------------------------------------------
+
+std::filesystem::path VolumeStore::quarantine_path(int node) const {
+  return node_path(node).string() + kQuarantineSuffix;
+}
+
+void VolumeStore::sweep_crash_debris() {
+  RobustnessMetrics& m = RobustnessMetrics::get();
+  std::uint64_t swept = 0;
+
+  // Stale ".tmp" staging files: a crashed writer never renamed them, so
+  // they are garbage under any circumstance (finish() is tmp -> final).
+  std::vector<std::filesystem::path> tmp_candidates = {
+      dir_ / (std::string(kManifestFile) + kTmpSuffix),
+      dir_ / (std::string(kSuperblockFile) + kTmpSuffix)};
+  for (int n = 0; n < code_->total_nodes(); ++n) {
+    tmp_candidates.push_back(node_path(n).string() + kTmpSuffix);
+  }
+  for (const auto& p : tmp_candidates) {
+    if (io_.exists(p)) {
+      (void)io_.remove(p);
+      ++swept;
+    }
+  }
+
+  // Quarantine files: debris once their node was rebuilt; otherwise the
+  // damage survived the crash, so re-arm the repair queue with it.
+  for (int n = 0; n < code_->total_nodes(); ++n) {
+    const auto q = quarantine_path(n);
+    if (!io_.exists(q)) continue;
+    if (node_present(n)) {
+      (void)io_.remove(q);
+      ++swept;
+    } else {
+      enqueue_repair(n);
+      ++swept;
+    }
+  }
+  if (swept > 0) m.crash_recoveries.add(1);
+}
+
+bool VolumeStore::quarantine_node(int node) {
+  if (!node_present(node)) return false;
+  const IoStatus st = io_.rename(node_path(node), quarantine_path(node));
+  if (!st.ok()) {
+    // A dying disk may refuse the rename; fall back to removing the rotten
+    // file so scrub cannot keep trusting it.  If even that fails the next
+    // scrub still flags the node through its CRC failures.
+    (void)io_.remove(node_path(node));
+  }
+  RobustnessMetrics::get().quarantined.add(1);
+  return true;
+}
+
+void VolumeStore::enqueue_repair(int node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it =
+      std::lower_bound(pending_repair_.begin(), pending_repair_.end(), node);
+  if (it != pending_repair_.end() && *it == node) return;
+  pending_repair_.insert(it, node);
+  publish_queue_depth();
+}
+
+std::vector<int> VolumeStore::take_pending_repairs() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int> out = std::move(pending_repair_);
+  pending_repair_.clear();
+  publish_queue_depth();
+  return out;
+}
+
+std::size_t VolumeStore::pending_repairs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_repair_.size();
+}
+
+void VolumeStore::publish_queue_depth() const {
+  RobustnessMetrics::get().queue_depth.set(
+      static_cast<double>(pending_repair_.size()));
+}
+
+void VolumeStore::note_repaired(std::span<const int> nodes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const int n : nodes) {
+    const auto it =
+        std::lower_bound(pending_repair_.begin(), pending_repair_.end(), n);
+    if (it != pending_repair_.end() && *it == n) pending_repair_.erase(it);
+    const auto q = quarantine_path(n);
+    if (io_.exists(q)) (void)io_.remove(q);
+  }
+  publish_queue_depth();
 }
 
 std::uint64_t VolumeStore::node_stream_bytes() const noexcept {
@@ -258,29 +379,68 @@ VolumeStore VolumeStore::encode_file(IoBackend& io,
 // Streaming decode
 // ---------------------------------------------------------------------------
 
+namespace {
+
+// Shared state of one degraded decode pass: which nodes are serving, which
+// are gone for good, and which were caught with corrupt blocks.  Only the
+// read stage mutates it (read stages run one at a time), so no lock.
+struct DegradedState {
+  std::vector<bool> dead;       // unopened or permanently erroring nodes
+  std::vector<bool> corrupt;    // served at least one CRC-bad block
+  bool any_degraded = false;
+};
+
+// Quarantine + queue the casualties of one degraded pass and fold them
+// into the result.
+void finish_degraded(VolumeStore& vol, const DegradedState& deg,
+                     const VolumeStore::DecodeOptions& opts,
+                     VolumeStore::DecodeResult& result) {
+  for (int n = 0; n < vol.code().total_nodes(); ++n) {
+    const bool dead = deg.dead[static_cast<std::size_t>(n)];
+    const bool corrupt = deg.corrupt[static_cast<std::size_t>(n)];
+    if (!dead && !corrupt) continue;
+    result.degraded_nodes.push_back(n);
+    if (corrupt && opts.quarantine && vol.quarantine_node(n)) {
+      result.quarantined_nodes.push_back(n);
+    }
+    vol.enqueue_repair(n);
+  }
+  if (deg.any_degraded || !result.degraded_nodes.empty()) {
+    RobustnessMetrics::get().degraded_reads.add(1);
+  }
+}
+
+}  // namespace
+
 VolumeStore::DecodeResult VolumeStore::decode_file(
-    const std::filesystem::path& output) {
+    const std::filesystem::path& output, const DecodeOptions& opts) {
   APPROX_OBS_SPAN(span_total, "store.decode");
   static obs::ShardedCounter& c_read =
       obs::registry().sharded_counter("store.read.bytes");
 
   DecodeResult result;
+  const int total = code_->total_nodes();
   const std::uint64_t nb = code_->node_bytes();
   const std::uint64_t icap = code_->important_capacity();
   const std::uint64_t ucap = code_->unimportant_capacity();
   const std::uint64_t unimp_len = manifest_.file_size - manifest_.important_len;
 
+  DegradedState deg;
+  deg.dead.assign(static_cast<std::size_t>(total), false);
+  deg.corrupt.assign(static_cast<std::size_t>(total), false);
+
   std::vector<std::unique_ptr<ChunkFileReader>> readers;
   std::string open_errors;
-  for (int n = 0; n < code_->total_nodes(); ++n) {
+  for (int n = 0; n < total; ++n) {
     readers.push_back(std::make_unique<ChunkFileReader>(make_reader(n)));
     const IoStatus st = readers.back()->open();
     if (!st.ok()) {
       result.missing_nodes.push_back(n);
+      deg.dead[static_cast<std::size_t>(n)] = true;
       open_errors += " [node " + std::to_string(n) + ": " + st.message + "]";
     }
   }
-  if (!result.missing_nodes.empty()) {
+  if (!result.missing_nodes.empty() && !opts.allow_degraded) {
     throw StoreError(IoCode::kNotFound,
                      std::to_string(result.missing_nodes.size()) +
                          " node file(s) missing or unreadable - repair first:" +
@@ -294,29 +454,62 @@ VolumeStore::DecodeResult VolumeStore::decode_file(
   struct Slot {
     StripeBuffers stripe;
     std::vector<std::uint64_t> bad;
+    std::vector<int> erased;  // erased members of this stripe, ascending
   };
-  Slot slots[2] = {{StripeBuffers(code_->total_nodes(), nb), {}},
-                   {StripeBuffers(code_->total_nodes(), nb), {}}};
+  Slot slots[2] = {{StripeBuffers(total, nb), {}, {}},
+                   {StripeBuffers(total, nb), {}, {}}};
   std::vector<std::uint8_t> imp(icap), unimp(ucap);
   std::uint32_t crc_imp = 0, crc_unimp = 0;
 
   const auto read_stage = [&](std::uint64_t c, int si) -> IoStatus {
     Slot& slot = slots[si];
-    slot.bad.clear();
-    for (int n = 0; n < code_->total_nodes(); ++n) {
-      const IoStatus rst = readers[static_cast<std::size_t>(n)]->read(
+    slot.erased.clear();
+    for (int n = 0; n < total; ++n) {
+      if (deg.dead[static_cast<std::size_t>(n)]) {
+        slot.stripe.clear_node(n);
+        slot.erased.push_back(n);
+        continue;
+      }
+      slot.bad.clear();
+      IoStatus rst = readers[static_cast<std::size_t>(n)]->read(
           c * nb, slot.stripe.node(n), &slot.bad);
-      if (!rst.ok()) return rst;
+      if (!rst.ok()) {
+        if (!opts.allow_degraded) return rst;
+        // Retries are already spent: treat the device as gone for the
+        // rest of the stream and reconstruct its share.
+        deg.dead[static_cast<std::size_t>(n)] = true;
+        slot.stripe.clear_node(n);
+        slot.erased.push_back(n);
+        continue;
+      }
       c_read.add(nb);
+      if (!slot.bad.empty()) {
+        result.corrupt_blocks += slot.bad.size();
+        if (!opts.allow_degraded) continue;  // keep legacy zero-fill behavior
+        // Erased for this stripe only; other stripes still use this node.
+        deg.corrupt[static_cast<std::size_t>(n)] = true;
+        slot.stripe.clear_node(n);
+        slot.erased.push_back(n);
+      }
     }
+    deg.any_degraded |= !slot.erased.empty();
     return IoStatus::success();
   };
 
   const auto process_stage = [&](std::uint64_t c, int si) -> IoStatus {
     APPROX_OBS_SPAN(span_chunk, "store.stripe_decode");
     Slot& slot = slots[si];
-    result.corrupt_blocks += slot.bad.size();
     auto spans = slot.stripe.spans();
+    if (!slot.erased.empty()) {
+      // Exact reconstruction of the erased members in scratch memory; the
+      // on-disk files are untouched.  Anything the code cannot restore
+      // stays zero-filled and is reported as explicit loss below.
+      const auto rep = code_->repair(spans, slot.erased);
+      ++result.degraded_stripes;
+      result.important_ok &= rep.all_important_recovered;
+      result.unrecoverable_bytes +=
+          rep.important_data_bytes_lost + rep.unimportant_data_bytes_lost;
+    }
     code_->gather(spans, imp, unimp);
     const std::uint64_t ioff = c * icap;
     if (ioff < manifest_.important_len) {
@@ -345,8 +538,162 @@ VolumeStore::DecodeResult VolumeStore::decode_file(
   st = out->sync();
   if (!st.ok()) throw_io(st, "syncing output");
 
+  finish_degraded(*this, deg, opts, result);
   result.crc_ok =
       crc32_combine(crc_imp, crc_unimp, unimp_len) == manifest_.file_crc;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Random-access (degraded) read
+// ---------------------------------------------------------------------------
+
+VolumeStore::DecodeResult VolumeStore::read(std::uint64_t offset,
+                                            std::span<std::uint8_t> out,
+                                            const DecodeOptions& opts) {
+  APPROX_OBS_SPAN(span_total, "store.ranged_read");
+  if (offset + out.size() > manifest_.file_size) {
+    throw Error("read past end of stored file");
+  }
+
+  DecodeResult result;
+  const int total = code_->total_nodes();
+  const std::uint64_t nb = code_->node_bytes();
+  const std::uint64_t icap = code_->important_capacity();
+  const std::uint64_t ucap = code_->unimportant_capacity();
+
+  DegradedState deg;
+  deg.dead.assign(static_cast<std::size_t>(total), false);
+  deg.corrupt.assign(static_cast<std::size_t>(total), false);
+
+  std::vector<std::unique_ptr<ChunkFileReader>> readers;
+  std::string open_errors;
+  for (int n = 0; n < total; ++n) {
+    readers.push_back(std::make_unique<ChunkFileReader>(make_reader(n)));
+    const IoStatus st = readers.back()->open();
+    if (!st.ok()) {
+      result.missing_nodes.push_back(n);
+      deg.dead[static_cast<std::size_t>(n)] = true;
+      open_errors += " [node " + std::to_string(n) + ": " + st.message + "]";
+    }
+  }
+  if (!result.missing_nodes.empty() && !opts.allow_degraded) {
+    throw StoreError(IoCode::kNotFound,
+                     std::to_string(result.missing_nodes.size()) +
+                         " node file(s) missing or unreadable - repair first:" +
+                         open_errors);
+  }
+
+  // Chunks c and c+1 never share bytes of the logical stream, so the range
+  // is served chunk by chunk; within a chunk the codec's degraded-read
+  // plans pull the minimum schedule slice for whatever is erased.
+  StripeBuffers stripe(total, nb);
+  std::vector<std::uint64_t> bad;
+  const auto serve_chunk = [&](std::uint64_t c) -> IoStatus {
+    std::vector<int> erased;
+    for (int n = 0; n < total; ++n) {
+      if (deg.dead[static_cast<std::size_t>(n)]) {
+        stripe.clear_node(n);
+        erased.push_back(n);
+        continue;
+      }
+      bad.clear();
+      IoStatus rst = readers[static_cast<std::size_t>(n)]->read(
+          c * nb, stripe.node(n), &bad);
+      if (!rst.ok()) {
+        if (!opts.allow_degraded) return rst;
+        deg.dead[static_cast<std::size_t>(n)] = true;
+        stripe.clear_node(n);
+        erased.push_back(n);
+        continue;
+      }
+      if (!bad.empty()) {
+        result.corrupt_blocks += bad.size();
+        if (!opts.allow_degraded) continue;
+        deg.corrupt[static_cast<std::size_t>(n)] = true;
+        stripe.clear_node(n);
+        erased.push_back(n);
+      }
+    }
+    if (!erased.empty()) {
+      deg.any_degraded = true;
+      ++result.degraded_stripes;
+    }
+    auto spans = stripe.spans();
+
+    // Intersect the requested range with this chunk's important slice.
+    const std::uint64_t req_lo = offset;
+    const std::uint64_t req_hi = offset + out.size();
+    const std::uint64_t imp_lo = c * icap;
+    const std::uint64_t imp_hi =
+        std::min<std::uint64_t>((c + 1) * icap, manifest_.important_len);
+    if (req_lo < imp_hi && imp_lo < std::min(req_hi, manifest_.important_len)) {
+      const std::uint64_t lo = std::max(req_lo, imp_lo);
+      const std::uint64_t hi = std::min(std::min(req_hi, imp_hi),
+                                        manifest_.important_len);
+      auto dst = out.subspan(static_cast<std::size_t>(lo - req_lo),
+                             static_cast<std::size_t>(hi - lo));
+      const auto rep = code_->degraded_read_important(
+          spans, erased, static_cast<std::size_t>(lo - imp_lo), dst);
+      if (!rep.ok) {
+        std::memset(dst.data(), 0, dst.size());
+        result.important_ok = false;
+        result.unrecoverable_bytes += dst.size();
+      }
+      result.bytes += dst.size();
+    }
+
+    // ... and with its unimportant slice (stream offsets shifted by
+    // important_len).
+    const std::uint64_t unimp_len =
+        manifest_.file_size - manifest_.important_len;
+    const std::uint64_t ureq_lo =
+        req_lo > manifest_.important_len ? req_lo - manifest_.important_len : 0;
+    const std::uint64_t ureq_hi =
+        req_hi > manifest_.important_len ? req_hi - manifest_.important_len : 0;
+    const std::uint64_t un_lo = c * ucap;
+    const std::uint64_t un_hi = std::min<std::uint64_t>((c + 1) * ucap, unimp_len);
+    if (ureq_lo < un_hi && un_lo < ureq_hi) {
+      const std::uint64_t lo = std::max(ureq_lo, un_lo);
+      const std::uint64_t hi = std::min(ureq_hi, un_hi);
+      auto dst = out.subspan(
+          static_cast<std::size_t>(lo + manifest_.important_len - req_lo),
+          static_cast<std::size_t>(hi - lo));
+      const auto rep = code_->degraded_read_unimportant(
+          spans, erased, static_cast<std::size_t>(lo - un_lo), dst);
+      if (!rep.ok) {
+        std::memset(dst.data(), 0, dst.size());
+        result.unrecoverable_bytes += dst.size();
+      }
+      result.bytes += dst.size();
+    }
+    return IoStatus::success();
+  };
+
+  // Chunk range covered by the request in either stream.
+  std::uint64_t first = manifest_.chunks, last = 0;
+  if (offset < manifest_.important_len && !out.empty()) {
+    first = std::min(first, offset / icap);
+    const std::uint64_t hi = std::min<std::uint64_t>(
+        offset + out.size(), manifest_.important_len);
+    last = std::max(last, (hi - 1) / icap);
+  }
+  if (offset + out.size() > manifest_.important_len && !out.empty()) {
+    const std::uint64_t lo =
+        offset > manifest_.important_len ? offset - manifest_.important_len : 0;
+    const std::uint64_t hi = offset + out.size() - manifest_.important_len;
+    first = std::min(first, lo / ucap);
+    last = std::max(last, (hi - 1) / ucap);
+  }
+  for (std::uint64_t c = first; c <= last && c < manifest_.chunks; ++c) {
+    const IoStatus st = serve_chunk(c);
+    if (!st.ok()) throw_io(st, "degraded read");
+  }
+
+  finish_degraded(*this, deg, opts, result);
+  // No whole-file CRC applies to a sub-range: crc_ok here means "every
+  // requested byte was served exactly".
+  result.crc_ok = result.unrecoverable_bytes == 0;
   return result;
 }
 

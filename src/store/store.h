@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -89,17 +90,64 @@ class VolumeStore {
   ChunkFileReader make_reader(int node) const;
   ChunkFileWriter make_writer(int node) const;
 
+  struct DecodeOptions {
+    // Reconstruct missing / corrupt / unreadable chunks through the
+    // codec's exact decode instead of failing the read.  When off, a
+    // missing node throws StoreError kNotFound as before.
+    bool allow_degraded = true;
+    // Rename chunk files caught serving corrupt blocks to
+    // "<name>.quarantine" and enqueue the node for background repair.
+    bool quarantine = true;
+  };
+
   struct DecodeResult {
     std::uint64_t bytes = 0;
     bool crc_ok = false;
-    std::uint64_t corrupt_blocks = 0;  // zero-filled while reading
-    std::vector<int> missing_nodes;    // filled before throwing kNotFound
+    std::uint64_t corrupt_blocks = 0;   // zero-filled while reading
+    std::vector<int> missing_nodes;     // filled before throwing kNotFound
+    // Degraded-read bookkeeping (empty / zero on a healthy read).
+    std::vector<int> degraded_nodes;    // nodes served via reconstruction
+    std::vector<int> quarantined_nodes; // chunk files renamed aside
+    std::uint64_t degraded_stripes = 0; // stripes that needed repair math
+    bool important_ok = true;           // important range fully exact
+    std::uint64_t unrecoverable_bytes = 0;  // explicit loss (zero-filled)
   };
-  // Stream the stored file into `output`.  Every node file must be
-  // readable (missing nodes -> StoreError kNotFound; repair first); blocks
-  // failing integrity checks are zero-filled and counted, surfacing as a
-  // CRC mismatch on the final result.
-  DecodeResult decode_file(const std::filesystem::path& output);
+  // Stream the stored file into `output`.  With opts.allow_degraded (the
+  // default) chunks that are missing, CRC-bad or keep failing I/O after
+  // retries are treated as erasures and reconstructed on the fly through
+  // the codec's exact decode; erasures beyond the code's tolerance come
+  // back zero-filled and are reported explicitly (crc_ok false,
+  // unrecoverable_bytes > 0) - a degraded read never serves silent
+  // corruption.  Damaged chunk files are quarantined and queued for
+  // background repair (ScrubService::drain_pending).
+  DecodeResult decode_file(const std::filesystem::path& output,
+                           const DecodeOptions& opts);
+  DecodeResult decode_file(const std::filesystem::path& output) {
+    return decode_file(output, DecodeOptions{});
+  }
+
+  // Random-access read of logical file bytes [offset, offset+out.size())
+  // with the same self-healing semantics as decode_file.  The logical
+  // stream is the stored file: its first important_len bytes then the
+  // unimportant remainder.
+  DecodeResult read(std::uint64_t offset, std::span<std::uint8_t> out,
+                    const DecodeOptions& opts);
+  DecodeResult read(std::uint64_t offset, std::span<std::uint8_t> out) {
+    return read(offset, out, DecodeOptions{});
+  }
+
+  // --- Self-healing bookkeeping -------------------------------------------
+  // Rename node's chunk file to "<name>.quarantine" (keeping the evidence)
+  // so scrub sees the node as missing and repair rebuilds it.  No-op when
+  // the file is already gone.  Returns true when a file was moved aside.
+  bool quarantine_node(int node);
+
+  // Damage queue feeding ScrubService::drain_pending: degraded reads
+  // enqueue the nodes they had to reconstruct.  Thread-safe; duplicates
+  // collapse.  The queue depth is exported as "store.repair.queue_depth".
+  void enqueue_repair(int node);
+  std::vector<int> take_pending_repairs();
+  std::size_t pending_repairs() const;
 
   struct ParityScrubResult {
     std::uint64_t stripes = 0;
@@ -117,11 +165,22 @@ class VolumeStore {
   VolumeStore(IoBackend& io, std::filesystem::path dir, StoreOptions opts,
               Manifest manifest);
 
+  // Crash janitor: sweep stale ".tmp" staging files and ".quarantine"
+  // debris whose node was already rebuilt.  Runs when an existing volume
+  // is opened; counts swept files into "store.crash_recoveries".
+  void sweep_crash_debris();
+  std::filesystem::path quarantine_path(int node) const;
+  void note_repaired(std::span<const int> nodes);  // dequeue + drop debris
+  void publish_queue_depth() const;  // mu_ must be held
+
   IoBackend& io_;
   std::filesystem::path dir_;
   StoreOptions opts_;
   Manifest manifest_;
   std::unique_ptr<core::ApproximateCode> code_;
+
+  mutable std::mutex mu_;
+  std::vector<int> pending_repair_;  // sorted, unique
 };
 
 }  // namespace approx::store

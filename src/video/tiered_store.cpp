@@ -200,7 +200,8 @@ void TieredVideoStore::spill(store::IoBackend& io,
 }
 
 TieredVideoStore TieredVideoStore::load_spill(store::IoBackend& io,
-                                              const std::filesystem::path& dir) {
+                                              const std::filesystem::path& dir,
+                                              bool allow_degraded) {
   store::VolumeStore vol(io, dir);
   const store::Manifest& m = vol.manifest();
   const auto gop_it = m.extra.find("video.gop");
@@ -220,25 +221,74 @@ TieredVideoStore TieredVideoStore::load_spill(store::IoBackend& io,
   for (std::uint64_t c = 0; c < m.chunks; ++c) {
     out.chunks_.emplace_back(out.code_->total_nodes(), nb);
   }
+
+  // Per-chunk erasure sets: a node that is missing/unreadable is erased
+  // everywhere, while a corrupt block only erases the node for the chunk
+  // it sits in (its other chunks still serve as repair sources).
+  std::vector<std::vector<int>> erased(m.chunks);
+  std::vector<int> damaged_nodes;
+  std::vector<int> corrupt_nodes;
   for (int n = 0; n < out.code_->total_nodes(); ++n) {
     store::ChunkFileReader reader = vol.make_reader(n);
     const store::IoStatus st = reader.open();
     if (!st.ok()) {
-      throw store::StoreError(st.code,
-                              "spilled volume needs repair: " + st.message);
+      if (!allow_degraded) {
+        throw store::StoreError(st.code,
+                                "spilled volume needs repair: " + st.message);
+      }
+      damaged_nodes.push_back(n);
+      for (std::uint64_t c = 0; c < m.chunks; ++c) {
+        out.chunks_[c].clear_node(n);
+        erased[c].push_back(n);
+      }
+      continue;
     }
+    bool node_damaged = false;
     for (std::uint64_t c = 0; c < m.chunks; ++c) {
       std::vector<std::uint64_t> bad;
       const store::IoStatus rst =
           reader.read(c * nb, out.chunks_[c].node(n), &bad);
-      if (!rst.ok()) throw store::StoreError(rst.code, "reading spilled chunk");
+      if (!rst.ok()) {
+        if (!allow_degraded) {
+          throw store::StoreError(rst.code, "reading spilled chunk");
+        }
+        out.chunks_[c].clear_node(n);
+        erased[c].push_back(n);
+        node_damaged = true;
+        continue;
+      }
       if (!bad.empty()) {
-        throw store::StoreError(store::IoCode::kIoError,
-                                "spilled volume has corrupt blocks in node " +
-                                    std::to_string(n) + " - scrub and repair");
+        if (!allow_degraded) {
+          throw store::StoreError(store::IoCode::kIoError,
+                                  "spilled volume has corrupt blocks in node " +
+                                      std::to_string(n) + " - scrub and repair");
+        }
+        out.chunks_[c].clear_node(n);
+        erased[c].push_back(n);
+        node_damaged = true;
+        if (corrupt_nodes.empty() || corrupt_nodes.back() != n) {
+          corrupt_nodes.push_back(n);
+        }
       }
     }
+    if (node_damaged) damaged_nodes.push_back(n);
   }
+
+  // Exact in-memory reconstruction where the code allows it; beyond its
+  // tolerance the erased pieces stay zero-filled, so reassemble() flags
+  // exactly those frames lost and the recovery module interpolates them
+  // instead of this load throwing.
+  for (std::uint64_t c = 0; c < m.chunks; ++c) {
+    if (erased[c].empty()) continue;
+    auto spans = out.chunks_[c].spans();
+    (void)out.code_->repair(spans, erased[c]);
+  }
+  // Self-healing hand-off: corrupt chunk files are quarantined (so the
+  // damage survives this process - reopening the volume sweeps the
+  // quarantine debris back into the repair queue) and everything damaged
+  // is queued for ScrubService::drain_pending to rebuild.
+  for (const int n : corrupt_nodes) (void)vol.quarantine_node(n);
+  for (const int n : damaged_nodes) vol.enqueue_repair(n);
   return out;
 }
 

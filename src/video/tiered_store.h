@@ -71,9 +71,19 @@ class TieredVideoStore {
   // extra keys, so the volume is self-describing: load_spill() restores an
   // equivalent in-memory store, and the generic tooling (approxcli scrub /
   // repair) services the volume while it is cold.
+  //
+  // load_spill() is self-healing by default: chunk files that are missing,
+  // unreadable or CRC-bad are treated as erasures and reconstructed in
+  // memory through the codec's exact repair; damage beyond the code's
+  // tolerance leaves zero-filled holes whose frames reassemble() flags
+  // lost, so the video recovery module interpolates them instead of the
+  // load erroring out.  Damaged nodes are queued on the volume for
+  // background repair (ScrubService::drain_pending).  With allow_degraded
+  // false any damage throws StoreError, as a strict caller may prefer.
   void spill(store::IoBackend& io, const std::filesystem::path& dir);
   static TieredVideoStore load_spill(store::IoBackend& io,
-                                     const std::filesystem::path& dir);
+                                     const std::filesystem::path& dir,
+                                     bool allow_degraded = true);
 
  private:
   std::unique_ptr<core::ApproximateCode> code_;

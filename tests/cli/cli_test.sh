@@ -25,7 +25,16 @@ fail() { echo "FAIL: $1"; exit 1; }
 "$CLI" decode vol roundtrip.bin || fail "decode healthy"
 cmp -s input.bin roundtrip.bin || fail "healthy roundtrip differs"
 
-# --- single failure: full recovery ------------------------------------------
+# --- single failure: self-healing degraded decode ----------------------------
+rm vol/node_002.acb
+"$CLI" decode vol degraded.bin || fail "degraded decode should succeed"
+cmp -s input.bin degraded.bin || fail "degraded roundtrip differs"
+# The degraded read healed the volume in the background: the lost chunk
+# file is back and the volume scrubs clean without an explicit repair.
+[ -f vol/node_002.acb ] || fail "degraded decode did not rebuild the node"
+"$CLI" scrub vol || fail "scrub after self-heal"
+
+# --- single failure: full recovery via explicit repair ------------------------
 rm vol/node_002.acb
 "$CLI" repair vol || fail "single-failure repair"
 "$CLI" scrub vol || fail "scrub after single repair"
@@ -38,7 +47,7 @@ rc=0; "$CLI" repair vol || rc=$?
 [ "$rc" -eq 0 ] || fail "double-failure repair lost important data"
 "$CLI" scrub vol || fail "scrub after double repair"
 rc=0; "$CLI" decode vol double.bin || rc=$?
-[ "$rc" -eq 1 ] || fail "decode should report checksum mismatch"
+[ "$rc" -eq 4 ] || fail "decode after data loss should exit 4, got $rc"
 # Important prefix (= size/h = 150000 bytes) must be intact.
 head -c 150000 input.bin > want.head
 head -c 150000 double.bin > got.head
@@ -58,7 +67,20 @@ cmp -s input.bin fixed.bin || fail "corruption roundtrip differs"
 sed 's/^k=.*/k=banana/' vol3/manifest.txt > vol3/manifest.txt.new
 mv vol3/manifest.txt.new vol3/manifest.txt
 rc=0; msg=$("$CLI" info vol3 2>&1) || rc=$?
-[ "$rc" -eq 1 ] || fail "corrupt manifest should exit 1"
+[ "$rc" -eq 1 ] || fail "corrupt manifest should exit 1 (corruption), got $rc"
 echo "$msg" | grep -q 'corrupt manifest' || fail "corrupt manifest not reported"
+
+# --- exit codes distinguish the failure classes ------------------------------
+rc=0; "$CLI" info no-such-volume 2>/dev/null || rc=$?
+[ "$rc" -eq 3 ] || fail "missing volume should exit 3 (I/O error), got $rc"
+rc=0; "$CLI" frobnicate 2>/dev/null || rc=$?
+[ "$rc" -eq 2 ] || fail "unknown command should exit 2 (usage), got $rc"
+
+# --- stats surface the robustness instruments --------------------------------
+stats=$("$CLI" stats --json vol) || fail "stats"
+for key in store.degraded_reads store.quarantined_chunks \
+           store.crash_recoveries store.repair.queue_depth; do
+  echo "$stats" | grep -q "$key" || fail "stats --json missing $key"
+done
 
 echo "PASS"

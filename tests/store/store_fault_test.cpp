@@ -3,10 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <random>
 #include <vector>
+
+#include "common/thread_pool.h"
 
 #include "store/scrubber.h"
 #include "store/store.h"
@@ -76,6 +79,73 @@ TEST(WithRetry, NonRetryableCodesFailImmediately) {
     EXPECT_EQ(st.code, code);
     EXPECT_EQ(calls, 1);
   }
+}
+
+// Helper: run a policy against an always-failing op and record every delay.
+std::vector<std::chrono::microseconds> delays_of(RetryPolicy policy) {
+  std::vector<std::chrono::microseconds> delays;
+  policy.sleeper = [&](std::chrono::microseconds d) { delays.push_back(d); };
+  (void)with_retry(policy, [] {
+    return IoStatus::failure(IoCode::kIoError, "transient");
+  });
+  return delays;
+}
+
+TEST(WithRetry, BackoffIsCappedAtMaxDelay) {
+  RetryPolicy policy;
+  policy.max_attempts = 8;
+  policy.base_delay = std::chrono::microseconds(200);
+  policy.max_delay = std::chrono::microseconds(1000);
+  const auto delays = delays_of(policy);
+  // 200, 400, 800 then pinned to the cap for every further attempt.
+  ASSERT_EQ(delays.size(), 7u);
+  EXPECT_EQ(delays[0], std::chrono::microseconds(200));
+  EXPECT_EQ(delays[1], std::chrono::microseconds(400));
+  EXPECT_EQ(delays[2], std::chrono::microseconds(800));
+  for (std::size_t i = 3; i < delays.size(); ++i) {
+    EXPECT_EQ(delays[i], std::chrono::microseconds(1000)) << "attempt " << i;
+  }
+}
+
+TEST(WithRetry, HighAttemptCountsNeverOverflowTheDelay) {
+  // 200us * 10^200 overflows any integer type; the float-then-clamp
+  // schedule must pin every delay to the cap instead of wrapping.
+  RetryPolicy policy;
+  policy.max_attempts = 200;
+  policy.multiplier = 10.0;
+  policy.max_delay = std::chrono::microseconds(750);
+  const auto delays = delays_of(policy);
+  ASSERT_EQ(delays.size(), 199u);
+  for (const auto d : delays) {
+    EXPECT_GT(d.count(), 0);
+    EXPECT_LE(d, std::chrono::microseconds(750));
+  }
+}
+
+TEST(WithRetry, JitterIsBoundedAndDeterministicUnderAFixedSeed) {
+  RetryPolicy policy;
+  policy.max_attempts = 12;
+  policy.jitter = 0.5;
+  policy.jitter_seed = 42;
+  policy.max_delay = std::chrono::microseconds(5000);
+  const auto first = delays_of(policy);
+  const auto second = delays_of(policy);
+  // Same seed => bit-identical schedule (chaos runs replay from a log).
+  EXPECT_EQ(first, second);
+
+  ASSERT_EQ(first.size(), 11u);
+  bool any_jittered = false;
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    const double ideal = std::min(200.0 * std::pow(2.0, static_cast<double>(i)),
+                                  5000.0);
+    EXPECT_GE(first[i].count(), static_cast<long>(ideal * 0.5) - 1) << i;
+    EXPECT_LE(first[i], std::chrono::microseconds(5000)) << i;
+    any_jittered |= first[i].count() != static_cast<long>(ideal);
+  }
+  EXPECT_TRUE(any_jittered) << "jitter had no effect on any delay";
+
+  policy.jitter_seed = 43;
+  EXPECT_NE(delays_of(policy), first) << "different seed, same schedule";
 }
 
 class FaultVolumeTest : public ::testing::Test {
@@ -220,6 +290,60 @@ TEST_F(FaultVolumeTest, ScrubSurvivesUnreadableNode) {
   EXPECT_TRUE(outcome.fully_recovered);
   const auto result = vol.decode_file(dir_ / "out.bin");
   EXPECT_TRUE(result.crc_ok);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded chaos mode: one seed drives every fault schedule
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultVolumeTest, ChaosScheduleReplaysBitIdenticallyFromItsSeed) {
+  // A single-worker pool makes the I/O op sequence (and therefore the
+  // PRNG draw sequence) a pure function of the workload, so the whole
+  // chaos schedule replays from the seed alone.
+  ThreadPool serial(1);
+
+  const auto run = [&](std::uint64_t seed) -> std::uint64_t {
+    FaultInjectingBackend io(posix_);
+    StoreOptions opts = fast_opts();
+    opts.pool = &serial;
+    opts.retry.max_attempts = 6;  // out-retry the injected fault rate
+    fs::remove_all(dir_ / "vol");
+    VolumeStore vol = VolumeStore::encode_file(io, input_, dir_ / "vol",
+                                               rs_params(), 1024, std::nullopt,
+                                               opts);
+    FaultInjectingBackend::ChaosOptions chaos;
+    chaos.read_fault_rate = 0.2;
+    io.enable_chaos(seed, chaos);
+    EXPECT_EQ(io.chaos_seed(), seed);
+    const auto result = vol.decode_file(dir_ / "out.bin");
+    EXPECT_TRUE(result.crc_ok);
+    io.disable_chaos();
+    return io.faults_fired();
+  };
+
+  const std::uint64_t first = run(1234);
+  EXPECT_GT(first, 0u) << "chaos at 20% fired nothing - knob inert?";
+  EXPECT_EQ(run(1234), first) << "same seed must replay the same schedule";
+  EXPECT_EQ(run(1234), first) << "replay must be stable across reruns";
+}
+
+TEST_F(FaultVolumeTest, ChaosWriteFaultsAreRetriedAwayDuringEncode) {
+  ThreadPool serial(1);
+  FaultInjectingBackend io(posix_);
+  StoreOptions opts = fast_opts();
+  opts.pool = &serial;
+  opts.retry.max_attempts = 8;
+  FaultInjectingBackend::ChaosOptions chaos;
+  chaos.write_fault_rate = 0.1;
+  io.enable_chaos(7, chaos);
+  VolumeStore vol = VolumeStore::encode_file(io, input_, dir_ / "vol",
+                                             rs_params(), 1024, std::nullopt,
+                                             opts);
+  io.disable_chaos();
+  EXPECT_GT(io.faults_fired(), 0u);
+  const auto result = vol.decode_file(dir_ / "out.bin");
+  EXPECT_TRUE(result.crc_ok);
+  EXPECT_TRUE(ScrubService(vol).scrub().clean());
 }
 
 }  // namespace

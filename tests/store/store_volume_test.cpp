@@ -154,17 +154,38 @@ TEST_F(VolumeTest, ScrubFlagsAndRepairFixesCorruptionAndLoss) {
   EXPECT_EQ(read_whole_file(dir_ / "restored.bin"), data);
 }
 
-TEST_F(VolumeTest, DecodeWithMissingNodeThrowsNotFound) {
+TEST_F(VolumeTest, StrictDecodeWithMissingNodeThrowsNotFound) {
   const auto data = random_bytes(20000, 5);
   VolumeStore vol = VolumeStore::encode_file(io_, input(data), dir_ / "vol",
                                              rs_params(), 512, std::nullopt);
   ASSERT_TRUE(fs::remove(vol.node_path(0)));
   try {
-    vol.decode_file(dir_ / "out.bin");
+    VolumeStore::DecodeOptions strict;
+    strict.allow_degraded = false;
+    vol.decode_file(dir_ / "out.bin", strict);
     FAIL() << "expected StoreError";
   } catch (const StoreError& e) {
     EXPECT_EQ(e.code(), IoCode::kNotFound);
   }
+}
+
+TEST_F(VolumeTest, DegradedDecodeWithMissingNodeIsExact) {
+  const auto data = random_bytes(20000, 5);
+  VolumeStore vol = VolumeStore::encode_file(io_, input(data), dir_ / "vol",
+                                             rs_params(), 512, std::nullopt);
+  ASSERT_TRUE(fs::remove(vol.node_path(0)));
+
+  // One lost node is within the local tolerance: the default decode
+  // reconstructs it on the fly and the output is byte-identical.
+  const auto result = vol.decode_file(dir_ / "out.bin");
+  EXPECT_TRUE(result.crc_ok);
+  EXPECT_TRUE(result.important_ok);
+  EXPECT_EQ(result.unrecoverable_bytes, 0u);
+  ASSERT_EQ(result.degraded_nodes.size(), 1u);
+  EXPECT_EQ(result.degraded_nodes[0], 0);
+  EXPECT_EQ(read_whole_file(dir_ / "out.bin"), data);
+  // The missing node was queued for background repair.
+  EXPECT_EQ(vol.pending_repairs(), 1u);
 }
 
 TEST_F(VolumeTest, RepairBeyondToleranceReportsApproximateLoss) {

@@ -76,8 +76,17 @@ TEST_F(SpillTest, DamagedSpillIsServicedByGenericScrubRepair) {
   // without knowing anything about video.
   store::VolumeStore vol(io_, dir_ / "cold");
   ASSERT_TRUE(fs::remove(vol.node_path(1)));
-  EXPECT_THROW(TieredVideoStore::load_spill(io_, dir_ / "cold"),
-               store::StoreError);
+  // Strict load preserves the old contract: damage throws.
+  EXPECT_THROW(
+      TieredVideoStore::load_spill(io_, dir_ / "cold", /*allow_degraded=*/false),
+      store::StoreError);
+  // The default load self-heals: one lost node is within the local
+  // tolerance, so the video comes back exact while still degraded on disk.
+  {
+    TieredVideoStore degraded = TieredVideoStore::load_spill(io_, dir_ / "cold");
+    const auto got = degraded.get();
+    for (const bool lost : got.lost) EXPECT_FALSE(lost);
+  }
 
   store::ScrubService service(vol);
   const auto outcome = service.repair();

@@ -44,6 +44,19 @@ using namespace approx;
 
 namespace {
 
+// Exit codes, one per failure class so scripts can branch without parsing
+// output (documented in README.md):
+//   0  success (including a degraded read that reconstructed everything)
+//   1  detected corruption / damage that repair can still fix
+//   2  usage error
+//   3  I/O error (device failure, ENOSPC, unreadable volume)
+//   4  unrecoverable data loss (damage beyond the code's tolerance)
+constexpr int kExitOk = 0;
+constexpr int kExitCorruption = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitIoError = 3;
+constexpr int kExitDataLoss = 4;
+
 struct Options {
   core::ApprParams params{codes::Family::RS, 4, 1, 2, 4, core::Structure::Even};
   std::size_t block = 4096;
@@ -59,8 +72,10 @@ struct Options {
                "       approxcli info|scrub|repair <volume-dir>\n"
                "       approxcli decode <volume-dir> <output>\n"
                "       approxcli stats [--json] <volume-dir>\n"
-               "global: --trace  print trace spans + metrics to stderr on exit\n");
-  std::exit(2);
+               "global: --trace  print trace spans + metrics to stderr on exit\n"
+               "exit codes: 0 ok, 1 detected corruption (repairable), "
+               "2 usage, 3 I/O error, 4 unrecoverable data loss\n");
+  std::exit(kExitUsage);
 }
 
 codes::Family parse_family(const std::string& s) {
@@ -152,7 +167,7 @@ int cmd_scrub(const fs::path& dir) {
                 report.damaged.size(),
                 static_cast<unsigned long long>(report.missing_nodes),
                 static_cast<unsigned long long>(report.corrupt_blocks));
-    return 1;
+    return kExitCorruption;
   }
   // All chunk files pass their integrity checks (v2) or are present at the
   // right size (v1); finish with the codec-level parity consistency check,
@@ -162,12 +177,12 @@ int cmd_scrub(const fs::path& dir) {
     std::printf("scrub: %llu inconsistent parity element(s) - data "
                 "corruption!\n",
                 static_cast<unsigned long long>(parity.mismatched_elements));
-    return 1;
+    return kExitCorruption;
   }
   std::printf("scrub: clean (%llu chunk(s)%s)\n",
               static_cast<unsigned long long>(parity.stripes),
               report.integrity_checked ? "" : ", v1: parity check only");
-  return 0;
+  return kExitOk;
 }
 
 int cmd_repair(const fs::path& dir) {
@@ -176,7 +191,7 @@ int cmd_repair(const fs::path& dir) {
   const store::ScrubReport report = service.scrub();
   if (report.clean()) {
     std::printf("repair: nothing to do\n");
-    return 0;
+    return kExitOk;
   }
   std::printf("repair: %zu damaged node(s):", report.damaged.size());
   for (const auto& d : report.damaged) {
@@ -192,28 +207,42 @@ int cmd_repair(const fs::path& dir) {
     std::printf("%llu B of unimportant data unrecoverable (zero-filled)\n",
                 static_cast<unsigned long long>(outcome.unimportant_bytes_lost));
   }
-  return outcome.all_important_recovered ? 0 : 1;
+  // Losing unimportant data is the approximate-storage trade-off the
+  // volume was configured for; losing important data is real data loss.
+  return outcome.all_important_recovered ? kExitOk : kExitDataLoss;
 }
 
 int cmd_decode(const fs::path& dir, const fs::path& output) {
   store::VolumeStore vol = open_volume(dir);
-  store::VolumeStore::DecodeResult result;
-  try {
-    result = vol.decode_file(output);
-  } catch (const store::StoreError& e) {
-    if (e.code() == store::IoCode::kNotFound) {
-      std::printf("decode: node file(s) missing - run `approxcli repair` "
-                  "first\n");
-      return 1;
-    }
-    throw;
+  const store::VolumeStore::DecodeResult result = vol.decode_file(output);
+  if (!result.degraded_nodes.empty()) {
+    std::printf("decode: degraded read - reconstructed node(s):");
+    for (const int n : result.degraded_nodes) std::printf(" %d", n);
+    std::printf(" (%zu quarantined)\n", result.quarantined_nodes.size());
   }
   std::printf("decoded %llu B -> %s (%s)\n",
               static_cast<unsigned long long>(result.bytes),
               output.string().c_str(),
               result.crc_ok ? "checksum OK"
                             : "CHECKSUM MISMATCH: some data was lost");
-  return result.crc_ok ? 0 : 1;
+  if (!result.crc_ok || result.unrecoverable_bytes > 0) {
+    std::printf("decode: %llu B unrecoverable (zero-filled); important data "
+                "%s\n",
+                static_cast<unsigned long long>(result.unrecoverable_bytes),
+                result.important_ok ? "intact" : "LOST");
+    return kExitDataLoss;
+  }
+  // The degraded read was exact: finish the self-heal by draining the
+  // repair queue it left behind, restoring full redundancy on disk.
+  if (!result.degraded_nodes.empty()) {
+    store::ScrubService service(vol);
+    const store::RepairOutcome healed = service.drain_pending();
+    if (healed.attempted) {
+      std::printf("decode: background repair rebuilt %zu node file(s)\n",
+                  healed.rebuilt_nodes.size());
+    }
+  }
+  return kExitOk;
 }
 
 int cmd_stats(const fs::path& dir, bool json) {
@@ -239,7 +268,7 @@ int cmd_stats(const fs::path& dir, bool json) {
                 static_cast<unsigned long long>(vol.manifest().chunks),
                 report.damaged.size(), obs::registry().to_text().c_str());
   }
-  return 0;
+  return kExitOk;
 }
 
 // --trace epilogue: indented span timeline plus the metric registry.
@@ -336,8 +365,17 @@ int main(int argc, char** argv) {
     const int rc = dispatch(cmd, args);
     if (trace) dump_trace();
     return rc;
+  } catch (const store::StoreError& e) {
+    // The device failed us: retries exhausted, ENOSPC, unreadable files.
+    std::fprintf(stderr, "approxcli: %s\n", e.what());
+    return kExitIoError;
+  } catch (const Error& e) {
+    // Structural damage detected by our own integrity checks (bad
+    // manifest/superblock, format violations): corruption, not I/O.
+    std::fprintf(stderr, "approxcli: %s\n", e.what());
+    return kExitCorruption;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "approxcli: %s\n", e.what());
-    return 1;
+    return kExitIoError;
   }
 }
