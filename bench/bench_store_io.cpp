@@ -4,11 +4,21 @@
 // Unlike the in-memory codec benches, this measures the full storage path:
 // file reads, stripe encode, blocked chunk-file writes with CRC footers,
 // fsync + atomic rename, scrub verification and stripe repair.  One row per
-// payload size; throughput is MiB/s of stored file data.
+// payload size; throughput is MiB/s of stored file data.  Repeatable phases
+// (encode, scrub, decode) run one untimed warmup then report the median of
+// --reps timed runs; degraded read and repair mutate the volume, so they
+// stay single-shot.
+//
+// The store streams through the multi-stripe pipeline (store/pipeline.h);
+// the trailing "pipeline" table surfaces its depth and stall counters so a
+// starved stage (reader blocked on a full ring, writer blocked behind a
+// slow chunk) is visible in the --json artifact.
 //
 //   bench_store_io [--json[=path]] [--size BYTES] [--dir PATH]
+//                  [--reps N] [--pipeline-depth N]
 #include <cinttypes>
 #include <cstdio>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -17,6 +27,9 @@
 #include "bench_util.h"
 #include "common/prng.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "store/pipeline.h"
 #include "store/scrubber.h"
 #include "store/store.h"
 
@@ -50,12 +63,18 @@ int main(int argc, char** argv) {
   bench_init(argc, argv, "store_io");
   std::size_t file_bytes = 64 * 1024 * 1024;
   fs::path work = fs::temp_directory_path() / "approx_bench_store_io";
+  int reps = 3;
+  int pipeline_depth = 0;  // 0 = auto (APPROX_PIPELINE_DEPTH env / pool size)
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--size" && i + 1 < argc) {
       file_bytes = static_cast<std::size_t>(std::stoull(argv[++i]));
     } else if (a == "--dir" && i + 1 < argc) {
       work = argv[++i];
+    } else if (a == "--reps" && i + 1 < argc) {
+      reps = static_cast<int>(std::stoul(argv[++i]));
+    } else if (a == "--pipeline-depth" && i + 1 < argc) {
+      pipeline_depth = static_cast<int>(std::stoul(argv[++i]));
     }
   }
   fs::remove_all(work);
@@ -68,7 +87,8 @@ int main(int argc, char** argv) {
   store::PosixIoBackend io;
 
   print_header("ApproxStore streaming I/O (RS(4,1,2,4), " +
-               std::to_string(file_bytes / (1024 * 1024)) + " MiB file)");
+               std::to_string(file_bytes / (1024 * 1024)) + " MiB file, " +
+               "median of " + std::to_string(reps) + ")");
   print_row({"payload_KiB", "encode_MiB/s", "scrub_MiB/s", "degraded_MiB/s",
              "repair_MiB/s", "decode_MiB/s"},
             /*width=*/15);
@@ -77,16 +97,25 @@ int main(int argc, char** argv) {
     const fs::path vol_dir = work / ("vol_" + std::to_string(payload));
     store::StoreOptions opts;
     opts.io_payload = payload;
+    opts.pipeline_depth = pipeline_depth;
 
-    Stopwatch sw_enc;
-    store::VolumeStore vol = store::VolumeStore::encode_file(
-        io, input, vol_dir, params, 4096, std::nullopt, opts);
-    const double t_enc = sw_enc.seconds();
+    // Encode: each repetition rebuilds the volume from scratch (encode_file
+    // wants a fresh directory); the volume is then reopened for the phases
+    // below.
+    const double t_enc = time_op(
+        [&] {
+          fs::remove_all(vol_dir);
+          const store::VolumeStore encoded = store::VolumeStore::encode_file(
+              io, input, vol_dir, params, 4096, std::nullopt, opts);
+          (void)encoded;
+        },
+        reps, /*warmup=*/1);
+    store::VolumeStore vol(io, vol_dir, opts);
 
     store::ScrubService service(vol);
-    Stopwatch sw_scrub;
-    store::ScrubReport report = service.scrub();
-    const double t_scrub = sw_scrub.seconds();
+    store::ScrubReport report;
+    const double t_scrub =
+        time_op([&] { report = service.scrub(); }, reps, /*warmup=*/1);
     if (!report.clean()) {
       std::fprintf(stderr, "bench: healthy volume scrubbed dirty!\n");
       return 1;
@@ -94,6 +123,7 @@ int main(int argc, char** argv) {
 
     // Degraded read: lose one node file and decode through the on-the-fly
     // reconstruction path (feeds the store.degraded_reads instruments).
+    // Single-shot: the read self-heals state we want to keep degraded.
     fs::remove(vol.node_path(2));
     Stopwatch sw_deg;
     store::VolumeStore::DecodeOptions deg_opts;
@@ -105,7 +135,7 @@ int main(int argc, char** argv) {
       return 1;
     }
 
-    // Repair: rebuild the lost node file.
+    // Repair: rebuild the lost node file (single-shot by nature).
     Stopwatch sw_rep;
     const store::RepairOutcome outcome = service.repair();
     const double t_rep = sw_rep.seconds();
@@ -114,19 +144,35 @@ int main(int argc, char** argv) {
       return 1;
     }
 
-    Stopwatch sw_dec;
-    const auto decode = vol.decode_file(work / "out.bin");
-    const double t_dec = sw_dec.seconds();
-    if (!decode.crc_ok) {
-      std::fprintf(stderr, "bench: decode CRC mismatch!\n");
-      return 1;
-    }
+    const double t_dec = time_op(
+        [&] {
+          const auto decode = vol.decode_file(work / "out.bin");
+          if (!decode.crc_ok) {
+            std::fprintf(stderr, "bench: decode CRC mismatch!\n");
+            std::exit(1);
+          }
+        },
+        reps, /*warmup=*/1);
 
     print_row({std::to_string(payload / 1024), fmt(mib / t_enc, 1),
                fmt(mib / t_scrub, 1), fmt(mib / t_deg, 1), fmt(mib / t_rep, 1),
                fmt(mib / t_dec, 1)},
               /*width=*/15);
   }
+
+  // Pipeline starvation summary: cumulative stall counters over every phase
+  // above.  stall_read counts the reader parking on a full ring (encode /
+  // process / write not keeping up); stall_write counts processed stripes
+  // retiring out of turn behind a slower earlier chunk.
+  print_header("store pipeline");
+  print_row({"threads", "depth", "stall_read", "stall_write"}, /*width=*/15);
+  print_row(
+      {std::to_string(ThreadPool::global().size()),
+       fmt(obs::registry().gauge("store.pipeline.depth").value(), 0),
+       std::to_string(obs::registry().counter("store.pipeline.stall_read").value()),
+       std::to_string(
+           obs::registry().counter("store.pipeline.stall_write").value())},
+      /*width=*/15);
 
   fs::remove_all(work);
   bench_finish();

@@ -28,8 +28,12 @@ namespace approx::bench {
 
 inline constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
 
-// Median-of-N wall-clock timing of fn (seconds).
-inline double time_op(const std::function<void()>& fn, int reps = 3) {
+// Median-of-N wall-clock timing of fn (seconds).  `warmup` untimed runs
+// come first so one-time costs (GF tables, plan caches, thread-pool spin-up,
+// page-cache population) do not land in the first timed repetition.
+inline double time_op(const std::function<void()>& fn, int reps = 3,
+                      int warmup = 0) {
+  for (int i = 0; i < warmup; ++i) fn();
   std::vector<double> times;
   times.reserve(static_cast<std::size_t>(reps));
   for (int i = 0; i < reps; ++i) {
@@ -122,12 +126,10 @@ struct ApprStripe {
 
 // Encode throughput in seconds per GiB of data.
 inline double encode_sec_per_gib(BaseStripe& s, int reps = 3) {
-  s.encode();  // warm-up (tables, caches)
-  return time_op([&] { s.encode(); }, reps) / s.data_gib();
+  return time_op([&] { s.encode(); }, reps, /*warmup=*/1) / s.data_gib();
 }
 inline double encode_sec_per_gib(ApprStripe& s, int reps = 3) {
-  s.encode();
-  return time_op([&] { s.encode(); }, reps) / s.data_gib();
+  return time_op([&] { s.encode(); }, reps, /*warmup=*/1) / s.data_gib();
 }
 
 // Repair time normalized to seconds per GiB of *failed node* volume
@@ -144,7 +146,7 @@ inline double repair_sec_per_failed_gib(ApprStripe& s,
                                         const std::vector<int>& erased,
                                         int reps = 3) {
   s.encode();
-  s.repair(erased);
+  s.repair(erased);  // warm-up doubles as plan-cache fill
   const double t = time_op([&] { s.repair(erased); }, reps);
   return t / (s.node_gib() * static_cast<double>(erased.size()));
 }

@@ -1,11 +1,13 @@
 #include "analysis/reliability.h"
 
+#include <algorithm>
 #include <set>
 #include <vector>
 
 #include "codes/verify.h"
 #include "common/error.h"
 #include "common/prng.h"
+#include "common/thread_pool.h"
 #include "core/approximate_code.h"
 
 namespace approx::analysis {
@@ -86,26 +88,56 @@ Reliability monte_carlo_reliability(const core::ApprParams& p, int f,
   core::ApproximateCode code(p, probe_block(p));
   const int N = code.total_nodes();
   APPROX_REQUIRE(f <= N, "more failures than nodes");
-  Rng rng(seed);
-  Reliability out;
+
+  // Sampling is sharded into fixed-size counter-seeded PRNG streams: shard s
+  // always draws the same kShardSamples patterns from Rng(seed ^ mix(s)),
+  // whatever thread ends up running it.  The per-shard tallies are exact
+  // integer counts, so summing them in any order gives the same result -
+  // the estimate is bit-identical for a fixed seed regardless of the pool
+  // size (and of whether a pool exists at all).
+  constexpr std::uint64_t kShardSamples = 4096;
+  const std::uint64_t shards = (samples + kShardSamples - 1) / kShardSamples;
+  struct ShardTally {
+    std::uint64_t ok_u = 0;
+    std::uint64_t ok_i = 0;
+  };
+  std::vector<ShardTally> tally(static_cast<std::size_t>(shards));
+
+  ThreadPool::global().parallel_for(
+      0, static_cast<std::size_t>(shards), [&](std::size_t lo, std::size_t hi) {
+        std::vector<int> erased;
+        for (std::size_t shard = lo; shard < hi; ++shard) {
+          Rng rng(seed ^ ((static_cast<std::uint64_t>(shard) + 1) *
+                          0x9E3779B97F4A7C15ull));
+          const std::uint64_t begin = shard * kShardSamples;
+          const std::uint64_t end = std::min(begin + kShardSamples, samples);
+          ShardTally& t = tally[shard];
+          for (std::uint64_t s = begin; s < end; ++s) {
+            // Floyd's algorithm for a uniform f-subset of [0, N).
+            std::set<int> chosen;
+            for (int j = N - f; j < N; ++j) {
+              const int pick = static_cast<int>(
+                  rng.below(static_cast<std::uint64_t>(j) + 1));
+              chosen.insert(chosen.count(pick) ? j : pick);
+            }
+            erased.assign(chosen.begin(), chosen.end());
+            const auto report = code.plan_repair(erased);
+            if (report.unimportant_data_bytes_lost == 0) ++t.ok_u;
+            if (report.all_important_recovered) ++t.ok_i;
+          }
+        }
+      });
+
   std::uint64_t ok_u = 0;
   std::uint64_t ok_i = 0;
-  std::vector<int> erased;
-  for (std::uint64_t s = 0; s < samples; ++s) {
-    // Floyd's algorithm for a uniform f-subset of [0, N).
-    std::set<int> chosen;
-    for (int j = N - f; j < N; ++j) {
-      const int t = static_cast<int>(rng.below(static_cast<std::uint64_t>(j) + 1));
-      chosen.insert(chosen.count(t) ? j : t);
-    }
-    erased.assign(chosen.begin(), chosen.end());
-    const auto report = code.plan_repair(erased);
-    ++out.patterns;
-    if (report.unimportant_data_bytes_lost == 0) ++ok_u;
-    if (report.all_important_recovered) ++ok_i;
+  for (const ShardTally& t : tally) {
+    ok_u += t.ok_u;
+    ok_i += t.ok_i;
   }
-  out.p_unimportant = static_cast<double>(ok_u) / static_cast<double>(out.patterns);
-  out.p_important = static_cast<double>(ok_i) / static_cast<double>(out.patterns);
+  Reliability out;
+  out.patterns = samples;
+  out.p_unimportant = static_cast<double>(ok_u) / static_cast<double>(samples);
+  out.p_important = static_cast<double>(ok_i) / static_cast<double>(samples);
   return out;
 }
 

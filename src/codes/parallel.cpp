@@ -42,6 +42,17 @@ void encode_parallel(const LinearCode& code, std::span<const NodeView> nodes,
   });
 }
 
+void encode_parity_nodes_parallel(const LinearCode& code,
+                                  std::span<const NodeView> nodes,
+                                  std::span<const int> parity_nodes,
+                                  ThreadPool& pool) {
+  APPROX_REQUIRE(!nodes.empty(), "empty stripe");
+  for_each_chunk(nodes[0].len, pool, [&](std::size_t offset, std::size_t len) {
+    auto sub = subrange_views(nodes, offset, len);
+    code.encode_parity_nodes(sub, parity_nodes);
+  });
+}
+
 void apply_parallel(const LinearCode& code, const RepairPlan& plan,
                     std::span<const NodeView> nodes, ThreadPool& pool) {
   APPROX_REQUIRE(!nodes.empty(), "empty stripe");

@@ -23,6 +23,13 @@ std::vector<NodeView> subrange_views(std::span<const NodeView> nodes,
 void encode_parallel(const LinearCode& code, std::span<const NodeView> nodes,
                      ThreadPool& pool);
 
+// encode_parity_nodes() across the pool; identical output to
+// code.encode_parity_nodes(nodes, parity_nodes).
+void encode_parity_nodes_parallel(const LinearCode& code,
+                                  std::span<const NodeView> nodes,
+                                  std::span<const int> parity_nodes,
+                                  ThreadPool& pool);
+
 // apply() across the pool; identical output to code.apply(plan, nodes).
 void apply_parallel(const LinearCode& code, const RepairPlan& plan,
                     std::span<const NodeView> nodes, ThreadPool& pool);

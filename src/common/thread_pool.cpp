@@ -1,12 +1,47 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
-#include <atomic>
+#include <cstdlib>
 #include <exception>
+#include <utility>
 
 #include "common/error.h"
 
 namespace approx {
+
+// Completion state shared between a Task handle and the queued closure.
+// done/error are published under mu; notify happens while still holding
+// the mutex because the waiter may destroy its last reference the instant
+// it observes done == true.
+struct ThreadPool::Task::State {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  std::exception_ptr error;
+};
+
+bool ThreadPool::Task::done() const {
+  if (!state_) return true;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->done;
+}
+
+void ThreadPool::Task::wait() {
+  if (!state_) return;
+  // Helping phase: while the task is unfinished, run other queued work.
+  // The task itself may be popped and run right here, which is what makes
+  // waiting from inside a worker deadlock-free.
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      if (state_->done) break;
+    }
+    if (!pool_->run_one()) break;  // queue drained; fall through to sleep
+  }
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [&] { return state_->done; });
+  if (state_->error) std::rethrow_exception(state_->error);
+}
 
 ThreadPool::ThreadPool(unsigned threads) {
   unsigned n = threads;
@@ -26,9 +61,28 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+void ThreadPool::run_task(QueuedTask& task) {
+  if (!task.state) {
+    // parallel_for chunk: the closure does its own barrier accounting and
+    // exception capture.
+    task.fn();
+    return;
+  }
+  std::exception_ptr error;
+  try {
+    task.fn();
+  } catch (...) {
+    error = std::current_exception();
+  }
+  std::lock_guard<std::mutex> lock(task.state->mu);
+  task.state->done = true;
+  task.state->error = error;
+  task.state->cv.notify_all();
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
-    Task task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -36,8 +90,31 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task.fn();
+    run_task(task);
   }
+}
+
+bool ThreadPool::run_one() {
+  QueuedTask task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop();
+  }
+  run_task(task);
+  return true;
+}
+
+ThreadPool::Task ThreadPool::submit(std::function<void()> fn) {
+  APPROX_REQUIRE(static_cast<bool>(fn), "submit requires a callable");
+  auto state = std::make_shared<Task::State>();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push(QueuedTask{std::move(fn), state});
+  }
+  cv_.notify_one();
+  return Task(this, std::move(state));
 }
 
 void ThreadPool::parallel_for(
@@ -71,7 +148,7 @@ void ThreadPool::parallel_for(
       const std::size_t lo = cursor;
       const std::size_t hi = cursor + len;
       cursor = hi;
-      queue_.push(Task{[&, lo, hi] {
+      queue_.push(QueuedTask{[&, lo, hi] {
         try {
           fn(lo, hi);
         } catch (...) {
@@ -83,18 +160,40 @@ void ThreadPool::parallel_for(
         std::lock_guard<std::mutex> block(barrier.mu);
         --barrier.remaining;
         barrier.cv.notify_one();
-      }});
+      }, nullptr});
     }
   }
   cv_.notify_all();
 
+  // Helping wait: drain queued tasks (our own chunks, or unrelated work
+  // when called from inside a worker) until the barrier opens.
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(barrier.mu);
+      if (barrier.remaining == 0) break;
+    }
+    if (!run_one()) break;
+  }
   std::unique_lock<std::mutex> lock(barrier.mu);
   barrier.cv.wait(lock, [&] { return barrier.remaining == 0; });
   if (barrier.error) std::rethrow_exception(barrier.error);
 }
 
+namespace {
+
+unsigned env_thread_override() {
+  const char* env = std::getenv("APPROX_THREADS");
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || v <= 0) return 0;
+  return static_cast<unsigned>(std::min<long>(v, 1024));
+}
+
+}  // namespace
+
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+  static ThreadPool pool(env_thread_override());
   return pool;
 }
 

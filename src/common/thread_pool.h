@@ -1,14 +1,29 @@
-// Fixed-size thread pool with a blocking parallel-for.
+// Fixed-size thread pool with a task queue and a blocking parallel-for.
 //
-// Coding kernels partition a stripe's block range across workers; each
-// worker touches a disjoint byte range, so no synchronization beyond the
-// join barrier is needed.  The pool is deliberately simple (no work
-// stealing): coding work is regular and statically balanced.
+// Two front ends share one work queue:
+//
+//  * submit() enqueues a single task and returns a waitable Task handle.
+//    The store pipeline uses this to keep many stripes in flight without
+//    a join barrier per stripe.
+//  * parallel_for() partitions [begin, end) across workers and blocks
+//    until every chunk is done.  Coding kernels partition a stripe's
+//    block range this way; each worker touches a disjoint byte range, so
+//    no synchronization beyond the join is needed.
+//
+// Both waits are *helping* waits: a thread blocked in Task::wait() or
+// parallel_for() pops and runs queued tasks instead of sleeping while
+// work is available.  That makes nested use safe — a submitted task may
+// itself call parallel_for() (or wait on sub-tasks) without deadlocking
+// even on a single-worker pool.
+//
+// The pool is deliberately simple (no work stealing): coding work is
+// regular and statically balanced.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -27,6 +42,41 @@ class ThreadPool {
 
   unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
 
+  // Waitable handle for a submitted task.  Copyable; all copies refer to
+  // the same underlying completion state.  A default-constructed Task is
+  // invalid and wait() on it returns immediately.
+  class Task {
+   public:
+    Task() = default;
+
+    bool valid() const noexcept { return state_ != nullptr; }
+
+    // True once the task body has finished (normally or by exception).
+    bool done() const;
+
+    // Block until the task finishes, helping to run other queued tasks
+    // while waiting.  Rethrows the task's exception, if any.  Safe to
+    // call from inside a pool worker.
+    void wait();
+
+   private:
+    friend class ThreadPool;
+    struct State;
+    Task(ThreadPool* pool, std::shared_ptr<State> state)
+        : pool_(pool), state_(std::move(state)) {}
+
+    ThreadPool* pool_ = nullptr;
+    std::shared_ptr<State> state_;
+  };
+
+  // Enqueue fn to run exactly once on some pool thread.
+  Task submit(std::function<void()> fn);
+
+  // Pop and run one queued task on the calling thread.  Returns false
+  // when the queue is empty.  This is the helping-wait primitive: any
+  // thread about to block on pool work should drain the queue first.
+  bool run_one();
+
   // Run fn(chunk_begin, chunk_end) over [begin, end) split into roughly
   // equal contiguous chunks, one per worker.  Blocks until all chunks are
   // done.  Exceptions thrown by fn are rethrown on the calling thread
@@ -34,18 +84,22 @@ class ThreadPool {
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t, std::size_t)>& fn);
 
-  // Process-wide pool, sized to hardware concurrency, created on first use.
+  // Process-wide pool, created on first use.  Sized to hardware
+  // concurrency unless the APPROX_THREADS environment variable names a
+  // positive thread count (clamped to [1, 1024]).
   static ThreadPool& global();
 
  private:
-  struct Task {
+  struct QueuedTask {
     std::function<void()> fn;
+    std::shared_ptr<Task::State> state;  // null for parallel_for chunks
   };
 
   void worker_loop();
+  static void run_task(QueuedTask& task);
 
   std::vector<std::thread> workers_;
-  std::queue<Task> queue_;
+  std::queue<QueuedTask> queue_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;

@@ -1,0 +1,246 @@
+#include "store/pipeline.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <vector>
+
+#include "common/error.h"
+#include "obs/metrics.h"
+
+namespace approx::store {
+
+namespace {
+
+constexpr int kMaxPipelineDepth = 64;
+
+struct PipelineMetrics {
+  obs::Gauge& depth = obs::registry().gauge("store.pipeline.depth");
+  obs::Gauge& in_flight = obs::registry().gauge("store.pipeline.in_flight");
+  obs::Counter& stall_read =
+      obs::registry().counter("store.pipeline.stall_read");
+  obs::Counter& stall_write =
+      obs::registry().counter("store.pipeline.stall_write");
+
+  static PipelineMetrics& get() {
+    static PipelineMetrics m;
+    return m;
+  }
+};
+
+// Stage of a failure, ordered within one chunk: a read error at chunk c
+// precedes a process error at chunk c precedes a write error at chunk c.
+enum Stage : int { kStageRead = 0, kStageProcess = 1, kStageWrite = 2 };
+
+struct FailKey {
+  std::uint64_t chunk = 0;
+  int stage = kStageRead;
+};
+
+bool key_lt(const FailKey& a, const FailKey& b) {
+  return a.chunk != b.chunk ? a.chunk < b.chunk : a.stage < b.stage;
+}
+
+struct Engine {
+  ThreadPool& pool;
+  const PipelineStages& stages;
+  const std::uint64_t chunks;
+  const int depth;
+  PipelineMetrics& metrics;
+
+  enum class SlotState { kFree, kBusy, kReady };
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<SlotState> slot;
+  std::uint64_t next_write = 0;  // next chunk to retire, in order
+  std::size_t in_flight = 0;     // chunks read but not yet retired
+  bool writer_active = false;    // a thread owns the ordered retire chain
+
+  bool failed = false;
+  FailKey fail_key{};
+  IoStatus fail_status = IoStatus::success();
+  std::exception_ptr fail_exception;
+
+  Engine(ThreadPool& p, const PipelineStages& s, std::uint64_t c, int d,
+         PipelineMetrics& m)
+      : pool(p), stages(s), chunks(c), depth(d), metrics(m) {
+    slot.assign(static_cast<std::size_t>(depth), SlotState::kFree);
+  }
+
+  // mu must be held.  Keep only the earliest failure in (chunk, stage)
+  // order; that is what a fully sequential run would have surfaced first.
+  void record_failure(FailKey key, IoStatus st, std::exception_ptr ex) {
+    if (!failed || key_lt(key, fail_key)) {
+      failed = true;
+      fail_key = key;
+      fail_status = std::move(st);
+      fail_exception = ex;
+    }
+  }
+
+  // mu must be held.  True when a recorded failure precedes `key`, i.e.
+  // the effect at `key` must not happen.
+  bool blocked(FailKey key) const {
+    return failed && key_lt(fail_key, key);
+  }
+
+  void publish_in_flight() {
+    metrics.in_flight.set(static_cast<double>(in_flight));
+  }
+
+  // Retire ready chunks at the head of the ring in order: run their write
+  // stage (unless a preceding failure cancels it) and free their slots.
+  // Exactly one thread drives the chain at a time; mu must be held.
+  void retire_ready(std::unique_lock<std::mutex>& lock) {
+    if (writer_active) return;
+    writer_active = true;
+    while (next_write < chunks) {
+      const auto s = static_cast<std::size_t>(next_write % depth);
+      if (slot[s] != SlotState::kReady) break;
+      const std::uint64_t c = next_write;
+      if (stages.write && !blocked({c, kStageWrite})) {
+        lock.unlock();
+        IoStatus st = IoStatus::success();
+        std::exception_ptr ex;
+        try {
+          st = stages.write(c, static_cast<int>(s));
+        } catch (...) {
+          ex = std::current_exception();
+        }
+        const bool bad = ex != nullptr || !st.ok();
+        if (bad && stages.reset) stages.reset(static_cast<int>(s));
+        lock.lock();
+        if (bad) record_failure({c, kStageWrite}, std::move(st), ex);
+      }
+      slot[s] = SlotState::kFree;
+      ++next_write;
+      --in_flight;
+      publish_in_flight();
+      cv.notify_all();
+    }
+    writer_active = false;
+  }
+
+  // Pool-task body for one chunk's process stage.
+  void run_process(std::uint64_t c, int s) {
+    bool skip;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      skip = blocked({c, kStageProcess});
+    }
+    IoStatus st = IoStatus::success();
+    std::exception_ptr ex;
+    if (!skip) {
+      try {
+        st = stages.process(c, s);
+      } catch (...) {
+        ex = std::current_exception();
+      }
+    }
+    const bool bad = ex != nullptr || !st.ok();
+    if (bad && stages.reset) stages.reset(s);
+    std::unique_lock<std::mutex> lock(mu);
+    if (bad) record_failure({c, kStageProcess}, std::move(st), ex);
+    slot[static_cast<std::size_t>(s)] = SlotState::kReady;
+    // Marking ready out of chunk order means the ordered write stage is
+    // blocked behind an earlier, still-unfinished chunk.
+    if (c != next_write) metrics.stall_write.add(1);
+    retire_ready(lock);
+  }
+
+  // Wait for pred while helping to run queued pool tasks, so the pipeline
+  // makes progress even when called from inside a pool worker.  mu must be
+  // held on entry; held again on return.
+  template <typename Pred>
+  void helping_wait(std::unique_lock<std::mutex>& lock, Pred pred) {
+    for (;;) {
+      if (pred()) return;
+      lock.unlock();
+      const bool ran = pool.run_one();
+      lock.lock();
+      if (ran) continue;
+      if (pred()) return;
+      cv.wait(lock);
+    }
+  }
+};
+
+}  // namespace
+
+int resolve_pipeline_depth(int requested, const ThreadPool& pool) {
+  if (requested > 0) return std::min(requested, kMaxPipelineDepth);
+  if (const char* env = std::getenv("APPROX_PIPELINE_DEPTH");
+      env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) {
+      return static_cast<int>(std::min<long>(v, kMaxPipelineDepth));
+    }
+  }
+  return std::clamp(static_cast<int>(pool.size()), 2, 8);
+}
+
+IoStatus run_pipeline(ThreadPool& pool, std::uint64_t chunks, int depth,
+                      const PipelineStages& stages) {
+  APPROX_REQUIRE(static_cast<bool>(stages.read), "pipeline needs a read stage");
+  APPROX_REQUIRE(static_cast<bool>(stages.process),
+                 "pipeline needs a process stage");
+  depth = std::clamp(depth, 1, kMaxPipelineDepth);
+  PipelineMetrics& metrics = PipelineMetrics::get();
+  metrics.depth.set(static_cast<double>(depth));
+  if (chunks == 0) return IoStatus::success();
+
+  Engine e(pool, stages, chunks, depth, metrics);
+  std::unique_lock<std::mutex> lock(e.mu);
+  for (std::uint64_t c = 0; c < chunks; ++c) {
+    if (e.blocked({c, kStageRead})) break;
+    const auto s = static_cast<std::size_t>(c % static_cast<std::uint64_t>(depth));
+    if (e.slot[s] != Engine::SlotState::kFree) {
+      metrics.stall_read.add(1);
+      e.helping_wait(lock,
+                     [&] { return e.slot[s] == Engine::SlotState::kFree; });
+    }
+    if (e.blocked({c, kStageRead})) break;
+    e.slot[s] = Engine::SlotState::kBusy;
+    ++e.in_flight;
+    e.publish_in_flight();
+    lock.unlock();
+
+    IoStatus st = IoStatus::success();
+    std::exception_ptr ex;
+    try {
+      st = stages.read(c, static_cast<int>(s));
+    } catch (...) {
+      ex = std::current_exception();
+    }
+    const bool bad = ex != nullptr || !st.ok();
+    if (bad && stages.reset) stages.reset(static_cast<int>(s));
+    if (!bad) {
+      pool.submit([&e, c, s] { e.run_process(c, static_cast<int>(s)); });
+      lock.lock();
+      continue;
+    }
+    lock.lock();
+    e.record_failure({c, kStageRead}, std::move(st), ex);
+    e.slot[s] = Engine::SlotState::kFree;
+    --e.in_flight;
+    e.publish_in_flight();
+    e.cv.notify_all();
+    break;
+  }
+
+  // Drain every in-flight chunk (their writes either commit or are
+  // cancelled by the recorded failure's ordering).
+  e.helping_wait(lock, [&] { return e.in_flight == 0; });
+  if (e.failed && e.fail_exception != nullptr) {
+    std::exception_ptr ex = e.fail_exception;
+    lock.unlock();
+    std::rethrow_exception(ex);
+  }
+  return e.failed ? e.fail_status : IoStatus::success();
+}
+
+}  // namespace approx::store

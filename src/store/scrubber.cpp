@@ -6,6 +6,7 @@
 #include "common/buffer.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "store/pipeline.h"
 
 namespace approx::store {
 
@@ -151,16 +152,33 @@ RepairOutcome ScrubService::repair_damage(const ScrubReport& report,
     }
   }
 
+  // Pipeline slots: sequential reads fill a slot and record its per-stripe
+  // erasure set, repair math runs concurrently, and the ordered write
+  // stage appends the rebuilt stripes and folds each slot's outcome.
+  ThreadPool& pipeline_pool = vol_.pool();
+  const int depth =
+      resolve_pipeline_depth(vol_.options().pipeline_depth, pipeline_pool);
+  const bool fan_out = depth < static_cast<int>(pipeline_pool.size());
+
   struct Slot {
     StripeBuffers stripe;
     std::vector<int> erased;
     std::vector<std::uint64_t> bad;
+    // Repair outcome of this chunk, folded in by the write stage.
+    bool repaired = false;
+    bool fully_recovered = true;
+    bool all_important_recovered = true;
+    std::uint64_t unimportant_bytes_lost = 0;
   };
-  Slot slots[2] = {{StripeBuffers(total, nb), {}, {}},
-                   {StripeBuffers(total, nb), {}, {}}};
+  std::vector<Slot> slots;
+  slots.reserve(static_cast<std::size_t>(depth));
+  for (int d = 0; d < depth; ++d) {
+    slots.push_back(Slot{StripeBuffers(total, nb), {}, {}});
+  }
 
-  const auto read_stage = [&](std::uint64_t c, int si) -> IoStatus {
-    Slot& slot = slots[si];
+  PipelineStages stages;
+  stages.read = [&](std::uint64_t c, int si) -> IoStatus {
+    Slot& slot = slots[static_cast<std::size_t>(si)];
     slot.erased.clear();
     for (int n = 0; n < total; ++n) {
       if (missing[static_cast<std::size_t>(n)]) {
@@ -180,16 +198,30 @@ RepairOutcome ScrubService::repair_damage(const ScrubReport& report,
     }
     return IoStatus::success();
   };
-
-  const auto process_stage = [&](std::uint64_t, int si) -> IoStatus {
-    Slot& slot = slots[si];
+  stages.process = [&](std::uint64_t, int si) -> IoStatus {
+    Slot& slot = slots[static_cast<std::size_t>(si)];
     auto spans = slot.stripe.spans();
-    if (!slot.erased.empty()) {
+    slot.repaired = !slot.erased.empty();
+    slot.fully_recovered = true;
+    slot.all_important_recovered = true;
+    slot.unimportant_bytes_lost = 0;
+    if (slot.repaired) {
       APPROX_OBS_SPAN(span_chunk, "store.stripe_repair");
-      const auto rep = code.repair(spans, slot.erased, code_opts);
-      outcome.fully_recovered &= rep.fully_recovered;
-      outcome.all_important_recovered &= rep.all_important_recovered;
-      outcome.unimportant_bytes_lost += rep.unimportant_data_bytes_lost;
+      const auto rep =
+          fan_out ? code.repair(spans, slot.erased, code_opts, pipeline_pool)
+                  : code.repair(spans, slot.erased, code_opts);
+      slot.fully_recovered = rep.fully_recovered;
+      slot.all_important_recovered = rep.all_important_recovered;
+      slot.unimportant_bytes_lost = rep.unimportant_data_bytes_lost;
+    }
+    return IoStatus::success();
+  };
+  stages.write = [&](std::uint64_t, int si) -> IoStatus {
+    Slot& slot = slots[static_cast<std::size_t>(si)];
+    if (slot.repaired) {
+      outcome.fully_recovered &= slot.fully_recovered;
+      outcome.all_important_recovered &= slot.all_important_recovered;
+      outcome.unimportant_bytes_lost += slot.unimportant_bytes_lost;
       ++outcome.stripes_repaired;
     }
     for (std::size_t w = 0; w < writers.size(); ++w) {
@@ -200,9 +232,15 @@ RepairOutcome ScrubService::repair_damage(const ScrubReport& report,
     }
     return IoStatus::success();
   };
+  stages.reset = [&](int si) {
+    Slot& slot = slots[static_cast<std::size_t>(si)];
+    slot.erased.clear();
+    slot.bad.clear();
+    slot.repaired = false;
+    for (int n = 0; n < total; ++n) slot.stripe.clear_node(n);
+  };
 
-  IoStatus st =
-      run_pipeline(vol_.pool(), vol_.manifest().chunks, read_stage, process_stage);
+  IoStatus st = run_pipeline(pipeline_pool, vol_.manifest().chunks, depth, stages);
   if (!st.ok()) {
     abort_writers();
     throw StoreError(st.code, "repairing volume: " + st.message);

@@ -8,6 +8,7 @@
 #include "common/crc32.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "store/pipeline.h"
 
 namespace approx::store {
 
@@ -39,33 +40,14 @@ struct RobustnessMetrics {
   }
 };
 
-}  // namespace
-
-IoStatus run_pipeline(ThreadPool& pool, std::uint64_t chunks,
-                      const std::function<IoStatus(std::uint64_t, int)>& read,
-                      const std::function<IoStatus(std::uint64_t, int)>& process) {
-  if (chunks == 0) return IoStatus::success();
-  IoStatus st = read(0, 0);
-  if (!st.ok()) return st;
-  for (std::uint64_t c = 0; c < chunks; ++c) {
-    const int cur = static_cast<int>(c % 2);
-    const int nxt = 1 - cur;
-    IoStatus st_process = IoStatus::success();
-    IoStatus st_read = IoStatus::success();
-    pool.parallel_for(0, 2, [&](std::size_t lo, std::size_t hi) {
-      for (std::size_t i = lo; i < hi; ++i) {
-        if (i == 0) {
-          st_process = process(c, cur);
-        } else if (c + 1 < chunks) {
-          st_read = read(c + 1, nxt);
-        }
-      }
-    });
-    if (!st_process.ok()) return st_process;
-    if (!st_read.ok()) return st_read;
-  }
-  return IoStatus::success();
+// When stripe-level pipelining alone cannot fill the pool (fewer in-flight
+// stripes than workers), fan each stripe's codec work out across the pool
+// too via the codes/parallel sub-views.
+bool fan_out_codec(int depth, const ThreadPool& pool) {
+  return depth < static_cast<int>(pool.size());
 }
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Construction
@@ -291,21 +273,30 @@ VolumeStore VolumeStore::encode_file(IoBackend& io,
     if (!st.ok()) throw_io(st, "opening chunk file for write");
   }
 
-  // Double-buffered staging: the read stage fills slot (c+1)%2 and chains
-  // the two running stream CRCs while the codec works on slot c%2.
+  // Pipelined staging: the sequential read stage fills slot c % depth and
+  // chains the two running stream CRCs; the concurrent process stage
+  // scatters + encodes the slot's stripe; the ordered write stage appends
+  // the stripe to every node file in chunk order.
+  ThreadPool& pool = opts.pool != nullptr ? *opts.pool : ThreadPool::global();
+  const int depth = resolve_pipeline_depth(opts.pipeline_depth, pool);
+  const bool fan_out = fan_out_codec(depth, pool);
+
   struct Staged {
     std::vector<std::uint8_t> imp, unimp;
+    StripeBuffers stripe;
   };
-  Staged staged[2];
-  for (auto& s : staged) {
-    s.imp.resize(icap);
-    s.unimp.resize(ucap);
+  std::vector<Staged> slots;
+  slots.reserve(static_cast<std::size_t>(depth));
+  for (int d = 0; d < depth; ++d) {
+    slots.push_back(Staged{std::vector<std::uint8_t>(icap),
+                           std::vector<std::uint8_t>(ucap),
+                           StripeBuffers(code.total_nodes(), code.node_bytes())});
   }
   std::uint32_t crc_imp = 0, crc_unimp = 0;
-  StripeBuffers stripe(code.total_nodes(), code.node_bytes());
 
-  const auto read_stage = [&](std::uint64_t c, int slot) -> IoStatus {
-    auto& s = staged[slot];
+  PipelineStages stages;
+  stages.read = [&](std::uint64_t c, int slot) -> IoStatus {
+    auto& s = slots[static_cast<std::size_t>(slot)];
     std::fill(s.imp.begin(), s.imp.end(), std::uint8_t{0});
     std::fill(s.unimp.begin(), s.unimp.end(), std::uint8_t{0});
     const std::uint64_t ioff = c * icap;
@@ -328,22 +319,34 @@ VolumeStore VolumeStore::encode_file(IoBackend& io,
     }
     return IoStatus::success();
   };
-
-  const auto process_stage = [&](std::uint64_t, int slot) -> IoStatus {
+  stages.process = [&](std::uint64_t, int slot) -> IoStatus {
     APPROX_OBS_SPAN(span_chunk, "store.stripe_encode");
-    auto& s = staged[slot];
-    auto spans = stripe.spans();
+    auto& s = slots[static_cast<std::size_t>(slot)];
+    auto spans = s.stripe.spans();
     code.scatter(s.imp, s.unimp, spans);
-    code.encode(spans);
+    if (fan_out) {
+      code.encode(spans, pool);
+    } else {
+      code.encode(spans);
+    }
+    return IoStatus::success();
+  };
+  stages.write = [&](std::uint64_t, int slot) -> IoStatus {
+    auto& s = slots[static_cast<std::size_t>(slot)];
     for (int n = 0; n < code.total_nodes(); ++n) {
-      IoStatus wst = writers[static_cast<std::size_t>(n)]->append(stripe.node(n));
+      IoStatus wst = writers[static_cast<std::size_t>(n)]->append(s.stripe.node(n));
       if (!wst.ok()) return wst;
     }
     return IoStatus::success();
   };
+  stages.reset = [&](int slot) {
+    auto& s = slots[static_cast<std::size_t>(slot)];
+    std::fill(s.imp.begin(), s.imp.end(), std::uint8_t{0});
+    std::fill(s.unimp.begin(), s.unimp.end(), std::uint8_t{0});
+    for (int n = 0; n < s.stripe.nodes(); ++n) s.stripe.clear_node(n);
+  };
 
-  ThreadPool& pool = opts.pool != nullptr ? *opts.pool : ThreadPool::global();
-  st = run_pipeline(pool, m.chunks, read_stage, process_stage);
+  st = run_pipeline(pool, m.chunks, depth, stages);
   if (!st.ok()) {
     for (auto& w : writers) w->abort();
     throw_io(st, "encoding volume");
@@ -451,18 +454,39 @@ VolumeStore::DecodeResult VolumeStore::decode_file(
   IoStatus st = io_.open(output, IoBackend::OpenMode::kTruncate, out);
   if (!st.ok()) throw_io(st, "opening output");
 
+  // Pipeline slots: the sequential read stage fills the slot's stripe and
+  // tracks per-stripe erasures; the concurrent process stage repairs and
+  // gathers into slot-local stream buffers; the ordered write stage
+  // pwrites them, chains the output CRCs and folds the slot's repair
+  // bookkeeping into the shared result.
+  ThreadPool& pipeline_pool = pool();
+  const int depth = resolve_pipeline_depth(opts_.pipeline_depth, pipeline_pool);
+  const bool fan_out = fan_out_codec(depth, pipeline_pool);
+
   struct Slot {
     StripeBuffers stripe;
     std::vector<std::uint64_t> bad;
     std::vector<int> erased;  // erased members of this stripe, ascending
+    std::vector<std::uint8_t> imp, unimp;
+    // Repair outcome of this chunk, folded in by the write stage.
+    bool repaired = false;
+    bool important_ok = true;
+    std::uint64_t lost_bytes = 0;
   };
-  Slot slots[2] = {{StripeBuffers(total, nb), {}, {}},
-                   {StripeBuffers(total, nb), {}, {}}};
-  std::vector<std::uint8_t> imp(icap), unimp(ucap);
+  std::vector<Slot> slots;
+  slots.reserve(static_cast<std::size_t>(depth));
+  for (int d = 0; d < depth; ++d) {
+    slots.push_back(Slot{StripeBuffers(total, nb),
+                         {},
+                         {},
+                         std::vector<std::uint8_t>(icap),
+                         std::vector<std::uint8_t>(ucap)});
+  }
   std::uint32_t crc_imp = 0, crc_unimp = 0;
 
-  const auto read_stage = [&](std::uint64_t c, int si) -> IoStatus {
-    Slot& slot = slots[si];
+  PipelineStages stages;
+  stages.read = [&](std::uint64_t c, int si) -> IoStatus {
+    Slot& slot = slots[static_cast<std::size_t>(si)];
     slot.erased.clear();
     for (int n = 0; n < total; ++n) {
       if (deg.dead[static_cast<std::size_t>(n)]) {
@@ -495,29 +519,41 @@ VolumeStore::DecodeResult VolumeStore::decode_file(
     deg.any_degraded |= !slot.erased.empty();
     return IoStatus::success();
   };
-
-  const auto process_stage = [&](std::uint64_t c, int si) -> IoStatus {
+  stages.process = [&](std::uint64_t, int si) -> IoStatus {
     APPROX_OBS_SPAN(span_chunk, "store.stripe_decode");
-    Slot& slot = slots[si];
+    Slot& slot = slots[static_cast<std::size_t>(si)];
     auto spans = slot.stripe.spans();
-    if (!slot.erased.empty()) {
+    slot.repaired = !slot.erased.empty();
+    slot.important_ok = true;
+    slot.lost_bytes = 0;
+    if (slot.repaired) {
       // Exact reconstruction of the erased members in scratch memory; the
       // on-disk files are untouched.  Anything the code cannot restore
       // stays zero-filled and is reported as explicit loss below.
-      const auto rep = code_->repair(spans, slot.erased);
-      ++result.degraded_stripes;
-      result.important_ok &= rep.all_important_recovered;
-      result.unrecoverable_bytes +=
+      const auto rep =
+          fan_out ? code_->repair(spans, slot.erased, {}, pipeline_pool)
+                  : code_->repair(spans, slot.erased);
+      slot.important_ok = rep.all_important_recovered;
+      slot.lost_bytes =
           rep.important_data_bytes_lost + rep.unimportant_data_bytes_lost;
     }
-    code_->gather(spans, imp, unimp);
+    code_->gather(spans, slot.imp, slot.unimp);
+    return IoStatus::success();
+  };
+  stages.write = [&](std::uint64_t c, int si) -> IoStatus {
+    Slot& slot = slots[static_cast<std::size_t>(si)];
+    if (slot.repaired) {
+      ++result.degraded_stripes;
+      result.important_ok &= slot.important_ok;
+      result.unrecoverable_bytes += slot.lost_bytes;
+    }
     const std::uint64_t ioff = c * icap;
     if (ioff < manifest_.important_len) {
       const std::size_t len = static_cast<std::size_t>(
           std::min<std::uint64_t>(icap, manifest_.important_len - ioff));
-      const IoStatus wst = out->pwrite(ioff, {imp.data(), len});
+      const IoStatus wst = out->pwrite(ioff, {slot.imp.data(), len});
       if (!wst.ok()) return wst;
-      crc_imp = crc32({imp.data(), len}, crc_imp);
+      crc_imp = crc32({slot.imp.data(), len}, crc_imp);
       result.bytes += len;
     }
     const std::uint64_t uoff = c * ucap;
@@ -525,15 +561,24 @@ VolumeStore::DecodeResult VolumeStore::decode_file(
       const std::size_t len = static_cast<std::size_t>(
           std::min<std::uint64_t>(ucap, unimp_len - uoff));
       const IoStatus wst =
-          out->pwrite(manifest_.important_len + uoff, {unimp.data(), len});
+          out->pwrite(manifest_.important_len + uoff, {slot.unimp.data(), len});
       if (!wst.ok()) return wst;
-      crc_unimp = crc32({unimp.data(), len}, crc_unimp);
+      crc_unimp = crc32({slot.unimp.data(), len}, crc_unimp);
       result.bytes += len;
     }
     return IoStatus::success();
   };
+  stages.reset = [&](int si) {
+    Slot& slot = slots[static_cast<std::size_t>(si)];
+    slot.erased.clear();
+    slot.bad.clear();
+    slot.repaired = false;
+    slot.important_ok = true;
+    slot.lost_bytes = 0;
+    for (int n = 0; n < total; ++n) slot.stripe.clear_node(n);
+  };
 
-  st = run_pipeline(pool(), manifest_.chunks, read_stage, process_stage);
+  st = run_pipeline(pipeline_pool, manifest_.chunks, depth, stages);
   if (!st.ok()) throw_io(st, "decoding volume");
   st = out->sync();
   if (!st.ok()) throw_io(st, "syncing output");
@@ -584,42 +629,91 @@ VolumeStore::DecodeResult VolumeStore::read(std::uint64_t offset,
                          open_errors);
   }
 
-  // Chunks c and c+1 never share bytes of the logical stream, so the range
-  // is served chunk by chunk; within a chunk the codec's degraded-read
-  // plans pull the minimum schedule slice for whatever is erased.
-  StripeBuffers stripe(total, nb);
-  std::vector<std::uint64_t> bad;
-  const auto serve_chunk = [&](std::uint64_t c) -> IoStatus {
+  // Chunk range covered by the request in either stream.
+  std::uint64_t first = manifest_.chunks, last = 0;
+  if (offset < manifest_.important_len && !out.empty()) {
+    first = std::min(first, offset / icap);
+    const std::uint64_t hi = std::min<std::uint64_t>(
+        offset + out.size(), manifest_.important_len);
+    last = std::max(last, (hi - 1) / icap);
+  }
+  if (offset + out.size() > manifest_.important_len && !out.empty()) {
+    const std::uint64_t lo =
+        offset > manifest_.important_len ? offset - manifest_.important_len : 0;
+    const std::uint64_t hi = offset + out.size() - manifest_.important_len;
+    first = std::min(first, lo / ucap);
+    last = std::max(last, (hi - 1) / ucap);
+  }
+  const std::uint64_t covered =
+      first < manifest_.chunks
+          ? std::min(last, manifest_.chunks - 1) - first + 1
+          : 0;
+
+  // Chunks c and c+1 never share bytes of the logical stream, so the
+  // chunks are pipelined independently: the concurrent process stage
+  // serves each chunk's intersection with the request (disjoint sub-spans
+  // of `out`) through the codec's degraded-read plans, which pull the
+  // minimum schedule slice for whatever is erased.  The (I/O-free) write
+  // stage folds per-slot bookkeeping into the result in chunk order.
+  ThreadPool& pipeline_pool = pool();
+  const int depth = resolve_pipeline_depth(opts_.pipeline_depth, pipeline_pool);
+
+  struct Slot {
+    StripeBuffers stripe;
+    std::vector<std::uint64_t> bad;
     std::vector<int> erased;
+    std::uint64_t bytes = 0;
+    std::uint64_t unrecoverable = 0;
+    bool important_ok = true;
+  };
+  std::vector<Slot> slots;
+  slots.reserve(static_cast<std::size_t>(depth));
+  for (int d = 0; d < depth; ++d) {
+    slots.push_back(Slot{StripeBuffers(total, nb), {}, {}});
+  }
+
+  PipelineStages stages;
+  stages.read = [&](std::uint64_t index, int si) -> IoStatus {
+    const std::uint64_t c = first + index;
+    Slot& slot = slots[static_cast<std::size_t>(si)];
+    slot.erased.clear();
     for (int n = 0; n < total; ++n) {
       if (deg.dead[static_cast<std::size_t>(n)]) {
-        stripe.clear_node(n);
-        erased.push_back(n);
+        slot.stripe.clear_node(n);
+        slot.erased.push_back(n);
         continue;
       }
-      bad.clear();
+      slot.bad.clear();
       IoStatus rst = readers[static_cast<std::size_t>(n)]->read(
-          c * nb, stripe.node(n), &bad);
+          c * nb, slot.stripe.node(n), &slot.bad);
       if (!rst.ok()) {
         if (!opts.allow_degraded) return rst;
         deg.dead[static_cast<std::size_t>(n)] = true;
-        stripe.clear_node(n);
-        erased.push_back(n);
+        slot.stripe.clear_node(n);
+        slot.erased.push_back(n);
         continue;
       }
-      if (!bad.empty()) {
-        result.corrupt_blocks += bad.size();
+      if (!slot.bad.empty()) {
+        result.corrupt_blocks += slot.bad.size();
         if (!opts.allow_degraded) continue;
         deg.corrupt[static_cast<std::size_t>(n)] = true;
-        stripe.clear_node(n);
-        erased.push_back(n);
+        slot.stripe.clear_node(n);
+        slot.erased.push_back(n);
       }
     }
-    if (!erased.empty()) {
+    if (!slot.erased.empty()) {
       deg.any_degraded = true;
       ++result.degraded_stripes;
     }
-    auto spans = stripe.spans();
+    return IoStatus::success();
+  };
+  stages.process = [&](std::uint64_t index, int si) -> IoStatus {
+    const std::uint64_t c = first + index;
+    Slot& slot = slots[static_cast<std::size_t>(si)];
+    slot.bytes = 0;
+    slot.unrecoverable = 0;
+    slot.important_ok = true;
+    auto spans = slot.stripe.spans();
 
     // Intersect the requested range with this chunk's important slice.
     const std::uint64_t req_lo = offset;
@@ -634,13 +728,13 @@ VolumeStore::DecodeResult VolumeStore::read(std::uint64_t offset,
       auto dst = out.subspan(static_cast<std::size_t>(lo - req_lo),
                              static_cast<std::size_t>(hi - lo));
       const auto rep = code_->degraded_read_important(
-          spans, erased, static_cast<std::size_t>(lo - imp_lo), dst);
+          spans, slot.erased, static_cast<std::size_t>(lo - imp_lo), dst);
       if (!rep.ok) {
         std::memset(dst.data(), 0, dst.size());
-        result.important_ok = false;
-        result.unrecoverable_bytes += dst.size();
+        slot.important_ok = false;
+        slot.unrecoverable += dst.size();
       }
-      result.bytes += dst.size();
+      slot.bytes += dst.size();
     }
 
     // ... and with its unimportant slice (stream offsets shifted by
@@ -660,35 +754,34 @@ VolumeStore::DecodeResult VolumeStore::read(std::uint64_t offset,
           static_cast<std::size_t>(lo + manifest_.important_len - req_lo),
           static_cast<std::size_t>(hi - lo));
       const auto rep = code_->degraded_read_unimportant(
-          spans, erased, static_cast<std::size_t>(lo - un_lo), dst);
+          spans, slot.erased, static_cast<std::size_t>(lo - un_lo), dst);
       if (!rep.ok) {
         std::memset(dst.data(), 0, dst.size());
-        result.unrecoverable_bytes += dst.size();
+        slot.unrecoverable += dst.size();
       }
-      result.bytes += dst.size();
+      slot.bytes += dst.size();
     }
     return IoStatus::success();
   };
+  stages.write = [&](std::uint64_t, int si) -> IoStatus {
+    Slot& slot = slots[static_cast<std::size_t>(si)];
+    result.bytes += slot.bytes;
+    result.unrecoverable_bytes += slot.unrecoverable;
+    result.important_ok &= slot.important_ok;
+    return IoStatus::success();
+  };
+  stages.reset = [&](int si) {
+    Slot& slot = slots[static_cast<std::size_t>(si)];
+    slot.erased.clear();
+    slot.bad.clear();
+    slot.bytes = 0;
+    slot.unrecoverable = 0;
+    slot.important_ok = true;
+    for (int n = 0; n < total; ++n) slot.stripe.clear_node(n);
+  };
 
-  // Chunk range covered by the request in either stream.
-  std::uint64_t first = manifest_.chunks, last = 0;
-  if (offset < manifest_.important_len && !out.empty()) {
-    first = std::min(first, offset / icap);
-    const std::uint64_t hi = std::min<std::uint64_t>(
-        offset + out.size(), manifest_.important_len);
-    last = std::max(last, (hi - 1) / icap);
-  }
-  if (offset + out.size() > manifest_.important_len && !out.empty()) {
-    const std::uint64_t lo =
-        offset > manifest_.important_len ? offset - manifest_.important_len : 0;
-    const std::uint64_t hi = offset + out.size() - manifest_.important_len;
-    first = std::min(first, lo / ucap);
-    last = std::max(last, (hi - 1) / ucap);
-  }
-  for (std::uint64_t c = first; c <= last && c < manifest_.chunks; ++c) {
-    const IoStatus st = serve_chunk(c);
-    if (!st.ok()) throw_io(st, "degraded read");
-  }
+  const IoStatus st = run_pipeline(pipeline_pool, covered, depth, stages);
+  if (!st.ok()) throw_io(st, "degraded read");
 
   finish_degraded(*this, deg, opts, result);
   // No whole-file CRC applies to a sub-range: crc_ok here means "every
@@ -715,18 +808,46 @@ VolumeStore::ParityScrubResult VolumeStore::parity_scrub() {
                                     st.message);
     }
   }
-  StripeBuffers stripe(code_->total_nodes(), nb);
-  for (std::uint64_t c = 0; c < manifest_.chunks; ++c) {
-    for (int n = 0; n < code_->total_nodes(); ++n) {
-      const IoStatus st =
-          readers[static_cast<std::size_t>(n)]->read(c * nb, stripe.node(n),
-                                                     nullptr);
-      if (!st.ok()) throw_io(st, "parity scrub read");
-    }
-    auto spans = stripe.spans();
-    result.mismatched_elements += code_->scrub(spans).mismatched.size();
-    ++result.stripes;
+  // Stripes are verified independently: sequential reads feed the ring,
+  // scrub math runs concurrently, and the (I/O-free) write stage folds the
+  // per-stripe mismatch counts in order.
+  ThreadPool& pipeline_pool = pool();
+  const int depth = resolve_pipeline_depth(opts_.pipeline_depth, pipeline_pool);
+
+  struct Slot {
+    StripeBuffers stripe;
+    std::uint64_t mismatched = 0;
+  };
+  std::vector<Slot> slots;
+  slots.reserve(static_cast<std::size_t>(depth));
+  for (int d = 0; d < depth; ++d) {
+    slots.push_back(Slot{StripeBuffers(code_->total_nodes(), nb)});
   }
+
+  PipelineStages stages;
+  stages.read = [&](std::uint64_t c, int si) -> IoStatus {
+    Slot& slot = slots[static_cast<std::size_t>(si)];
+    for (int n = 0; n < code_->total_nodes(); ++n) {
+      const IoStatus st = readers[static_cast<std::size_t>(n)]->read(
+          c * nb, slot.stripe.node(n), nullptr);
+      if (!st.ok()) return st;
+    }
+    return IoStatus::success();
+  };
+  stages.process = [&](std::uint64_t, int si) -> IoStatus {
+    Slot& slot = slots[static_cast<std::size_t>(si)];
+    auto spans = slot.stripe.spans();
+    slot.mismatched = code_->scrub(spans).mismatched.size();
+    return IoStatus::success();
+  };
+  stages.write = [&](std::uint64_t, int si) -> IoStatus {
+    result.mismatched_elements += slots[static_cast<std::size_t>(si)].mismatched;
+    ++result.stripes;
+    return IoStatus::success();
+  };
+
+  const IoStatus st = run_pipeline(pipeline_pool, manifest_.chunks, depth, stages);
+  if (!st.ok()) throw_io(st, "parity scrub read");
   return result;
 }
 

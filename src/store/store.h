@@ -2,10 +2,11 @@
 //
 // A VolumeStore binds a volume directory (see format.h / docs/storage.md)
 // to its codec and streams data between files and stripes in bounded
-// memory: encode, decode and repair all work stripe-at-a-time with
-// double-buffered I/O over common/thread_pool.h, so a multi-gigabyte input
-// never lives in RAM at once (peak usage is two input staging buffers plus
-// two stripes regardless of file size).
+// memory: encode, decode and repair all flow through the multi-stripe
+// pipeline engine (store/pipeline.h) over common/thread_pool.h, so a
+// multi-gigabyte input never lives in RAM at once (peak usage is
+// pipeline_depth staging buffers plus pipeline_depth stripes regardless of
+// file size).
 //
 // Unrecoverable I/O failures surface as StoreError carrying the final
 // IoCode (transient failures are retried with exponential backoff first);
@@ -45,16 +46,12 @@ struct StoreOptions {
   std::size_t io_payload = kDefaultIoPayload;
   RetryPolicy retry;
   ThreadPool* pool = nullptr;  // nullptr selects ThreadPool::global()
+  // In-flight stripes of the streaming pipeline (see store/pipeline.h).
+  // 0 = auto: the APPROX_PIPELINE_DEPTH environment variable if set, else
+  // sized to the pool (clamped to [2, 8]).  Depth 1 serializes
+  // read/code/write per stripe, reproducing the pre-pipeline behavior.
+  int pipeline_depth = 0;
 };
-
-// Two-slot streaming pipeline shared by encode, decode and repair:
-// process(c, slot) runs concurrently with read(c+1, other_slot) on the
-// pool, so the codec is never idle waiting for the disk and vice versa.
-// read(0, 0) is issued before the loop; with a single-worker pool the
-// stages serialize.  Returns the first failing status.
-IoStatus run_pipeline(ThreadPool& pool, std::uint64_t chunks,
-                      const std::function<IoStatus(std::uint64_t, int)>& read,
-                      const std::function<IoStatus(std::uint64_t, int)>& process);
 
 class VolumeStore {
  public:

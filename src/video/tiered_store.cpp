@@ -5,6 +5,7 @@
 
 #include "common/crc32.h"
 #include "common/error.h"
+#include "common/thread_pool.h"
 #include "store/scrubber.h"
 
 namespace approx::video {
@@ -46,25 +47,31 @@ void TieredVideoStore::put(const EncodedVideo& video, ImportancePolicy policy) {
       1, std::max((important_len_ + imp_cap - 1) / imp_cap,
                   (unimportant_len_ + unimp_cap - 1) / unimp_cap));
 
-  for (std::size_t c = 0; c < chunks; ++c) {
-    std::vector<std::uint8_t> imp(imp_cap, 0);
-    std::vector<std::uint8_t> unimp(unimp_cap, 0);
-    const std::size_t imp_off = c * imp_cap;
-    if (imp_off < important_len_) {
-      const std::size_t len = std::min(imp_cap, important_len_ - imp_off);
-      std::memcpy(imp.data(), classified.important.data() + imp_off, len);
+  // Chunks are independent global stripes, so they scatter + encode in
+  // parallel across the pool (each worker owns its chunk's buffers).
+  chunks_.resize(chunks);
+  ThreadPool::global().parallel_for(0, chunks, [&](std::size_t lo,
+                                                   std::size_t hi) {
+    for (std::size_t c = lo; c < hi; ++c) {
+      std::vector<std::uint8_t> imp(imp_cap, 0);
+      std::vector<std::uint8_t> unimp(unimp_cap, 0);
+      const std::size_t imp_off = c * imp_cap;
+      if (imp_off < important_len_) {
+        const std::size_t len = std::min(imp_cap, important_len_ - imp_off);
+        std::memcpy(imp.data(), classified.important.data() + imp_off, len);
+      }
+      const std::size_t unimp_off = c * unimp_cap;
+      if (unimp_off < unimportant_len_) {
+        const std::size_t len = std::min(unimp_cap, unimportant_len_ - unimp_off);
+        std::memcpy(unimp.data(), classified.unimportant.data() + unimp_off, len);
+      }
+      StripeBuffers buffers(code_->total_nodes(), code_->node_bytes());
+      auto spans = buffers.spans();
+      code_->scatter(imp, unimp, spans);
+      code_->encode(spans);
+      chunks_[c] = std::move(buffers);
     }
-    const std::size_t unimp_off = c * unimp_cap;
-    if (unimp_off < unimportant_len_) {
-      const std::size_t len = std::min(unimp_cap, unimportant_len_ - unimp_off);
-      std::memcpy(unimp.data(), classified.unimportant.data() + unimp_off, len);
-    }
-    StripeBuffers buffers(code_->total_nodes(), code_->node_bytes());
-    auto spans = buffers.spans();
-    code_->scatter(imp, unimp, spans);
-    code_->encode(spans);
-    chunks_.push_back(std::move(buffers));
-  }
+  });
 }
 
 void TieredVideoStore::fail_nodes(std::span<const int> nodes) {
@@ -80,15 +87,30 @@ void TieredVideoStore::fail_nodes(std::span<const int> nodes) {
 TieredVideoStore::RepairSummary TieredVideoStore::repair() {
   RepairSummary summary;
   summary.chunks = chunks_.size();
-  for (auto& chunk : chunks_) {
-    auto spans = chunk.spans();
-    const auto report = code_->repair(spans, failed_);
-    summary.fully_recovered &= report.fully_recovered;
-    summary.all_important_recovered &= report.all_important_recovered;
-    summary.unimportant_data_bytes_lost += report.unimportant_data_bytes_lost;
-    summary.important_data_bytes_lost += report.important_data_bytes_lost;
-    summary.bytes_read += report.bytes_read;
-    summary.bytes_written += report.bytes_written;
+  // One repair task per chunk; the per-chunk partials fold deterministically
+  // in chunk order afterwards (sums and ANDs, so order is moot anyway).
+  std::vector<RepairSummary> partial(chunks_.size());
+  ThreadPool::global().parallel_for(
+      0, chunks_.size(), [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t c = lo; c < hi; ++c) {
+          auto spans = chunks_[c].spans();
+          const auto report = code_->repair(spans, failed_);
+          RepairSummary& p = partial[c];
+          p.fully_recovered = report.fully_recovered;
+          p.all_important_recovered = report.all_important_recovered;
+          p.unimportant_data_bytes_lost = report.unimportant_data_bytes_lost;
+          p.important_data_bytes_lost = report.important_data_bytes_lost;
+          p.bytes_read = report.bytes_read;
+          p.bytes_written = report.bytes_written;
+        }
+      });
+  for (const RepairSummary& p : partial) {
+    summary.fully_recovered &= p.fully_recovered;
+    summary.all_important_recovered &= p.all_important_recovered;
+    summary.unimportant_data_bytes_lost += p.unimportant_data_bytes_lost;
+    summary.important_data_bytes_lost += p.important_data_bytes_lost;
+    summary.bytes_read += p.bytes_read;
+    summary.bytes_written += p.bytes_written;
   }
   if (summary.fully_recovered) failed_.clear();
   return summary;
@@ -278,11 +300,14 @@ TieredVideoStore TieredVideoStore::load_spill(store::IoBackend& io,
   // tolerance the erased pieces stay zero-filled, so reassemble() flags
   // exactly those frames lost and the recovery module interpolates them
   // instead of this load throwing.
-  for (std::uint64_t c = 0; c < m.chunks; ++c) {
-    if (erased[c].empty()) continue;
-    auto spans = out.chunks_[c].spans();
-    (void)out.code_->repair(spans, erased[c]);
-  }
+  ThreadPool::global().parallel_for(
+      0, m.chunks, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t c = lo; c < hi; ++c) {
+          if (erased[c].empty()) continue;
+          auto spans = out.chunks_[c].spans();
+          (void)out.code_->repair(spans, erased[c]);
+        }
+      });
   // Self-healing hand-off: corrupt chunk files are quarantined (so the
   // damage survives this process - reopening the volume sweeps the
   // quarantine debris back into the repair queue) and everything damaged

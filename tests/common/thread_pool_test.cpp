@@ -115,5 +115,81 @@ TEST(ThreadPool, GlobalPoolIsSingleton) {
   EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
 }
 
+// --- task API -------------------------------------------------------------
+
+TEST(ThreadPoolTask, SubmitRunsAndWaitCompletes) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  auto t = pool.submit([&] { ran.fetch_add(1); });
+  ASSERT_TRUE(t.valid());
+  t.wait();
+  EXPECT_TRUE(t.done());
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolTask, DefaultConstructedTaskIsInvalid) {
+  ThreadPool::Task t;
+  EXPECT_FALSE(t.valid());
+}
+
+TEST(ThreadPoolTask, ManyTasksAllRunExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(200);
+  std::vector<ThreadPool::Task> tasks;
+  tasks.reserve(hits.size());
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    tasks.push_back(pool.submit([&hits, i] { hits[i].fetch_add(1); }));
+  }
+  for (auto& t : tasks) t.wait();
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTask, WaitRethrowsTaskException) {
+  ThreadPool pool(2);
+  auto t = pool.submit([] { throw InvalidArgument("task boom"); });
+  EXPECT_THROW(t.wait(), InvalidArgument);
+  // Pool stays usable after a failed task.
+  auto ok = pool.submit([] {});
+  ok.wait();
+  EXPECT_TRUE(ok.done());
+}
+
+TEST(ThreadPoolTask, WaitHelpsOnSingleWorkerPool) {
+  // With one worker busy inside wait(), progress requires the helping wait
+  // (the waiter drains the queue itself).  A deadlock here hangs the test.
+  ThreadPool pool(1);
+  std::atomic<int> ran{0};
+  auto outer = pool.submit([&] {
+    auto inner = pool.submit([&] { ran.fetch_add(1); });
+    inner.wait();
+    ran.fetch_add(1);
+  });
+  outer.wait();
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(ThreadPoolTask, NestedParallelForInsideTaskDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> sum{0};
+  std::vector<ThreadPool::Task> tasks;
+  for (int t = 0; t < 4; ++t) {
+    tasks.push_back(pool.submit([&] {
+      pool.parallel_for(0, 100, [&](std::size_t lo, std::size_t hi) {
+        sum.fetch_add(hi - lo);
+      });
+    }));
+  }
+  for (auto& t : tasks) t.wait();
+  EXPECT_EQ(sum.load(), 400u);
+}
+
+TEST(ThreadPoolTask, WaitIsIdempotent) {
+  ThreadPool pool(2);
+  auto t = pool.submit([] {});
+  t.wait();
+  t.wait();  // second wait on a finished task returns immediately
+  EXPECT_TRUE(t.done());
+}
+
 }  // namespace
 }  // namespace approx

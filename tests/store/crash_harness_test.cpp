@@ -25,6 +25,7 @@
 //      code's tolerance.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <random>
@@ -68,25 +69,30 @@ RetryPolicy no_retry() {
   return p;
 }
 
-StoreOptions crash_opts() {
-  StoreOptions opts;
-  opts.io_payload = 1024;
-  opts.retry = no_retry();
-  return opts;
-}
-
 const char* mode_name(CrashMode mode) {
   return mode == CrashMode::kFailStop ? "fail-stop" : "torn-write";
 }
 
-class CrashHarnessTest : public ::testing::Test {
+// Parameterized over the store pipeline depth: the on-disk mutation
+// sequence is the ordered write stage at every depth, so every crash
+// invariant must hold whether stripes are streamed serially (depth 1, the
+// pre-pipeline behavior) or many-at-a-time (depths 2 and 8).
+class CrashHarnessTest : public ::testing::TestWithParam<int> {
  protected:
+  StoreOptions crash_opts() {
+    StoreOptions opts;
+    opts.io_payload = 1024;
+    opts.retry = no_retry();
+    opts.pipeline_depth = GetParam();
+    return opts;
+  }
+
   void SetUp() override {
-    dir_ = fs::path(::testing::TempDir()) /
-           ("approxcrash_" +
-            std::string(::testing::UnitTest::GetInstance()
-                            ->current_test_info()
-                            ->name()));
+    // Parameterized test names contain '/'; flatten for the path.
+    std::string name =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::replace(name.begin(), name.end(), '/', '_');
+    dir_ = fs::path(::testing::TempDir()) / ("approxcrash_" + name);
     fs::remove_all(dir_);
     fs::create_directories(dir_);
     data_ = random_bytes(30000, 11);
@@ -149,7 +155,7 @@ class CrashHarnessTest : public ::testing::Test {
 // Crash at every mutation of a fresh encode (chunk-file put + seal,
 // superblock write, manifest commit).  The manifest is written last, so a
 // committed volume is always complete and exact.
-TEST_F(CrashHarnessTest, EncodeSurvivesEveryCrashPoint) {
+TEST_P(CrashHarnessTest, EncodeSurvivesEveryCrashPoint) {
   // Counting pass.
   PosixIoBackend posix;
   FaultInjectingBackend counter(posix);
@@ -192,7 +198,7 @@ TEST_F(CrashHarnessTest, EncodeSurvivesEveryCrashPoint) {
 // re-saving a manifest over an existing one (tmp write + fsync + rename +
 // dir fsync).  The old or the new manifest must survive - never neither,
 // never a torn mix.
-TEST_F(CrashHarnessTest, ManifestCommitIsAtomicUnderEveryCrashPoint) {
+TEST_P(CrashHarnessTest, ManifestCommitIsAtomicUnderEveryCrashPoint) {
   PosixIoBackend posix;
   VolumeStore vol = VolumeStore::encode_file(posix, input_, dir_ / "vol",
                                              rs_params(), 512, std::nullopt,
@@ -231,7 +237,7 @@ TEST_F(CrashHarnessTest, ManifestCommitIsAtomicUnderEveryCrashPoint) {
 // repaired volume's files are replaced atomically (tmp + rename), so at
 // every crash point the volume either still serves the degraded-but-exact
 // data, or the fully repaired data - and a rerun of repair completes.
-TEST_F(CrashHarnessTest, RepairSurvivesEveryCrashPoint) {
+TEST_P(CrashHarnessTest, RepairSurvivesEveryCrashPoint) {
   PosixIoBackend posix;
   VolumeStore::encode_file(posix, input_, dir_ / "golden", rs_params(), 512,
                            std::nullopt, crash_opts());
@@ -290,7 +296,7 @@ TEST_F(CrashHarnessTest, RepairSurvivesEveryCrashPoint) {
 // A degraded read that quarantines a corrupt chunk file, crashed before
 // its background repair finishes, must reopen with the damage re-queued -
 // the quarantine debris is the persistent record of the pending repair.
-TEST_F(CrashHarnessTest, QuarantineDebrisReArmsRepairAfterReboot) {
+TEST_P(CrashHarnessTest, QuarantineDebrisReArmsRepairAfterReboot) {
   PosixIoBackend posix;
   VolumeStore vol = VolumeStore::encode_file(posix, input_, dir_ / "vol",
                                              rs_params(), 512, std::nullopt,
@@ -323,6 +329,11 @@ TEST_F(CrashHarnessTest, QuarantineDebrisReArmsRepairAfterReboot) {
   EXPECT_TRUE(reopened.decode_file(dir_ / "out2.bin").crc_ok);
   EXPECT_EQ(read_whole_file(dir_ / "out2.bin"), data_);
 }
+
+INSTANTIATE_TEST_SUITE_P(Depths, CrashHarnessTest, ::testing::Values(1, 2, 8),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "depth" + std::to_string(info.param);
+                         });
 
 }  // namespace
 }  // namespace approx::store

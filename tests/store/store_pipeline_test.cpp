@@ -1,0 +1,422 @@
+// Multi-stripe pipeline engine: ordering, backpressure, failure
+// attribution and slot poisoning at the engine level, plus store-level
+// depth-invariance (any depth produces byte-identical volumes, decodes and
+// degraded reads to depth 1) and the error-path buffer-reuse regression.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "store/pipeline.h"
+#include "store/scrubber.h"
+#include "store/store.h"
+
+namespace fs = std::filesystem;
+
+namespace approx::store {
+namespace {
+
+core::ApprParams rs_params() {
+  return {codes::Family::RS, 4, 1, 2, 4, core::Structure::Even};
+}
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint32_t seed) {
+  std::vector<std::uint8_t> data(n);
+  std::mt19937 rng(seed);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+  return data;
+}
+
+std::vector<std::uint8_t> read_whole_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << path;
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+// Event recorder shared by the engine tests: every stage call appends
+// "<stage><chunk>@<slot>" under a lock.
+struct Trace {
+  std::mutex mu;
+  std::vector<std::string> events;
+  std::atomic<int> in_flight{0};
+  std::atomic<int> max_in_flight{0};
+
+  void add(const char* stage, std::uint64_t chunk, int slot) {
+    std::lock_guard<std::mutex> lock(mu);
+    events.push_back(std::string(stage) + std::to_string(chunk) + "@" +
+                     std::to_string(slot));
+  }
+  std::vector<std::string> of(const std::string& prefix) {
+    std::lock_guard<std::mutex> lock(mu);
+    std::vector<std::string> out;
+    for (const auto& e : events) {
+      if (e.rfind(prefix, 0) == 0) out.push_back(e);
+    }
+    return out;
+  }
+};
+
+TEST(PipelineEngine, AllStagesRunOnceInSlotOrder) {
+  ThreadPool pool(4);
+  Trace trace;
+  const int depth = 4;
+  const std::uint64_t chunks = 23;
+
+  PipelineStages stages;
+  stages.read = [&](std::uint64_t c, int s) {
+    EXPECT_EQ(s, static_cast<int>(c % depth));
+    const int now = trace.in_flight.fetch_add(1) + 1;
+    int seen = trace.max_in_flight.load();
+    while (now > seen && !trace.max_in_flight.compare_exchange_weak(seen, now)) {
+    }
+    trace.add("r", c, s);
+    return IoStatus::success();
+  };
+  stages.process = [&](std::uint64_t c, int s) {
+    trace.add("p", c, s);
+    return IoStatus::success();
+  };
+  stages.write = [&](std::uint64_t c, int s) {
+    trace.add("w", c, s);
+    trace.in_flight.fetch_sub(1);
+    return IoStatus::success();
+  };
+
+  const IoStatus st = run_pipeline(pool, chunks, depth, stages);
+  EXPECT_TRUE(st.ok());
+
+  // Reads issue in chunk order; writes retire in chunk order; every chunk
+  // passes through every stage exactly once.
+  for (const char* prefix : {"r", "p", "w"}) {
+    const auto evs = trace.of(prefix);
+    ASSERT_EQ(evs.size(), chunks) << prefix;
+  }
+  const auto reads = trace.of("r");
+  const auto writes = trace.of("w");
+  for (std::uint64_t c = 0; c < chunks; ++c) {
+    const std::string at =
+        std::to_string(c) + "@" + std::to_string(c % depth);
+    EXPECT_EQ(reads[c], "r" + at);
+    EXPECT_EQ(writes[c], "w" + at);
+  }
+  // Backpressure: never more than `depth` chunks between read and write.
+  EXPECT_LE(trace.max_in_flight.load(), depth);
+}
+
+TEST(PipelineEngine, DepthOneFullySerializesStages) {
+  ThreadPool pool(4);
+  Trace trace;
+  PipelineStages stages;
+  stages.read = [&](std::uint64_t c, int s) {
+    trace.add("r", c, s);
+    return IoStatus::success();
+  };
+  stages.process = [&](std::uint64_t c, int s) {
+    trace.add("p", c, s);
+    return IoStatus::success();
+  };
+  stages.write = [&](std::uint64_t c, int s) {
+    trace.add("w", c, s);
+    return IoStatus::success();
+  };
+  ASSERT_TRUE(run_pipeline(pool, 5, 1, stages).ok());
+  // Exactly the legacy sequential loop: r0 p0 w0 r1 p1 w1 ...
+  std::vector<std::string> expect;
+  for (std::uint64_t c = 0; c < 5; ++c) {
+    for (const char* stage : {"r", "p", "w"}) {
+      expect.push_back(std::string(stage) + std::to_string(c) + "@0");
+    }
+  }
+  EXPECT_EQ(trace.events, expect);
+}
+
+TEST(PipelineEngine, ZeroChunksSucceedsWithoutStageCalls) {
+  ThreadPool pool(2);
+  PipelineStages stages;
+  stages.read = [](std::uint64_t, int) {
+    ADD_FAILURE() << "read on empty pipeline";
+    return IoStatus::success();
+  };
+  stages.process = [](std::uint64_t, int) { return IoStatus::success(); };
+  EXPECT_TRUE(run_pipeline(pool, 0, 4, stages).ok());
+}
+
+TEST(PipelineEngine, ReadFailureStopsReadsAndKeepsEarlierWrites) {
+  ThreadPool pool(4);
+  Trace trace;
+  std::atomic<bool> reset_called{false};
+  const std::uint64_t fail_at = 5;
+
+  PipelineStages stages;
+  stages.read = [&](std::uint64_t c, int s) {
+    trace.add("r", c, s);
+    if (c == fail_at) return IoStatus{IoCode::kIoError, "injected read"};
+    return IoStatus::success();
+  };
+  stages.process = [&](std::uint64_t c, int s) {
+    trace.add("p", c, s);
+    return IoStatus::success();
+  };
+  stages.write = [&](std::uint64_t c, int s) {
+    trace.add("w", c, s);
+    return IoStatus::success();
+  };
+  stages.reset = [&](int) { reset_called.store(true); };
+
+  const IoStatus st = run_pipeline(pool, 100, 4, stages);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code, IoCode::kIoError);
+  EXPECT_EQ(st.message, "injected read");
+  EXPECT_TRUE(reset_called.load()) << "failed slot was not poisoned";
+
+  // No read past the failing chunk; the failing chunk never processed;
+  // every chunk before it still wrote.
+  EXPECT_EQ(trace.of("r").size(), fail_at + 1);
+  for (const auto& e : trace.of("p")) {
+    EXPECT_NE(e.substr(1, e.find('@') - 1), std::to_string(fail_at));
+  }
+  EXPECT_EQ(trace.of("w").size(), fail_at);
+}
+
+TEST(PipelineEngine, ProcessFailureBlocksItsOwnAndLaterWrites) {
+  ThreadPool pool(4);
+  Trace trace;
+  std::atomic<bool> reset_called{false};
+  const std::uint64_t fail_at = 3;
+
+  PipelineStages stages;
+  stages.read = [&](std::uint64_t, int) { return IoStatus::success(); };
+  stages.process = [&](std::uint64_t c, int) {
+    if (c == fail_at) return IoStatus{IoCode::kShortRead, "injected process"};
+    return IoStatus::success();
+  };
+  stages.write = [&](std::uint64_t c, int s) {
+    trace.add("w", c, s);
+    return IoStatus::success();
+  };
+  stages.reset = [&](int) { reset_called.store(true); };
+
+  const IoStatus st = run_pipeline(pool, 50, 4, stages);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code, IoCode::kShortRead);
+  EXPECT_TRUE(reset_called.load());
+  const auto writes = trace.of("w");
+  EXPECT_EQ(writes.size(), fail_at);
+  for (std::uint64_t c = 0; c < writes.size(); ++c) {
+    EXPECT_EQ(writes[c].substr(1, writes[c].find('@') - 1), std::to_string(c));
+  }
+}
+
+TEST(PipelineEngine, WriteFailureStopsLaterWrites) {
+  ThreadPool pool(4);
+  Trace trace;
+  const std::uint64_t fail_at = 2;
+  PipelineStages stages;
+  stages.read = [&](std::uint64_t, int) { return IoStatus::success(); };
+  stages.process = [&](std::uint64_t, int) { return IoStatus::success(); };
+  stages.write = [&](std::uint64_t c, int s) {
+    if (c == fail_at) return IoStatus{IoCode::kNoSpace, "injected write"};
+    trace.add("w", c, s);
+    return IoStatus::success();
+  };
+  const IoStatus st = run_pipeline(pool, 40, 4, stages);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code, IoCode::kNoSpace);
+  EXPECT_EQ(trace.of("w").size(), fail_at);
+}
+
+TEST(PipelineEngine, EarliestFailureInChunkStageOrderWins) {
+  // A later-chunk process failure must not mask an earlier-chunk one.
+  ThreadPool pool(4);
+  PipelineStages stages;
+  stages.read = [&](std::uint64_t, int) { return IoStatus::success(); };
+  stages.process = [&](std::uint64_t c, int) {
+    if (c == 2) return IoStatus{IoCode::kShortRead, "chunk 2"};
+    if (c == 1) return IoStatus{IoCode::kIoError, "chunk 1"};
+    return IoStatus::success();
+  };
+  const IoStatus st = run_pipeline(pool, 30, 8, stages);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.message, "chunk 1");
+}
+
+TEST(PipelineEngine, ProcessExceptionRethrownOnCaller) {
+  ThreadPool pool(4);
+  PipelineStages stages;
+  stages.read = [&](std::uint64_t, int) { return IoStatus::success(); };
+  stages.process = [&](std::uint64_t c, int) -> IoStatus {
+    if (c == 7) throw InvalidArgument("process boom");
+    return IoStatus::success();
+  };
+  EXPECT_THROW((void)run_pipeline(pool, 20, 4, stages), InvalidArgument);
+}
+
+TEST(PipelineEngine, ResolveDepthHonorsRequestEnvAndClamp) {
+  ThreadPool pool(4);
+  ::unsetenv("APPROX_PIPELINE_DEPTH");
+  EXPECT_EQ(resolve_pipeline_depth(1, pool), 1);
+  EXPECT_EQ(resolve_pipeline_depth(7, pool), 7);
+  EXPECT_EQ(resolve_pipeline_depth(1000, pool), 64);
+  const int auto_depth = resolve_pipeline_depth(0, pool);
+  EXPECT_GE(auto_depth, 2);
+  EXPECT_LE(auto_depth, 8);
+  ::setenv("APPROX_PIPELINE_DEPTH", "3", 1);
+  EXPECT_EQ(resolve_pipeline_depth(0, pool), 3);
+  EXPECT_EQ(resolve_pipeline_depth(5, pool), 5) << "explicit request beats env";
+  ::setenv("APPROX_PIPELINE_DEPTH", "9999", 1);
+  EXPECT_EQ(resolve_pipeline_depth(0, pool), 64);
+  ::unsetenv("APPROX_PIPELINE_DEPTH");
+}
+
+// ---------------------------------------------------------------------------
+// Store-level depth invariance
+// ---------------------------------------------------------------------------
+
+class PipelineDepthTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("approxpipe_" + std::string(::testing::UnitTest::GetInstance()
+                                            ->current_test_info()
+                                            ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    data_ = random_bytes(50000, 23);
+    input_ = dir_ / "input.bin";
+    std::ofstream out(input_, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(data_.data()),
+              static_cast<std::streamsize>(data_.size()));
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  StoreOptions opts(int depth) {
+    StoreOptions o;
+    o.io_payload = 1024;
+    o.pipeline_depth = depth;
+    return o;
+  }
+
+  fs::path dir_;
+  fs::path input_;
+  std::vector<std::uint8_t> data_;
+};
+
+TEST_F(PipelineDepthTest, EncodeIsByteIdenticalAcrossDepths) {
+  PosixIoBackend io;
+  const fs::path ref_dir = dir_ / "vol_d1";
+  VolumeStore ref = VolumeStore::encode_file(io, input_, ref_dir, rs_params(),
+                                             512, std::nullopt, opts(1));
+  for (const int depth : {2, 8}) {
+    const fs::path vol_dir = dir_ / ("vol_d" + std::to_string(depth));
+    VolumeStore vol = VolumeStore::encode_file(
+        io, input_, vol_dir, rs_params(), 512, std::nullopt, opts(depth));
+    for (int n = 0; n < ref.code().total_nodes(); ++n) {
+      EXPECT_EQ(read_whole_file(vol.node_path(n)),
+                read_whole_file(ref.node_path(n)))
+          << "node " << n << " differs at depth " << depth;
+    }
+    EXPECT_EQ(vol.manifest().file_crc, ref.manifest().file_crc);
+    EXPECT_EQ(vol.manifest().chunks, ref.manifest().chunks);
+  }
+}
+
+TEST_F(PipelineDepthTest, DecodeAndDegradedReadMatchDepthOne) {
+  PosixIoBackend io;
+  const fs::path vol_dir = dir_ / "vol";
+  VolumeStore::encode_file(io, input_, vol_dir, rs_params(), 512, std::nullopt,
+                           opts(1));
+  // Knock out one node: every depth must reconstruct identically.
+  fs::remove(vol_dir / node_file_name(kVolumeV2, 2));
+
+  VolumeStore::DecodeOptions dopts;
+  dopts.quarantine = false;
+
+  std::vector<std::uint8_t> ref_decode;
+  std::vector<std::uint8_t> ref_range;
+  for (const int depth : {1, 2, 8}) {
+    VolumeStore vol(io, vol_dir, opts(depth));
+    const fs::path out = dir_ / ("out_d" + std::to_string(depth));
+    const auto res = vol.decode_file(out, dopts);
+    EXPECT_TRUE(res.crc_ok) << "depth " << depth;
+    EXPECT_GT(res.degraded_stripes, 0u);
+    const auto decoded = read_whole_file(out);
+    EXPECT_EQ(decoded, data_);
+
+    // Ranged degraded read spanning several chunks at an odd offset.
+    std::vector<std::uint8_t> range(20011);
+    const auto rres = vol.read(1234, range, dopts);
+    EXPECT_EQ(rres.bytes, range.size());
+    if (depth == 1) {
+      ref_decode = decoded;
+      ref_range = range;
+    } else {
+      EXPECT_EQ(decoded, ref_decode) << "depth " << depth;
+      EXPECT_EQ(range, ref_range) << "depth " << depth;
+    }
+    EXPECT_EQ(std::vector<std::uint8_t>(data_.begin() + 1234,
+                                        data_.begin() + 1234 + 20011),
+              range)
+        << "depth " << depth;
+  }
+}
+
+// Satellite regression: a pipeline whose stage failed must poison its slot
+// so a later run through the same store cannot see stale staging data.  A
+// mid-stream write fault aborts the decode; after clearing the fault the
+// same VolumeStore must decode byte-identically.
+TEST_F(PipelineDepthTest, FailedDecodeDoesNotPoisonTheNextOne) {
+  PosixIoBackend posix;
+  FaultInjectingBackend faulty(posix);
+  const fs::path vol_dir = dir_ / "vol";
+  VolumeStore::encode_file(posix, input_, vol_dir, rs_params(), 512,
+                           std::nullopt, opts(1));
+
+  StoreOptions o = opts(4);
+  o.retry.max_attempts = 1;
+  o.retry.sleeper = [](std::chrono::microseconds) {};
+  VolumeStore vol(faulty, vol_dir, o);
+
+  // Fail the decode's output writes permanently, then unclog.
+  FaultInjectingBackend::Fault fault;
+  fault.op = FaultInjectingBackend::Op::kWrite;
+  fault.path_substr = "broken_out";
+  fault.code = IoCode::kIoError;
+  fault.times = -1;
+  faulty.inject(fault);
+  EXPECT_THROW((void)vol.decode_file(dir_ / "broken_out.bin"), StoreError);
+  faulty.clear_faults();
+
+  const auto res = vol.decode_file(dir_ / "ok_out.bin");
+  EXPECT_TRUE(res.crc_ok);
+  EXPECT_EQ(read_whole_file(dir_ / "ok_out.bin"), data_);
+
+  // Same regression for a failed encode: the throwing pipeline must abort
+  // its writers, and a fresh encode into the same directory succeeds.
+  FaultInjectingBackend::Fault efault;
+  efault.op = FaultInjectingBackend::Op::kWrite;
+  efault.path_substr = "vol2";
+  efault.code = IoCode::kNoSpace;
+  efault.times = -1;
+  faulty.inject(efault);
+  EXPECT_THROW(VolumeStore::encode_file(faulty, input_, dir_ / "vol2",
+                                        rs_params(), 512, std::nullopt, o),
+               StoreError);
+  faulty.clear_faults();
+  fs::remove_all(dir_ / "vol2");
+  VolumeStore vol2 = VolumeStore::encode_file(faulty, input_, dir_ / "vol2",
+                                              rs_params(), 512, std::nullopt,
+                                              o);
+  EXPECT_TRUE(vol2.decode_file(dir_ / "out2.bin").crc_ok);
+  EXPECT_EQ(read_whole_file(dir_ / "out2.bin"), data_);
+}
+
+}  // namespace
+}  // namespace approx::store

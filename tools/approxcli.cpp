@@ -73,6 +73,9 @@ struct Options {
                "       approxcli decode <volume-dir> <output>\n"
                "       approxcli stats [--json] <volume-dir>\n"
                "global: --trace  print trace spans + metrics to stderr on exit\n"
+               "        --pipeline-depth N  in-flight stripes of the store\n"
+               "          pipeline (default: APPROX_PIPELINE_DEPTH env, else\n"
+               "          sized to the thread pool; 1 = serial store I/O)\n"
                "exit codes: 0 ok, 1 detected corruption (repairable), "
                "2 usage, 3 I/O error, 4 unrecoverable data loss\n");
   std::exit(kExitUsage);
@@ -112,8 +115,18 @@ store::PosixIoBackend& posix_io() {
   return io;
 }
 
+// Global --pipeline-depth flag; 0 keeps the StoreOptions auto default
+// (APPROX_PIPELINE_DEPTH env, else sized to the pool).
+int g_pipeline_depth = 0;
+
+store::StoreOptions store_options() {
+  store::StoreOptions opts;
+  opts.pipeline_depth = g_pipeline_depth;
+  return opts;
+}
+
 store::VolumeStore open_volume(const fs::path& dir) {
-  return store::VolumeStore(posix_io(), dir);
+  return store::VolumeStore(posix_io(), dir, store_options());
 }
 
 // ---------------------------------------------------------------------------
@@ -122,7 +135,8 @@ store::VolumeStore open_volume(const fs::path& dir) {
 
 int cmd_encode(const Options& opts, const fs::path& input, const fs::path& dir) {
   store::VolumeStore vol = store::VolumeStore::encode_file(
-      posix_io(), input, dir, opts.params, opts.block, opts.split);
+      posix_io(), input, dir, opts.params, opts.block, opts.split,
+      store_options());
   const store::Manifest& m = vol.manifest();
   const core::ApproximateCode& code = vol.code();
   std::printf("encoded %llu B as %s across %d node files (%llu chunk(s), "
@@ -353,6 +367,11 @@ int main(int argc, char** argv) {
     for (auto it = all.begin(); it != all.end();) {
       if (*it == "--trace") {
         trace = true;
+        it = all.erase(it);
+      } else if (*it == "--pipeline-depth") {
+        it = all.erase(it);
+        if (it == all.end()) usage("--pipeline-depth needs a number");
+        g_pipeline_depth = parse_int_opt("--pipeline-depth", *it);
         it = all.erase(it);
       } else {
         ++it;
