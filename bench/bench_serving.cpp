@@ -1,0 +1,363 @@
+// Open-loop serving benchmark: ranged reads against a live volume under a
+// Zipf object popularity and an injected transient-fault rate.
+//
+// The load generator is *open-loop*: request i has the intended start time
+// t0 + i/qps, fixed before the run, and its latency is measured from that
+// intended start - not from when a worker got around to it.  A closed-loop
+// generator (issue, wait, issue) silently stops sending while the system
+// is slow, so the slow period contributes a handful of samples instead of
+// a queue of them; this is the coordinated-omission trap, and measuring
+// from the intended start is the standard fix (see docs/performance.md).
+// When the dispatcher falls behind schedule it dispatches immediately and
+// the queueing delay lands in the recorded latency, as it would for users.
+//
+// The request schedule (object choices, offsets) is a pure function of
+// --seed, precomputed before the clock starts; the "schedule_crc32" field
+// in the JSON lets two runs prove they replayed the same workload.  Faults
+// come from FaultInjectingBackend's seeded chaos mode: each node-file read
+// fails transiently with --fault-read-rate probability, exercising retry
+// and - once retries are exhausted for a request - the degraded-read
+// reconstruction path.  Degraded-read amplification is reported as raw
+// node bytes read (store.read.bytes delta) per requested logical byte.
+//
+// Transient chaos faults at realistic rates are absorbed by the retry
+// policy and only stretch the tail; --kill-node N deletes one node file
+// before the serving phase, so every request also exercises the
+// degraded-read reconstruction fan-out and the amplification it costs.
+//
+//   bench_serving [--json[=path]] [--requests N] [--qps N] [--seed S]
+//                 [--size BYTES] [--read-bytes N] [--zipf-theta T]
+//                 [--fault-read-rate R] [--kill-node N] [--deadline-ms D]
+//                 [--workers N] [--dir PATH]
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/crc32.h"
+#include "common/prng.h"
+#include "obs/span.h"
+#include "store/store.h"
+
+namespace fs = std::filesystem;
+using namespace approx;
+using namespace approx::bench;
+
+namespace {
+
+fs::path write_input(const fs::path& dir, std::size_t bytes,
+                     std::uint64_t seed) {
+  const fs::path path = dir / "input.bin";
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  Rng rng(seed);
+  std::vector<std::uint8_t> buf(1 << 20);
+  std::size_t left = bytes;
+  while (left > 0) {
+    const std::size_t take = std::min(buf.size(), left);
+    fill_random(buf.data(), take, rng);
+    out.write(reinterpret_cast<const char*>(buf.data()),
+              static_cast<std::streamsize>(take));
+    left -= take;
+  }
+  return path;
+}
+
+// Zipf(theta) sampler over [0, n): a precomputed CDF and a binary search
+// per draw.  Rank 0 is the hottest object.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double theta) : cdf_(n) {
+    double sum = 0;
+    for (std::size_t r = 0; r < n; ++r) {
+      sum += 1.0 / std::pow(static_cast<double>(r + 1), theta);
+      cdf_[r] = sum;
+    }
+    for (double& c : cdf_) c /= sum;
+  }
+
+  std::size_t draw(Rng& rng) {
+    const double u = rng.uniform();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return it == cdf_.end() ? cdf_.size() - 1
+                            : static_cast<std::size_t>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+struct Request {
+  std::uint64_t offset = 0;
+  std::size_t len = 0;
+};
+
+// Exact percentile from a sorted sample vector (nearest-rank).
+double pctl(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench_init(argc, argv, "serving");
+  std::size_t file_bytes = 32 * 1024 * 1024;
+  std::size_t read_bytes = 64 * 1024;
+  int requests = 2000;
+  double qps = 500.0;
+  std::uint64_t seed = 42;
+  double zipf_theta = 0.99;
+  double fault_read_rate = 0.0;
+  int kill_node = -1;
+  double deadline_ms = 100.0;
+  unsigned workers = 8;
+  fs::path work = fs::temp_directory_path() / "approx_bench_serving";
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--size" && i + 1 < argc) {
+      file_bytes = static_cast<std::size_t>(std::stoull(argv[++i]));
+    } else if (a == "--read-bytes" && i + 1 < argc) {
+      read_bytes = static_cast<std::size_t>(std::stoull(argv[++i]));
+    } else if (a == "--requests" && i + 1 < argc) {
+      requests = static_cast<int>(std::stoul(argv[++i]));
+    } else if (a == "--qps" && i + 1 < argc) {
+      qps = std::stod(argv[++i]);
+    } else if (a == "--seed" && i + 1 < argc) {
+      seed = std::stoull(argv[++i]);
+    } else if (a == "--zipf-theta" && i + 1 < argc) {
+      zipf_theta = std::stod(argv[++i]);
+    } else if (a == "--fault-read-rate" && i + 1 < argc) {
+      fault_read_rate = std::stod(argv[++i]);
+    } else if (a == "--kill-node" && i + 1 < argc) {
+      kill_node = static_cast<int>(std::stol(argv[++i]));
+    } else if (a == "--deadline-ms" && i + 1 < argc) {
+      deadline_ms = std::stod(argv[++i]);
+    } else if (a == "--workers" && i + 1 < argc) {
+      workers = static_cast<unsigned>(std::stoul(argv[++i]));
+    } else if (a == "--dir" && i + 1 < argc) {
+      work = argv[++i];
+    }
+  }
+  if (requests <= 0 || qps <= 0 || workers == 0 || read_bytes == 0 ||
+      file_bytes < read_bytes) {
+    std::fprintf(stderr, "bench_serving: nonsense parameters\n");
+    return 2;
+  }
+
+  // --- volume setup (fault-free) -------------------------------------------
+  fs::remove_all(work);
+  fs::create_directories(work);
+  const fs::path input = write_input(work, file_bytes, seed);
+
+  store::PosixIoBackend posix;
+  store::FaultInjectingBackend io(posix);
+  const core::ApprParams params{codes::Family::RS, 4, 1, 2, 4,
+                                core::Structure::Even};
+  store::StoreOptions opts;
+  store::VolumeStore vol = store::VolumeStore::encode_file(
+      io, input, work / "vol", params, 4096, std::nullopt, opts);
+
+  // --- deterministic request schedule --------------------------------------
+  const std::size_t objects = file_bytes / read_bytes;
+  ZipfSampler zipf(objects, zipf_theta);
+  Rng sched_rng(seed);
+  std::vector<Request> schedule(static_cast<std::size_t>(requests));
+  std::uint32_t schedule_crc = 0;
+  for (auto& req : schedule) {
+    const std::size_t obj = zipf.draw(sched_rng);
+    req.offset = static_cast<std::uint64_t>(obj) * read_bytes;
+    req.len = read_bytes;
+    std::uint8_t key[12];
+    std::memcpy(key, &req.offset, 8);
+    const std::uint32_t len32 = static_cast<std::uint32_t>(req.len);
+    std::memcpy(key + 8, &len32, 4);
+    schedule_crc = crc32({key, sizeof key}, schedule_crc);
+  }
+
+  // --- serving phase under injected faults ---------------------------------
+  if (kill_node >= 0) {
+    if (kill_node >= vol.code().total_nodes()) {
+      std::fprintf(stderr, "bench_serving: --kill-node out of range\n");
+      return 2;
+    }
+    fs::remove(vol.node_path(kill_node));
+  }
+  if (fault_read_rate > 0) {
+    io.enable_chaos(seed, {fault_read_rate, 0.0});
+  }
+  obs::ShardedCounter& c_read =
+      obs::registry().sharded_counter("store.read.bytes");
+  const std::uint64_t read_bytes0 = c_read.value();
+
+  std::vector<double> latency_us(schedule.size(), 0.0);
+  std::vector<std::uint8_t> degraded(schedule.size(), 0);
+  std::atomic<std::uint64_t> failed{0};
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::size_t> queue;
+  bool done = false;
+
+  store::VolumeStore::DecodeOptions read_opts;
+  read_opts.allow_degraded = true;
+  read_opts.quarantine = false;  // transient faults; keep the volume intact
+
+  // Intended start times are fixed before the clock starts: request i is
+  // *due* at t0 + i/qps whether or not anyone is free to serve it.
+  const double interval_us = 1e6 / qps;
+  const double t0 = obs::now_us();
+  auto intended = [&](std::size_t i) {
+    return t0 + static_cast<double>(i) * interval_us;
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      std::vector<std::uint8_t> buf(read_bytes);
+      for (;;) {
+        std::size_t i;
+        {
+          std::unique_lock<std::mutex> lock(mu);
+          cv.wait(lock, [&] { return done || !queue.empty(); });
+          if (queue.empty()) return;
+          i = queue.front();
+          queue.pop_front();
+        }
+        const Request& req = schedule[i];
+        try {
+          obs::ObsSpan span("serving.request");
+          const auto res =
+              vol.read(req.offset, {buf.data(), req.len}, read_opts);
+          degraded[i] = res.degraded_stripes > 0 ? 1 : 0;
+        } catch (const std::exception&) {
+          failed.fetch_add(1, std::memory_order_relaxed);
+        }
+        latency_us[i] = obs::now_us() - intended(i);
+      }
+    });
+  }
+
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    // Sleep to the intended start; when behind schedule, dispatch
+    // immediately - the open-loop property that keeps queueing delay in
+    // the measurement.
+    const double ahead_us = intended(i) - obs::now_us();
+    if (ahead_us > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(static_cast<std::int64_t>(ahead_us)));
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      queue.push_back(i);
+    }
+    cv.notify_one();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    done = true;
+  }
+  cv.notify_all();
+  for (auto& t : pool) t.join();
+
+  // --- report --------------------------------------------------------------
+  std::vector<double> sorted = latency_us;
+  std::sort(sorted.begin(), sorted.end());
+  double sum = 0;
+  for (const double v : sorted) sum += v;
+  const double mean = sum / static_cast<double>(sorted.size());
+  const double deadline_us = deadline_ms * 1000.0;
+  std::uint64_t missed = 0, degraded_requests = 0;
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    if (latency_us[i] > deadline_us) ++missed;
+    if (degraded[i]) ++degraded_requests;
+  }
+  const std::uint64_t raw_bytes = c_read.value() - read_bytes0;
+  const double requested_bytes =
+      static_cast<double>(schedule.size()) * static_cast<double>(read_bytes);
+  const double amplification =
+      requested_bytes > 0 ? static_cast<double>(raw_bytes) / requested_bytes
+                          : 0;
+
+  print_header("open-loop serving (" + std::to_string(requests) + " req @ " +
+               fmt(qps, 0) + " qps, Zipf " + fmt(zipf_theta, 2) +
+               ", fault rate " + fmt(fault_read_rate, 3) + ", seed " +
+               std::to_string(seed) + ")");
+  print_row({"p50_us", "p99_us", "p999_us", "max_us", "mean_us"}, 12);
+  print_row({fmt(pctl(sorted, 0.50), 1), fmt(pctl(sorted, 0.99), 1),
+             fmt(pctl(sorted, 0.999), 1), fmt(sorted.back(), 1), fmt(mean, 1)},
+            12);
+  print_row({"deadline_ms", "missed", "degraded", "failed", "amplification"},
+            12);
+  print_row({fmt(deadline_ms, 1), std::to_string(missed),
+             std::to_string(degraded_requests),
+             std::to_string(failed.load()), fmt(amplification, 2)},
+            12);
+
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("requests");
+  w.value(static_cast<std::uint64_t>(requests));
+  w.key("qps");
+  w.value(qps);
+  w.key("seed");
+  w.value(seed);
+  w.key("zipf_theta");
+  w.value(zipf_theta);
+  w.key("read_bytes");
+  w.value(static_cast<std::uint64_t>(read_bytes));
+  w.key("file_bytes");
+  w.value(static_cast<std::uint64_t>(file_bytes));
+  w.key("workers");
+  w.value(static_cast<std::uint64_t>(workers));
+  w.key("fault_read_rate");
+  w.value(fault_read_rate);
+  w.key("killed_node");
+  w.value(kill_node);
+  w.key("schedule_crc32");
+  w.value(static_cast<std::uint64_t>(schedule_crc));
+  w.key("latency_us");
+  w.begin_object();
+  w.key("p50");
+  w.value(pctl(sorted, 0.50));
+  w.key("p99");
+  w.value(pctl(sorted, 0.99));
+  w.key("p999");
+  w.value(pctl(sorted, 0.999));
+  w.key("max");
+  w.value(sorted.back());
+  w.key("mean");
+  w.value(mean);
+  w.end_object();
+  w.key("deadline_ms");
+  w.value(deadline_ms);
+  w.key("deadline_missed");
+  w.value(missed);
+  w.key("degraded_requests");
+  w.value(degraded_requests);
+  w.key("failed_requests");
+  w.value(failed.load());
+  w.key("raw_node_bytes_read");
+  w.value(raw_bytes);
+  w.key("read_amplification");
+  w.value(amplification);
+  w.end_object();
+  bench_extra_json("serving", w.take());
+
+  fs::remove_all(work);
+  bench_finish();
+  return failed.load() == 0 ? 0 : 1;
+}

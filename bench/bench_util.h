@@ -168,6 +168,10 @@ struct BenchState {
   std::string path;
   bool json = false;
   std::vector<Table> tables;
+  // Extra top-level sections (key -> pre-rendered JSON value), for benches
+  // whose results do not fit the row/column tables (bench_serving's
+  // percentile summary).
+  std::vector<std::pair<std::string, std::string>> extra;
 };
 
 inline BenchState& bench_state() {
@@ -204,9 +208,18 @@ inline void print_row(const std::vector<std::string>& cells, int width = 14) {
   std::printf("\n");
 }
 
+// Attach a top-level JSON section to the --json dump; `json` must be a
+// complete JSON value (typically a JsonWriter product).  No-op outside
+// --json mode.
+inline void bench_extra_json(std::string key, std::string json) {
+  auto& st = bench_state();
+  if (!st.json) return;
+  st.extra.emplace_back(std::move(key), std::move(json));
+}
+
 // Call at the end of main(): in --json mode, writes
 // {"bench":name,"tables":[{"title":..,"rows":[[..],..]},..],
-//  "metrics":<registry dump>} to the chosen path.
+//  <extra sections>, "metrics":<registry dump>} to the chosen path.
 inline void bench_finish() {
   const auto& st = bench_state();
   if (!st.json) return;
@@ -231,6 +244,10 @@ inline void bench_finish() {
     w.end_object();
   }
   w.end_array();
+  for (const auto& [key, json] : st.extra) {
+    w.key(key);
+    w.raw(json);
+  }
   w.key("metrics");
   w.raw(obs::registry().to_json());
   w.end_object();

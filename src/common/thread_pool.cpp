@@ -62,6 +62,9 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::run_task(QueuedTask& task) {
+  // The task runs as the request that submitted it; the scope restores
+  // the runner's own context afterwards (helping waits run foreign tasks).
+  TraceContextScope trace_scope(task.ctx);
   if (!task.state) {
     // parallel_for chunk: the closure does its own barrier accounting and
     // exception capture.
@@ -111,7 +114,7 @@ ThreadPool::Task ThreadPool::submit(std::function<void()> fn) {
   auto state = std::make_shared<Task::State>();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push(QueuedTask{std::move(fn), state});
+    queue_.push(QueuedTask{std::move(fn), state, current_trace_context()});
   }
   cv_.notify_one();
   return Task(this, std::move(state));
@@ -140,6 +143,7 @@ void ThreadPool::parallel_for(
 
   const std::size_t base = total / chunks;
   const std::size_t extra = total % chunks;
+  const TraceContext ctx = current_trace_context();
   std::size_t cursor = begin;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -160,7 +164,7 @@ void ThreadPool::parallel_for(
         std::lock_guard<std::mutex> block(barrier.mu);
         --barrier.remaining;
         barrier.cv.notify_one();
-      }, nullptr});
+      }, nullptr, ctx});
     }
   }
   cv_.notify_all();

@@ -16,6 +16,12 @@
 // itself call parallel_for() (or wait on sub-tasks) without deadlocking
 // even on a single-worker pool.
 //
+// Every queued task (both front ends) captures the submitter's
+// TraceContext (common/trace_context.h) and runs under it, so spans
+// opened inside pool work attribute to the request that submitted it —
+// including through helping waits, where a thread runs tasks belonging
+// to other requests.
+//
 // The pool is deliberately simple (no work stealing): coding work is
 // regular and statically balanced.
 #pragma once
@@ -28,6 +34,8 @@
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/trace_context.h"
 
 namespace approx {
 
@@ -93,6 +101,7 @@ class ThreadPool {
   struct QueuedTask {
     std::function<void()> fn;
     std::shared_ptr<Task::State> state;  // null for parallel_for chunks
+    TraceContext ctx;  // submitter's context, installed around fn
   };
 
   void worker_loop();

@@ -1,0 +1,30 @@
+#include "common/trace_context.h"
+
+#include <atomic>
+
+namespace approx {
+
+namespace {
+
+thread_local TraceContext t_ctx;
+
+// Shared counter: trace and span ids draw from one sequence, so a span id
+// can never collide with a trace id either (handy when exporters use the
+// trace id as a synthetic root).
+std::atomic<std::uint64_t> g_next_id{1};
+
+}  // namespace
+
+TraceContext current_trace_context() noexcept { return t_ctx; }
+
+void set_trace_context(TraceContext ctx) noexcept { t_ctx = ctx; }
+
+std::uint64_t next_trace_id() noexcept {
+  return g_next_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t next_span_id() noexcept {
+  return g_next_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace approx

@@ -1,0 +1,62 @@
+// Request-scoped trace identity, propagated across thread-pool hops.
+//
+// A TraceContext names the request a piece of work belongs to (trace_id)
+// and the innermost live span inside that request (parent_id).  The
+// current context is thread-local; ThreadPool::submit()/parallel_for()
+// capture the submitter's context into each queued task and install it
+// around the task body, so work fanned out across workers stays
+// attributable to the request that caused it.  obs::ObsSpan builds on
+// these primitives: every span stamps {trace_id, parent_id, span_id}
+// into its SpanEvent and installs itself as the parent for its scope,
+// which is what lets SpanLog stitch a degraded read's reconstruction
+// fan-out into one causal tree (see docs/observability.md).
+//
+// The primitives live in common (not obs) because the thread pool cannot
+// depend on the obs library; they are cheap enough to stay unconditional:
+// reading or installing a context is two thread-local word accesses, and
+// nothing here allocates.  Ids are process-wide atomic counters starting
+// at 1; id 0 always means "none".
+#pragma once
+
+#include <cstdint>
+
+namespace approx {
+
+struct TraceContext {
+  std::uint64_t trace_id = 0;   // 0 = no active trace
+  std::uint64_t parent_id = 0;  // span id of the innermost live span
+
+  bool active() const noexcept { return trace_id != 0; }
+};
+
+// The calling thread's current context ({0, 0} when none is installed).
+TraceContext current_trace_context() noexcept;
+
+// Replace the calling thread's context.  Prefer TraceContextScope; this
+// low-level setter exists for the scope itself and for tests.
+void set_trace_context(TraceContext ctx) noexcept;
+
+// Fresh process-unique ids (monotone, never 0).
+std::uint64_t next_trace_id() noexcept;
+std::uint64_t next_span_id() noexcept;
+
+// RAII install/restore of the thread's context.  Used by the thread pool
+// around task bodies and by spans around their scope; nesting restores
+// outer contexts exactly, so a helping wait that runs an unrelated task
+// cannot leak that task's identity into the waiter's request.
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(TraceContext ctx) noexcept
+      : saved_(current_trace_context()) {
+    set_trace_context(ctx);
+  }
+  ~TraceContextScope() { set_trace_context(saved_); }
+
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+}  // namespace approx

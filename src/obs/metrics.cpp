@@ -126,6 +126,8 @@ std::string Registry::to_json() const {
     w.value(h->percentile(0.90));
     w.key("p99");
     w.value(h->percentile(0.99));
+    w.key("p999");
+    w.value(h->percentile(0.999));
     w.key("max");
     w.value(h->max());
     w.key("buckets");
@@ -168,10 +170,10 @@ std::string Registry::to_text() const {
   for (const auto& [name, h] : histograms_) {
     std::snprintf(buf, sizeof(buf),
                   "%-48s count=%llu mean=%.3g p50=%.3g p90=%.3g p99=%.3g "
-                  "max=%.3g\n",
+                  "p999=%.3g max=%.3g\n",
                   name.c_str(), static_cast<unsigned long long>(h->count()),
                   h->mean(), h->percentile(0.5), h->percentile(0.9),
-                  h->percentile(0.99), h->max());
+                  h->percentile(0.99), h->percentile(0.999), h->max());
     out += buf;
   }
   return out;

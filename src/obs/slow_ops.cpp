@@ -1,0 +1,86 @@
+#include "obs/slow_ops.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+#include "obs/metrics.h"
+
+namespace approx::obs {
+
+namespace {
+
+struct SlowState {
+  std::mutex mu;
+  std::vector<SlowOps::Entry> entries;  // kept sorted, slowest first
+  std::atomic<double> threshold_us{-1.0};  // < 0: not yet initialised
+};
+
+SlowState& state() {
+  static SlowState* s = new SlowState();  // leaked: usable during exit
+  return *s;
+}
+
+double initial_threshold_us() {
+  const char* env = std::getenv("APPROX_SLOW_OP_US");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const double v = std::strtod(env, &end);
+    if (end != env && *end == '\0' && v > 0) return v;
+  }
+  return 100000.0;  // 100 ms
+}
+
+}  // namespace
+
+double SlowOps::threshold_us() noexcept {
+  auto& s = state();
+  double t = s.threshold_us.load(std::memory_order_relaxed);
+  if (t >= 0) return t;
+  t = initial_threshold_us();
+  // Racing first readers compute the same env-derived value; last store
+  // wins harmlessly unless set_threshold_us intervened, which compare-
+  // exchange respects.
+  double expected = -1.0;
+  s.threshold_us.compare_exchange_strong(expected, t,
+                                         std::memory_order_relaxed);
+  return s.threshold_us.load(std::memory_order_relaxed);
+}
+
+void SlowOps::set_threshold_us(double us) noexcept {
+  state().threshold_us.store(us < 0 ? 0 : us, std::memory_order_relaxed);
+}
+
+void SlowOps::note(std::string_view op, std::uint64_t trace_id,
+                   double dur_us) {
+  if (dur_us < threshold_us()) return;
+  registry().counter(std::string(op) + ".slow").add(1);
+  auto& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.entries.size() >= kMaxEntries &&
+      dur_us <= s.entries.back().dur_us) {
+    return;
+  }
+  Entry e{std::string(op), trace_id, dur_us};
+  const auto pos = std::upper_bound(
+      s.entries.begin(), s.entries.end(), e,
+      [](const Entry& a, const Entry& b) { return a.dur_us > b.dur_us; });
+  s.entries.insert(pos, std::move(e));
+  if (s.entries.size() > kMaxEntries) s.entries.pop_back();
+}
+
+std::vector<SlowOps::Entry> SlowOps::top(std::size_t n) {
+  auto& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  const std::size_t count = std::min(n, s.entries.size());
+  return std::vector<Entry>(s.entries.begin(), s.entries.begin() + count);
+}
+
+void SlowOps::clear() {
+  auto& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.entries.clear();
+}
+
+}  // namespace approx::obs

@@ -1,0 +1,61 @@
+// Per-request slow-operation accounting.
+//
+// Latency histograms answer "how slow is the p99?"; they cannot answer
+// "*which* request was slow, and what was it doing?".  SlowOps bridges
+// that gap: instrumented operations (store reads, file decodes) report
+// {op, trace_id, duration} here, and any operation at or above the
+// threshold
+//   - bumps the registry counter "<op>.slow" (so fleets can alert on
+//     rate without scraping traces), and
+//   - enters a bounded keep-the-worst table of {op, trace_id, dur}
+//     entries, which `approxcli stats` renders as a top-N slowest-trace
+//     summary.  The trace id is the join key into the span timeline
+//     (--trace / --trace-out), so a slow entry can be expanded into the
+//     full causal tree of the offending request.
+//
+// The threshold defaults to 100 ms and can be set via the
+// APPROX_SLOW_OP_US environment variable (read once, at first use) or
+// programmatically with set_threshold_us (tests, benchmarks).
+//
+// Recording below the threshold is two relaxed atomic loads; at or above
+// it, one counter bump plus a short critical section on the table mutex.
+// This is fine because crossings are rare by construction — a threshold
+// crossed often is a threshold set wrong.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace approx::obs {
+
+class SlowOps {
+ public:
+  struct Entry {
+    std::string op;
+    std::uint64_t trace_id = 0;
+    double dur_us = 0;
+  };
+
+  // Record one completed operation.  Bumps "<op>.slow" and remembers the
+  // entry iff dur_us >= threshold_us().  trace_id 0 (tracing disabled) is
+  // still counted; the table entry just has no timeline to join against.
+  static void note(std::string_view op, std::uint64_t trace_id, double dur_us);
+
+  // The n worst remembered operations, slowest first.
+  static std::vector<Entry> top(std::size_t n);
+
+  // Threshold in microseconds.  Initialised from APPROX_SLOW_OP_US (else
+  // 100000 = 100 ms) the first time it is read.
+  static double threshold_us() noexcept;
+  static void set_threshold_us(double us) noexcept;
+
+  // Forget remembered entries (counters are reset via Registry::reset).
+  static void clear();
+
+  // Capacity of the keep-the-worst table.
+  static constexpr std::size_t kMaxEntries = 32;
+};
+
+}  // namespace approx::obs

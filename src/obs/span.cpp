@@ -7,6 +7,7 @@
 #include <mutex>
 
 #include "common/stopwatch.h"
+#include "obs/json.h"
 
 #if defined(__x86_64__) || defined(__i386__)
 #include <x86intrin.h>
@@ -165,6 +166,54 @@ void SpanLog::clear() {
   g.dropped.store(0, std::memory_order_relaxed);
 }
 
+std::string SpanLog::to_chrome_json() {
+  // Chrome trace-event format: complete ("X") events with microsecond
+  // timestamps.  pid carries the trace id so each request renders as its
+  // own process group in the viewer; tid is the recording thread.  The
+  // args block preserves the exact causal ids for programmatic stitching.
+  const std::vector<SpanEvent> events = snapshot();
+  JsonWriter w;
+  w.begin_object();
+  w.key("displayTimeUnit");
+  w.value("ms");
+  w.key("traceEvents");
+  w.begin_array();
+  for (const SpanEvent& ev : events) {
+    w.begin_object();
+    w.key("name");
+    w.value(ev.name);
+    w.key("cat");
+    w.value("approx");
+    w.key("ph");
+    w.value("X");
+    w.key("ts");
+    w.value(ev.start_us);
+    w.key("dur");
+    w.value(ev.dur_us);
+    w.key("pid");
+    w.value(ev.trace_id);
+    w.key("tid");
+    w.value(ev.thread);
+    w.key("args");
+    w.begin_object();
+    w.key("trace");
+    w.value(ev.trace_id);
+    w.key("span");
+    w.value(ev.span_id);
+    w.key("parent");
+    w.value(ev.parent_id);
+    w.key("depth");
+    w.value(ev.depth);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("dropped");
+  w.value(dropped());
+  w.end_object();
+  return w.take();
+}
+
 #ifndef APPROX_OBS_OFF
 
 ObsSpan::ObsSpan(std::string_view name, Histogram& hist)
@@ -172,24 +221,38 @@ ObsSpan::ObsSpan(std::string_view name, Histogram& hist)
       hist_(&hist),
       start_ticks_(ticks_now()),
       collecting_(SpanLog::enabled()) {
-  if (collecting_) ++tls().depth;
+  if (!collecting_) return;
+  ++tls().depth;
+  // Inherit the request identity installed on this thread (by an
+  // enclosing span, or by the thread pool for submitted work); with no
+  // active trace this span roots a new one.
+  saved_ctx_ = current_trace_context();
+  trace_id_ = saved_ctx_.active() ? saved_ctx_.trace_id : next_trace_id();
+  span_id_ = next_span_id();
+  set_trace_context({trace_id_, span_id_});
 }
 
 ObsSpan::~ObsSpan() {
   const double dur = ticks_to_us(ticks_now() - start_ticks_);
   hist_->record(dur);
   if (!collecting_) return;
+  set_trace_context(saved_ctx_);
   auto& t = tls();
   const int depth = --t.depth;
   const double start_us = now_us() - dur;
+  // A span whose parent lives in another trace (impossible today: the
+  // scope restore above is exact) would still stitch, because parent_id
+  // is only meaningful inside this span's own trace.
+  const std::uint64_t parent =
+      saved_ctx_.trace_id == trace_id_ ? saved_ctx_.parent_id : 0;
   ThreadBuf& buf = t.buffer();
   std::lock_guard<std::mutex> lock(buf.mu);
   if (buf.events.size() >= SpanLog::kMaxEventsPerThread) {
     global_log().dropped.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  buf.events.push_back(
-      SpanEvent{std::string(name_), start_us, dur, depth, buf.thread_id});
+  buf.events.push_back(SpanEvent{std::string(name_), start_us, dur, depth,
+                                 buf.thread_id, trace_id_, span_id_, parent});
 }
 
 int ObsSpan::current_depth() noexcept { return tls().depth; }

@@ -1,4 +1,4 @@
-// RAII trace spans.
+// RAII trace spans with request-scoped trace identity.
 //
 // An ObsSpan times a scope (TSC ticks on x86, steady clock elsewhere) and,
 // on destruction,
@@ -6,13 +6,23 @@
 //     (name "span.<stage>.us" in the registry), and
 //   - when span collection is enabled (SpanLog::set_enabled), appends a
 //     SpanEvent to the calling thread's buffer for timeline inspection
-//     (approxcli --trace).
+//     (approxcli --trace / --trace-out).
+//
+// While collecting, every span carries a trace identity
+// (common/trace_context.h): it inherits the thread's current
+// {trace_id, parent_id} — which ThreadPool::submit()/parallel_for()
+// propagate across task hops — allocates its own span_id, and installs
+// itself as the parent for its scope.  A span opened with no active trace
+// starts a new one, so every outermost span (a CLI command, one serving
+// request) roots exactly one causal tree, and SpanLog::to_chrome_json()
+// can export the stitched trees for chrome://tracing / Perfetto.
 //
 // With collection disabled (the default) a span costs two clock reads and
-// a histogram record (~100 ns); the thread-local depth bookkeeping and the
-// start-timestamp computation are deferred to the enabled path.  Building
-// with -DAPPROX_OBS_OFF compiles ObsSpan and APPROX_OBS_SPAN to complete
-// no-ops.
+// a histogram record (~100 ns); the thread-local depth and trace-context
+// bookkeeping and the start-timestamp computation are deferred to the
+// enabled path.  Building with -DAPPROX_OBS_OFF compiles ObsSpan and
+// APPROX_OBS_SPAN to complete no-ops (the TraceContext primitives in
+// common remain, but nothing installs contexts, so they stay {0, 0}).
 //
 // Per-thread buffers: each thread owns a bounded event vector registered
 // with a global list; SpanLog::snapshot() stitches the buffers of live and
@@ -25,16 +35,28 @@
 #include <string_view>
 #include <vector>
 
+#include "common/trace_context.h"
 #include "obs/metrics.h"
 
 namespace approx::obs {
+
+// Request-scoped trace identity (alias of the common primitive so call
+// sites inside obs-aware code can say obs::TraceContext).
+using TraceContext = approx::TraceContext;
+using TraceContextScope = approx::TraceContextScope;
 
 struct SpanEvent {
   std::string name;
   double start_us = 0;  // since process start (steady clock)
   double dur_us = 0;
-  int depth = 0;           // nesting depth at entry (0 = outermost)
+  int depth = 0;             // nesting depth at entry (0 = outermost)
   std::uint64_t thread = 0;  // small sequential thread id
+  // Causal identity: all spans of one request share trace_id; parent_id
+  // is the span_id of the enclosing span (0 for a trace root), across
+  // thread-pool hops included.
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;
 };
 
 class SpanLog {
@@ -50,6 +72,14 @@ class SpanLog {
 
   // Events silently dropped because a thread buffer was full.
   static std::uint64_t dropped() noexcept;
+
+  // Chrome trace-event JSON ("X" complete events, microsecond timestamps)
+  // for every buffered span: load the string in chrome://tracing or
+  // Perfetto.  Events are grouped by trace (pid = trace_id) and thread
+  // (tid); each carries its {trace, span, parent} ids in args so the
+  // causal tree survives the export.  Format documented in
+  // docs/observability.md.
+  static std::string to_chrome_json();
 
   static constexpr std::size_t kMaxEventsPerThread = 8192;
 };
@@ -76,6 +106,10 @@ class ObsSpan {
   // Nesting depth of the innermost live span on this thread (0 = none).
   static int current_depth() noexcept;
 
+  // This span's identity (0 when collection was disabled at entry).
+  std::uint64_t trace_id() const noexcept { return trace_id_; }
+  std::uint64_t span_id() const noexcept { return span_id_; }
+
  private:
   std::string_view name_;
   Histogram* hist_;
@@ -83,6 +117,11 @@ class ObsSpan {
                                // to microseconds once at destruction
   bool collecting_;  // latched at entry so an enable/disable flip mid-span
                      // cannot unbalance the depth counter
+  // Set only while collecting: the context to restore at exit and this
+  // span's own identity.
+  TraceContext saved_ctx_;
+  std::uint64_t trace_id_ = 0;
+  std::uint64_t span_id_ = 0;
 };
 
 // Declares a scoped span; the histogram lookup happens once per call site.
@@ -98,6 +137,8 @@ class ObsSpan {
   explicit ObsSpan(std::string_view) {}
   ObsSpan(std::string_view, Histogram&) {}
   static int current_depth() noexcept { return 0; }
+  std::uint64_t trace_id() const noexcept { return 0; }
+  std::uint64_t span_id() const noexcept { return 0; }
 };
 
 #define APPROX_OBS_SPAN(var, stage) \

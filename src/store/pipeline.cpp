@@ -9,6 +9,7 @@
 
 #include "common/error.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace approx::store {
 
@@ -106,6 +107,7 @@ struct Engine {
         IoStatus st = IoStatus::success();
         std::exception_ptr ex;
         try {
+          APPROX_OBS_SPAN(span_write, "store.pipeline.write");
           st = stages.write(c, static_cast<int>(s));
         } catch (...) {
           ex = std::current_exception();
@@ -135,6 +137,7 @@ struct Engine {
     std::exception_ptr ex;
     if (!skip) {
       try {
+        APPROX_OBS_SPAN(span_process, "store.pipeline.process");
         st = stages.process(c, s);
       } catch (...) {
         ex = std::current_exception();
@@ -212,6 +215,7 @@ IoStatus run_pipeline(ThreadPool& pool, std::uint64_t chunks, int depth,
     IoStatus st = IoStatus::success();
     std::exception_ptr ex;
     try {
+      APPROX_OBS_SPAN(span_read, "store.pipeline.read");
       st = stages.read(c, static_cast<int>(s));
     } catch (...) {
       ex = std::current_exception();

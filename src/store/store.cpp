@@ -7,6 +7,7 @@
 #include "common/buffer.h"
 #include "common/crc32.h"
 #include "obs/metrics.h"
+#include "obs/slow_ops.h"
 #include "obs/span.h"
 #include "store/pipeline.h"
 
@@ -33,6 +34,10 @@ struct RobustnessMetrics {
   obs::Counter& crash_recoveries =
       obs::registry().counter("store.crash_recoveries");
   obs::Gauge& queue_depth = obs::registry().gauge("store.repair.queue_depth");
+  // Slow-op counters (bumped by obs::SlowOps when an operation crosses the
+  // APPROX_SLOW_OP_US threshold), registered here so they always appear.
+  obs::Counter& read_slow = obs::registry().counter("store.read.slow");
+  obs::Counter& decode_slow = obs::registry().counter("store.decode.slow");
 
   static RobustnessMetrics& get() {
     static RobustnessMetrics m;
@@ -162,6 +167,9 @@ bool VolumeStore::quarantine_node(int node) {
 }
 
 void VolumeStore::enqueue_repair(int node) {
+  // Traced so a degraded read's causal tree shows the repair hand-off it
+  // triggered, not just the read work itself.
+  APPROX_OBS_SPAN(span_enqueue, "store.repair.enqueue");
   std::lock_guard<std::mutex> lock(mu_);
   const auto it =
       std::lower_bound(pending_repair_.begin(), pending_repair_.end(), node);
@@ -417,7 +425,10 @@ void finish_degraded(VolumeStore& vol, const DegradedState& deg,
 
 VolumeStore::DecodeResult VolumeStore::decode_file(
     const std::filesystem::path& output, const DecodeOptions& opts) {
-  APPROX_OBS_SPAN(span_total, "store.decode");
+  // A named span object (not the macro) so the span's trace id can key the
+  // slow-op record below; with APPROX_OBS_OFF this is the zero-cost stub.
+  obs::ObsSpan span_total("store.decode");
+  const double slow_t0 = obs::now_us();
   static obs::ShardedCounter& c_read =
       obs::registry().sharded_counter("store.read.bytes");
 
@@ -586,6 +597,8 @@ VolumeStore::DecodeResult VolumeStore::decode_file(
   finish_degraded(*this, deg, opts, result);
   result.crc_ok =
       crc32_combine(crc_imp, crc_unimp, unimp_len) == manifest_.file_crc;
+  obs::SlowOps::note("store.decode", span_total.trace_id(),
+                     obs::now_us() - slow_t0);
   return result;
 }
 
@@ -596,7 +609,11 @@ VolumeStore::DecodeResult VolumeStore::decode_file(
 VolumeStore::DecodeResult VolumeStore::read(std::uint64_t offset,
                                             std::span<std::uint8_t> out,
                                             const DecodeOptions& opts) {
-  APPROX_OBS_SPAN(span_total, "store.ranged_read");
+  // Named span (see decode_file) so the trace id can key slow-op records.
+  obs::ObsSpan span_total("store.ranged_read");
+  const double slow_t0 = obs::now_us();
+  static obs::ShardedCounter& c_read =
+      obs::registry().sharded_counter("store.read.bytes");
   if (offset + out.size() > manifest_.file_size) {
     throw Error("read past end of stored file");
   }
@@ -693,6 +710,7 @@ VolumeStore::DecodeResult VolumeStore::read(std::uint64_t offset,
         slot.erased.push_back(n);
         continue;
       }
+      c_read.add(nb);
       if (!slot.bad.empty()) {
         result.corrupt_blocks += slot.bad.size();
         if (!opts.allow_degraded) continue;
@@ -708,6 +726,7 @@ VolumeStore::DecodeResult VolumeStore::read(std::uint64_t offset,
     return IoStatus::success();
   };
   stages.process = [&](std::uint64_t index, int si) -> IoStatus {
+    APPROX_OBS_SPAN(span_chunk, "store.stripe_read");
     const std::uint64_t c = first + index;
     Slot& slot = slots[static_cast<std::size_t>(si)];
     slot.bytes = 0;
@@ -787,6 +806,8 @@ VolumeStore::DecodeResult VolumeStore::read(std::uint64_t offset,
   // No whole-file CRC applies to a sub-range: crc_ok here means "every
   // requested byte was served exactly".
   result.crc_ok = result.unrecoverable_bytes == 0;
+  obs::SlowOps::note("store.read", span_total.trace_id(),
+                     obs::now_us() - slow_t0);
   return result;
 }
 

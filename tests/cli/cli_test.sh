@@ -76,6 +76,35 @@ rc=0; "$CLI" info no-such-volume 2>/dev/null || rc=$?
 rc=0; "$CLI" frobnicate 2>/dev/null || rc=$?
 [ "$rc" -eq 2 ] || fail "unknown command should exit 2 (usage), got $rc"
 
+# --- request tracing: --trace-out writes a Chrome trace-event file -----------
+"$CLI" --trace-out trace.json decode vol2 traced.bin || fail "decode with --trace-out"
+cmp -s input.bin traced.bin || fail "traced decode roundtrip differs"
+[ -s trace.json ] || fail "--trace-out produced no file"
+grep -q '"traceEvents"' trace.json || fail "trace file missing traceEvents"
+grep -q 'cli.decode' trace.json || fail "trace file missing cli root span"
+# The export is one JSON document and the CLI root span ties the request
+# into a single trace tree (one span with parent 0 per trace id).
+if command -v python3 >/dev/null 2>&1; then
+  python3 - trace.json <<'EOF' || fail "trace file is not a single well-formed tree"
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+assert events, "no spans recorded"
+traces = {}
+for e in events:
+    a = e["args"]
+    traces.setdefault(a["trace"], []).append(a)
+for trace, spans in traces.items():
+    ids = {s["span"] for s in spans}
+    roots = [s for s in spans if s["parent"] == 0]
+    assert len(roots) == 1, f"trace {trace}: {len(roots)} roots"
+    for s in spans:
+        assert s["parent"] == 0 or s["parent"] in ids, f"trace {trace}: orphan span"
+EOF
+fi
+rc=0; "$CLI" --trace-out 2>/dev/null || rc=$?
+[ "$rc" -eq 2 ] || fail "--trace-out without a file should exit 2 (usage), got $rc"
+
 # --- stats surface the robustness instruments --------------------------------
 stats=$("$CLI" stats --json vol) || fail "stats"
 for key in store.degraded_reads store.quarantined_chunks \

@@ -191,5 +191,60 @@ TEST(ThreadPoolTask, WaitIsIdempotent) {
   EXPECT_TRUE(t.done());
 }
 
+TEST(ThreadPoolTrace, SubmitCarriesSubmitterContext) {
+  ThreadPool pool(2);
+  TraceContext seen;
+  {
+    TraceContextScope scope({42, 7});
+    pool.submit([&] { seen = current_trace_context(); }).wait();
+  }
+  EXPECT_EQ(seen.trace_id, 42u);
+  EXPECT_EQ(seen.parent_id, 7u);
+  // A task submitted with no active context runs with none - the worker
+  // does not leak the identity of the previous task it ran.
+  pool.submit([&] { seen = current_trace_context(); }).wait();
+  EXPECT_FALSE(seen.active());
+}
+
+TEST(ThreadPoolTrace, ParallelForChunksInheritCallerContext) {
+  ThreadPool pool(4);
+  std::atomic<int> wrong{0};
+  {
+    TraceContextScope scope({99, 3});
+    pool.parallel_for(0, 64, [&](std::size_t, std::size_t) {
+      const TraceContext ctx = current_trace_context();
+      if (ctx.trace_id != 99 || ctx.parent_id != 3) wrong.fetch_add(1);
+    });
+  }
+  EXPECT_EQ(wrong.load(), 0);
+  // The caller's own context is restored after the helping wait, even
+  // though it may have run foreign-context chunks inline.
+  EXPECT_FALSE(current_trace_context().active());
+}
+
+TEST(ThreadPoolTrace, HelpingWaitRestoresWaiterContext) {
+  ThreadPool pool(1);
+  // The outer task (context A) blocks on an inner task (context B); with a
+  // single worker the helping wait makes the outer thread run the inner
+  // task inline, and its own context must survive the excursion.
+  TraceContext after_inner;
+  ThreadPool::Task outer;
+  {
+    TraceContextScope scope({1, 1});
+    outer = pool.submit([&] {
+      ThreadPool::Task inner;
+      {
+        TraceContextScope inner_scope({2, 2});
+        inner = pool.submit([] {});
+      }
+      inner.wait();  // runs `inner` (context {2,2}) on this thread
+      after_inner = current_trace_context();
+    });
+  }
+  outer.wait();
+  EXPECT_EQ(after_inner.trace_id, 1u);
+  EXPECT_EQ(after_inner.parent_id, 1u);
+}
+
 }  // namespace
 }  // namespace approx

@@ -1,173 +1,28 @@
 // Tests for the approx::obs instrumentation layer: registry instruments
 // under concurrent recording, histogram percentile extraction, trace-span
-// nesting, and the JSON exporter (validated with a minimal in-test parser).
+// nesting and identity propagation, slow-op accounting, and the JSON
+// exporters (validated with the shared test JSON parser).
 #include <gtest/gtest.h>
 
-#include <cctype>
 #include <cmath>
-#include <map>
 #include <string>
-#include <variant>
+#include <thread>
 #include <vector>
 
+#include "../support/test_json.h"
 #include "common/thread_pool.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/slow_ops.h"
 #include "obs/span.h"
 
 namespace approx::obs {
 namespace {
 
-// ---------------------------------------------------------------------------
-// Minimal JSON parser (objects/arrays/strings/numbers/bools/null), enough
-// to round-trip the exporter output.
-// ---------------------------------------------------------------------------
-
-struct JsonValue;
-using JsonObject = std::map<std::string, JsonValue>;
-using JsonArray = std::vector<JsonValue>;
-
-struct JsonValue {
-  std::variant<std::nullptr_t, bool, double, std::string, JsonArray, JsonObject>
-      v;
-
-  bool is_object() const { return std::holds_alternative<JsonObject>(v); }
-  const JsonObject& object() const { return std::get<JsonObject>(v); }
-  const JsonArray& array() const { return std::get<JsonArray>(v); }
-  double number() const { return std::get<double>(v); }
-  const std::string& string() const { return std::get<std::string>(v); }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : s_(text) {}
-
-  JsonValue parse() {
-    JsonValue v = value();
-    skip_ws();
-    EXPECT_EQ(pos_, s_.size()) << "trailing bytes after JSON document";
-    return v;
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) {
-      ++pos_;
-    }
-  }
-  char peek() {
-    skip_ws();
-    EXPECT_LT(pos_, s_.size()) << "unexpected end of JSON";
-    return pos_ < s_.size() ? s_[pos_] : '\0';
-  }
-  void expect(char c) {
-    EXPECT_EQ(peek(), c);
-    ++pos_;
-  }
-
-  JsonValue value() {
-    switch (peek()) {
-      case '{': return JsonValue{object()};
-      case '[': return JsonValue{array()};
-      case '"': return JsonValue{string()};
-      case 't': literal("true"); return JsonValue{true};
-      case 'f': literal("false"); return JsonValue{false};
-      case 'n': literal("null"); return JsonValue{nullptr};
-      default: return JsonValue{number()};
-    }
-  }
-
-  void literal(const char* lit) {
-    skip_ws();
-    for (const char* p = lit; *p != '\0'; ++p) expect_raw(*p);
-  }
-  void expect_raw(char c) {
-    ASSERT_LT(pos_, s_.size());
-    EXPECT_EQ(s_[pos_], c);
-    ++pos_;
-  }
-
-  JsonObject object() {
-    JsonObject out;
-    expect('{');
-    if (peek() == '}') {
-      ++pos_;
-      return out;
-    }
-    while (true) {
-      std::string key = string();
-      expect(':');
-      out.emplace(std::move(key), value());
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return out;
-    }
-  }
-
-  JsonArray array() {
-    JsonArray out;
-    expect('[');
-    if (peek() == ']') {
-      ++pos_;
-      return out;
-    }
-    while (true) {
-      out.push_back(value());
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return out;
-    }
-  }
-
-  std::string string() {
-    expect('"');
-    std::string out;
-    while (pos_ < s_.size() && s_[pos_] != '"') {
-      char c = s_[pos_++];
-      if (c == '\\') {
-        EXPECT_LT(pos_, s_.size()) << "dangling escape";
-        if (pos_ >= s_.size()) break;
-        const char e = s_[pos_++];
-        switch (e) {
-          case 'n': out += '\n'; break;
-          case 'r': out += '\r'; break;
-          case 't': out += '\t'; break;
-          case 'u': {
-            EXPECT_LE(pos_ + 4, s_.size());
-            if (pos_ + 4 > s_.size()) break;
-            out += static_cast<char>(
-                std::stoi(s_.substr(pos_, 4), nullptr, 16));
-            pos_ += 4;
-            break;
-          }
-          default: out += e;
-        }
-      } else {
-        out += c;
-      }
-    }
-    expect_raw('"');
-    return out;
-  }
-
-  double number() {
-    skip_ws();
-    std::size_t used = 0;
-    const double d = std::stod(s_.substr(pos_), &used);
-    EXPECT_GT(used, 0u);
-    pos_ += used;
-    return d;
-  }
-
-  const std::string& s_;
-  std::size_t pos_ = 0;
-};
+using testsupport::JsonArray;
+using testsupport::JsonObject;
+using testsupport::JsonParser;
+using testsupport::JsonValue;
 
 // ---------------------------------------------------------------------------
 // Instruments
@@ -389,6 +244,288 @@ TEST(ObsRegistry, ResetZeroesEveryInstrument) {
   EXPECT_EQ(c.value(), 0u);
   EXPECT_EQ(h.count(), 0u);
   EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+TEST(ObsHistogram, P999ReportedInJsonAndText) {
+  Histogram& h = registry().histogram("test.p999.hist");
+  h.reset();
+  // 1% of the mass at 1e6: p50/p99 sit in the low bucket, p999 must land
+  // in the outlier bucket.
+  for (int i = 0; i < 990; ++i) h.record(1.0);
+  for (int i = 0; i < 10; ++i) h.record(1e6);
+
+  JsonValue doc = JsonParser(registry().to_json()).parse();
+  const JsonObject& hist =
+      doc.object().at("histograms").object().at("test.p999.hist").object();
+  const double p50 = hist.at("p50").number();
+  const double p999 = hist.at("p999").number();
+  EXPECT_NEAR(p999, 1e6, 2e5);
+  EXPECT_LE(p50, hist.at("p99").number());
+  EXPECT_LE(hist.at("p99").number(), p999);
+  EXPECT_LE(p999, hist.at("max").number());
+
+  EXPECT_NE(registry().to_text().find("p999="), std::string::npos);
+  h.reset();
+}
+
+// ---------------------------------------------------------------------------
+// Trace identity
+// ---------------------------------------------------------------------------
+
+TEST(ObsTrace, SpansInheritTraceAcrossThreadPoolHops) {
+  SpanLog::clear();
+  SpanLog::set_enabled(true);
+  {
+    APPROX_OBS_SPAN(root, "test.trace.root");
+    ThreadPool::global()
+        .submit([] { APPROX_OBS_SPAN(child, "test.trace.child"); })
+        .wait();
+    ThreadPool::global().parallel_for(0, 4, [](std::size_t, std::size_t) {
+      APPROX_OBS_SPAN(chunk, "test.trace.chunk");
+    });
+  }
+  SpanLog::set_enabled(false);
+  const auto events = SpanLog::snapshot();
+  SpanLog::clear();
+
+#ifdef APPROX_OBS_OFF
+  EXPECT_TRUE(events.empty());
+#else
+  const SpanEvent* root = nullptr;
+  for (const auto& ev : events) {
+    if (ev.name == "test.trace.root") root = &ev;
+  }
+  ASSERT_NE(root, nullptr);
+  EXPECT_NE(root->trace_id, 0u);
+  EXPECT_EQ(root->parent_id, 0u);  // trace root
+  int children = 0;
+  for (const auto& ev : events) {
+    EXPECT_EQ(ev.trace_id, root->trace_id) << ev.name;
+    if (ev.name != "test.trace.root") {
+      // submit() and parallel_for() both install the submitter's context,
+      // so every hop parents directly to the root span.
+      EXPECT_EQ(ev.parent_id, root->span_id) << ev.name;
+      ++children;
+    }
+  }
+  EXPECT_GE(children, 2);  // the submitted child plus >= 1 chunk
+#endif
+}
+
+TEST(ObsTrace, OutermostSpansRootDistinctTraces) {
+  SpanLog::clear();
+  SpanLog::set_enabled(true);
+  {
+    APPROX_OBS_SPAN(a, "test.trace.a");
+    (void)0;
+  }
+  {
+    APPROX_OBS_SPAN(b, "test.trace.b");
+    (void)0;
+  }
+  SpanLog::set_enabled(false);
+  const auto events = SpanLog::snapshot();
+  SpanLog::clear();
+#ifdef APPROX_OBS_OFF
+  EXPECT_TRUE(events.empty());
+#else
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(events[0].trace_id, events[1].trace_id);
+  EXPECT_EQ(events[0].parent_id, 0u);
+  EXPECT_EQ(events[1].parent_id, 0u);
+#endif
+}
+
+TEST(ObsTrace, ContextApiIsUsableRegardlessOfObsOff) {
+  // The TraceContext primitives live in common and must compile and
+  // behave identically with APPROX_OBS_OFF: only the *span* layer is
+  // compiled out, not the context plumbing.
+  EXPECT_FALSE(approx::current_trace_context().active());
+  {
+    approx::TraceContextScope scope({123, 456});
+    EXPECT_TRUE(approx::current_trace_context().active());
+    EXPECT_EQ(approx::current_trace_context().trace_id, 123u);
+    EXPECT_EQ(approx::current_trace_context().parent_id, 456u);
+    TraceContext seen;
+    ThreadPool::global()
+        .submit([&] { seen = approx::current_trace_context(); })
+        .wait();
+    EXPECT_EQ(seen.trace_id, 123u);
+    EXPECT_EQ(seen.parent_id, 456u);
+  }
+  EXPECT_FALSE(approx::current_trace_context().active());
+  // Trace and span ids draw from one shared sequence, so they never
+  // collide; sequence the calls explicitly (macro argument evaluation
+  // order is unspecified).
+  const std::uint64_t trace_id = approx::next_trace_id();
+  const std::uint64_t span_id = approx::next_span_id();
+  EXPECT_LT(trace_id, span_id);
+}
+
+// ---------------------------------------------------------------------------
+// Buffer saturation and snapshot stability
+// ---------------------------------------------------------------------------
+
+TEST(ObsSpanLog, BufferSaturationCountsEveryDrop) {
+  SpanLog::clear();
+  SpanLog::set_enabled(true);
+  constexpr std::size_t kOverflow = 10;
+  // A fresh thread gets a fresh (empty) per-thread buffer, so the exact
+  // capacity boundary is observable no matter what earlier tests recorded
+  // on this thread.
+  std::thread recorder([] {
+    for (std::size_t i = 0; i < SpanLog::kMaxEventsPerThread + kOverflow; ++i) {
+      APPROX_OBS_SPAN(sp, "test.saturate");
+      (void)0;
+    }
+  });
+  recorder.join();
+  SpanLog::set_enabled(false);
+  const auto events = SpanLog::snapshot();
+  const std::uint64_t dropped = SpanLog::dropped();
+  SpanLog::clear();
+#ifdef APPROX_OBS_OFF
+  EXPECT_TRUE(events.empty());
+  EXPECT_EQ(dropped, 0u);
+#else
+  std::size_t saturate_events = 0;
+  for (const auto& ev : events) {
+    if (ev.name == "test.saturate") ++saturate_events;
+  }
+  EXPECT_EQ(saturate_events, SpanLog::kMaxEventsPerThread);
+  EXPECT_EQ(dropped, kOverflow);
+  // clear() resets the drop counter along with the buffers.
+  EXPECT_EQ(SpanLog::dropped(), 0u);
+#endif
+}
+
+TEST(ObsSpanLog, SnapshotStaysOrderedWithExitedThreads) {
+  SpanLog::clear();
+  SpanLog::set_enabled(true);
+  for (int t = 0; t < 3; ++t) {
+    std::thread worker([] {
+      for (int i = 0; i < 5; ++i) {
+        APPROX_OBS_SPAN(sp, "test.exited");
+        (void)0;
+      }
+    });
+    worker.join();  // buffer outlives the thread
+  }
+  {
+    APPROX_OBS_SPAN(sp, "test.live");
+    (void)0;
+  }
+  SpanLog::set_enabled(false);
+  const auto events = SpanLog::snapshot();
+  SpanLog::clear();
+#ifdef APPROX_OBS_OFF
+  EXPECT_TRUE(events.empty());
+#else
+  ASSERT_EQ(events.size(), 16u);  // 3 exited threads * 5 + 1 live
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].start_us, events[i].start_us);
+  }
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace-event export
+// ---------------------------------------------------------------------------
+
+TEST(ObsSpanLog, ChromeJsonExportsCausalTree) {
+  SpanLog::clear();
+  SpanLog::set_enabled(true);
+  {
+    APPROX_OBS_SPAN(root, "test.chrome.root");
+    {
+      APPROX_OBS_SPAN(inner, "test.chrome.inner");
+      (void)0;
+    }
+  }
+  SpanLog::set_enabled(false);
+  const std::string json = SpanLog::to_chrome_json();
+  SpanLog::clear();
+
+  JsonValue doc = JsonParser(json).parse();
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.object().at("displayTimeUnit").string(), "ms");
+  EXPECT_DOUBLE_EQ(doc.object().at("dropped").number(), 0.0);
+  const JsonArray& traced = doc.object().at("traceEvents").array();
+#ifdef APPROX_OBS_OFF
+  EXPECT_TRUE(traced.empty());
+#else
+  ASSERT_EQ(traced.size(), 2u);
+  const JsonObject* root = nullptr;
+  const JsonObject* inner = nullptr;
+  for (const auto& ev : traced) {
+    const JsonObject& o = ev.object();
+    EXPECT_EQ(o.at("ph").string(), "X");
+    EXPECT_EQ(o.at("cat").string(), "approx");
+    if (o.at("name").string() == "test.chrome.root") root = &o;
+    if (o.at("name").string() == "test.chrome.inner") inner = &o;
+  }
+  ASSERT_NE(root, nullptr);
+  ASSERT_NE(inner, nullptr);
+  const JsonObject& rargs = root->at("args").object();
+  const JsonObject& iargs = inner->at("args").object();
+  // One trace, stitched by parent ids; pid groups the trace for the viewer.
+  EXPECT_EQ(iargs.at("trace").number(), rargs.at("trace").number());
+  EXPECT_EQ(iargs.at("parent").number(), rargs.at("span").number());
+  EXPECT_DOUBLE_EQ(rargs.at("parent").number(), 0.0);
+  EXPECT_EQ(root->at("pid").number(), rargs.at("trace").number());
+  EXPECT_DOUBLE_EQ(rargs.at("depth").number(), 0.0);
+  EXPECT_DOUBLE_EQ(iargs.at("depth").number(), 1.0);
+  // Containment in exported timestamps too.
+  EXPECT_LE(root->at("ts").number(), inner->at("ts").number());
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Slow-op accounting
+// ---------------------------------------------------------------------------
+
+TEST(ObsSlowOps, ThresholdGatesCounterAndTable) {
+  SlowOps::clear();
+  const double saved = SlowOps::threshold_us();
+  SlowOps::set_threshold_us(1000.0);
+  Counter& c = registry().counter("test.slowop.slow");
+  c.reset();
+
+  SlowOps::note("test.slowop", 7, 500.0);   // below threshold: invisible
+  SlowOps::note("test.slowop", 8, 2000.0);
+  SlowOps::note("test.slowop", 9, 5000.0);
+
+  EXPECT_EQ(c.value(), 2u);
+  const auto top = SlowOps::top(10);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].trace_id, 9u);  // slowest first
+  EXPECT_DOUBLE_EQ(top[0].dur_us, 5000.0);
+  EXPECT_EQ(top[1].trace_id, 8u);
+
+  SlowOps::set_threshold_us(saved);
+  SlowOps::clear();
+  c.reset();
+}
+
+TEST(ObsSlowOps, TableKeepsTheWorstWhenFull) {
+  SlowOps::clear();
+  const double saved = SlowOps::threshold_us();
+  SlowOps::set_threshold_us(1.0);
+  for (std::size_t i = 0; i < SlowOps::kMaxEntries + 5; ++i) {
+    SlowOps::note("test.slowop.full", i, 10.0 + static_cast<double>(i));
+  }
+  const auto top = SlowOps::top(SlowOps::kMaxEntries + 5);
+  ASSERT_EQ(top.size(), SlowOps::kMaxEntries);
+  // The five smallest durations were evicted; the worst survived, sorted.
+  EXPECT_DOUBLE_EQ(top.front().dur_us,
+                   10.0 + static_cast<double>(SlowOps::kMaxEntries + 4));
+  EXPECT_DOUBLE_EQ(top.back().dur_us, 15.0);
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].dur_us, top[i].dur_us);
+  }
+  SlowOps::set_threshold_us(saved);
+  SlowOps::clear();
+  registry().counter("test.slowop.full.slow").reset();
 }
 
 }  // namespace

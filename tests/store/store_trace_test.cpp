@@ -1,0 +1,222 @@
+// Request-scoped tracing through the store: a degraded read's fan-out
+// (pipeline stages, reconstruction, repair-queue enqueue) must stitch into
+// one connected causal tree in the Chrome trace export, and concurrent
+// requests sharing the global thread pool must never bleed identity into
+// each other's trees.  The concurrency case doubles as the TSan regression
+// test for TraceContext propagation.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <random>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "../support/test_json.h"
+#include "obs/span.h"
+#include "store/store.h"
+
+namespace fs = std::filesystem;
+
+namespace approx::store {
+namespace {
+
+using testsupport::JsonParser;
+using testsupport::JsonValue;
+
+core::ApprParams rs_params() {
+  return {codes::Family::RS, 4, 1, 2, 4, core::Structure::Even};
+}
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint32_t seed) {
+  std::vector<std::uint8_t> data(n);
+  std::mt19937 rng(seed);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+  return data;
+}
+
+// One exported span, decoded from the Chrome trace-event args.
+struct ExportedSpan {
+  std::string name;
+  std::uint64_t trace = 0;
+  std::uint64_t span = 0;
+  std::uint64_t parent = 0;
+};
+
+std::vector<ExportedSpan> parse_chrome(const std::string& json) {
+  std::vector<ExportedSpan> out;
+  JsonValue doc = JsonParser(json).parse();
+  EXPECT_TRUE(doc.is_object());
+  if (!doc.is_object()) return out;
+  for (const auto& ev : doc.object().at("traceEvents").array()) {
+    const auto& o = ev.object();
+    EXPECT_EQ(o.at("ph").string(), "X");
+    const auto& args = o.at("args").object();
+    out.push_back(ExportedSpan{
+        o.at("name").string(),
+        static_cast<std::uint64_t>(args.at("trace").number()),
+        static_cast<std::uint64_t>(args.at("span").number()),
+        static_cast<std::uint64_t>(args.at("parent").number())});
+  }
+  return out;
+}
+
+// A well-formed trace: exactly one root (parent 0), and every other span's
+// parent is a span of the same trace.  Returns the root's span id.
+std::uint64_t expect_tree(const std::vector<ExportedSpan>& spans,
+                          std::uint64_t trace) {
+  std::set<std::uint64_t> ids;
+  for (const auto& s : spans) {
+    if (s.trace == trace) ids.insert(s.span);
+  }
+  std::uint64_t root = 0;
+  int roots = 0;
+  for (const auto& s : spans) {
+    if (s.trace != trace) continue;
+    if (s.parent == 0) {
+      ++roots;
+      root = s.span;
+    } else {
+      EXPECT_TRUE(ids.count(s.parent))
+          << s.name << " parents a span outside its trace";
+    }
+  }
+  EXPECT_EQ(roots, 1) << "trace " << trace << " must have exactly one root";
+  return root;
+}
+
+class StoreTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("approxtrace_" + std::string(::testing::UnitTest::GetInstance()
+                                             ->current_test_info()
+                                             ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    data_ = random_bytes(120000, 99);
+    input_ = dir_ / "input.bin";
+    std::ofstream out(input_, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(data_.data()),
+              static_cast<std::streamsize>(data_.size()));
+  }
+  void TearDown() override {
+    obs::SpanLog::set_enabled(false);
+    obs::SpanLog::clear();
+    fs::remove_all(dir_);
+  }
+
+  VolumeStore encode(const fs::path& vol_dir) {
+    return VolumeStore::encode_file(io_, input_, vol_dir, rs_params(), 1024,
+                                    std::nullopt, StoreOptions{});
+  }
+
+  PosixIoBackend io_;
+  fs::path dir_;
+  fs::path input_;
+  std::vector<std::uint8_t> data_;
+};
+
+TEST_F(StoreTraceTest, DegradedReadExportsOneConnectedTree) {
+  VolumeStore vol = encode(dir_ / "vol");
+  fs::remove(vol.node_path(2));  // force reconstruction on every stripe
+
+  obs::SpanLog::clear();
+  obs::SpanLog::set_enabled(true);
+  std::vector<std::uint8_t> buf(4096);
+  {
+    // Stand-in for the CLI's root span (approxcli opens "cli.<cmd>").
+    obs::ObsSpan root("request.degraded_read");
+    const auto res = vol.read(1000, buf, {});
+    EXPECT_TRUE(res.crc_ok);
+    EXPECT_FALSE(res.degraded_nodes.empty());
+  }
+  obs::SpanLog::set_enabled(false);
+  const std::string json = obs::SpanLog::to_chrome_json();
+  const auto spans = parse_chrome(json);
+
+#ifdef APPROX_OBS_OFF
+  EXPECT_TRUE(spans.empty());
+#else
+  ASSERT_FALSE(spans.empty());
+  // Single trace: the whole degraded fan-out shares the root's trace id.
+  std::set<std::uint64_t> traces;
+  for (const auto& s : spans) traces.insert(s.trace);
+  ASSERT_EQ(traces.size(), 1u);
+  const std::uint64_t root_span = expect_tree(spans, *traces.begin());
+  EXPECT_NE(root_span, 0u);
+
+  // The tree reaches from the entry span through the pipeline stages into
+  // the repair-queue hand-off.
+  std::set<std::string> names;
+  for (const auto& s : spans) names.insert(s.name);
+  for (const char* required :
+       {"request.degraded_read", "store.ranged_read", "store.pipeline.read",
+        "store.pipeline.process", "store.stripe_read",
+        "store.repair.enqueue"}) {
+    EXPECT_TRUE(names.count(required)) << "missing span " << required;
+  }
+#endif
+}
+
+TEST_F(StoreTraceTest, ConcurrentRequestsKeepTreesDisjointAndWellFormed) {
+  VolumeStore setup = encode(dir_ / "vol");
+  fs::remove(setup.node_path(1));
+
+  obs::SpanLog::clear();
+  obs::SpanLog::set_enabled(true);
+  constexpr int kReaders = 3;
+  constexpr int kReadsPerThread = 4;
+
+  // One thread streams pipelined encodes while others hammer degraded
+  // ranged reads on a shared pool: helping waits will interleave foreign
+  // requests on every thread, which is exactly what must not leak trace
+  // identity.  Run under TSan this is also the data-race regression test
+  // for the context plumbing.
+  std::vector<std::thread> threads;
+  threads.emplace_back([&] {
+    obs::ObsSpan root("request.encode");
+    encode(dir_ / "vol_concurrent");
+  });
+  for (int t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&, t] {
+      VolumeStore vol(io_, dir_ / "vol", StoreOptions{});
+      std::vector<std::uint8_t> buf(2048);
+      for (int i = 0; i < kReadsPerThread; ++i) {
+        obs::ObsSpan root("request.read");
+        const auto res = vol.read(
+            static_cast<std::uint64_t>((t * kReadsPerThread + i) * 512), buf,
+            {});
+        EXPECT_TRUE(res.crc_ok);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  obs::SpanLog::set_enabled(false);
+  const auto spans = parse_chrome(obs::SpanLog::to_chrome_json());
+
+#ifdef APPROX_OBS_OFF
+  EXPECT_TRUE(spans.empty());
+#else
+  // Span ids are globally unique; every trace is a well-formed tree.
+  std::set<std::uint64_t> all_ids;
+  std::map<std::uint64_t, int> trace_sizes;
+  for (const auto& s : spans) {
+    EXPECT_TRUE(all_ids.insert(s.span).second) << "duplicate span id";
+    ++trace_sizes[s.trace];
+  }
+  // One trace per request: the encode plus every individual read.
+  EXPECT_EQ(trace_sizes.size(),
+            1u + static_cast<std::size_t>(kReaders * kReadsPerThread));
+  for (const auto& [trace, size] : trace_sizes) {
+    EXPECT_GE(size, 2) << "request trace should contain nested spans";
+    expect_tree(spans, trace);
+  }
+#endif
+}
+
+}  // namespace
+}  // namespace approx::store

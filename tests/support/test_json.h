@@ -1,0 +1,163 @@
+// Minimal JSON parser for tests (objects/arrays/strings/numbers/bools/
+// null) - enough to round-trip the exporters under test (registry dumps,
+// bench artifacts, Chrome trace-event files).  Malformed input fails the
+// calling test through gtest expectations rather than throwing.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace approx::testsupport {
+
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray, JsonObject>
+      v;
+
+  bool is_object() const { return std::holds_alternative<JsonObject>(v); }
+  const JsonObject& object() const { return std::get<JsonObject>(v); }
+  const JsonArray& array() const { return std::get<JsonArray>(v); }
+  double number() const { return std::get<double>(v); }
+  const std::string& string() const { return std::get<std::string>(v); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    EXPECT_EQ(pos_, s_.size()) << "trailing bytes after JSON document";
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    skip_ws();
+    EXPECT_LT(pos_, s_.size()) << "unexpected end of JSON";
+    return pos_ < s_.size() ? s_[pos_] : '\0';
+  }
+  void expect(char c) {
+    EXPECT_EQ(peek(), c);
+    ++pos_;
+  }
+
+  JsonValue value() {
+    switch (peek()) {
+      case '{': return JsonValue{object()};
+      case '[': return JsonValue{array()};
+      case '"': return JsonValue{string()};
+      case 't': literal("true"); return JsonValue{true};
+      case 'f': literal("false"); return JsonValue{false};
+      case 'n': literal("null"); return JsonValue{nullptr};
+      default: return JsonValue{number()};
+    }
+  }
+
+  void literal(const char* lit) {
+    skip_ws();
+    for (const char* p = lit; *p != '\0'; ++p) expect_raw(*p);
+  }
+  void expect_raw(char c) {
+    ASSERT_LT(pos_, s_.size());
+    EXPECT_EQ(s_[pos_], c);
+    ++pos_;
+  }
+
+  JsonObject object() {
+    JsonObject out;
+    expect('{');
+    if (peek() == '}') {
+      ++pos_;
+      return out;
+    }
+    while (true) {
+      std::string key = string();
+      expect(':');
+      out.emplace(std::move(key), value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return out;
+    }
+  }
+
+  JsonArray array() {
+    JsonArray out;
+    expect('[');
+    if (peek() == ']') {
+      ++pos_;
+      return out;
+    }
+    while (true) {
+      out.push_back(value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return out;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        EXPECT_LT(pos_, s_.size()) << "dangling escape";
+        if (pos_ >= s_.size()) break;
+        const char e = s_[pos_++];
+        switch (e) {
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            EXPECT_LE(pos_ + 4, s_.size());
+            if (pos_ + 4 > s_.size()) break;
+            out += static_cast<char>(
+                std::stoi(s_.substr(pos_, 4), nullptr, 16));
+            pos_ += 4;
+            break;
+          }
+          default: out += e;
+        }
+      } else {
+        out += c;
+      }
+    }
+    expect_raw('"');
+    return out;
+  }
+
+  double number() {
+    skip_ws();
+    std::size_t used = 0;
+    const double d = std::stod(s_.substr(pos_), &used);
+    EXPECT_GT(used, 0u);
+    pos_ += used;
+    return d;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace approx::testsupport

@@ -19,9 +19,14 @@
 // check since no per-block integrity data exists.
 //
 // stats dumps the observability registry - counters, gauges and span
-// latency histograms - as text or JSON after exercising the volume.  The
-// global --trace flag (any command) additionally records trace spans and
-// prints the span timeline plus the registry to stderr on exit.
+// latency histograms - as text or JSON after exercising the volume, plus
+// the slowest recorded operations (op, trace id, duration).  The global
+// --trace flag (any command) additionally records trace spans and prints
+// the span timeline plus the registry to stderr on exit; --trace-out FILE
+// records the same spans and writes them as Chrome trace-event JSON
+// (chrome://tracing / Perfetto) to FILE.  Every command runs under a root
+// span "cli.<cmd>", so all recorded spans stitch into one causal tree per
+// invocation.
 //
 // Options: --family rs|lrc|star|tip|crs  --k N --r N --g N --h N
 //          --structure even|uneven  --block BYTES  --split BYTES
@@ -35,6 +40,7 @@
 
 #include "core/approximate_code.h"
 #include "obs/metrics.h"
+#include "obs/slow_ops.h"
 #include "obs/span.h"
 #include "store/scrubber.h"
 #include "store/store.h"
@@ -73,6 +79,8 @@ struct Options {
                "       approxcli decode <volume-dir> <output>\n"
                "       approxcli stats [--json] <volume-dir>\n"
                "global: --trace  print trace spans + metrics to stderr on exit\n"
+               "        --trace-out FILE  write spans as Chrome trace-event\n"
+               "          JSON to FILE (load in chrome://tracing / Perfetto)\n"
                "        --pipeline-depth N  in-flight stripes of the store\n"
                "          pipeline (default: APPROX_PIPELINE_DEPTH env, else\n"
                "          sized to the thread pool; 1 = serial store I/O)\n"
@@ -259,6 +267,19 @@ int cmd_decode(const fs::path& dir, const fs::path& output) {
   return kExitOk;
 }
 
+// Slowest recorded operations, one line each; the trace id is the join key
+// into the span timeline (--trace / --trace-out).
+void print_slow_ops(std::FILE* f) {
+  const auto slow = obs::SlowOps::top(10);
+  if (slow.empty()) return;
+  std::fprintf(f, "--- slowest ops (threshold %.0f us) ---\n",
+               obs::SlowOps::threshold_us());
+  for (const auto& e : slow) {
+    std::fprintf(f, "%-32s trace=%llu dur=%.1fus\n", e.op.c_str(),
+                 static_cast<unsigned long long>(e.trace_id), e.dur_us);
+  }
+}
+
 int cmd_stats(const fs::path& dir, bool json) {
   store::VolumeStore vol = open_volume(dir);
   store::ScrubService service(vol);
@@ -281,6 +302,7 @@ int cmd_stats(const fs::path& dir, bool json) {
                 vol.code().name().c_str(),
                 static_cast<unsigned long long>(vol.manifest().chunks),
                 report.damaged.size(), obs::registry().to_text().c_str());
+    print_slow_ops(stdout);
   }
   return kExitOk;
 }
@@ -298,6 +320,7 @@ void dump_trace() {
     std::fprintf(stderr, "(%llu span(s) dropped)\n",
                  static_cast<unsigned long long>(obs::SpanLog::dropped()));
   }
+  print_slow_ops(stderr);
   std::fprintf(stderr, "--- metrics ---\n%s", obs::registry().to_text().c_str());
 }
 
@@ -364,9 +387,15 @@ int main(int argc, char** argv) {
   try {
     std::vector<std::string> all(argv + 1, argv + argc);
     bool trace = false;
+    std::string trace_out;
     for (auto it = all.begin(); it != all.end();) {
       if (*it == "--trace") {
         trace = true;
+        it = all.erase(it);
+      } else if (*it == "--trace-out") {
+        it = all.erase(it);
+        if (it == all.end()) usage("--trace-out needs a file path");
+        trace_out = *it;
         it = all.erase(it);
       } else if (*it == "--pipeline-depth") {
         it = all.erase(it);
@@ -380,9 +409,32 @@ int main(int argc, char** argv) {
     if (all.empty()) usage();
     const std::string cmd = all.front();
     std::vector<std::string> args(all.begin() + 1, all.end());
-    if (trace) obs::SpanLog::set_enabled(true);
-    const int rc = dispatch(cmd, args);
+    if (trace || !trace_out.empty()) obs::SpanLog::set_enabled(true);
+    int rc;
+    {
+      // Root span for the whole command: every span the command records
+      // (store stages, pool work, repair enqueues) stitches under one
+      // trace.  Scoped so the root is closed - and buffered - before the
+      // trace is dumped or exported.
+      const std::string root_name = "cli." + cmd;
+      obs::ObsSpan root_span(root_name);
+      rc = dispatch(cmd, args);
+    }
     if (trace) dump_trace();
+    if (!trace_out.empty()) {
+      const std::string json = obs::SpanLog::to_chrome_json();
+      std::FILE* f = std::fopen(trace_out.c_str(), "w");
+      bool ok = f != nullptr;
+      if (f != nullptr) {
+        ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+        ok = std::fclose(f) == 0 && ok;
+      }
+      if (!ok) {
+        std::fprintf(stderr, "approxcli: cannot write trace to %s\n",
+                     trace_out.c_str());
+        return kExitIoError;
+      }
+    }
     return rc;
   } catch (const store::StoreError& e) {
     // The device failed us: retries exhausted, ENOSPC, unreadable files.
