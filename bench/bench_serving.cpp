@@ -25,10 +25,20 @@
 // before the serving phase, so every request also exercises the
 // degraded-read reconstruction fan-out and the amplification it costs.
 //
+// --transport lifts the same workload onto the multi-node serving layer
+// (src/serving): an in-process cluster of one coordinator plus --nodes
+// storage daemons, wired over the deterministic loopback transport or real
+// localhost TCP sockets, with the client reading through the striped
+// RemoteBackend.  Every ranged read becomes parallel chunk RPCs; the
+// latency distribution then includes framing, transport scheduling and the
+// RPC retry loop, so local-vs-loopback-vs-tcp columns isolate the serving
+// stack's cost from the codec's.
+//
 //   bench_serving [--json[=path]] [--requests N] [--qps N] [--seed S]
 //                 [--size BYTES] [--read-bytes N] [--zipf-theta T]
 //                 [--fault-read-rate R] [--kill-node N] [--deadline-ms D]
 //                 [--workers N] [--dir PATH]
+//                 [--transport local|loopback|tcp] [--nodes N]
 #include <algorithm>
 #include <atomic>
 #include <cmath>
@@ -39,7 +49,9 @@
 #include <deque>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -47,7 +59,12 @@
 #include "bench_util.h"
 #include "common/crc32.h"
 #include "common/prng.h"
+#include "net/loopback.h"
+#include "net/tcp.h"
 #include "obs/span.h"
+#include "serving/client.h"
+#include "serving/coordinator.h"
+#include "serving/daemon.h"
 #include "store/store.h"
 
 namespace fs = std::filesystem;
@@ -124,10 +141,16 @@ int main(int argc, char** argv) {
   int kill_node = -1;
   double deadline_ms = 100.0;
   unsigned workers = 8;
+  std::string transport_mode = "local";
+  int cluster_nodes = 4;
   fs::path work = fs::temp_directory_path() / "approx_bench_serving";
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
-    if (a == "--size" && i + 1 < argc) {
+    if (a == "--transport" && i + 1 < argc) {
+      transport_mode = argv[++i];
+    } else if (a == "--nodes" && i + 1 < argc) {
+      cluster_nodes = static_cast<int>(std::stoul(argv[++i]));
+    } else if (a == "--size" && i + 1 < argc) {
       file_bytes = static_cast<std::size_t>(std::stoull(argv[++i]));
     } else if (a == "--read-bytes" && i + 1 < argc) {
       read_bytes = static_cast<std::size_t>(std::stoull(argv[++i]));
@@ -152,10 +175,13 @@ int main(int argc, char** argv) {
     }
   }
   if (requests <= 0 || qps <= 0 || workers == 0 || read_bytes == 0 ||
-      file_bytes < read_bytes) {
+      file_bytes < read_bytes || cluster_nodes <= 0 ||
+      (transport_mode != "local" && transport_mode != "loopback" &&
+       transport_mode != "tcp")) {
     std::fprintf(stderr, "bench_serving: nonsense parameters\n");
     return 2;
   }
+  const bool remote = transport_mode != "local";
 
   // --- volume setup (fault-free) -------------------------------------------
   fs::remove_all(work);
@@ -167,8 +193,64 @@ int main(int argc, char** argv) {
   const core::ApprParams params{codes::Family::RS, 4, 1, 2, 4,
                                 core::Structure::Even};
   store::StoreOptions opts;
-  store::VolumeStore vol = store::VolumeStore::encode_file(
-      io, input, work / "vol", params, 4096, std::nullopt, opts);
+
+  // Declared in teardown-reverse order: the client volume closes before the
+  // daemons stop, the daemons before the transport is torn down.
+  std::unique_ptr<net::Transport> transport;
+  std::unique_ptr<serving::Coordinator> coordinator;
+  std::vector<std::unique_ptr<store::FaultInjectingBackend>> node_ios;
+  std::vector<std::unique_ptr<serving::StorageDaemon>> daemons;
+  std::unique_ptr<serving::ServingClient> client;
+  std::unique_ptr<serving::RemoteVolume> remote_vol;
+  std::optional<store::VolumeStore> local_vol;
+  store::VolumeStore* volume = nullptr;
+
+  if (!remote) {
+    // Encode, then reopen so the volume's lifetime handling matches the
+    // remote branch (VolumeStore is non-movable).
+    {
+      store::VolumeStore built = store::VolumeStore::encode_file(
+          io, input, work / "vol", params, 4096, std::nullopt, opts);
+      (void)built;
+    }
+    local_vol.emplace(io, work / "vol", opts);
+    volume = &*local_vol;
+  } else {
+    transport = transport_mode == "tcp"
+                    ? std::unique_ptr<net::Transport>(
+                          std::make_unique<net::TcpTransport>())
+                    : std::make_unique<net::LoopbackTransport>();
+    const bool tcp = transport_mode == "tcp";
+    coordinator = std::make_unique<serving::Coordinator>(
+        *transport, tcp ? "127.0.0.1:0" : "coord", posix, work / "meta");
+    if (!coordinator->start().ok()) {
+      std::fprintf(stderr, "bench_serving: coordinator failed to start\n");
+      return 2;
+    }
+    for (int n = 0; n < cluster_nodes; ++n) {
+      node_ios.push_back(std::make_unique<store::FaultInjectingBackend>(posix));
+      serving::DaemonOptions dopts;
+      dopts.name = "n" + std::to_string(n);
+      dopts.rack = static_cast<std::uint32_t>(n);
+      daemons.push_back(std::make_unique<serving::StorageDaemon>(
+          *transport, tcp ? "127.0.0.1:0" : dopts.name, *node_ios.back(),
+          work / ("d" + std::to_string(n)), std::move(dopts)));
+      if (!daemons.back()->start().ok() ||
+          !daemons.back()->join(coordinator->endpoint()).ok()) {
+        std::fprintf(stderr, "bench_serving: daemon failed to start\n");
+        return 2;
+      }
+    }
+    serving::ClientOptions copts;
+    copts.params = params;
+    copts.store = opts;
+    client = std::make_unique<serving::ServingClient>(
+        *transport, coordinator->endpoint(), copts);
+    client->put(input, "bench");
+    remote_vol = client->open("bench");
+    volume = &remote_vol->store();
+  }
+  store::VolumeStore& vol = *volume;
 
   // --- deterministic request schedule --------------------------------------
   const std::size_t objects = file_bytes / read_bytes;
@@ -193,10 +275,22 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "bench_serving: --kill-node out of range\n");
       return 2;
     }
-    fs::remove(vol.node_path(kill_node));
+    if (!remote) {
+      fs::remove(vol.node_path(kill_node));
+    } else {
+      // The chunk file lives in exactly one daemon's data directory.
+      const std::string fname =
+          store::node_file_name(vol.version(), kill_node);
+      for (int n = 0; n < cluster_nodes; ++n) {
+        fs::remove(work / ("d" + std::to_string(n)) / "bench" / fname);
+      }
+    }
   }
   if (fault_read_rate > 0) {
     io.enable_chaos(seed, {fault_read_rate, 0.0});
+    for (std::size_t n = 0; n < node_ios.size(); ++n) {
+      node_ios[n]->enable_chaos(seed + n + 1, {fault_read_rate, 0.0});
+    }
   }
   obs::ShardedCounter& c_read =
       obs::registry().sharded_counter("store.read.bytes");
@@ -295,7 +389,10 @@ int main(int argc, char** argv) {
   print_header("open-loop serving (" + std::to_string(requests) + " req @ " +
                fmt(qps, 0) + " qps, Zipf " + fmt(zipf_theta, 2) +
                ", fault rate " + fmt(fault_read_rate, 3) + ", seed " +
-               std::to_string(seed) + ")");
+               std::to_string(seed) + ", transport " + transport_mode +
+               (remote ? ", " + std::to_string(cluster_nodes) + " daemons"
+                       : std::string()) +
+               ")");
   print_row({"p50_us", "p99_us", "p999_us", "max_us", "mean_us"}, 12);
   print_row({fmt(pctl(sorted, 0.50), 1), fmt(pctl(sorted, 0.99), 1),
              fmt(pctl(sorted, 0.999), 1), fmt(sorted.back(), 1), fmt(mean, 1)},
@@ -323,6 +420,10 @@ int main(int argc, char** argv) {
   w.value(static_cast<std::uint64_t>(file_bytes));
   w.key("workers");
   w.value(static_cast<std::uint64_t>(workers));
+  w.key("transport");
+  w.value(transport_mode);
+  w.key("nodes");
+  w.value(static_cast<std::uint64_t>(remote ? cluster_nodes : 0));
   w.key("fault_read_rate");
   w.value(fault_read_rate);
   w.key("killed_node");

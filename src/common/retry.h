@@ -1,0 +1,96 @@
+// Shared retry/backoff policy for anything that talks to an unreliable
+// device: store I/O (src/store/io_backend.h) and per-node RPCs
+// (src/net/rpc.h) run the same exponential-backoff loop with the same
+// jitter semantics, so a chaos run that logs its seeds replays
+// bit-identically across both layers.
+//
+// The delay schedule grows in floating point and is clamped against
+// max_delay before every integer conversion, so a pathological
+// max_attempts cannot overflow the microsecond count no matter the
+// multiplier.  When jitter > 0 each delay is scaled by a factor drawn
+// uniformly from [1 - jitter, 1 + jitter]; the draw sequence is fully
+// determined by jitter_seed.
+//
+// This header lives in common (not store) because the net layer cannot
+// depend on the store; observability hooks are injected by the caller
+// (common cannot depend on obs either).
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+#include "common/prng.h"
+
+namespace approx {
+
+struct RetryPolicy {
+  int max_attempts = 4;  // total tries, including the first
+  std::chrono::microseconds base_delay{200};
+  std::chrono::microseconds max_delay{1'000'000};  // backoff cap
+  double multiplier = 2.0;
+  double jitter = 0.0;  // fraction of the delay, in [0, 1]
+  std::uint64_t jitter_seed = 0;
+  // Test seam: defaults to std::this_thread::sleep_for.
+  std::function<void(std::chrono::microseconds)> sleeper;
+};
+
+// The deterministic delay sequence of one retry loop: next() returns the
+// sleep before retry attempt i (i = 1, 2, ...), already jittered and
+// clamped.  Exposed separately from with_retry so tests can pin the
+// schedule and the net layer can drive its own loop shape (hedging).
+class BackoffSchedule {
+ public:
+  explicit BackoffSchedule(const RetryPolicy& policy)
+      : policy_(policy),
+        cap_(static_cast<double>(policy.max_delay.count())),
+        ideal_(static_cast<double>(policy.base_delay.count())),
+        jitter_rng_(policy.jitter_seed) {}
+
+  std::chrono::microseconds next() {
+    double us = std::min(ideal_, cap_);
+    if (policy_.jitter > 0) {
+      us *= 1.0 + policy_.jitter * (2.0 * jitter_rng_.uniform() - 1.0);
+      us = std::min(us, cap_);
+    }
+    ideal_ = std::min(ideal_ * policy_.multiplier, cap_);
+    return std::chrono::microseconds(static_cast<std::int64_t>(us));
+  }
+
+  void sleep(std::chrono::microseconds delay) const {
+    if (policy_.sleeper) {
+      policy_.sleeper(delay);
+    } else {
+      std::this_thread::sleep_for(delay);
+    }
+  }
+
+ private:
+  const RetryPolicy& policy_;
+  double cap_;
+  double ideal_;
+  Rng jitter_rng_;
+};
+
+// Generic exponential-backoff retry loop.  Retries `op` while
+// `retryable(status)` holds, sleeping the BackoffSchedule's delays between
+// tries; `on_retry` (when set) runs once per retry so callers can bump
+// their layer's retry counter.  Status must expose `bool ok()`.
+template <typename Status>
+Status with_retry(const RetryPolicy& policy, const std::function<Status()>& op,
+                  const std::function<bool(const Status&)>& retryable,
+                  const std::function<void()>& on_retry = {}) {
+  BackoffSchedule backoff(policy);
+  Status st = op();
+  for (int attempt = 1;
+       attempt < policy.max_attempts && !st.ok() && retryable(st); ++attempt) {
+    backoff.sleep(backoff.next());
+    if (on_retry) on_retry();
+    st = op();
+  }
+  return st;
+}
+
+}  // namespace approx

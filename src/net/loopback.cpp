@@ -1,0 +1,207 @@
+#include "net/loopback.h"
+
+#include <algorithm>
+
+namespace approx::net {
+
+namespace {
+
+thread_local Endpoint t_local_endpoint = "client";
+
+std::pair<Endpoint, Endpoint> norm(const Endpoint& a, const Endpoint& b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+}  // namespace
+
+void LoopbackTransport::set_local_endpoint(Endpoint endpoint) {
+  t_local_endpoint = std::move(endpoint);
+}
+
+const Endpoint& LoopbackTransport::local_endpoint() { return t_local_endpoint; }
+
+NetStatus LoopbackTransport::serve(const Endpoint& endpoint, RpcHandler handler,
+                                   Endpoint* bound) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = servers_[endpoint];
+  if (slot && slot->handler) {
+    return NetStatus::failure(NetCode::kError,
+                              "endpoint already serving: " + endpoint);
+  }
+  slot = std::make_shared<Server>();
+  slot->handler = std::move(handler);
+  if (bound) *bound = endpoint;
+  return NetStatus::success();
+}
+
+void LoopbackTransport::stop(const Endpoint& endpoint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  servers_.erase(endpoint);
+}
+
+void LoopbackTransport::set_down(const Endpoint& endpoint, bool down) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = servers_.find(endpoint);
+  if (it != servers_.end()) {
+    it->second->down = down;
+    it->second->down_armed = false;
+  }
+}
+
+void LoopbackTransport::set_down_after(const Endpoint& endpoint,
+                                       std::uint64_t calls) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = servers_.find(endpoint);
+  if (it != servers_.end()) {
+    it->second->down_armed = true;
+    it->second->down_after = calls;
+  }
+}
+
+void LoopbackTransport::set_delay(const Endpoint& endpoint,
+                                  std::chrono::microseconds delay) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = servers_.find(endpoint);
+  if (it != servers_.end()) it->second->delay = delay;
+}
+
+void LoopbackTransport::partition(const Endpoint& a, const Endpoint& b) {
+  std::lock_guard<std::mutex> lock(mu_);
+  partitions_.insert(norm(a, b));
+}
+
+void LoopbackTransport::heal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  partitions_.clear();
+  for (auto& [name, server] : servers_) {
+    server->down = false;
+    server->down_armed = false;
+    server->delay = std::chrono::microseconds{0};
+  }
+}
+
+void LoopbackTransport::enable_chaos(std::uint64_t seed, ChaosOptions opts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  chaos_on_ = true;
+  chaos_seed_ = seed;
+  chaos_ = opts;
+  chaos_rng_ = Rng(seed);
+}
+
+void LoopbackTransport::disable_chaos() {
+  std::lock_guard<std::mutex> lock(mu_);
+  chaos_on_ = false;
+}
+
+std::uint64_t LoopbackTransport::chaos_seed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return chaos_seed_;
+}
+
+std::uint64_t LoopbackTransport::delivered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return delivered_;
+}
+
+bool LoopbackTransport::partitioned_locked(const Endpoint& a,
+                                           const Endpoint& b) const {
+  return partitions_.count(norm(a, b)) != 0;
+}
+
+LoopbackTransport::ChaosVerdict LoopbackTransport::draw_chaos_locked() {
+  // One draw per fault class per call, in fixed order, so the schedule is
+  // a pure function of (seed, call index) regardless of which rates are
+  // zero.
+  const double d_req = chaos_rng_.uniform();
+  const double d_rep = chaos_rng_.uniform();
+  const double d_delay = chaos_rng_.uniform();
+  const double d_corrupt = chaos_rng_.uniform();
+  if (d_req < chaos_.request_drop_rate) return ChaosVerdict::kDropRequest;
+  if (d_rep < chaos_.reply_drop_rate) return ChaosVerdict::kDropReply;
+  if (d_delay < chaos_.delay_rate) return ChaosVerdict::kDelay;
+  if (d_corrupt < chaos_.corrupt_rate) return ChaosVerdict::kCorrupt;
+  return ChaosVerdict::kClean;
+}
+
+NetStatus LoopbackTransport::call(const Endpoint& endpoint, const Frame& req,
+                                  Frame& resp,
+                                  std::chrono::microseconds timeout) {
+  // Exercise the real wire path even in-process: a frame that would not
+  // survive encode/decode must not survive loopback either.
+  std::vector<std::uint8_t> wire_req = encode_frame(req);
+
+  std::shared_ptr<Server> server;
+  ChaosVerdict verdict = ChaosVerdict::kClean;
+  std::chrono::microseconds service_delay{0};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (partitioned_locked(t_local_endpoint, endpoint)) {
+      return NetStatus::failure(NetCode::kUnreachable,
+                                "partitioned from " + endpoint);
+    }
+    auto it = servers_.find(endpoint);
+    if (it == servers_.end()) {
+      return NetStatus::failure(NetCode::kUnreachable,
+                                "no server at " + endpoint);
+    }
+    Server& s = *it->second;
+    if (s.down) {
+      return NetStatus::failure(NetCode::kUnreachable, endpoint + " is down");
+    }
+    if (s.down_armed) {
+      if (s.down_after == 0) {
+        s.down = true;
+        s.down_armed = false;
+        return NetStatus::failure(NetCode::kUnreachable, endpoint + " died");
+      }
+      --s.down_after;
+    }
+    if (chaos_on_) verdict = draw_chaos_locked();
+    service_delay = s.delay;
+    server = it->second;
+    ++delivered_;
+  }
+
+  if (verdict == ChaosVerdict::kDropRequest) {
+    // The request never arrived; the caller burns its whole timeout.
+    return NetStatus::failure(NetCode::kTimeout,
+                              "request dropped (chaos) to " + endpoint);
+  }
+  if (verdict == ChaosVerdict::kDelay) {
+    service_delay += std::chrono::microseconds(chaos_.delay_us);
+  }
+  if (service_delay >= timeout && timeout.count() > 0) {
+    // The node is slower than the caller is willing to wait; the handler
+    // never produces a reply the caller sees.  (Wait simulated, not slept.)
+    return NetStatus::failure(NetCode::kTimeout,
+                              endpoint + " exceeded call timeout");
+  }
+
+  Frame decoded_req;
+  if (NetStatus st = decode_frame(wire_req, decoded_req); !st.ok()) return st;
+
+  Frame handler_resp;
+  server->handler(decoded_req, handler_resp);
+  handler_resp.request_id = decoded_req.request_id;
+
+  if (verdict == ChaosVerdict::kDropReply) {
+    // The server did the work; only the answer was lost.  Idempotent RPCs
+    // make the retry safe.
+    return NetStatus::failure(NetCode::kTimeout,
+                              "reply dropped (chaos) from " + endpoint);
+  }
+
+  std::vector<std::uint8_t> wire_resp = encode_frame(handler_resp);
+  if (verdict == ChaosVerdict::kCorrupt && !handler_resp.payload.empty()) {
+    // Flip a payload byte so the real CRC check rejects the frame.
+    std::uint64_t pos;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      pos = chaos_rng_.below(handler_resp.payload.size());
+    }
+    wire_resp[kFrameHeaderBytes + pos] ^= 0xFF;
+  }
+  return decode_frame(wire_resp, resp);
+}
+
+}  // namespace approx::net

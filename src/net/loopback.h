@@ -1,0 +1,105 @@
+// Deterministic in-process transport for tests, chaos runs, and the
+// --transport loopback benchmark mode.
+//
+// Handlers are invoked on the caller's thread after a round trip through
+// encode_frame/decode_frame, so the full wire path (framing, CRC, payload
+// bounds) is exercised even in-process.  Fault surface:
+//
+//   set_down(ep)           endpoint refuses calls (kUnreachable)
+//   set_down_after(ep, n)  endpoint dies after n more delivered calls —
+//                          "node kill mid-stripe-write"
+//   set_delay(ep, us)      fixed per-call service delay; when it reaches
+//                          the caller's timeout the call returns kTimeout
+//                          without running the handler (a slow node)
+//   partition(a, b)        calls between groups a and b fail kUnreachable;
+//                          the caller's group is its thread-local identity
+//                          (set_local_endpoint, default "client")
+//   enable_chaos(seed, o)  seeded random request-drop / reply-drop /
+//                          delay / payload-corruption faults
+//
+// Chaos draws come from one xoshiro PRNG under the fabric mutex: the whole
+// fault schedule is a pure function of (seed, call order), so any logged
+// seed replays bit-identically — the same contract FaultInjectingBackend
+// gives disk chaos.  Simulated waits (delays, dropped-request timeouts)
+// are accounted, not slept, so chaos suites stay fast; a dropped reply
+// still runs the handler (the server did the work — only the answer was
+// lost), which is exactly the case idempotent RPCs must survive.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "common/prng.h"
+#include "net/transport.h"
+
+namespace approx::net {
+
+class LoopbackTransport final : public Transport {
+ public:
+  struct ChaosOptions {
+    double request_drop_rate = 0.0;  // request lost: kTimeout, handler not run
+    double reply_drop_rate = 0.0;    // reply lost: kTimeout, handler DID run
+    double delay_rate = 0.0;         // chance a call is delayed by delay_us
+    std::uint64_t delay_us = 0;
+    double corrupt_rate = 0.0;  // reply payload byte flipped -> kBadFrame
+  };
+
+  NetStatus serve(const Endpoint& endpoint, RpcHandler handler,
+                  Endpoint* bound = nullptr) override;
+  void stop(const Endpoint& endpoint) override;
+  NetStatus call(const Endpoint& endpoint, const Frame& req, Frame& resp,
+                 std::chrono::microseconds timeout) override;
+
+  // --- fault injection ---------------------------------------------------
+  void set_down(const Endpoint& endpoint, bool down);
+  // The endpoint serves `calls` more requests, then acts down.
+  void set_down_after(const Endpoint& endpoint, std::uint64_t calls);
+  void set_delay(const Endpoint& endpoint, std::chrono::microseconds delay);
+  // Bidirectional partition: calls between `a` and `b` fail kUnreachable.
+  void partition(const Endpoint& a, const Endpoint& b);
+  void heal();
+
+  void enable_chaos(std::uint64_t seed, ChaosOptions opts);
+  void disable_chaos();
+  std::uint64_t chaos_seed() const;
+
+  // Caller identity for partition checks, per thread.  Daemons calling the
+  // coordinator set their own endpoint; plain clients default to "client".
+  static void set_local_endpoint(Endpoint endpoint);
+  static const Endpoint& local_endpoint();
+
+  // Total calls delivered to handlers (simulated wall time is not modeled;
+  // this is the loopback's logical clock).
+  std::uint64_t delivered() const;
+
+ private:
+  struct Server {
+    RpcHandler handler;
+    bool down = false;
+    bool down_armed = false;
+    std::uint64_t down_after = 0;  // remaining calls before going down
+    std::chrono::microseconds delay{0};
+  };
+
+  enum class ChaosVerdict { kClean, kDropRequest, kDropReply, kDelay, kCorrupt };
+  ChaosVerdict draw_chaos_locked();
+
+  bool partitioned_locked(const Endpoint& a, const Endpoint& b) const;
+
+  mutable std::mutex mu_;
+  std::map<Endpoint, std::shared_ptr<Server>> servers_;
+  // Severed endpoint pairs, stored in normalized (min, max) order.
+  std::set<std::pair<Endpoint, Endpoint>> partitions_;
+  bool chaos_on_ = false;
+  std::uint64_t chaos_seed_ = 0;
+  ChaosOptions chaos_;
+  Rng chaos_rng_;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace approx::net

@@ -1,0 +1,156 @@
+#include "net/rpc.h"
+
+#include <atomic>
+
+#include "common/trace_context.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace approx::net {
+
+namespace {
+
+std::uint64_t next_request_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Span names must outlive their ObsSpan, so hand out string literals.
+const char* span_name(MsgType type, bool side_client) noexcept {
+  switch (type) {
+#define APPROX_NET_CASE(enumerator, tag)                       \
+  case MsgType::enumerator:                                    \
+    return side_client ? "net.rpc." tag : "rpc.serve." tag
+    APPROX_NET_CASE(kPing, "ping");
+    APPROX_NET_CASE(kFileStat, "file_stat");
+    APPROX_NET_CASE(kFileRead, "file_read");
+    APPROX_NET_CASE(kFileWrite, "file_write");
+    APPROX_NET_CASE(kFileTruncate, "file_truncate");
+    APPROX_NET_CASE(kFileSync, "file_sync");
+    APPROX_NET_CASE(kFileRename, "file_rename");
+    APPROX_NET_CASE(kFileRemove, "file_remove");
+    APPROX_NET_CASE(kFileMkdir, "file_mkdir");
+    APPROX_NET_CASE(kFileSyncDir, "file_sync_dir");
+    APPROX_NET_CASE(kFileExists, "file_exists");
+    APPROX_NET_CASE(kScrubChunk, "scrub_chunk");
+    APPROX_NET_CASE(kJoin, "join");
+    APPROX_NET_CASE(kListNodes, "list_nodes");
+    APPROX_NET_CASE(kCreateVolume, "create_volume");
+    APPROX_NET_CASE(kLookup, "lookup");
+#undef APPROX_NET_CASE
+  }
+  return side_client ? "net.rpc.unknown" : "rpc.serve.unknown";
+}
+
+}  // namespace
+
+const char* msg_type_name(MsgType type) noexcept {
+  switch (type) {
+    case MsgType::kPing:
+      return "ping";
+    case MsgType::kFileStat:
+      return "file_stat";
+    case MsgType::kFileRead:
+      return "file_read";
+    case MsgType::kFileWrite:
+      return "file_write";
+    case MsgType::kFileTruncate:
+      return "file_truncate";
+    case MsgType::kFileSync:
+      return "file_sync";
+    case MsgType::kFileRename:
+      return "file_rename";
+    case MsgType::kFileRemove:
+      return "file_remove";
+    case MsgType::kFileMkdir:
+      return "file_mkdir";
+    case MsgType::kFileSyncDir:
+      return "file_sync_dir";
+    case MsgType::kFileExists:
+      return "file_exists";
+    case MsgType::kScrubChunk:
+      return "scrub_chunk";
+    case MsgType::kJoin:
+      return "join";
+    case MsgType::kListNodes:
+      return "list_nodes";
+    case MsgType::kCreateVolume:
+      return "create_volume";
+    case MsgType::kLookup:
+      return "lookup";
+  }
+  return "unknown";
+}
+
+NetStatus RpcClient::attempt(MsgType type, const Frame& req, Frame& resp) {
+  static obs::Counter& sent = obs::registry().counter("net.rpc.sent");
+  static obs::Counter& timeouts = obs::registry().counter("net.rpc.timeouts");
+  static obs::Counter& hedged = obs::registry().counter("net.rpc.hedged");
+  (void)type;
+
+  const bool hedge = options_.hedge_delay.count() > 0 &&
+                     options_.hedge_delay < options_.timeout;
+  sent.add(1);
+  NetStatus st = transport_.call(
+      endpoint_, req, resp, hedge ? options_.hedge_delay : options_.timeout);
+  if (hedge && st.code == NetCode::kTimeout) {
+    // Slow-node cutoff reached: hedge by re-issuing with the full budget.
+    // The verb is idempotent, so even if the first request eventually
+    // lands server-side, the second is harmless.
+    hedged.add(1);
+    sent.add(1);
+    st = transport_.call(endpoint_, req, resp, options_.timeout);
+  }
+  if (st.code == NetCode::kTimeout) timeouts.add(1);
+  return st;
+}
+
+NetStatus RpcClient::call(MsgType type, std::vector<std::uint8_t> payload,
+                          Frame& resp) {
+  static obs::Counter& retries = obs::registry().counter("net.rpc.retries");
+
+  // One span per logical call (not per attempt): its latency histogram
+  // "span.net.rpc.<verb>.us" measures what the caller experienced.
+  obs::ObsSpan span(span_name(type, /*side_client=*/true));
+  // Stamp the active context (the span just installed itself as parent) so
+  // the server-side span becomes this span's child in the exported tree.
+  const TraceContext ctx = current_trace_context();
+
+  Frame req;
+  req.type = static_cast<std::uint16_t>(type);
+  req.trace_id = ctx.trace_id;
+  req.parent_id = ctx.parent_id;
+  req.payload = std::move(payload);
+
+  return approx::with_retry<NetStatus>(
+      options_.retry,
+      [&] {
+        req.request_id = next_request_id();
+        resp = Frame{};
+        return attempt(type, req, resp);
+      },
+      [](const NetStatus& st) { return net_retryable(st.code); },
+      [] { retries.add(1); });
+}
+
+RpcHandler make_server_handler(RpcDispatcher dispatcher) {
+  return [dispatcher = std::move(dispatcher)](const Frame& req, Frame& resp) {
+    static obs::Counter& received = obs::registry().counter("net.rpc.received");
+    received.add(1);
+
+    // Adopt the caller's trace identity so the serve span (and everything
+    // the handler does beneath it — disk reads, decode fan-out) stitches
+    // into the caller's tree.
+    TraceContextScope scope(TraceContext{req.trace_id, req.parent_id});
+    const auto type = static_cast<MsgType>(req.type);
+    obs::ObsSpan span(span_name(type, /*side_client=*/false));
+
+    resp.type = req.type;
+    resp.request_id = req.request_id;
+    resp.trace_id = req.trace_id;
+    resp.parent_id = req.parent_id;
+    resp.status = dispatcher(req, resp.payload);
+  };
+}
+
+}  // namespace approx::net

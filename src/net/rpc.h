@@ -1,0 +1,121 @@
+// RPC verbs, client-side call loop, and the server handler shim.
+//
+// The protocol is a flat request/response catalog over Frame (net/wire.h).
+// Every verb is idempotent by construction — positional reads/writes,
+// whole-file renames, membership upserts — so the client may retry or
+// hedge any call without a dedup layer (docs/distributed.md spells out the
+// argument per verb).
+//
+// RpcClient wraps Transport::call with the shared RetryPolicy
+// (common/retry.h, same loop as store I/O), a per-call timeout, and
+// optional hedging.  Hedging is implemented as staged deadlines: the first
+// attempt runs with the hedge delay as its timeout; if it times out the
+// call is re-issued with the full timeout (and net.rpc.hedged is bumped).
+// This keeps the slow-node cutoff without a racing second thread — the
+// transport is never touched by a thread that could outlive the caller.
+//
+// Tracing: each logical call opens an ObsSpan "net.rpc.<verb>" and stamps
+// the span's {trace_id, span_id} into the frame header; the server shim
+// installs that context and opens "rpc.serve.<verb>" under it, so a
+// cross-node degraded read exports as ONE connected trace tree.
+//
+// Counters: net.rpc.sent (per attempt), net.rpc.received (server side),
+// net.rpc.retries, net.rpc.hedged, net.rpc.timeouts; latency lands in the
+// span histograms "span.net.rpc.<verb>.us" (p999 in stats --json).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/retry.h"
+#include "net/transport.h"
+
+namespace approx::net {
+
+enum class MsgType : std::uint16_t {
+  kPing = 1,
+
+  // File service (storage daemon and coordinator metadata store); payload
+  // schemas in serving/protocol.h.
+  kFileStat = 10,
+  kFileRead = 11,
+  kFileWrite = 12,
+  kFileTruncate = 13,
+  kFileSync = 14,
+  kFileRename = 15,
+  kFileRemove = 16,
+  kFileMkdir = 17,
+  kFileSyncDir = 18,
+  kFileExists = 19,
+
+  // Daemon-side integrity scan of one chunk file (no data over the wire).
+  kScrubChunk = 20,
+
+  // Coordinator control plane.
+  kJoin = 30,
+  kListNodes = 31,
+  kCreateVolume = 32,
+  kLookup = 33,
+};
+
+// Stable lowercase verb name (static storage), used in span names.
+const char* msg_type_name(MsgType type) noexcept;
+
+struct RpcOptions {
+  std::chrono::microseconds timeout{2'000'000};
+  // 0 disables hedging; otherwise the first attempt is cut off after this
+  // delay and re-issued (staged-deadline hedge against slow nodes).
+  std::chrono::microseconds hedge_delay{0};
+  RetryPolicy retry;
+};
+
+// Transport-level failure surfaced to callers that need to distinguish
+// "network broke" from app-level errors (approxcli exit code 5).
+class NetError : public std::runtime_error {
+ public:
+  NetError(NetCode code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+  NetCode code() const noexcept { return code_; }
+
+ private:
+  NetCode code_;
+};
+
+class RpcClient {
+ public:
+  RpcClient(Transport& transport, Endpoint endpoint, RpcOptions options = {})
+      : transport_(transport),
+        endpoint_(std::move(endpoint)),
+        options_(options) {}
+
+  // One logical call: retry loop (+hedging) around Transport::call.  On
+  // success `resp` carries the handler's status/payload.  The returned
+  // NetStatus is the transport verdict of the last attempt.
+  NetStatus call(MsgType type, std::vector<std::uint8_t> payload, Frame& resp);
+
+  const Endpoint& endpoint() const noexcept { return endpoint_; }
+  const RpcOptions& options() const noexcept { return options_; }
+
+ private:
+  NetStatus attempt(MsgType type, const Frame& req, Frame& resp);
+
+  Transport& transport_;
+  Endpoint endpoint_;
+  RpcOptions options_;
+};
+
+// Server-side dispatcher: map a request to (status, response payload).
+using RpcDispatcher =
+    std::function<std::uint32_t(const Frame& req,
+                                std::vector<std::uint8_t>& resp_payload)>;
+
+// Wrap a dispatcher into a transport handler that installs the frame's
+// TraceContext, opens the server span, bumps net.rpc.received, and echoes
+// the ids into the response frame.
+RpcHandler make_server_handler(RpcDispatcher dispatcher);
+
+}  // namespace approx::net

@@ -1,0 +1,395 @@
+#include "net/tcp.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+namespace approx::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// "host:port" -> sockaddr_in.  Host must be numeric IPv4 or "localhost".
+bool parse_endpoint(const Endpoint& endpoint, sockaddr_in& addr) {
+  const auto colon = endpoint.rfind(':');
+  if (colon == std::string::npos) return false;
+  std::string host = endpoint.substr(0, colon);
+  const std::string port_str = endpoint.substr(colon + 1);
+  if (host == "localhost") host = "127.0.0.1";
+  char* end = nullptr;
+  const long port = std::strtol(port_str.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || port < 0 || port > 65535) return false;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  return inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1;
+}
+
+std::chrono::microseconds remaining(Clock::time_point deadline) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(deadline -
+                                                               Clock::now());
+}
+
+// Fully send `n` bytes before `deadline`.  kTimeout / kError on failure.
+NetStatus send_all(int fd, const std::uint8_t* data, std::size_t n,
+                   Clock::time_point deadline) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const auto left = remaining(deadline);
+    if (left.count() <= 0) {
+      return NetStatus::failure(NetCode::kTimeout, "send deadline exceeded");
+    }
+    pollfd pfd{fd, POLLOUT, 0};
+    const int pr = ::poll(&pfd, 1,
+                          static_cast<int>(left.count() / 1000) + 1);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return NetStatus::failure(NetCode::kError,
+                                std::string("poll: ") + std::strerror(errno));
+    }
+    if (pr == 0) continue;
+    const ssize_t w = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return NetStatus::failure(NetCode::kError,
+                                std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(w);
+  }
+  return NetStatus::success();
+}
+
+// Fully read `n` bytes before `deadline`.  A peer close mid-frame is
+// kUnreachable (the connection is gone, not slow).
+NetStatus recv_all(int fd, std::uint8_t* data, std::size_t n,
+                   Clock::time_point deadline) {
+  std::size_t got = 0;
+  while (got < n) {
+    const auto left = remaining(deadline);
+    if (left.count() <= 0) {
+      return NetStatus::failure(NetCode::kTimeout, "recv deadline exceeded");
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1,
+                          static_cast<int>(left.count() / 1000) + 1);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return NetStatus::failure(NetCode::kError,
+                                std::string("poll: ") + std::strerror(errno));
+    }
+    if (pr == 0) continue;
+    const ssize_t r = ::recv(fd, data + got, n - got, 0);
+    if (r == 0) {
+      return NetStatus::failure(NetCode::kUnreachable, "peer closed");
+    }
+    if (r < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return NetStatus::failure(NetCode::kError,
+                                std::string("recv: ") + std::strerror(errno));
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return NetStatus::success();
+}
+
+// Read one complete frame (header + payload + CRC) before `deadline`.
+NetStatus recv_frame(int fd, Frame& out, Clock::time_point deadline) {
+  std::vector<std::uint8_t> buf(kFrameHeaderBytes);
+  if (NetStatus st = recv_all(fd, buf.data(), buf.size(), deadline); !st.ok()) {
+    return st;
+  }
+  std::size_t payload_len = 0;
+  if (NetStatus st = frame_payload_len(buf, payload_len); !st.ok()) return st;
+  buf.resize(kFrameHeaderBytes + payload_len + kFrameCrcBytes);
+  if (NetStatus st = recv_all(fd, buf.data() + kFrameHeaderBytes,
+                              payload_len + kFrameCrcBytes, deadline);
+      !st.ok()) {
+    return st;
+  }
+  return decode_frame(buf, out);
+}
+
+void set_nonblocking(int fd, bool nonblocking) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return;
+  ::fcntl(fd, F_SETFL,
+          nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK));
+}
+
+}  // namespace
+
+struct TcpTransport::Listener {
+  int listen_fd = -1;
+  RpcHandler handler;
+  std::atomic<bool> stopping{false};
+  std::thread accept_thread;
+  std::mutex conn_mu;
+  std::vector<int> conn_fds;
+  std::vector<std::thread> conn_threads;
+
+  void run_connection(int fd) {
+    // Serve frames until peer close, error, or shutdown.  Deadlines here
+    // only bound a *started* frame (a stuck peer can't pin the thread
+    // forever); idle waiting is the poll loop below.
+    while (!stopping.load(std::memory_order_acquire)) {
+      pollfd pfd{fd, POLLIN, 0};
+      const int pr = ::poll(&pfd, 1, 100);
+      if (pr < 0 && errno != EINTR) break;
+      if (pr <= 0) continue;
+
+      Frame req;
+      const auto deadline = Clock::now() + std::chrono::seconds(30);
+      if (NetStatus st = recv_frame(fd, req, deadline); !st.ok()) break;
+
+      Frame resp;
+      handler(req, resp);
+      resp.request_id = req.request_id;
+      const std::vector<std::uint8_t> wire = encode_frame(resp);
+      if (NetStatus st = send_all(fd, wire.data(), wire.size(), deadline);
+          !st.ok()) {
+        break;
+      }
+    }
+    ::close(fd);
+  }
+
+  void run_accept() {
+    while (!stopping.load(std::memory_order_acquire)) {
+      pollfd pfd{listen_fd, POLLIN, 0};
+      const int pr = ::poll(&pfd, 1, 100);
+      if (pr < 0 && errno != EINTR) break;
+      if (pr <= 0) continue;
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) continue;
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      std::lock_guard<std::mutex> lock(conn_mu);
+      if (stopping.load(std::memory_order_acquire)) {
+        ::close(fd);
+        break;
+      }
+      conn_fds.push_back(fd);
+      conn_threads.emplace_back([this, fd] { run_connection(fd); });
+    }
+  }
+
+  void shut() {
+    stopping.store(true, std::memory_order_release);
+    if (listen_fd >= 0) ::shutdown(listen_fd, SHUT_RDWR);
+    {
+      std::lock_guard<std::mutex> lock(conn_mu);
+      for (int fd : conn_fds) ::shutdown(fd, SHUT_RDWR);
+    }
+    if (accept_thread.joinable()) accept_thread.join();
+    std::vector<std::thread> threads;
+    {
+      std::lock_guard<std::mutex> lock(conn_mu);
+      threads.swap(conn_threads);
+    }
+    for (auto& t : threads) {
+      if (t.joinable()) t.join();
+    }
+    if (listen_fd >= 0) ::close(listen_fd);
+    listen_fd = -1;
+  }
+};
+
+TcpTransport::~TcpTransport() { shutdown(); }
+
+NetStatus TcpTransport::serve(const Endpoint& endpoint, RpcHandler handler,
+                              Endpoint* bound) {
+  sockaddr_in addr{};
+  if (!parse_endpoint(endpoint, addr)) {
+    return NetStatus::failure(NetCode::kError,
+                              "bad endpoint (want host:port): " + endpoint);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return NetStatus::failure(NetCode::kError,
+                              std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int err = errno;
+    ::close(fd);
+    return NetStatus::failure(
+        NetCode::kError,
+        "bind " + endpoint + ": " + std::strerror(err));
+  }
+  if (::listen(fd, 64) < 0) {
+    const int err = errno;
+    ::close(fd);
+    return NetStatus::failure(NetCode::kError,
+                              std::string("listen: ") + std::strerror(err));
+  }
+
+  sockaddr_in actual{};
+  socklen_t len = sizeof(actual);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&actual), &len);
+  char ip[INET_ADDRSTRLEN] = {0};
+  ::inet_ntop(AF_INET, &actual.sin_addr, ip, sizeof(ip));
+  const Endpoint actual_ep =
+      std::string(ip) + ":" + std::to_string(ntohs(actual.sin_port));
+
+  auto listener = std::make_shared<Listener>();
+  listener->listen_fd = fd;
+  listener->handler = std::move(handler);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (listeners_.count(actual_ep) || listeners_.count(endpoint)) {
+      ::close(fd);
+      return NetStatus::failure(NetCode::kError,
+                                "endpoint already serving: " + endpoint);
+    }
+    listeners_[actual_ep] = listener;
+  }
+  listener->accept_thread = std::thread([listener] { listener->run_accept(); });
+  if (bound) *bound = actual_ep;
+  return NetStatus::success();
+}
+
+void TcpTransport::stop(const Endpoint& endpoint) {
+  std::shared_ptr<Listener> listener;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = listeners_.find(endpoint);
+    if (it == listeners_.end()) return;
+    listener = it->second;
+    listeners_.erase(it);
+  }
+  listener->shut();
+}
+
+void TcpTransport::shutdown() {
+  std::map<Endpoint, std::shared_ptr<Listener>> listeners;
+  std::map<Endpoint, int> idle;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    listeners.swap(listeners_);
+    idle.swap(idle_conns_);
+  }
+  for (auto& [name, listener] : listeners) listener->shut();
+  for (auto& [name, fd] : idle) ::close(fd);
+}
+
+NetStatus TcpTransport::connect_with_deadline(const Endpoint& endpoint,
+                                              std::chrono::microseconds timeout,
+                                              int& out_fd) {
+  sockaddr_in addr{};
+  if (!parse_endpoint(endpoint, addr)) {
+    return NetStatus::failure(NetCode::kError,
+                              "bad endpoint (want host:port): " + endpoint);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return NetStatus::failure(NetCode::kError,
+                              std::string("socket: ") + std::strerror(errno));
+  }
+  set_nonblocking(fd, true);
+  int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+  if (rc < 0 && errno == EINPROGRESS) {
+    pollfd pfd{fd, POLLOUT, 0};
+    const int pr =
+        ::poll(&pfd, 1, static_cast<int>(timeout.count() / 1000) + 1);
+    if (pr <= 0) {
+      ::close(fd);
+      return NetStatus::failure(NetCode::kTimeout,
+                                "connect timeout to " + endpoint);
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      ::close(fd);
+      return NetStatus::failure(
+          NetCode::kUnreachable,
+          "connect " + endpoint + ": " + std::strerror(err));
+    }
+  } else if (rc < 0) {
+    const int err = errno;
+    ::close(fd);
+    return NetStatus::failure(
+        NetCode::kUnreachable,
+        "connect " + endpoint + ": " + std::strerror(err));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  out_fd = fd;
+  return NetStatus::success();
+}
+
+NetStatus TcpTransport::call(const Endpoint& endpoint, const Frame& req,
+                             Frame& resp, std::chrono::microseconds timeout) {
+  const auto deadline = Clock::now() + timeout;
+
+  int fd = -1;
+  bool pooled = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = idle_conns_.find(endpoint);
+    if (it != idle_conns_.end()) {
+      fd = it->second;
+      idle_conns_.erase(it);
+      pooled = true;
+    }
+  }
+  if (fd < 0) {
+    if (NetStatus st = connect_with_deadline(endpoint, timeout, fd); !st.ok()) {
+      return st;
+    }
+  }
+
+  const std::vector<std::uint8_t> wire = encode_frame(req);
+  NetStatus st = send_all(fd, wire.data(), wire.size(), deadline);
+  if (st.ok()) st = recv_frame(fd, resp, deadline);
+  if (st.ok() && resp.request_id != req.request_id) {
+    st = NetStatus::failure(NetCode::kBadFrame, "response id mismatch");
+  }
+
+  if (!st.ok()) {
+    ::close(fd);
+    // A pooled connection may simply have been closed server-side since
+    // its last use; one transparent reconnect distinguishes a stale pool
+    // entry from a dead server.
+    if (pooled && remaining(deadline).count() > 0) {
+      if (NetStatus cst =
+              connect_with_deadline(endpoint, remaining(deadline), fd);
+          !cst.ok()) {
+        return st;
+      }
+      st = send_all(fd, wire.data(), wire.size(), deadline);
+      if (st.ok()) st = recv_frame(fd, resp, deadline);
+      if (st.ok() && resp.request_id != req.request_id) {
+        st = NetStatus::failure(NetCode::kBadFrame, "response id mismatch");
+      }
+      if (!st.ok()) {
+        ::close(fd);
+        return st;
+      }
+    } else {
+      return st;
+    }
+  }
+
+  int parked = -1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = idle_conns_.emplace(endpoint, fd);
+    if (!inserted) parked = fd;  // pool already has one; close ours
+  }
+  if (parked >= 0) ::close(parked);
+  return NetStatus::success();
+}
+
+}  // namespace approx::net

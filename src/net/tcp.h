@@ -1,0 +1,60 @@
+// Real-socket transport: one frame per request/response over TCP.
+//
+// Server side: serve() binds and listens (endpoint "host:port"; port 0
+// asks the kernel for an ephemeral port, reported via `bound`), then runs
+// an accept loop on a background thread and one thread per connection.
+// Connections are long-lived; each carries a sequence of frames.  stop()
+// closes the listener and all connection sockets and joins every thread.
+//
+// Client side: call() reuses one pooled idle connection per endpoint,
+// connecting (with the call timeout) when none exists.  The deadline
+// covers connect + send + receive; a timed-out or damaged connection is
+// closed, never returned to the pool, so a stale reply can't be read by
+// the next call.  A response whose request_id doesn't echo the request is
+// kBadFrame.  Failure mapping: refused/unroutable -> kUnreachable,
+// deadline -> kTimeout, framing/CRC -> kBadFrame, else kError.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/transport.h"
+
+namespace approx::net {
+
+class TcpTransport final : public Transport {
+ public:
+  TcpTransport() = default;
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  NetStatus serve(const Endpoint& endpoint, RpcHandler handler,
+                  Endpoint* bound = nullptr) override;
+  void stop(const Endpoint& endpoint) override;
+  NetStatus call(const Endpoint& endpoint, const Frame& req, Frame& resp,
+                 std::chrono::microseconds timeout) override;
+
+  // Stop every server and drop pooled client connections.
+  void shutdown();
+
+ private:
+  struct Listener;
+
+  NetStatus connect_with_deadline(const Endpoint& endpoint,
+                                  std::chrono::microseconds timeout, int& fd);
+
+  std::mutex mu_;
+  std::map<Endpoint, std::shared_ptr<Listener>> listeners_;
+  // One idle pooled connection per endpoint (callers are sequential per
+  // endpoint in the common case; concurrent callers just open extra
+  // sockets and the last one back parks in the pool).
+  std::map<Endpoint, int> idle_conns_;
+};
+
+}  // namespace approx::net

@@ -1,0 +1,51 @@
+// Transport: the pluggable message layer under the RPC protocol.
+//
+// A Transport moves one encoded frame to an endpoint and brings one frame
+// back.  Two implementations ship:
+//
+//   LoopbackTransport (net/loopback.h) — deterministic in-process fabric
+//     with injectable delay/drop/partition faults, seeded like
+//     FaultInjectingBackend so chaos schedules replay bit-identically;
+//   TcpTransport (net/tcp.h) — real sockets for a multi-process cluster.
+//
+// Endpoints are opaque strings ("127.0.0.1:7701" for TCP, any label for
+// loopback).  Handlers run on transport-owned threads: one logical server
+// per endpoint, registered with serve() and torn down with stop().
+// call() is synchronous and safe from any thread.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <string>
+
+#include "net/wire.h"
+
+namespace approx::net {
+
+using Endpoint = std::string;
+
+// Server-side message hook: fill `resp` from `req`.  The transport echoes
+// request_id; everything else (status, payload, trace ids) is the
+// handler's job — see make_server_handler() in net/rpc.h.
+using RpcHandler = std::function<void(const Frame& req, Frame& resp)>;
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Start serving `endpoint` with `handler`.  When `bound` is non-null it
+  // receives the actual endpoint (TCP resolves port 0 to the kernel-chosen
+  // ephemeral port; loopback echoes the name).
+  virtual NetStatus serve(const Endpoint& endpoint, RpcHandler handler,
+                          Endpoint* bound = nullptr) = 0;
+
+  // Tear down the server at `endpoint`; joins its threads.  In-flight
+  // handlers finish, new calls see kUnreachable.
+  virtual void stop(const Endpoint& endpoint) = 0;
+
+  // Send `req` and wait up to `timeout` for the response.
+  virtual NetStatus call(const Endpoint& endpoint, const Frame& req,
+                         Frame& resp, std::chrono::microseconds timeout) = 0;
+};
+
+}  // namespace approx::net

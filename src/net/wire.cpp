@@ -1,0 +1,175 @@
+#include "net/wire.h"
+
+#include "common/crc32.h"
+
+namespace approx::net {
+
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'A', 'P', 'X', 'R'};
+
+void write_le(std::uint8_t* p, std::uint64_t v, int n) {
+  for (int i = 0; i < n; ++i) {
+    p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+std::uint64_t read_le(const std::uint8_t* p, int n) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < n; ++i) {
+    v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+void WireWriter::u8(std::uint8_t v) { buf_.push_back(v); }
+void WireWriter::u16(std::uint16_t v) { put(v, 2); }
+void WireWriter::u32(std::uint32_t v) { put(v, 4); }
+void WireWriter::u64(std::uint64_t v) { put(v, 8); }
+
+void WireWriter::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  append(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+}
+
+void WireWriter::bytes(std::span<const std::uint8_t> b) {
+  u32(static_cast<std::uint32_t>(b.size()));
+  append(b.data(), b.size());
+}
+
+void WireWriter::put(std::uint64_t v, int n) {
+  for (int i = 0; i < n; ++i) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void WireWriter::append(const std::uint8_t* data, std::size_t n) {
+  const std::size_t at = buf_.size();
+  buf_.resize(at + n);
+  if (n != 0) std::memcpy(buf_.data() + at, data, n);
+}
+
+std::string WireReader::str() {
+  const std::uint32_t n = u32();
+  if (!take(n)) return {};
+  return std::string(reinterpret_cast<const char*>(bytes_.data() + pos_ - n),
+                     n);
+}
+
+std::vector<std::uint8_t> WireReader::bytes() {
+  const std::uint32_t n = u32();
+  if (!take(n)) return {};
+  return {bytes_.begin() + static_cast<std::ptrdiff_t>(pos_ - n),
+          bytes_.begin() + static_cast<std::ptrdiff_t>(pos_)};
+}
+
+std::uint64_t WireReader::get(int n) {
+  if (!take(static_cast<std::size_t>(n))) return 0;
+  std::uint64_t v = 0;
+  for (int i = 0; i < n; ++i) {
+    v |= static_cast<std::uint64_t>(
+             bytes_[pos_ - static_cast<std::size_t>(n) +
+                    static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  return v;
+}
+
+bool WireReader::take(std::size_t n) {
+  if (!ok_ || bytes_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  pos_ += n;
+  return true;
+}
+
+const char* net_code_name(NetCode code) noexcept {
+  switch (code) {
+    case NetCode::kOk:
+      return "ok";
+    case NetCode::kTimeout:
+      return "timeout";
+    case NetCode::kUnreachable:
+      return "unreachable";
+    case NetCode::kBadFrame:
+      return "bad-frame";
+    case NetCode::kShutdown:
+      return "shutdown";
+    case NetCode::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> encode_frame(const Frame& frame) {
+  const std::size_t total =
+      kFrameHeaderBytes + frame.payload.size() + kFrameCrcBytes;
+  std::vector<std::uint8_t> buf(total);
+  std::uint8_t* p = buf.data();
+  std::memcpy(p, kMagic, 4);
+  p[4] = kWireVersion;
+  p[5] = 0;  // flags
+  write_le(p + 6, frame.type, 2);
+  write_le(p + 8, frame.request_id, 8);
+  write_le(p + 16, frame.trace_id, 8);
+  write_le(p + 24, frame.parent_id, 8);
+  write_le(p + 32, frame.status, 4);
+  write_le(p + 36, frame.payload.size(), 4);
+  if (!frame.payload.empty()) {
+    std::memcpy(p + kFrameHeaderBytes, frame.payload.data(),
+                frame.payload.size());
+  }
+  write_le(p + total - kFrameCrcBytes,
+           crc32({p, total - kFrameCrcBytes}), 4);
+  return buf;
+}
+
+NetStatus frame_payload_len(std::span<const std::uint8_t> header,
+                            std::size_t& payload_len) {
+  if (header.size() < kFrameHeaderBytes) {
+    return NetStatus::failure(NetCode::kBadFrame, "truncated frame header");
+  }
+  for (int i = 0; i < 4; ++i) {
+    if (header[static_cast<std::size_t>(i)] != kMagic[i]) {
+      return NetStatus::failure(NetCode::kBadFrame, "bad frame magic");
+    }
+  }
+  if (header[4] != kWireVersion) {
+    return NetStatus::failure(NetCode::kBadFrame, "unsupported wire version");
+  }
+  const std::uint64_t len = read_le(header.data() + 36, 4);
+  if (len > kMaxPayload) {
+    return NetStatus::failure(NetCode::kBadFrame, "oversized payload");
+  }
+  payload_len = static_cast<std::size_t>(len);
+  return NetStatus::success();
+}
+
+NetStatus decode_frame(std::span<const std::uint8_t> bytes, Frame& out) {
+  std::size_t payload_len = 0;
+  if (NetStatus st = frame_payload_len(bytes, payload_len); !st.ok()) return st;
+  const std::size_t total = kFrameHeaderBytes + payload_len + kFrameCrcBytes;
+  if (bytes.size() != total) {
+    return NetStatus::failure(NetCode::kBadFrame, "frame length mismatch");
+  }
+  const auto want = static_cast<std::uint32_t>(
+      read_le(bytes.data() + total - kFrameCrcBytes, 4));
+  const std::uint32_t got = crc32({bytes.data(), total - kFrameCrcBytes});
+  if (want != got) {
+    return NetStatus::failure(NetCode::kBadFrame, "frame crc mismatch");
+  }
+  out.type = static_cast<std::uint16_t>(read_le(bytes.data() + 6, 2));
+  out.request_id = read_le(bytes.data() + 8, 8);
+  out.trace_id = read_le(bytes.data() + 16, 8);
+  out.parent_id = read_le(bytes.data() + 24, 8);
+  out.status = static_cast<std::uint32_t>(read_le(bytes.data() + 32, 4));
+  out.payload.assign(bytes.begin() + kFrameHeaderBytes,
+                     bytes.begin() + static_cast<std::ptrdiff_t>(
+                                         kFrameHeaderBytes + payload_len));
+  return NetStatus::success();
+}
+
+}  // namespace approx::net

@@ -1,0 +1,147 @@
+// RPC wire format: length-prefixed, CRC-framed messages.
+//
+// Every message on a transport — loopback or TCP — is one frame:
+//
+//   offset size
+//   0      4   magic "APXR"
+//   4      1   protocol version (kWireVersion)
+//   5      1   flags (reserved, 0)
+//   6      2   message type (u16 LE, see net/rpc.h)
+//   8      8   request id (echoed verbatim in the response)
+//   16     8   trace id   (request-scoped tracing, common/trace_context.h)
+//   24     8   parent span id
+//   32     4   app status (0 in requests; responses carry the handler's
+//              status code, e.g. a store::IoCode)
+//   36     4   payload length N (bounded by kMaxPayload)
+//   40     N   payload
+//   40+N   4   crc32 over bytes [0, 40+N)
+//
+// All integers are little-endian.  decode_frame() rejects bad magic,
+// unknown versions, oversized payloads, truncated buffers and CRC
+// mismatches as NetCode::kBadFrame — a corrupt frame is never delivered.
+// The trace ids ride in the header, not the payload, so every RPC stitches
+// into the caller's trace tree without the app schema knowing about
+// tracing (docs/distributed.md).
+//
+// WireWriter/WireReader are the bounded little-endian payload codecs the
+// app schemas (serving/protocol.h) are built from.  WireReader never
+// throws: any out-of-bounds read latches ok() == false and yields zeros,
+// so a handler validates once at the end instead of after every field.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace approx::net {
+
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 40;
+inline constexpr std::size_t kFrameCrcBytes = 4;
+inline constexpr std::size_t kMaxPayload = 64u << 20;  // 64 MiB
+
+enum class NetCode {
+  kOk = 0,
+  kTimeout,      // no (intact) reply within the deadline
+  kUnreachable,  // endpoint down, refused, or partitioned away
+  kBadFrame,     // framing/CRC violation on the wire
+  kShutdown,     // the local transport was stopped
+  kError,        // other socket-level failure
+};
+
+const char* net_code_name(NetCode code) noexcept;
+
+// Timeouts, unreachable peers and corrupt frames are worth retrying (every
+// RPC in the protocol is idempotent — positional writes, reads, renames);
+// kShutdown and kError are final.
+inline bool net_retryable(NetCode code) noexcept {
+  return code == NetCode::kTimeout || code == NetCode::kUnreachable ||
+         code == NetCode::kBadFrame;
+}
+
+struct NetStatus {
+  NetCode code = NetCode::kOk;
+  std::string message;
+
+  bool ok() const noexcept { return code == NetCode::kOk; }
+  static NetStatus success() { return {}; }
+  static NetStatus failure(NetCode c, std::string msg) {
+    return {c, std::move(msg)};
+  }
+};
+
+struct Frame {
+  std::uint16_t type = 0;
+  std::uint32_t status = 0;
+  std::uint64_t request_id = 0;
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_id = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+// Serialize a frame (header + payload + trailing CRC).
+std::vector<std::uint8_t> encode_frame(const Frame& frame);
+
+// Parse a complete frame buffer.  kBadFrame on any violation.
+NetStatus decode_frame(std::span<const std::uint8_t> bytes, Frame& out);
+
+// Validate a header prefix and extract the payload length, so a stream
+// reader knows how many more bytes to read (payload + CRC).  kBadFrame on
+// bad magic/version/oversized payload.
+NetStatus frame_payload_len(std::span<const std::uint8_t> header,
+                            std::size_t& payload_len);
+
+// ---------------------------------------------------------------------------
+// Payload codecs
+// ---------------------------------------------------------------------------
+
+// Methods are out-of-line (wire.cpp): GCC 12's -O3 vector-growth analysis
+// produces spurious -Wstringop-overflow warnings when these tiny appends
+// inline into callers.
+class WireWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  // Length-prefixed (u32) byte string.
+  void str(std::string_view s);
+  void bytes(std::span<const std::uint8_t> b);
+
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  void put(std::uint64_t v, int n);
+  void append(const std::uint8_t* data, std::size_t n);
+  std::vector<std::uint8_t> buf_;
+};
+
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8() { return static_cast<std::uint8_t>(get(1)); }
+  std::uint16_t u16() { return static_cast<std::uint16_t>(get(2)); }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(get(4)); }
+  std::uint64_t u64() { return get(8); }
+  std::string str();
+  std::vector<std::uint8_t> bytes();
+
+  // True iff no read ran past the end.  A well-formed message also
+  // consumes every byte: use done() for strict schemas.
+  bool ok() const noexcept { return ok_; }
+  bool done() const noexcept { return ok_ && pos_ == bytes_.size(); }
+
+ private:
+  std::uint64_t get(int n);
+  bool take(std::size_t n);
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace approx::net

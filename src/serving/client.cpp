@@ -1,0 +1,167 @@
+#include "serving/client.h"
+
+#include <algorithm>
+
+#include "serving/file_service.h"
+#include "store/format.h"
+
+namespace approx::serving {
+
+using store::IoCode;
+
+RemoteVolume::RemoteVolume(net::Transport& transport, std::string volume,
+                           net::Endpoint coordinator,
+                           std::vector<net::Endpoint> owners,
+                           const ClientOptions& options,
+                           store::IoBackend& local)
+    : backend_(std::make_unique<RemoteBackend>(
+          transport, std::move(volume), std::move(coordinator),
+          std::move(owners), options.rpc, local)) {
+  store_.emplace(*backend_, backend_->virtual_root(), options.store);
+}
+
+ServingClient::ServingClient(net::Transport& transport,
+                             net::Endpoint coordinator, ClientOptions options,
+                             store::IoBackend* local)
+    : transport_(transport),
+      coordinator_(std::move(coordinator)),
+      options_(std::move(options)) {
+  if (local == nullptr) {
+    owned_local_ = std::make_unique<store::PosixIoBackend>();
+    local_ = owned_local_.get();
+  } else {
+    local_ = local;
+  }
+}
+
+void ServingClient::fetch_placement(net::MsgType type,
+                                    std::vector<std::uint8_t> payload,
+                                    PlacementResp& out) {
+  net::RpcClient client(transport_, coordinator_, options_.rpc);
+  net::Frame resp;
+  const net::NetStatus st = client.call(type, std::move(payload), resp);
+  if (!st.ok()) {
+    ++transport_failures_;
+    throw net::NetError(st.code, "coordinator " + coordinator_ + ": " +
+                                     st.message);
+  }
+  if (resp.status != 0) {
+    throw store::StoreError(
+        status_to_io_code(resp.status),
+        std::string(resp.payload.begin(), resp.payload.end()));
+  }
+  if (!out.decode(resp)) {
+    throw store::StoreError(IoCode::kIoError, "malformed placement response");
+  }
+}
+
+store::Manifest ServingClient::put(const std::filesystem::path& input,
+                                   const std::string& volume) {
+  CreateVolumeReq req;
+  req.volume = volume;
+  req.params = options_.params;
+  PlacementResp placement;
+  fetch_placement(net::MsgType::kCreateVolume, req.encode(), placement);
+
+  RemoteBackend backend(transport_, volume, coordinator_, placement.owners,
+                        options_.rpc, *local_);
+  try {
+    store::VolumeStore vol = store::VolumeStore::encode_file(
+        backend, input, backend.virtual_root(), options_.params,
+        options_.block, options_.split, options_.store);
+    transport_failures_ += backend.transport_failures();
+    return vol.manifest();
+  } catch (...) {
+    transport_failures_ += backend.transport_failures();
+    throw;
+  }
+}
+
+std::unique_ptr<RemoteVolume> ServingClient::open(const std::string& volume) {
+  LookupReq req;
+  req.volume = volume;
+  PlacementResp placement;
+  fetch_placement(net::MsgType::kLookup, req.encode(), placement);
+  if (!placement.found) {
+    throw store::StoreError(IoCode::kNotFound, "no such volume: " + volume);
+  }
+  if (!placement.committed) {
+    throw store::StoreError(IoCode::kNotFound,
+                            "volume not committed (interrupted put?): " +
+                                volume);
+  }
+  return std::make_unique<RemoteVolume>(transport_, volume, coordinator_,
+                                        placement.owners, options_, *local_);
+}
+
+store::VolumeStore::DecodeResult ServingClient::get(
+    const std::string& volume, const std::filesystem::path& output) {
+  std::unique_ptr<RemoteVolume> rv = open(volume);
+  try {
+    store::VolumeStore::DecodeOptions opts;
+    opts.allow_degraded = true;
+    opts.quarantine = options_.quarantine_on_read;
+    auto result = rv->store().decode_file(output, opts);
+    transport_failures_ += rv->backend().transport_failures();
+    return result;
+  } catch (...) {
+    transport_failures_ += rv->backend().transport_failures();
+    throw;
+  }
+}
+
+store::RepairOutcome ServingClient::repair(const std::string& volume) {
+  std::unique_ptr<RemoteVolume> rv = open(volume);
+  try {
+    store::ScrubService scrubber(rv->store());
+    auto outcome = scrubber.repair();
+    transport_failures_ += rv->backend().transport_failures();
+    return outcome;
+  } catch (...) {
+    transport_failures_ += rv->backend().transport_failures();
+    throw;
+  }
+}
+
+RemoteScrubResult ServingClient::scrub(const std::string& volume) {
+  std::unique_ptr<RemoteVolume> rv = open(volume);
+  RemoteScrubResult result;
+  store::VolumeStore& vol = rv->store();
+  const int total = vol.code().params().total_nodes();
+  for (int node = 0; node < total; ++node) {
+    ScrubChunkReq req;
+    req.path = volume + "/" + store::node_file_name(vol.version(), node);
+    req.io_payload = static_cast<std::uint32_t>(vol.manifest().io_payload);
+    req.footers = vol.version() == store::kVolumeV2;
+    req.logical_size = vol.node_stream_bytes();
+    net::Endpoint owner;
+    if (!rv->backend().route(store::node_file_name(vol.version(), node),
+                             owner)) {
+      result.damaged_nodes.push_back(node);
+      continue;
+    }
+    net::Frame resp;
+    const store::IoStatus st =
+        rv->backend().rpc(owner, net::MsgType::kScrubChunk, req.encode(), resp);
+    if (!st.ok()) {
+      // Missing, unreadable or unreachable: the node needs repair either
+      // way; scrub reports, repair decides.
+      result.damaged_nodes.push_back(node);
+      continue;
+    }
+    ScrubChunkResp scan;
+    if (!scan.decode(resp)) {
+      result.damaged_nodes.push_back(node);
+      continue;
+    }
+    result.bytes_scanned += scan.bytes_scanned;
+    if (!scan.bad_blocks.empty()) {
+      result.corrupt_blocks += scan.bad_blocks.size();
+      result.damaged_nodes.push_back(node);
+    }
+  }
+  transport_failures_ += rv->backend().transport_failures();
+  return result;
+}
+
+}  // namespace approx::serving

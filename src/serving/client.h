@@ -1,0 +1,117 @@
+// ServingClient: the striped cluster client.
+//
+// Put streams a file through VolumeStore::encode_file over a RemoteBackend
+// — the pipelined encoder's parallel chunk writes become striped parallel
+// RPCs to the owning daemons, and the manifest written last through the
+// coordinator is the cluster-wide commit point.  Get / ranged read run the
+// store's self-healing decode over the same backend: a daemon that is
+// down, slow past the RPC budget, or serving corrupt blocks reads as an
+// erased node, and the client reconstructs through it from the k survivors
+// (automatic degraded-read fallback).  Repair is ScrubService over the
+// remote volume: survivors are read, missing chunks re-encoded, rebuilt
+// files written back to their owners.  Scrub fans the integrity scan out
+// to the daemons (kScrubChunk) so no chunk data crosses the wire.
+//
+// Per-node retry/timeout and hedging come from RpcOptions (net/rpc.h);
+// failure accounting for approxcli's exit code 5 is transport_failures().
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/rpc.h"
+#include "serving/protocol.h"
+#include "serving/remote_backend.h"
+#include "store/scrubber.h"
+#include "store/store.h"
+
+namespace approx::serving {
+
+struct ClientOptions {
+  net::RpcOptions rpc;
+  store::StoreOptions store;
+  // Encode parameters (put only; get/repair read them from the manifest).
+  core::ApprParams params;
+  std::size_t block = 4096;
+  std::optional<std::uint64_t> split;
+  // Quarantine corrupt remote chunks during reads.  Defaults off for the
+  // cluster client: a transient transport failure must not rename a
+  // healthy node's file aside.  Repair always quarantines what it proves
+  // corrupt.
+  bool quarantine_on_read = false;
+};
+
+// An open remote volume: the RemoteBackend and the VolumeStore over it
+// (kept together because the store borrows the backend).
+class RemoteVolume {
+ public:
+  RemoteVolume(net::Transport& transport, std::string volume,
+               net::Endpoint coordinator, std::vector<net::Endpoint> owners,
+               const ClientOptions& options, store::IoBackend& local);
+
+  store::VolumeStore& store() noexcept { return *store_; }
+  RemoteBackend& backend() noexcept { return *backend_; }
+
+ private:
+  std::unique_ptr<RemoteBackend> backend_;
+  std::optional<store::VolumeStore> store_;
+};
+
+struct RemoteScrubResult {
+  std::uint64_t bytes_scanned = 0;
+  std::uint64_t corrupt_blocks = 0;
+  std::vector<int> damaged_nodes;  // corrupt blocks or missing/unreadable
+  bool clean() const { return corrupt_blocks == 0 && damaged_nodes.empty(); }
+};
+
+class ServingClient {
+ public:
+  // `local` is the backend for client-side files (put input, get output);
+  // defaults to a process-owned PosixIoBackend.
+  ServingClient(net::Transport& transport, net::Endpoint coordinator,
+                ClientOptions options = {}, store::IoBackend* local = nullptr);
+
+  // Create the volume (placement from the coordinator) and stream-encode
+  // `input` into it.  Throws StoreError / NetError; a failed put never
+  // leaves a committed volume (no manifest, lookup reports uncommitted).
+  store::Manifest put(const std::filesystem::path& input,
+                      const std::string& volume);
+
+  // Open a committed volume for reads/repair.
+  std::unique_ptr<RemoteVolume> open(const std::string& volume);
+
+  // Whole-file fetch with automatic degraded fallback.
+  store::VolumeStore::DecodeResult get(const std::string& volume,
+                                       const std::filesystem::path& output);
+
+  // Scrub + rebuild missing/corrupt chunk files back onto their owners.
+  store::RepairOutcome repair(const std::string& volume);
+
+  // Daemon-side integrity scan (no chunk data over the wire).
+  RemoteScrubResult scrub(const std::string& volume);
+
+  // Transport-level failures accumulated across all operations (exit 5).
+  std::uint64_t transport_failures() const noexcept {
+    return transport_failures_;
+  }
+
+  const ClientOptions& options() const noexcept { return options_; }
+
+ private:
+  // One coordinator control-plane call expecting a PlacementResp.  Throws
+  // NetError on transport failure, StoreError on app-level rejection.
+  void fetch_placement(net::MsgType type, std::vector<std::uint8_t> payload,
+                       PlacementResp& out);
+
+  net::Transport& transport_;
+  net::Endpoint coordinator_;
+  ClientOptions options_;
+  std::unique_ptr<store::PosixIoBackend> owned_local_;
+  store::IoBackend* local_;
+  std::uint64_t transport_failures_ = 0;
+};
+
+}  // namespace approx::serving

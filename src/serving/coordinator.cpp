@@ -1,0 +1,359 @@
+#include "serving/coordinator.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "cluster/placement.h"
+#include "common/error.h"
+#include "store/format.h"
+
+namespace approx::serving {
+
+using store::IoCode;
+using store::IoStatus;
+
+namespace {
+
+constexpr char kNodesFile[] = "nodes.txt";
+constexpr char kPlacementFile[] = "placement.txt";
+
+std::uint32_t app_error(const std::string& message,
+                        std::vector<std::uint8_t>& resp_payload) {
+  resp_payload.assign(message.begin(), message.end());
+  return static_cast<std::uint32_t>(IoCode::kIoError);
+}
+
+std::uint32_t io_fail(const IoStatus& st,
+                      std::vector<std::uint8_t>& resp_payload) {
+  resp_payload.assign(st.message.begin(), st.message.end());
+  return static_cast<std::uint32_t>(st.code);
+}
+
+}  // namespace
+
+Coordinator::Coordinator(net::Transport& transport, net::Endpoint listen,
+                         store::IoBackend& io, std::filesystem::path meta_dir,
+                         CoordinatorOptions options)
+    : transport_(transport),
+      listen_(std::move(listen)),
+      io_(io),
+      meta_dir_(std::move(meta_dir)),
+      files_(io, meta_dir_),
+      options_(options) {}
+
+Coordinator::~Coordinator() { stop(); }
+
+net::NetStatus Coordinator::start() {
+  if (IoStatus st = io_.create_directories(meta_dir_); !st.ok()) {
+    return net::NetStatus::failure(net::NetCode::kError,
+                                   "meta dir: " + st.message);
+  }
+  load_nodes();
+  net::NetStatus st = transport_.serve(
+      listen_,
+      net::make_server_handler(
+          [this](const net::Frame& req, std::vector<std::uint8_t>& payload) {
+            return dispatch(req, payload);
+          }),
+      &bound_);
+  serving_ = st.ok();
+  return st;
+}
+
+void Coordinator::stop() {
+  if (serving_) {
+    transport_.stop(bound_);
+    serving_ = false;
+  }
+}
+
+std::vector<NodeInfo> Coordinator::nodes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<NodeInfo> out;
+  out.reserve(members_.size());
+  for (const auto& [name, node] : members_) out.push_back(node);
+  return out;
+}
+
+std::uint32_t Coordinator::dispatch(const net::Frame& req,
+                                    std::vector<std::uint8_t>& resp_payload) {
+  switch (static_cast<net::MsgType>(req.type)) {
+    case net::MsgType::kPing:
+      resp_payload.clear();
+      return 0;
+    case net::MsgType::kJoin:
+      return handle_join(req, resp_payload);
+    case net::MsgType::kListNodes: {
+      ListNodesResp resp;
+      resp.nodes = nodes();
+      resp_payload = resp.encode();
+      return 0;
+    }
+    case net::MsgType::kCreateVolume:
+      return handle_create(req, resp_payload);
+    case net::MsgType::kLookup:
+      return handle_lookup(req, resp_payload);
+    default:
+      // Manifest / superblock traffic lands in the metadata file service.
+      return files_.dispatch(req, resp_payload);
+  }
+}
+
+std::uint32_t Coordinator::handle_join(const net::Frame& req,
+                                       std::vector<std::uint8_t>& resp_payload) {
+  JoinReq join;
+  if (!join.decode(req) || join.node.name.empty() ||
+      join.node.endpoint.empty()) {
+    return kStatusBadRequest;
+  }
+  ListNodesResp resp;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    members_[join.node.name] = join.node;  // upsert: restarts refresh
+    if (IoStatus st = persist_nodes_locked(); !st.ok()) {
+      return io_fail(st, resp_payload);
+    }
+    for (const auto& [name, node] : members_) resp.nodes.push_back(node);
+  }
+  resp_payload = resp.encode();
+  return 0;
+}
+
+std::vector<std::string> Coordinator::place_volume(
+    const core::ApprParams& params) const {
+  std::vector<NodeInfo> pool;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, node] : members_) pool.push_back(node);
+  }
+  APPROX_REQUIRE(!pool.empty(), "no storage nodes have joined");
+
+  // Interleave the pool across racks so that physical index i sits on rack
+  // i % racks — the layout StripePlacement's rack model assumes.
+  std::set<std::uint32_t> rack_ids;
+  for (const NodeInfo& n : pool) rack_ids.insert(n.rack);
+  const int racks = static_cast<int>(rack_ids.size());
+  std::stable_sort(pool.begin(), pool.end(),
+                   [](const NodeInfo& a, const NodeInfo& b) {
+                     return a.rack < b.rack || (a.rack == b.rack && a.name < b.name);
+                   });
+  std::vector<NodeInfo> interleaved;
+  interleaved.reserve(pool.size());
+  {
+    // Round-robin over the rack groups until all nodes are taken.
+    std::vector<std::vector<NodeInfo>> by_rack;
+    for (const NodeInfo& n : pool) {
+      if (by_rack.empty() || by_rack.back().back().rack != n.rack) {
+        by_rack.emplace_back();
+      }
+      by_rack.back().push_back(n);
+    }
+    for (std::size_t i = 0; interleaved.size() < pool.size(); ++i) {
+      for (auto& group : by_rack) {
+        if (i < group.size()) interleaved.push_back(group[i]);
+      }
+    }
+  }
+
+  const int n_pool = static_cast<int>(interleaved.size());
+  const int width = params.nodes_per_stripe();
+  cluster::PlacementPolicy policy;
+  if (width <= n_pool && racks >= width && racks <= n_pool) {
+    policy = cluster::PlacementPolicy::RackAware;
+  } else if (width <= n_pool) {
+    policy = cluster::PlacementPolicy::Declustered;
+  } else {
+    policy = cluster::PlacementPolicy::Clustered;  // unused; modulo below
+  }
+
+  std::vector<std::string> owners(
+      static_cast<std::size_t>(params.total_nodes()));
+  std::vector<int> load(static_cast<std::size_t>(n_pool), 0);
+
+  if (width <= n_pool) {
+    cluster::StripePlacement placement(policy, n_pool, width, params.h, racks);
+    for (int s = 0; s < params.h; ++s) {
+      for (int m = 0; m < width; ++m) {
+        const int phys = placement.node_of(s, m);
+        owners[static_cast<std::size_t>(s * width + m)] =
+            interleaved[static_cast<std::size_t>(phys)].name;
+        ++load[static_cast<std::size_t>(phys)];
+      }
+    }
+  } else {
+    // Pool narrower than a stripe: round-robin, redundancy is best-effort.
+    for (int i = 0; i < params.h * width; ++i) {
+      const int phys = i % n_pool;
+      owners[static_cast<std::size_t>(i)] =
+          interleaved[static_cast<std::size_t>(phys)].name;
+      ++load[static_cast<std::size_t>(phys)];
+    }
+  }
+
+  // Global parities: least-loaded nodes, ties by index for determinism.
+  for (int gp = 0; gp < params.g; ++gp) {
+    int best = 0;
+    for (int i = 1; i < n_pool; ++i) {
+      if (load[static_cast<std::size_t>(i)] <
+          load[static_cast<std::size_t>(best)]) {
+        best = i;
+      }
+    }
+    owners[static_cast<std::size_t>(params.h * width + gp)] =
+        interleaved[static_cast<std::size_t>(best)].name;
+    ++load[static_cast<std::size_t>(best)];
+  }
+  return owners;
+}
+
+std::uint32_t Coordinator::placement_response(
+    const std::string& volume, std::vector<std::uint8_t>& resp_payload) {
+  std::vector<std::string> owner_names;
+  PlacementResp resp;
+  if (!load_placement(volume, owner_names)) {
+    resp.found = false;
+    resp_payload = resp.encode();
+    return 0;
+  }
+  resp.found = true;
+  resp.committed = io_.exists(meta_dir_ / volume / store::kManifestFile);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const std::string& name : owner_names) {
+      auto it = members_.find(name);
+      if (it == members_.end()) {
+        return app_error("placement refers to unknown node: " + name,
+                         resp_payload);
+      }
+      resp.owners.push_back(it->second.endpoint);
+    }
+  }
+  resp_payload = resp.encode();
+  return 0;
+}
+
+std::uint32_t Coordinator::handle_create(
+    const net::Frame& req, std::vector<std::uint8_t>& resp_payload) {
+  CreateVolumeReq create;
+  if (!create.decode(req) || create.volume.empty() ||
+      create.volume.find('/') != std::string::npos ||
+      create.volume.find("..") != std::string::npos) {
+    return kStatusBadRequest;
+  }
+  try {
+    create.params.validate();
+  } catch (const Error& e) {
+    return app_error(e.what(), resp_payload);
+  }
+
+  std::vector<std::string> existing;
+  if (!load_placement(create.volume, existing)) {
+    std::vector<std::string> owners;
+    try {
+      owners = place_volume(create.params);
+    } catch (const Error& e) {
+      return app_error(e.what(), resp_payload);
+    }
+    if (IoStatus st = persist_placement(create.volume, owners); !st.ok()) {
+      return io_fail(st, resp_payload);
+    }
+  }
+  return placement_response(create.volume, resp_payload);
+}
+
+std::uint32_t Coordinator::handle_lookup(
+    const net::Frame& req, std::vector<std::uint8_t>& resp_payload) {
+  LookupReq lookup;
+  if (!lookup.decode(req) || lookup.volume.empty() ||
+      lookup.volume.find('/') != std::string::npos ||
+      lookup.volume.find("..") != std::string::npos) {
+    return kStatusBadRequest;
+  }
+  return placement_response(lookup.volume, resp_payload);
+}
+
+// --- persistence -----------------------------------------------------------
+
+store::IoStatus Coordinator::read_text(const std::filesystem::path& path,
+                                       std::string& out) {
+  std::uint64_t size = 0;
+  if (IoStatus st = io_.file_size(path, size); !st.ok()) return st;
+  std::vector<std::uint8_t> buf(size);
+  std::unique_ptr<store::IoFile> file;
+  if (IoStatus st = io_.open(path, store::IoBackend::OpenMode::kRead, file);
+      !st.ok()) {
+    return st;
+  }
+  if (IoStatus st = file->pread(0, buf); !st.ok()) return st;
+  out.assign(buf.begin(), buf.end());
+  return IoStatus::success();
+}
+
+store::IoStatus Coordinator::write_text_atomic(
+    const std::filesystem::path& path, const std::string& text) {
+  const std::filesystem::path tmp = path.string() + store::kTmpSuffix;
+  std::unique_ptr<store::IoFile> file;
+  if (IoStatus st = io_.open(tmp, store::IoBackend::OpenMode::kTruncate, file);
+      !st.ok()) {
+    return st;
+  }
+  const std::span<const std::uint8_t> bytes(
+      reinterpret_cast<const std::uint8_t*>(text.data()), text.size());
+  if (IoStatus st = file->pwrite(0, bytes); !st.ok()) return st;
+  if (IoStatus st = file->sync(); !st.ok()) return st;
+  file.reset();
+  if (IoStatus st = io_.rename(tmp, path); !st.ok()) return st;
+  return io_.sync_dir(path.parent_path());
+}
+
+store::IoStatus Coordinator::persist_nodes_locked() {
+  std::ostringstream text;
+  for (const auto& [name, node] : members_) {
+    text << node.name << ' ' << node.endpoint << ' ' << node.rack << '\n';
+  }
+  return write_text_atomic(meta_dir_ / kNodesFile, text.str());
+}
+
+void Coordinator::load_nodes() {
+  std::string text;
+  if (!read_text(meta_dir_ / kNodesFile, text).ok()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  members_.clear();
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    std::istringstream fields(line);
+    NodeInfo node;
+    if (fields >> node.name >> node.endpoint >> node.rack) {
+      members_[node.name] = node;
+    }
+  }
+}
+
+bool Coordinator::load_placement(const std::string& volume,
+                                 std::vector<std::string>& owner_names) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string text;
+  if (!read_text(meta_dir_ / volume / kPlacementFile, text).ok()) return false;
+  owner_names.clear();
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (!line.empty()) owner_names.push_back(line);
+  }
+  return !owner_names.empty();
+}
+
+store::IoStatus Coordinator::persist_placement(
+    const std::string& volume, const std::vector<std::string>& owners) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (IoStatus st = io_.create_directories(meta_dir_ / volume); !st.ok()) {
+    return st;
+  }
+  std::ostringstream text;
+  for (const std::string& owner : owners) text << owner << '\n';
+  return write_text_atomic(meta_dir_ / volume / kPlacementFile, text.str());
+}
+
+}  // namespace approx::serving

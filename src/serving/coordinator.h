@@ -1,0 +1,110 @@
+// Coordinator: cluster membership, stripe placement, and the volume
+// metadata store.
+//
+// All authoritative state is on disk under meta_dir, written with the same
+// atomic tmp+fsync+rename discipline as the store:
+//
+//   nodes.txt            membership ("name endpoint rack" per line),
+//                        rewritten on every join — a restarted coordinator
+//                        replays it before serving;
+//   <vol>/placement.txt  code-node -> owner-name table, computed once per
+//                        volume (rack/node-aware via cluster::StripePlacement)
+//                        and immutable afterwards (kCreateVolume is
+//                        idempotent: an existing placement is returned);
+//   <vol>/manifest.txt,  written by the client THROUGH the coordinator's
+//   <vol>/superblock.bin FileService as the tail of an encode — the
+//                        manifest rename here is the cluster-wide commit
+//                        point, exactly as it is for a local volume.
+//
+// Placement resolves owner NAMES to endpoints at lookup time, so a daemon
+// that restarts on a new port (or address) keeps its data: identity is the
+// stable name, not the socket.  Placement strategy: the h local stripes of
+// width k+r each go through StripePlacement (RackAware when the rack count
+// allows, else Declustered when the pool is at least one stripe wide, else
+// round-robin over the pool); global parities land on the least-loaded
+// nodes.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/rpc.h"
+#include "serving/file_service.h"
+#include "serving/protocol.h"
+
+namespace approx::serving {
+
+struct CoordinatorOptions {
+  // Racks reported by daemons are trusted as-is; nothing to configure yet.
+};
+
+class Coordinator {
+ public:
+  Coordinator(net::Transport& transport, net::Endpoint listen,
+              store::IoBackend& io, std::filesystem::path meta_dir,
+              CoordinatorOptions options = {});
+  ~Coordinator();
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  // Replay nodes.txt, then serve.  Volume placements are read from disk on
+  // demand, so a restart "replays the manifest" by construction.
+  net::NetStatus start();
+  void stop();
+
+  const net::Endpoint& endpoint() const noexcept { return bound_; }
+
+  // Current membership snapshot (for tools/tests).
+  std::vector<NodeInfo> nodes() const;
+
+ private:
+  std::uint32_t dispatch(const net::Frame& req,
+                         std::vector<std::uint8_t>& resp_payload);
+  std::uint32_t handle_join(const net::Frame& req,
+                            std::vector<std::uint8_t>& resp_payload);
+  std::uint32_t handle_create(const net::Frame& req,
+                              std::vector<std::uint8_t>& resp_payload);
+  std::uint32_t handle_lookup(const net::Frame& req,
+                              std::vector<std::uint8_t>& resp_payload);
+
+  // Compute the code-node -> owner-name table for `params` over the
+  // current membership.  Throws approx::Error when the pool is empty.
+  std::vector<std::string> place_volume(const core::ApprParams& params) const;
+
+  // Resolve owner names to endpoints and build the response.
+  std::uint32_t placement_response(const std::string& volume,
+                                   std::vector<std::uint8_t>& resp_payload);
+
+  store::IoStatus persist_nodes_locked();
+  void load_nodes();
+  bool load_placement(const std::string& volume,
+                      std::vector<std::string>& owner_names);
+  store::IoStatus persist_placement(const std::string& volume,
+                                    const std::vector<std::string>& owners);
+
+  // Small whole-file helpers over the IoBackend.
+  store::IoStatus read_text(const std::filesystem::path& path,
+                            std::string& out);
+  store::IoStatus write_text_atomic(const std::filesystem::path& path,
+                                    const std::string& text);
+
+  net::Transport& transport_;
+  net::Endpoint listen_;
+  net::Endpoint bound_;
+  store::IoBackend& io_;
+  std::filesystem::path meta_dir_;
+  FileService files_;
+  CoordinatorOptions options_;
+  bool serving_ = false;
+
+  mutable std::mutex mu_;  // guards members_ (handlers run on transport
+                           // threads); placement files are guarded too
+  std::map<std::string, NodeInfo> members_;  // by stable name
+};
+
+}  // namespace approx::serving

@@ -1,0 +1,65 @@
+#include "serving/daemon.h"
+
+#include "serving/protocol.h"
+
+namespace approx::serving {
+
+StorageDaemon::StorageDaemon(net::Transport& transport, net::Endpoint listen,
+                             store::IoBackend& io,
+                             std::filesystem::path data_dir,
+                             DaemonOptions options)
+    : transport_(transport),
+      listen_(std::move(listen)),
+      files_(io, std::move(data_dir)),
+      options_(std::move(options)) {
+  if (options_.name.empty()) options_.name = listen_;
+}
+
+StorageDaemon::~StorageDaemon() { stop(); }
+
+net::NetStatus StorageDaemon::start() {
+  net::NetStatus st = transport_.serve(
+      listen_,
+      net::make_server_handler(
+          [this](const net::Frame& req, std::vector<std::uint8_t>& payload) {
+            return dispatch(req, payload);
+          }),
+      &bound_);
+  serving_ = st.ok();
+  return st;
+}
+
+void StorageDaemon::stop() {
+  if (serving_) {
+    transport_.stop(bound_);
+    serving_ = false;
+  }
+}
+
+net::NetStatus StorageDaemon::join(const net::Endpoint& coordinator) {
+  JoinReq req;
+  req.node.name = options_.name;
+  req.node.endpoint = bound_;
+  req.node.rack = options_.rack;
+  net::RpcClient client(transport_, coordinator, options_.rpc);
+  net::Frame resp;
+  net::NetStatus st = client.call(net::MsgType::kJoin, req.encode(), resp);
+  if (st.ok() && resp.status != 0) {
+    return net::NetStatus::failure(
+        net::NetCode::kError,
+        "join rejected: " +
+            std::string(resp.payload.begin(), resp.payload.end()));
+  }
+  return st;
+}
+
+std::uint32_t StorageDaemon::dispatch(const net::Frame& req,
+                                      std::vector<std::uint8_t>& resp_payload) {
+  if (static_cast<net::MsgType>(req.type) == net::MsgType::kPing) {
+    resp_payload.clear();
+    return 0;
+  }
+  return files_.dispatch(req, resp_payload);
+}
+
+}  // namespace approx::serving

@@ -1,0 +1,62 @@
+// Storage-node daemon: the per-machine chunk server.
+//
+// A daemon exposes the FileService over its data directory (volume
+// subdirectories of VolumeStore-format chunk files) plus the daemon-side
+// kScrubChunk integrity scan, and registers itself with the coordinator
+// (kJoin, idempotent — a restarted daemon re-joins under the same name and
+// its endpoint/rack are refreshed).  It holds no volume state in memory:
+// the filesystem is authoritative, so kill -9 at any point loses nothing
+// that was renamed into place, and a restarted daemon serves whatever its
+// disk holds.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "net/rpc.h"
+#include "serving/file_service.h"
+
+namespace approx::serving {
+
+struct DaemonOptions {
+  std::string name;        // stable identity across restarts
+  std::uint32_t rack = 0;  // failure-domain hint for placement
+  net::RpcOptions rpc;     // used for the coordinator join call
+};
+
+class StorageDaemon {
+ public:
+  StorageDaemon(net::Transport& transport, net::Endpoint listen,
+                store::IoBackend& io, std::filesystem::path data_dir,
+                DaemonOptions options);
+  ~StorageDaemon();
+
+  StorageDaemon(const StorageDaemon&) = delete;
+  StorageDaemon& operator=(const StorageDaemon&) = delete;
+
+  // Begin serving; `endpoint()` reports the bound endpoint afterwards
+  // (TCP port 0 resolves here).
+  net::NetStatus start();
+  void stop();
+
+  // Register with the coordinator (call after start so the advertised
+  // endpoint is the bound one).
+  net::NetStatus join(const net::Endpoint& coordinator);
+
+  const net::Endpoint& endpoint() const noexcept { return bound_; }
+  const std::string& name() const noexcept { return options_.name; }
+
+ private:
+  std::uint32_t dispatch(const net::Frame& req,
+                         std::vector<std::uint8_t>& resp_payload);
+
+  net::Transport& transport_;
+  net::Endpoint listen_;
+  net::Endpoint bound_;
+  FileService files_;
+  DaemonOptions options_;
+  bool serving_ = false;
+};
+
+}  // namespace approx::serving

@@ -1,0 +1,212 @@
+#include "serving/file_service.h"
+
+#include "serving/protocol.h"
+#include "store/chunk_file.h"
+
+namespace approx::serving {
+
+using store::IoCode;
+using store::IoStatus;
+
+namespace {
+
+std::vector<std::uint8_t> error_payload(const std::string& message) {
+  return {message.begin(), message.end()};
+}
+
+std::uint32_t fail(const IoStatus& st, std::vector<std::uint8_t>& payload) {
+  payload = error_payload(st.message);
+  return static_cast<std::uint32_t>(st.code);
+}
+
+}  // namespace
+
+IoCode status_to_io_code(std::uint32_t status) noexcept {
+  switch (status) {
+    case static_cast<std::uint32_t>(IoCode::kOk):
+      return IoCode::kOk;
+    case static_cast<std::uint32_t>(IoCode::kNotFound):
+      return IoCode::kNotFound;
+    case static_cast<std::uint32_t>(IoCode::kShortRead):
+      return IoCode::kShortRead;
+    case static_cast<std::uint32_t>(IoCode::kNoSpace):
+      return IoCode::kNoSpace;
+    default:
+      return IoCode::kIoError;
+  }
+}
+
+bool FileService::resolve(const std::string& wire_path,
+                          std::filesystem::path& out) const {
+  if (wire_path.empty()) return false;
+  const std::filesystem::path rel(wire_path);
+  if (rel.is_absolute()) return false;
+  for (const auto& part : rel) {
+    if (part == "..") return false;
+  }
+  out = root_ / rel;
+  return true;
+}
+
+std::uint32_t FileService::dispatch(const net::Frame& req,
+                                    std::vector<std::uint8_t>& resp_payload) {
+  resp_payload.clear();
+  const auto type = static_cast<net::MsgType>(req.type);
+  std::filesystem::path path;
+
+  switch (type) {
+    case net::MsgType::kFileStat: {
+      PathReq r;
+      if (!r.decode(req) || !resolve(r.path, path)) return kStatusBadRequest;
+      StatResp resp;
+      if (IoStatus st = io_.file_size(path, resp.size); !st.ok()) {
+        return fail(st, resp_payload);
+      }
+      resp_payload = resp.encode();
+      return 0;
+    }
+
+    case net::MsgType::kFileRead: {
+      ReadReq r;
+      if (!r.decode(req) || !resolve(r.path, path)) return kStatusBadRequest;
+      if (r.length > net::kMaxPayload) return kStatusBadRequest;
+      std::unique_ptr<store::IoFile> file;
+      if (IoStatus st = io_.open(path, store::IoBackend::OpenMode::kRead, file);
+          !st.ok()) {
+        return fail(st, resp_payload);
+      }
+      resp_payload.resize(r.length);
+      if (IoStatus st = file->pread(r.offset, resp_payload); !st.ok()) {
+        return fail(st, resp_payload);
+      }
+      return 0;
+    }
+
+    case net::MsgType::kFileWrite: {
+      WriteReq r;
+      if (!r.decode(req) || !resolve(r.path, path)) return kStatusBadRequest;
+      // Provision the parent directory on demand: a replacement daemon that
+      // joined after the volume was created (disk swap) must accept repair
+      // writes without having seen the original mkdir broadcast.
+      if (path.has_parent_path()) {
+        if (IoStatus st = io_.create_directories(path.parent_path());
+            !st.ok()) {
+          return fail(st, resp_payload);
+        }
+      }
+      std::unique_ptr<store::IoFile> file;
+      if (IoStatus st =
+              io_.open(path, store::IoBackend::OpenMode::kUpdate, file);
+          !st.ok()) {
+        return fail(st, resp_payload);
+      }
+      if (IoStatus st = file->pwrite(r.offset, r.data); !st.ok()) {
+        return fail(st, resp_payload);
+      }
+      return 0;
+    }
+
+    case net::MsgType::kFileTruncate: {
+      PathReq r;
+      if (!r.decode(req) || !resolve(r.path, path)) return kStatusBadRequest;
+      if (path.has_parent_path()) {
+        if (IoStatus st = io_.create_directories(path.parent_path());
+            !st.ok()) {
+          return fail(st, resp_payload);
+        }
+      }
+      std::unique_ptr<store::IoFile> file;
+      if (IoStatus st =
+              io_.open(path, store::IoBackend::OpenMode::kTruncate, file);
+          !st.ok()) {
+        return fail(st, resp_payload);
+      }
+      return 0;
+    }
+
+    case net::MsgType::kFileSync: {
+      PathReq r;
+      if (!r.decode(req) || !resolve(r.path, path)) return kStatusBadRequest;
+      std::unique_ptr<store::IoFile> file;
+      if (IoStatus st =
+              io_.open(path, store::IoBackend::OpenMode::kUpdate, file);
+          !st.ok()) {
+        return fail(st, resp_payload);
+      }
+      if (IoStatus st = file->sync(); !st.ok()) return fail(st, resp_payload);
+      return 0;
+    }
+
+    case net::MsgType::kFileRename: {
+      RenameReq r;
+      std::filesystem::path to;
+      if (!r.decode(req) || !resolve(r.from, path) || !resolve(r.to, to)) {
+        return kStatusBadRequest;
+      }
+      if (IoStatus st = io_.rename(path, to); !st.ok()) {
+        return fail(st, resp_payload);
+      }
+      return 0;
+    }
+
+    case net::MsgType::kFileRemove: {
+      PathReq r;
+      if (!r.decode(req) || !resolve(r.path, path)) return kStatusBadRequest;
+      if (IoStatus st = io_.remove(path); !st.ok()) {
+        return fail(st, resp_payload);
+      }
+      return 0;
+    }
+
+    case net::MsgType::kFileMkdir: {
+      PathReq r;
+      if (!r.decode(req) || !resolve(r.path, path)) return kStatusBadRequest;
+      if (IoStatus st = io_.create_directories(path); !st.ok()) {
+        return fail(st, resp_payload);
+      }
+      return 0;
+    }
+
+    case net::MsgType::kFileSyncDir: {
+      PathReq r;
+      if (!r.decode(req) || !resolve(r.path, path)) return kStatusBadRequest;
+      if (IoStatus st = io_.sync_dir(path); !st.ok()) {
+        return fail(st, resp_payload);
+      }
+      return 0;
+    }
+
+    case net::MsgType::kFileExists: {
+      PathReq r;
+      if (!r.decode(req) || !resolve(r.path, path)) return kStatusBadRequest;
+      ExistsResp resp;
+      resp.exists = io_.exists(path);
+      resp_payload = resp.encode();
+      return 0;
+    }
+
+    case net::MsgType::kScrubChunk: {
+      // Integrity scan runs entirely daemon-side: only block indices cross
+      // the wire, not data.
+      ScrubChunkReq r;
+      if (!r.decode(req) || !resolve(r.path, path)) return kStatusBadRequest;
+      store::ChunkFileReader reader(io_, path, r.io_payload, r.footers,
+                                    r.logical_size, store::RetryPolicy{});
+      if (IoStatus st = reader.open(); !st.ok()) {
+        return fail(st, resp_payload);
+      }
+      ScrubChunkResp resp;
+      if (IoStatus st = reader.verify(resp.bad_blocks, resp.bytes_scanned);
+          !st.ok()) {
+        return fail(st, resp_payload);
+      }
+      resp_payload = resp.encode();
+      return 0;
+    }
+
+    default:
+      return kStatusBadRequest;
+  }
+}
+
+}  // namespace approx::serving

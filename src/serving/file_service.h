@@ -1,0 +1,57 @@
+// Server-side file service: the storage daemon's (and the coordinator's
+// metadata store's) RPC surface over a local IoBackend rooted at one
+// directory.
+//
+// Every operation is stateless — each read/write opens the file, performs
+// one positional op, and closes it — so a retried RPC after a lost reply
+// re-executes harmlessly and a daemon restart loses nothing (the
+// filesystem is the only state).  kUpdate opens (O_RDWR|O_CREAT, no
+// truncate) make positional writes into a growing chunk file safe.
+//
+// Paths on the wire are volume-relative ("vol/node_003.acb.tmp").  The
+// service rejects absolute paths and ".." components, so a daemon can
+// never be steered outside its data directory.
+//
+// Response status convention: 0 = ok; 1..99 = store::IoCode of the failed
+// local operation (message in the payload); kStatusBadRequest = malformed
+// payload.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "net/rpc.h"
+#include "store/io_backend.h"
+
+namespace approx::serving {
+
+inline constexpr std::uint32_t kStatusBadRequest = 1000;
+
+// Map a response status back to the local IoCode equivalent (bad request
+// and unknown statuses collapse to kIoError).
+store::IoCode status_to_io_code(std::uint32_t status) noexcept;
+
+class FileService {
+ public:
+  FileService(store::IoBackend& io, std::filesystem::path root)
+      : io_(io), root_(std::move(root)) {}
+
+  // Handle one file-service request (frame.type in [kFileStat,
+  // kFileExists] or kScrubChunk).  Returns the response status and fills
+  // the response payload.  Returns kStatusBadRequest for verbs it does not
+  // own.
+  std::uint32_t dispatch(const net::Frame& req,
+                         std::vector<std::uint8_t>& resp_payload);
+
+  const std::filesystem::path& root() const noexcept { return root_; }
+
+ private:
+  // Root-relative resolution with traversal rejection; false = reject.
+  bool resolve(const std::string& wire_path, std::filesystem::path& out) const;
+
+  store::IoBackend& io_;
+  std::filesystem::path root_;
+};
+
+}  // namespace approx::serving

@@ -1,0 +1,237 @@
+#include "serving/protocol.h"
+
+namespace approx::serving {
+
+using net::WireReader;
+using net::WireWriter;
+
+namespace {
+
+void put_params(WireWriter& w, const core::ApprParams& p) {
+  w.u8(static_cast<std::uint8_t>(p.family));
+  w.u16(static_cast<std::uint16_t>(p.k));
+  w.u16(static_cast<std::uint16_t>(p.r));
+  w.u16(static_cast<std::uint16_t>(p.g));
+  w.u16(static_cast<std::uint16_t>(p.h));
+  w.u8(static_cast<std::uint8_t>(p.structure));
+}
+
+void get_params(WireReader& r, core::ApprParams& p) {
+  p.family = static_cast<codes::Family>(r.u8());
+  p.k = r.u16();
+  p.r = r.u16();
+  p.g = r.u16();
+  p.h = r.u16();
+  p.structure = static_cast<core::Structure>(r.u8());
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> PathReq::encode() const {
+  WireWriter w;
+  w.str(path);
+  return w.take();
+}
+
+bool PathReq::decode(const net::Frame& frame) {
+  WireReader r(frame.payload);
+  path = r.str();
+  return r.done();
+}
+
+std::vector<std::uint8_t> StatResp::encode() const {
+  WireWriter w;
+  w.u64(size);
+  return w.take();
+}
+
+bool StatResp::decode(const net::Frame& frame) {
+  WireReader r(frame.payload);
+  size = r.u64();
+  return r.done();
+}
+
+std::vector<std::uint8_t> ReadReq::encode() const {
+  WireWriter w;
+  w.str(path);
+  w.u64(offset);
+  w.u32(length);
+  return w.take();
+}
+
+bool ReadReq::decode(const net::Frame& frame) {
+  WireReader r(frame.payload);
+  path = r.str();
+  offset = r.u64();
+  length = r.u32();
+  return r.done();
+}
+
+std::vector<std::uint8_t> WriteReq::encode() const {
+  WireWriter w;
+  w.str(path);
+  w.u64(offset);
+  w.bytes(data);
+  return w.take();
+}
+
+bool WriteReq::decode(const net::Frame& frame) {
+  WireReader r(frame.payload);
+  path = r.str();
+  offset = r.u64();
+  data = r.bytes();
+  return r.done();
+}
+
+std::vector<std::uint8_t> RenameReq::encode() const {
+  WireWriter w;
+  w.str(from);
+  w.str(to);
+  return w.take();
+}
+
+bool RenameReq::decode(const net::Frame& frame) {
+  WireReader r(frame.payload);
+  from = r.str();
+  to = r.str();
+  return r.done();
+}
+
+std::vector<std::uint8_t> ExistsResp::encode() const {
+  WireWriter w;
+  w.u8(exists ? 1 : 0);
+  return w.take();
+}
+
+bool ExistsResp::decode(const net::Frame& frame) {
+  WireReader r(frame.payload);
+  exists = r.u8() != 0;
+  return r.done();
+}
+
+std::vector<std::uint8_t> ScrubChunkReq::encode() const {
+  WireWriter w;
+  w.str(path);
+  w.u32(io_payload);
+  w.u8(footers ? 1 : 0);
+  w.u64(logical_size);
+  return w.take();
+}
+
+bool ScrubChunkReq::decode(const net::Frame& frame) {
+  WireReader r(frame.payload);
+  path = r.str();
+  io_payload = r.u32();
+  footers = r.u8() != 0;
+  logical_size = r.u64();
+  return r.done();
+}
+
+std::vector<std::uint8_t> ScrubChunkResp::encode() const {
+  WireWriter w;
+  w.u64(bytes_scanned);
+  w.u32(static_cast<std::uint32_t>(bad_blocks.size()));
+  for (std::uint64_t b : bad_blocks) w.u64(b);
+  return w.take();
+}
+
+bool ScrubChunkResp::decode(const net::Frame& frame) {
+  WireReader r(frame.payload);
+  bytes_scanned = r.u64();
+  const std::uint32_t n = r.u32();
+  bad_blocks.clear();
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) bad_blocks.push_back(r.u64());
+  return r.done();
+}
+
+namespace {
+
+void put_node(WireWriter& w, const NodeInfo& n) {
+  w.str(n.name);
+  w.str(n.endpoint);
+  w.u32(n.rack);
+}
+
+NodeInfo get_node(WireReader& r) {
+  NodeInfo n;
+  n.name = r.str();
+  n.endpoint = r.str();
+  n.rack = r.u32();
+  return n;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> JoinReq::encode() const {
+  WireWriter w;
+  put_node(w, node);
+  return w.take();
+}
+
+bool JoinReq::decode(const net::Frame& frame) {
+  WireReader r(frame.payload);
+  node = get_node(r);
+  return r.done();
+}
+
+std::vector<std::uint8_t> ListNodesResp::encode() const {
+  WireWriter w;
+  w.u32(static_cast<std::uint32_t>(nodes.size()));
+  for (const NodeInfo& n : nodes) put_node(w, n);
+  return w.take();
+}
+
+bool ListNodesResp::decode(const net::Frame& frame) {
+  WireReader r(frame.payload);
+  const std::uint32_t n = r.u32();
+  nodes.clear();
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) nodes.push_back(get_node(r));
+  return r.done();
+}
+
+std::vector<std::uint8_t> CreateVolumeReq::encode() const {
+  WireWriter w;
+  w.str(volume);
+  put_params(w, params);
+  return w.take();
+}
+
+bool CreateVolumeReq::decode(const net::Frame& frame) {
+  WireReader r(frame.payload);
+  volume = r.str();
+  get_params(r, params);
+  return r.done();
+}
+
+std::vector<std::uint8_t> LookupReq::encode() const {
+  WireWriter w;
+  w.str(volume);
+  return w.take();
+}
+
+bool LookupReq::decode(const net::Frame& frame) {
+  WireReader r(frame.payload);
+  volume = r.str();
+  return r.done();
+}
+
+std::vector<std::uint8_t> PlacementResp::encode() const {
+  WireWriter w;
+  w.u8(found ? 1 : 0);
+  w.u8(committed ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(owners.size()));
+  for (const std::string& o : owners) w.str(o);
+  return w.take();
+}
+
+bool PlacementResp::decode(const net::Frame& frame) {
+  WireReader r(frame.payload);
+  found = r.u8() != 0;
+  committed = r.u8() != 0;
+  const std::uint32_t n = r.u32();
+  owners.clear();
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) owners.push_back(r.str());
+  return r.done();
+}
+
+}  // namespace approx::serving

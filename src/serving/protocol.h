@@ -1,0 +1,138 @@
+// Payload schemas for the serving RPCs (verbs in net/rpc.h, framing in
+// net/wire.h).  Each message is a struct with encode()/decode(); decode
+// returns false on any bounds or trailing-bytes violation (WireReader
+// semantics), which handlers map to an invalid-argument response.
+//
+// Responses reuse the same pattern; a response frame whose status is
+// non-zero carries a UTF-8 error message as its whole payload instead of
+// the schema below (see serving/file_service.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/appr_params.h"
+#include "net/wire.h"
+
+namespace approx::serving {
+
+// --- file service ----------------------------------------------------------
+
+struct PathReq {  // kFileStat / kFileSync / kFileRemove / kFileMkdir /
+                  // kFileSyncDir / kFileExists / kFileTruncate
+  std::string path;
+
+  std::vector<std::uint8_t> encode() const;
+  bool decode(const net::Frame& frame);
+};
+
+struct StatResp {
+  std::uint64_t size = 0;
+
+  std::vector<std::uint8_t> encode() const;
+  bool decode(const net::Frame& frame);
+};
+
+struct ReadReq {  // kFileRead
+  std::string path;
+  std::uint64_t offset = 0;
+  std::uint32_t length = 0;
+  // Response payload: the raw bytes, no envelope.
+
+  std::vector<std::uint8_t> encode() const;
+  bool decode(const net::Frame& frame);
+};
+
+struct WriteReq {  // kFileWrite
+  std::string path;
+  std::uint64_t offset = 0;
+  std::vector<std::uint8_t> data;
+
+  std::vector<std::uint8_t> encode() const;
+  bool decode(const net::Frame& frame);
+};
+
+struct RenameReq {  // kFileRename
+  std::string from;
+  std::string to;
+
+  std::vector<std::uint8_t> encode() const;
+  bool decode(const net::Frame& frame);
+};
+
+struct ExistsResp {
+  bool exists = false;
+
+  std::vector<std::uint8_t> encode() const;
+  bool decode(const net::Frame& frame);
+};
+
+// --- daemon-side scrub -----------------------------------------------------
+
+struct ScrubChunkReq {  // kScrubChunk
+  std::string path;
+  std::uint32_t io_payload = 0;  // payload bytes per block
+  bool footers = true;
+  std::uint64_t logical_size = 0;
+
+  std::vector<std::uint8_t> encode() const;
+  bool decode(const net::Frame& frame);
+};
+
+struct ScrubChunkResp {
+  std::uint64_t bytes_scanned = 0;
+  std::vector<std::uint64_t> bad_blocks;
+
+  std::vector<std::uint8_t> encode() const;
+  bool decode(const net::Frame& frame);
+};
+
+// --- coordinator control plane --------------------------------------------
+
+struct NodeInfo {
+  std::string name;
+  std::string endpoint;
+  std::uint32_t rack = 0;
+};
+
+struct JoinReq {  // kJoin; response: ListNodesResp (current membership)
+  NodeInfo node;
+
+  std::vector<std::uint8_t> encode() const;
+  bool decode(const net::Frame& frame);
+};
+
+struct ListNodesResp {  // kListNodes response (request payload empty)
+  std::vector<NodeInfo> nodes;
+
+  std::vector<std::uint8_t> encode() const;
+  bool decode(const net::Frame& frame);
+};
+
+struct CreateVolumeReq {  // kCreateVolume
+  std::string volume;
+  core::ApprParams params;
+
+  std::vector<std::uint8_t> encode() const;
+  bool decode(const net::Frame& frame);
+};
+
+struct LookupReq {  // kLookup
+  std::string volume;
+
+  std::vector<std::uint8_t> encode() const;
+  bool decode(const net::Frame& frame);
+};
+
+struct PlacementResp {  // kCreateVolume / kLookup response
+  bool found = false;      // lookup: volume exists (placement recorded)
+  bool committed = false;  // manifest.txt present (the commit point)
+  // owners[code_node] = endpoint serving that node's chunk file.
+  std::vector<std::string> owners;
+
+  std::vector<std::uint8_t> encode() const;
+  bool decode(const net::Frame& frame);
+};
+
+}  // namespace approx::serving

@@ -1,0 +1,279 @@
+#include "serving/remote_backend.h"
+
+#include <algorithm>
+#include <set>
+
+#include "serving/file_service.h"
+#include "serving/protocol.h"
+
+namespace approx::serving {
+
+using store::IoCode;
+using store::IoStatus;
+
+namespace {
+
+// One remote file handle: every operation is one stateless RPC, so the
+// handle itself holds nothing but the route.
+class RemoteFile final : public store::IoFile {
+ public:
+  RemoteFile(RemoteBackend& backend, net::Endpoint endpoint, std::string wpath)
+      : backend_(backend),
+        endpoint_(std::move(endpoint)),
+        wpath_(std::move(wpath)) {}
+
+  IoStatus pread(std::uint64_t offset, std::span<std::uint8_t> out) override {
+    ReadReq req;
+    req.path = wpath_;
+    req.offset = offset;
+    req.length = static_cast<std::uint32_t>(out.size());
+    net::Frame resp;
+    IoStatus st = backend_.rpc(endpoint_, net::MsgType::kFileRead,
+                               req.encode(), resp);
+    if (!st.ok()) return st;
+    if (resp.payload.size() != out.size()) {
+      return IoStatus::failure(IoCode::kShortRead,
+                               "remote read returned " +
+                                   std::to_string(resp.payload.size()) +
+                                   " of " + std::to_string(out.size()));
+    }
+    std::copy(resp.payload.begin(), resp.payload.end(), out.begin());
+    return IoStatus::success();
+  }
+
+  IoStatus pwrite(std::uint64_t offset,
+                  std::span<const std::uint8_t> data) override {
+    WriteReq req;
+    req.path = wpath_;
+    req.offset = offset;
+    req.data.assign(data.begin(), data.end());
+    net::Frame resp;
+    return backend_.rpc(endpoint_, net::MsgType::kFileWrite, req.encode(),
+                        resp);
+  }
+
+  IoStatus sync() override {
+    PathReq req;
+    req.path = wpath_;
+    net::Frame resp;
+    return backend_.rpc(endpoint_, net::MsgType::kFileSync, req.encode(), resp);
+  }
+
+ private:
+  RemoteBackend& backend_;
+  net::Endpoint endpoint_;
+  std::string wpath_;
+};
+
+}  // namespace
+
+RemoteBackend::RemoteBackend(net::Transport& transport, std::string volume,
+                             net::Endpoint coordinator,
+                             std::vector<net::Endpoint> owners,
+                             net::RpcOptions rpc,
+                             store::IoBackend& local_fallback)
+    : transport_(transport),
+      volume_(std::move(volume)),
+      coordinator_(std::move(coordinator)),
+      owners_(std::move(owners)),
+      rpc_(rpc),
+      local_(local_fallback),
+      root_("remote:" + volume_) {}
+
+bool RemoteBackend::under_root(const std::filesystem::path& path) const {
+  return path.parent_path() == root_;
+}
+
+std::string RemoteBackend::wire_path(const std::filesystem::path& path) const {
+  return volume_ + "/" + path.filename().string();
+}
+
+bool RemoteBackend::route(const std::string& basename,
+                          net::Endpoint& out) const {
+  if (basename.rfind("node_", 0) == 0 && basename.size() >= 8) {
+    int node = 0;
+    for (int i = 5; i < 8; ++i) {
+      const char c = basename[static_cast<std::size_t>(i)];
+      if (c < '0' || c > '9') return false;
+      node = node * 10 + (c - '0');
+    }
+    if (node < 0 || static_cast<std::size_t>(node) >= owners_.size()) {
+      return false;
+    }
+    out = owners_[static_cast<std::size_t>(node)];
+    return true;
+  }
+  if (basename.rfind("manifest", 0) == 0 ||
+      basename.rfind("superblock", 0) == 0) {
+    out = coordinator_;
+    return true;
+  }
+  return false;
+}
+
+IoStatus RemoteBackend::rpc(const net::Endpoint& endpoint, net::MsgType type,
+                            std::vector<std::uint8_t> payload,
+                            net::Frame& resp) {
+  net::RpcClient client(transport_, endpoint, rpc_);
+  const net::NetStatus st = client.call(type, std::move(payload), resp);
+  if (!st.ok()) {
+    transport_failures_.fetch_add(1, std::memory_order_relaxed);
+    return IoStatus::failure(IoCode::kIoError,
+                             std::string("net ") + net_code_name(st.code) +
+                                 " (" + endpoint + "): " + st.message);
+  }
+  if (resp.status != 0) {
+    return IoStatus::failure(
+        status_to_io_code(resp.status),
+        std::string(resp.payload.begin(), resp.payload.end()));
+  }
+  return IoStatus::success();
+}
+
+IoStatus RemoteBackend::open(const std::filesystem::path& path, OpenMode mode,
+                             std::unique_ptr<store::IoFile>& out) {
+  if (!under_root(path)) return local_.open(path, mode, out);
+  net::Endpoint endpoint;
+  if (!route(path.filename().string(), endpoint)) {
+    return IoStatus::failure(IoCode::kIoError,
+                             "unroutable volume file: " + path.string());
+  }
+  const std::string wpath = wire_path(path);
+  if (mode == OpenMode::kRead) {
+    // Mirror POSIX open(O_RDONLY): fail now if the file is absent.
+    PathReq req;
+    req.path = wpath;
+    net::Frame resp;
+    if (IoStatus st = rpc(endpoint, net::MsgType::kFileStat, req.encode(),
+                          resp);
+        !st.ok()) {
+      return st;
+    }
+  } else if (mode == OpenMode::kTruncate) {
+    PathReq req;
+    req.path = wpath;
+    net::Frame resp;
+    if (IoStatus st = rpc(endpoint, net::MsgType::kFileTruncate, req.encode(),
+                          resp);
+        !st.ok()) {
+      return st;
+    }
+  }
+  // kUpdate needs no round trip: the server-side write creates the file.
+  out = std::make_unique<RemoteFile>(*this, endpoint, wpath);
+  return IoStatus::success();
+}
+
+IoStatus RemoteBackend::rename(const std::filesystem::path& from,
+                               const std::filesystem::path& to) {
+  const bool from_remote = under_root(from);
+  const bool to_remote = under_root(to);
+  if (!from_remote && !to_remote) return local_.rename(from, to);
+  if (from_remote != to_remote) {
+    return IoStatus::failure(IoCode::kIoError,
+                             "rename across the volume boundary");
+  }
+  net::Endpoint from_ep, to_ep;
+  if (!route(from.filename().string(), from_ep) ||
+      !route(to.filename().string(), to_ep) || from_ep != to_ep) {
+    return IoStatus::failure(IoCode::kIoError,
+                             "rename across owners: " + from.string() + " -> " +
+                                 to.string());
+  }
+  RenameReq req;
+  req.from = wire_path(from);
+  req.to = wire_path(to);
+  net::Frame resp;
+  return rpc(from_ep, net::MsgType::kFileRename, req.encode(), resp);
+}
+
+IoStatus RemoteBackend::remove(const std::filesystem::path& path) {
+  if (!under_root(path)) return local_.remove(path);
+  net::Endpoint endpoint;
+  if (!route(path.filename().string(), endpoint)) {
+    return IoStatus::failure(IoCode::kNotFound,
+                             "unroutable volume file: " + path.string());
+  }
+  PathReq req;
+  req.path = wire_path(path);
+  net::Frame resp;
+  return rpc(endpoint, net::MsgType::kFileRemove, req.encode(), resp);
+}
+
+IoStatus RemoteBackend::create_directories(const std::filesystem::path& path) {
+  if (path != root_) return local_.create_directories(path);
+  // The volume directory must exist on every server before any file lands.
+  PathReq req;
+  req.path = volume_;
+  std::set<net::Endpoint> endpoints(owners_.begin(), owners_.end());
+  endpoints.insert(coordinator_);
+  for (const net::Endpoint& endpoint : endpoints) {
+    net::Frame resp;
+    if (IoStatus st =
+            rpc(endpoint, net::MsgType::kFileMkdir, req.encode(), resp);
+        !st.ok()) {
+      return st;
+    }
+  }
+  return IoStatus::success();
+}
+
+IoStatus RemoteBackend::sync_dir(const std::filesystem::path& dir) {
+  if (dir != root_) return local_.sync_dir(dir);
+  // A rename became durable on whichever server executed it; the caller
+  // doesn't tell us which, so flush the volume directory everywhere it
+  // exists (servers without the directory yet are fine to skip).
+  PathReq req;
+  req.path = volume_;
+  std::set<net::Endpoint> endpoints(owners_.begin(), owners_.end());
+  endpoints.insert(coordinator_);
+  IoStatus first_failure = IoStatus::success();
+  for (const net::Endpoint& endpoint : endpoints) {
+    net::Frame resp;
+    IoStatus st = rpc(endpoint, net::MsgType::kFileSyncDir, req.encode(), resp);
+    if (!st.ok() && st.code != IoCode::kNotFound && first_failure.ok()) {
+      first_failure = st;
+    }
+  }
+  return first_failure;
+}
+
+bool RemoteBackend::exists(const std::filesystem::path& path) {
+  if (!under_root(path)) return local_.exists(path);
+  net::Endpoint endpoint;
+  if (!route(path.filename().string(), endpoint)) return false;
+  PathReq req;
+  req.path = wire_path(path);
+  net::Frame resp;
+  if (IoStatus st = rpc(endpoint, net::MsgType::kFileExists, req.encode(), resp);
+      !st.ok()) {
+    return false;  // unreachable reads as absent; decode treats it as erased
+  }
+  ExistsResp er;
+  return er.decode(resp) && er.exists;
+}
+
+IoStatus RemoteBackend::file_size(const std::filesystem::path& path,
+                                  std::uint64_t& out) {
+  if (!under_root(path)) return local_.file_size(path, out);
+  net::Endpoint endpoint;
+  if (!route(path.filename().string(), endpoint)) {
+    return IoStatus::failure(IoCode::kNotFound,
+                             "unroutable volume file: " + path.string());
+  }
+  PathReq req;
+  req.path = wire_path(path);
+  net::Frame resp;
+  if (IoStatus st = rpc(endpoint, net::MsgType::kFileStat, req.encode(), resp);
+      !st.ok()) {
+    return st;
+  }
+  StatResp sr;
+  if (!sr.decode(resp)) {
+    return IoStatus::failure(IoCode::kIoError, "bad stat response");
+  }
+  out = sr.size;
+  return IoStatus::success();
+}
+
+}  // namespace approx::serving

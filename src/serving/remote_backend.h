@@ -1,0 +1,99 @@
+// RemoteBackend: a store::IoBackend whose "disk" is the cluster.
+//
+// The entire local VolumeStore machinery — the pipelined striped encoder,
+// ranged degraded reads, quarantine, ScrubService repair — works over the
+// network unchanged by swapping the backend under it.  The client
+// constructs a VolumeStore rooted at a *virtual* directory; RemoteBackend
+// routes every path under that root by basename:
+//
+//   node_NNN.*          -> the daemon owning code node NNN (placement from
+//                          the coordinator; .acb/.tmp/.quarantine ride
+//                          along with their node)
+//   manifest.txt(.tmp),
+//   superblock.bin(.tmp)-> the coordinator's metadata store (so the
+//                          manifest rename on the coordinator IS the
+//                          cluster-wide commit point)
+//   directory ops on the
+//   root                -> broadcast to coordinator + every owner
+//   anything else       -> the local fallback backend (encode reads its
+//                          input file and decode writes its output file
+//                          through the same IoBackend)
+//
+// Wire paths are "<volume>/<basename>", resolved by each server's
+// FileService against its own data root.
+//
+// Failure mapping: an app-level error status comes back as its IoCode; a
+// transport-level failure (timeout / unreachable / bad frame after the
+// retry budget) maps to IoCode::kIoError — which is precisely what makes
+// VolumeStore treat the unreachable node as an erasure and reconstruct
+// through it (degraded reads fall out for free).  Transport failures are
+// additionally counted (transport_failures()) so the CLI can distinguish
+// "network broke" (exit 5) from local I/O errors (exit 3).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "net/rpc.h"
+#include "store/io_backend.h"
+
+namespace approx::serving {
+
+class RemoteBackend final : public store::IoBackend {
+ public:
+  // `owners[node]` is the endpoint serving code node `node`;
+  // `local_fallback` handles paths outside `virtual_root`.
+  RemoteBackend(net::Transport& transport, std::string volume,
+                net::Endpoint coordinator, std::vector<net::Endpoint> owners,
+                net::RpcOptions rpc, store::IoBackend& local_fallback);
+
+  // The virtual volume root to hand VolumeStore ("remote:<volume>").
+  const std::filesystem::path& virtual_root() const noexcept { return root_; }
+
+  store::IoStatus open(const std::filesystem::path& path, OpenMode mode,
+                       std::unique_ptr<store::IoFile>& out) override;
+  store::IoStatus rename(const std::filesystem::path& from,
+                         const std::filesystem::path& to) override;
+  store::IoStatus remove(const std::filesystem::path& path) override;
+  store::IoStatus create_directories(const std::filesystem::path& path) override;
+  store::IoStatus sync_dir(const std::filesystem::path& dir) override;
+  bool exists(const std::filesystem::path& path) override;
+  store::IoStatus file_size(const std::filesystem::path& path,
+                            std::uint64_t& out) override;
+
+  // Transport-level failures observed (after per-call retries), across all
+  // endpoints.  Nonzero means at least one RPC never got an answer.
+  std::uint64_t transport_failures() const noexcept {
+    return transport_failures_.load(std::memory_order_relaxed);
+  }
+
+  // Route a volume-root-relative basename to its endpoint; false when the
+  // basename belongs to no server (caller should use the local fallback).
+  bool route(const std::string& basename, net::Endpoint& out) const;
+
+  // One RPC with failure mapping (shared with ServingClient's scrub path).
+  store::IoStatus rpc(const net::Endpoint& endpoint, net::MsgType type,
+                      std::vector<std::uint8_t> payload, net::Frame& resp);
+
+  const std::string& volume() const noexcept { return volume_; }
+  const net::Endpoint& coordinator() const noexcept { return coordinator_; }
+  const std::vector<net::Endpoint>& owners() const noexcept { return owners_; }
+
+ private:
+  bool under_root(const std::filesystem::path& path) const;
+  std::string wire_path(const std::filesystem::path& path) const;
+
+  net::Transport& transport_;
+  std::string volume_;
+  net::Endpoint coordinator_;
+  std::vector<net::Endpoint> owners_;
+  net::RpcOptions rpc_;
+  store::IoBackend& local_;
+  std::filesystem::path root_;
+  std::atomic<std::uint64_t> transport_failures_{0};
+};
+
+}  // namespace approx::serving

@@ -106,8 +106,9 @@ const char* io_code_name(IoCode code) noexcept {
 
 IoStatus PosixIoBackend::open(const std::filesystem::path& path, OpenMode mode,
                               std::unique_ptr<IoFile>& out) {
-  const int flags =
-      mode == OpenMode::kRead ? O_RDONLY : (O_RDWR | O_CREAT | O_TRUNC);
+  const int flags = mode == OpenMode::kRead     ? O_RDONLY
+                    : mode == OpenMode::kUpdate ? (O_RDWR | O_CREAT)
+                                                : (O_RDWR | O_CREAT | O_TRUNC);
   const int fd = ::open(path.c_str(), flags, 0644);
   if (fd < 0) return errno_status("open", path);
   out = std::make_unique<PosixFile>(fd, path);
@@ -169,33 +170,9 @@ IoStatus PosixIoBackend::file_size(const std::filesystem::path& path,
 IoStatus with_retry(const RetryPolicy& policy,
                     const std::function<IoStatus()>& op) {
   static obs::Counter& retries = obs::registry().counter("store.io.retries");
-  // The uncapped schedule grows in floating point and is clamped against
-  // the cap before every integer conversion, so even thousands of attempts
-  // with an aggressive multiplier cannot overflow the microsecond count.
-  const double cap = static_cast<double>(policy.max_delay.count());
-  double ideal = static_cast<double>(policy.base_delay.count());
-  Rng jitter_rng(policy.jitter_seed);
-  IoStatus st = op();
-  for (int attempt = 1;
-       attempt < policy.max_attempts && !st.ok() && io_retryable(st.code);
-       ++attempt) {
-    double us = std::min(ideal, cap);
-    if (policy.jitter > 0) {
-      us *= 1.0 + policy.jitter * (2.0 * jitter_rng.uniform() - 1.0);
-      us = std::min(us, cap);
-    }
-    const auto delay =
-        std::chrono::microseconds(static_cast<std::int64_t>(us));
-    if (policy.sleeper) {
-      policy.sleeper(delay);
-    } else {
-      std::this_thread::sleep_for(delay);
-    }
-    ideal = std::min(ideal * policy.multiplier, cap);
-    retries.add(1);
-    st = op();
-  }
-  return st;
+  return approx::with_retry<IoStatus>(
+      policy, op, [](const IoStatus& st) { return io_retryable(st.code); },
+      [] { retries.add(1); });
 }
 
 // ---------------------------------------------------------------------------
@@ -395,9 +372,9 @@ IoStatus FaultInjectingBackend::open(const std::filesystem::path& path,
                                      std::unique_ptr<IoFile>& out) {
   Fault f;
   if (fire(Op::kOpen, path, f)) return injected_status(f, path);
-  // A truncating open mutates the directory (creates or empties a file);
-  // a read-only open does not.
-  if (mode == OpenMode::kTruncate &&
+  // A truncating or creating open mutates the directory (creates or
+  // empties a file); a read-only open does not.
+  if (mode != OpenMode::kRead &&
       crash_gate(/*is_write=*/false) != CrashGate::kProceed) {
     return crash_status(path);
   }

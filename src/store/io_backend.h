@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/prng.h"
+#include "common/retry.h"
 
 namespace approx::store {
 
@@ -70,7 +71,10 @@ class IoBackend {
  public:
   virtual ~IoBackend() = default;
 
-  enum class OpenMode { kRead, kTruncate };
+  // kUpdate opens read-write without truncating, creating the file when
+  // absent (positional writes into an existing file; the storage daemon's
+  // stateless per-RPC writes rely on it).
+  enum class OpenMode { kRead, kTruncate, kUpdate };
 
   virtual IoStatus open(const std::filesystem::path& path, OpenMode mode,
                         std::unique_ptr<IoFile>& out) = 0;
@@ -101,28 +105,14 @@ class PosixIoBackend final : public IoBackend {
                      std::uint64_t& out) override;
 };
 
-// Exponential-backoff retry loop.  Retries `op` while it returns a
-// retryable code, sleeping base_delay * multiplier^attempt (clamped to
-// max_delay) between tries.  Each retry bumps the "store.io.retries"
-// counter.  The final status (ok, non-retryable, or retryable after
-// max_attempts) is returned.
-//
-// The delay schedule is computed in floating point and clamped before the
-// integer conversion, so a pathological max_attempts cannot overflow the
-// microsecond count no matter the multiplier.  When jitter > 0 each delay
-// is scaled by a factor drawn uniformly from [1 - jitter, 1 + jitter];
-// the draw sequence is fully determined by jitter_seed, so a chaos run
-// replays bit-identically from its logged seed.
-struct RetryPolicy {
-  int max_attempts = 4;  // total tries, including the first
-  std::chrono::microseconds base_delay{200};
-  std::chrono::microseconds max_delay{1'000'000};  // backoff cap
-  double multiplier = 2.0;
-  double jitter = 0.0;  // fraction of the delay, in [0, 1]
-  std::uint64_t jitter_seed = 0;
-  // Test seam: defaults to std::this_thread::sleep_for.
-  std::function<void(std::chrono::microseconds)> sleeper;
-};
+// Exponential-backoff retry loop over the shared policy (common/retry.h,
+// one implementation for store I/O and per-node RPCs).  Retries `op`
+// while it returns a retryable code, sleeping base_delay *
+// multiplier^attempt (clamped to max_delay, jittered when configured)
+// between tries.  Each retry bumps the "store.io.retries" counter.  The
+// final status (ok, non-retryable, or retryable after max_attempts) is
+// returned.
+using RetryPolicy = approx::RetryPolicy;
 
 IoStatus with_retry(const RetryPolicy& policy,
                     const std::function<IoStatus()>& op);

@@ -112,4 +112,74 @@ for key in store.degraded_reads store.quarantined_chunks \
   echo "$stats" | grep -q "$key" || fail "stats --json missing $key"
 done
 
+# --- network failure class: unreachable coordinator exits 5 -------------------
+rc=0; "$CLI" get --coordinator 127.0.0.1:1 rvol nope.bin 2>/dev/null || rc=$?
+[ "$rc" -eq 5 ] || fail "unreachable coordinator should exit 5 (network), got $rc"
+
+# --- a real localhost TCP cluster: put / kill node / degraded get / repair ----
+CLUSTER_PIDS=""
+trap 'kill $CLUSTER_PIDS 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+# The coordinator and daemons bind port 0 and print "listening <endpoint>".
+wait_listening() {  # $1 = output file, $2 = what
+  i=0
+  while [ $i -lt 100 ]; do
+    ep=$(sed -n 's/^listening //p' "$1" 2>/dev/null | head -n 1)
+    [ -n "$ep" ] && return 0
+    sleep 0.1; i=$((i + 1))
+  done
+  fail "$2 never reported its endpoint"
+}
+
+"$CLI" coordinator --listen 127.0.0.1:0 --meta meta > coord.out 2>&1 &
+CLUSTER_PIDS="$CLUSTER_PIDS $!"
+wait_listening coord.out coordinator
+COORD="$ep"
+
+n=0
+while [ $n -lt 4 ]; do
+  "$CLI" serve --listen 127.0.0.1:0 --data "d$n" --coordinator "$COORD" \
+      --name "n$n" --rack "$n" > "serve$n.out" 2>&1 &
+  CLUSTER_PIDS="$CLUSTER_PIDS $!"
+  eval "SERVE${n}_PID=\$!"
+  n=$((n + 1))
+done
+n=0
+while [ $n -lt 4 ]; do
+  wait_listening "serve$n.out" "daemon n$n"
+  n=$((n + 1))
+done
+
+"$CLI" put --coordinator "$COORD" --k 2 --r 1 --g 1 --h 2 input.bin rvol \
+    || fail "remote put"
+"$CLI" get --coordinator "$COORD" rvol remote.bin || fail "remote get"
+cmp -s input.bin remote.bin || fail "remote roundtrip differs"
+
+# Kill one daemon mid-cluster: the get reconstructs its chunks (degraded),
+# still byte-identical.
+kill -9 "$SERVE0_PID" 2>/dev/null || true
+"$CLI" get --coordinator "$COORD" rvol degraded_remote.bin \
+    || fail "remote degraded get after node kill"
+cmp -s input.bin degraded_remote.bin || fail "remote degraded roundtrip differs"
+
+# Replace the daemon on a wiped disk; repair rebuilds its chunks in place.
+rm -rf d0
+"$CLI" serve --listen 127.0.0.1:0 --data d0 --coordinator "$COORD" \
+    --name n0 --rack 0 > serve0b.out 2>&1 &
+CLUSTER_PIDS="$CLUSTER_PIDS $!"
+wait_listening serve0b.out "replacement daemon n0"
+rc=0; "$CLI" scrub --coordinator "$COORD" rvol 2>/dev/null || rc=$?
+[ "$rc" -eq 1 ] || fail "remote scrub should flag the wiped node (exit 1), got $rc"
+"$CLI" repair --coordinator "$COORD" rvol || fail "remote repair"
+"$CLI" scrub --coordinator "$COORD" rvol || fail "remote scrub after repair"
+"$CLI" get --coordinator "$COORD" rvol repaired_remote.bin \
+    || fail "remote get after repair"
+cmp -s input.bin repaired_remote.bin || fail "repaired remote roundtrip differs"
+
+# Remote stats expose the rpc instruments.
+stats=$("$CLI" stats --json --coordinator "$COORD" rvol) || fail "remote stats"
+for key in net.rpc.sent net.rpc.retries net.rpc.hedged net.rpc.timeouts; do
+  echo "$stats" | grep -q "$key" || fail "remote stats --json missing $key"
+done
+
 echo "PASS"

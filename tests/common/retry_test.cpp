@@ -1,0 +1,96 @@
+// The shared retry/backoff policy (common/retry.h): the same loop drives
+// store I/O retries and per-node RPC retries, so its schedule must be
+// deterministic, clamped, and honest about attempt counts.
+#include "common/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace approx {
+namespace {
+
+struct FakeStatus {
+  bool good = false;
+  bool ok() const { return good; }
+};
+
+RetryPolicy no_sleep_policy(int attempts) {
+  RetryPolicy p;
+  p.max_attempts = attempts;
+  p.sleeper = [](std::chrono::microseconds) {};
+  return p;
+}
+
+TEST(BackoffSchedule, GrowsGeometricallyAndClamps) {
+  RetryPolicy p;
+  p.base_delay = std::chrono::microseconds(100);
+  p.max_delay = std::chrono::microseconds(450);
+  p.multiplier = 2.0;
+  BackoffSchedule sched(p);
+  EXPECT_EQ(sched.next().count(), 100);
+  EXPECT_EQ(sched.next().count(), 200);
+  EXPECT_EQ(sched.next().count(), 400);
+  EXPECT_EQ(sched.next().count(), 450);  // clamped
+  EXPECT_EQ(sched.next().count(), 450);
+}
+
+TEST(BackoffSchedule, JitterIsSeededAndBounded) {
+  RetryPolicy p;
+  p.base_delay = std::chrono::microseconds(1000);
+  p.max_delay = std::chrono::microseconds(1'000'000);
+  p.jitter = 0.5;
+  p.jitter_seed = 7;
+
+  auto draw = [&] {
+    BackoffSchedule sched(p);
+    std::vector<std::int64_t> v;
+    for (int i = 0; i < 8; ++i) v.push_back(sched.next().count());
+    return v;
+  };
+  const auto a = draw();
+  const auto b = draw();
+  EXPECT_EQ(a, b) << "same seed must replay the same schedule";
+  // First delay is base * [1 - jitter, 1 + jitter].
+  EXPECT_GE(a[0], 500);
+  EXPECT_LE(a[0], 1500);
+
+  p.jitter_seed = 8;
+  EXPECT_NE(a, draw()) << "different seed should perturb the schedule";
+}
+
+TEST(WithRetry, StopsOnSuccess) {
+  int calls = 0;
+  const auto st = with_retry<FakeStatus>(
+      no_sleep_policy(5),
+      [&] {
+        ++calls;
+        return FakeStatus{calls >= 3};
+      },
+      [](const FakeStatus&) { return true; });
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(WithRetry, RespectsMaxAttemptsAndCountsRetries) {
+  int calls = 0;
+  int retries = 0;
+  const auto st = with_retry<FakeStatus>(
+      no_sleep_policy(4), [&] { ++calls; return FakeStatus{false}; },
+      [](const FakeStatus&) { return true; }, [&] { ++retries; });
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(retries, 3);
+}
+
+TEST(WithRetry, NonRetryableFailsImmediately) {
+  int calls = 0;
+  const auto st = with_retry<FakeStatus>(
+      no_sleep_policy(4), [&] { ++calls; return FakeStatus{false}; },
+      [](const FakeStatus&) { return false; });
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace approx

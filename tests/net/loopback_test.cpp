@@ -1,0 +1,190 @@
+// LoopbackTransport: the deterministic in-process fabric used by the chaos
+// suites.  These tests pin the fault-injection contract — down endpoints,
+// scheduled deaths, slow nodes vs timeouts, partitions keyed on the
+// caller's thread-local identity, and the seeded chaos schedule.
+#include "net/loopback.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+namespace approx::net {
+namespace {
+
+using std::chrono::microseconds;
+
+Frame request(std::uint16_t type, std::vector<std::uint8_t> payload = {}) {
+  Frame f;
+  f.type = type;
+  f.request_id = 99;
+  f.payload = std::move(payload);
+  return f;
+}
+
+// Serve an echo handler that reverses the payload and counts invocations.
+class LoopbackTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(transport_
+                    .serve("server",
+                           [this](const Frame& req, Frame& resp) {
+                             served_.fetch_add(1);
+                             resp.status = 0;
+                             resp.payload.assign(req.payload.rbegin(),
+                                                 req.payload.rend());
+                           })
+                    .ok());
+  }
+
+  void TearDown() override {
+    LoopbackTransport::set_local_endpoint("client");
+  }
+
+  LoopbackTransport transport_;
+  std::atomic<int> served_{0};
+};
+
+TEST_F(LoopbackTest, CallRoundTripExercisesFraming) {
+  Frame resp;
+  const NetStatus st = transport_.call("server", request(1, {1, 2, 3}), resp,
+                                       microseconds(1'000'000));
+  ASSERT_TRUE(st.ok()) << st.message;
+  EXPECT_EQ(resp.payload, (std::vector<std::uint8_t>{3, 2, 1}));
+  EXPECT_EQ(resp.request_id, 99u) << "response must echo the request id";
+  EXPECT_EQ(served_.load(), 1);
+  EXPECT_EQ(transport_.delivered(), 1u);
+}
+
+TEST_F(LoopbackTest, UnknownEndpointIsUnreachable) {
+  Frame resp;
+  EXPECT_EQ(transport_.call("nobody", request(1), resp, microseconds(1000)).code,
+            NetCode::kUnreachable);
+}
+
+TEST_F(LoopbackTest, DownAndUp) {
+  transport_.set_down("server", true);
+  Frame resp;
+  EXPECT_EQ(transport_.call("server", request(1), resp, microseconds(1000)).code,
+            NetCode::kUnreachable);
+  EXPECT_EQ(served_.load(), 0);
+  transport_.set_down("server", false);
+  EXPECT_TRUE(
+      transport_.call("server", request(1), resp, microseconds(1000)).ok());
+}
+
+TEST_F(LoopbackTest, DownAfterKillsMidSequence) {
+  transport_.set_down_after("server", 2);
+  Frame resp;
+  EXPECT_TRUE(
+      transport_.call("server", request(1), resp, microseconds(1000)).ok());
+  EXPECT_TRUE(
+      transport_.call("server", request(1), resp, microseconds(1000)).ok());
+  EXPECT_EQ(transport_.call("server", request(1), resp, microseconds(1000)).code,
+            NetCode::kUnreachable);
+  EXPECT_EQ(served_.load(), 2);
+}
+
+TEST_F(LoopbackTest, DelayBeyondTimeoutIsTimeoutWithoutServing) {
+  transport_.set_delay("server", microseconds(5000));
+  Frame resp;
+  EXPECT_EQ(transport_.call("server", request(1), resp, microseconds(1000)).code,
+            NetCode::kTimeout);
+  EXPECT_EQ(served_.load(), 0) << "a too-slow node never answers in time";
+  // A generous timeout clears it (the wait is simulated, not slept).
+  EXPECT_TRUE(
+      transport_.call("server", request(1), resp, microseconds(10'000)).ok());
+  EXPECT_EQ(served_.load(), 1);
+}
+
+TEST_F(LoopbackTest, PartitionUsesThreadLocalIdentity) {
+  LoopbackTransport::set_local_endpoint("island");
+  transport_.partition("island", "server");
+  Frame resp;
+  EXPECT_EQ(transport_.call("server", request(1), resp, microseconds(1000)).code,
+            NetCode::kUnreachable);
+
+  // A caller outside the partition still gets through.
+  LoopbackTransport::set_local_endpoint("mainland");
+  EXPECT_TRUE(
+      transport_.call("server", request(1), resp, microseconds(1000)).ok());
+
+  transport_.heal();
+  LoopbackTransport::set_local_endpoint("island");
+  EXPECT_TRUE(
+      transport_.call("server", request(1), resp, microseconds(1000)).ok());
+}
+
+TEST_F(LoopbackTest, RequestDropVsReplyDrop) {
+  LoopbackTransport::ChaosOptions opts;
+  opts.request_drop_rate = 1.0;
+  transport_.enable_chaos(1, opts);
+  Frame resp;
+  EXPECT_EQ(transport_.call("server", request(1), resp, microseconds(1000)).code,
+            NetCode::kTimeout);
+  EXPECT_EQ(served_.load(), 0) << "dropped request: the server never saw it";
+
+  opts.request_drop_rate = 0.0;
+  opts.reply_drop_rate = 1.0;
+  transport_.enable_chaos(1, opts);
+  EXPECT_EQ(transport_.call("server", request(1), resp, microseconds(1000)).code,
+            NetCode::kTimeout);
+  EXPECT_EQ(served_.load(), 1)
+      << "dropped reply: the server DID the work — the idempotent-retry case";
+}
+
+TEST_F(LoopbackTest, CorruptReplyIsRejectedNotDelivered) {
+  LoopbackTransport::ChaosOptions opts;
+  opts.corrupt_rate = 1.0;
+  transport_.enable_chaos(3, opts);
+  Frame resp;
+  EXPECT_EQ(
+      transport_.call("server", request(1, {5, 6, 7}), resp, microseconds(1000))
+          .code,
+      NetCode::kBadFrame)
+      << "a flipped wire byte must be caught by the frame CRC";
+  EXPECT_EQ(served_.load(), 1);
+}
+
+TEST_F(LoopbackTest, ChaosScheduleReplaysFromSeed) {
+  LoopbackTransport::ChaosOptions opts;
+  opts.request_drop_rate = 0.3;
+  opts.reply_drop_rate = 0.2;
+  opts.delay_rate = 0.2;
+  opts.delay_us = 10'000;
+  opts.corrupt_rate = 0.1;
+
+  auto run = [&](std::uint64_t seed) {
+    transport_.enable_chaos(seed, opts);
+    std::vector<NetCode> outcomes;
+    for (int i = 0; i < 64; ++i) {
+      Frame resp;
+      outcomes.push_back(
+          transport_.call("server", request(1, {1}), resp, microseconds(1000))
+              .code);
+    }
+    return outcomes;
+  };
+
+  const auto a = run(42);
+  const auto b = run(42);
+  EXPECT_EQ(a, b) << "same seed must replay the same fault schedule";
+  const auto c = run(43);
+  EXPECT_NE(a, c) << "a different seed should differ somewhere in 64 calls";
+
+  transport_.disable_chaos();
+  Frame resp;
+  EXPECT_TRUE(
+      transport_.call("server", request(1), resp, microseconds(1000)).ok());
+}
+
+TEST_F(LoopbackTest, StopUnregistersEndpoint) {
+  transport_.stop("server");
+  Frame resp;
+  EXPECT_EQ(transport_.call("server", request(1), resp, microseconds(1000)).code,
+            NetCode::kUnreachable);
+}
+
+}  // namespace
+}  // namespace approx::net

@@ -1,0 +1,168 @@
+// TcpTransport over real localhost sockets: ephemeral binding, framed
+// round trips, large payloads, concurrency, and the failure surface
+// (refused connections, slow handlers vs deadlines, stop/restart).
+#include "net/tcp.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace approx::net {
+namespace {
+
+using std::chrono::microseconds;
+
+Frame request(std::uint16_t type, std::vector<std::uint8_t> payload = {}) {
+  Frame f;
+  f.type = type;
+  f.request_id = 7;
+  f.payload = std::move(payload);
+  return f;
+}
+
+TEST(Tcp, EphemeralBindReportsRealPort) {
+  TcpTransport transport;
+  Endpoint bound;
+  ASSERT_TRUE(
+      transport.serve("127.0.0.1:0", [](const Frame&, Frame&) {}, &bound)
+          .ok());
+  EXPECT_NE(bound, "127.0.0.1:0") << "port 0 must resolve to the bound port";
+  EXPECT_EQ(bound.rfind("127.0.0.1:", 0), 0u);
+  transport.stop(bound);
+}
+
+TEST(Tcp, RoundTripAndLargePayload) {
+  TcpTransport transport;
+  Endpoint bound;
+  ASSERT_TRUE(transport
+                  .serve("127.0.0.1:0",
+                         [](const Frame& req, Frame& resp) {
+                           resp.status = 5;
+                           resp.payload = req.payload;
+                         },
+                         &bound)
+                  .ok());
+
+  Frame resp;
+  ASSERT_TRUE(transport.call(bound, request(1, {9, 9}), resp,
+                             microseconds(2'000'000))
+                  .ok());
+  EXPECT_EQ(resp.status, 5u);
+  EXPECT_EQ(resp.payload, (std::vector<std::uint8_t>{9, 9}));
+
+  // 1 MiB payload crosses many socket writes; framing must reassemble it.
+  std::vector<std::uint8_t> big(1 << 20);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  ASSERT_TRUE(
+      transport.call(bound, request(2, big), resp, microseconds(5'000'000))
+          .ok());
+  EXPECT_EQ(resp.payload, big);
+  transport.stop(bound);
+}
+
+TEST(Tcp, ConcurrentCallers) {
+  TcpTransport transport;
+  Endpoint bound;
+  std::atomic<int> served{0};
+  ASSERT_TRUE(transport
+                  .serve("127.0.0.1:0",
+                         [&](const Frame& req, Frame& resp) {
+                           served.fetch_add(1);
+                           resp.payload = req.payload;
+                         },
+                         &bound)
+                  .ok());
+
+  constexpr int kThreads = 4;
+  constexpr int kCallsEach = 8;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // One transport per thread exercises independent connections.
+      TcpTransport local;
+      for (int i = 0; i < kCallsEach; ++i) {
+        Frame resp;
+        const auto payload = std::vector<std::uint8_t>{
+            static_cast<std::uint8_t>(t), static_cast<std::uint8_t>(i)};
+        const NetStatus st = local.call(bound, request(1, payload), resp,
+                                        microseconds(5'000'000));
+        if (!st.ok() || resp.payload != payload) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(served.load(), kThreads * kCallsEach);
+  transport.stop(bound);
+}
+
+TEST(Tcp, ConnectionRefusedIsUnreachable) {
+  TcpTransport transport;
+  Frame resp;
+  // Port 1 is privileged and almost certainly closed; a refused connection
+  // must map to kUnreachable, not hang until the timeout.
+  const NetStatus st =
+      transport.call("127.0.0.1:1", request(1), resp, microseconds(2'000'000));
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code, NetCode::kUnreachable);
+}
+
+TEST(Tcp, SlowHandlerHitsDeadline) {
+  TcpTransport transport;
+  Endpoint bound;
+  ASSERT_TRUE(transport
+                  .serve("127.0.0.1:0",
+                         [](const Frame&, Frame&) {
+                           std::this_thread::sleep_for(
+                               std::chrono::milliseconds(500));
+                         },
+                         &bound)
+                  .ok());
+  Frame resp;
+  const NetStatus st =
+      transport.call(bound, request(1), resp, microseconds(50'000));
+  EXPECT_EQ(st.code, NetCode::kTimeout);
+  transport.stop(bound);
+}
+
+TEST(Tcp, StopThenRestartOnNewPort) {
+  TcpTransport transport;
+  Endpoint bound;
+  ASSERT_TRUE(transport
+                  .serve("127.0.0.1:0",
+                         [](const Frame& req, Frame& resp) {
+                           resp.payload = req.payload;
+                         },
+                         &bound)
+                  .ok());
+  transport.stop(bound);
+
+  Frame resp;
+  EXPECT_FALSE(
+      transport.call(bound, request(1), resp, microseconds(500'000)).ok())
+      << "a stopped listener must not accept new calls";
+
+  Endpoint bound2;
+  ASSERT_TRUE(transport
+                  .serve("127.0.0.1:0",
+                         [](const Frame& req, Frame& reply) {
+                           reply.payload = req.payload;
+                         },
+                         &bound2)
+                  .ok());
+  ASSERT_TRUE(transport.call(bound2, request(1, {1}), resp,
+                             microseconds(2'000'000))
+                  .ok());
+  EXPECT_EQ(resp.payload, (std::vector<std::uint8_t>{1}));
+  transport.stop(bound2);
+}
+
+}  // namespace
+}  // namespace approx::net

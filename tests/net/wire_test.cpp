@@ -1,0 +1,159 @@
+// Frame codec (net/wire.h): the framing layer must deliver exactly what
+// was sent or reject the buffer as kBadFrame — never a silently corrupted
+// frame, never an out-of-bounds read.
+#include "net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace approx::net {
+namespace {
+
+Frame sample_frame() {
+  Frame f;
+  f.type = 0x1234;
+  f.status = 7;
+  f.request_id = 0x0102030405060708ull;
+  f.trace_id = 0xAABBCCDDEEFF0011ull;
+  f.parent_id = 42;
+  f.payload = {0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x01};
+  return f;
+}
+
+TEST(Wire, FrameRoundTrip) {
+  const Frame in = sample_frame();
+  const std::vector<std::uint8_t> wire = encode_frame(in);
+  ASSERT_EQ(wire.size(), kFrameHeaderBytes + in.payload.size() + kFrameCrcBytes);
+
+  Frame out;
+  ASSERT_TRUE(decode_frame(wire, out).ok());
+  EXPECT_EQ(out.type, in.type);
+  EXPECT_EQ(out.status, in.status);
+  EXPECT_EQ(out.request_id, in.request_id);
+  EXPECT_EQ(out.trace_id, in.trace_id);
+  EXPECT_EQ(out.parent_id, in.parent_id);
+  EXPECT_EQ(out.payload, in.payload);
+}
+
+TEST(Wire, EmptyPayloadRoundTrip) {
+  Frame in;
+  in.type = 1;
+  const auto wire = encode_frame(in);
+  Frame out;
+  ASSERT_TRUE(decode_frame(wire, out).ok());
+  EXPECT_TRUE(out.payload.empty());
+}
+
+TEST(Wire, EveryByteFlipIsRejected) {
+  const auto wire = encode_frame(sample_frame());
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    for (const std::uint8_t flip : {std::uint8_t{0x01}, std::uint8_t{0x80}}) {
+      std::vector<std::uint8_t> bad = wire;
+      bad[i] ^= flip;
+      Frame out;
+      const NetStatus st = decode_frame(bad, out);
+      EXPECT_FALSE(st.ok()) << "flip at byte " << i << " was accepted";
+      EXPECT_EQ(st.code, NetCode::kBadFrame);
+    }
+  }
+}
+
+TEST(Wire, TruncationIsRejected) {
+  const auto wire = encode_frame(sample_frame());
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    Frame out;
+    const NetStatus st =
+        decode_frame({wire.data(), len}, out);
+    EXPECT_FALSE(st.ok()) << "truncated to " << len << " bytes was accepted";
+    EXPECT_EQ(st.code, NetCode::kBadFrame);
+  }
+  // Trailing garbage is a length mismatch, not a longer valid frame.
+  auto padded = wire;
+  padded.push_back(0);
+  Frame out;
+  EXPECT_EQ(decode_frame(padded, out).code, NetCode::kBadFrame);
+}
+
+TEST(Wire, OversizedPayloadHeaderIsRejected) {
+  auto wire = encode_frame(sample_frame());
+  // Claim a payload beyond kMaxPayload in the header length field.
+  const std::uint32_t huge = static_cast<std::uint32_t>(kMaxPayload + 1);
+  for (int i = 0; i < 4; ++i) {
+    wire[36 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(huge >> (8 * i));
+  }
+  std::size_t payload_len = 0;
+  EXPECT_EQ(frame_payload_len(wire, payload_len).code, NetCode::kBadFrame);
+}
+
+TEST(Wire, PayloadLenExtraction) {
+  const Frame in = sample_frame();
+  const auto wire = encode_frame(in);
+  std::size_t payload_len = 0;
+  ASSERT_TRUE(frame_payload_len(wire, payload_len).ok());
+  EXPECT_EQ(payload_len, in.payload.size());
+  EXPECT_EQ(frame_payload_len({wire.data(), kFrameHeaderBytes - 1}, payload_len)
+                .code,
+            NetCode::kBadFrame);
+}
+
+TEST(Wire, WriterReaderRoundTrip) {
+  WireWriter w;
+  w.u8(0xAB);
+  w.u16(0xCDEF);
+  w.u32(0x01020304);
+  w.u64(0x1122334455667788ull);
+  w.str("hello");
+  w.str("");
+  const std::vector<std::uint8_t> blob = {9, 8, 7};
+  w.bytes(blob);
+  const auto buf = w.take();
+
+  WireReader r(buf);
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xCDEF);
+  EXPECT_EQ(r.u32(), 0x01020304u);
+  EXPECT_EQ(r.u64(), 0x1122334455667788ull);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.bytes(), blob);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Wire, ReaderLatchesOutOfBounds) {
+  WireWriter w;
+  w.u16(0x1234);
+  const auto buf = w.take();
+  WireReader r(buf);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0u);  // past the end: zero, not UB
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.done());
+  EXPECT_EQ(r.u8(), 0u);  // stays latched
+}
+
+TEST(Wire, ReaderRejectsLyingStringLength) {
+  WireWriter w;
+  w.u32(1000);  // claims 1000 bytes follow; none do
+  const auto buf = w.take();
+  WireReader r(buf);
+  EXPECT_EQ(r.str(), "");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Wire, UnconsumedBytesFailDone) {
+  WireWriter w;
+  w.u32(1);
+  w.u32(2);
+  const auto buf = w.take();
+  WireReader r(buf);
+  EXPECT_EQ(r.u32(), 1u);
+  EXPECT_TRUE(r.ok());
+  EXPECT_FALSE(r.done()) << "4 bytes left unread must fail strict schemas";
+}
+
+}  // namespace
+}  // namespace approx::net

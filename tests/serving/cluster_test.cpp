@@ -1,0 +1,294 @@
+// End-to-end multi-node serving over the deterministic loopback transport:
+// one coordinator + four storage daemons, a striped client, and the
+// failure drills from ISSUE acceptance — node kill during reads and
+// writes, repair restoring redundancy, coordinator restart, and the
+// distributed trace stitching into one connected tree.
+//
+// Geometry: APPR.RS(k=2, r=1, g=1, h=2) = 7 chunk files of stripe width 3
+// over 4 daemons, so any single daemon kill stays inside the code's
+// tolerance while every daemon owns at least one chunk.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/prng.h"
+#include "net/loopback.h"
+#include "obs/span.h"
+#include "serving/client.h"
+#include "serving/coordinator.h"
+#include "serving/daemon.h"
+#include "store/format.h"
+
+namespace approx::serving {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr int kDaemons = 4;
+
+std::vector<std::uint8_t> make_blob(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> blob(n);
+  for (auto& b : blob) b = static_cast<std::uint8_t>(rng());
+  return blob;
+}
+
+std::vector<std::uint8_t> slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    work_ = fs::temp_directory_path() /
+            ("approx_cluster_test_" +
+             std::to_string(
+                 ::testing::UnitTest::GetInstance()->random_seed()) +
+             "_" + ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name());
+    fs::remove_all(work_);
+    fs::create_directories(work_);
+
+    start_coordinator();
+    for (int n = 0; n < kDaemons; ++n) start_daemon(n);
+
+    options_.params =
+        core::ApprParams{codes::Family::RS, 2, 1, 1, 2, core::Structure::Even};
+    options_.block = 1024;
+    // Keep chaos-era retries snappy: the loopback never needs backoff.
+    options_.rpc.retry.base_delay = std::chrono::microseconds(1);
+    options_.rpc.retry.max_delay = std::chrono::microseconds(10);
+    client_.emplace(transport_, "coord", options_);
+
+    input_ = work_ / "input.bin";
+    blob_ = make_blob(200 * 1024 + 37, 0xC0FFEE);
+    std::ofstream out(input_, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(blob_.data()),
+              static_cast<std::streamsize>(blob_.size()));
+  }
+
+  void TearDown() override {
+    client_.reset();
+    daemons_.clear();
+    coordinator_.reset();
+    fs::remove_all(work_);
+  }
+
+  void start_coordinator() {
+    coordinator_ = std::make_unique<Coordinator>(transport_, "coord", io_,
+                                                 work_ / "meta");
+    ASSERT_TRUE(coordinator_->start().ok());
+  }
+
+  void start_daemon(int n) {
+    DaemonOptions opts;
+    opts.name = "n" + std::to_string(n);
+    opts.rack = static_cast<std::uint32_t>(n);
+    auto d = std::make_unique<StorageDaemon>(
+        transport_, opts.name, io_, work_ / ("d" + std::to_string(n)), opts);
+    ASSERT_TRUE(d->start().ok());
+    ASSERT_TRUE(d->join("coord").ok());
+    if (daemons_.size() <= static_cast<std::size_t>(n)) {
+      daemons_.resize(static_cast<std::size_t>(n) + 1);
+    }
+    daemons_[static_cast<std::size_t>(n)] = std::move(d);
+  }
+
+  // The daemon data directory that holds `fname`, or -1.
+  int owner_of(const std::string& volume, const std::string& fname) {
+    for (int n = 0; n < kDaemons; ++n) {
+      if (fs::exists(work_ / ("d" + std::to_string(n)) / volume / fname)) {
+        return n;
+      }
+    }
+    return -1;
+  }
+
+  fs::path work_;
+  net::LoopbackTransport transport_;
+  store::PosixIoBackend io_;
+  std::unique_ptr<Coordinator> coordinator_;
+  std::vector<std::unique_ptr<StorageDaemon>> daemons_;
+  ClientOptions options_;
+  std::optional<ServingClient> client_;
+  fs::path input_;
+  std::vector<std::uint8_t> blob_;
+};
+
+TEST_F(ClusterTest, PutGetByteIdentical) {
+  const store::Manifest m = client_->put(input_, "vol");
+  EXPECT_EQ(m.file_size, blob_.size());
+
+  const fs::path out = work_ / "out.bin";
+  const auto result = client_->get("vol", out);
+  EXPECT_TRUE(result.crc_ok);
+  EXPECT_TRUE(result.degraded_nodes.empty());
+  EXPECT_EQ(slurp(out), blob_);
+  EXPECT_EQ(client_->transport_failures(), 0u);
+
+  // Every daemon ended up owning at least one chunk file (placement
+  // spreads 7 chunks over 4 nodes).
+  for (int n = 0; n < kDaemons; ++n) {
+    int owned = 0;
+    for (const auto& e :
+         fs::directory_iterator(work_ / ("d" + std::to_string(n)) / "vol")) {
+      owned += e.is_regular_file() ? 1 : 0;
+    }
+    EXPECT_GE(owned, 1) << "daemon " << n << " owns no chunks";
+  }
+}
+
+TEST_F(ClusterTest, DegradedGetSurvivesDaemonKill) {
+  client_->put(input_, "vol");
+  transport_.set_down("n2", true);
+
+  const fs::path out = work_ / "out.bin";
+  const auto result = client_->get("vol", out);
+  EXPECT_TRUE(result.crc_ok);
+  EXPECT_FALSE(result.degraded_nodes.empty())
+      << "reads through a dead daemon must go degraded, not fail";
+  EXPECT_EQ(slurp(out), blob_);
+}
+
+TEST_F(ClusterTest, RepairRestoresRedundancyAfterDiskLoss) {
+  client_->put(input_, "vol");
+
+  // Simulate a disk swap: daemon n1 keeps serving but its chunk files for
+  // this volume are gone.
+  fs::remove_all(work_ / "d1" / "vol");
+  ASSERT_FALSE(client_->scrub("vol").clean());
+
+  const store::RepairOutcome outcome = client_->repair("vol");
+  EXPECT_TRUE(outcome.attempted);
+  EXPECT_TRUE(outcome.fully_recovered);
+  EXPECT_TRUE(client_->scrub("vol").clean())
+      << "repair must put the rebuilt chunks back on their owner";
+
+  // Redundancy is really back: lose a DIFFERENT daemon and read clean.
+  transport_.set_down("n3", true);
+  const fs::path out = work_ / "out.bin";
+  const auto result = client_->get("vol", out);
+  EXPECT_TRUE(result.crc_ok);
+  EXPECT_EQ(slurp(out), blob_);
+}
+
+TEST_F(ClusterTest, CoordinatorRestartReplaysStateFromDisk) {
+  client_->put(input_, "vol");
+
+  coordinator_.reset();  // crash: endpoint disappears
+  {
+    const fs::path out = work_ / "nope.bin";
+    EXPECT_THROW(client_->get("vol", out), net::NetError);
+  }
+
+  start_coordinator();  // restart over the same meta dir; nobody re-joins
+
+  const fs::path out = work_ / "out.bin";
+  const auto result = client_->get("vol", out);
+  EXPECT_TRUE(result.crc_ok);
+  EXPECT_EQ(slurp(out), blob_);
+
+  // Membership was replayed from nodes.txt, not from fresh joins.
+  EXPECT_EQ(coordinator_->nodes().size(), static_cast<std::size_t>(kDaemons));
+}
+
+TEST_F(ClusterTest, NodeKillMidStripeWriteLeavesVolumeUncommitted) {
+  // Let the daemon serve a few calls of the put, then die mid-write.
+  transport_.set_down_after("n0", 6);
+  EXPECT_THROW(client_->put(input_, "vol"), store::StoreError);
+  EXPECT_GT(client_->transport_failures(), 0u);
+
+  // The manifest never committed: the volume does not exist for readers.
+  EXPECT_THROW(client_->open("vol"), store::StoreError);
+
+  // Bring the node back; the idempotent re-put succeeds over the partial
+  // leftovers and the volume reads back byte-identical.
+  transport_.set_down("n0", false);
+  client_->put(input_, "vol");
+  const fs::path out = work_ / "out.bin";
+  const auto result = client_->get("vol", out);
+  EXPECT_TRUE(result.crc_ok);
+  EXPECT_EQ(slurp(out), blob_);
+}
+
+TEST_F(ClusterTest, CrossNodeDegradedReadIsOneConnectedTraceTree) {
+  client_->put(input_, "vol");
+  transport_.set_down("n1", true);
+
+  obs::SpanLog::clear();
+  obs::SpanLog::set_enabled(true);
+  std::uint64_t root_trace = 0;
+  {
+    obs::ObsSpan root("test.remote_get");
+    root_trace = root.trace_id();
+    const auto result = client_->get("vol", work_ / "out.bin");
+    EXPECT_TRUE(result.crc_ok);
+    EXPECT_FALSE(result.degraded_nodes.empty());
+  }
+  obs::SpanLog::set_enabled(false);
+  const auto events = obs::SpanLog::snapshot();
+  obs::SpanLog::clear();
+
+  // Every span of the degraded read — client-side rpc spans AND the
+  // daemon/coordinator-side serve spans — carries the root's trace id.
+  std::map<std::uint64_t, std::uint64_t> parent_of;  // span -> parent
+  std::size_t client_rpc = 0, server_rpc = 0;
+  for (const auto& ev : events) {
+    if (ev.trace_id != root_trace) continue;
+    parent_of[ev.span_id] = ev.parent_id;
+    if (ev.name.rfind("net.rpc.", 0) == 0) ++client_rpc;
+    if (ev.name.rfind("rpc.serve.", 0) == 0) ++server_rpc;
+  }
+  EXPECT_GT(client_rpc, 0u) << "no client rpc spans joined the trace";
+  EXPECT_GT(server_rpc, 0u) << "no server-side spans joined the trace";
+
+  // Connectedness: walking parent links from any span reaches the root
+  // (parent 0) through spans of this same trace — one tree, no orphans.
+  for (const auto& [span, parent] : parent_of) {
+    std::uint64_t cur = parent;
+    std::set<std::uint64_t> seen{span};
+    while (cur != 0) {
+      ASSERT_TRUE(parent_of.count(cur))
+          << "span " << span << " dangles from parent " << cur
+          << " outside the trace";
+      ASSERT_TRUE(seen.insert(cur).second) << "parent cycle at " << cur;
+      cur = parent_of[cur];
+    }
+  }
+}
+
+TEST_F(ClusterTest, ScrubFansOutAndFlagsCorruption) {
+  client_->put(input_, "vol");
+  ASSERT_TRUE(client_->scrub("vol").clean());
+
+  // Flip one payload byte in some daemon-held chunk file.
+  auto rv = client_->open("vol");
+  const std::string fname = store::node_file_name(rv->store().version(), 0);
+  const int owner = owner_of("vol", fname);
+  ASSERT_GE(owner, 0);
+  const fs::path victim =
+      work_ / ("d" + std::to_string(owner)) / "vol" / fname;
+  {
+    std::fstream f(victim, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(100);
+    f.put('\x7f');
+  }
+
+  const RemoteScrubResult result = client_->scrub("vol");
+  EXPECT_FALSE(result.clean());
+  EXPECT_GE(result.corrupt_blocks, 1u);
+  EXPECT_EQ(result.damaged_nodes, std::vector<int>{0});
+}
+
+}  // namespace
+}  // namespace approx::serving

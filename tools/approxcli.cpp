@@ -30,18 +30,27 @@
 //
 // Options: --family rs|lrc|star|tip|crs  --k N --r N --g N --h N
 //          --structure even|uneven  --block BYTES  --split BYTES
+#include <atomic>
 #include <cctype>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <functional>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/approximate_code.h"
+#include "net/tcp.h"
 #include "obs/metrics.h"
 #include "obs/slow_ops.h"
 #include "obs/span.h"
+#include "serving/client.h"
+#include "serving/coordinator.h"
+#include "serving/daemon.h"
 #include "store/scrubber.h"
 #include "store/store.h"
 
@@ -57,11 +66,14 @@ namespace {
 //   2  usage error
 //   3  I/O error (device failure, ENOSPC, unreadable volume)
 //   4  unrecoverable data loss (damage beyond the code's tolerance)
+//   5  network failure (coordinator/daemon unreachable, RPC timeouts) -
+//      distinguished from 3 so scripts can retry instead of paging
 constexpr int kExitOk = 0;
 constexpr int kExitCorruption = 1;
 constexpr int kExitUsage = 2;
 constexpr int kExitIoError = 3;
 constexpr int kExitDataLoss = 4;
+constexpr int kExitNetwork = 5;
 
 struct Options {
   core::ApprParams params{codes::Family::RS, 4, 1, 2, 4, core::Structure::Even};
@@ -78,6 +90,18 @@ struct Options {
                "       approxcli info|scrub|repair <volume-dir>\n"
                "       approxcli decode <volume-dir> <output>\n"
                "       approxcli stats [--json] <volume-dir>\n"
+               "cluster (docs/distributed.md):\n"
+               "       approxcli coordinator --listen HOST:PORT --meta DIR\n"
+               "       approxcli serve --listen HOST:PORT --data DIR "
+               "--coordinator HOST:PORT [--name S] [--rack N]\n"
+               "       approxcli put --coordinator HOST:PORT [codec options] "
+               "<input> <volume>\n"
+               "       approxcli get --coordinator HOST:PORT <volume> <output>\n"
+               "       approxcli scrub|repair --coordinator HOST:PORT <volume>\n"
+               "       approxcli stats [--json] --coordinator HOST:PORT "
+               "<volume>\n"
+               "       client options: --timeout-ms N  --hedge-ms N (slow-node"
+               " hedged-request cutoff)\n"
                "global: --trace  print trace spans + metrics to stderr on exit\n"
                "        --trace-out FILE  write spans as Chrome trace-event\n"
                "          JSON to FILE (load in chrome://tracing / Perfetto)\n"
@@ -85,7 +109,8 @@ struct Options {
                "          pipeline (default: APPROX_PIPELINE_DEPTH env, else\n"
                "          sized to the thread pool; 1 = serial store I/O)\n"
                "exit codes: 0 ok, 1 detected corruption (repairable), "
-               "2 usage, 3 I/O error, 4 unrecoverable data loss\n");
+               "2 usage, 3 I/O error, 4 unrecoverable data loss, "
+               "5 network failure\n");
   std::exit(kExitUsage);
 }
 
@@ -307,6 +332,234 @@ int cmd_stats(const fs::path& dir, bool json) {
   return kExitOk;
 }
 
+// ---------------------------------------------------------------------------
+// Cluster commands (docs/distributed.md)
+// ---------------------------------------------------------------------------
+
+volatile std::sig_atomic_t g_shutdown = 0;
+void on_shutdown_signal(int) { g_shutdown = 1; }
+
+// Foreground server loop shared by `coordinator` and `serve`: announce the
+// bound endpoint on stdout (scripts wait for this line), then park until
+// SIGINT/SIGTERM and stop cleanly.
+int run_until_signal(const char* role, const net::Endpoint& bound,
+                     const std::function<void()>& stop) {
+  std::signal(SIGINT, on_shutdown_signal);
+  std::signal(SIGTERM, on_shutdown_signal);
+  std::printf("listening %s\n", bound.c_str());
+  std::fflush(stdout);
+  while (g_shutdown == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::fprintf(stderr, "approxcli: %s shutting down\n", role);
+  stop();
+  return kExitOk;
+}
+
+int cmd_coordinator(const net::Endpoint& listen, const fs::path& meta) {
+  net::TcpTransport transport;
+  serving::Coordinator coordinator(transport, listen, posix_io(), meta);
+  const net::NetStatus st = coordinator.start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "approxcli: cannot serve on %s: %s\n", listen.c_str(),
+                 st.message.c_str());
+    return kExitNetwork;
+  }
+  return run_until_signal("coordinator", coordinator.endpoint(),
+                          [&] { coordinator.stop(); });
+}
+
+int cmd_serve(const net::Endpoint& listen, const fs::path& data,
+              const net::Endpoint& coordinator, serving::DaemonOptions opts) {
+  fs::create_directories(data);
+  net::TcpTransport transport;
+  serving::StorageDaemon daemon(transport, listen, posix_io(), data,
+                                std::move(opts));
+  net::NetStatus st = daemon.start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "approxcli: cannot serve on %s: %s\n", listen.c_str(),
+                 st.message.c_str());
+    return kExitNetwork;
+  }
+  if (!coordinator.empty()) {
+    st = daemon.join(coordinator);
+    if (!st.ok()) {
+      std::fprintf(stderr, "approxcli: cannot join coordinator %s: %s\n",
+                   coordinator.c_str(), st.message.c_str());
+      daemon.stop();
+      return kExitNetwork;
+    }
+  }
+  return run_until_signal("daemon", daemon.endpoint(), [&] { daemon.stop(); });
+}
+
+// Remote client options stripped out of a command's argument list.
+struct RemoteOptions {
+  net::Endpoint coordinator;
+  net::RpcOptions rpc;
+};
+
+// Strip --coordinator/--timeout-ms/--hedge-ms from args; true when
+// --coordinator was present, i.e. the command runs in cluster mode.
+bool take_remote_options(std::vector<std::string>& args, RemoteOptions& out) {
+  bool remote = false;
+  for (auto it = args.begin(); it != args.end();) {
+    const std::string flag = *it;
+    auto value = [&]() -> std::string {
+      it = args.erase(it);
+      if (it == args.end()) usage((flag + " needs a value").c_str());
+      std::string v = *it;
+      it = args.erase(it);
+      return v;
+    };
+    if (flag == "--coordinator") {
+      out.coordinator = value();
+      remote = true;
+    } else if (flag == "--timeout-ms") {
+      out.rpc.timeout =
+          std::chrono::milliseconds(parse_u64_opt(flag, value()));
+    } else if (flag == "--hedge-ms") {
+      out.rpc.hedge_delay =
+          std::chrono::milliseconds(parse_u64_opt(flag, value()));
+    } else {
+      ++it;
+    }
+  }
+  return remote;
+}
+
+serving::ClientOptions client_options(const RemoteOptions& remote,
+                                      const Options& codec = {}) {
+  serving::ClientOptions opts;
+  opts.rpc = remote.rpc;
+  opts.store = store_options();
+  opts.params = codec.params;
+  opts.block = codec.block;
+  opts.split = codec.split;
+  return opts;
+}
+
+// Run a remote command body, converting app-level failures that were in
+// fact caused by transport failures into exit code 5: a StoreError raised
+// because daemons were unreachable is a network problem, not a bad volume.
+int remote_guard(serving::ServingClient& client,
+                 const std::function<int()>& body) {
+  try {
+    return body();
+  } catch (const store::StoreError& e) {
+    if (client.transport_failures() > 0) {
+      std::fprintf(stderr, "approxcli: %s (%llu transport failure(s))\n",
+                   e.what(),
+                   static_cast<unsigned long long>(client.transport_failures()));
+      return kExitNetwork;
+    }
+    throw;
+  }
+}
+
+int cmd_put(const RemoteOptions& remote, const Options& codec,
+            const fs::path& input, const std::string& volume) {
+  net::TcpTransport transport;
+  serving::ServingClient client(transport, remote.coordinator,
+                                client_options(remote, codec));
+  return remote_guard(client, [&] {
+    const store::Manifest m = client.put(input, volume);
+    std::printf("put %llu B -> %s across %d node files (%llu chunk(s))\n",
+                static_cast<unsigned long long>(m.file_size), volume.c_str(),
+                codec.params.total_nodes(),
+                static_cast<unsigned long long>(m.chunks));
+    return kExitOk;
+  });
+}
+
+int cmd_get(const RemoteOptions& remote, const std::string& volume,
+            const fs::path& output) {
+  net::TcpTransport transport;
+  serving::ServingClient client(transport, remote.coordinator,
+                                client_options(remote));
+  return remote_guard(client, [&] {
+    const store::VolumeStore::DecodeResult result =
+        client.get(volume, output);
+    if (!result.degraded_nodes.empty()) {
+      std::printf("get: degraded read - reconstructed node(s):");
+      for (const int n : result.degraded_nodes) std::printf(" %d", n);
+      std::printf("\n");
+    }
+    std::printf("got %llu B -> %s (%s)\n",
+                static_cast<unsigned long long>(result.bytes),
+                output.string().c_str(),
+                result.crc_ok ? "checksum OK"
+                              : "CHECKSUM MISMATCH: some data was lost");
+    if (!result.crc_ok || result.unrecoverable_bytes > 0) {
+      std::printf("get: %llu B unrecoverable; important data %s\n",
+                  static_cast<unsigned long long>(result.unrecoverable_bytes),
+                  result.important_ok ? "intact" : "LOST");
+      return kExitDataLoss;
+    }
+    return kExitOk;
+  });
+}
+
+int cmd_scrub_remote(const RemoteOptions& remote, const std::string& volume) {
+  net::TcpTransport transport;
+  serving::ServingClient client(transport, remote.coordinator,
+                                client_options(remote));
+  return remote_guard(client, [&] {
+    const serving::RemoteScrubResult result = client.scrub(volume);
+    if (!result.clean()) {
+      std::printf("scrub: %zu damaged node(s) (%llu corrupt block(s)) - run "
+                  "`approxcli repair --coordinator ...`\n",
+                  result.damaged_nodes.size(),
+                  static_cast<unsigned long long>(result.corrupt_blocks));
+      return kExitCorruption;
+    }
+    std::printf("scrub: clean (%llu B scanned on the daemons)\n",
+                static_cast<unsigned long long>(result.bytes_scanned));
+    return kExitOk;
+  });
+}
+
+int cmd_repair_remote(const RemoteOptions& remote, const std::string& volume) {
+  net::TcpTransport transport;
+  serving::ServingClient client(transport, remote.coordinator,
+                                client_options(remote));
+  return remote_guard(client, [&] {
+    const store::RepairOutcome outcome = client.repair(volume);
+    if (!outcome.attempted) {
+      std::printf("repair: nothing to do\n");
+      return kExitOk;
+    }
+    std::printf("repair: rebuilt %zu node file(s); important data %s\n",
+                outcome.rebuilt_nodes.size(),
+                outcome.all_important_recovered ? "recovered" : "LOST");
+    return outcome.all_important_recovered ? kExitOk : kExitDataLoss;
+  });
+}
+
+int cmd_stats_remote(const RemoteOptions& remote, const std::string& volume,
+                     bool json) {
+  net::TcpTransport transport;
+  serving::ServingClient client(transport, remote.coordinator,
+                                client_options(remote));
+  return remote_guard(client, [&] {
+    // Exercise the cluster so the registry reflects it: daemon-side scrub
+    // fans one RPC per node, filling the net.rpc.* counters and the
+    // per-verb latency histograms.
+    const serving::RemoteScrubResult result = client.scrub(volume);
+    if (json) {
+      std::printf("%s\n", obs::registry().to_json().c_str());
+    } else {
+      std::printf("%s: %llu B scanned, %zu damaged node(s)\n%s",
+                  volume.c_str(),
+                  static_cast<unsigned long long>(result.bytes_scanned),
+                  result.damaged_nodes.size(),
+                  obs::registry().to_text().c_str());
+      print_slow_ops(stdout);
+    }
+    return kExitOk;
+  });
+}
+
 // --trace epilogue: indented span timeline plus the metric registry.
 void dump_trace() {
   const auto events = obs::SpanLog::snapshot();
@@ -324,41 +577,123 @@ void dump_trace() {
   std::fprintf(stderr, "--- metrics ---\n%s", obs::registry().to_text().c_str());
 }
 
+// Codec/layout option loop shared by local `encode` and remote `put`.
+// Unknown --flags are usage errors; everything else is positional.
+std::vector<std::string> parse_codec_options(
+    const std::vector<std::string>& args, Options& opts) {
+  std::vector<std::string> positional;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto next = [&]() -> std::string {
+      if (++i >= args.size()) usage("missing option value");
+      return args[i];
+    };
+    if (a == "--family") {
+      opts.params.family = parse_family(next());
+    } else if (a == "--k") {
+      opts.params.k = parse_int_opt(a, next());
+    } else if (a == "--r") {
+      opts.params.r = parse_int_opt(a, next());
+    } else if (a == "--g") {
+      opts.params.g = parse_int_opt(a, next());
+    } else if (a == "--h") {
+      opts.params.h = parse_int_opt(a, next());
+    } else if (a == "--structure") {
+      const std::string s = next();
+      if (s != "even" && s != "uneven") usage("structure must be even|uneven");
+      opts.params.structure =
+          s == "even" ? core::Structure::Even : core::Structure::Uneven;
+    } else if (a == "--block") {
+      opts.block = parse_u64_opt(a, next());
+    } else if (a == "--split") {
+      opts.split = parse_u64_opt(a, next());
+    } else if (a.rfind("--", 0) == 0) {
+      usage(("unknown option " + a).c_str());
+    } else {
+      positional.push_back(a);
+    }
+  }
+  return positional;
+}
+
 int dispatch(const std::string& cmd, std::vector<std::string>& args) {
-    if (cmd == "encode") {
-      Options opts;
-      std::vector<std::string> positional;
+    // Server roles parse their own flags (notably: `serve` takes
+    // --coordinator as "who to join", not "run remotely").
+    if (cmd == "coordinator" || cmd == "serve") {
+      std::string listen;
+      std::string meta;
+      std::string data;
+      std::string coordinator;
+      serving::DaemonOptions daemon_opts;
       for (std::size_t i = 0; i < args.size(); ++i) {
         const std::string& a = args[i];
         auto next = [&]() -> std::string {
           if (++i >= args.size()) usage("missing option value");
           return args[i];
         };
-        if (a == "--family") {
-          opts.params.family = parse_family(next());
-        } else if (a == "--k") {
-          opts.params.k = parse_int_opt(a, next());
-        } else if (a == "--r") {
-          opts.params.r = parse_int_opt(a, next());
-        } else if (a == "--g") {
-          opts.params.g = parse_int_opt(a, next());
-        } else if (a == "--h") {
-          opts.params.h = parse_int_opt(a, next());
-        } else if (a == "--structure") {
-          const std::string s = next();
-          if (s != "even" && s != "uneven") usage("structure must be even|uneven");
-          opts.params.structure = s == "even" ? core::Structure::Even
-                                              : core::Structure::Uneven;
-        } else if (a == "--block") {
-          opts.block = parse_u64_opt(a, next());
-        } else if (a == "--split") {
-          opts.split = parse_u64_opt(a, next());
-        } else if (a.rfind("--", 0) == 0) {
-          usage(("unknown option " + a).c_str());
+        if (a == "--listen") {
+          listen = next();
+        } else if (a == "--meta" && cmd == "coordinator") {
+          meta = next();
+        } else if (a == "--data" && cmd == "serve") {
+          data = next();
+        } else if (a == "--coordinator" && cmd == "serve") {
+          coordinator = next();
+        } else if (a == "--name" && cmd == "serve") {
+          daemon_opts.name = next();
+        } else if (a == "--rack" && cmd == "serve") {
+          daemon_opts.rack =
+              static_cast<std::uint32_t>(parse_int_opt(a, next()));
         } else {
-          positional.push_back(a);
+          usage(("unknown option " + a).c_str());
         }
       }
+      if (listen.empty()) usage("--listen HOST:PORT is required");
+      if (cmd == "coordinator") {
+        if (meta.empty()) usage("coordinator needs --meta DIR");
+        return cmd_coordinator(listen, meta);
+      }
+      if (data.empty()) usage("serve needs --data DIR");
+      return cmd_serve(listen, data, coordinator, std::move(daemon_opts));
+    }
+
+    RemoteOptions remote;
+    if (take_remote_options(args, remote)) {
+      if (cmd == "put") {
+        Options opts;
+        const std::vector<std::string> positional =
+            parse_codec_options(args, opts);
+        if (positional.size() != 2) usage("put needs <input> <volume>");
+        return cmd_put(remote, opts, positional[0], positional[1]);
+      }
+      if (cmd == "get" && args.size() == 2) {
+        return cmd_get(remote, args[0], args[1]);
+      }
+      if (cmd == "scrub" && args.size() == 1) {
+        return cmd_scrub_remote(remote, args[0]);
+      }
+      if (cmd == "repair" && args.size() == 1) {
+        return cmd_repair_remote(remote, args[0]);
+      }
+      if (cmd == "stats") {
+        bool json = false;
+        std::vector<std::string> rest;
+        for (const auto& a : args) {
+          if (a == "--json") {
+            json = true;
+          } else {
+            rest.push_back(a);
+          }
+        }
+        if (rest.size() == 1) return cmd_stats_remote(remote, rest[0], json);
+      }
+      usage("unknown cluster command or wrong argument count");
+    }
+
+    if (cmd == "encode") {
+      Options opts;
+      const std::vector<std::string> positional =
+          parse_codec_options(args, opts);
       if (positional.size() != 2) usage("encode needs <input> <volume-dir>");
       return cmd_encode(opts, positional[0], positional[1]);
     }
@@ -440,6 +775,10 @@ int main(int argc, char** argv) {
     // The device failed us: retries exhausted, ENOSPC, unreadable files.
     std::fprintf(stderr, "approxcli: %s\n", e.what());
     return kExitIoError;
+  } catch (const net::NetError& e) {
+    // The network failed us: coordinator/daemon unreachable, RPC timeouts.
+    std::fprintf(stderr, "approxcli: %s\n", e.what());
+    return kExitNetwork;
   } catch (const Error& e) {
     // Structural damage detected by our own integrity checks (bad
     // manifest/superblock, format violations): corruption, not I/O.
