@@ -34,10 +34,18 @@
 // RPC retry loop, so local-vs-loopback-vs-tcp columns isolate the serving
 // stack's cost from the codec's.
 //
+// --cache-mb enables the hot-tier read cache (src/store/read_cache.h) in
+// front of the volume and --passes replays the identical schedule that many
+// times; pass 1 is cold, later passes measure the warm hit ratio and how
+// much the cache + single-flight coalescing cut read amplification.  The
+// headline rows and top-level JSON keys describe the final pass, so a
+// single-pass run is byte-for-byte the old report; per-pass details land in
+// the "pass_detail" array.
+//
 //   bench_serving [--json[=path]] [--requests N] [--qps N] [--seed S]
 //                 [--size BYTES] [--read-bytes N] [--zipf-theta T]
 //                 [--fault-read-rate R] [--kill-node N] [--deadline-ms D]
-//                 [--workers N] [--dir PATH]
+//                 [--workers N] [--dir PATH] [--cache-mb N] [--passes N]
 //                 [--transport local|loopback|tcp] [--nodes N]
 #include <algorithm>
 #include <atomic>
@@ -141,6 +149,8 @@ int main(int argc, char** argv) {
   int kill_node = -1;
   double deadline_ms = 100.0;
   unsigned workers = 8;
+  int cache_mb = 0;
+  int passes = 1;
   std::string transport_mode = "local";
   int cluster_nodes = 4;
   fs::path work = fs::temp_directory_path() / "approx_bench_serving";
@@ -170,12 +180,17 @@ int main(int argc, char** argv) {
       deadline_ms = std::stod(argv[++i]);
     } else if (a == "--workers" && i + 1 < argc) {
       workers = static_cast<unsigned>(std::stoul(argv[++i]));
+    } else if (a == "--cache-mb" && i + 1 < argc) {
+      cache_mb = static_cast<int>(std::stol(argv[++i]));
+    } else if (a == "--passes" && i + 1 < argc) {
+      passes = static_cast<int>(std::stol(argv[++i]));
     } else if (a == "--dir" && i + 1 < argc) {
       work = argv[++i];
     }
   }
   if (requests <= 0 || qps <= 0 || workers == 0 || read_bytes == 0 ||
-      file_bytes < read_bytes || cluster_nodes <= 0 ||
+      file_bytes < read_bytes || cluster_nodes <= 0 || cache_mb < 0 ||
+      passes <= 0 ||
       (transport_mode != "local" && transport_mode != "loopback" &&
        transport_mode != "tcp")) {
     std::fprintf(stderr, "bench_serving: nonsense parameters\n");
@@ -193,6 +208,9 @@ int main(int argc, char** argv) {
   const core::ApprParams params{codes::Family::RS, 4, 1, 2, 4,
                                 core::Structure::Even};
   store::StoreOptions opts;
+  // Explicit (even 0) so the bench is deterministic regardless of the
+  // APPROX_CACHE_MB in the surrounding environment.
+  opts.cache_mb = cache_mb;
 
   // Declared in teardown-reverse order: the client volume closes before the
   // daemons stop, the daemons before the transport is torn down.
@@ -294,97 +312,148 @@ int main(int argc, char** argv) {
   }
   obs::ShardedCounter& c_read =
       obs::registry().sharded_counter("store.read.bytes");
-  const std::uint64_t read_bytes0 = c_read.value();
-
-  std::vector<double> latency_us(schedule.size(), 0.0);
-  std::vector<std::uint8_t> degraded(schedule.size(), 0);
-  std::atomic<std::uint64_t> failed{0};
-
-  std::mutex mu;
-  std::condition_variable cv;
-  std::deque<std::size_t> queue;
-  bool done = false;
+  obs::ShardedCounter& c_hits =
+      obs::registry().sharded_counter("store.cache.hits");
+  obs::ShardedCounter& c_misses =
+      obs::registry().sharded_counter("store.cache.misses");
+  obs::Counter& c_leaders = obs::registry().counter("store.coalesce.leaders");
+  obs::Counter& c_followers =
+      obs::registry().counter("store.coalesce.followers");
 
   store::VolumeStore::DecodeOptions read_opts;
   read_opts.allow_degraded = true;
   read_opts.quarantine = false;  // transient faults; keep the volume intact
-
-  // Intended start times are fixed before the clock starts: request i is
-  // *due* at t0 + i/qps whether or not anyone is free to serve it.
   const double interval_us = 1e6 / qps;
-  const double t0 = obs::now_us();
-  auto intended = [&](std::size_t i) {
-    return t0 + static_cast<double>(i) * interval_us;
+  const double deadline_us = deadline_ms * 1000.0;
+  const double requested_bytes =
+      static_cast<double>(schedule.size()) * static_cast<double>(read_bytes);
+
+  // Per-pass results; the final pass feeds the headline report so a
+  // single-pass run reports exactly what it always did.
+  struct PassStats {
+    std::vector<double> sorted;
+    double mean = 0;
+    std::uint64_t missed = 0;
+    std::uint64_t degraded_requests = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t raw_bytes = 0;
+    double amplification = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+    double hit_ratio = 0;
+    std::uint64_t coalesce_leaders = 0;
+    std::uint64_t coalesce_followers = 0;
   };
+  std::vector<PassStats> pass_stats;
+  pass_stats.reserve(static_cast<std::size_t>(passes));
 
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (unsigned w = 0; w < workers; ++w) {
-    pool.emplace_back([&] {
-      std::vector<std::uint8_t> buf(read_bytes);
-      for (;;) {
-        std::size_t i;
-        {
-          std::unique_lock<std::mutex> lock(mu);
-          cv.wait(lock, [&] { return done || !queue.empty(); });
-          if (queue.empty()) return;
-          i = queue.front();
-          queue.pop_front();
+  for (int pass = 0; pass < passes; ++pass) {
+    const std::uint64_t read_bytes0 = c_read.value();
+    const std::uint64_t hits0 = c_hits.value();
+    const std::uint64_t misses0 = c_misses.value();
+    const std::uint64_t leaders0 = c_leaders.value();
+    const std::uint64_t followers0 = c_followers.value();
+
+    std::vector<double> latency_us(schedule.size(), 0.0);
+    std::vector<std::uint8_t> degraded(schedule.size(), 0);
+    std::atomic<std::uint64_t> failed{0};
+
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::size_t> queue;
+    bool done = false;
+
+    // Intended start times are fixed before the clock starts: request i is
+    // *due* at t0 + i/qps whether or not anyone is free to serve it.
+    const double t0 = obs::now_us();
+    auto intended = [&](std::size_t i) {
+      return t0 + static_cast<double>(i) * interval_us;
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        std::vector<std::uint8_t> buf(read_bytes);
+        for (;;) {
+          std::size_t i;
+          {
+            std::unique_lock<std::mutex> lock(mu);
+            cv.wait(lock, [&] { return done || !queue.empty(); });
+            if (queue.empty()) return;
+            i = queue.front();
+            queue.pop_front();
+          }
+          const Request& req = schedule[i];
+          try {
+            obs::ObsSpan span("serving.request");
+            const auto res =
+                vol.read(req.offset, {buf.data(), req.len}, read_opts);
+            degraded[i] = res.degraded_stripes > 0 ? 1 : 0;
+          } catch (const std::exception&) {
+            failed.fetch_add(1, std::memory_order_relaxed);
+          }
+          latency_us[i] = obs::now_us() - intended(i);
         }
-        const Request& req = schedule[i];
-        try {
-          obs::ObsSpan span("serving.request");
-          const auto res =
-              vol.read(req.offset, {buf.data(), req.len}, read_opts);
-          degraded[i] = res.degraded_stripes > 0 ? 1 : 0;
-        } catch (const std::exception&) {
-          failed.fetch_add(1, std::memory_order_relaxed);
-        }
-        latency_us[i] = obs::now_us() - intended(i);
+      });
+    }
+
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+      // Sleep to the intended start; when behind schedule, dispatch
+      // immediately - the open-loop property that keeps queueing delay in
+      // the measurement.
+      const double ahead_us = intended(i) - obs::now_us();
+      if (ahead_us > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(static_cast<std::int64_t>(ahead_us)));
       }
-    });
-  }
-
-  for (std::size_t i = 0; i < schedule.size(); ++i) {
-    // Sleep to the intended start; when behind schedule, dispatch
-    // immediately - the open-loop property that keeps queueing delay in
-    // the measurement.
-    const double ahead_us = intended(i) - obs::now_us();
-    if (ahead_us > 0) {
-      std::this_thread::sleep_for(
-          std::chrono::microseconds(static_cast<std::int64_t>(ahead_us)));
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        queue.push_back(i);
+      }
+      cv.notify_one();
     }
     {
       std::lock_guard<std::mutex> lock(mu);
-      queue.push_back(i);
+      done = true;
     }
-    cv.notify_one();
-  }
-  {
-    std::lock_guard<std::mutex> lock(mu);
-    done = true;
-  }
-  cv.notify_all();
-  for (auto& t : pool) t.join();
+    cv.notify_all();
+    for (auto& t : pool) t.join();
 
-  // --- report --------------------------------------------------------------
-  std::vector<double> sorted = latency_us;
-  std::sort(sorted.begin(), sorted.end());
-  double sum = 0;
-  for (const double v : sorted) sum += v;
-  const double mean = sum / static_cast<double>(sorted.size());
-  const double deadline_us = deadline_ms * 1000.0;
-  std::uint64_t missed = 0, degraded_requests = 0;
-  for (std::size_t i = 0; i < schedule.size(); ++i) {
-    if (latency_us[i] > deadline_us) ++missed;
-    if (degraded[i]) ++degraded_requests;
+    PassStats ps;
+    ps.sorted = latency_us;
+    std::sort(ps.sorted.begin(), ps.sorted.end());
+    double sum = 0;
+    for (const double v : ps.sorted) sum += v;
+    ps.mean = sum / static_cast<double>(ps.sorted.size());
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+      if (latency_us[i] > deadline_us) ++ps.missed;
+      if (degraded[i]) ++ps.degraded_requests;
+    }
+    ps.failed = failed.load();
+    ps.raw_bytes = c_read.value() - read_bytes0;
+    ps.amplification = requested_bytes > 0
+                           ? static_cast<double>(ps.raw_bytes) / requested_bytes
+                           : 0;
+    ps.cache_hits = c_hits.value() - hits0;
+    ps.cache_misses = c_misses.value() - misses0;
+    const std::uint64_t probes = ps.cache_hits + ps.cache_misses;
+    ps.hit_ratio =
+        probes > 0 ? static_cast<double>(ps.cache_hits) / probes : 0;
+    ps.coalesce_leaders = c_leaders.value() - leaders0;
+    ps.coalesce_followers = c_followers.value() - followers0;
+    pass_stats.push_back(std::move(ps));
   }
-  const std::uint64_t raw_bytes = c_read.value() - read_bytes0;
-  const double requested_bytes =
-      static_cast<double>(schedule.size()) * static_cast<double>(read_bytes);
-  const double amplification =
-      requested_bytes > 0 ? static_cast<double>(raw_bytes) / requested_bytes
-                          : 0;
+
+  const PassStats& fin = pass_stats.back();
+  const std::vector<double>& sorted = fin.sorted;
+  const double mean = fin.mean;
+  const std::uint64_t missed = fin.missed;
+  const std::uint64_t degraded_requests = fin.degraded_requests;
+  const std::uint64_t raw_bytes = fin.raw_bytes;
+  const double amplification = fin.amplification;
+  std::uint64_t failed_total = 0;
+  for (const PassStats& ps : pass_stats) failed_total += ps.failed;
 
   print_header("open-loop serving (" + std::to_string(requests) + " req @ " +
                fmt(qps, 0) + " qps, Zipf " + fmt(zipf_theta, 2) +
@@ -392,6 +461,10 @@ int main(int argc, char** argv) {
                std::to_string(seed) + ", transport " + transport_mode +
                (remote ? ", " + std::to_string(cluster_nodes) + " daemons"
                        : std::string()) +
+               (cache_mb > 0 ? ", cache " + std::to_string(cache_mb) + " MB"
+                             : std::string()) +
+               (passes > 1 ? ", " + std::to_string(passes) + " passes"
+                           : std::string()) +
                ")");
   print_row({"p50_us", "p99_us", "p999_us", "max_us", "mean_us"}, 12);
   print_row({fmt(pctl(sorted, 0.50), 1), fmt(pctl(sorted, 0.99), 1),
@@ -401,8 +474,18 @@ int main(int argc, char** argv) {
             12);
   print_row({fmt(deadline_ms, 1), std::to_string(missed),
              std::to_string(degraded_requests),
-             std::to_string(failed.load()), fmt(amplification, 2)},
+             std::to_string(failed_total), fmt(amplification, 2)},
             12);
+  if (cache_mb > 0 || passes > 1) {
+    print_row({"pass", "p99_us", "amplif", "hit_ratio", "coalesced"}, 12);
+    for (std::size_t p = 0; p < pass_stats.size(); ++p) {
+      const PassStats& ps = pass_stats[p];
+      print_row({std::to_string(p + 1), fmt(pctl(ps.sorted, 0.99), 1),
+                 fmt(ps.amplification, 2), fmt(ps.hit_ratio, 3),
+                 std::to_string(ps.coalesce_followers)},
+                12);
+    }
+  }
 
   obs::JsonWriter w;
   w.begin_object();
@@ -450,15 +533,62 @@ int main(int argc, char** argv) {
   w.key("degraded_requests");
   w.value(degraded_requests);
   w.key("failed_requests");
-  w.value(failed.load());
+  w.value(failed_total);
   w.key("raw_node_bytes_read");
   w.value(raw_bytes);
   w.key("read_amplification");
   w.value(amplification);
+  w.key("cache_mb");
+  w.value(static_cast<std::uint64_t>(cache_mb));
+  w.key("passes");
+  w.value(static_cast<std::uint64_t>(passes));
+  w.key("cache_hits");
+  w.value(fin.cache_hits);
+  w.key("cache_misses");
+  w.value(fin.cache_misses);
+  w.key("cache_hit_ratio");
+  w.value(fin.hit_ratio);
+  w.key("coalesce_leaders");
+  w.value(fin.coalesce_leaders);
+  w.key("coalesce_followers");
+  w.value(fin.coalesce_followers);
+  w.key("pass_detail");
+  w.begin_array();
+  for (const PassStats& ps : pass_stats) {
+    w.begin_object();
+    w.key("p50_us");
+    w.value(pctl(ps.sorted, 0.50));
+    w.key("p99_us");
+    w.value(pctl(ps.sorted, 0.99));
+    w.key("mean_us");
+    w.value(ps.mean);
+    w.key("deadline_missed");
+    w.value(ps.missed);
+    w.key("degraded_requests");
+    w.value(ps.degraded_requests);
+    w.key("failed_requests");
+    w.value(ps.failed);
+    w.key("raw_node_bytes_read");
+    w.value(ps.raw_bytes);
+    w.key("read_amplification");
+    w.value(ps.amplification);
+    w.key("cache_hits");
+    w.value(ps.cache_hits);
+    w.key("cache_misses");
+    w.value(ps.cache_misses);
+    w.key("cache_hit_ratio");
+    w.value(ps.hit_ratio);
+    w.key("coalesce_leaders");
+    w.value(ps.coalesce_leaders);
+    w.key("coalesce_followers");
+    w.value(ps.coalesce_followers);
+    w.end_object();
+  }
+  w.end_array();
   w.end_object();
   bench_extra_json("serving", w.take());
 
   fs::remove_all(work);
   bench_finish();
-  return failed.load() == 0 ? 0 : 1;
+  return failed_total == 0 ? 0 : 1;
 }

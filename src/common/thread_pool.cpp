@@ -9,6 +9,24 @@
 
 namespace approx {
 
+namespace {
+
+// The calling thread's task class; inherited by everything it submits.
+// Top-level threads are interactive; TaskClassScope and run_task() install
+// overrides.
+thread_local TaskClass tls_task_class = TaskClass::kInteractive;
+
+}  // namespace
+
+TaskClass ThreadPool::current_task_class() noexcept { return tls_task_class; }
+
+ThreadPool::TaskClassScope::TaskClassScope(TaskClass cls) noexcept
+    : saved_(tls_task_class) {
+  tls_task_class = cls;
+}
+
+ThreadPool::TaskClassScope::~TaskClassScope() { tls_task_class = saved_; }
+
 // Completion state shared between a Task handle and the queued closure.
 // done/error are published under mu; notify happens while still holding
 // the mutex because the waiter may destroy its last reference the instant
@@ -30,7 +48,9 @@ void ThreadPool::Task::wait() {
   if (!state_) return;
   // Helping phase: while the task is unfinished, run other queued work.
   // The task itself may be popped and run right here, which is what makes
-  // waiting from inside a worker deadlock-free.
+  // waiting from inside a worker deadlock-free.  run_one() never refuses
+  // the only runnable class, so an interactive waiter can pop the bulk
+  // task it depends on (and vice versa).
   for (;;) {
     {
       std::lock_guard<std::mutex> lock(state_->mu);
@@ -62,9 +82,11 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::run_task(QueuedTask& task) {
-  // The task runs as the request that submitted it; the scope restores
-  // the runner's own context afterwards (helping waits run foreign tasks).
+  // The task runs as the request that submitted it; the scopes restore
+  // the runner's own context and class afterwards (helping waits run
+  // foreign tasks).
   TraceContextScope trace_scope(task.ctx);
+  TaskClassScope class_scope(task.cls);
   if (!task.state) {
     // parallel_for chunk: the closure does its own barrier accounting and
     // exception capture.
@@ -83,15 +105,46 @@ void ThreadPool::run_task(QueuedTask& task) {
   task.state->cv.notify_all();
 }
 
+bool ThreadPool::pop_locked(QueuedTask& out) {
+  auto& interactive = queue_[static_cast<int>(TaskClass::kInteractive)];
+  auto& bulk = queue_[static_cast<int>(TaskClass::kBulk)];
+  if (interactive.empty() && bulk.empty()) return false;
+
+  bool take_bulk;
+  if (interactive.empty()) {
+    take_bulk = true;
+  } else if (bulk.empty()) {
+    take_bulk = false;
+  } else if (interactive_streak_ >= kBulkAgingLimit) {
+    // Aging bound reached: the bulk head has waited long enough.
+    take_bulk = true;
+    aged_bulk_pops_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    take_bulk = false;
+  }
+
+  auto& q = take_bulk ? bulk : interactive;
+  out = std::move(q.front());
+  q.pop();
+  if (take_bulk) {
+    interactive_streak_ = 0;
+  } else if (!bulk.empty()) {
+    // The aging clock ticks only while bulk work actually waits.
+    ++interactive_streak_;
+  } else {
+    interactive_streak_ = 0;
+  }
+  return true;
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (stop_ && queue_.empty()) return;
-      task = std::move(queue_.front());
-      queue_.pop();
+      cv_.wait(lock, [this] { return stop_ || !queues_empty_locked(); });
+      if (stop_ && queues_empty_locked()) return;
+      if (!pop_locked(task)) continue;
     }
     run_task(task);
   }
@@ -101,20 +154,28 @@ bool ThreadPool::run_one() {
   QueuedTask task;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (queue_.empty()) return false;
-    task = std::move(queue_.front());
-    queue_.pop();
+    if (!pop_locked(task)) return false;
   }
   run_task(task);
   return true;
 }
 
+std::size_t ThreadPool::queue_depth(TaskClass cls) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_[static_cast<int>(cls)].size();
+}
+
 ThreadPool::Task ThreadPool::submit(std::function<void()> fn) {
+  return submit(tls_task_class, std::move(fn));
+}
+
+ThreadPool::Task ThreadPool::submit(TaskClass cls, std::function<void()> fn) {
   APPROX_REQUIRE(static_cast<bool>(fn), "submit requires a callable");
   auto state = std::make_shared<Task::State>();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push(QueuedTask{std::move(fn), state, current_trace_context()});
+    queue_[static_cast<int>(cls)].push(
+        QueuedTask{std::move(fn), state, current_trace_context(), cls});
   }
   cv_.notify_one();
   return Task(this, std::move(state));
@@ -122,6 +183,12 @@ ThreadPool::Task ThreadPool::submit(std::function<void()> fn) {
 
 void ThreadPool::parallel_for(
     std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  parallel_for(tls_task_class, begin, end, fn);
+}
+
+void ThreadPool::parallel_for(
+    TaskClass cls, std::size_t begin, std::size_t end,
     const std::function<void(std::size_t, std::size_t)>& fn) {
   APPROX_REQUIRE(begin <= end, "parallel_for range is inverted");
   const std::size_t total = end - begin;
@@ -152,7 +219,7 @@ void ThreadPool::parallel_for(
       const std::size_t lo = cursor;
       const std::size_t hi = cursor + len;
       cursor = hi;
-      queue_.push(QueuedTask{[&, lo, hi] {
+      queue_[static_cast<int>(cls)].push(QueuedTask{[&, lo, hi] {
         try {
           fn(lo, hi);
         } catch (...) {
@@ -164,7 +231,7 @@ void ThreadPool::parallel_for(
         std::lock_guard<std::mutex> block(barrier.mu);
         --barrier.remaining;
         barrier.cv.notify_one();
-      }, nullptr, ctx});
+      }, nullptr, ctx, cls});
     }
   }
   cv_.notify_all();

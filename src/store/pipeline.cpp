@@ -173,6 +173,17 @@ struct Engine {
 
 }  // namespace
 
+void publish_pool_gauges(const ThreadPool& pool) {
+  static obs::Gauge& g_interactive =
+      obs::registry().gauge("pool.queue.interactive");
+  static obs::Gauge& g_bulk = obs::registry().gauge("pool.queue.bulk");
+  static obs::Gauge& g_aged = obs::registry().gauge("pool.aged_bulk_pops");
+  g_interactive.set(
+      static_cast<double>(pool.queue_depth(TaskClass::kInteractive)));
+  g_bulk.set(static_cast<double>(pool.queue_depth(TaskClass::kBulk)));
+  g_aged.set(static_cast<double>(pool.aged_bulk_pops()));
+}
+
 int resolve_pipeline_depth(int requested, const ThreadPool& pool) {
   if (requested > 0) return std::min(requested, kMaxPipelineDepth);
   if (const char* env = std::getenv("APPROX_PIPELINE_DEPTH");
@@ -194,6 +205,7 @@ IoStatus run_pipeline(ThreadPool& pool, std::uint64_t chunks, int depth,
   depth = std::clamp(depth, 1, kMaxPipelineDepth);
   PipelineMetrics& metrics = PipelineMetrics::get();
   metrics.depth.set(static_cast<double>(depth));
+  publish_pool_gauges(pool);
   if (chunks == 0) return IoStatus::success();
 
   Engine e(pool, stages, chunks, depth, metrics);

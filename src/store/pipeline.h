@@ -58,6 +58,14 @@ struct PipelineStages {
 // [2, 8]).  The result is always in [1, 64].
 int resolve_pipeline_depth(int requested, const ThreadPool& pool);
 
+// Snapshot the pool's two-level queue depths into the
+// "pool.queue.interactive" / "pool.queue.bulk" gauges (plus the
+// "pool.aged_bulk_pops" counter-backed gauge).  The pool itself lives
+// below obs in the layering, so store-side pipelines publish for it;
+// called on every run_pipeline entry and cheap enough to call ad hoc
+// (stats paths, benches).
+void publish_pool_gauges(const ThreadPool& pool);
+
 // Run the pipeline.  Returns the first failing status in (chunk, stage)
 // order, or success.  Exceptions thrown by stages are rethrown on the
 // calling thread with the same ordering.

@@ -1,0 +1,273 @@
+#include "store/read_cache.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <functional>
+
+#include "obs/metrics.h"
+
+namespace approx::store {
+
+namespace {
+
+// Process-global cache instruments, registered on first cache touch so
+// `stats --json` and bench dumps always carry them.
+struct CacheMetrics {
+  obs::ShardedCounter& hits = obs::registry().sharded_counter("store.cache.hits");
+  obs::ShardedCounter& misses =
+      obs::registry().sharded_counter("store.cache.misses");
+  obs::Counter& insertions = obs::registry().counter("store.cache.insertions");
+  obs::Counter& evictions = obs::registry().counter("store.cache.evictions");
+  obs::Counter& invalidations =
+      obs::registry().counter("store.cache.invalidations");
+  obs::Gauge& bytes = obs::registry().gauge("store.cache.bytes");
+
+  static CacheMetrics& get() {
+    static CacheMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
+
+std::size_t ReadCache::KeyHash::operator()(const Key& k) const noexcept {
+  const std::size_t h1 = std::hash<std::string_view>{}(k.volume);
+  const std::size_t h2 = std::hash<std::uint64_t>{}(k.block);
+  return h1 ^ (h2 + 0x9e3779b97f4a7c15ull + (h1 << 6) + (h1 >> 2));
+}
+
+ReadCache::ReadCache(ReadCacheOptions opts) : opts_(opts) {
+  (void)CacheMetrics::get();
+  opts_.shards = std::clamp(opts_.shards, 1u, 64u);
+  opts_.block_bytes = std::max<std::size_t>(opts_.block_bytes, 512);
+  opts_.important_share = std::clamp(opts_.important_share, 0.0, 1.0);
+  opts_.protected_share = std::clamp(opts_.protected_share, 0.0, 1.0);
+  // Shards beyond the capacity are useless; keep every shard at least one
+  // block deep so a tiny cache still caches something.
+  while (opts_.shards > 1 &&
+         opts_.capacity_bytes / opts_.shards < opts_.block_bytes) {
+    opts_.shards /= 2;
+  }
+  shard_capacity_ = opts_.capacity_bytes / opts_.shards;
+  shards_.reserve(opts_.shards);
+  for (unsigned i = 0; i < opts_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ReadCache::Shard& ReadCache::shard_of(std::string_view volume,
+                                      std::uint64_t block) {
+  const std::size_t h1 = std::hash<std::string_view>{}(volume);
+  const std::size_t h2 = std::hash<std::uint64_t>{}(block);
+  const std::size_t h = h1 ^ (h2 + 0x9e3779b97f4a7c15ull + (h1 << 6) + (h1 >> 2));
+  return *shards_[h % shards_.size()];
+}
+
+void ReadCache::unlink(Shard& s, EntryList::iterator it) {
+  const std::size_t sz = it->data->size();
+  s.bytes -= sz;
+  s.seg_bytes[static_cast<int>(it->seg)] -= sz;
+  s.index.erase(it->key);
+  list_of(s, it->seg).erase(it);
+}
+
+void ReadCache::evict_one(Shard& s, Segment seg) {
+  EntryList& list = list_of(s, seg);
+  unlink(s, std::prev(list.end()));
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+  CacheMetrics::get().evictions.add(1);
+}
+
+// Deterministic eviction order (mirrored by the property test's reference
+// model): retained only pays while over its reserved share; then
+// probation, then protected; retained last when nothing else is left.
+void ReadCache::evict_to_budget(Shard& s) {
+  const auto retained_budget = static_cast<std::size_t>(
+      opts_.important_share * static_cast<double>(shard_capacity_));
+  while (s.bytes > shard_capacity_) {
+    const int retained = static_cast<int>(Segment::kRetained);
+    if (s.seg_bytes[retained] > retained_budget &&
+        !s.lists[retained].empty()) {
+      evict_one(s, Segment::kRetained);
+    } else if (!s.lists[static_cast<int>(Segment::kProbation)].empty()) {
+      evict_one(s, Segment::kProbation);
+    } else if (!s.lists[static_cast<int>(Segment::kProtected)].empty()) {
+      evict_one(s, Segment::kProtected);
+    } else if (!s.lists[retained].empty()) {
+      evict_one(s, Segment::kRetained);
+    } else {
+      break;  // nothing left to evict (oversized budget accounting)
+    }
+  }
+}
+
+ReadCache::Block ReadCache::get(std::string_view volume, std::uint64_t block) {
+  Shard& s = shard_of(volume, block);
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.index.find(Key{std::string(volume), block});
+  if (it == s.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    CacheMetrics::get().misses.add(1);
+    return nullptr;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  CacheMetrics::get().hits.add(1);
+  EntryList::iterator entry = it->second;
+  const Block data = entry->data;
+  const std::size_t sz = data->size();
+  switch (entry->seg) {
+    case Segment::kProbation: {
+      // Second touch: promote to protected (the SLRU filter), demoting
+      // protected LRU entries back to probation while over budget.
+      EntryList& prob = list_of(s, Segment::kProbation);
+      EntryList& prot = list_of(s, Segment::kProtected);
+      prot.splice(prot.begin(), prob, entry);
+      entry->seg = Segment::kProtected;
+      s.seg_bytes[static_cast<int>(Segment::kProbation)] -= sz;
+      s.seg_bytes[static_cast<int>(Segment::kProtected)] += sz;
+      const auto prot_budget = static_cast<std::size_t>(
+          opts_.protected_share * static_cast<double>(shard_capacity_));
+      while (s.seg_bytes[static_cast<int>(Segment::kProtected)] > prot_budget &&
+             prot.size() > 1) {
+        const auto victim = std::prev(prot.end());
+        const std::size_t vsz = victim->data->size();
+        prob.splice(prob.begin(), prot, victim);
+        victim->seg = Segment::kProbation;
+        s.seg_bytes[static_cast<int>(Segment::kProtected)] -= vsz;
+        s.seg_bytes[static_cast<int>(Segment::kProbation)] += vsz;
+      }
+      break;
+    }
+    case Segment::kProtected:
+    case Segment::kRetained: {
+      EntryList& list = list_of(s, entry->seg);
+      list.splice(list.begin(), list, entry);  // refresh recency
+      break;
+    }
+  }
+  return data;
+}
+
+void ReadCache::put(std::string_view volume, std::uint64_t block, Block data,
+                    bool important) {
+  if (!data || data->empty() || data->size() > shard_capacity_) return;
+  Shard& s = shard_of(volume, block);
+  Key key{std::string(volume), block};
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    const auto it = s.index.find(key);
+    if (it != s.index.end()) {
+      // Replace in place: refresh bytes, recency, and (for an important
+      // block that arrived unimportant earlier) the segment.
+      EntryList::iterator entry = it->second;
+      const std::size_t old_sz = entry->data->size();
+      s.bytes -= old_sz;
+      s.seg_bytes[static_cast<int>(entry->seg)] -= old_sz;
+      entry->data = std::move(data);
+      const Segment target =
+          important ? Segment::kRetained : entry->seg;
+      if (target != entry->seg) {
+        EntryList& to = list_of(s, target);
+        to.splice(to.begin(), list_of(s, entry->seg), entry);
+        entry->seg = target;
+      } else {
+        EntryList& list = list_of(s, entry->seg);
+        list.splice(list.begin(), list, entry);
+      }
+      const std::size_t new_sz = entry->data->size();
+      s.bytes += new_sz;
+      s.seg_bytes[static_cast<int>(entry->seg)] += new_sz;
+    } else {
+      const Segment seg =
+          important ? Segment::kRetained : Segment::kProbation;
+      EntryList& list = list_of(s, seg);
+      const std::size_t sz = data->size();
+      list.push_front(Entry{std::move(key), std::move(data), seg});
+      s.index.emplace(list.front().key, list.begin());
+      s.bytes += sz;
+      s.seg_bytes[static_cast<int>(seg)] += sz;
+    }
+    insertions_.fetch_add(1, std::memory_order_relaxed);
+    CacheMetrics::get().insertions.add(1);
+    evict_to_budget(s);
+  }
+  publish_bytes();
+}
+
+std::size_t ReadCache::invalidate(std::string_view volume) {
+  std::size_t dropped = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto it = shard->index.begin(); it != shard->index.end();) {
+      if (it->first.volume == volume) {
+        EntryList::iterator entry = it->second;
+        ++it;  // unlink erases the index entry
+        unlink(*shard, entry);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+  }
+  invalidations_.fetch_add(dropped, std::memory_order_relaxed);
+  CacheMetrics::get().invalidations.add(dropped);
+  publish_bytes();
+  return dropped;
+}
+
+std::size_t ReadCache::invalidate_blocks(std::string_view volume,
+                                         std::uint64_t first,
+                                         std::uint64_t last) {
+  std::size_t dropped = 0;
+  for (std::uint64_t b = first; b <= last; ++b) {
+    Shard& s = shard_of(volume, b);
+    std::lock_guard<std::mutex> lock(s.mu);
+    const auto it = s.index.find(Key{std::string(volume), b});
+    if (it == s.index.end()) continue;
+    unlink(s, it->second);
+    ++dropped;
+  }
+  invalidations_.fetch_add(dropped, std::memory_order_relaxed);
+  CacheMetrics::get().invalidations.add(dropped);
+  publish_bytes();
+  return dropped;
+}
+
+std::size_t ReadCache::bytes() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->bytes;
+  }
+  return total;
+}
+
+void ReadCache::publish_bytes() const {
+  CacheMetrics::get().bytes.set(static_cast<double>(bytes()));
+}
+
+ReadCache::Stats ReadCache::stats() const {
+  Stats st;
+  st.hits = hits_.load(std::memory_order_relaxed);
+  st.misses = misses_.load(std::memory_order_relaxed);
+  st.insertions = insertions_.load(std::memory_order_relaxed);
+  st.evictions = evictions_.load(std::memory_order_relaxed);
+  st.invalidations = invalidations_.load(std::memory_order_relaxed);
+  return st;
+}
+
+std::size_t resolve_cache_capacity(int requested_mb) {
+  long mb = requested_mb;
+  if (mb < 0) {
+    mb = 0;
+    if (const char* env = std::getenv("APPROX_CACHE_MB");
+        env != nullptr && *env != '\0') {
+      char* end = nullptr;
+      const long v = std::strtol(env, &end, 10);
+      if (end != env && *end == '\0' && v > 0) mb = std::min<long>(v, 1 << 20);
+    }
+  }
+  return static_cast<std::size_t>(mb) * 1024 * 1024;
+}
+
+}  // namespace approx::store

@@ -1,0 +1,154 @@
+// Hot-tier in-memory read cache for ApproxStore volumes.
+//
+// Serving traffic follows a power law: a small set of hot videos absorbs
+// most reads.  ReadCache keeps recently served logical-file blocks in
+// memory so repeat reads never touch the chunk files (or, degraded, the
+// erasure decoder) at all.  It is the paper's importance-aware tiering
+// applied to the *read* path:
+//
+//  * blocks of the important stream prefix (I-frame data, offset <
+//    important_len) are *retained*: they live in a reserved segment and
+//    are evicted only when that segment alone outgrows its share of the
+//    capacity - losing an I-frame block costs a full-stripe degraded
+//    decode on the next view, losing a P/B block costs one cheap read;
+//  * ordinary (P/B) blocks ride a classic SLRU: inserts land in a
+//    probation segment, a second hit promotes to the protected segment,
+//    protected overflow demotes back to probation (scan resistance: a
+//    one-pass sweep of cold objects cannot flush the working set).
+//
+// The cache is sharded by key hash; each shard has its own mutex, LRU
+// lists and byte budget (capacity / shards), so concurrent serving
+// threads rarely contend.  Keys are (volume tag, block index) with a
+// fixed block granularity; VolumeStore slices its reads onto this grid.
+//
+// Eviction order under pressure (per shard, deterministic - the property
+// test mirrors it exactly):
+//   1. retained LRU, while the retained segment exceeds its reserved
+//      share (important blocks never squeeze each other out past it);
+//   2. probation LRU;
+//   3. protected LRU;
+//   4. retained LRU (only retained blocks are left).
+//
+// Observability: store.cache.{hits,misses,insertions,evictions,
+// invalidations} counters and the store.cache.bytes gauge, plus
+// per-instance stats() for tests that must not see other caches' traffic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace approx::store {
+
+struct ReadCacheOptions {
+  std::size_t capacity_bytes = 0;       // total budget; 0 = cache disabled
+  std::size_t block_bytes = 64 * 1024;  // caching granularity
+  unsigned shards = 8;                  // clamped to [1, 64]
+  // Share of each shard's budget reserved for retained (important)
+  // blocks: they are evicted only when retained bytes exceed it.
+  double important_share = 0.5;
+  // SLRU: share of each shard's budget the protected segment may hold
+  // before promotions demote its LRU back to probation.
+  double protected_share = 0.6;
+};
+
+class ReadCache {
+ public:
+  using Block = std::shared_ptr<const std::vector<std::uint8_t>>;
+
+  explicit ReadCache(ReadCacheOptions opts);
+
+  // The cached bytes for (volume, block), or nullptr.  A hit refreshes
+  // recency and may promote probation -> protected.
+  Block get(std::string_view volume, std::uint64_t block);
+
+  // Insert or replace.  `important` routes the block to the retained
+  // segment.  Blocks larger than one shard's budget are rejected (they
+  // would evict an entire shard for one entry).
+  void put(std::string_view volume, std::uint64_t block, Block data,
+           bool important);
+
+  // Drop every entry of `volume` (repair rewrote its chunk files, or the
+  // volume was re-encoded).  Returns the number of entries dropped.
+  std::size_t invalidate(std::string_view volume);
+
+  // Drop `volume`'s entries with block index in [first, last].
+  std::size_t invalidate_blocks(std::string_view volume, std::uint64_t first,
+                                std::uint64_t last);
+
+  std::size_t bytes() const;  // folded across shards
+  std::size_t capacity_bytes() const noexcept { return opts_.capacity_bytes; }
+  std::size_t block_bytes() const noexcept { return opts_.block_bytes; }
+  unsigned shards() const noexcept {
+    return static_cast<unsigned>(shards_.size());
+  }
+
+  // Per-instance statistics (the obs counters are process-global and fold
+  // every cache in the process).
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t invalidations = 0;  // entries dropped by invalidate*
+  };
+  Stats stats() const;
+
+ private:
+  enum class Segment : std::uint8_t { kProbation, kProtected, kRetained };
+
+  struct Key {
+    std::string volume;
+    std::uint64_t block;
+    bool operator==(const Key& o) const {
+      return block == o.block && volume == o.volume;
+    }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept;
+  };
+
+  struct Entry {
+    Key key;
+    Block data;
+    Segment seg = Segment::kProbation;
+  };
+  using EntryList = std::list<Entry>;  // front = MRU
+
+  struct Shard {
+    mutable std::mutex mu;
+    EntryList lists[3];  // indexed by Segment
+    std::unordered_map<Key, EntryList::iterator, KeyHash> index;
+    std::size_t bytes = 0;
+    std::size_t seg_bytes[3] = {0, 0, 0};
+  };
+
+  Shard& shard_of(std::string_view volume, std::uint64_t block);
+  EntryList& list_of(Shard& s, Segment seg) {
+    return s.lists[static_cast<int>(seg)];
+  }
+  // s.mu must be held for all of these.
+  void unlink(Shard& s, EntryList::iterator it);
+  void evict_to_budget(Shard& s);
+  void evict_one(Shard& s, Segment seg);
+  void publish_bytes() const;
+
+  ReadCacheOptions opts_;
+  std::size_t shard_capacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  mutable std::atomic<std::uint64_t> hits_{0}, misses_{0}, insertions_{0},
+      evictions_{0}, invalidations_{0};
+};
+
+// Capacity knob resolution: `requested_mb` when >= 0, else the
+// APPROX_CACHE_MB environment variable, else 0 (disabled).  Returns bytes.
+std::size_t resolve_cache_capacity(int requested_mb);
+
+}  // namespace approx::store

@@ -23,6 +23,8 @@ std::vector<int> ScrubReport::damaged_nodes() const {
 
 ScrubReport ScrubService::scrub() {
   APPROX_OBS_SPAN(span_total, "store.scrub");
+  // Scrub scans are background work: yield pool slots to interactive reads.
+  ThreadPool::TaskClassScope bulk_scope(TaskClass::kBulk);
   static obs::ShardedCounter& c_bytes =
       obs::registry().sharded_counter("store.scrub.bytes");
   static obs::Counter& c_corrupt =
@@ -94,6 +96,7 @@ RepairOutcome ScrubService::repair_damage(const ScrubReport& report,
   outcome.attempted = true;
 
   APPROX_OBS_SPAN(span_total, "store.repair");
+  ThreadPool::TaskClassScope bulk_scope(TaskClass::kBulk);
   static obs::ShardedCounter& c_rebuilt =
       obs::registry().sharded_counter("store.repair.bytes_rebuilt");
 
@@ -264,6 +267,7 @@ RepairOutcome ScrubService::repair_damage(const ScrubReport& report,
 // ---------------------------------------------------------------------------
 
 RepairOutcome ScrubService::drain_pending(const RepairOptions& opts) {
+  ThreadPool::TaskClassScope bulk_scope(TaskClass::kBulk);
   const std::vector<int> pending = vol_.take_pending_repairs();
   if (pending.empty()) return {};
 

@@ -1,0 +1,118 @@
+#include "store/singleflight.h"
+
+#include <condition_variable>
+
+#include "obs/metrics.h"
+
+namespace approx::store {
+
+namespace {
+
+struct CoalesceMetrics {
+  obs::Counter& leaders = obs::registry().counter("store.coalesce.leaders");
+  obs::Counter& followers = obs::registry().counter("store.coalesce.followers");
+  obs::Counter& reelections =
+      obs::registry().counter("store.coalesce.reelections");
+
+  static CoalesceMetrics& get() {
+    static CoalesceMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
+
+// One coalescing round.  done/value/error and the leader flag are
+// published under mu; notify happens while holding it because a waiter
+// may drop its last reference the instant it observes a terminal state.
+struct SingleFlight::Call {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  bool leader_active = true;  // creator is the first leader
+  Value value;
+  int waiters = 0;
+};
+
+SingleFlight::Value SingleFlight::run(const std::string& key,
+                                      const std::function<Value()>& fn) {
+  CoalesceMetrics& m = CoalesceMetrics::get();
+  std::shared_ptr<Call> call;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = calls_[key];
+    if (!slot) {
+      slot = std::make_shared<Call>();
+      leader = true;
+    }
+    call = slot;
+  }
+
+  for (;;) {
+    if (leader) {
+      m.leaders.add(1);
+      Value value;
+      std::exception_ptr error;
+      try {
+        value = fn();
+      } catch (...) {
+        error = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> lock(call->mu);
+        if (error == nullptr) {
+          call->value = value;
+          call->done = true;
+        } else {
+          // The cohort's followers re-elect among themselves; this
+          // caller's own failure is real and rethrown below.
+          call->leader_active = false;
+        }
+        call->cv.notify_all();
+      }
+      // Retire the round so arrivals after this point start fresh (a
+      // repair or cache fill between rounds must be observed).  A
+      // promoted leader finds its round already retired - fine.
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        const auto it = calls_.find(key);
+        if (it != calls_.end() && it->second == call) calls_.erase(it);
+      }
+      if (error != nullptr) std::rethrow_exception(error);
+      return value;
+    }
+
+    // Follower: share the leader's round.
+    m.followers.add(1);
+    std::unique_lock<std::mutex> lock(call->mu);
+    ++call->waiters;
+    if (help_ != nullptr) {
+      // Helping phase: run queued pool tasks (possibly the leader's own
+      // pipeline work) instead of sleeping, so followers that are pool
+      // workers never park the pool.
+      while (!call->done && call->leader_active) {
+        lock.unlock();
+        const bool ran = help_->run_one();
+        lock.lock();
+        if (!ran) break;
+      }
+    }
+    call->cv.wait(lock, [&] { return call->done || !call->leader_active; });
+    --call->waiters;
+    if (call->done) return call->value;
+    // The leader died without a result: promote this follower and re-run
+    // fn for the cohort still waiting on this round.
+    call->leader_active = true;
+    lock.unlock();
+    m.reelections.add(1);
+    leader = true;
+  }
+}
+
+std::size_t SingleFlight::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return calls_.size();
+}
+
+}  // namespace approx::store

@@ -1,0 +1,76 @@
+// SingleFlight: request coalescing for the serving read path.
+//
+// Concurrent degraded reads of the same stripe each reconstruct the same
+// missing chunks from the same k survivors - N viewers of a hot video on
+// a half-dead volume multiply the decode work and the read amplification
+// by N for no benefit (Rashmi et al., arXiv:1309.0186, measure degraded
+// reads dominating recovery traffic at Facebook scale).  SingleFlight
+// collapses them: the first caller of run(key, fn) becomes the *leader*
+// and executes fn; callers arriving with the same key while it runs are
+// *followers* and share the leader's result.  One decode, N answers.
+//
+// Failure semantics: a leader whose fn throws rethrows to its own caller
+// (its failure is real), and the call is marked leaderless - one waiting
+// follower is promoted to leader and re-runs fn (re-election), so a
+// leader dying of a transient fault does not fail the whole cohort.
+// Followers that arrive after a round completes start a fresh round
+// (freshness: a repair between rounds is observed).
+//
+// Waiting followers help: when a ThreadPool is supplied they drain queued
+// pool tasks while the leader works, so followers that are themselves
+// pool workers keep the pool making progress (including the leader's own
+// pipeline tasks) instead of sleeping - coalescing can never deadlock the
+// pool.  The terminal wait is a predicate-guarded condition-variable wait,
+// so there are no lost wakeups.
+//
+// Observability: store.coalesce.{leaders,followers,reelections} counters.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/thread_pool.h"
+
+namespace approx::store {
+
+class SingleFlight {
+ public:
+  // `help` lets waiting followers run queued pool tasks; nullptr waits
+  // passively.
+  explicit SingleFlight(ThreadPool* help = nullptr) : help_(help) {}
+
+  SingleFlight(const SingleFlight&) = delete;
+  SingleFlight& operator=(const SingleFlight&) = delete;
+
+  using Value = std::shared_ptr<void>;
+
+  // Execute fn once per concurrent cohort of callers sharing `key` and
+  // return its value (leader's value for followers).  Exceptions from fn
+  // propagate to the caller that ran it; see the file comment for the
+  // re-election rules.
+  Value run(const std::string& key, const std::function<Value()>& fn);
+
+  // Typed convenience wrapper: fn returns shared_ptr<T>.
+  template <typename T>
+  std::shared_ptr<T> run_as(const std::string& key,
+                            const std::function<std::shared_ptr<T>()>& fn) {
+    return std::static_pointer_cast<T>(
+        run(key, [&fn]() -> Value { return fn(); }));
+  }
+
+  // Keys with a round currently executing (for tests).
+  std::size_t in_flight() const;
+
+ private:
+  struct Call;
+
+  ThreadPool* help_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Call>> calls_;
+};
+
+}  // namespace approx::store

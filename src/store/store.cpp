@@ -10,6 +10,7 @@
 #include "obs/slow_ops.h"
 #include "obs/span.h"
 #include "store/pipeline.h"
+#include "store/read_cache.h"
 
 namespace approx::store {
 
@@ -73,7 +74,20 @@ VolumeStore::VolumeStore(IoBackend& io, std::filesystem::path dir,
       opts_(std::move(opts)),
       manifest_(std::move(manifest)),
       code_(std::make_unique<core::ApproximateCode>(manifest_.params,
-                                                    manifest_.block)) {
+                                                    manifest_.block)),
+      cache_tag_(dir_.string()),
+      flights_(opts_.pool != nullptr ? opts_.pool : &ThreadPool::global()) {
+  // Hot-tier cache: a shared instance wins; otherwise the resolved
+  // capacity knob (StoreOptions.cache_mb / APPROX_CACHE_MB) creates a
+  // store-private one.
+  if (opts_.cache != nullptr) {
+    cache_ = opts_.cache;
+  } else if (const std::size_t cap = resolve_cache_capacity(opts_.cache_mb);
+             cap > 0) {
+    ReadCacheOptions copts;
+    copts.capacity_bytes = cap;
+    cache_ = std::make_shared<ReadCache>(copts);
+  }
   // Touching any volume registers the robustness instruments, so stats and
   // bench dumps always carry them (at zero) even for fault-free runs.
   (void)RobustnessMetrics::get();
@@ -197,15 +211,21 @@ void VolumeStore::publish_queue_depth() const {
 }
 
 void VolumeStore::note_repaired(std::span<const int> nodes) {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const int n : nodes) {
-    const auto it =
-        std::lower_bound(pending_repair_.begin(), pending_repair_.end(), n);
-    if (it != pending_repair_.end() && *it == n) pending_repair_.erase(it);
-    const auto q = quarantine_path(n);
-    if (io_.exists(q)) (void)io_.remove(q);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const int n : nodes) {
+      const auto it =
+          std::lower_bound(pending_repair_.begin(), pending_repair_.end(), n);
+      if (it != pending_repair_.end() && *it == n) pending_repair_.erase(it);
+      const auto q = quarantine_path(n);
+      if (io_.exists(q)) (void)io_.remove(q);
+    }
+    publish_queue_depth();
   }
-  publish_queue_depth();
+  // Repair rewrote chunk bytes: drop every cached block of this volume so
+  // post-repair reads refill from the (now healthy) chunk files instead of
+  // serving stale degraded fills.
+  if (cache_ != nullptr && !nodes.empty()) cache_->invalidate(cache_tag_);
 }
 
 std::uint64_t VolumeStore::node_stream_bytes() const noexcept {
@@ -243,6 +263,9 @@ VolumeStore VolumeStore::encode_file(IoBackend& io,
                                      std::optional<std::uint64_t> split,
                                      StoreOptions opts) {
   APPROX_OBS_SPAN(span_total, "store.encode");
+  // Encoding is throughput work: its pipeline tasks must not delay
+  // interactive reads sharing the pool.
+  ThreadPool::TaskClassScope bulk_scope(TaskClass::kBulk);
   static obs::ShardedCounter& c_in =
       obs::registry().sharded_counter("store.encode.bytes_in");
 
@@ -382,6 +405,9 @@ VolumeStore VolumeStore::encode_file(IoBackend& io,
   }
   st = m.save(io, dir, opts.retry);
   if (!st.ok()) throw_io(st, "writing manifest");
+
+  // A shared cache may hold blocks from a previous volume at this path.
+  if (opts.cache != nullptr) opts.cache->invalidate(dir.string());
 
   return VolumeStore(io, dir, std::move(opts), std::move(m));
 }
@@ -609,6 +635,103 @@ VolumeStore::DecodeResult VolumeStore::decode_file(
 VolumeStore::DecodeResult VolumeStore::read(std::uint64_t offset,
                                             std::span<std::uint8_t> out,
                                             const DecodeOptions& opts) {
+  if (offset + out.size() > manifest_.file_size) {
+    throw Error("read past end of stored file");
+  }
+  // Degraded-off reads bypass the cache: the caller is asking for exact
+  // chunk-file semantics (throw on missing nodes), while cached bytes may
+  // have been filled by an earlier degraded pass.
+  if (cache_ != nullptr && opts.allow_degraded && !out.empty()) {
+    return read_cached(offset, out, opts);
+  }
+  return read_uncached(offset, out, opts);
+}
+
+VolumeStore::DecodeResult VolumeStore::read_cached(std::uint64_t offset,
+                                                   std::span<std::uint8_t> out,
+                                                   const DecodeOptions& opts) {
+  const std::size_t bs = cache_->block_bytes();
+  const std::uint64_t first = offset / bs;
+  const std::uint64_t last = (offset + out.size() - 1) / bs;
+
+  // Fast path: every block of the request is resident.
+  {
+    std::vector<ReadCache::Block> blocks;
+    blocks.reserve(static_cast<std::size_t>(last - first + 1));
+    bool all_hit = true;
+    for (std::uint64_t b = first; b <= last; ++b) {
+      ReadCache::Block blk = cache_->get(cache_tag_, b);
+      if (blk == nullptr) {
+        all_hit = false;
+        break;
+      }
+      blocks.push_back(std::move(blk));
+    }
+    if (all_hit) {
+      std::size_t written = 0;
+      for (std::uint64_t b = first; b <= last; ++b) {
+        const ReadCache::Block& blk = blocks[static_cast<std::size_t>(b - first)];
+        const std::uint64_t blk_base = b * bs;
+        const std::uint64_t lo = std::max<std::uint64_t>(offset, blk_base);
+        const std::uint64_t hi =
+            std::min<std::uint64_t>(offset + out.size(), blk_base + blk->size());
+        if (lo >= hi) continue;
+        std::memcpy(out.data() + (lo - offset),
+                    blk->data() + (lo - blk_base),
+                    static_cast<std::size_t>(hi - lo));
+        written += static_cast<std::size_t>(hi - lo);
+      }
+      DecodeResult result;
+      result.bytes = written;
+      result.crc_ok = written == out.size();
+      return result;
+    }
+  }
+
+  // Miss: fill the aligned block span once per concurrent cohort.  The
+  // leader runs the full degraded machinery (reconstruction, quarantine,
+  // repair enqueue); followers copy their slice out of the leader's
+  // buffer, so N concurrent misses of a hot range cost one backend read.
+  struct Fill {
+    std::uint64_t base = 0;
+    std::vector<std::uint8_t> buf;
+    DecodeResult res;
+  };
+  const std::string key = std::to_string(first) + ":" + std::to_string(last) +
+                          (opts.quarantine ? ":q" : ":n");
+  const auto fill = flights_.run_as<Fill>(key, [&]() -> std::shared_ptr<Fill> {
+    auto f = std::make_shared<Fill>();
+    f->base = first * bs;
+    const std::uint64_t span_end =
+        std::min<std::uint64_t>((last + 1) * bs, manifest_.file_size);
+    f->buf.resize(static_cast<std::size_t>(span_end - f->base));
+    f->res = read_uncached(f->base, f->buf, opts);
+    // Only exact bytes are admitted: a fill with explicit loss must not
+    // pin zero-filled data past the repair that restores it.
+    if (f->res.unrecoverable_bytes == 0) {
+      for (std::uint64_t b = first; b <= last; ++b) {
+        const std::uint64_t lo = b * bs - f->base;
+        const std::uint64_t hi =
+            std::min<std::uint64_t>((b + 1) * bs - f->base, f->buf.size());
+        auto block = std::make_shared<const std::vector<std::uint8_t>>(
+            f->buf.begin() + static_cast<std::ptrdiff_t>(lo),
+            f->buf.begin() + static_cast<std::ptrdiff_t>(hi));
+        const bool important = b * bs < manifest_.important_len;
+        cache_->put(cache_tag_, b, std::move(block), important);
+      }
+    }
+    return f;
+  });
+
+  std::memcpy(out.data(), fill->buf.data() + (offset - fill->base), out.size());
+  DecodeResult result = fill->res;  // degraded bookkeeping rides along
+  result.bytes = out.size();
+  return result;
+}
+
+VolumeStore::DecodeResult VolumeStore::read_uncached(
+    std::uint64_t offset, std::span<std::uint8_t> out,
+    const DecodeOptions& opts) {
   // Named span (see decode_file) so the trace id can key slow-op records.
   obs::ObsSpan span_total("store.ranged_read");
   const double slow_t0 = obs::now_us();
@@ -817,6 +940,8 @@ VolumeStore::DecodeResult VolumeStore::read(std::uint64_t offset,
 
 VolumeStore::ParityScrubResult VolumeStore::parity_scrub() {
   APPROX_OBS_SPAN(span_total, "store.parity_scrub");
+  // Background integrity work yields to interactive reads.
+  ThreadPool::TaskClassScope bulk_scope(TaskClass::kBulk);
   ParityScrubResult result;
   const std::uint64_t nb = code_->node_bytes();
 

@@ -26,8 +26,11 @@
 #include "core/approximate_code.h"
 #include "store/chunk_file.h"
 #include "store/manifest.h"
+#include "store/singleflight.h"
 
 namespace approx::store {
+
+class ReadCache;
 
 // An I/O failure the store could not retry away.  code() distinguishes
 // capacity exhaustion (kNoSpace) and missing files (kNotFound) from
@@ -51,6 +54,14 @@ struct StoreOptions {
   // sized to the pool (clamped to [2, 8]).  Depth 1 serializes
   // read/code/write per stripe, reproducing the pre-pipeline behavior.
   int pipeline_depth = 0;
+  // Hot-tier read cache capacity in MiB (store/read_cache.h).  -1 = auto:
+  // the APPROX_CACHE_MB environment variable if set, else 0 (disabled).
+  // Cached ranged reads are served from memory; concurrent misses of the
+  // same block range coalesce into one backend read/degraded decode.
+  int cache_mb = -1;
+  // Share one cache across stores (serving daemons, benches).  When set,
+  // cache_mb is ignored; entries are keyed by volume directory.
+  std::shared_ptr<ReadCache> cache;
 };
 
 class VolumeStore {
@@ -126,12 +137,20 @@ class VolumeStore {
   // Random-access read of logical file bytes [offset, offset+out.size())
   // with the same self-healing semantics as decode_file.  The logical
   // stream is the stored file: its first important_len bytes then the
-  // unimportant remainder.
+  // unimportant remainder.  With a cache configured (StoreOptions) the
+  // request is served from the hot tier when possible; cache misses for
+  // the same aligned block range coalesce through SingleFlight so one
+  // backend read (one degraded decode) feeds every concurrent caller.
   DecodeResult read(std::uint64_t offset, std::span<std::uint8_t> out,
                     const DecodeOptions& opts);
   DecodeResult read(std::uint64_t offset, std::span<std::uint8_t> out) {
     return read(offset, out, DecodeOptions{});
   }
+
+  // The hot-tier cache serving this store's reads (nullptr when
+  // disabled) and its key tag (the volume directory).
+  ReadCache* read_cache() const noexcept { return cache_.get(); }
+  const std::string& cache_tag() const noexcept { return cache_tag_; }
 
   // --- Self-healing bookkeeping -------------------------------------------
   // Rename node's chunk file to "<name>.quarantine" (keeping the evidence)
@@ -170,11 +189,21 @@ class VolumeStore {
   void note_repaired(std::span<const int> nodes);  // dequeue + drop debris
   void publish_queue_depth() const;  // mu_ must be held
 
+  // The pre-cache read path (chunk files + degraded reconstruction).
+  DecodeResult read_uncached(std::uint64_t offset, std::span<std::uint8_t> out,
+                             const DecodeOptions& opts);
+  // Cache probe + coalesced fill; only called when cache_ is set.
+  DecodeResult read_cached(std::uint64_t offset, std::span<std::uint8_t> out,
+                           const DecodeOptions& opts);
+
   IoBackend& io_;
   std::filesystem::path dir_;
   StoreOptions opts_;
   Manifest manifest_;
   std::unique_ptr<core::ApproximateCode> code_;
+  std::shared_ptr<ReadCache> cache_;  // nullptr = no hot tier
+  std::string cache_tag_;             // cache key prefix (volume dir)
+  SingleFlight flights_;              // coalesces cache-miss fills
 
   mutable std::mutex mu_;
   std::vector<int> pending_repair_;  // sorted, unique

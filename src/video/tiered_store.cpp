@@ -49,6 +49,8 @@ void TieredVideoStore::put(const EncodedVideo& video, ImportancePolicy policy) {
 
   // Chunks are independent global stripes, so they scatter + encode in
   // parallel across the pool (each worker owns its chunk's buffers).
+  // Ingest is throughput work - run it at bulk priority.
+  ThreadPool::TaskClassScope bulk_scope(TaskClass::kBulk);
   chunks_.resize(chunks);
   ThreadPool::global().parallel_for(0, chunks, [&](std::size_t lo,
                                                    std::size_t hi) {
@@ -85,6 +87,7 @@ void TieredVideoStore::fail_nodes(std::span<const int> nodes) {
 }
 
 TieredVideoStore::RepairSummary TieredVideoStore::repair() {
+  ThreadPool::TaskClassScope bulk_scope(TaskClass::kBulk);
   RepairSummary summary;
   summary.chunks = chunks_.size();
   // One repair task per chunk; the per-chunk partials fold deterministically
@@ -224,6 +227,8 @@ void TieredVideoStore::spill(store::IoBackend& io,
 TieredVideoStore TieredVideoStore::load_spill(store::IoBackend& io,
                                               const std::filesystem::path& dir,
                                               bool allow_degraded) {
+  // Tier promotion is background bulk work relative to interactive reads.
+  ThreadPool::TaskClassScope bulk_scope(TaskClass::kBulk);
   store::VolumeStore vol(io, dir);
   const store::Manifest& m = vol.manifest();
   const auto gop_it = m.extra.find("video.gop");

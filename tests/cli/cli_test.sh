@@ -112,6 +112,25 @@ for key in store.degraded_reads store.quarantined_chunks \
   echo "$stats" | grep -q "$key" || fail "stats --json missing $key"
 done
 
+# --- hot-tier read cache: flag and env knobs ---------------------------------
+# vol2 is healthy (repaired and scrubbed clean above); vol has permanent
+# approximate-mode data loss, so cached roundtrips run against vol2.
+"$CLI" --cache-mb 8 decode vol2 cached.bin || fail "decode with --cache-mb"
+cmp -s input.bin cached.bin || fail "cached decode roundtrip differs"
+APPROX_CACHE_MB=8 "$CLI" decode vol2 env_cached.bin \
+    || fail "decode with APPROX_CACHE_MB"
+cmp -s input.bin env_cached.bin || fail "env-cached decode roundtrip differs"
+rc=0; "$CLI" --cache-mb banana info vol2 2>/dev/null || rc=$?
+[ "$rc" -eq 2 ] || fail "--cache-mb banana should exit 2 (usage), got $rc"
+# With the cache enabled, stats exports its counters; the pool scheduler
+# gauges are published unconditionally.
+stats=$("$CLI" --cache-mb 8 stats --json vol2) || fail "stats with cache"
+for key in store.cache.hits store.cache.misses store.cache.evictions \
+           store.cache.bytes pool.queue.interactive pool.queue.bulk \
+           pool.aged_bulk_pops; do
+  echo "$stats" | grep -q "$key" || fail "stats --json missing $key"
+done
+
 # --- network failure class: unreachable coordinator exits 5 -------------------
 rc=0; "$CLI" get --coordinator 127.0.0.1:1 rvol nope.bin 2>/dev/null || rc=$?
 [ "$rc" -eq 5 ] || fail "unreachable coordinator should exit 5 (network), got $rc"

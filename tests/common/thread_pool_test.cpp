@@ -1,10 +1,13 @@
-// ThreadPool: chunking, exception propagation, reuse and edge cases.
+// ThreadPool: chunking, exception propagation, reuse, two-level priority
+// scheduling and edge cases.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
 #include <mutex>
 #include <numeric>
 #include <set>
+#include <thread>
 
 #include "common/error.h"
 #include "common/thread_pool.h"
@@ -244,6 +247,201 @@ TEST(ThreadPoolTrace, HelpingWaitRestoresWaiterContext) {
   outer.wait();
   EXPECT_EQ(after_inner.trace_id, 1u);
   EXPECT_EQ(after_inner.parent_id, 1u);
+}
+
+// --- two-level priority ---------------------------------------------------
+
+// Holds a pool's only worker inside a task so the queues can be staged
+// deterministically, then releases it and spin-waits for completions
+// (Task::wait would make this thread help and perturb the pop order).
+class GatedSingleWorker {
+ public:
+  explicit GatedSingleWorker(ThreadPool& pool) : pool_(pool) {
+    pool_.submit(TaskClass::kInteractive, [this] {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return released_; });
+    });
+    // Let the worker actually pick the gate task up before staging.
+    while (pool_.queue_depth(TaskClass::kInteractive) != 0) {
+      std::this_thread::yield();
+    }
+  }
+
+  void release() {
+    std::lock_guard<std::mutex> lock(mu_);
+    released_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  ThreadPool& pool_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool released_ = false;
+};
+
+TEST(ThreadPoolPriority, InteractivePreemptsBulkUnderSaturation) {
+  ThreadPool pool(1);
+  GatedSingleWorker gate(pool);
+
+  std::mutex order_mu;
+  std::vector<TaskClass> order;
+  std::atomic<int> completed{0};
+  auto record = [&](TaskClass cls) {
+    {
+      std::lock_guard<std::mutex> lock(order_mu);
+      order.push_back(cls);
+    }
+    completed.fetch_add(1);
+  };
+
+  const int kBulk = 4, kInteractive = 16;
+  for (int i = 0; i < kBulk; ++i) {
+    pool.submit(TaskClass::kBulk, [&] { record(TaskClass::kBulk); });
+  }
+  for (int i = 0; i < kInteractive; ++i) {
+    pool.submit(TaskClass::kInteractive,
+                [&] { record(TaskClass::kInteractive); });
+  }
+  EXPECT_EQ(pool.queue_depth(TaskClass::kBulk), 4u);
+  EXPECT_EQ(pool.queue_depth(TaskClass::kInteractive), 16u);
+
+  const std::uint64_t aged_before = pool.aged_bulk_pops();
+  gate.release();
+  while (completed.load() != kBulk + kInteractive) std::this_thread::yield();
+
+  // Single worker => completion order is exactly pop order.  Policy:
+  // 8 interactive, 1 aged bulk, the remaining 8 interactive, 3 bulk (the
+  // last 3 bulk pops drain an empty interactive queue, so only the first
+  // forced pop counts as aged).
+  ASSERT_EQ(order.size(), 20u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[i], TaskClass::kInteractive);
+  EXPECT_EQ(order[8], TaskClass::kBulk);
+  for (int i = 9; i < 17; ++i) EXPECT_EQ(order[i], TaskClass::kInteractive);
+  for (int i = 17; i < 20; ++i) EXPECT_EQ(order[i], TaskClass::kBulk);
+  EXPECT_EQ(pool.aged_bulk_pops() - aged_before, 1u);
+}
+
+TEST(ThreadPoolPriority, BulkIsNeverStarvedBeyondAgingBound) {
+  ThreadPool pool(1);
+  GatedSingleWorker gate(pool);
+
+  std::atomic<int> interactive_done{0};
+  std::atomic<int> bulk_position{-1};
+  std::atomic<int> completed{0};
+  pool.submit(TaskClass::kBulk, [&] {
+    bulk_position.store(interactive_done.load());
+    completed.fetch_add(1);
+  });
+  const int kFlood = 100;
+  for (int i = 0; i < kFlood; ++i) {
+    pool.submit(TaskClass::kInteractive, [&] {
+      interactive_done.fetch_add(1);
+      completed.fetch_add(1);
+    });
+  }
+  gate.release();
+  while (completed.load() != kFlood + 1) std::this_thread::yield();
+  // The one bulk task ran after at most kBulkAgingLimit interactive pops,
+  // despite 100 interactive tasks being queued ahead of it.
+  ASSERT_GE(bulk_position.load(), 0);
+  EXPECT_LE(bulk_position.load(),
+            static_cast<int>(ThreadPool::kBulkAgingLimit));
+}
+
+TEST(ThreadPoolPriority, PureInteractiveStreamPaysNoAgingPops) {
+  ThreadPool pool(1);
+  GatedSingleWorker gate(pool);
+  const std::uint64_t aged_before = pool.aged_bulk_pops();
+  std::atomic<int> completed{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit(TaskClass::kInteractive, [&] { completed.fetch_add(1); });
+  }
+  gate.release();
+  while (completed.load() != 50) std::this_thread::yield();
+  // The aging clock only ticks while bulk work waits: an all-interactive
+  // workload never triggers forced bulk pops.
+  EXPECT_EQ(pool.aged_bulk_pops(), aged_before);
+}
+
+TEST(ThreadPoolPriority, SubmitInheritsCallersClass) {
+  ThreadPool pool(2);
+  EXPECT_EQ(ThreadPool::current_task_class(), TaskClass::kInteractive);
+  TaskClass seen = TaskClass::kInteractive;
+  TaskClass nested_seen = TaskClass::kInteractive;
+  {
+    ThreadPool::TaskClassScope scope(TaskClass::kBulk);
+    EXPECT_EQ(ThreadPool::current_task_class(), TaskClass::kBulk);
+    pool.submit([&] {
+          seen = ThreadPool::current_task_class();
+          // Transitive inheritance: work submitted by bulk work is bulk.
+          pool.submit([&] { nested_seen = ThreadPool::current_task_class(); })
+              .wait();
+        })
+        .wait();
+  }
+  EXPECT_EQ(ThreadPool::current_task_class(), TaskClass::kInteractive);
+  EXPECT_EQ(seen, TaskClass::kBulk);
+  EXPECT_EQ(nested_seen, TaskClass::kBulk);
+  // Outside the scope, submissions are interactive again.
+  TaskClass after = TaskClass::kBulk;
+  pool.submit([&] { after = ThreadPool::current_task_class(); }).wait();
+  EXPECT_EQ(after, TaskClass::kInteractive);
+}
+
+TEST(ThreadPoolPriority, ParallelForChunksCarryExplicitClass) {
+  ThreadPool pool(4);
+  std::atomic<int> wrong{0};
+  pool.parallel_for(TaskClass::kBulk, 0, 64, [&](std::size_t, std::size_t) {
+    if (ThreadPool::current_task_class() != TaskClass::kBulk) {
+      wrong.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(wrong.load(), 0);
+  // The caller's own class survives the helping wait even though it ran
+  // bulk chunks inline.
+  EXPECT_EQ(ThreadPool::current_task_class(), TaskClass::kInteractive);
+}
+
+TEST(ThreadPoolPriority, HelpingWaitsCrossClassesWithoutDeadlock) {
+  // A bulk task blocked on interactive subtasks (and vice versa) must make
+  // progress on a single-worker pool: the helping pop never refuses the
+  // only runnable class.  A deadlock here hangs the test (ctest TIMEOUT).
+  ThreadPool pool(1);
+  std::atomic<std::size_t> sum{0};
+  auto bulk_outer = pool.submit(TaskClass::kBulk, [&] {
+    pool.parallel_for(TaskClass::kInteractive, 0, 100,
+                      [&](std::size_t lo, std::size_t hi) {
+                        sum.fetch_add(hi - lo);
+                      });
+  });
+  bulk_outer.wait();
+  EXPECT_EQ(sum.load(), 100u);
+
+  auto interactive_outer = pool.submit(TaskClass::kInteractive, [&] {
+    auto inner = pool.submit(TaskClass::kBulk, [&] { sum.fetch_add(1); });
+    inner.wait();
+  });
+  interactive_outer.wait();
+  EXPECT_EQ(sum.load(), 101u);
+}
+
+TEST(ThreadPoolPriority, QueueDepthTracksBothClasses) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.queue_depth(TaskClass::kInteractive), 0u);
+  EXPECT_EQ(pool.queue_depth(TaskClass::kBulk), 0u);
+  GatedSingleWorker gate(pool);
+  std::atomic<int> completed{0};
+  for (int i = 0; i < 3; ++i) {
+    pool.submit(TaskClass::kBulk, [&] { completed.fetch_add(1); });
+  }
+  pool.submit(TaskClass::kInteractive, [&] { completed.fetch_add(1); });
+  EXPECT_EQ(pool.queue_depth(TaskClass::kBulk), 3u);
+  EXPECT_EQ(pool.queue_depth(TaskClass::kInteractive), 1u);
+  gate.release();
+  while (completed.load() != 4) std::this_thread::yield();
+  EXPECT_EQ(pool.queue_depth(TaskClass::kInteractive), 0u);
+  EXPECT_EQ(pool.queue_depth(TaskClass::kBulk), 0u);
 }
 
 }  // namespace

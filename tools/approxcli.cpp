@@ -51,6 +51,8 @@
 #include "serving/client.h"
 #include "serving/coordinator.h"
 #include "serving/daemon.h"
+#include "common/thread_pool.h"
+#include "store/pipeline.h"
 #include "store/scrubber.h"
 #include "store/store.h"
 
@@ -108,6 +110,8 @@ struct Options {
                "        --pipeline-depth N  in-flight stripes of the store\n"
                "          pipeline (default: APPROX_PIPELINE_DEPTH env, else\n"
                "          sized to the thread pool; 1 = serial store I/O)\n"
+               "        --cache-mb N  hot-tier read cache budget in MB\n"
+               "          (default: APPROX_CACHE_MB env, else 0 = off)\n"
                "exit codes: 0 ok, 1 detected corruption (repairable), "
                "2 usage, 3 I/O error, 4 unrecoverable data loss, "
                "5 network failure\n");
@@ -152,9 +156,14 @@ store::PosixIoBackend& posix_io() {
 // (APPROX_PIPELINE_DEPTH env, else sized to the pool).
 int g_pipeline_depth = 0;
 
+// Global --cache-mb flag; -1 keeps the StoreOptions auto default
+// (APPROX_CACHE_MB env, else no cache).
+int g_cache_mb = -1;
+
 store::StoreOptions store_options() {
   store::StoreOptions opts;
   opts.pipeline_depth = g_pipeline_depth;
+  opts.cache_mb = g_cache_mb;
   return opts;
 }
 
@@ -319,6 +328,9 @@ int cmd_stats(const fs::path& dir, bool json) {
   } else {
     vol.code().plan_repair(report.damaged_nodes());
   }
+  // Snapshot the shared pool's queue depths and aging counter into gauges
+  // so the dump includes scheduler state alongside the store counters.
+  store::publish_pool_gauges(ThreadPool::global());
 
   if (json) {
     std::printf("%s\n", obs::registry().to_json().c_str());
@@ -736,6 +748,11 @@ int main(int argc, char** argv) {
         it = all.erase(it);
         if (it == all.end()) usage("--pipeline-depth needs a number");
         g_pipeline_depth = parse_int_opt("--pipeline-depth", *it);
+        it = all.erase(it);
+      } else if (*it == "--cache-mb") {
+        it = all.erase(it);
+        if (it == all.end()) usage("--cache-mb needs a number");
+        g_cache_mb = parse_int_opt("--cache-mb", *it);
         it = all.erase(it);
       } else {
         ++it;
