@@ -4,11 +4,14 @@
 // higher-level number in Fig. 9-13 decomposes into.
 //
 // The kernel primitives are registered once per backend the host exposes
-// (scalar / ssse3 / avx2), so one run compares every ISA path.  A
-// Stopwatch-based summary table reports per-backend GiB/s and the speedup
-// over scalar; with --json the table (plus the obs registry, including the
-// kernels.bytes.<backend> counters) lands in BENCH_kernels.json.
-// --summary-only skips the google-benchmark pass and prints just the table.
+// (scalar / ssse3 / avx2 / avx512 / gfni), so one run compares every ISA
+// path; --backend <name> restricts the sweep to one backend (--backend all
+// is the default).  A Stopwatch-based summary table reports per-backend
+// GiB/s, TSC-based bytes/cycle and the speedup over scalar; a second table
+// compares naive vs compiled schedule execution (codes/schedule_opt.h).
+// With --json the tables (plus the obs registry, including the
+// kernels.bytes.<backend> counters) land in BENCH_kernels.json.
+// --summary-only skips the google-benchmark pass and prints just the tables.
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
@@ -18,9 +21,14 @@
 #include <string_view>
 #include <vector>
 
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#endif
+
 #include "common/buffer.h"
 #include "common/prng.h"
 #include "codes/array_codes.h"
+#include "codes/crs_code.h"
 #include "codes/rs_code.h"
 #include "gf/gf256.h"
 #include "kernels/dispatch.h"
@@ -29,6 +37,9 @@
 namespace {
 
 using namespace approx;
+
+// Backends selected via --backend (default: every available one).
+std::vector<kernels::Backend> g_backends;
 
 // ---------------------------------------------------------------------------
 // Per-backend kernel primitives (registered per backend in main()).
@@ -116,7 +127,7 @@ void register_kernel_benchmarks() {
       {"BM_GfMulRegion", BM_GfMulRegion, {4096, 1 << 16, 1 << 20}},
       {"BM_GfMulAcc", BM_GfMulAcc, {4096, 1 << 16, 1 << 20}},
   };
-  for (const kernels::Backend b : kernels::available_backends()) {
+  for (const kernels::Backend b : g_backends) {
     for (const Entry& e : entries) {
       const std::string name = std::string(e.name) + "<" +
                                std::string(kernels::backend_name(b)) + ">";
@@ -204,8 +215,35 @@ double gib_per_sec(const std::function<void()>& op, std::size_t bytes_per_op) {
   return static_cast<double>(bytes_per_op) * kInner / t / bench::kGiB;
 }
 
-// One row per backend: GiB/s for each primitive plus the gf_mul_region
-// speedup over scalar — the dispatch layer's headline number.
+// Median bytes/cycle of `op` via the TSC.  Cycle-normalized numbers factor
+// frequency scaling out of cross-machine comparisons (a 64-byte-lane kernel
+// should approach its port limit regardless of clocks).  Negative ("/" in
+// tables) on non-x86 hosts.
+double bytes_per_cycle(const std::function<void()>& op,
+                       std::size_t bytes_per_op) {
+#if defined(__x86_64__) || defined(__i386__)
+  op();  // warm-up
+  constexpr int kInner = 16;
+  std::vector<double> samples;
+  for (int rep = 0; rep < 5; ++rep) {
+    const unsigned long long c0 = __rdtsc();
+    for (int i = 0; i < kInner; ++i) op();
+    const unsigned long long c1 = __rdtsc();
+    if (c1 <= c0) return -1;
+    samples.push_back(static_cast<double>(bytes_per_op) * kInner /
+                      static_cast<double>(c1 - c0));
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+#else
+  (void)op;
+  (void)bytes_per_op;
+  return -1;
+#endif
+}
+
+// One row per backend: GiB/s and bytes/cycle for each primitive plus the
+// gf_mul_region speedup over scalar — the dispatch layer's headline number.
 void print_backend_summary() {
   constexpr std::size_t kN = 1 << 20;
   constexpr int kGatherSources = 8;
@@ -221,18 +259,21 @@ void print_backend_summary() {
     ptrs.push_back(gather.back().data());
   }
 
-  bench::print_header("kernel throughput by backend (GiB/s, 1 MiB regions)");
-  bench::print_row({"backend", "gf_mul", "gf_mul_acc", "xor_acc",
-                    "xor_gather8", "gf_mul_vs_scalar"});
+  bench::print_header(
+      "kernel throughput by backend (GiB/s + bytes/cycle, 1 MiB regions)");
+  bench::print_row({"backend", "gf_mul", "gf_mul_B/c", "gf_mul_acc", "xor_acc",
+                    "xor_acc_B/c", "xor_gather8", "gf_mul_vs_scalar"});
   double scalar_mul = -1;
-  for (const kernels::Backend b : kernels::available_backends()) {
+  for (const kernels::Backend b : g_backends) {
     kernels::BackendGuard guard(b);
-    const double mul = gib_per_sec(
-        [&] { gf::mul_region(dst.data(), src.data(), kN, 0x53); }, kN);
+    const auto mul_op = [&] { gf::mul_region(dst.data(), src.data(), kN, 0x53); };
+    const auto xacc_op = [&] { xorblk::xor_acc(dst.data(), src.data(), kN); };
+    const double mul = gib_per_sec(mul_op, kN);
+    const double mul_bc = bytes_per_cycle(mul_op, kN);
     const double mul_acc = gib_per_sec(
         [&] { gf::mul_acc_region(dst.data(), src.data(), kN, 0x53); }, kN);
-    const double xacc = gib_per_sec(
-        [&] { xorblk::xor_acc(dst.data(), src.data(), kN); }, kN);
+    const double xacc = gib_per_sec(xacc_op, kN);
+    const double xacc_bc = bytes_per_cycle(xacc_op, kN);
     const double gath = gib_per_sec(
         [&] { xorblk::xor_gather(dst.data(), ptrs, kN); },
         kN * kGatherSources);
@@ -240,21 +281,55 @@ void print_backend_summary() {
     const std::string speedup =
         scalar_mul > 0 ? bench::fmt(mul / scalar_mul, 2) + "x" : "/";
     bench::print_row({std::string(kernels::backend_name(b)), bench::fmt(mul, 2),
-                      bench::fmt(mul_acc, 2), bench::fmt(xacc, 2),
+                      bench::fmt(mul_bc, 2), bench::fmt(mul_acc, 2),
+                      bench::fmt(xacc, 2), bench::fmt(xacc_bc, 2),
                       bench::fmt(gath, 2), speedup});
+  }
+}
+
+// Naive vs compiled schedule execution (codes/schedule_opt.h) on the
+// XOR-heavy code families the CSE pass targets, under the default backend.
+void print_schedule_summary() {
+  struct Entry {
+    const char* name;
+    std::shared_ptr<const codes::LinearCode> code;
+  };
+  const Entry entries[] = {
+      {"CRS(6,3)", codes::make_cauchy_rs(6, 3)},
+      {"STAR(11,3)", codes::make_star(11, 3)},
+      {"EVENODD(17)", codes::make_evenodd(17)},
+  };
+  bench::print_header("schedule execution: encode GiB/s, naive vs compiled");
+  bench::print_row({"code", "naive", "compiled", "speedup"});
+  for (const Entry& e : entries) {
+    bench::BaseStripe stripe(e.code, std::size_t{1} << 22);
+    const auto measure = [&](bool opt) {
+      e.code->set_schedule_opt_enabled(opt);
+      const double t = bench::time_op([&] { stripe.encode(); }, 5,
+                                      /*warmup=*/1);
+      return t > 0 ? stripe.data_gib() / t : -1.0;
+    };
+    const double naive = measure(false);
+    const double compiled = measure(true);
+    e.code->set_schedule_opt_enabled(true);
+    const std::string speedup =
+        (naive > 0 && compiled > 0) ? bench::fmt(compiled / naive, 2) + "x" : "/";
+    bench::print_row({e.name, bench::fmt(naive, 2), bench::fmt(compiled, 2),
+                      speedup});
   }
 }
 
 }  // namespace
 
 // Expanded BENCHMARK_MAIN(): strips the harness's own flags (--json[=path],
-// --summary-only) before benchmark::Initialize (which rejects unknown
-// flags), prints the per-backend summary table, and in --json mode dumps
-// tables + the obs registry (kernels.bytes.<backend>, xorblk byte counters,
-// solver spans, ...) accumulated across the run.
+// --summary-only, --backend <name|all>) before benchmark::Initialize (which
+// rejects unknown flags), prints the per-backend summary tables, and in
+// --json mode dumps tables + the obs registry (kernels.bytes.<backend>,
+// xorblk byte counters, solver spans, ...) accumulated across the run.
 int main(int argc, char** argv) {
   approx::bench::bench_init(argc, argv, "kernels");
   bool summary_only = false;
+  std::string backend_arg = "all";
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string_view a = argv[i];
@@ -263,12 +338,47 @@ int main(int argc, char** argv) {
       summary_only = true;
       continue;
     }
+    if (a == "--backend" && i + 1 < argc) {
+      backend_arg = argv[++i];
+      continue;
+    }
+    if (a.rfind("--backend=", 0) == 0) {
+      backend_arg = std::string(a.substr(10));
+      continue;
+    }
     argv[kept++] = argv[i];
   }
   argc = kept;
   argv[argc] = nullptr;
 
+  g_backends = kernels::available_backends();
+  if (backend_arg != "all") {
+    bool found = false;
+    for (const kernels::Backend b : g_backends) {
+      if (backend_arg == kernels::backend_name(b)) {
+        g_backends = {b};
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr,
+                   "bench_kernels: --backend %s is not available on this "
+                   "host; sweeping all available backends\n",
+                   backend_arg.c_str());
+    }
+  }
+
+  // Record which backend APPROX_KERNEL/CPUID dispatch actually picked, so
+  // the CI perf smoke can compare the dispatched row against scalar.
+  approx::bench::bench_extra_json(
+      "dispatch",
+      std::string("{\"active_backend\":\"") +
+          std::string(kernels::backend_name(kernels::active_backend())) +
+          "\"}");
+
   print_backend_summary();
+  print_schedule_summary();
   if (!summary_only) {
     register_kernel_benchmarks();
     benchmark::Initialize(&argc, argv);

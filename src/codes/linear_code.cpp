@@ -1,10 +1,14 @@
 #include "codes/linear_code.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <queue>
 #include <set>
+#include <string_view>
 
+#include "codes/schedule_opt.h"
 #include "common/error.h"
 #include "gf/gf256.h"
 #include "obs/metrics.h"
@@ -12,6 +16,29 @@
 #include "xorblk/xor_kernels.h"
 
 namespace approx::codes {
+
+namespace {
+
+// Process-wide default for the schedule compiler.  APPROX_SCHEDULE=naive
+// opts out (ablation / bisection); unknown values warn and keep the default
+// so typos are visible rather than silently changing the execution path.
+bool schedule_opt_default() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("APPROX_SCHEDULE");
+    if (env == nullptr || *env == '\0') return true;
+    const std::string_view v(env);
+    if (v == "naive") return false;
+    if (v == "compiled") return true;
+    std::fprintf(stderr,
+                 "approx: APPROX_SCHEDULE=%s is not a known mode "
+                 "(naive|compiled); using compiled\n",
+                 env);
+    return true;
+  }();
+  return enabled;
+}
+
+}  // namespace
 
 LinearCode::LinearCode(std::string name, int k, int m, int rows,
                        std::vector<std::vector<Term>> parity_elems,
@@ -37,6 +64,7 @@ LinearCode::LinearCode(std::string name, int k, int m, int rows,
     }
     total_terms_ += elem.size();
   }
+  schedule_opt_enabled_ = schedule_opt_default();
 }
 
 const std::vector<LinearCode::Term>& LinearCode::parity_terms(int parity_node,
@@ -82,6 +110,13 @@ void LinearCode::encode_parity_nodes(std::span<const NodeView> nodes,
   static obs::Counter& xor_elems =
       obs::registry().counter("codes.encode.path.xor");
   static obs::Counter& gf_elems = obs::registry().counter("codes.encode.path.gf");
+  static obs::Counter& compiled_encodes =
+      obs::registry().counter("codes.encode.path.compiled");
+  if (schedule_opt_enabled()) {
+    compiled_encodes.add();
+    run_program(*encode_program(parity_nodes), nodes, len);
+    return;
+  }
   const auto& plan = encode_plan();
   std::vector<const std::uint8_t*> gather_srcs;
   for (const int p : parity_nodes) {
@@ -112,6 +147,38 @@ void LinearCode::encode_parity_nodes(std::span<const NodeView> nodes,
       }
     }
   }
+}
+
+std::shared_ptr<const XorProgram> LinearCode::encode_program(
+    std::span<const int> parity_nodes) const {
+  std::vector<int> key(parity_nodes.begin(), parity_nodes.end());
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = encode_prog_cache_.find(key);
+    if (it != encode_prog_cache_.end()) return it->second;
+  }
+  const auto& plan = encode_plan();
+  std::vector<RepairPlan::Target> stmts;
+  stmts.reserve(key.size() * static_cast<std::size_t>(rows_));
+  for (const int p : key) {
+    APPROX_REQUIRE(p >= k_ && p < total_nodes(), "not a parity node");
+    for (int row = 0; row < rows_; ++row) {
+      const auto& elem = plan[static_cast<std::size_t>(p - k_) *
+                                  static_cast<std::size_t>(rows_) +
+                              static_cast<std::size_t>(row)];
+      RepairPlan::Target t;
+      t.elem = {p, row};
+      t.sources.reserve(elem.terms.size());
+      for (const auto& term : elem.terms) {
+        t.sources.push_back({ElemRef{term.node, term.row}, term.coeff});
+      }
+      stmts.push_back(std::move(t));
+    }
+  }
+  auto prog = compile_schedule(stmts);
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return encode_prog_cache_.emplace(std::move(key), std::move(prog))
+      .first->second;
 }
 
 SparseRow LinearCode::element_row(ElemRef e) const {
@@ -404,6 +471,15 @@ void LinearCode::apply(const RepairPlan& plan,
   for (const auto& v : nodes) {
     APPROX_REQUIRE(v.len == len, "all node views must agree on element length");
   }
+  if (schedule_opt_enabled()) {
+    static obs::Counter& compiled_applies =
+        obs::registry().counter("codes.repair.path.compiled");
+    compiled_applies.add();
+    std::call_once(plan.compile_once,
+                   [&] { plan.compiled = compile_schedule(plan.targets); });
+    run_program(*plan.compiled, nodes, len);
+    return;
+  }
   std::vector<const std::uint8_t*> gather_srcs;
   for (const auto& target : plan.targets) {
     rebuild_target(target, nodes, len, gather_srcs);
@@ -656,6 +732,16 @@ void LinearCode::set_peeling_enabled(bool enabled) const {
     peeling_enabled_ = enabled;
     plan_cache_.clear();  // cached plans were built under the other mode
   }
+}
+
+void LinearCode::set_schedule_opt_enabled(bool enabled) const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  schedule_opt_enabled_ = enabled;
+}
+
+bool LinearCode::schedule_opt_enabled() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return schedule_opt_enabled_;
 }
 
 }  // namespace approx::codes

@@ -29,6 +29,8 @@
 
 namespace approx::codes {
 
+struct XorProgram;  // compiled XOR schedule (schedule_opt.h)
+
 // A repair schedule for one erasure pattern: for every lost element, the
 // elements (with coefficients) whose combination rebuilds it.
 //
@@ -56,6 +58,14 @@ struct RepairPlan {
   std::vector<int> source_nodes;     // distinct surviving nodes read
   std::size_t source_elements = 0;   // total source terms across targets
   std::size_t target_elements = 0;   // number of rebuilt elements
+
+  // Compiled XOR program for `targets` (CSE + cache-blocked execution, see
+  // schedule_opt.h).  Filled lazily by the first compiled apply(), so
+  // feasibility probes (can_repair sweeps over every erasure pattern) never
+  // pay compilation; the naive per-target loop is the ablation path and
+  // stays byte-identical.
+  mutable std::once_flag compile_once;
+  mutable std::shared_ptr<const XorProgram> compiled;
 };
 
 class LinearCode {
@@ -106,8 +116,10 @@ class LinearCode {
   // Execute only the slice of the schedule needed to rebuild `elem`
   // (its target plus transitive dependencies on other rebuilt elements,
   // in plan order).  Used by degraded reads, which decode one element
-  // instead of whole nodes.  Returns the number of targets executed;
-  // 0 when `elem` is not a target of the plan.
+  // instead of whole nodes.  Always runs the naive per-target loop: the
+  // compiled program is whole-plan, and re-slicing it buys nothing for the
+  // handful of targets a degraded read touches.  Returns the number of
+  // targets executed; 0 when `elem` is not a target of the plan.
   int apply_for_element(const RepairPlan& plan, std::span<const NodeView> nodes,
                         ElemRef elem) const;
 
@@ -203,8 +215,15 @@ class LinearCode {
   std::size_t total_terms_;
   std::vector<std::vector<Term>> parity_elems_;
 
+  // Compiled program for an encode_parity_nodes() call, cached per
+  // parity-node list (bounded: one entry per distinct list callers use).
+  std::shared_ptr<const XorProgram> encode_program(
+      std::span<const int> parity_nodes) const;
+
   mutable std::mutex cache_mu_;
   mutable std::map<std::vector<int>, std::shared_ptr<const RepairPlan>> plan_cache_;
+  mutable std::map<std::vector<int>, std::shared_ptr<const XorProgram>>
+      encode_prog_cache_;
   mutable bool cache_enabled_ = true;
 
   // Lazily built reverse index: info element -> (parity element id, coeff),
@@ -224,8 +243,15 @@ class LinearCode {
   // is solved by Gaussian elimination alone (dense schedules).
   void set_peeling_enabled(bool enabled) const;
 
+  // Benchmark hook (ablation): bypass the compiled XOR programs so encode
+  // and apply run the naive per-element loops.  Process-wide default comes
+  // from APPROX_SCHEDULE (naive|compiled, default compiled).
+  void set_schedule_opt_enabled(bool enabled) const;
+  bool schedule_opt_enabled() const;
+
  private:
   mutable bool peeling_enabled_ = true;
+  mutable bool schedule_opt_enabled_ = true;
 };
 
 // Helpers shared by code constructions.

@@ -43,6 +43,21 @@ Tables::Tables() noexcept {
       nib_hi_[c][i] = mul_[c][i << 4];
     }
   }
+
+  // Affine matrices for GF2P8AFFINEQB: output bit k of c*x is the XOR over
+  // input bits j of bit k of c * 2^j, so byte (7 - k) of the matrix qword
+  // collects those j bits as a mask.
+  for (unsigned c = 0; c < 256; ++c) {
+    std::uint64_t m = 0;
+    for (unsigned k = 0; k < 8; ++k) {
+      std::uint8_t mask = 0;
+      for (unsigned j = 0; j < 8; ++j) {
+        if ((mul_[c][1u << j] >> k) & 1u) mask |= static_cast<std::uint8_t>(1u << j);
+      }
+      m |= static_cast<std::uint64_t>(mask) << (8 * (7 - k));
+    }
+    aff_[c] = m;
+  }
 }
 
 const Tables& tables() noexcept {
@@ -83,7 +98,7 @@ inline bool alias_ok(const std::uint8_t* dst, const std::uint8_t* src,
 
 inline kernels::GfTables coeff_tables(std::uint8_t c) noexcept {
   const auto& t = detail::tables();
-  return kernels::GfTables{t.mul_[c], t.nib_lo_[c], t.nib_hi_[c]};
+  return kernels::GfTables{t.mul_[c], t.nib_lo_[c], t.nib_hi_[c], t.aff_[c]};
 }
 
 }  // namespace

@@ -4,8 +4,10 @@
 //
 // Scalar operations are table driven (log/antilog).  Bulk region operations
 // route through the runtime-dispatched kernel engine (kernels/dispatch.h):
-// a per-coefficient 256-entry product row drives the scalar backend, and
-// per-coefficient split-nibble tables drive the SSSE3/AVX2 pshufb backends.
+// a per-coefficient 256-entry product row drives the scalar backend,
+// per-coefficient split-nibble tables drive the SSSE3/AVX2/AVX-512 pshufb
+// backends, and per-coefficient 8x8 GF(2) affine matrices drive the GFNI
+// (GF2P8AFFINEQB) backend.
 #pragma once
 
 #include <cstddef>
@@ -31,6 +33,12 @@ struct Tables {
   //   c * x == nib_lo_[c][x & 0xf] ^ nib_hi_[c][x >> 4]
   std::uint8_t nib_lo_[256][16];
   std::uint8_t nib_hi_[256][16];
+  // 8x8 GF(2) bit-matrix of "multiply by c" for the GFNI backend, in
+  // GF2P8AFFINEQB operand layout: byte (7 - k) is the mask of input bits
+  // feeding output bit k, i.e. bit j of byte (7 - k) is bit k of c * 2^j.
+  // One vgf2p8affineqb with this matrix multiplies 64 bytes by c under the
+  // field's own polynomial (0x11d), not the instruction's fixed-poly mul.
+  std::uint64_t aff_[256];
 
   Tables() noexcept;
 };

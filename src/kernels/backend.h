@@ -27,5 +27,7 @@ struct Ops {
 const Ops& scalar_ops() noexcept;        // always present
 const Ops* ssse3_ops() noexcept;         // nullptr when not compiled in
 const Ops* avx2_ops() noexcept;          // nullptr when not compiled in
+const Ops* avx512_ops() noexcept;        // nullptr when not compiled in
+const Ops* gfni_ops() noexcept;          // nullptr when not compiled in
 
 }  // namespace approx::kernels::detail

@@ -1,0 +1,96 @@
+// AVX-512BW/VL backend: the split-nibble vpshufb technique over 64-byte
+// lanes (vpshufb shuffles within each 128-bit quarter, so the 16-byte nibble
+// tables are broadcast to all four), with vpternlogq folding the XOR of the
+// two nibble products into the accumulator in one instruction.  This TU is
+// compiled with -mavx512bw -mavx512vl and only ever *called* after
+// dispatch.cpp has confirmed the CPU supports both.
+#include "kernels/backend.h"
+
+#if defined(__AVX512BW__) && defined(__AVX512VL__)
+
+#include <immintrin.h>
+
+#include "kernels/backend_zmm_common.h"
+
+namespace approx::kernels::detail {
+
+namespace {
+
+inline __m512i load_tab(const std::uint8_t* p) {
+  return _mm512_broadcast_i32x4(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+}
+
+inline __m512i gf_lane(__m512i s, __m512i lo, __m512i hi, __m512i mask) {
+  const __m512i l = _mm512_shuffle_epi8(lo, _mm512_and_si512(s, mask));
+  const __m512i h =
+      _mm512_shuffle_epi8(hi, _mm512_and_si512(_mm512_srli_epi64(s, 4), mask));
+  return _mm512_xor_si512(l, h);
+}
+
+void gf_mul_avx512(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                   const GfTables& t) {
+  const __m512i lo = load_tab(t.lo);
+  const __m512i hi = load_tab(t.hi);
+  const __m512i mask = _mm512_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 128 <= n; i += 128) {
+    const __m512i s0 = zmm::load(src + i);
+    const __m512i s1 = zmm::load(src + i + 64);
+    zmm::store(dst + i, gf_lane(s0, lo, hi, mask));
+    zmm::store(dst + i + 64, gf_lane(s1, lo, hi, mask));
+  }
+  for (; i + 64 <= n; i += 64) {
+    zmm::store(dst + i, gf_lane(zmm::load(src + i), lo, hi, mask));
+  }
+  for (; i < n; ++i) dst[i] = t.row[src[i]];
+}
+
+void gf_mul_acc_avx512(std::uint8_t* dst, const std::uint8_t* src,
+                       std::size_t n, const GfTables& t) {
+  const __m512i lo = load_tab(t.lo);
+  const __m512i hi = load_tab(t.hi);
+  const __m512i mask = _mm512_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m512i s = zmm::load(src + i);
+    const __m512i l = _mm512_shuffle_epi8(lo, _mm512_and_si512(s, mask));
+    const __m512i h = _mm512_shuffle_epi8(
+        hi, _mm512_and_si512(_mm512_srli_epi64(s, 4), mask));
+    // dst ^= lo-product ^ hi-product, folded by one vpternlogq.
+    zmm::store(dst + i,
+               _mm512_ternarylogic_epi64(zmm::load(dst + i), l, h, 0x96));
+  }
+  for (; i < n; ++i) dst[i] ^= t.row[src[i]];
+}
+
+void xor_acc_avx512(std::uint8_t* dst, const std::uint8_t* src, std::size_t n) {
+  zmm::xor_acc(dst, src, n);
+}
+
+void xor_acc2_avx512(std::uint8_t* dst, const std::uint8_t* a,
+                     const std::uint8_t* b, std::size_t n) {
+  zmm::xor_acc2(dst, a, b, n);
+}
+
+void xor_gather_avx512(std::uint8_t* dst, const std::uint8_t* const* sources,
+                       std::size_t count, std::size_t n) {
+  zmm::xor_gather(dst, sources, count, n);
+}
+
+constexpr Ops kAvx512Ops{gf_mul_avx512, gf_mul_acc_avx512, xor_acc_avx512,
+                         xor_acc2_avx512, xor_gather_avx512};
+
+}  // namespace
+
+const Ops* avx512_ops() noexcept { return &kAvx512Ops; }
+
+}  // namespace approx::kernels::detail
+
+#else  // !(__AVX512BW__ && __AVX512VL__)
+
+namespace approx::kernels::detail {
+const Ops* avx512_ops() noexcept { return nullptr; }
+}  // namespace approx::kernels::detail
+
+#endif

@@ -1,0 +1,88 @@
+// GFNI backend: GF(2^8) multiply-by-constant as one EVEX vgf2p8affineqb per
+// 64 bytes.  GF2P8MULB is useless here — it hardwires the AES polynomial
+// 0x11b while this library's field is 0x11d — but the affine form takes an
+// arbitrary 8x8 GF(2) bit-matrix, and multiplication by a constant is a
+// linear map, so gf::detail::Tables precomputes the matrix of "multiply by
+// c" per coefficient (GfTables::mat).  XOR traffic reuses the shared
+// 64-byte vpternlogq loops.  This TU is compiled with -mgfni -mavx512bw
+// -mavx512vl and only ever *called* after dispatch.cpp has confirmed the
+// CPU supports all three.
+#include "kernels/backend.h"
+
+#if defined(__GFNI__) && defined(__AVX512BW__) && defined(__AVX512VL__)
+
+#include <immintrin.h>
+
+#include "kernels/backend_zmm_common.h"
+
+namespace approx::kernels::detail {
+
+namespace {
+
+void gf_mul_gfni(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                 const GfTables& t) {
+  const __m512i mat = _mm512_set1_epi64(static_cast<long long>(t.mat));
+  std::size_t i = 0;
+  for (; i + 256 <= n; i += 256) {
+    for (int lane = 0; lane < 4; ++lane) {
+      const std::size_t o = i + static_cast<std::size_t>(lane) * 64;
+      zmm::store(dst + o,
+                 _mm512_gf2p8affine_epi64_epi8(zmm::load(src + o), mat, 0));
+    }
+  }
+  for (; i + 64 <= n; i += 64) {
+    zmm::store(dst + i,
+               _mm512_gf2p8affine_epi64_epi8(zmm::load(src + i), mat, 0));
+  }
+  for (; i < n; ++i) dst[i] = t.row[src[i]];
+}
+
+void gf_mul_acc_gfni(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                     const GfTables& t) {
+  const __m512i mat = _mm512_set1_epi64(static_cast<long long>(t.mat));
+  std::size_t i = 0;
+  for (; i + 128 <= n; i += 128) {
+    const __m512i p0 =
+        _mm512_gf2p8affine_epi64_epi8(zmm::load(src + i), mat, 0);
+    const __m512i p1 =
+        _mm512_gf2p8affine_epi64_epi8(zmm::load(src + i + 64), mat, 0);
+    zmm::store(dst + i, _mm512_xor_si512(zmm::load(dst + i), p0));
+    zmm::store(dst + i + 64, _mm512_xor_si512(zmm::load(dst + i + 64), p1));
+  }
+  for (; i + 64 <= n; i += 64) {
+    const __m512i p = _mm512_gf2p8affine_epi64_epi8(zmm::load(src + i), mat, 0);
+    zmm::store(dst + i, _mm512_xor_si512(zmm::load(dst + i), p));
+  }
+  for (; i < n; ++i) dst[i] ^= t.row[src[i]];
+}
+
+void xor_acc_gfni(std::uint8_t* dst, const std::uint8_t* src, std::size_t n) {
+  zmm::xor_acc(dst, src, n);
+}
+
+void xor_acc2_gfni(std::uint8_t* dst, const std::uint8_t* a,
+                   const std::uint8_t* b, std::size_t n) {
+  zmm::xor_acc2(dst, a, b, n);
+}
+
+void xor_gather_gfni(std::uint8_t* dst, const std::uint8_t* const* sources,
+                     std::size_t count, std::size_t n) {
+  zmm::xor_gather(dst, sources, count, n);
+}
+
+constexpr Ops kGfniOps{gf_mul_gfni, gf_mul_acc_gfni, xor_acc_gfni,
+                       xor_acc2_gfni, xor_gather_gfni};
+
+}  // namespace
+
+const Ops* gfni_ops() noexcept { return &kGfniOps; }
+
+}  // namespace approx::kernels::detail
+
+#else  // !(__GFNI__ && __AVX512BW__ && __AVX512VL__)
+
+namespace approx::kernels::detail {
+const Ops* gfni_ops() noexcept { return nullptr; }
+}  // namespace approx::kernels::detail
+
+#endif

@@ -1,0 +1,91 @@
+// 64-byte-lane XOR loops shared by the avx512 and gfni backends (both TUs
+// are compiled with -mavx512bw -mavx512vl, so the intrinsics below are legal
+// in either).  The GF multiply paths differ per backend — split-nibble
+// vpshufb vs vgf2p8affineqb — but the pure XOR surface is identical, and
+// vpternlogq (one 3-input XOR per 64 bytes) is the part worth sharing.
+//
+// Include only from a TU built with AVX-512BW/VL enabled.
+#pragma once
+
+#include <immintrin.h>
+
+#include <cstddef>
+#include <cstdint>
+
+namespace approx::kernels::detail::zmm {
+
+inline __m512i load(const std::uint8_t* p) {
+  return _mm512_loadu_si512(reinterpret_cast<const void*>(p));
+}
+
+inline void store(std::uint8_t* p, __m512i v) {
+  _mm512_storeu_si512(reinterpret_cast<void*>(p), v);
+}
+
+inline void xor_acc(std::uint8_t* dst, const std::uint8_t* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 256 <= n; i += 256) {
+    for (int lane = 0; lane < 4; ++lane) {
+      const std::size_t o = i + static_cast<std::size_t>(lane) * 64;
+      store(dst + o, _mm512_xor_si512(load(dst + o), load(src + o)));
+    }
+  }
+  for (; i + 64 <= n; i += 64) {
+    store(dst + i, _mm512_xor_si512(load(dst + i), load(src + i)));
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+inline void xor_acc2(std::uint8_t* dst, const std::uint8_t* a,
+                     const std::uint8_t* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    // 0x96 = three-way XOR: dst ^ a ^ b in one vpternlogq.
+    store(dst + i,
+          _mm512_ternarylogic_epi64(load(dst + i), load(a + i), load(b + i),
+                                    0x96));
+  }
+  for (; i < n; ++i) dst[i] ^= static_cast<std::uint8_t>(a[i] ^ b[i]);
+}
+
+inline void xor_gather(std::uint8_t* dst, const std::uint8_t* const* sources,
+                       std::size_t count, std::size_t n) {
+  // Chunk-major like every other backend: all sources accumulate into
+  // registers before dst is stored, so dst may alias any single source.
+  // Sources are consumed two at a time through vpternlogq.
+  std::size_t i = 0;
+  for (; i + 128 <= n; i += 128) {
+    __m512i a0 = load(sources[0] + i);
+    __m512i a1 = load(sources[0] + i + 64);
+    std::size_t s = 1;
+    for (; s + 2 <= count; s += 2) {
+      a0 = _mm512_ternarylogic_epi64(a0, load(sources[s] + i),
+                                     load(sources[s + 1] + i), 0x96);
+      a1 = _mm512_ternarylogic_epi64(a1, load(sources[s] + i + 64),
+                                     load(sources[s + 1] + i + 64), 0x96);
+    }
+    if (s < count) {
+      a0 = _mm512_xor_si512(a0, load(sources[s] + i));
+      a1 = _mm512_xor_si512(a1, load(sources[s] + i + 64));
+    }
+    store(dst + i, a0);
+    store(dst + i + 64, a1);
+  }
+  for (; i + 64 <= n; i += 64) {
+    __m512i acc = load(sources[0] + i);
+    std::size_t s = 1;
+    for (; s + 2 <= count; s += 2) {
+      acc = _mm512_ternarylogic_epi64(acc, load(sources[s] + i),
+                                      load(sources[s + 1] + i), 0x96);
+    }
+    if (s < count) acc = _mm512_xor_si512(acc, load(sources[s] + i));
+    store(dst + i, acc);
+  }
+  for (; i < n; ++i) {
+    std::uint8_t acc = sources[0][i];
+    for (std::size_t s = 1; s < count; ++s) acc ^= sources[s][i];
+    dst[i] = acc;
+  }
+}
+
+}  // namespace approx::kernels::detail::zmm

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "common/error.h"
@@ -23,6 +24,10 @@ const Ops* compiled_ops(Backend b) noexcept {
       return detail::ssse3_ops();
     case Backend::kAvx2:
       return detail::avx2_ops();
+    case Backend::kAvx512:
+      return detail::avx512_ops();
+    case Backend::kGfni:
+      return detail::gfni_ops();
   }
   return nullptr;
 }
@@ -36,6 +41,15 @@ bool cpu_supports(Backend b) noexcept {
       return __builtin_cpu_supports("ssse3");
     case Backend::kAvx2:
       return __builtin_cpu_supports("avx2");
+    case Backend::kAvx512:
+      return __builtin_cpu_supports("avx512bw") &&
+             __builtin_cpu_supports("avx512vl");
+    case Backend::kGfni:
+      // The gfni TU is EVEX-encoded, so GFNI alone (as on AVX2-only client
+      // cores) is not enough to run it.
+      return __builtin_cpu_supports("gfni") &&
+             __builtin_cpu_supports("avx512bw") &&
+             __builtin_cpu_supports("avx512vl");
   }
   return false;
 #else
@@ -44,9 +58,31 @@ bool cpu_supports(Backend b) noexcept {
 }
 
 Backend best_available() noexcept {
-  if (backend_available(Backend::kAvx2)) return Backend::kAvx2;
-  if (backend_available(Backend::kSsse3)) return Backend::kSsse3;
-  return Backend::kScalar;
+  Backend best = Backend::kScalar;
+  for (const Backend b : kAllBackends) {
+    if (backend_available(b)) best = b;
+  }
+  return best;
+}
+
+// The accepted APPROX_KERNEL vocabulary, generated from the backend list so
+// it can never drift from the enum: "scalar|ssse3|avx2|avx512|gfni".
+// Assembled into a fixed buffer because this is called from a noexcept
+// static initializer that must not allocate.
+const char* backend_vocabulary() noexcept {
+  static char buf[128];
+  if (buf[0] == '\0') {
+    std::size_t used = 0;
+    for (const Backend b : kAllBackends) {
+      const std::string_view name = backend_name(b);
+      if (used + name.size() + 2 >= sizeof(buf)) break;
+      if (used != 0) buf[used++] = '|';
+      std::memcpy(buf + used, name.data(), name.size());
+      used += name.size();
+    }
+    buf[used] = '\0';
+  }
+  return buf;
 }
 
 // Resolve the APPROX_KERNEL override once.  Unknown names and backends the
@@ -59,30 +95,25 @@ Backend resolve_default() noexcept {
   const char* env = std::getenv("APPROX_KERNEL");
   if (env == nullptr || *env == '\0') return best_available();
   const std::string_view want(env);
-  Backend b = Backend::kScalar;
-  if (want == "scalar") {
-    b = Backend::kScalar;
-  } else if (want == "ssse3") {
-    b = Backend::kSsse3;
-  } else if (want == "avx2") {
-    b = Backend::kAvx2;
-  } else {
-    const std::string_view fb = backend_name(best_available());
-    std::fprintf(stderr,
-                 "approx: APPROX_KERNEL=%s is not a known backend "
-                 "(scalar|ssse3|avx2); using %.*s\n",
-                 env, static_cast<int>(fb.size()), fb.data());
-    return best_available();
+  for (const Backend b : kAllBackends) {
+    if (want != backend_name(b)) continue;
+    if (!backend_available(b)) {
+      const std::string_view fb = backend_name(best_available());
+      std::fprintf(stderr,
+                   "approx: APPROX_KERNEL=%s is not available on this host; "
+                   "using %.*s\n",
+                   env, static_cast<int>(fb.size()), fb.data());
+      return best_available();
+    }
+    return b;
   }
-  if (!backend_available(b)) {
-    const std::string_view fb = backend_name(best_available());
-    std::fprintf(stderr,
-                 "approx: APPROX_KERNEL=%s is not available on this host; "
-                 "using %.*s\n",
-                 env, static_cast<int>(fb.size()), fb.data());
-    return best_available();
-  }
-  return b;
+  const std::string_view fb = backend_name(best_available());
+  std::fprintf(stderr,
+               "approx: APPROX_KERNEL=%s is not a known backend "
+               "(%s); using %.*s\n",
+               env, backend_vocabulary(), static_cast<int>(fb.size()),
+               fb.data());
+  return best_available();
 }
 
 struct Dispatch {
@@ -113,6 +144,8 @@ obs::ShardedCounter& byte_counter(Backend b) noexcept {
       &obs::registry().sharded_counter("kernels.bytes.scalar"),
       &obs::registry().sharded_counter("kernels.bytes.ssse3"),
       &obs::registry().sharded_counter("kernels.bytes.avx2"),
+      &obs::registry().sharded_counter("kernels.bytes.avx512"),
+      &obs::registry().sharded_counter("kernels.bytes.gfni"),
   };
   return *counters[static_cast<int>(b)];
 }
@@ -133,6 +166,10 @@ std::string_view backend_name(Backend b) noexcept {
       return "ssse3";
     case Backend::kAvx2:
       return "avx2";
+    case Backend::kAvx512:
+      return "avx512";
+    case Backend::kGfni:
+      return "gfni";
   }
   return "unknown";
 }
@@ -143,7 +180,7 @@ bool backend_available(Backend b) noexcept {
 
 std::vector<Backend> available_backends() {
   std::vector<Backend> out;
-  for (const Backend b : {Backend::kScalar, Backend::kSsse3, Backend::kAvx2}) {
+  for (const Backend b : kAllBackends) {
     if (backend_available(b)) out.push_back(b);
   }
   return out;

@@ -1,20 +1,26 @@
 // Runtime-dispatched SIMD kernels for the two loops every erasure-coding
 // path bottoms out in: GF(2^8) region multiply(-accumulate) and wide XOR.
 //
-// Three backends implement one contract:
+// Five backends implement one contract:
 //   - scalar : the portable reference (word-wide XOR, byte-table GF).  Always
 //              available; every other backend is differentially tested
 //              against it.
 //   - ssse3  : split-nibble pshufb GF multiply + 16-byte XOR lanes.
 //   - avx2   : the same technique over 32-byte lanes, 2x unrolled.
+//   - avx512 : split-nibble vpshufb over 64-byte lanes (AVX-512BW/VL) with
+//              vpternlogq three-way XOR on the accumulate paths.
+//   - gfni   : GF2P8AFFINEQB multiply-by-constant via a per-coefficient
+//              8x8 bit-matrix (EVEX-encoded, 64-byte lanes; requires GFNI
+//              plus AVX-512BW/VL), sharing the avx512 XOR loops.
 //
 // The active backend is chosen once, at first use: the best ISA the CPU
 // reports (via __builtin_cpu_supports), unless the APPROX_KERNEL environment
-// variable names a specific backend ("scalar", "ssse3" or "avx2").  Naming a
-// backend the host cannot run falls back to the best available one with a
-// warning on stderr, so a CI matrix can set APPROX_KERNEL unconditionally
-// and degrade gracefully on older machines.  Tests iterate backends
-// explicitly through set_backend()/available_backends().
+// variable names a specific backend ("scalar", "ssse3", "avx2", "avx512" or
+// "gfni").  Naming a backend the host cannot run falls back to the best
+// available one with a warning on stderr, so a CI matrix can set
+// APPROX_KERNEL unconditionally and degrade gracefully on older machines.
+// Tests iterate backends explicitly through
+// set_backend()/available_backends().
 //
 // Aliasing contract (all region ops): dst must be either *identical to* a
 // source or *disjoint from* every source.  All kernels load a full chunk
@@ -34,10 +40,23 @@
 
 namespace approx::kernels {
 
-enum class Backend : int { kScalar = 0, kSsse3 = 1, kAvx2 = 2 };
-inline constexpr int kBackendCount = 3;
+enum class Backend : int {
+  kScalar = 0,
+  kSsse3 = 1,
+  kAvx2 = 2,
+  kAvx512 = 3,
+  kGfni = 4,
+};
+inline constexpr int kBackendCount = 5;
 
-// "scalar", "ssse3", "avx2".
+// Every backend, in ascending preference order (the default dispatch picks
+// the last available one).  This is the single source of truth the name
+// parser, the warning vocabulary and available_backends() iterate.
+inline constexpr Backend kAllBackends[kBackendCount] = {
+    Backend::kScalar, Backend::kSsse3, Backend::kAvx2, Backend::kAvx512,
+    Backend::kGfni};
+
+// "scalar", "ssse3", "avx2", "avx512", "gfni".
 std::string_view backend_name(Backend b) noexcept;
 
 // Backend compiled into this binary AND runnable on this CPU.
@@ -78,6 +97,9 @@ struct GfTables {
   const std::uint8_t* row;  // 256 entries: row[x] = c * x
   const std::uint8_t* lo;   // 16 entries: lo[i] = c * i
   const std::uint8_t* hi;   // 16 entries: hi[i] = c * (i << 4)
+  // 8x8 bit-matrix of "multiply by c" in GF2P8AFFINEQB operand layout
+  // (byte 7-k masks the input bits of output bit k); drives the GFNI path.
+  std::uint64_t mat = 0;
 };
 
 // dst = c * src over n bytes.  Caller handles c == 0 / c == 1 fast paths.

@@ -4,7 +4,8 @@
 // of the coefficient-1 fast path in the GF engine.  The module keeps the
 // stable API and the xorblk.bytes traffic counter; the actual loops live in
 // the runtime-dispatched kernel engine (kernels/dispatch.h), which picks a
-// scalar, SSSE3 or AVX2 implementation per host (override: APPROX_KERNEL).
+// scalar, SSSE3, AVX2, AVX-512 or GFNI implementation per host (override:
+// APPROX_KERNEL).
 // Aliasing: dst must be identical to or disjoint from every source.
 #pragma once
 

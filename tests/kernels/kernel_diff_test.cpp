@@ -240,7 +240,8 @@ TEST(KernelDispatchTest, ScalarAlwaysAvailable) {
 
 TEST(KernelDispatchTest, SetBackendRejectsUnavailable) {
   for (const kernels::Backend b :
-       {kernels::Backend::kSsse3, kernels::Backend::kAvx2}) {
+       {kernels::Backend::kSsse3, kernels::Backend::kAvx2,
+        kernels::Backend::kAvx512, kernels::Backend::kGfni}) {
     if (!kernels::backend_available(b)) {
       EXPECT_THROW(kernels::set_backend(b), InvalidArgument);
     }
